@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artifact gets one benchmark that (a) regenerates the artifact
+via its experiment driver, (b) prints the paper-style table/series so the
+output can be compared against the publication, and (c) asserts the
+qualitative shape criteria so a regression in the models fails the bench.
+
+Experiment benches run one round (they are deterministic simulations, not
+noisy microbenchmarks); the micro benches use pytest-benchmark's normal
+statistics.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic experiment with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

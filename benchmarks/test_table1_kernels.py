@@ -1,0 +1,48 @@
+"""Benchmark: Table 1 — kernel inventory and per-kernel op cost."""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.config import KernelConfig
+from repro.experiments import table1_kernels
+from repro.kernels import KernelContext, device_from_name, make_kernel
+
+COMPUTE_KERNELS = [
+    "MatMulSimple2D",
+    "MatMulGeneral",
+    "FFT",
+    "AXPY",
+    "InplaceCompute",
+    "GenerateRandomNumber",
+    "ScatterAdd",
+]
+
+
+def test_table1_inventory(benchmark):
+    result = run_once(benchmark, table1_kernels.run)
+    assert result.all_present
+    print()
+    print(result.render())
+
+
+@pytest.mark.parametrize("name", COMPUTE_KERNELS)
+def test_compute_kernel_op(benchmark, name):
+    cfg = KernelConfig(mini_app_kernel=name, data_size=(256, 256))
+    ctx = KernelContext(device=device_from_name("cpu"), rng=np.random.default_rng(0))
+    kernel = make_kernel(cfg, ctx)
+    result = benchmark(kernel.run_once)
+    assert result.bytes_processed > 0
+
+
+@pytest.mark.parametrize("name", ["WriteNonMPI", "ReadNonMPI"])
+def test_io_kernel_op(benchmark, name, tmp_path):
+    cfg = KernelConfig(mini_app_kernel=name, data_size=(65536,))
+    ctx = KernelContext(
+        device=device_from_name("cpu"),
+        rng=np.random.default_rng(0),
+        workdir=tmp_path,
+    )
+    kernel = make_kernel(cfg, ctx)
+    result = benchmark(kernel.run_once)
+    assert result.bytes_processed == 65536 * 8

@@ -1,0 +1,81 @@
+"""Aurora-scale what-if studies on the simulated machine.
+
+Uses the DES + calibrated backend models to answer the paper's deployment
+question for a custom workload without a supercomputer: given your message
+size and node count, which transport backend should the workflow use?
+
+Run:  python examples/aurora_scale_simulation.py [size_mb] [nodes]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.experiments.common import backend_models, pattern1_context
+from repro.telemetry import EventKind, mean_throughput
+from repro.transport.models import MB, TransportOpContext
+from repro.workloads import ManyToOneConfig, OneToOneConfig, run_many_to_one, run_one_to_one
+
+size_mb = float(sys.argv[1]) if len(sys.argv) > 1 else 4.0
+nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+nbytes = size_mb * MB
+models = backend_models()
+
+print(f"workload: {size_mb} MB snapshots, {nodes} Aurora nodes\n")
+
+# --- Pattern 1: co-located online training ---------------------------------
+rows = []
+for name, model in models.items():
+    result = run_one_to_one(
+        model,
+        OneToOneConfig(train_iterations=300, snapshot_nbytes=nbytes),
+        ctx=pattern1_context(nodes),
+    )
+    rows.append(
+        (
+            name,
+            mean_throughput(result.log, EventKind.WRITE) / 1e9,
+            mean_throughput(result.log, EventKind.READ) / 1e9,
+            result.makespan,
+        )
+    )
+rows.sort(key=lambda r: r[3])
+print(
+    format_table(
+        ["backend", "write GB/s", "read GB/s", "makespan (s)"],
+        rows,
+        title="Pattern 1 (one-to-one, co-located)",
+    )
+)
+print(f"-> recommended: {rows[0][0]}\n")
+
+# --- Pattern 2: ensemble -> single trainer ----------------------------------
+rows2 = []
+for name, model in models.items():
+    if name == "node-local":
+        continue  # impossible for non-local reads
+    n_sims = nodes - 1
+    result = run_many_to_one(
+        model,
+        ManyToOneConfig(n_simulations=n_sims, train_iterations=200, snapshot_nbytes=nbytes),
+        write_ctx=TransportOpContext(
+            local=True, clients_per_server=12, concurrent_clients=nodes + 12
+        ),
+        read_ctx=TransportOpContext(
+            local=False,
+            clients_per_server=12,
+            fan_in=n_sims,
+            concurrent_peers=min(12, n_sims),
+            concurrent_clients=nodes + 12,
+        ),
+    )
+    train_log = result.log.filter(component="train")
+    rows2.append((name, train_log.makespan() / 200))
+rows2.sort(key=lambda r: r[1])
+print(
+    format_table(
+        ["backend", "runtime/iter (s)"],
+        rows2,
+        title="Pattern 2 (many-to-one ensemble)",
+    )
+)
+print(f"-> recommended: {rows2[0][0]}")

@@ -1,0 +1,61 @@
+"""Extending the Kernels module with a custom kernel (paper §3.1).
+
+"The module is designed for extensibility, allowing for custom kernels to
+be easily added." — a five-point stencil sweep registered like any
+built-in, then driven by a Simulation component straight from a config
+that names it.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.core import Simulation
+from repro.kernels import Kernel, KernelResult, register_kernel
+from repro.telemetry import EventKind, VirtualClock
+
+
+@register_kernel
+class Stencil2D5Point(Kernel):
+    """Jacobi-style 5-point stencil sweep over a 2-D field."""
+
+    name = "Stencil2D5Point"
+    category = "compute"
+
+    def setup(self):
+        nx, ny = self.data_size if len(self.data_size) == 2 else (64, 64)
+        self.field, _ = self.ctx.device.from_host(self.ctx.rng.random((nx, ny)))
+
+    def run_once(self):
+        f = self.field.data
+        interior = 0.25 * (f[:-2, 1:-1] + f[2:, 1:-1] + f[1:-1, :-2] + f[1:-1, 2:])
+        f[1:-1, 1:-1] = interior
+        n = f.size
+        return KernelResult(bytes_processed=5.0 * 8 * n, flops=4.0 * n)
+
+
+# The custom kernel is now addressable by name in any config:
+sim = Simulation(
+    "heat",
+    config={
+        "kernels": [
+            {
+                "name": "jacobi_sweep",
+                "mini_app_kernel": "Stencil2D5Point",
+                "data_size": [128, 128],
+                "run_time": 0.002,
+                "device": "cpu",
+            }
+        ]
+    },
+    clock=VirtualClock(auto_advance=1e-4),
+)
+sim.run(iterations=20)
+
+field = sim._executors[0].kernel.field.data
+durations = sim.event_log.filter(kind=EventKind.COMPUTE).durations()
+print(f"ran {sim.iterations_run} iterations of the custom stencil kernel")
+print(f"mean iteration time: {np.mean(durations) * 1e3:.2f} ms (configured 2.00 ms)")
+print(f"field smoothing: std {field.std():.4f} (started near 0.29)")
+assert field.std() < 0.29  # diffusion smoothed the field
+print("custom kernel OK")

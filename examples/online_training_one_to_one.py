@@ -1,0 +1,50 @@
+"""Pattern 1 (one-to-one) for real: online training from a live simulation.
+
+A scaled-down nekRS-ML workflow on this machine: a simulation component
+paces matmul iterations and periodically stages synthetic flow snapshots;
+an AI component trains a real feed-forward network from the staged data,
+polling asynchronously, then steers the simulation to stop. Prints the
+event statistics the paper validates (Tables 2-3 style) plus the training
+loss trajectory, and renders a Fig 2-style timeline.
+
+Run:  python examples/online_training_one_to_one.py [backend]
+"""
+
+import sys
+
+from repro import ServerManager
+from repro.telemetry import EventKind, Timeline, event_counts, iteration_time_summary
+from repro.workloads import RealOneToOneConfig, run_one_to_one_real
+
+backend = sys.argv[1] if len(sys.argv) > 1 else "dragon"
+
+config = RealOneToOneConfig(
+    train_iterations=60,
+    write_interval=8,
+    read_interval=5,
+    sim_iter_time=0.004,
+    ai_iter_time=0.006,
+    snapshot_samples=128,
+    input_dim=16,
+    output_dim=8,
+)
+
+with ServerManager("stage", config={"backend": backend, "n_shards": 1}) as server:
+    result = run_one_to_one_real(server.get_server_info(), config)
+
+print(f"backend: {backend}")
+print(f"simulation iterations: {result.sim_iterations}")
+print(f"snapshots written/read: {result.snapshots_written}/{result.snapshots_read}")
+print(f"final training loss: {result.final_loss:.4f}")
+
+for component, kind in (("sim", EventKind.COMPUTE), ("train", EventKind.TRAIN)):
+    s = iteration_time_summary(result.log, component, kind)
+    counts = event_counts(result.log, component)
+    print(
+        f"{component}: {counts['timestep']} steps, "
+        f"{counts['data_transport']} transport events, "
+        f"iter {s.mean * 1e3:.2f} ± {s.std * 1e3:.2f} ms"
+    )
+
+print()
+print(Timeline.from_log(result.log, components=["sim", "train"]).render(width=100))

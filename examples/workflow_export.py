@@ -1,0 +1,72 @@
+"""Exporting a workflow for third-party managers (paper §3.5).
+
+"Components developed with the Simulation and AI modules [can] be exported
+for use with third-party workflow managers, such as RADICAL-Pilot or
+Parsl." This example builds a small two-component workflow, exports it to
+a JSON spec, reloads it, and drives it through the ExternalExecutor — the
+reference adapter showing the submit() contract an external manager needs.
+
+Run:  python examples/workflow_export.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core import ExternalExecutor, Workflow, export_spec, load_spec, save_spec
+from repro.telemetry import VirtualClock
+
+
+# Component functions must live at module scope so the spec can reference
+# them by import path (module:qualname).
+def produce_field(size=64):
+    """Stand-in solver step: returns a checksum of a generated field."""
+    import numpy as np
+
+    from repro.core import Simulation
+
+    sim = Simulation(
+        "producer",
+        config={
+            "kernels": [
+                {"mini_app_kernel": "MatMulSimple2D", "data_size": [size, size], "run_count": 2}
+            ]
+        },
+        clock=VirtualClock(auto_advance=1e-4),
+    )
+    sim.run(iterations=3)
+    rng = np.random.default_rng(0)
+    return float(rng.random((size,)).sum())
+
+
+def consume_field(scale=2.0):
+    """Stand-in analysis step."""
+    return {"scaled": scale}
+
+
+w = Workflow(name="exportable", sys_info={"nodes": 1})
+w.component(name="produce", args={"size": 32})(produce_field)
+w.component(name="consume", args={"scale": 3.0}, dependencies=["produce"])(consume_field)
+
+spec = export_spec(w)
+print("exported spec:")
+print(json.dumps(spec, indent=2)[:600], "...\n")
+
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "workflow.json"
+    save_spec(w, path)
+    rebuilt = load_spec(path)
+    print(f"reloaded workflow {rebuilt.name!r} with components {rebuilt.component_names}")
+
+    # Drive it through the external-manager adapter (Parsl-style submit).
+    submitted = []
+
+    def submit(fn, kwargs):
+        submitted.append(fn.__name__)
+        return fn(**kwargs)
+
+    results = ExternalExecutor(submit=submit).execute(spec)
+    print(f"external executor submitted: {submitted}")
+    print(f"results: {results}")
+    assert submitted == ["produce_field", "consume_field"]
+    print("workflow export OK")

@@ -1,0 +1,36 @@
+"""repro — reproduction of "In-Transit Data Transport Strategies for
+Coupled AI-Simulation Workflow Patterns" (SC 2025).
+
+The package re-implements the paper's SimAI-Bench framework and every
+substrate it depends on (discrete-event HPC machine model, MPI-like layer,
+data-transport backends, a small neural-network library), plus the
+experiment drivers that regenerate every table and figure of the paper's
+evaluation section.
+
+Top-level convenience imports expose the SimAI-Bench-style public API::
+
+    from repro import Workflow, Simulation, AI, ServerManager, DataStore
+"""
+
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "AI",
+    "DataStore",
+    "ServerManager",
+    "Simulation",
+    "Workflow",
+]
+
+
+def __getattr__(name):  # lazy to keep `import repro` light and cycle-free
+    if name in ("Workflow", "Simulation", "AI"):
+        from repro import core
+
+        return getattr(core, name)
+    if name in ("ServerManager", "DataStore"):
+        from repro import transport
+
+        return getattr(transport, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,10 @@
+"""Analysis helpers: table/series formatting and error metrics."""
+
+from repro.analysis.report import (
+    ascii_chart,
+    format_series_table,
+    format_table,
+    relative_error,
+)
+
+__all__ = ["ascii_chart", "format_series_table", "format_table", "relative_error"]

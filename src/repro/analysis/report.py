@@ -1,0 +1,108 @@
+"""Text rendering of paper-style tables and figure series.
+
+Figures are rendered as aligned numeric tables (one row per x-value, one
+column per series) plus an optional log-scale ASCII chart, so benchmark
+output can be compared against the paper's plots at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned text table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ReproError("all rows must match the header length")
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """A figure as a table: x column + one column per named series."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ReproError(
+                f"series {name!r} has {len(series[name])} points, expected {len(x_values)}"
+            )
+    headers = [x_label, *names]
+    rows = [
+        [x, *(series[name][i] for name in names)] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    log_y: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """A crude horizontal-bar chart, one block of bars per x value.
+
+    Bars share one (optionally log) scale so relative magnitudes across
+    series and x-values read correctly.
+    """
+    if width <= 10:
+        raise ReproError("chart width must be > 10")
+    values = [v for vs in series.values() for v in vs if v > 0]
+    if not values:
+        return (title or "") + "\n(no positive data)"
+    vmax = max(values)
+    vmin = min(values)
+    if log_y and vmin > 0 and vmax > vmin:
+        scale = lambda v: (math.log10(v) - math.log10(vmin)) / (
+            math.log10(vmax) - math.log10(vmin)
+        )
+    else:
+        scale = lambda v: v / vmax
+    label_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for i, x in enumerate(x_values):
+        lines.append(f"x={x:g}")
+        for name, vs in series.items():
+            v = vs[i]
+            bar = "#" * max(1, int(scale(v) * width)) if v > 0 else ""
+            lines.append(f"  {name:<{label_width}} |{bar} {v:.3g}")
+    return "\n".join(lines)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (inf when reference is 0)."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - reference) / abs(reference)

@@ -1,0 +1,199 @@
+"""Command-line interface: run mini-apps without writing Python.
+
+Subcommands::
+
+    python -m repro kernels                 # list registered kernels
+    python -m repro run --config app.json   # real-mode mini-app from JSON
+    python -m repro simulate --pattern one-to-one --backend dragon \
+        --nodes 64 --size-mb 4              # sim-mode what-if study
+
+The ``run`` config format::
+
+    {
+      "server": {"backend": "dragon", "n_shards": 2},
+      "pattern": "one-to-one",
+      "one_to_one": {
+        "train_iterations": 50, "write_interval": 10, "read_interval": 5,
+        "sim_iter_time": 0.004, "ai_iter_time": 0.006
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.kernels import kernel_class, list_kernels
+
+    rows = []
+    for category in ("compute", "io", "collective", "copy"):
+        for name in list_kernels(category=category):
+            doc = (kernel_class(name).__doc__ or "").strip().splitlines()[0]
+            rows.append((category, name, doc))
+    print(format_table(["category", "kernel", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.telemetry import EventKind, event_counts, iteration_time_summary
+    from repro.transport import ServerManager
+    from repro.workloads import RealOneToOneConfig, run_one_to_one_real
+
+    with open(args.config, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict):
+        raise ConfigError("run config must be a JSON object")
+    pattern = spec.get("pattern", "one-to-one")
+    if pattern != "one-to-one":
+        raise ConfigError(
+            f"unsupported real-mode pattern {pattern!r} (supported: one-to-one; "
+            "use 'simulate' for scaled many-to-one studies)"
+        )
+    server_spec = spec.get("server", {"backend": "node-local"})
+    run_spec = spec.get("one_to_one", {})
+    config = RealOneToOneConfig(**run_spec)
+
+    with ServerManager("stage", config=server_spec) as server:
+        result = run_one_to_one_real(server.get_server_info(), config)
+
+    print(f"pattern: one-to-one, backend: {server_spec.get('backend')}")
+    print(f"simulation iterations: {result.sim_iterations}")
+    print(f"snapshots written/read: {result.snapshots_written}/{result.snapshots_read}")
+    print(f"final loss: {result.final_loss:.4f}")
+    for component, kind in (("sim", EventKind.COMPUTE), ("train", EventKind.TRAIN)):
+        s = iteration_time_summary(result.log, component, kind)
+        counts = event_counts(result.log, component)
+        print(
+            f"{component}: {counts['timestep']} steps, "
+            f"{counts['data_transport']} transport events, "
+            f"iter {s.mean * 1e3:.2f} ± {s.std * 1e3:.2f} ms"
+        )
+    if args.events_out:
+        result.log.save(args.events_out)
+        print(f"event log written to {args.events_out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.common import backend_models, pattern1_context
+    from repro.telemetry import EventKind
+    from repro.telemetry.stats import mean_throughput, runtime_per_iteration
+    from repro.transport.models import (
+        MB,
+        DaosBackendModel,
+        StreamingBackendModel,
+        TransportOpContext,
+    )
+    from repro.workloads import (
+        ManyToOneConfig,
+        OneToOneConfig,
+        run_many_to_one,
+        run_one_to_one,
+    )
+
+    models = dict(backend_models())
+    models["streaming"] = StreamingBackendModel()
+    models["daos"] = DaosBackendModel()
+    try:
+        model = models[args.backend]
+    except KeyError:
+        raise ConfigError(
+            f"unknown backend {args.backend!r}; options {sorted(models)}"
+        ) from None
+    nbytes = args.size_mb * MB
+
+    if args.pattern == "one-to-one":
+        result = run_one_to_one(
+            model,
+            OneToOneConfig(train_iterations=args.iterations, snapshot_nbytes=nbytes),
+            ctx=pattern1_context(args.nodes),
+        )
+        print(
+            f"one-to-one on {args.nodes} nodes, {args.size_mb} MB, backend {args.backend}:"
+        )
+        print(f"  makespan: {result.makespan:.2f} s")
+        print(
+            f"  write throughput/process: "
+            f"{mean_throughput(result.log, EventKind.WRITE) / 1e9:.3f} GB/s"
+        )
+        print(
+            f"  read throughput/process:  "
+            f"{mean_throughput(result.log, EventKind.READ) / 1e9:.3f} GB/s"
+        )
+    else:
+        n_sims = args.nodes - 1
+        n_clients = n_sims + min(12, n_sims)
+        result = run_many_to_one(
+            model,
+            ManyToOneConfig(
+                n_simulations=n_sims,
+                train_iterations=args.iterations,
+                snapshot_nbytes=nbytes,
+            ),
+            write_ctx=TransportOpContext(
+                local=True, clients_per_server=12, concurrent_clients=n_clients
+            ),
+            read_ctx=TransportOpContext(
+                local=False,
+                clients_per_server=12,
+                fan_in=n_sims,
+                concurrent_peers=min(12, n_sims),
+                concurrent_clients=n_clients,
+            ),
+        )
+        runtime = runtime_per_iteration(
+            result.log.filter(component="train"), "train", args.iterations
+        )
+        print(
+            f"many-to-one on {args.nodes} nodes ({n_sims} sims), {args.size_mb} MB, "
+            f"backend {args.backend}:"
+        )
+        print(f"  training runtime per iteration: {runtime * 1e3:.2f} ms")
+        print(f"  makespan: {result.makespan:.2f} s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SimAI-Bench reproduction: mini-app runner and tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list registered mini-app kernels")
+
+    run_parser = sub.add_parser("run", help="run a real-mode mini-app from JSON")
+    run_parser.add_argument("--config", required=True, help="mini-app JSON config")
+    run_parser.add_argument(
+        "--events-out", default="", help="write the event log (JSONL) here"
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="sim-mode what-if study on the modeled Aurora"
+    )
+    simulate.add_argument(
+        "--pattern", choices=("one-to-one", "many-to-one"), default="one-to-one"
+    )
+    simulate.add_argument("--backend", default="node-local")
+    simulate.add_argument("--nodes", type=int, default=8)
+    simulate.add_argument("--size-mb", type=float, default=1.2)
+    simulate.add_argument("--iterations", type=int, default=500)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "kernels":
+        return _cmd_kernels(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise ConfigError(f"unknown command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,140 @@
+"""The Machine: nodes + interconnect + file system, plus job placement.
+
+A :class:`Machine` is a static description (it owns no DES state); binding
+it to an :class:`~repro.des.Environment` via :meth:`instantiate` produces a
+:class:`MachineInstance` with live contention state (network fabric, Lustre
+MDS queue) that simulated workflows charge time against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.filesystem import LustreModel, LustreSpec
+from repro.cluster.network import NetworkFabric
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.storage import NodeLocalModel, NodeLocalSpec
+from repro.cluster.topology import DragonflyTopology, LinkSpec
+from repro.des import Environment
+from repro.errors import ConfigError
+
+
+@dataclass
+class MachineSpec:
+    """Static description of a machine."""
+
+    name: str = "machine"
+    n_nodes: int = 8
+    node: NodeSpec = field(default_factory=NodeSpec)
+    lustre: LustreSpec = field(default_factory=LustreSpec)
+    node_local: NodeLocalSpec = field(default_factory=NodeLocalSpec)
+    nodes_per_switch: int = 16
+    switches_per_group: int = 32
+    node_link: LinkSpec = LinkSpec(25e9, 2e-6)
+    group_link: LinkSpec = LinkSpec(50e9, 1e-6)
+    global_link: LinkSpec = LinkSpec(25e9, 2e-6)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigError(f"n_nodes must be positive, got {self.n_nodes}")
+
+    def with_nodes(self, n_nodes: int) -> "MachineSpec":
+        """A copy of this spec scaled to ``n_nodes`` nodes."""
+        return MachineSpec(
+            name=self.name,
+            n_nodes=n_nodes,
+            node=self.node,
+            lustre=self.lustre,
+            node_local=self.node_local,
+            nodes_per_switch=self.nodes_per_switch,
+            switches_per_group=self.switches_per_group,
+            node_link=self.node_link,
+            group_link=self.group_link,
+            global_link=self.global_link,
+        )
+
+
+class Machine:
+    """A machine: instantiable description + node bookkeeping."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self.nodes = [Node(index=i, spec=spec.node) for i in range(spec.n_nodes)]
+        self.topology = DragonflyTopology(
+            spec.n_nodes,
+            nodes_per_switch=spec.nodes_per_switch,
+            switches_per_group=spec.switches_per_group,
+            node_link=spec.node_link,
+            group_link=spec.group_link,
+            global_link=spec.global_link,
+        )
+        for node in self.nodes:
+            node.group = self.topology.group_of_node(node.index)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    def node_by_index(self, index: int) -> Node:
+        if not 0 <= index < len(self.nodes):
+            raise ConfigError(f"node index {index} out of range [0, {len(self.nodes)})")
+        return self.nodes[index]
+
+    def allocate_nodes(self, count: int, tiles_per_node: int = 0) -> list[Node]:
+        """Reserve ``count`` nodes (optionally claiming GPU tiles on each).
+
+        Nodes are taken in index order from those with enough free tiles.
+        """
+        if count <= 0:
+            raise ConfigError(f"cannot allocate {count} nodes")
+        chosen: list[Node] = []
+        for node in self.nodes:
+            if node.free_tiles >= tiles_per_node:
+                chosen.append(node)
+                if len(chosen) == count:
+                    break
+        if len(chosen) < count:
+            raise ConfigError(
+                f"machine {self.spec.name!r}: requested {count} nodes with "
+                f"{tiles_per_node} free tiles each, only {len(chosen)} available"
+            )
+        for node in chosen:
+            node.allocate_tiles(tiles_per_node)
+        return chosen
+
+    def release_nodes(self, nodes: list[Node], tiles_per_node: int = 0) -> None:
+        for node in nodes:
+            node.release_tiles(tiles_per_node)
+
+    def instantiate(self, env: Environment) -> "MachineInstance":
+        """Bind this machine to a DES environment (live contention state)."""
+        return MachineInstance(env, self)
+
+
+class MachineInstance:
+    """A machine bound to a DES environment: live fabric + Lustre + storage."""
+
+    def __init__(self, env: Environment, machine: Machine) -> None:
+        self.env = env
+        self.machine = machine
+        self.fabric = NetworkFabric(env, machine.topology)
+        self.lustre = LustreModel(env, machine.spec.lustre)
+        self.node_local = NodeLocalModel(machine.spec.node_local)
+
+    @property
+    def spec(self) -> MachineSpec:
+        return self.machine.spec
+
+    @property
+    def n_nodes(self) -> int:
+        return self.machine.n_nodes
+
+
+def make_machine(spec: Optional[MachineSpec] = None, **overrides) -> Machine:
+    """Convenience constructor: ``make_machine(n_nodes=8)``."""
+    if spec is None:
+        spec = MachineSpec(**overrides)
+    elif overrides:
+        raise ConfigError("pass either a spec or keyword overrides, not both")
+    return Machine(spec)

@@ -1,0 +1,114 @@
+"""Network fabric: charges transfer times over the topology with contention.
+
+The fabric tracks active flows per link. A new flow's effective bandwidth is
+the minimum over its route of ``link_bandwidth / flows_sharing_link`` — a
+max-min-lite model that captures the paper's key effect: in a many-to-one
+pattern every producer's flow shares the consumer's terminal link, so
+per-flow bandwidth collapses as the ensemble grows (incast).
+
+Transfer time for ``nbytes`` is ``path_latency + per_message_overhead +
+nbytes / effective_bandwidth``. Bandwidth sharing is evaluated when the flow
+starts (flows do not get retroactively re-timed on churn; at the message
+sizes studied this keeps the model simple and errs conservatively).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Generator
+
+from repro.des import Environment
+from repro.cluster.topology import DragonflyTopology
+from repro.errors import SimulationError
+
+
+class NetworkFabric:
+    """Stateful contention-aware transfer-time model over a topology."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: DragonflyTopology,
+        per_message_overhead: float = 5e-6,
+        intra_node_bandwidth: float = 50e9,
+        intra_node_latency: float = 1e-6,
+    ) -> None:
+        self.env = env
+        self.topology = topology
+        self.per_message_overhead = per_message_overhead
+        self.intra_node_bandwidth = intra_node_bandwidth
+        self.intra_node_latency = intra_node_latency
+        self._link_flows: Counter[tuple[str, str]] = Counter()
+        self.completed_transfers = 0
+        self.bytes_moved = 0.0
+
+    # -- analytic queries ---------------------------------------------------
+    def effective_bandwidth(self, src: int, dst: int) -> float:
+        """Bandwidth a new src->dst flow would get right now (bytes/s)."""
+        if src == dst:
+            return self.intra_node_bandwidth
+        best = float("inf")
+        for link in self.topology.path_links(src, dst):
+            bw = self.topology.graph.edges[link]["bandwidth"]
+            sharers = self._link_flows[link] + 1  # include the new flow
+            best = min(best, bw / sharers)
+        return best
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Time a transfer starting now would take (no state change)."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        if src == dst:
+            latency = self.intra_node_latency
+        else:
+            latency = self.topology.path_latency(src, dst)
+        bandwidth = self.effective_bandwidth(src, dst)
+        return latency + self.per_message_overhead + nbytes / bandwidth
+
+    def active_flows_on(self, src: int, dst: int) -> int:
+        """Max flow count over the links of the src->dst route."""
+        if src == dst:
+            return 0
+        return max(
+            (self._link_flows[link] for link in self.topology.path_links(src, dst)),
+            default=0,
+        )
+
+    # -- DES process --------------------------------------------------------
+    def transfer(self, src: int, dst: int, nbytes: float) -> Generator:
+        """DES generator: occupy the route for the duration of the transfer.
+
+        Usage inside a process: ``yield from fabric.transfer(a, b, size)`` or
+        ``yield env.process(fabric.transfer(a, b, size))``.
+        """
+        links = [] if src == dst else self.topology.path_links(src, dst)
+        for link in links:
+            self._link_flows[link] += 1
+        try:
+            duration = self.transfer_time_with_current_share(src, dst, nbytes)
+            yield self.env.timeout(duration)
+        finally:
+            for link in links:
+                self._link_flows[link] -= 1
+        self.completed_transfers += 1
+        self.bytes_moved += nbytes
+        return duration
+
+    def transfer_time_with_current_share(
+        self, src: int, dst: int, nbytes: float
+    ) -> float:
+        """Like :meth:`transfer_time` but assuming our flow is already
+        registered on the route (used internally by :meth:`transfer`)."""
+        if src == dst:
+            return (
+                self.intra_node_latency
+                + self.per_message_overhead
+                + nbytes / self.intra_node_bandwidth
+            )
+        best = float("inf")
+        for link in self.topology.path_links(src, dst):
+            bw = self.topology.graph.edges[link]["bandwidth"]
+            sharers = max(1, self._link_flows[link])
+            best = min(best, bw / sharers)
+        latency = self.topology.path_latency(src, dst)
+        return latency + self.per_message_overhead + nbytes / best

@@ -1,0 +1,144 @@
+"""Compute-node hardware model.
+
+Models the parts of a node that the paper's analysis depends on: GPU
+tiles (resource placement — 12 tiles per Aurora node split 6/6 between
+simulation and AI), CPU last-level cache (the L3 share per process drives
+the throughput dip of in-memory stores at large message sizes, §4.1.2),
+and memory capacities/bandwidths (node-local tmpfs staging lives in DDR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One CPU socket."""
+
+    model: str = "generic"
+    cores: int = 16
+    threads_per_core: int = 2
+    l3_cache_bytes: int = 32 * MB
+    ddr_bytes: int = 64 * GB
+    hbm_bytes: int = 0
+    ddr_bandwidth: float = 100 * GB  # bytes/s
+    hbm_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.threads_per_core <= 0:
+            raise ConfigError("CPU cores and threads_per_core must be positive")
+        if self.l3_cache_bytes <= 0:
+            raise ConfigError("l3_cache_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU package, possibly split into independently schedulable tiles."""
+
+    model: str = "generic"
+    tiles: int = 1
+    memory_bytes: int = 16 * GB
+    memory_bandwidth: float = 1000 * GB
+    pcie_bandwidth: float = 32 * GB  # host<->device link, bytes/s
+    peak_tflops: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.tiles <= 0:
+            raise ConfigError("GPU tiles must be positive")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node: sockets + GPUs + node-local staging storage."""
+
+    name: str = "node"
+    cpus: tuple[CpuSpec, ...] = (CpuSpec(),)
+    gpus: tuple[GpuSpec, ...] = (GpuSpec(),)
+    nic_bandwidth: float = 25 * GB  # injection bandwidth per node, bytes/s
+    nic_latency: float = 2e-6  # seconds
+    tmpfs_bandwidth: float = 8 * GB  # effective per-process DRAM-fs bw
+    tmpfs_latency: float = 15e-6
+    local_ssd_bandwidth: float = 3 * GB
+    local_ssd_latency: float = 80e-6
+
+    def __post_init__(self) -> None:
+        if not self.cpus:
+            raise ConfigError("a node needs at least one CPU socket")
+        if self.nic_bandwidth <= 0:
+            raise ConfigError("nic_bandwidth must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return sum(c.cores for c in self.cpus)
+
+    @property
+    def total_gpu_tiles(self) -> int:
+        """Total independently schedulable GPU tiles on the node."""
+        return sum(g.tiles for g in self.gpus)
+
+    @property
+    def total_l3_bytes(self) -> int:
+        return sum(c.l3_cache_bytes for c in self.cpus)
+
+    @property
+    def total_ddr_bytes(self) -> int:
+        return sum(c.ddr_bytes for c in self.cpus)
+
+    @property
+    def total_hbm_bytes(self) -> int:
+        return sum(c.hbm_bytes for c in self.cpus)
+
+    def l3_share_per_process(self, processes: int) -> float:
+        """L3 bytes available per process with ``processes`` per socket-pair.
+
+        Follows the paper's own arithmetic (§4.1.2): one CPU's L3 (105 MB on
+        Aurora) divided by the node's process count (12) gives ~8 MB per
+        process; transfers past this size spill the cache and slow the
+        in-memory stores down.
+        """
+        if processes <= 0:
+            raise ConfigError(f"processes must be positive, got {processes}")
+        return self.cpus[0].l3_cache_bytes / processes
+
+
+@dataclass
+class Node:
+    """A node instance inside a machine: spec + identity + occupancy."""
+
+    index: int
+    spec: NodeSpec
+    group: int = 0
+    allocated_tiles: int = 0
+    labels: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}{self.index:05d}"
+
+    @property
+    def free_tiles(self) -> int:
+        return self.spec.total_gpu_tiles - self.allocated_tiles
+
+    def allocate_tiles(self, count: int) -> None:
+        """Reserve ``count`` GPU tiles; raises if the node is oversubscribed."""
+        if count < 0:
+            raise ConfigError(f"cannot allocate {count} tiles")
+        if count > self.free_tiles:
+            raise ConfigError(
+                f"{self.name}: requested {count} tiles but only "
+                f"{self.free_tiles} of {self.spec.total_gpu_tiles} free"
+            )
+        self.allocated_tiles += count
+
+    def release_tiles(self, count: int) -> None:
+        if count < 0 or count > self.allocated_tiles:
+            raise ConfigError(
+                f"{self.name}: cannot release {count} of {self.allocated_tiles} tiles"
+            )
+        self.allocated_tiles -= count

@@ -1,0 +1,62 @@
+"""Node-local staging storage model (tmpfs in DRAM, or local SSD).
+
+The defining behaviours (paper §4.1.2, Fig 3):
+
+* Very low, scale-independent latency — staging never leaves the node, so
+  performance is identical at 8 and 512 nodes.
+* Non-monotonic throughput vs. message size: per-op latency dominates for
+  small messages (throughput rises with size), and once a message exceeds
+  the per-process L3 share (~8 MB on Aurora with 12 ranks/node) the copy
+  spills the cache and effective bandwidth drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, SimulationError
+
+
+@dataclass(frozen=True)
+class NodeLocalSpec:
+    """Parameters of a node-local staging area."""
+
+    bandwidth: float = 8e9  # in-cache copy bandwidth per process, bytes/s
+    latency: float = 15e-6  # per-op fixed cost (syscalls, rename)
+    l3_share_bytes: float = 8 * 1024 * 1024
+    spill_bandwidth: float = 3e9  # DRAM-bound copy bandwidth once spilled
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.spill_bandwidth <= 0:
+            raise ConfigError("bandwidths must be positive")
+        if self.latency < 0:
+            raise ConfigError("latency must be >= 0")
+        if self.l3_share_bytes <= 0:
+            raise ConfigError("l3_share_bytes must be positive")
+
+
+class NodeLocalModel:
+    """Analytic time model for node-local staging operations."""
+
+    def __init__(self, spec: NodeLocalSpec | None = None) -> None:
+        self.spec = spec or NodeLocalSpec()
+
+    def effective_bandwidth(self, nbytes: float) -> float:
+        """Piecewise-smooth bandwidth: in-cache below the L3 share, blending
+        toward DRAM-bound as the message increasingly exceeds it."""
+        if nbytes < 0:
+            raise SimulationError("nbytes must be >= 0")
+        spec = self.spec
+        if nbytes <= spec.l3_share_bytes:
+            return spec.bandwidth
+        # Fraction of the working set that no longer fits in cache.
+        spilled = 1.0 - spec.l3_share_bytes / nbytes
+        return spec.bandwidth * (1.0 - spilled) + spec.spill_bandwidth * spilled
+
+    def op_time(self, nbytes: float) -> float:
+        """Time for one staged write or read of ``nbytes``."""
+        return self.spec.latency + nbytes / self.effective_bandwidth(nbytes)
+
+    def poll_time(self) -> float:
+        """An existence check costs one fixed latency."""
+        return self.spec.latency

@@ -1,0 +1,38 @@
+"""Configuration schema, loaders, and stochastic parameter distributions."""
+
+from repro.config.distributions import (
+    Constant,
+    Discrete,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Normal,
+    Uniform,
+)
+from repro.config.loader import (
+    load_ai_config,
+    load_config,
+    load_server_config,
+    load_simulation_config,
+    save_config,
+)
+from repro.config.schema import AIConfig, KernelConfig, ServerConfig, SimulationConfig
+
+__all__ = [
+    "AIConfig",
+    "Constant",
+    "Discrete",
+    "Distribution",
+    "Exponential",
+    "KernelConfig",
+    "LogNormal",
+    "Normal",
+    "ServerConfig",
+    "SimulationConfig",
+    "Uniform",
+    "load_ai_config",
+    "load_config",
+    "load_server_config",
+    "load_simulation_config",
+    "save_config",
+]

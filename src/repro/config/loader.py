@@ -1,0 +1,69 @@
+"""Loading and saving mini-app configurations from JSON files or dicts.
+
+The paper's Simulation class accepts "a Python dictionary or JSON file";
+:func:`load_config` accepts either, plus a path-like pointing at a ``.json``
+file on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping, Type, TypeVar, Union
+
+from repro.config.schema import AIConfig, ServerConfig, SimulationConfig
+from repro.errors import ConfigError
+
+C = TypeVar("C", SimulationConfig, AIConfig, ServerConfig)
+
+ConfigLike = Union[Mapping[str, Any], str, os.PathLike]
+
+
+def _read_json(path: Union[str, os.PathLike]) -> dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except FileNotFoundError:
+        raise ConfigError(f"config file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"config file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ConfigError(f"config file {path} must contain a JSON object")
+    return raw
+
+
+def _as_dict(source: ConfigLike, what: str) -> Mapping[str, Any]:
+    if isinstance(source, Mapping):
+        return source
+    if isinstance(source, (str, os.PathLike)):
+        return _read_json(source)
+    raise ConfigError(f"cannot load a {what} from {type(source).__name__}")
+
+
+def load_config(source: ConfigLike, cls: Type[C]) -> C:
+    """Load a typed config from a dict, JSON string path, or PathLike."""
+    return cls.from_dict(_as_dict(source, cls.__name__))
+
+
+def load_simulation_config(source: ConfigLike) -> SimulationConfig:
+    """Load a :class:`SimulationConfig` (the paper's Listing 2 format)."""
+    return load_config(source, SimulationConfig)
+
+
+def load_ai_config(source: ConfigLike) -> AIConfig:
+    """Load an :class:`AIConfig`."""
+    return load_config(source, AIConfig)
+
+
+def load_server_config(source: ConfigLike) -> ServerConfig:
+    """Load a :class:`ServerConfig`."""
+    return load_config(source, ServerConfig)
+
+
+def save_config(config: Any, path: Union[str, os.PathLike]) -> None:
+    """Write any config object exposing ``to_dict`` to a JSON file."""
+    if not hasattr(config, "to_dict"):
+        raise ConfigError(f"{type(config).__name__} has no to_dict(); cannot save")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(config.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,38 @@
+"""SimAI-Bench core: Simulation, AI, Workflow, and validation tools."""
+
+from repro.core.ai import AI
+from repro.core.component import Component
+from repro.core.export import (
+    ExternalExecutor,
+    export_spec,
+    load_spec,
+    save_spec,
+    workflow_from_spec,
+)
+from repro.core.simulation import Simulation
+from repro.core.validation import (
+    CountComparison,
+    IterationComparison,
+    compare_event_counts,
+    compare_iteration_stats,
+    timeline_similarity,
+)
+from repro.core.workflow import ComponentSpec, Workflow
+
+__all__ = [
+    "AI",
+    "Component",
+    "ComponentSpec",
+    "CountComparison",
+    "ExternalExecutor",
+    "IterationComparison",
+    "Simulation",
+    "Workflow",
+    "compare_event_counts",
+    "compare_iteration_stats",
+    "export_spec",
+    "load_spec",
+    "save_spec",
+    "timeline_similarity",
+    "workflow_from_spec",
+]

@@ -1,0 +1,109 @@
+"""Mini-app fidelity validation (paper §4.1.1, Tables 2-3, Fig 2).
+
+Three comparisons of an "original" workflow's event log against its
+mini-app replica:
+
+* event counts (timesteps + data-transport events) — Table 2;
+* iteration-time mean/std per component — Table 3;
+* timeline occupancy correlation — the quantitative core of Fig 2's
+  visual comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.telemetry.events import EventKind, EventLog
+from repro.telemetry.stats import Summary, event_counts, iteration_time_summary
+from repro.telemetry.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class CountComparison:
+    """One Table 2 row pair for a component."""
+
+    component: str
+    original_timesteps: int
+    original_transport: int
+    miniapp_timesteps: int
+    miniapp_transport: int
+
+    @property
+    def timestep_relative_error(self) -> float:
+        if self.original_timesteps == 0:
+            return 0.0 if self.miniapp_timesteps == 0 else float("inf")
+        return abs(self.miniapp_timesteps - self.original_timesteps) / self.original_timesteps
+
+    @property
+    def transport_relative_error(self) -> float:
+        if self.original_transport == 0:
+            return 0.0 if self.miniapp_transport == 0 else float("inf")
+        return abs(self.miniapp_transport - self.original_transport) / self.original_transport
+
+
+@dataclass(frozen=True)
+class IterationComparison:
+    """One Table 3 row pair for a component."""
+
+    component: str
+    original: Summary
+    miniapp: Summary
+
+    @property
+    def mean_relative_error(self) -> float:
+        if self.original.mean == 0:
+            return 0.0 if self.miniapp.mean == 0 else float("inf")
+        return abs(self.miniapp.mean - self.original.mean) / self.original.mean
+
+
+def compare_event_counts(
+    original: EventLog, miniapp: EventLog, component: str
+) -> CountComparison:
+    """Table 2 comparison for one component."""
+    orig = event_counts(original, component)
+    mini = event_counts(miniapp, component)
+    return CountComparison(
+        component=component,
+        original_timesteps=orig["timestep"],
+        original_transport=orig["data_transport"],
+        miniapp_timesteps=mini["timestep"],
+        miniapp_transport=mini["data_transport"],
+    )
+
+
+def compare_iteration_stats(
+    original: EventLog, miniapp: EventLog, component: str, kind: EventKind
+) -> IterationComparison:
+    """Table 3 comparison for one component."""
+    return IterationComparison(
+        component=component,
+        original=iteration_time_summary(original, component, kind),
+        miniapp=iteration_time_summary(miniapp, component, kind),
+    )
+
+
+def timeline_similarity(
+    original: EventLog,
+    miniapp: EventLog,
+    component: str,
+    kind: EventKind,
+    bins: int = 50,
+) -> float:
+    """Correlation of the two timelines' occupancy vectors in [−1, 1].
+
+    Both logs are binned over their own normalized duration, so the metric
+    compares the *pattern* of activity (Fig 2's point), not absolute times.
+    Near-constant occupancy vectors (steady activity, the common case for
+    compute lanes) carry no correlation signal, so they compare by
+    closeness (1 − mean absolute difference) instead.
+    """
+    if bins <= 1:
+        raise ReproError(f"need at least 2 bins, got {bins}")
+    occ_a = np.array(Timeline.from_log(original).occupancy(component, kind, bins))
+    occ_b = np.array(Timeline.from_log(miniapp).occupancy(component, kind, bins))
+    if occ_a.std() < 0.05 or occ_b.std() < 0.05:
+        return max(0.0, 1.0 - float(np.mean(np.abs(occ_a - occ_b))))
+    return float(np.corrcoef(occ_a, occ_b)[0, 1])

@@ -1,0 +1,50 @@
+"""A from-scratch discrete-event simulation (DES) engine.
+
+This subpackage provides the substrate on which the simulated Aurora
+machine (:mod:`repro.cluster`) and the simulated execution mode of
+SimAI-Bench mini-apps run. The API intentionally mirrors the classic
+process-based DES style (generators yielding events)::
+
+    from repro.des import Environment
+
+    env = Environment()
+
+    def clock(env, tick):
+        while True:
+            yield env.timeout(tick)
+            print("tick", env.now)
+
+    env.process(clock(env, 1.0))
+    env.run(until=3.5)
+"""
+
+from repro.des.core import EmptySchedule, Environment, Process
+from repro.des.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.des.resources import Container, Request, Resource, Store
+from repro.des.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "RngRegistry",
+    "Store",
+    "Timeout",
+]

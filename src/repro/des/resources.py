@@ -1,0 +1,244 @@
+"""Shared resources for the DES engine: Resource, Store, Container.
+
+These model contention points in the simulated machine: a
+:class:`Resource` with capacity ``c`` is a set of ``c`` servers with a FIFO
+request queue (used for the Lustre metadata server, network injection
+ports, ...); a :class:`Store` is a buffer of items with blocking get/put
+(used for message channels); a :class:`Container` tracks a continuous level
+(used for memory accounting).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.des.events import Event
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger_requests()
+
+    # Support "with resource.request() as req: yield req".
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request from the queue."""
+        self.resource.release(self)
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = int(capacity)
+        self._queue: list[Request] = []  # ungranted requests, FIFO
+        self._users: list[Request] = []  # granted requests
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a slot (or withdraw an ungranted request)."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                return  # releasing twice is a no-op
+        self._trigger_requests()
+
+    def _trigger_requests(self) -> None:
+        while self._queue and len(self._users) < self._capacity:
+            request = self._queue.pop(0)
+            self._users.append(request)
+            request.succeed()
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_queue.append(self)
+        store._dispatch()
+
+
+class Store:
+    """A buffer of items with blocking put/get.
+
+    ``capacity`` bounds the number of buffered items; ``float('inf')`` (the
+    default) never blocks producers. ``get(filter=...)`` retrieves the first
+    item matching a predicate (FilterStore semantics).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._put_queue: list[StorePut] = []
+        self._get_queue: list[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Deposit ``item``; triggers once buffered."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Retrieve an item (optionally the first matching ``filter``)."""
+        return StoreGet(self, filter)
+
+    @property
+    def level(self) -> int:
+        return len(self.items)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit puts while there is room.
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Satisfy gets in FIFO order; a filtered get blocks the queue
+            # only for itself (scan past non-matching getters).
+            i = 0
+            while i < len(self._get_queue):
+                get = self._get_queue[i]
+                idx = self._find(get.filter)
+                if idx is None:
+                    i += 1
+                    continue
+                item = self.items.pop(idx)
+                self._get_queue.pop(i)
+                get.succeed(item)
+                progressed = True
+
+    def _find(self, filter: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if filter is None:
+            return 0 if self.items else None
+        for idx, item in enumerate(self.items):
+            if filter(item):
+                return idx
+        return None
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._dispatch()
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A continuous level (e.g. bytes of memory) with blocking put/get."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"container capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise SimulationError(f"init level {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._put_queue: list[ContainerPut] = []
+        self._get_queue: list[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                put = self._put_queue[0]
+                if self._level + put.amount <= self.capacity:
+                    self._put_queue.pop(0)
+                    self._level += put.amount
+                    put.succeed()
+                    progressed = True
+            if self._get_queue:
+                get = self._get_queue[0]
+                if get.amount <= self._level:
+                    self._get_queue.pop(0)
+                    self._level -= get.amount
+                    get.succeed()
+                    progressed = True

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class TransportError(ReproError):
+    """A data-transport backend operation failed."""
+
+
+class KeyNotStagedError(TransportError, KeyError):
+    """A ``stage_read`` was issued for a key that has not been staged."""
+
+    def __init__(self, key: str, backend: str = "") -> None:
+        self.key = key
+        self.backend = backend
+        where = f" in backend {backend!r}" if backend else ""
+        super().__init__(f"key {key!r} is not staged{where}")
+
+
+class ServerError(TransportError):
+    """A data server failed to start, stop, or respond."""
+
+
+class WorkflowError(ReproError):
+    """Workflow construction or execution failed."""
+
+
+class DependencyCycleError(WorkflowError):
+    """The component dependency graph contains a cycle."""
+
+
+class KernelError(ReproError):
+    """A mini-app kernel was misconfigured or failed to execute."""
+
+
+class DeviceError(KernelError):
+    """An operation referenced an unknown or incompatible device."""
+
+
+class MPIError(ReproError):
+    """An MPI-like communicator operation failed."""
+
+
+class MLError(ReproError):
+    """A machine-learning component failed (shape mismatch, bad config...)."""

@@ -1,0 +1,56 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments all [--quick]
+    python -m repro.experiments fig3 fig6 [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=(
+            "experiment ids or 'all' (paper artifacts: "
+            f"{', '.join(ALL_EXPERIMENTS)}; extensions: "
+            f"{', '.join(EXTENSION_EXPERIMENTS)})"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down iteration counts (shapes preserved)",
+    )
+    args = parser.parse_args(argv)
+
+    registry = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+    names = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; choose from {list(registry)}")
+
+    for name in names:
+        start = time.perf_counter()
+        result = registry[name].run(quick=args.quick)
+        elapsed = time.perf_counter() - start
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

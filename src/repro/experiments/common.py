@@ -1,0 +1,88 @@
+"""Shared infrastructure for the per-table/figure experiment drivers.
+
+Every driver follows one contract: a ``run(quick=False)`` function
+returning a result dataclass with (a) the measured series and (b) a
+``render()`` method printing the same rows/series the paper reports.
+``quick=True`` shrinks iteration counts for smoke tests and pytest
+benchmarks; the shapes (who wins, crossovers) are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.events import EventKind, EventLog
+from repro.telemetry.stats import mean_throughput, mean_transport_time
+from repro.transport.models import (
+    MB,
+    BackendModel,
+    TransportOpContext,
+    aurora_backend_models,
+)
+from repro.workloads.patterns import OneToOneConfig, run_one_to_one
+
+#: The paper's message-size sweep: 0.4 MB to 32 MB (§4.1.2).
+SIZE_SWEEP_BYTES = [0.4 * MB, 1 * MB, 2 * MB, 4 * MB, 8 * MB, 16 * MB, 32 * MB]
+SIZE_SWEEP_MB = [s / MB for s in SIZE_SWEEP_BYTES]
+
+#: Backends in the paper's plotting order.
+PATTERN1_BACKENDS = ["node-local", "dragon", "redis", "filesystem"]
+PATTERN2_BACKENDS = ["redis", "dragon", "filesystem"]  # node-local impossible (§4.2)
+
+PROCESSES_PER_NODE = 12  # 6 simulation + 6 AI ranks
+
+
+def pattern1_context(n_nodes: int) -> TransportOpContext:
+    """Scale context for the co-located one-to-one pattern."""
+    return TransportOpContext(
+        local=True,
+        clients_per_server=PROCESSES_PER_NODE,
+        concurrent_clients=n_nodes * PROCESSES_PER_NODE,
+    )
+
+
+def backend_models() -> dict[str, BackendModel]:
+    return aurora_backend_models(processes_per_node=PROCESSES_PER_NODE)
+
+
+@dataclass(frozen=True)
+class TransportMeasurement:
+    """Per-process transport statistics from one pattern run."""
+
+    read_throughput: float  # bytes/s, averaged over events (paper's metric)
+    write_throughput: float
+    read_time: float  # mean seconds per message
+    write_time: float
+    sim_iter_time: float
+    ai_iter_time: float
+
+
+def measure_one_to_one(
+    model: BackendModel,
+    nbytes: float,
+    n_nodes: int,
+    train_iterations: int = 2500,
+    seed: int = 0,
+) -> TransportMeasurement:
+    """Run pattern 1 with one backend/size/scale; extract Fig 3/4 metrics."""
+    config = OneToOneConfig(
+        train_iterations=train_iterations,
+        snapshot_nbytes=nbytes,
+        ranks_per_component=6,
+        seed=seed,
+    )
+    result = run_one_to_one(model, config, ctx=pattern1_context(n_nodes))
+    return measurement_from_log(result.log)
+
+
+def measurement_from_log(log: EventLog) -> TransportMeasurement:
+    from repro.telemetry.stats import iteration_time_summary
+
+    return TransportMeasurement(
+        read_throughput=mean_throughput(log, EventKind.READ),
+        write_throughput=mean_throughput(log, EventKind.WRITE),
+        read_time=mean_transport_time(log, EventKind.READ),
+        write_time=mean_transport_time(log, EventKind.WRITE),
+        sim_iter_time=iteration_time_summary(log, "sim", EventKind.COMPUTE).mean,
+        ai_iter_time=iteration_time_summary(log, "train", EventKind.TRAIN).mean,
+    )

@@ -1,0 +1,57 @@
+"""Extension experiment — latency-limited coupled inference.
+
+Not a paper artifact: quantifies the intro's claim that inference
+coupling is latency-limited ("the cost of data transfer dominating over
+the computational one", §1) across the backends, using the blocking
+round-trip pattern of :mod:`repro.workloads.inference`.
+
+Expected outcome: at inference-sized messages (~0.1 MB requests) the
+round trip is dominated by backend latency, so the ordering follows
+per-op latency (node-local < dragon < redis < filesystem) — a different
+winner profile than the bandwidth-bound training patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_table
+from repro.experiments.common import backend_models, pattern1_context
+from repro.transport.models import StreamingBackendModel
+from repro.workloads.inference import InferenceLoopConfig, run_inference_loop
+
+
+@dataclass
+class InferenceExtResult:
+    #: backend -> (mean round trip s, transport fraction)
+    rows: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        table_rows = [
+            (name, rt * 1e3, frac * 100.0)
+            for name, (rt, frac) in sorted(self.rows.items(), key=lambda kv: kv[1][0])
+        ]
+        return format_table(
+            ["backend", "round trip (ms)", "transport share of loop (%)"],
+            table_rows,
+            title="Extension: blocking inference round trip (0.1 MB requests)",
+        )
+
+
+def run(quick: bool = False) -> InferenceExtResult:
+    iterations = 50 if quick else 500
+    config = InferenceLoopConfig(iterations=iterations)
+    models = dict(backend_models())
+    models["streaming"] = StreamingBackendModel()
+    result = InferenceExtResult()
+    ctx = pattern1_context(8)
+    for name, model in models.items():
+        res = run_inference_loop(model, config, ctx=ctx)
+        result.rows[name] = (res.mean_round_trip, res.transport_fraction)
+    return result
+
+
+if __name__ == "__main__":
+    import sys
+
+    print(run(quick="--quick" in sys.argv).render())

@@ -1,0 +1,84 @@
+"""Fig 3 — Pattern 1 read/write throughput vs array size, 8 and 512 nodes.
+
+For every backend and message size in the paper's sweep (0.4-32 MB), runs
+the co-located one-to-one mini-app and reports the per-process read and
+write throughput averaged over all processes and events.
+
+Shapes to match (§4.1.2):
+
+* in-memory backends (node-local, dragon, redis): non-monotonic — rising
+  with size, dipping past the ~8 MB per-process L3 share;
+* node-local ≳ dragon > redis;
+* filesystem: monotonic rise with size; collapses at 512 nodes from MDS
+  metadata contention while the others are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_series_table
+from repro.experiments.common import (
+    PATTERN1_BACKENDS,
+    SIZE_SWEEP_BYTES,
+    SIZE_SWEEP_MB,
+    backend_models,
+    measure_one_to_one,
+)
+
+SCALES = (8, 512)
+
+
+@dataclass
+class Fig3Result:
+    #: throughput[scale][backend] = [bytes/s per size]
+    read: dict[int, dict[str, list[float]]] = field(default_factory=dict)
+    write: dict[int, dict[str, list[float]]] = field(default_factory=dict)
+    sizes_mb: list[float] = field(default_factory=lambda: list(SIZE_SWEEP_MB))
+
+    def render(self) -> str:
+        blocks = []
+        for scale in sorted(self.read):
+            for metric, data in (("read", self.read), ("write", self.write)):
+                series = {
+                    backend: [v / 1e9 for v in data[scale][backend]]
+                    for backend in data[scale]
+                }
+                blocks.append(
+                    format_series_table(
+                        "size (MB)",
+                        self.sizes_mb,
+                        series,
+                        title=(
+                            f"Figure 3 ({'a' if scale == 8 else 'b'}): {metric} "
+                            f"throughput per process (GB/s) at {scale} nodes"
+                        ),
+                    )
+                )
+        return "\n\n".join(blocks)
+
+
+def run(quick: bool = False) -> Fig3Result:
+    iterations = 300 if quick else 2500
+    models = backend_models()
+    result = Fig3Result()
+    for scale in SCALES:
+        result.read[scale] = {}
+        result.write[scale] = {}
+        for backend in PATTERN1_BACKENDS:
+            reads, writes = [], []
+            for nbytes in SIZE_SWEEP_BYTES:
+                m = measure_one_to_one(
+                    models[backend], nbytes, n_nodes=scale, train_iterations=iterations
+                )
+                reads.append(m.read_throughput)
+                writes.append(m.write_throughput)
+            result.read[scale][backend] = reads
+            result.write[scale][backend] = writes
+    return result
+
+
+if __name__ == "__main__":
+    import sys
+
+    print(run(quick="--quick" in sys.argv).render())

@@ -1,0 +1,86 @@
+"""Fig 5 — Pattern 2 at two nodes: non-local read, local write throughput.
+
+One simulation component and one AI component on different nodes. The
+simulation stages locally; the AI reads non-locally. The node-local
+backend is excluded (impossible in this pattern) as in the paper.
+
+Shapes to match (§4.2):
+
+* redis: reasonable local write, poor non-local read;
+* dragon: high throughput both ways, read peaking near 10 MB then
+  declining;
+* filesystem: monotonic rise with size, approaching dragon at the largest
+  sizes;
+* local-write profiles resemble Fig 3's write panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_series_table
+from repro.experiments.common import (
+    PATTERN2_BACKENDS,
+    SIZE_SWEEP_BYTES,
+    SIZE_SWEEP_MB,
+    backend_models,
+)
+from repro.telemetry.events import EventKind
+from repro.telemetry.stats import mean_throughput
+from repro.transport.models import TransportOpContext
+from repro.workloads.patterns import ManyToOneConfig, run_many_to_one
+
+
+@dataclass
+class Fig5Result:
+    read: dict[str, list[float]] = field(default_factory=dict)  # non-local read
+    write: dict[str, list[float]] = field(default_factory=dict)  # local write
+    sizes_mb: list[float] = field(default_factory=lambda: list(SIZE_SWEEP_MB))
+
+    def render(self) -> str:
+        blocks = []
+        for label, data in (("(a) non-local read", self.read), ("(b) local write", self.write)):
+            series = {b: [v / 1e9 for v in vals] for b, vals in data.items()}
+            blocks.append(
+                format_series_table(
+                    "size (MB)",
+                    self.sizes_mb,
+                    series,
+                    title=f"Figure 5 {label} throughput (GB/s), 2-node Pattern 2",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(quick: bool = False) -> Fig5Result:
+    iterations = 300 if quick else 2500
+    models = backend_models()
+    result = Fig5Result()
+    for backend in PATTERN2_BACKENDS:
+        reads, writes = [], []
+        for nbytes in SIZE_SWEEP_BYTES:
+            config = ManyToOneConfig(
+                n_simulations=1,
+                train_iterations=iterations,
+                snapshot_nbytes=nbytes,
+                reader_lanes=1,
+            )
+            res = run_many_to_one(
+                models[backend],
+                config,
+                write_ctx=TransportOpContext(local=True, clients_per_server=12),
+                read_ctx=TransportOpContext(
+                    local=False, clients_per_server=12, fan_in=1, concurrent_clients=2
+                ),
+            )
+            reads.append(mean_throughput(res.log, EventKind.READ))
+            writes.append(mean_throughput(res.log, EventKind.WRITE))
+        result.read[backend] = reads
+        result.write[backend] = writes
+    return result
+
+
+if __name__ == "__main__":
+    import sys
+
+    print(run(quick="--quick" in sys.argv).render())

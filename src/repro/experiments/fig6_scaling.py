@@ -1,0 +1,106 @@
+"""Fig 6 — Pattern 2 training runtime per iteration vs data size, scaled.
+
+One simulation per node, a single AI trainer on its own node; the trainer
+blocks until each update has arrived from every simulation. Runtime per
+iteration = total training-component execution time / iterations, so it
+folds compute *and* transport together, as the paper specifies.
+
+Shapes to match (§4.2):
+
+* 8 nodes: runtime grows with size for all backends; redis worst; dragon
+  and filesystem about equal;
+* 128 nodes: redis still worst; dragon substantially slower than the
+  filesystem below ~10 MB (incast latency dominating), comparable above;
+  filesystem is the best overall choice for this pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_series_table
+from repro.experiments.common import (
+    PATTERN2_BACKENDS,
+    SIZE_SWEEP_BYTES,
+    SIZE_SWEEP_MB,
+    backend_models,
+)
+from repro.telemetry.stats import runtime_per_iteration
+from repro.transport.models import TransportOpContext
+from repro.workloads.patterns import ManyToOneConfig, run_many_to_one
+
+SCALES = (8, 128)
+
+
+@dataclass
+class Fig6Result:
+    #: runtime[scale][backend] = seconds/iteration per size
+    runtime: dict[int, dict[str, list[float]]] = field(default_factory=dict)
+    sizes_mb: list[float] = field(default_factory=lambda: list(SIZE_SWEEP_MB))
+
+    def render(self) -> str:
+        blocks = []
+        for scale in sorted(self.runtime):
+            blocks.append(
+                format_series_table(
+                    "size (MB)",
+                    self.sizes_mb,
+                    self.runtime[scale],
+                    title=(
+                        f"Figure 6 ({'a' if scale == 8 else 'b'}): training runtime "
+                        f"per iteration (s) at {scale} nodes"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(quick: bool = False) -> Fig6Result:
+    iterations = 200 if quick else 1000
+    models = backend_models()
+    result = Fig6Result()
+    for scale in SCALES:
+        n_sims = scale - 1  # one node reserved for the trainer
+        result.runtime[scale] = {}
+        for backend in PATTERN2_BACKENDS:
+            runtimes = []
+            for nbytes in SIZE_SWEEP_BYTES:
+                config = ManyToOneConfig(
+                    n_simulations=n_sims,
+                    train_iterations=iterations,
+                    snapshot_nbytes=nbytes,
+                )
+                # Each pattern-2 component stages ONE array per interval
+                # (§4.2), so the staging-client population is one writer per
+                # simulation node plus the trainer's reader lanes — unlike
+                # pattern 1, where every rank stages its own data.
+                n_clients = n_sims + min(12, n_sims)
+                res = run_many_to_one(
+                    models[backend],
+                    config,
+                    write_ctx=TransportOpContext(
+                        local=True,
+                        clients_per_server=12,
+                        concurrent_clients=n_clients,
+                    ),
+                    read_ctx=TransportOpContext(
+                        local=False,
+                        clients_per_server=12,
+                        fan_in=n_sims,
+                        concurrent_peers=min(12, n_sims),
+                        concurrent_clients=n_clients,
+                    ),
+                )
+                runtimes.append(
+                    runtime_per_iteration(
+                        res.log.filter(component="train"), "train", iterations
+                    )
+                )
+            result.runtime[scale][backend] = runtimes
+    return result
+
+
+if __name__ == "__main__":
+    import sys
+
+    print(run(quick="--quick" in sys.argv).render())

@@ -1,0 +1,42 @@
+"""Mini-app kernels (Table 1): compute, IO, collectives, copies.
+
+Importing this package registers every built-in kernel. Add custom
+kernels with :func:`register_kernel`::
+
+    from repro.kernels import Kernel, KernelResult, register_kernel
+
+    @register_kernel
+    class MyStencil(Kernel):
+        name = "MyStencil"
+        category = "compute"
+        def setup(self): ...
+        def run_once(self): return KernelResult(...)
+"""
+
+from repro.kernels import collective, compute, copy, io  # noqa: F401 - registration
+from repro.kernels.base import (
+    Kernel,
+    KernelContext,
+    KernelExecutor,
+    KernelResult,
+    kernel_class,
+    list_kernels,
+    make_kernel,
+    register_kernel,
+)
+from repro.kernels.device import Device, DeviceArray, TransferModel, device_from_name
+
+__all__ = [
+    "Device",
+    "DeviceArray",
+    "Kernel",
+    "KernelContext",
+    "KernelExecutor",
+    "KernelResult",
+    "TransferModel",
+    "device_from_name",
+    "kernel_class",
+    "list_kernels",
+    "make_kernel",
+    "register_kernel",
+]

@@ -1,0 +1,200 @@
+"""Compute kernels from Table 1.
+
+Every kernel allocates its working set at setup (on the configured device)
+and performs one operation per ``run_once``, reporting bytes touched and
+floating-point operations so analyses can reason about arithmetic
+intensity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.kernels.base import Kernel, KernelResult, register_kernel
+
+
+def _shape2d(data_size: tuple[int, ...], kernel: str) -> tuple[int, int]:
+    if len(data_size) == 1:
+        return (int(data_size[0]), int(data_size[0]))
+    if len(data_size) == 2:
+        return (int(data_size[0]), int(data_size[1]))
+    raise KernelError(f"{kernel}: data_size must be 1-D or 2-D, got {data_size}")
+
+
+def _length(data_size: tuple[int, ...]) -> int:
+    n = 1
+    for d in data_size:
+        n *= int(d)
+    return n
+
+
+@register_kernel
+class MatMulSimple2D(Kernel):
+    """Simple 2D matrix multiplication: ``C = A @ B`` with square-ish A, B.
+
+    The kernel the paper uses to emulate the nekRS iteration (Listing 2).
+    """
+
+    name = "MatMulSimple2D"
+    category = "compute"
+
+    def setup(self) -> None:
+        m, n = _shape2d(self.data_size, self.name)
+        rng = self.ctx.rng
+        self.a, _ = self.ctx.device.from_host(rng.random((m, n)))
+        self.b, _ = self.ctx.device.from_host(rng.random((n, m)))
+
+    def run_once(self) -> KernelResult:
+        self.a.same_device(self.b)
+        c = self.a.data @ self.b.data
+        m, n = self.a.data.shape
+        return KernelResult(
+            bytes_processed=self.a.nbytes + self.b.nbytes + c.nbytes,
+            flops=2.0 * m * n * c.shape[1],
+        )
+
+
+@register_kernel
+class MatMulGeneral(Kernel):
+    """General matrix multiplication (GEMM): ``C = alpha*A@B + beta*C``."""
+
+    name = "MatMulGeneral"
+    category = "compute"
+
+    def setup(self) -> None:
+        m, n = _shape2d(self.data_size, self.name)
+        k = int(self.config.params.get("k", n))
+        self.alpha = float(self.config.params.get("alpha", 1.0))
+        self.beta = float(self.config.params.get("beta", 0.0))
+        rng = self.ctx.rng
+        self.a, _ = self.ctx.device.from_host(rng.random((m, k)))
+        self.b, _ = self.ctx.device.from_host(rng.random((k, n)))
+        self.c, _ = self.ctx.device.from_host(np.zeros((m, n)))
+
+    def run_once(self) -> KernelResult:
+        self.a.same_device(self.b)
+        self.b.same_device(self.c)
+        np.multiply(self.c.data, self.beta, out=self.c.data)
+        self.c.data += self.alpha * (self.a.data @ self.b.data)
+        m, k = self.a.data.shape
+        n = self.b.data.shape[1]
+        return KernelResult(
+            bytes_processed=self.a.nbytes + self.b.nbytes + 2 * self.c.nbytes,
+            flops=2.0 * m * n * k + 3.0 * m * n,
+        )
+
+
+@register_kernel
+class FFT(Kernel):
+    """Fast Fourier transform over the configured array."""
+
+    name = "FFT"
+    category = "compute"
+
+    def setup(self) -> None:
+        rng = self.ctx.rng
+        self.x, _ = self.ctx.device.from_host(rng.random(self.data_size))
+
+    def run_once(self) -> KernelResult:
+        out = np.fft.fftn(self.x.data)
+        n = self.x.data.size
+        return KernelResult(
+            bytes_processed=self.x.nbytes + out.nbytes,
+            flops=5.0 * n * max(1.0, np.log2(max(n, 2))),
+        )
+
+
+@register_kernel
+class AXPY(Kernel):
+    """Scalar-vector multiply-add: ``y = a*x + y``."""
+
+    name = "AXPY"
+    category = "compute"
+
+    def setup(self) -> None:
+        n = _length(self.data_size)
+        self.alpha = float(self.config.params.get("alpha", 2.0))
+        rng = self.ctx.rng
+        self.x, _ = self.ctx.device.from_host(rng.random(n))
+        self.y, _ = self.ctx.device.from_host(rng.random(n))
+
+    def run_once(self) -> KernelResult:
+        self.x.same_device(self.y)
+        self.y.data += self.alpha * self.x.data
+        n = self.x.data.size
+        return KernelResult(bytes_processed=3.0 * 8 * n, flops=2.0 * n)
+
+
+@register_kernel
+class InplaceCompute(Kernel):
+    """In-place elementwise computation ``x = f(x)``.
+
+    ``params.fn`` selects the function: sin (default), cos, exp-decay,
+    sqrt-abs, square-mod — all chosen to keep values bounded across
+    unbounded repetition.
+    """
+
+    name = "InplaceCompute"
+    category = "compute"
+
+    _FUNCS = {
+        "sin": lambda x: np.sin(x, out=x),
+        "cos": lambda x: np.cos(x, out=x),
+        "expdecay": lambda x: np.multiply(x, 0.5, out=x),
+        "sqrtabs": lambda x: np.sqrt(np.abs(x, out=x), out=x),
+        "squaremod": lambda x: np.mod(np.multiply(x, x, out=x), 1.0, out=x),
+    }
+
+    def setup(self) -> None:
+        fn_name = str(self.config.params.get("fn", "sin"))
+        try:
+            self.fn = self._FUNCS[fn_name]
+        except KeyError:
+            raise KernelError(
+                f"InplaceCompute: unknown fn {fn_name!r}; options {sorted(self._FUNCS)}"
+            ) from None
+        self.x, _ = self.ctx.device.from_host(self.ctx.rng.random(self.data_size))
+
+    def run_once(self) -> KernelResult:
+        self.fn(self.x.data)
+        n = self.x.data.size
+        return KernelResult(bytes_processed=2.0 * 8 * n, flops=float(n))
+
+
+@register_kernel
+class GenerateRandomNumber(Kernel):
+    """Fills an array with fresh random numbers."""
+
+    name = "GenerateRandomNumber"
+    category = "compute"
+
+    def setup(self) -> None:
+        self.out, _ = self.ctx.device.from_host(np.empty(self.data_size))
+
+    def run_once(self) -> KernelResult:
+        self.out.data[...] = self.ctx.rng.random(self.out.data.shape)
+        return KernelResult(bytes_processed=float(self.out.nbytes), flops=0.0)
+
+
+@register_kernel
+class ScatterAdd(Kernel):
+    """Scatters and adds values into an array: ``target[idx] += values``."""
+
+    name = "ScatterAdd"
+    category = "compute"
+
+    def setup(self) -> None:
+        n = _length(self.data_size)
+        rng = self.ctx.rng
+        self.target, _ = self.ctx.device.from_host(np.zeros(n))
+        values = rng.random(n)
+        indices = rng.integers(0, n, size=n)
+        self.values, _ = self.ctx.device.from_host(values)
+        self.indices, _ = self.ctx.device.from_host(indices)
+
+    def run_once(self) -> KernelResult:
+        self.target.same_device(self.values)
+        np.add.at(self.target.data, self.indices.data, self.values.data)
+        n = self.target.data.size
+        return KernelResult(bytes_processed=3.0 * 8 * n, flops=float(n))

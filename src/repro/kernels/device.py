@@ -1,0 +1,122 @@
+"""Device abstraction: CPU and emulated GPU ("xpu") execution targets.
+
+Aurora's Intel Data Center GPU Max tiles are not available here, so the
+``xpu`` device *emulates* one: arrays live in numpy either way, but device
+residency is tracked, host<->device copies are explicit (as with dpnp/CuPy)
+and charged against a bandwidth/latency model, and mixing arrays from
+different devices is an error — the same discipline real GPU code needs.
+
+The paper's kernels only need to reproduce iteration *timings* and data
+volumes (§4.1.1), so a residency-tracking emulation preserves exactly the
+behaviours being benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Host<->device copy cost: latency + bytes/bandwidth."""
+
+    bandwidth: float = 32e9  # bytes/s (PCIe-ish)
+    latency: float = 10e-6
+
+    def time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise DeviceError(f"negative copy size {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+class Device:
+    """An execution target: ``cpu`` or an emulated ``xpu`` tile."""
+
+    def __init__(
+        self,
+        kind: str = "cpu",
+        index: int = 0,
+        transfer: TransferModel | None = None,
+    ) -> None:
+        if kind not in ("cpu", "xpu"):
+            raise DeviceError(f"unknown device kind {kind!r}")
+        self.kind = kind
+        self.index = index
+        self.transfer = transfer or TransferModel()
+        self.bytes_to_device = 0.0
+        self.bytes_to_host = 0.0
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "xpu"
+
+    def __repr__(self) -> str:
+        return f"Device({self.kind}:{self.index})"
+
+    # -- array management -----------------------------------------------------
+    def empty(self, shape, dtype=np.float64) -> "DeviceArray":
+        return DeviceArray(np.empty(shape, dtype=dtype), self)
+
+    def zeros(self, shape, dtype=np.float64) -> "DeviceArray":
+        return DeviceArray(np.zeros(shape, dtype=dtype), self)
+
+    def from_host(self, array: np.ndarray) -> tuple["DeviceArray", float]:
+        """Copy a host array onto this device; returns (array, modeled time).
+
+        On the CPU device the "copy" is free (data is already host-resident).
+        """
+        array = np.asarray(array)
+        if not self.is_gpu:
+            return DeviceArray(array, self), 0.0
+        self.bytes_to_device += array.nbytes
+        return DeviceArray(array.copy(), self), self.transfer.time(array.nbytes)
+
+    def to_host(self, darray: "DeviceArray") -> tuple[np.ndarray, float]:
+        """Copy a device array back to the host; returns (array, modeled time)."""
+        if darray.device is not self:
+            raise DeviceError(f"{darray} does not live on {self}")
+        if not self.is_gpu:
+            return darray.data, 0.0
+        self.bytes_to_host += darray.data.nbytes
+        return darray.data.copy(), self.transfer.time(darray.data.nbytes)
+
+
+class DeviceArray:
+    """A numpy array tagged with the device it lives on."""
+
+    __slots__ = ("data", "device")
+
+    def __init__(self, data: np.ndarray, device: Device) -> None:
+        self.data = data
+        self.device = device
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def same_device(self, other: "DeviceArray") -> None:
+        """Raise unless both arrays live on the same device."""
+        if self.device is not other.device:
+            raise DeviceError(
+                f"arrays live on different devices: {self.device} vs {other.device}"
+            )
+
+    def __repr__(self) -> str:
+        return f"DeviceArray(shape={self.data.shape}, device={self.device})"
+
+
+def device_from_name(name: str, index: int = 0) -> Device:
+    """Build a device from a config string (``"cpu"`` or ``"xpu"``)."""
+    return Device(kind=name, index=index)

@@ -1,0 +1,147 @@
+"""Data pipelines for online training.
+
+:class:`ReplayDataset` is the in-memory pool a coupled AI component trains
+from: the simulation keeps staging new snapshots, the trainer keeps
+mixing them in (the paper's "update its data loader" step, §4.1), and
+batches are sampled uniformly from the current pool.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+class ReplayDataset:
+    """A bounded pool of (x, y) samples supporting online refresh."""
+
+    def __init__(self, capacity: int = 100_000, rng: Optional[np.random.Generator] = None) -> None:
+        if capacity <= 0:
+            raise MLError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.rng = rng or np.random.default_rng(0)
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self.updates = 0
+
+    def __len__(self) -> int:
+        return 0 if self._x is None else self._x.shape[0]
+
+    def add(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Mix new samples into the pool, evicting the oldest past capacity."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        if x.shape[0] != y.shape[0]:
+            raise MLError(f"x/y row mismatch: {x.shape[0]} vs {y.shape[0]}")
+        if self._x is None:
+            self._x, self._y = x.copy(), y.copy()
+        else:
+            if x.shape[1] != self._x.shape[1] or y.shape[1] != self._y.shape[1]:
+                raise MLError(
+                    f"feature mismatch: pool ({self._x.shape[1]},{self._y.shape[1]}) "
+                    f"vs new ({x.shape[1]},{y.shape[1]})"
+                )
+            self._x = np.concatenate([self._x, x])
+            self._y = np.concatenate([self._y, y])
+        if self._x.shape[0] > self.capacity:
+            self._x = self._x[-self.capacity :]
+            self._y = self._y[-self.capacity :]
+        self.updates += 1
+
+    def sample(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Uniformly sample a batch (with replacement when pool is small)."""
+        if len(self) == 0:
+            raise MLError("cannot sample from an empty dataset")
+        if batch_size <= 0:
+            raise MLError(f"batch_size must be positive, got {batch_size}")
+        replace = batch_size > len(self)
+        idx = self.rng.choice(len(self), size=batch_size, replace=replace)
+        return self._x[idx], self._y[idx]
+
+
+class SnapshotDataset:
+    """A bounded pool of whole (x, y) snapshots for mesh-structured models.
+
+    GNN surrogates train on complete mesh snapshots (node ordering is the
+    graph structure), so rows cannot be shuffled across snapshots the way
+    :class:`ReplayDataset` does. Snapshots are kept intact; sampling
+    returns one uniformly at random.
+    """
+
+    def __init__(self, capacity: int = 256, rng: Optional[np.random.Generator] = None) -> None:
+        if capacity <= 0:
+            raise MLError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.rng = rng or np.random.default_rng(0)
+        self._snapshots: list[tuple[np.ndarray, np.ndarray]] = []
+        self.updates = 0
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def add(self, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise MLError(
+                f"snapshots must be 2-D with matching node counts, got "
+                f"{x.shape} / {y.shape}"
+            )
+        if self._snapshots:
+            x0, y0 = self._snapshots[0]
+            if x.shape != x0.shape or y.shape != y0.shape:
+                raise MLError(
+                    f"snapshot shape mismatch: pool {x0.shape}/{y0.shape} vs "
+                    f"new {x.shape}/{y.shape}"
+                )
+        self._snapshots.append((x.copy(), y.copy()))
+        if len(self._snapshots) > self.capacity:
+            self._snapshots.pop(0)
+        self.updates += 1
+
+    def sample(self) -> tuple[np.ndarray, np.ndarray]:
+        """One uniformly chosen snapshot."""
+        if not self._snapshots:
+            raise MLError("cannot sample from an empty snapshot pool")
+        idx = int(self.rng.integers(0, len(self._snapshots)))
+        return self._snapshots[idx]
+
+
+class DataLoader:
+    """Iterates batches from a :class:`ReplayDataset` forever."""
+
+    def __init__(self, dataset: ReplayDataset, batch_size: int) -> None:
+        if batch_size <= 0:
+            raise MLError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield self.dataset.sample(self.batch_size)
+
+
+def synthetic_snapshot(
+    n_samples: int,
+    input_dim: int,
+    output_dim: int,
+    rng: np.random.Generator,
+    noise: float = 0.05,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a (x, y) snapshot with a smooth learnable mapping.
+
+    Used by the Simulation component to stage "flow field" training data:
+    y is a fixed random linear map of sin(x) plus noise, so the AI
+    component's loss actually decreases during online training.
+    """
+    if min(n_samples, input_dim, output_dim) <= 0:
+        raise MLError("n_samples, input_dim, output_dim must be positive")
+    x = rng.uniform(-1.0, 1.0, size=(n_samples, input_dim))
+    # Derive the map from a fixed seed so all snapshots share one ground truth.
+    map_rng = np.random.default_rng(12345)
+    w = map_rng.normal(0.0, 1.0 / np.sqrt(input_dim), size=(input_dim, output_dim))
+    y = np.sin(x) @ w + noise * rng.normal(size=(n_samples, output_dim))
+    return x, y

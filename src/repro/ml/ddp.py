@@ -1,0 +1,105 @@
+"""Distributed data parallel (DDP) training.
+
+Mirrors ``torch.nn.parallel.DistributedDataParallel`` semantics over our
+MPI layer: every rank holds a model replica; after the local backward
+pass, gradients are averaged across ranks with an allreduce, so replicas
+take identical optimizer steps and stay bit-for-bit synchronized (given
+identical initial parameters, which :meth:`DistributedDataParallel.
+broadcast_parameters` establishes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.layers import Sequential
+from repro.ml.loss import Loss, MSELoss
+from repro.mpi.api import SUM, Communicator
+
+
+class DistributedDataParallel:
+    """Wraps a model replica with gradient-averaging collectives."""
+
+    def __init__(self, model: Sequential, comm: Optional[Communicator] = None) -> None:
+        self.model = model
+        self.comm = comm
+        if comm is not None and comm.size > 1:
+            self.broadcast_parameters()
+
+    @property
+    def world_size(self) -> int:
+        return 1 if self.comm is None else self.comm.size
+
+    def broadcast_parameters(self, root: int = 0) -> None:
+        """Copy rank ``root``'s parameters onto every replica."""
+        if self.comm is None:
+            return
+        for name, _ in list(self.model.all_grads()):
+            param = self.model.get_param(name)
+            synced = self.comm.bcast(param, root=root)
+            self.model.set_param(name, np.array(synced, copy=True))
+
+    def allreduce_gradients(self) -> float:
+        """Average gradients across ranks; returns bytes communicated."""
+        if self.comm is None or self.comm.size == 1:
+            return 0.0
+        nbytes = 0.0
+        for name, grad in list(self.model.all_grads()):
+            total = self.comm.allreduce(grad, op=SUM)
+            self.model.set_grad(name, np.asarray(total) / self.comm.size)
+            nbytes += grad.nbytes
+        return nbytes
+
+    def gradient_nbytes(self) -> float:
+        """Bytes of gradient data one allreduce moves (the DDP payload)."""
+        return float(sum(g.nbytes for _, g in self.model.all_grads()))
+
+    def train_step(
+        self,
+        optimizer,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss_fn: Optional[Loss] = None,
+    ) -> float:
+        """One synchronized step; returns the *global mean* loss."""
+        loss_fn = loss_fn or MSELoss()
+        optimizer.zero_grad()
+        pred = self.model(x)
+        value, grad = loss_fn(pred, y)
+        self.model.backward(grad)
+        self.allreduce_gradients()
+        optimizer.step()
+        if self.comm is not None and self.comm.size > 1:
+            value = self.comm.allreduce(value, op=SUM) / self.comm.size
+        return value
+
+    def check_synchronized(self, atol: float = 0.0) -> bool:
+        """True when all replicas hold identical parameters (collective)."""
+        if self.comm is None or self.comm.size == 1:
+            return True
+        for name, _ in self.model.all_grads():
+            param = self.model.get_param(name)
+            reference = self.comm.bcast(param, root=0)
+            if not np.allclose(param, reference, atol=atol, rtol=0.0):
+                return False
+        return True
+
+
+def shard_batch(x: np.ndarray, y: np.ndarray, comm: Optional[Communicator]) -> tuple[np.ndarray, np.ndarray]:
+    """Split a global batch into this rank's contiguous shard.
+
+    Ranks receive near-equal shards; the batch must be at least world-size
+    rows so no rank is left empty (that would desynchronize batch-norm-free
+    DDP only silently, so we raise instead).
+    """
+    if comm is None or comm.size == 1:
+        return x, y
+    n = x.shape[0]
+    if n < comm.size:
+        raise MLError(f"global batch {n} smaller than world size {comm.size}")
+    bounds = np.linspace(0, n, comm.size + 1, dtype=int)
+    lo, hi = bounds[comm.rank], bounds[comm.rank + 1]
+    return x[lo:hi], y[lo:hi]

@@ -1,0 +1,180 @@
+"""Graph neural networks (the paper's future-work AI architecture).
+
+The paper's Pattern-1 science case couples nekRS with a *graph* neural
+network over the CFD mesh (Barwey et al.), but SimAI-Bench's AI class
+initially supports only feed-forward models; GNNs are named future work
+(§3.4, §5). This module adds them:
+
+* :class:`GraphConv` — a GCN layer ``X' = act(Â X W)`` over a fixed
+  normalized adjacency ``Â = D^{-1/2}(A + I)D^{-1/2}``, with full
+  backprop through the aggregation;
+* :func:`build_gnn` — stacks GraphConv layers into a node-regression
+  model (the surrogate's flow-field forecasting shape);
+* :func:`mesh_graph` — structured 2-D mesh adjacency, the topology a
+  spectral-element CFD surrogate trains over;
+* :class:`HaloExchangeModel` — the communication cost a *distributed*
+  mesh GNN adds per training step (each partition exchanges its halo
+  nodes every layer), so sim-mode AI components can model GNN
+  communication the way the paper's DDP allreduce is modeled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.layers import ACTIVATIONS, Module, Sequential
+
+
+def normalized_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric GCN normalization with self-loops."""
+    a = np.asarray(adjacency, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise MLError(f"adjacency must be square, got {a.shape}")
+    if not np.allclose(a, a.T):
+        raise MLError("adjacency must be symmetric")
+    a_hat = a + np.eye(a.shape[0])
+    degree = a_hat.sum(axis=1)
+    d_inv_sqrt = 1.0 / np.sqrt(degree)
+    return a_hat * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+
+def mesh_graph(nx_cells: int, ny_cells: int) -> np.ndarray:
+    """Adjacency of an ``nx x ny`` structured mesh (4-neighbour stencil)."""
+    if nx_cells <= 0 or ny_cells <= 0:
+        raise MLError("mesh dimensions must be positive")
+    n = nx_cells * ny_cells
+    a = np.zeros((n, n))
+
+    def node(i: int, j: int) -> int:
+        return i * ny_cells + j
+
+    for i in range(nx_cells):
+        for j in range(ny_cells):
+            if i + 1 < nx_cells:
+                a[node(i, j), node(i + 1, j)] = a[node(i + 1, j), node(i, j)] = 1.0
+            if j + 1 < ny_cells:
+                a[node(i, j), node(i, j + 1)] = a[node(i, j + 1), node(i, j)] = 1.0
+    return a
+
+
+class GraphConv(Module):
+    """GCN layer: ``X' = Â X W + b`` over a fixed graph.
+
+    Input/output are ``(n_nodes, features)``; the layer is built for one
+    graph (the mesh is fixed across a simulation campaign).
+    """
+
+    def __init__(
+        self,
+        adjacency_norm: np.ndarray,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise MLError("GraphConv needs positive feature dims")
+        self.a_hat = np.asarray(adjacency_norm, dtype=np.float64)
+        if self.a_hat.ndim != 2 or self.a_hat.shape[0] != self.a_hat.shape[1]:
+            raise MLError("normalized adjacency must be square")
+        rng = rng or np.random.default_rng(0)
+        scale = math.sqrt(2.0 / in_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params["W"] = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.has_bias = bias
+        if bias:
+            self.params["b"] = np.zeros(out_features)
+        self.zero_grad()
+        self._ax: Optional[np.ndarray] = None
+
+    @property
+    def n_nodes(self) -> int:
+        return self.a_hat.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape != (self.n_nodes, self.in_features):
+            raise MLError(
+                f"GraphConv expects ({self.n_nodes}, {self.in_features}), got {x.shape}"
+            )
+        self._ax = self.a_hat @ x  # aggregate, cache for backward
+        y = self._ax @ self.params["W"]
+        if self.has_bias:
+            y = y + self.params["b"]
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._ax is None:
+            raise MLError("backward called before forward")
+        self.grads["W"] += self._ax.T @ grad_out
+        if self.has_bias:
+            self.grads["b"] += grad_out.sum(axis=0)
+        # d/dX of (ÂXW): Â^T (grad W^T); Â is symmetric.
+        return self.a_hat.T @ (grad_out @ self.params["W"].T)
+
+
+def build_gnn(
+    adjacency: np.ndarray,
+    in_features: int,
+    hidden_features: tuple[int, ...],
+    out_features: int,
+    rng: Optional[np.random.Generator] = None,
+    activation: str = "relu",
+) -> Sequential:
+    """Stack GraphConv layers (activations between) over one graph."""
+    try:
+        act_cls = ACTIVATIONS[activation]
+    except KeyError:
+        raise MLError(
+            f"unknown activation {activation!r}; options {sorted(ACTIVATIONS)}"
+        ) from None
+    rng = rng or np.random.default_rng(0)
+    a_hat = normalized_adjacency(adjacency)
+    dims = [in_features, *hidden_features, out_features]
+    modules: list[Module] = []
+    for i, (d_in, d_out) in enumerate(zip(dims, dims[1:])):
+        modules.append(GraphConv(a_hat, d_in, d_out, rng=rng))
+        if i < len(dims) - 2:
+            modules.append(act_cls())
+    return Sequential(*modules)
+
+
+@dataclass(frozen=True)
+class HaloExchangeModel:
+    """Per-training-step communication of a distributed mesh GNN.
+
+    A mesh partitioned over ``p`` ranks exchanges its halo (boundary)
+    nodes with neighbours once per GraphConv layer, forward and backward.
+    For a 2-D partition of an ``n``-node mesh, the halo is O(sqrt(n/p))
+    nodes per neighbour edge.
+    """
+
+    alpha: float = 5e-6  # per-message latency, s
+    beta: float = 1.0 / 20e9  # per-byte, s
+    neighbours: int = 4  # 2-D partitioning
+    bytes_per_feature: int = 8
+
+    def halo_nodes(self, n_nodes: int, n_ranks: int) -> int:
+        if n_nodes <= 0 or n_ranks <= 0:
+            raise MLError("n_nodes and n_ranks must be positive")
+        side = math.sqrt(n_nodes / n_ranks)
+        return max(1, int(math.ceil(side)))
+
+    def step_time(
+        self, n_nodes: int, n_ranks: int, features: int, n_layers: int
+    ) -> float:
+        """Communication seconds per training step (fwd + bwd exchanges)."""
+        if n_ranks <= 1:
+            return 0.0
+        halo_bytes = (
+            self.halo_nodes(n_nodes, n_ranks) * features * self.bytes_per_feature
+        )
+        per_exchange = self.neighbours * (self.alpha + halo_bytes * self.beta)
+        return 2.0 * n_layers * per_exchange

@@ -1,0 +1,229 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+A minimal ``torch.nn`` stand-in sufficient for the paper's AI component
+(feed-forward fully-connected networks, §3.4). Each :class:`Module` caches
+what its backward pass needs during ``forward`` and accumulates parameter
+gradients into ``.grads``.
+
+Conventions: inputs are ``(batch, features)`` float64 arrays; ``backward``
+takes dL/d(output) and returns dL/d(input).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+class Module:
+    """Base class: parameters, gradients, forward/backward."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def zero_grad(self) -> None:
+        for name in self.params:
+            self.grads[name] = np.zeros_like(self.params[name])
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, value in self.params.items():
+            yield (f"{prefix}{name}", value)
+
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with Kaiming/He initialisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise MLError(
+                f"Linear needs positive dims, got {in_features}x{out_features}"
+            )
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        scale = np.sqrt(2.0 / in_features)
+        self.params["W"] = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.has_bias = bias
+        if bias:
+            self.params["b"] = np.zeros(out_features)
+        self.zero_grad()
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise MLError(
+                f"Linear({self.in_features}->{self.out_features}) got input "
+                f"shape {x.shape}"
+            )
+        self._x = x
+        y = x @ self.params["W"]
+        if self.has_bias:
+            y = y + self.params["b"]
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise MLError("backward called before forward")
+        self.grads["W"] += self._x.T @ grad_out
+        if self.has_bias:
+            self.grads["b"] += grad_out.sum(axis=0)
+        return grad_out @ self.params["W"].T
+
+
+class _Activation(Module):
+    """Stateless elementwise activation; caches input for backward."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = np.asarray(x, dtype=np.float64)
+        return self._fn(self._x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise MLError("backward called before forward")
+        return grad_out * self._dfn(self._x)
+
+    def _fn(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _dfn(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ReLU(_Activation):
+    def _fn(self, x):
+        return np.maximum(x, 0.0)
+
+    def _dfn(self, x):
+        return (x > 0).astype(np.float64)
+
+
+class Tanh(_Activation):
+    def _fn(self, x):
+        return np.tanh(x)
+
+    def _dfn(self, x):
+        return 1.0 - np.tanh(x) ** 2
+
+
+class Sigmoid(_Activation):
+    def _fn(self, x):
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def _dfn(self, x):
+        s = self._fn(x)
+        return s * (1.0 - s)
+
+
+class GELU(_Activation):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def _fn(self, x):
+        return 0.5 * x * (1.0 + np.tanh(self._C * (x + 0.044715 * x**3)))
+
+    def _dfn(self, x):
+        inner = self._C * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        dinner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner
+
+
+ACTIVATIONS: dict[str, type[_Activation]] = {
+    "relu": ReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "gelu": GELU,
+}
+
+
+class Sequential(Module):
+    """A chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for module in reversed(self.modules):
+            grad_out = module.backward(grad_out)
+        return grad_out
+
+    def zero_grad(self) -> None:
+        for module in self.modules:
+            module.zero_grad()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for i, module in enumerate(self.modules):
+            yield from module.named_parameters(prefix=f"{prefix}{i}.")
+
+    def parameter_count(self) -> int:
+        return sum(m.parameter_count() for m in self.modules)
+
+    def train(self) -> None:
+        super().train()
+        for m in self.modules:
+            m.train()
+
+    def eval(self) -> None:
+        super().eval()
+        for m in self.modules:
+            m.eval()
+
+    def all_grads(self) -> Iterator[tuple[str, np.ndarray]]:
+        """(name, grad) pairs in deterministic order."""
+        for i, module in enumerate(self.modules):
+            for name in module.params:
+                yield (f"{i}.{name}", module.grads[name])
+
+    def set_grad(self, name: str, value: np.ndarray) -> None:
+        idx, pname = name.split(".", 1)
+        self.modules[int(idx)].grads[pname] = value
+
+    def get_param(self, name: str) -> np.ndarray:
+        idx, pname = name.split(".", 1)
+        return self.modules[int(idx)].params[pname]
+
+    def set_param(self, name: str, value: np.ndarray) -> None:
+        idx, pname = name.split(".", 1)
+        self.modules[int(idx)].params[pname] = value

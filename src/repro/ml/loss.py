@@ -1,0 +1,54 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+class Loss:
+    """Interface: ``value, grad = loss(pred, target)``."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Mean squared error over all elements."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if pred.shape != target.shape:
+            raise MLError(f"MSE shape mismatch: {pred.shape} vs {target.shape}")
+        diff = pred - target
+        value = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return value, grad
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over logits with integer class targets."""
+
+    def __call__(self, logits: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        logits = np.asarray(logits, dtype=np.float64)
+        target = np.asarray(target)
+        if logits.ndim != 2:
+            raise MLError(f"cross-entropy expects (batch, classes), got {logits.shape}")
+        batch, classes = logits.shape
+        if target.shape != (batch,):
+            raise MLError(f"targets must be ({batch},), got {target.shape}")
+        if target.dtype.kind not in "iu":
+            raise MLError("cross-entropy targets must be integer class indices")
+        if np.any(target < 0) or np.any(target >= classes):
+            raise MLError(f"target class out of range [0, {classes})")
+
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        value = float(-np.mean(np.log(probs[np.arange(batch), target] + 1e-300)))
+        grad = probs.copy()
+        grad[np.arange(batch), target] -= 1.0
+        grad /= batch
+        return value, grad

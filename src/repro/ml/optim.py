@@ -1,0 +1,99 @@
+"""Optimizers: SGD (with momentum) and Adam.
+
+Optimizers operate on a :class:`~repro.ml.layers.Sequential` model via its
+``all_grads``/``get_param``/``set_param`` interface, so they work with any
+parameter layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.layers import Sequential
+
+
+class Optimizer:
+    def __init__(self, model: Sequential, lr: float) -> None:
+        if lr <= 0:
+            raise MLError(f"learning rate must be positive, got {lr}")
+        self.model = model
+        self.lr = lr
+        self.steps = 0
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent, optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(model, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise MLError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.steps += 1
+        for name, grad in self.model.all_grads():
+            param = self.model.get_param(name)
+            g = grad
+            if self.weight_decay:
+                g = g + self.weight_decay * param
+            if self.momentum:
+                v = self._velocity.get(name)
+                if v is None:
+                    v = np.zeros_like(param)
+                v = self.momentum * v + g
+                self._velocity[name] = v
+                g = v
+            self.model.set_param(name, param - self.lr * g)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(model, lr)
+        b1, b2 = betas
+        if not (0 <= b1 < 1 and 0 <= b2 < 1):
+            raise MLError(f"betas must be in [0, 1), got {betas}")
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.steps += 1
+        t = self.steps
+        for name, grad in self.model.all_grads():
+            param = self.model.get_param(name)
+            m = self._m.get(name)
+            v = self._v.get(name)
+            if m is None:
+                m = np.zeros_like(param)
+                v = np.zeros_like(param)
+            m = self.b1 * m + (1 - self.b1) * grad
+            v = self.b2 * v + (1 - self.b2) * grad**2
+            self._m[name], self._v[name] = m, v
+            m_hat = m / (1 - self.b1**t)
+            v_hat = v / (1 - self.b2**t)
+            self.model.set_param(name, param - self.lr * m_hat / (np.sqrt(v_hat) + self.eps))

@@ -1,0 +1,28 @@
+"""MPI-like layer: real threaded communicator + simulated cost models."""
+
+from repro.mpi.api import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Communicator, ReduceOp
+from repro.mpi.local import LocalComm, LocalWorld, run_parallel
+from repro.mpi.simulated import (
+    AlphaBeta,
+    CollectiveTimeModel,
+    SimChannel,
+    SimCommNetwork,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "AlphaBeta",
+    "CollectiveTimeModel",
+    "Communicator",
+    "LocalComm",
+    "LocalWorld",
+    "MAX",
+    "MIN",
+    "PROD",
+    "ReduceOp",
+    "run_parallel",
+    "SUM",
+    "SimChannel",
+    "SimCommNetwork",
+]

@@ -1,0 +1,191 @@
+"""Collective algorithms expressed over point-to-point primitives.
+
+These are the textbook algorithms the big MPI implementations use for
+medium message sizes, implemented against the :class:`Communicator`
+point-to-point API so any transport gets correct collectives for free:
+
+* broadcast — binomial tree, ceil(log2 p) rounds;
+* reduce — binomial tree (mirror of broadcast);
+* allreduce — recursive doubling (power-of-two ranks), with a fold-in
+  step for the remainder ranks;
+* allgather — ring, p-1 rounds;
+* gather / scatter — linear to/from the root (fine at the rank counts
+  SimAI-Bench mini-apps use per component).
+
+A reserved tag space keeps collective traffic from colliding with user
+point-to-point messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import MPIError
+from repro.mpi.api import SUM, Communicator, ReduceOp
+
+# Tags >= _BASE are reserved for collectives; each algorithm gets a band.
+_BASE = 1 << 20
+TAG_BCAST = _BASE + 0x1000
+TAG_REDUCE = _BASE + 0x2000
+TAG_ALLREDUCE = _BASE + 0x3000
+TAG_ALLGATHER = _BASE + 0x4000
+TAG_GATHER = _BASE + 0x5000
+TAG_SCATTER = _BASE + 0x6000
+TAG_BARRIER = _BASE + 0x7000
+
+
+def bcast(comm: Communicator, obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast; returns the root's object on every rank."""
+    comm._check_rank(root, "root")
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    # Re-index ranks so the root is virtual rank 0.
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank < mask:
+            partner = vrank + mask
+            if partner < size:
+                comm.send(obj, (partner + root) % size, tag=TAG_BCAST + mask)
+        elif vrank < 2 * mask:
+            obj = comm.recv(source=((vrank - mask) + root) % size, tag=TAG_BCAST + mask)
+        mask <<= 1
+    return obj
+
+
+def reduce(comm: Communicator, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Optional[Any]:
+    """Binomial-tree reduction; returns the result on root, None elsewhere."""
+    comm._check_rank(root, "root")
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    acc = obj
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            comm.send(acc, ((vrank - mask) + root) % size, tag=TAG_REDUCE + mask)
+            return None
+        partner = vrank + mask
+        if partner < size:
+            other = comm.recv(source=((partner) + root) % size, tag=TAG_REDUCE + mask)
+            acc = op(acc, other)
+        mask <<= 1
+    return acc if rank == root else None
+
+
+def allreduce(comm: Communicator, obj: Any, op: ReduceOp = SUM) -> Any:
+    """Recursive-doubling allreduce with remainder fold-in.
+
+    Non-power-of-two sizes: the first ``r = size - 2**k`` "extra" ranks fold
+    their value into a partner, sit out the doubling, and receive the final
+    result back — the standard MPICH approach.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+
+    acc = obj
+    # Fold the remainder: ranks [0, 2*rem) pair up (even -> odd).
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            comm.send(acc, rank + 1, tag=TAG_ALLREDUCE + 1)
+            new_rank = -1  # sits out
+        else:
+            other = comm.recv(source=rank - 1, tag=TAG_ALLREDUCE + 1)
+            acc = op(acc, other)
+            new_rank = rank // 2
+    else:
+        new_rank = rank - rem
+
+    if new_rank != -1:
+        mask = 1
+        while mask < pof2:
+            partner_new = new_rank ^ mask
+            partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            # Exchange in deterministic order to avoid deadlock on
+            # rendezvous-style transports: lower virtual rank sends first.
+            if new_rank < partner_new:
+                comm.send(acc, partner, tag=TAG_ALLREDUCE + 2 * mask)
+                other = comm.recv(source=partner, tag=TAG_ALLREDUCE + 2 * mask)
+            else:
+                other = comm.recv(source=partner, tag=TAG_ALLREDUCE + 2 * mask)
+                comm.send(acc, partner, tag=TAG_ALLREDUCE + 2 * mask)
+            acc = op(acc, other)
+            mask <<= 1
+
+    # Return the result to the folded-out even ranks.
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            comm.send(acc, rank - 1, tag=TAG_ALLREDUCE + 3)
+        else:
+            acc = comm.recv(source=rank + 1, tag=TAG_ALLREDUCE + 3)
+    return acc
+
+
+def allgather(comm: Communicator, obj: Any) -> list[Any]:
+    """Ring allgather: p-1 rounds, each rank forwards what it just got."""
+    size, rank = comm.size, comm.rank
+    result: list[Any] = [None] * size
+    result[rank] = obj
+    if size == 1:
+        return result
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry = obj
+    carry_owner = rank
+    for step in range(size - 1):
+        comm.send((carry_owner, carry), right, tag=TAG_ALLGATHER + step)
+        carry_owner, carry = comm.recv(source=left, tag=TAG_ALLGATHER + step)
+        result[carry_owner] = carry
+    return result
+
+
+def gather(comm: Communicator, obj: Any, root: int = 0) -> Optional[list[Any]]:
+    """Linear gather to root."""
+    comm._check_rank(root, "root")
+    if comm.rank == root:
+        result: list[Any] = [None] * comm.size
+        result[root] = obj
+        for source in range(comm.size):
+            if source != root:
+                result[source] = comm.recv(source=source, tag=TAG_GATHER)
+        return result
+    comm.send(obj, root, tag=TAG_GATHER)
+    return None
+
+
+def scatter(comm: Communicator, objs: Optional[list[Any]], root: int = 0) -> Any:
+    """Linear scatter from root."""
+    comm._check_rank(root, "root")
+    if comm.rank == root:
+        if objs is None or len(objs) != comm.size:
+            raise MPIError(
+                f"scatter root needs a list of exactly {comm.size} items, "
+                f"got {None if objs is None else len(objs)}"
+            )
+        for dest in range(comm.size):
+            if dest != root:
+                comm.send(objs[dest], dest, tag=TAG_SCATTER)
+        return objs[root]
+    return comm.recv(source=root, tag=TAG_SCATTER)
+
+
+def barrier(comm: Communicator) -> None:
+    """Dissemination barrier: ceil(log2 p) rounds of paired messages."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    mask = 1
+    round_no = 0
+    while mask < size:
+        dest = (rank + mask) % size
+        source = (rank - mask) % size
+        comm.send(None, dest, tag=TAG_BARRIER + round_no)
+        comm.recv(source=source, tag=TAG_BARRIER + round_no)
+        mask <<= 1
+        round_no += 1

@@ -1,0 +1,187 @@
+"""A real MPI-like runtime over threads in one process.
+
+``run_parallel(fn, size)`` launches ``size`` threads, each receiving a
+:class:`LocalComm` bound to its rank, and returns the per-rank return
+values (re-raising the first rank failure). Message passing is buffered
+(eager): ``send`` never blocks; ``recv`` blocks until a matching message
+(by source and tag) arrives. Messages between the same (src, dst) pair are
+non-overtaking per tag, matching MPI semantics.
+
+Threads (not processes) are the right substrate here: the mini-app kernels
+are numpy-heavy (NumPy releases the GIL), objects need no pickling, and
+determinism/debuggability are far better. The data-transport backends being
+benchmarked run out-of-process where realism demands it (Redis/dragon
+servers).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import MPIError
+from repro.mpi import collectives
+from repro.mpi.api import ANY_SOURCE, ANY_TAG, SUM, Communicator, ReduceOp
+
+
+class _Mailbox:
+    """Per-rank inbox with (source, tag) matching and a stash for
+    out-of-order arrivals."""
+
+    def __init__(self) -> None:
+        self._queue: "queue.Queue[tuple[int, int, Any]]" = queue.Queue()
+        self._stash: list[tuple[int, int, Any]] = []
+        self._lock = threading.Lock()
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        self._queue.put((source, tag, payload))
+
+    @staticmethod
+    def _matches(msg: tuple[int, int, Any], source: int, tag: int) -> bool:
+        msg_source, msg_tag, _ = msg
+        return (source == ANY_SOURCE or msg_source == source) and (
+            tag == ANY_TAG or msg_tag == tag
+        )
+
+    def get(self, source: int, tag: int, timeout: Optional[float]) -> tuple[int, int, Any]:
+        with self._lock:
+            for i, msg in enumerate(self._stash):
+                if self._matches(msg, source, tag):
+                    return self._stash.pop(i)
+        while True:
+            try:
+                msg = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                raise MPIError(
+                    f"recv(source={source}, tag={tag}) timed out after {timeout}s"
+                ) from None
+            if self._matches(msg, source, tag):
+                return msg
+            with self._lock:
+                self._stash.append(msg)
+
+
+class LocalWorld:
+    """Shared state for one communicator group: mailboxes + failure flag."""
+
+    def __init__(self, size: int, timeout: Optional[float] = 60.0) -> None:
+        if size <= 0:
+            raise MPIError(f"world size must be positive, got {size}")
+        self.size = size
+        self.timeout = timeout
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.failure = threading.Event()
+
+    def comm(self, rank: int) -> "LocalComm":
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range [0, {self.size})")
+        return LocalComm(self, rank)
+
+
+class LocalComm(Communicator):
+    """A rank's view of a :class:`LocalWorld`."""
+
+    def __init__(self, world: LocalWorld, rank: int) -> None:
+        self._world = world
+        self._rank = rank
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._world.size
+
+    # -- point to point ------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest, "dest")
+        self._world.mailboxes[dest].put(self._rank, tag, obj)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        deadline = self._world.timeout
+        while True:
+            if self._world.failure.is_set():
+                raise MPIError(f"rank {self._rank}: peer rank failed; aborting recv")
+            # Poll in short slices so a peer failure cancels blocked recvs.
+            slice_timeout = 0.05 if deadline is None else min(0.05, deadline)
+            try:
+                _, _, payload = self._world.mailboxes[self._rank].get(
+                    source, tag, slice_timeout
+                )
+                return payload
+            except MPIError:
+                if deadline is not None:
+                    deadline -= slice_timeout
+                    if deadline <= 0:
+                        raise MPIError(
+                            f"rank {self._rank}: recv(source={source}, tag={tag}) "
+                            f"timed out after {self._world.timeout}s"
+                        ) from None
+
+    # -- collectives -----------------------------------------------------------
+    def barrier(self) -> None:
+        collectives.barrier(self)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return collectives.bcast(self, obj, root)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list[Any]]:
+        return collectives.gather(self, obj, root)
+
+    def scatter(self, objs: Optional[list[Any]], root: int = 0) -> Any:
+        return collectives.scatter(self, objs, root)
+
+    def reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        return collectives.reduce(self, obj, op, root)
+
+    def allreduce(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        return collectives.allreduce(self, obj, op)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return collectives.allgather(self, obj)
+
+
+def run_parallel(
+    fn: Callable[..., Any],
+    size: int,
+    args: Sequence[Any] = (),
+    kwargs: Optional[dict[str, Any]] = None,
+    timeout: Optional[float] = 60.0,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return results.
+
+    The first rank exception (by rank order) is re-raised in the caller;
+    other blocked ranks are woken via the world failure flag.
+    """
+    kwargs = kwargs or {}
+    world = LocalWorld(size, timeout=timeout)
+    results: list[Any] = [None] * size
+    errors: list[Optional[BaseException]] = [None] * size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(world.comm(rank), *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must propagate to caller
+            errors[rank] = exc
+            world.failure.set()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"rank-{rank}", daemon=True)
+        for rank in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=None if timeout is None else timeout + 5.0)
+        if t.is_alive():
+            world.failure.set()
+            raise MPIError(f"{t.name} did not terminate (deadlock?)")
+
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

@@ -1,0 +1,163 @@
+"""Simulated-mode MPI: analytic collective cost models + DES channels.
+
+For simulated Aurora-scale runs we do not move real bytes; components
+charge modeled communication time to the DES clock. Two tools:
+
+* :class:`CollectiveTimeModel` — closed-form alpha–beta(-gamma) costs for
+  the collectives the mini-apps use (the costs PyTorch DDP's allreduce and
+  the Kernels module's AllReduce/AllGather stand for).
+* :class:`SimChannel` / :class:`SimCommNetwork` — DES point-to-point
+  message passing between simulated ranks, charging transfer time through
+  the machine's :class:`~repro.cluster.network.NetworkFabric` so that link
+  contention (notably many-to-one incast) shapes delivery times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.cluster.network import NetworkFabric
+from repro.des import Environment, Store
+from repro.errors import MPIError
+
+
+@dataclass(frozen=True)
+class AlphaBeta:
+    """Per-message latency (alpha, s) and per-byte cost (beta, s/byte)."""
+
+    alpha: float = 5e-6
+    beta: float = 1.0 / 20e9  # ~20 GB/s effective per link
+
+    def time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise MPIError(f"negative message size {nbytes}")
+        return self.alpha + nbytes * self.beta
+
+
+class CollectiveTimeModel:
+    """Closed-form collective costs under the alpha-beta-gamma model.
+
+    ``gamma`` is the per-byte local reduction cost (memory-bound add).
+    Allreduce uses recursive doubling below ``ring_threshold`` bytes and a
+    bandwidth-optimal ring above it, mirroring real MPI/NCCL behaviour.
+    """
+
+    def __init__(
+        self,
+        link: AlphaBeta = AlphaBeta(),
+        gamma: float = 1.0 / 50e9,
+        ring_threshold: float = 256 * 1024,
+    ) -> None:
+        self.link = link
+        self.gamma = gamma
+        self.ring_threshold = ring_threshold
+
+    @staticmethod
+    def _check(p: int, nbytes: float) -> None:
+        if p <= 0:
+            raise MPIError(f"communicator size must be positive, got {p}")
+        if nbytes < 0:
+            raise MPIError(f"negative message size {nbytes}")
+
+    def pt2pt(self, nbytes: float) -> float:
+        return self.link.time(nbytes)
+
+    def bcast(self, p: int, nbytes: float) -> float:
+        """Binomial tree: ceil(log2 p) rounds of full-size messages."""
+        self._check(p, nbytes)
+        if p == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(p))
+        return rounds * self.link.time(nbytes)
+
+    def allreduce(self, p: int, nbytes: float) -> float:
+        self._check(p, nbytes)
+        if p == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(p))
+        if nbytes <= self.ring_threshold:
+            # Recursive doubling: log p rounds, full message each round.
+            return rounds * (self.link.time(nbytes) + self.gamma * nbytes)
+        # Ring: reduce-scatter + allgather, 2(p-1) chunks of nbytes/p.
+        chunk = nbytes / p
+        steps = 2 * (p - 1)
+        return steps * self.link.time(chunk) + (p - 1) * self.gamma * chunk
+
+    def allgather(self, p: int, nbytes: float) -> float:
+        """Ring allgather: p-1 rounds of the per-rank contribution."""
+        self._check(p, nbytes)
+        if p == 1:
+            return 0.0
+        return (p - 1) * self.link.time(nbytes)
+
+    def barrier(self, p: int) -> float:
+        self._check(p, 0.0)
+        if p == 1:
+            return 0.0
+        return math.ceil(math.log2(p)) * self.link.time(0.0)
+
+
+class SimChannel:
+    """A tagged DES mailbox for one destination rank."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._store = Store(env)
+
+    def deliver(self, source: int, tag: int, payload: Any) -> None:
+        self._store.put((source, tag, payload))
+
+    def receive(self, source: Optional[int] = None, tag: Optional[int] = None):
+        """Event yielding (source, tag, payload) matching the filters."""
+
+        def matches(msg: tuple[int, int, Any]) -> bool:
+            msg_source, msg_tag, _ = msg
+            return (source is None or msg_source == source) and (
+                tag is None or msg_tag == tag
+            )
+
+        return self._store.get(filter=matches)
+
+
+class SimCommNetwork:
+    """Point-to-point messaging between simulated ranks over the fabric.
+
+    Ranks map to machine nodes via ``rank_to_node``; each send charges the
+    fabric transfer time from the source node to the destination node, so
+    concurrent sends into one node contend for its terminal link.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        rank_to_node: list[int],
+    ) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.rank_to_node = list(rank_to_node)
+        self.channels = [SimChannel(env) for _ in self.rank_to_node]
+
+    @property
+    def size(self) -> int:
+        return len(self.rank_to_node)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range [0, {self.size})")
+
+    def send(self, source: int, dest: int, nbytes: float, payload: Any = None, tag: int = 0) -> Generator:
+        """DES generator: transfer over the fabric, then deliver."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        yield from self.fabric.transfer(
+            self.rank_to_node[source], self.rank_to_node[dest], nbytes
+        )
+        self.channels[dest].deliver(source, tag, payload)
+
+    def recv(self, rank: int, source: Optional[int] = None, tag: Optional[int] = None):
+        """Event for the destination process to wait on."""
+        self._check_rank(rank)
+        return self.channels[rank].receive(source, tag)

@@ -1,0 +1,32 @@
+"""Telemetry: clocks, event records, summary statistics, timelines."""
+
+from repro.telemetry.events import TRANSPORT_KINDS, EventKind, EventLog, EventRecord
+from repro.telemetry.stats import (
+    Summary,
+    event_counts,
+    iteration_time_summary,
+    mean_throughput,
+    mean_transport_time,
+    runtime_per_iteration,
+)
+from repro.telemetry.timeline import Lane, Timeline
+from repro.telemetry.timer import Clock, RealClock, Stopwatch, VirtualClock
+
+__all__ = [
+    "Clock",
+    "EventKind",
+    "EventLog",
+    "EventRecord",
+    "Lane",
+    "RealClock",
+    "Stopwatch",
+    "Summary",
+    "Timeline",
+    "TRANSPORT_KINDS",
+    "VirtualClock",
+    "event_counts",
+    "iteration_time_summary",
+    "mean_throughput",
+    "mean_transport_time",
+    "runtime_per_iteration",
+]

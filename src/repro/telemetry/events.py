@@ -1,0 +1,190 @@
+"""Event records: the raw material of every analysis in the paper.
+
+Each component records an :class:`EventRecord` per iteration, data
+transport operation, and initialization span. Table 2 counts them, Table 3
+summarises their durations, Fig 2 renders them as a timeline, and Figs 3–6
+turn the transport events into throughput.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ReproError
+
+
+class EventKind(str, Enum):
+    """What a span of component time was spent on."""
+
+    INIT = "init"
+    COMPUTE = "compute"
+    WRITE = "write"
+    READ = "read"
+    POLL = "poll"
+    TRAIN = "train"
+    OTHER = "other"
+
+
+# Kinds that are data-transport operations (Table 2's "data transport").
+TRANSPORT_KINDS = frozenset({EventKind.WRITE, EventKind.READ})
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One span of activity on one component/rank."""
+
+    component: str
+    kind: EventKind
+    start: float
+    duration: float
+    rank: int = 0
+    nbytes: float = 0.0
+    key: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ReproError(f"negative duration {self.duration} for {self.component}")
+        if self.nbytes < 0:
+            raise ReproError(f"negative nbytes {self.nbytes} for {self.component}")
+
+    @property
+    def end(self) -> float:
+        """start + duration."""
+        return self.start + self.duration
+
+    @property
+    def throughput(self) -> float:
+        """Bytes/s for transport events (0 for instantaneous/empty events)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.nbytes / self.duration
+
+
+class EventLog:
+    """An append-only collection of event records with query helpers."""
+
+    def __init__(self, records: Optional[Iterable[EventRecord]] = None) -> None:
+        self._records: list[EventRecord] = list(records or [])
+
+    def record(self, record: EventRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def add(
+        self,
+        component: str,
+        kind: EventKind,
+        start: float,
+        duration: float,
+        **kwargs,
+    ) -> EventRecord:
+        """Construct, append, and return a record."""
+        rec = EventRecord(component=component, kind=kind, start=start, duration=duration, **kwargs)
+        self.record(rec)
+        return rec
+
+    def extend(self, other: "EventLog") -> None:
+        """Append every record from another log."""
+        self._records.extend(other._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, idx):
+        return self._records[idx]
+
+    # -- queries ------------------------------------------------------------
+    def filter(
+        self,
+        component: Optional[str] = None,
+        kind: Optional[EventKind] = None,
+        kinds: Optional[Iterable[EventKind]] = None,
+        rank: Optional[int] = None,
+    ) -> "EventLog":
+        """A new log containing only the matching records."""
+        if kind is not None and kinds is not None:
+            raise ReproError("pass either kind or kinds, not both")
+        wanted = None if kinds is None else frozenset(kinds)
+        out = [
+            r
+            for r in self._records
+            if (component is None or r.component == component)
+            and (kind is None or r.kind == kind)
+            and (wanted is None or r.kind in wanted)
+            and (rank is None or r.rank == rank)
+        ]
+        return EventLog(out)
+
+    def components(self) -> list[str]:
+        """Component names in first-seen order."""
+        seen: dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.component, None)
+        return list(seen)
+
+    def count(self, **kwargs) -> int:
+        """Number of records matching the filter arguments."""
+        return len(self.filter(**kwargs))
+
+    def durations(self) -> list[float]:
+        """Every record's duration, in log order."""
+        return [r.duration for r in self._records]
+
+    def total_bytes(self) -> float:
+        """Sum of nbytes over all records."""
+        return sum(r.nbytes for r in self._records)
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all records."""
+        if not self._records:
+            return (0.0, 0.0)
+        return (
+            min(r.start for r in self._records),
+            max(r.end for r in self._records),
+        )
+
+    def makespan(self) -> float:
+        start, end = self.span()
+        return end - start
+
+    # -- (de)serialisation ----------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialize as one JSON object per line."""
+        lines = []
+        for r in self._records:
+            d = asdict(r)
+            d["kind"] = r.kind.value
+            lines.append(json.dumps(d, sort_keys=True))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventLog":
+        """Parse a log from :meth:`to_jsonl` output (blank lines skipped)."""
+        log = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            d["kind"] = EventKind(d["kind"])
+            log.record(EventRecord(**d))
+        return log
+
+    def save(self, path) -> None:
+        """Write the JSONL form to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "EventLog":
+        """Read a log saved with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_jsonl(handle.read())

@@ -1,0 +1,95 @@
+"""Summary statistics over event logs: the numbers in Tables 2-3 and the
+per-process averages behind Figs 3-6.
+
+All statistics follow the paper's methodology: "All statistics are
+obtained by averaging over all the processes and events in the
+experiment" (§4.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.telemetry.events import TRANSPORT_KINDS, EventKind, EventLog
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std/min/max/count of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+    total: float
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Summary":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            return cls(count=0, mean=0.0, std=0.0, min=0.0, max=0.0, total=0.0)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=0)),
+            min=float(arr.min()),
+            max=float(arr.max()),
+            total=float(arr.sum()),
+        )
+
+
+def iteration_time_summary(log: EventLog, component: str, kind: EventKind) -> Summary:
+    """Mean/std of iteration durations for a component (Table 3)."""
+    return Summary.of(log.filter(component=component, kind=kind).durations())
+
+
+def event_counts(log: EventLog, component: str) -> dict[str, int]:
+    """Timestep and data-transport event counts for a component (Table 2)."""
+    comp = log.filter(component=component)
+    timesteps = comp.count(kinds=(EventKind.COMPUTE, EventKind.TRAIN))
+    transport = comp.count(kinds=TRANSPORT_KINDS)
+    return {"timestep": timesteps, "data_transport": transport}
+
+
+def mean_throughput(log: EventLog, kind: EventKind, component: str | None = None) -> float:
+    """Per-process mean throughput (bytes/s), averaged over all events.
+
+    The paper averages per-event throughputs over all processes and events
+    rather than dividing total bytes by total time.
+    """
+    if kind not in TRANSPORT_KINDS:
+        raise ReproError(f"{kind} is not a transport kind")
+    events = log.filter(component=component, kind=kind)
+    samples = [r.throughput for r in events if r.duration > 0]
+    if not samples:
+        return 0.0
+    return float(np.mean(samples))
+
+
+def mean_transport_time(log: EventLog, kind: EventKind, component: str | None = None) -> float:
+    """Mean per-message transport time (Fig 4's read/write bars)."""
+    if kind not in TRANSPORT_KINDS:
+        raise ReproError(f"{kind} is not a transport kind")
+    durations = log.filter(component=component, kind=kind).durations()
+    if not durations:
+        return 0.0
+    return float(np.mean(durations))
+
+
+def runtime_per_iteration(log: EventLog, component: str, iterations: int) -> float:
+    """Total component execution time / iterations (Fig 6's metric).
+
+    "execution time per iteration is obtained by computing the total
+    execution time of the training component divided by the number of
+    iterations. Hence, this includes both compute and data transport
+    times." (§4.2)
+    """
+    if iterations <= 0:
+        raise ReproError(f"iterations must be positive, got {iterations}")
+    comp = log.filter(component=component)
+    return comp.makespan() / iterations

@@ -1,0 +1,166 @@
+"""Execution timelines (Fig 2): build per-component lanes from an event
+log and render them as text.
+
+Fig 2 of the paper shows, for the original workflow and the mini-app,
+one lane per component where computation spans fill the lane, data
+transfers appear as thin marks, and initialization is shaded. We render
+the same information with characters::
+
+    sim   |IIII####W###########W#########...|
+    train |IIIIIII====R=====R======R=====...|
+
+``#``/``=`` compute (simulation / training), ``W``/``R`` transfer marks,
+``I`` initialization, space idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.telemetry.events import EventKind, EventLog, EventRecord
+
+_LANE_CHARS = {
+    EventKind.INIT: "I",
+    EventKind.COMPUTE: "#",
+    EventKind.TRAIN: "=",
+    EventKind.WRITE: "W",
+    EventKind.READ: "R",
+    EventKind.POLL: ".",
+    EventKind.OTHER: "+",
+}
+
+# Transfer marks overwrite compute fill; polls never overwrite anything.
+_PRIORITY = {
+    EventKind.POLL: 0,
+    EventKind.OTHER: 1,
+    EventKind.INIT: 2,
+    EventKind.COMPUTE: 3,
+    EventKind.TRAIN: 3,
+    EventKind.WRITE: 4,
+    EventKind.READ: 4,
+}
+
+
+@dataclass
+class Lane:
+    """One component's row in the timeline."""
+
+    component: str
+    records: list[EventRecord]
+
+
+class Timeline:
+    """A set of lanes over a common time window."""
+
+    def __init__(self, lanes: list[Lane], start: float, end: float) -> None:
+        if end < start:
+            raise ReproError(f"timeline end {end} before start {start}")
+        self.lanes = lanes
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @classmethod
+    def from_log(
+        cls,
+        log: EventLog,
+        components: Optional[list[str]] = None,
+        window: Optional[tuple[float, float]] = None,
+    ) -> "Timeline":
+        components = components or log.components()
+        if window is None:
+            window = log.span()
+        start, end = window
+        lanes = []
+        for comp in components:
+            records = [
+                r
+                for r in log.filter(component=comp)
+                if r.end >= start and r.start <= end
+            ]
+            lanes.append(Lane(component=comp, records=records))
+        return cls(lanes, start, end)
+
+    # -- rendering ------------------------------------------------------------
+    def render(self, width: int = 100) -> str:
+        """Render all lanes as fixed-width character rows."""
+        if width <= 0:
+            raise ReproError(f"width must be positive, got {width}")
+        label_width = max((len(lane.component) for lane in self.lanes), default=0)
+        rows = [self._render_lane(lane, width, label_width) for lane in self.lanes]
+        axis = self._render_axis(width, label_width)
+        legend = (
+            " " * (label_width + 1)
+            + "I=init  #=sim compute  ==train compute  W=write  R=read"
+        )
+        return "\n".join(rows + [axis, legend])
+
+    def _render_lane(self, lane: Lane, width: int, label_width: int) -> str:
+        cells = [" "] * width
+        priority = [-1] * width
+        span = self.duration or 1.0
+        for rec in sorted(lane.records, key=lambda r: r.start):
+            kind_priority = _PRIORITY[rec.kind]
+            char = _LANE_CHARS[rec.kind]
+            lo = int((max(rec.start, self.start) - self.start) / span * width)
+            hi = int((min(rec.end, self.end) - self.start) / span * width)
+            hi = max(hi, lo + 1)  # every event is at least one cell wide
+            for i in range(lo, min(hi, width)):
+                if kind_priority >= priority[i]:
+                    cells[i] = char
+                    priority[i] = kind_priority
+        return f"{lane.component:<{label_width}} |{''.join(cells)}|"
+
+    def _render_axis(self, width: int, label_width: int) -> str:
+        # Relative time: the window's origin reads as 0 even when the
+        # underlying clock is an arbitrary monotonic counter.
+        left = "0.00s"
+        right = f"{self.duration:.2f}s"
+        middle = " " * max(0, width - len(left) - len(right))
+        return " " * (label_width + 2) + left + middle + right
+
+    # -- comparison (original vs mini-app, Fig 2) ------------------------------
+    @staticmethod
+    def render_comparison(
+        original: "Timeline", miniapp: "Timeline", width: int = 100
+    ) -> str:
+        """Stack two timelines with headers, as in Fig 2."""
+        out = ["--- original ---", original.render(width), "", "--- mini-app ---", miniapp.render(width)]
+        return "\n".join(out)
+
+    # -- fidelity metric --------------------------------------------------------
+    def occupancy(self, component: str, kind: EventKind, bins: int = 50) -> list[float]:
+        """Fraction of each time bin covered by events of ``kind``.
+
+        Used to compare two timelines quantitatively: similar workflows
+        produce similar occupancy vectors.
+        """
+        if bins <= 0:
+            raise ReproError(f"bins must be positive, got {bins}")
+        lane = next((l for l in self.lanes if l.component == component), None)
+        if lane is None:
+            raise ReproError(f"no lane for component {component!r}")
+        span = self.duration or 1.0
+        bin_width = span / bins
+        occupancy = [0.0] * bins
+        for rec in lane.records:
+            if rec.kind is not kind:
+                continue
+            lo = max(rec.start, self.start)
+            hi = min(rec.end, self.end)
+            if hi <= lo:
+                continue
+            first = int((lo - self.start) / bin_width)
+            last = min(int((hi - self.start) / bin_width), bins - 1)
+            for b in range(first, last + 1):
+                b_start = self.start + b * bin_width
+                b_end = b_start + bin_width
+                overlap = min(hi, b_end) - max(lo, b_start)
+                if overlap > 0:
+                    occupancy[b] += overlap / bin_width
+        return [min(1.0, o) for o in occupancy]

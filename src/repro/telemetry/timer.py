@@ -1,0 +1,79 @@
+"""Clock abstractions so components run identically on wall-clock or
+virtual time.
+
+Real-mode mini-apps pace themselves with :class:`RealClock` (monotonic
+time + sleep); tests use :class:`VirtualClock` to run instantly; sim-mode
+components do not use a Clock at all (they yield DES timeouts).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Interface: a monotonic ``now()`` plus a ``sleep()``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class RealClock(Clock):
+    """Wall-clock time."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A manually advanced clock: ``sleep`` advances it instantly.
+
+    ``auto_advance`` is added on every ``now()`` call, emulating the cost
+    of the work between two clock reads without any real delay.
+    """
+
+    def __init__(self, start: float = 0.0, auto_advance: float = 0.0) -> None:
+        if auto_advance < 0:
+            raise SimulationError("auto_advance must be >= 0")
+        self._now = float(start)
+        self.auto_advance = float(auto_advance)
+
+    def now(self) -> float:
+        self._now += self.auto_advance
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise SimulationError(f"cannot sleep {seconds}s")
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Explicitly move the clock forward."""
+        if seconds < 0:
+            raise SimulationError(f"cannot advance {seconds}s")
+        self._now += seconds
+
+
+class Stopwatch:
+    """Context-manager stopwatch: ``with Stopwatch(clock) as sw: ...``."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock or RealClock()
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = self.clock.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = self.clock.now() - self.start

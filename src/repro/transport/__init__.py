@@ -1,0 +1,55 @@
+"""Data transport: the four staging backends behind one client API.
+
+Real, functional implementations (used by real-mode mini-apps and tests):
+
+* ``node-local`` / ``filesystem`` — sharded file KV store (CRC32 shards,
+  atomic rename, ``key.pickle``), pointed at tmpfs or a shared directory;
+* ``redis`` — a from-scratch TCP RESP server with single-threaded command
+  execution, optionally client-sharded into a cluster;
+* ``dragon`` — a DragonHPC-style distributed dictionary: concurrent shard
+  servers with a binary protocol.
+
+Calibrated performance models for simulated Aurora-scale runs live in
+:mod:`repro.transport.models` and the DES-side store in
+:mod:`repro.transport.simstore`.
+"""
+
+from repro.transport.base import ClientStats, DataStoreClient, OpStats
+from repro.transport.datastore import DataStore, make_client
+from repro.transport.dragon_backend import (
+    DragonDictionary,
+    DragonShardServer,
+    DragonStoreClient,
+)
+from repro.transport.kvfile import FileStoreClient, ShardedFileStore, crc32_shard
+from repro.transport.redis_backend import (
+    MiniRedisClient,
+    MiniRedisServer,
+    RedisStoreClient,
+)
+from repro.transport.serializer import deserialize, serialize, serialized_nbytes
+from repro.transport.server import ServerManager
+from repro.transport.streaming import StreamReader, StreamWriter
+
+__all__ = [
+    "ClientStats",
+    "DataStore",
+    "DataStoreClient",
+    "DragonDictionary",
+    "DragonShardServer",
+    "DragonStoreClient",
+    "FileStoreClient",
+    "MiniRedisClient",
+    "MiniRedisServer",
+    "OpStats",
+    "RedisStoreClient",
+    "ServerManager",
+    "ShardedFileStore",
+    "StreamReader",
+    "StreamWriter",
+    "crc32_shard",
+    "deserialize",
+    "make_client",
+    "serialize",
+    "serialized_nbytes",
+]

@@ -1,0 +1,345 @@
+"""A from-scratch Redis stand-in: TCP key-value server + client.
+
+The paper's Redis backend (via SmartSim) is a production in-memory store;
+this module reproduces its architecturally relevant properties:
+
+* a real TCP server speaking RESP (see :mod:`repro.transport.resp`);
+* **single-threaded command execution** — connections are accepted and
+  parsed concurrently, but commands funnel through one executor lock, the
+  same serialization point that caps real Redis throughput under
+  concurrent clients (one reason the paper finds Redis the slowest
+  in-memory option);
+* cluster deployment: several independent servers with client-side key
+  sharding (CRC32, like the real Redis Cluster's CRC16 slots).
+
+Commands implemented: PING, SET, GET, DEL, EXISTS, KEYS, DBSIZE, FLUSHDB.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Optional
+
+from repro.errors import KeyNotStagedError, ServerError, TransportError
+from repro.transport import resp
+from repro.transport.base import DataStoreClient
+from repro.transport.kvfile import crc32_shard
+from repro.transport.serializer import deserialize, serialize
+
+_RECV_CHUNK = 1 << 16
+
+
+class MiniRedisServer:
+    """A single store instance listening on (host, port)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self._exec_lock = threading.Lock()  # single-threaded execution
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+        except OSError as exc:
+            raise ServerError(f"cannot bind {host}:{port}: {exc}") from exc
+        self._listener.listen(128)
+        # A finite accept timeout lets the accept loop observe shutdown
+        # promptly (closing a listener does not reliably wake accept()).
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()
+        self._running = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: list[threading.Thread] = []
+        self._open_conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self.commands_served = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "MiniRedisServer":
+        if self._running.is_set():
+            raise ServerError("server already started")
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"miniredis-{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        # Unblock connection threads sitting in recv().
+        with self._conns_lock:
+            conns = list(self._open_conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for t in self._conn_threads:
+            t.join(timeout=1.0)
+
+    def __enter__(self) -> "MiniRedisServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def dbsize(self) -> int:
+        with self._exec_lock:
+            return len(self._data)
+
+    # -- connection handling --------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.settimeout(None)  # connections block indefinitely
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        parser = resp.RespParser()
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._conns_lock:
+            self._open_conns.add(conn)
+        try:
+            while self._running.is_set():
+                try:
+                    data = conn.recv(_RECV_CHUNK)
+                except OSError:
+                    break
+                if not data:
+                    break
+                parser.feed(data)
+                while True:
+                    try:
+                        message = parser.pop()
+                    except TransportError as exc:
+                        conn.sendall(resp.encode_error(str(exc)))
+                        return
+                    if message is None:
+                        break
+                    reply = self._execute(message)
+                    conn.sendall(reply)
+        finally:
+            with self._conns_lock:
+                self._open_conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- command execution -------------------------------------------------------
+    def _execute(self, message: Any) -> bytes:
+        if not isinstance(message, list) or not message:
+            return resp.encode_error("protocol: expected a command array")
+        command = message[0]
+        if not isinstance(command, bytes):
+            return resp.encode_error("protocol: command must be a bulk string")
+        name = command.decode("utf-8", "replace").upper()
+        args = message[1:]
+        with self._exec_lock:  # Redis executes commands one at a time
+            self.commands_served += 1
+            try:
+                return self._dispatch(name, args)
+            except TransportError as exc:
+                return resp.encode_error(str(exc))
+
+    def _dispatch(self, name: str, args: list) -> bytes:
+        if name == "PING":
+            return resp.encode_simple("PONG")
+        if name == "SET":
+            self._need(args, 2, "SET")
+            self._data[bytes(args[0])] = bytes(args[1])
+            return resp.encode_simple("OK")
+        if name == "GET":
+            self._need(args, 1, "GET")
+            return resp.encode_bulk(self._data.get(bytes(args[0])))
+        if name == "DEL":
+            if not args:
+                raise TransportError("wrong number of arguments for 'DEL'")
+            removed = sum(1 for a in args if self._data.pop(bytes(a), None) is not None)
+            return resp.encode_integer(removed)
+        if name == "EXISTS":
+            self._need(args, 1, "EXISTS")
+            return resp.encode_integer(int(bytes(args[0]) in self._data))
+        if name == "KEYS":
+            self._need(args, 1, "KEYS")
+            pattern = bytes(args[0])
+            if pattern == b"*":
+                keys = sorted(self._data)
+            elif pattern.endswith(b"*"):
+                prefix = pattern[:-1]
+                keys = sorted(k for k in self._data if k.startswith(prefix))
+            else:
+                keys = [pattern] if pattern in self._data else []
+            return resp.encode_array(keys)
+        if name == "DBSIZE":
+            return resp.encode_integer(len(self._data))
+        if name == "FLUSHDB":
+            self._data.clear()
+            return resp.encode_simple("OK")
+        raise TransportError(f"unknown command '{name}'")
+
+    @staticmethod
+    def _need(args: list, n: int, command: str) -> None:
+        if len(args) != n:
+            raise TransportError(f"wrong number of arguments for '{command}'")
+
+
+class MiniRedisConnection:
+    """One client TCP connection with request/response framing."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServerError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._parser = resp.RespParser()
+        self._lock = threading.Lock()
+
+    def command(self, *parts) -> Any:
+        with self._lock:
+            try:
+                self._sock.sendall(resp.encode_command(*parts))
+                while True:
+                    found, reply = self._parser.pop_frame()
+                    if found:
+                        return reply
+                    data = self._sock.recv(_RECV_CHUNK)
+                    if not data:
+                        raise ServerError("connection closed by server")
+                    self._parser.feed(data)
+            except OSError as exc:
+                raise ServerError(f"redis connection failed: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class MiniRedisClient:
+    """High-level client over one or more (clustered) servers."""
+
+    def __init__(self, addresses: list[str], timeout: float = 30.0) -> None:
+        if not addresses:
+            raise ServerError("need at least one server address")
+        self.addresses = list(addresses)
+        self._connections: list[Optional[MiniRedisConnection]] = [None] * len(addresses)
+        self.timeout = timeout
+
+    def _connection(self, shard: int) -> MiniRedisConnection:
+        conn = self._connections[shard]
+        if conn is None:
+            host, port_text = self.addresses[shard].rsplit(":", 1)
+            conn = MiniRedisConnection(host, int(port_text), timeout=self.timeout)
+            self._connections[shard] = conn
+        return conn
+
+    def _shard_for(self, key: str) -> int:
+        return crc32_shard(key, len(self.addresses))
+
+    # -- commands ----------------------------------------------------------
+    def ping(self) -> bool:
+        return all(
+            self._connection(i).command("PING") == "PONG"
+            for i in range(len(self.addresses))
+        )
+
+    def set(self, key: str, blob: bytes) -> None:
+        reply = self._connection(self._shard_for(key)).command("SET", key, blob)
+        if reply != "OK":
+            raise ServerError(f"SET failed: {reply!r}")
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._connection(self._shard_for(key)).command("GET", key)
+
+    def delete(self, *keys: str) -> int:
+        removed = 0
+        by_shard: dict[int, list[str]] = {}
+        for key in keys:
+            by_shard.setdefault(self._shard_for(key), []).append(key)
+        for shard, shard_keys in by_shard.items():
+            removed += self._connection(shard).command("DEL", *shard_keys)
+        return removed
+
+    def exists(self, key: str) -> bool:
+        return bool(self._connection(self._shard_for(key)).command("EXISTS", key))
+
+    def keys(self, pattern: str = "*") -> list[str]:
+        found: list[str] = []
+        for i in range(len(self.addresses)):
+            found += [k.decode("utf-8") for k in self._connection(i).command("KEYS", pattern)]
+        return sorted(found)
+
+    def flushdb(self) -> None:
+        for i in range(len(self.addresses)):
+            self._connection(i).command("FLUSHDB")
+
+    def close(self) -> None:
+        for conn in self._connections:
+            if conn is not None:
+                conn.close()
+        self._connections = [None] * len(self.addresses)
+
+
+class RedisStoreClient(DataStoreClient):
+    """DataStore client API over the mini-Redis cluster."""
+
+    backend_name = "redis"
+
+    def __init__(self, addresses: list[str], **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.client = MiniRedisClient(addresses)
+
+    def _write(self, key: str, value: Any) -> float:
+        blob = serialize(value)
+        self.client.set(key, blob)
+        return float(len(blob))
+
+    def _read(self, key: str) -> tuple[Any, float]:
+        blob = self.client.get(key)
+        if blob is None:
+            raise KeyNotStagedError(key, backend="redis")
+        return deserialize(blob), float(len(blob))
+
+    def _poll(self, key: str) -> bool:
+        return self.client.exists(key)
+
+    def _clean(self, keys: Optional[list[str]]) -> int:
+        if keys is None:
+            count = len(self.client.keys("*"))
+            self.client.flushdb()
+            return count
+        if not keys:
+            return 0
+        return self.client.delete(*keys)
+
+    def close(self) -> None:
+        self.client.close()

@@ -1,0 +1,167 @@
+"""RESP (REdis Serialization Protocol) encoding and incremental parsing.
+
+The wire format our mini-Redis speaks is the real RESP2 subset that the
+commands we implement need:
+
+* requests: arrays of bulk strings (``*N\\r\\n$len\\r\\n<bytes>\\r\\n``...);
+* replies: simple strings (``+OK``), errors (``-ERR ...``), integers
+  (``:N``), bulk strings (``$len`` / null ``$-1``), arrays (``*N``).
+
+The parser is incremental: feed it raw socket bytes, pop complete messages
+as they become available.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Union
+
+from repro.errors import TransportError
+
+CRLF = b"\r\n"
+
+
+class RespError(TransportError):
+    """Protocol-level failure (malformed frame)."""
+
+
+class ServerReplyError(TransportError):
+    """The server answered with an error reply (``-ERR ...``)."""
+
+
+def encode_command(*parts: Union[bytes, str, int]) -> bytes:
+    """Encode a command as an array of bulk strings."""
+    if not parts:
+        raise RespError("cannot encode an empty command")
+    chunks = [b"*%d" % len(parts), CRLF]
+    for part in parts:
+        if isinstance(part, str):
+            part = part.encode("utf-8")
+        elif isinstance(part, int):
+            part = str(part).encode("ascii")
+        elif not isinstance(part, (bytes, bytearray)):
+            raise RespError(f"cannot encode command part of type {type(part).__name__}")
+        chunks += [b"$%d" % len(part), CRLF, bytes(part), CRLF]
+    return b"".join(chunks)
+
+
+def encode_simple(text: str) -> bytes:
+    return b"+" + text.encode("utf-8") + CRLF
+
+
+def encode_error(text: str) -> bytes:
+    return b"-ERR " + text.encode("utf-8") + CRLF
+
+
+def encode_integer(value: int) -> bytes:
+    return b":%d" % value + CRLF
+
+
+def encode_bulk(data: Optional[bytes]) -> bytes:
+    if data is None:
+        return b"$-1" + CRLF
+    return b"$%d" % len(data) + CRLF + data + CRLF
+
+
+def encode_array(items: Iterable[bytes]) -> bytes:
+    items = list(items)
+    return b"*%d" % len(items) + CRLF + b"".join(encode_bulk(i) for i in items)
+
+
+class RespParser:
+    """Incremental RESP parser over a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def pop_frame(self) -> tuple[bool, Optional[Any]]:
+        """Pop one complete message.
+
+        Returns ``(True, value)`` when a full frame was consumed and
+        ``(False, None)`` when more bytes are needed. Values: str for
+        simple strings, bytes for bulk strings (None for null bulk), int
+        for integers, list for arrays. Error replies raise
+        :class:`ServerReplyError`.
+        """
+        result, consumed = self._parse(0)
+        if result is _INCOMPLETE:
+            return False, None
+        del self._buffer[:consumed]
+        if isinstance(result, _ErrorReply):
+            raise ServerReplyError(result.message)
+        return True, result
+
+    def pop(self) -> Optional[Any]:
+        """Like :meth:`pop_frame` but collapses "incomplete" to None.
+
+        Only safe for streams that never carry null bulk replies (e.g.
+        request streams of command arrays).
+        """
+        found, value = self.pop_frame()
+        return value if found else None
+
+    # -- internals ---------------------------------------------------------
+    def _parse(self, pos: int):
+        if pos >= len(self._buffer):
+            return _INCOMPLETE, 0
+        marker = self._buffer[pos : pos + 1]
+        line_end = self._buffer.find(CRLF, pos)
+        if line_end < 0:
+            return _INCOMPLETE, 0
+        line = bytes(self._buffer[pos + 1 : line_end])
+        after_line = line_end + 2
+
+        if marker == b"+":
+            return line.decode("utf-8"), after_line
+        if marker == b"-":
+            return _ErrorReply(line.decode("utf-8")), after_line
+        if marker == b":":
+            try:
+                return int(line), after_line
+            except ValueError:
+                raise RespError(f"bad integer line {line!r}") from None
+        if marker == b"$":
+            try:
+                length = int(line)
+            except ValueError:
+                raise RespError(f"bad bulk length {line!r}") from None
+            if length == -1:
+                return None, after_line
+            if length < 0:
+                raise RespError(f"negative bulk length {length}")
+            end = after_line + length + 2
+            if len(self._buffer) < end:
+                return _INCOMPLETE, 0
+            if bytes(self._buffer[after_line + length : end]) != CRLF:
+                raise RespError("bulk string missing CRLF terminator")
+            return bytes(self._buffer[after_line : after_line + length]), end
+        if marker == b"*":
+            try:
+                count = int(line)
+            except ValueError:
+                raise RespError(f"bad array length {line!r}") from None
+            if count < 0:
+                raise RespError(f"negative array length {count}")
+            items = []
+            cursor = after_line
+            for _ in range(count):
+                item, consumed = self._parse(cursor)
+                if item is _INCOMPLETE:
+                    return _INCOMPLETE, 0
+                if isinstance(item, _ErrorReply):
+                    raise RespError("nested error reply in array")
+                items.append(item)
+                cursor = consumed
+            return items, cursor
+        raise RespError(f"unknown RESP marker {marker!r}")
+
+
+class _ErrorReply:
+    def __init__(self, message: str) -> None:
+        # Strip the conventional "ERR " prefix for cleaner exceptions.
+        self.message = message[4:] if message.startswith("ERR ") else message
+
+
+_INCOMPLETE = object()

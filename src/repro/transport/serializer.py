@@ -1,0 +1,88 @@
+"""Value serialization for staging backends.
+
+Staged values travel as bytes. Pickle handles arbitrary Python objects
+(matching the paper's ``key.pickle`` files); numpy arrays get a fast
+header+raw-buffer path so the dominant payload type costs one memcpy, not
+a pickle graph walk.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TransportError
+
+_MAGIC_NUMPY = b"RNP1"
+_MAGIC_PICKLE = b"RPK1"
+
+
+def serialize(value: Any) -> bytes:
+    """Encode a value to bytes."""
+    if isinstance(value, np.ndarray) and value.dtype != object:
+        # ascontiguousarray promotes 0-d to 1-d; restore the original shape.
+        array = np.ascontiguousarray(value).reshape(value.shape)
+        header = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+        }
+        header_blob = json.dumps(header).encode("utf-8")
+        return b"".join(
+            [
+                _MAGIC_NUMPY,
+                struct.pack("<I", len(header_blob)),
+                header_blob,
+                array.tobytes(),
+            ]
+        )
+    return _MAGIC_PICKLE + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize(blob: bytes) -> Any:
+    """Decode bytes produced by :func:`serialize`."""
+    if len(blob) < 4:
+        raise TransportError(f"blob too short to deserialize ({len(blob)} bytes)")
+    magic, rest = blob[:4], blob[4:]
+    if magic == _MAGIC_NUMPY:
+        if len(rest) < 4:
+            raise TransportError("truncated numpy header length")
+        (header_len,) = struct.unpack("<I", rest[:4])
+        header_blob = rest[4 : 4 + header_len]
+        try:
+            header = json.loads(header_blob.decode("utf-8"))
+            dtype = np.dtype(header["dtype"])
+            shape = tuple(header["shape"])
+        except Exception as exc:
+            raise TransportError(f"corrupt numpy header: {exc}") from exc
+        payload = rest[4 + header_len :]
+        expected = dtype.itemsize * int(np.prod(shape)) if shape else dtype.itemsize
+        if len(payload) != expected:
+            raise TransportError(
+                f"numpy payload length {len(payload)} != expected {expected}"
+            )
+        return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+    if magic == _MAGIC_PICKLE:
+        try:
+            return pickle.loads(rest)
+        except Exception as exc:
+            raise TransportError(f"corrupt pickle payload: {exc}") from exc
+    raise TransportError(f"unknown serialization magic {magic!r}")
+
+
+def serialized_nbytes(value: Any) -> int:
+    """Size in bytes a value will occupy when staged."""
+    if isinstance(value, np.ndarray) and value.dtype != object:
+        # magic + header-len + header + raw buffer; header is tens of bytes.
+        header = {
+            "dtype": np.ascontiguousarray(value).dtype.str,
+            "shape": list(value.shape),
+        }
+        return 8 + len(json.dumps(header).encode()) + value.nbytes
+    buf = io.BytesIO()
+    pickle.dump(value, buf, protocol=pickle.HIGHEST_PROTOCOL)
+    return 4 + buf.tell()

@@ -1,0 +1,123 @@
+"""ServerManager: deploys and configures data servers (paper §3.2).
+
+"The ServerManager is responsible for the creation and configuration of
+data servers, while the DataStore exposes a uniform client API."
+
+Backend-specific setup:
+
+* ``redis`` / ``dragon`` — starts ``n_shards`` in-memory server instances
+  (as a client-sharded cluster) and reports their addresses;
+* ``node-local`` / ``filesystem`` — establishes the shard directory
+  structure under the configured path.
+
+``get_server_info()`` returns a plain JSON-able dict that is handed to
+components (possibly across process boundaries) for DataStore
+construction.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.config.loader import load_server_config
+from repro.config.schema import ServerConfig
+from repro.errors import ServerError
+from repro.transport.dragon_backend import DragonShardServer
+from repro.transport.kvfile import ShardedFileStore
+from repro.transport.redis_backend import MiniRedisServer
+
+
+class ServerManager:
+    """Owns the lifecycle of one data-transport deployment."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Union[ServerConfig, Mapping[str, Any], str, None] = None,
+    ) -> None:
+        self.name = name
+        if config is None:
+            config = ServerConfig()
+        elif not isinstance(config, ServerConfig):
+            config = load_server_config(config)
+        self.config = config
+        self._running = False
+        self._servers: list[Any] = []
+        self._path: Optional[Path] = None
+        self._owns_path = False
+
+    # -- lifecycle --------------------------------------------------------
+    def start_server(self) -> "ServerManager":
+        if self._running:
+            raise ServerError(f"server {self.name!r} already running")
+        backend = self.config.backend
+        if backend in ("node-local", "filesystem"):
+            self._start_file_backend()
+        elif backend == "redis":
+            self._servers = [
+                MiniRedisServer(host=self.config.host, port=0).start()
+                for _ in range(self.config.n_shards)
+            ]
+        elif backend == "dragon":
+            self._servers = [
+                DragonShardServer(host=self.config.host, port=0).start()
+                for _ in range(self.config.n_shards)
+            ]
+        else:  # pragma: no cover - ServerConfig already validates
+            raise ServerError(f"unknown backend {backend!r}")
+        self._running = True
+        return self
+
+    def _start_file_backend(self) -> None:
+        if self.config.path:
+            self._path = Path(self.config.path)
+            self._owns_path = False
+        else:
+            self._path = Path(
+                tempfile.mkdtemp(prefix=f"simaibench-{self.config.backend}-")
+            )
+            self._owns_path = True
+        # Establish the shard directory structure.
+        ShardedFileStore(self._path, n_shards=self.config.n_shards)
+
+    def stop_server(self) -> None:
+        if not self._running:
+            return
+        for server in self._servers:
+            server.stop()
+        self._servers = []
+        if self._path is not None and self._owns_path:
+            shutil.rmtree(self._path, ignore_errors=True)
+        self._path = None
+        self._running = False
+
+    def __enter__(self) -> "ServerManager":
+        return self.start_server() if not self._running else self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop_server()
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    # -- info ----------------------------------------------------------------
+    def get_server_info(self) -> dict[str, Any]:
+        """Connection info for DataStore clients (JSON-able)."""
+        if not self._running:
+            raise ServerError(f"server {self.name!r} is not running")
+        backend = self.config.backend
+        info: dict[str, Any] = {"backend": backend, "name": self.name}
+        if backend in ("node-local", "filesystem"):
+            assert self._path is not None
+            info["path"] = str(self._path)
+            info["n_shards"] = self.config.n_shards
+            if backend == "filesystem":
+                info["stripe_size_mb"] = self.config.stripe_size_mb
+                info["stripe_count"] = self.config.stripe_count
+        else:
+            info["addresses"] = [server.address for server in self._servers]
+        return info

@@ -1,0 +1,143 @@
+"""Simulated DataStore: the same staging API as generators over the DES.
+
+Simulated components do not move real bytes; they charge the calibrated
+:mod:`~repro.transport.models` operation times to the DES clock and keep a
+shared metadata view (:class:`SimStagingArea`) so polls and reads observe
+what has actually been staged so far in simulated time.
+
+Usage inside a DES process::
+
+    area = SimStagingArea()
+    store = SimDataStore(env, model, area, component="sim", rank=0, log=log)
+
+    def producer(env):
+        yield from store.stage_write("snap0", nbytes=1.2e6, ctx=ctx)
+
+    def consumer(env):
+        ok = yield from store.poll_staged_data("snap0", ctx=ctx)
+        if ok:
+            nbytes = yield from store.stage_read("snap0", ctx=ctx)
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.des import Environment
+from repro.errors import KeyNotStagedError, TransportError
+from repro.telemetry.events import EventKind, EventLog
+from repro.transport.models import BackendModel, TransportOpContext
+
+
+class SimStagingArea:
+    """Shared staged-key metadata: key -> size in bytes."""
+
+    def __init__(self) -> None:
+        self._staged: dict[str, float] = {}
+        self.total_writes = 0
+        self.total_reads = 0
+
+    def publish(self, key: str, nbytes: float) -> None:
+        self._staged[key] = nbytes
+        self.total_writes += 1
+
+    def size_of(self, key: str) -> float:
+        try:
+            return self._staged[key]
+        except KeyError:
+            raise KeyNotStagedError(key, backend="sim") from None
+
+    def contains(self, key: str) -> bool:
+        return key in self._staged
+
+    def remove(self, key: str) -> bool:
+        return self._staged.pop(key, None) is not None
+
+    def keys(self) -> list[str]:
+        return sorted(self._staged)
+
+    def clear(self) -> int:
+        count = len(self._staged)
+        self._staged.clear()
+        return count
+
+
+class SimDataStore:
+    """One component's client view of a simulated backend."""
+
+    def __init__(
+        self,
+        env: Environment,
+        model: BackendModel,
+        area: SimStagingArea,
+        component: str = "client",
+        rank: int = 0,
+        event_log: Optional[EventLog] = None,
+        default_ctx: Optional[TransportOpContext] = None,
+    ) -> None:
+        self.env = env
+        self.model = model
+        self.area = area
+        self.component = component
+        self.rank = rank
+        self.event_log = event_log
+        self.default_ctx = default_ctx or TransportOpContext()
+
+    @property
+    def backend(self) -> str:
+        return self.model.name
+
+    def _log(self, kind: EventKind, start: float, nbytes: float, key: str) -> None:
+        if self.event_log is not None:
+            self.event_log.add(
+                component=self.component,
+                kind=kind,
+                start=start,
+                duration=self.env.now - start,
+                rank=self.rank,
+                nbytes=nbytes,
+                key=key,
+            )
+
+    # -- staging API (DES generators) ----------------------------------------
+    def stage_write(
+        self, key: str, nbytes: float, ctx: Optional[TransportOpContext] = None
+    ) -> Generator:
+        """Stage ``nbytes`` under ``key``; yields the modeled write time."""
+        if nbytes < 0:
+            raise TransportError(f"negative staged size {nbytes}")
+        ctx = ctx or self.default_ctx
+        start = self.env.now
+        yield self.env.timeout(self.model.write_time(nbytes, ctx))
+        self.area.publish(key, nbytes)
+        self._log(EventKind.WRITE, start, nbytes, key)
+        return nbytes
+
+    def stage_read(
+        self, key: str, ctx: Optional[TransportOpContext] = None
+    ) -> Generator:
+        """Read a staged key; yields the modeled read time; returns nbytes."""
+        nbytes = self.area.size_of(key)  # raises if not staged
+        ctx = ctx or self.default_ctx
+        start = self.env.now
+        yield self.env.timeout(self.model.read_time(nbytes, ctx))
+        self.area.total_reads += 1
+        self._log(EventKind.READ, start, nbytes, key)
+        return nbytes
+
+    def poll_staged_data(
+        self, key: str, ctx: Optional[TransportOpContext] = None
+    ) -> Generator:
+        """Existence check; yields the modeled poll time; returns bool."""
+        ctx = ctx or self.default_ctx
+        start = self.env.now
+        yield self.env.timeout(self.model.poll_time(ctx))
+        present = self.area.contains(key)
+        self._log(EventKind.POLL, start, 0.0, key)
+        return present
+
+    def clean_staged_data(self, keys: Optional[list[str]] = None) -> int:
+        """Metadata-only removal (modeled as instantaneous)."""
+        if keys is None:
+            return self.area.clear()
+        return sum(int(self.area.remove(key)) for key in keys)

@@ -1,0 +1,320 @@
+"""DES implementations of the paper's two workflow patterns.
+
+These run the *simulated* (Aurora-scale) mode: component compute time is
+sampled from configured distributions and charged to the DES clock, and
+data transport goes through a :class:`~repro.transport.simstore.
+SimDataStore` whose backend model carries the scale context. Real-mode
+equivalents (threads + real stores) live in :mod:`repro.workloads.realrun`.
+
+Pattern 1 — one-to-one (§4.1): a simulation and an AI trainer co-located
+on each node. The simulation stages a snapshot (``arrays_per_snapshot``
+staged values) every ``write_interval`` iterations; the trainer checks for
+new snapshots every ``read_interval`` training iterations and ingests
+everything pending (fully asynchronous). When the trainer completes
+``train_iterations`` it *steers the workflow*, instructing the simulation
+to stop. Ranks on other nodes behave statistically identically, so one
+node's rank pair is simulated per rank index and backend-scale effects
+enter through the model's :class:`~repro.transport.models.
+TransportOpContext`.
+
+Pattern 2 — many-to-one (§4.2): ``n_simulations`` producers (one per
+node), a single trainer on its own node. Every producer writes every
+``write_interval`` iterations; every ``read_interval`` training
+iterations the trainer **blocks** until it has read the update from every
+producer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.distributions import Constant, Distribution
+from repro.des import Environment
+from repro.des.rng import RngRegistry
+from repro.errors import ConfigError
+from repro.telemetry.events import EventKind, EventLog
+from repro.transport.models import BackendModel, TransportOpContext
+from repro.transport.simstore import SimDataStore, SimStagingArea
+
+#: Calibrated iteration times from the paper's production profiling (§4.1.1).
+NEKRS_ITER_TIME = 0.03147
+NEKRS_MEASURED_MEAN = 0.0312
+NEKRS_MEASURED_STD = 0.0273
+GNN_ITER_TIME = 0.061
+GNN_MEASURED_MEAN = 0.0611
+GNN_MEASURED_STD = 0.1
+#: The production workflow moves 1.2 MB per rank per staging op (§4.1.2).
+DEFAULT_SNAPSHOT_NBYTES = 1.2e6
+#: Component initialization spans (gray areas of Fig 2).
+SIM_INIT_TIME = 2.0
+AI_INIT_TIME = 4.0
+
+
+@dataclass
+class OneToOneConfig:
+    """Knobs of the pattern-1 mini-app."""
+
+    sim_iter_time: Distribution = field(default_factory=lambda: Constant(NEKRS_ITER_TIME))
+    ai_iter_time: Distribution = field(default_factory=lambda: Constant(GNN_ITER_TIME))
+    write_interval: int = 100
+    read_interval: int = 10
+    train_iterations: int = 5000
+    snapshot_nbytes: float = DEFAULT_SNAPSHOT_NBYTES
+    arrays_per_snapshot: int = 2
+    ranks_per_component: int = 6  # 6 sim + 6 AI tiles per Aurora node
+    sim_init_time: float = SIM_INIT_TIME
+    ai_init_time: float = AI_INIT_TIME
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.write_interval, self.read_interval, self.arrays_per_snapshot) < 1:
+            raise ConfigError("intervals and arrays_per_snapshot must be >= 1")
+        if self.train_iterations < 0:
+            raise ConfigError("train_iterations must be >= 0")
+        if self.ranks_per_component < 1:
+            raise ConfigError("ranks_per_component must be >= 1")
+
+
+@dataclass
+class PatternResult:
+    """What a pattern run produces."""
+
+    log: EventLog
+    makespan: float
+    sim_iterations: int
+    train_iterations: int
+    snapshots_written: int
+    snapshots_read: int
+
+
+class _StopFlag:
+    """The steering signal: AI tells the simulation to stop (§4.1)."""
+
+    def __init__(self) -> None:
+        self.stopped = False
+
+    def set(self) -> None:
+        self.stopped = True
+
+
+def run_one_to_one(
+    model: BackendModel,
+    config: Optional[OneToOneConfig] = None,
+    ctx: Optional[TransportOpContext] = None,
+    sim_name: str = "sim",
+    ai_name: str = "train",
+) -> PatternResult:
+    """Simulate the one-to-one pattern; returns logs and counters."""
+    config = config or OneToOneConfig()
+    ctx = ctx or TransportOpContext(local=True, clients_per_server=12)
+    env = Environment()
+    log = EventLog()
+    area = SimStagingArea()
+    rngs = RngRegistry(config.seed)
+    stop = _StopFlag()
+    counters = {"sim_iters": 0, "train_iters": 0, "written": 0, "read": 0}
+
+    def sim_rank(rank: int):
+        store = SimDataStore(
+            env, model, area, component=sim_name, rank=rank, event_log=log, default_ctx=ctx
+        )
+        rng = rngs.stream(f"sim{rank}")
+        yield env.timeout(config.sim_init_time)
+        if rank == 0:
+            log.add(sim_name, EventKind.INIT, 0.0, config.sim_init_time, rank=rank)
+        iteration = 0
+        snapshot = 0
+        while not stop.stopped:
+            start = env.now
+            yield env.timeout(max(0.0, config.sim_iter_time.sample(rng)))
+            log.add(sim_name, EventKind.COMPUTE, start, env.now - start, rank=rank)
+            iteration += 1
+            if rank == 0:
+                counters["sim_iters"] += 1
+            if iteration % config.write_interval == 0:
+                for a in range(config.arrays_per_snapshot):
+                    yield from store.stage_write(
+                        f"r{rank}_snap{snapshot}_a{a}", config.snapshot_nbytes
+                    )
+                snapshot += 1
+                if rank == 0:
+                    counters["written"] += 1
+
+    def ai_rank(rank: int):
+        store = SimDataStore(
+            env, model, area, component=ai_name, rank=rank, event_log=log, default_ctx=ctx
+        )
+        rng = rngs.stream(f"ai{rank}")
+        yield env.timeout(config.ai_init_time)
+        if rank == 0:
+            log.add(ai_name, EventKind.INIT, 0.0, config.ai_init_time, rank=rank)
+        next_snapshot = 0
+        for iteration in range(1, config.train_iterations + 1):
+            start = env.now
+            yield env.timeout(max(0.0, config.ai_iter_time.sample(rng)))
+            log.add(ai_name, EventKind.TRAIN, start, env.now - start, rank=rank)
+            if rank == 0:
+                counters["train_iters"] += 1
+            if iteration % config.read_interval == 0:
+                # Asynchronous ingest: drain every snapshot staged so far by
+                # the co-located sim rank with the same index.
+                while True:
+                    key0 = f"r{rank}_snap{next_snapshot}_a0"
+                    present = yield from store.poll_staged_data(key0)
+                    if not present:
+                        break
+                    for a in range(config.arrays_per_snapshot):
+                        yield from store.stage_read(f"r{rank}_snap{next_snapshot}_a{a}")
+                    next_snapshot += 1
+                    if rank == 0:
+                        counters["read"] += 1
+        if rank == 0:
+            stop.set()
+
+    for rank in range(config.ranks_per_component):
+        env.process(sim_rank(rank), name=f"{sim_name}{rank}")
+        env.process(ai_rank(rank), name=f"{ai_name}{rank}")
+    env.run()
+
+    return PatternResult(
+        log=log,
+        makespan=log.makespan(),
+        sim_iterations=counters["sim_iters"],
+        train_iterations=counters["train_iters"],
+        snapshots_written=counters["written"],
+        snapshots_read=counters["read"],
+    )
+
+
+@dataclass
+class ManyToOneConfig:
+    """Knobs of the pattern-2 mini-app."""
+
+    n_simulations: int = 7  # producers (paper: node count - 1)
+    sim_iter_time: Distribution = field(default_factory=lambda: Constant(NEKRS_ITER_TIME))
+    ai_iter_time: Distribution = field(default_factory=lambda: Constant(GNN_ITER_TIME))
+    write_interval: int = 10
+    read_interval: int = 10
+    train_iterations: int = 2500
+    snapshot_nbytes: float = DEFAULT_SNAPSHOT_NBYTES
+    reader_lanes: int = 12  # the AI node's 12 tiles read concurrently
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_simulations < 1:
+            raise ConfigError("need at least one simulation component")
+        if min(self.write_interval, self.read_interval, self.reader_lanes) < 1:
+            raise ConfigError("intervals and reader_lanes must be >= 1")
+        if self.train_iterations < 0:
+            raise ConfigError("train_iterations must be >= 0")
+
+
+def run_many_to_one(
+    model: BackendModel,
+    config: Optional[ManyToOneConfig] = None,
+    write_ctx: Optional[TransportOpContext] = None,
+    read_ctx: Optional[TransportOpContext] = None,
+    ai_name: str = "train",
+) -> PatternResult:
+    """Simulate the many-to-one pattern.
+
+    The trainer blocks at every update until data from *all* producers for
+    that update has arrived (§4.2), draining reads over ``reader_lanes``
+    concurrent lanes.
+    """
+    config = config or ManyToOneConfig()
+    write_ctx = write_ctx or TransportOpContext(local=True, clients_per_server=12)
+    read_ctx = read_ctx or TransportOpContext(
+        local=False,
+        fan_in=config.n_simulations,
+        concurrent_peers=min(config.reader_lanes, config.n_simulations),
+        concurrent_clients=config.n_simulations + 1,
+    )
+    env = Environment()
+    log = EventLog()
+    area = SimStagingArea()
+    rngs = RngRegistry(config.seed)
+    stop = _StopFlag()
+    counters = {"sim_iters": 0, "train_iters": 0, "written": 0, "read": 0}
+
+    def producer(index: int):
+        store = SimDataStore(
+            env,
+            model,
+            area,
+            component=f"sim{index}",
+            rank=index,
+            event_log=log,
+            default_ctx=write_ctx,
+        )
+        rng = rngs.stream(f"sim{index}")
+        iteration = 0
+        update = 0
+        while not stop.stopped:
+            start = env.now
+            yield env.timeout(max(0.0, config.sim_iter_time.sample(rng)))
+            log.add(f"sim{index}", EventKind.COMPUTE, start, env.now - start, rank=index)
+            iteration += 1
+            if index == 0:
+                counters["sim_iters"] += 1
+            if iteration % config.write_interval == 0:
+                yield from store.stage_write(
+                    f"sim{index}_update{update}", config.snapshot_nbytes
+                )
+                update += 1
+                counters["written"] += 1
+
+    def reader_lane(store: SimDataStore, keys: list[str]):
+        for key in keys:
+            while True:
+                present = yield from store.poll_staged_data(key)
+                if present:
+                    break
+                yield env.timeout(0.01)  # producer not there yet: re-poll
+            yield from store.stage_read(key)
+            counters["read"] += 1
+
+    def trainer():
+        store = SimDataStore(
+            env, model, area, component=ai_name, rank=0, event_log=log, default_ctx=read_ctx
+        )
+        rng = rngs.stream("ai")
+        update = 0
+        for iteration in range(1, config.train_iterations + 1):
+            start = env.now
+            yield env.timeout(max(0.0, config.ai_iter_time.sample(rng)))
+            log.add(ai_name, EventKind.TRAIN, start, env.now - start, rank=0)
+            counters["train_iters"] += 1
+            if iteration % config.read_interval == 0:
+                # Blocking collective ingest of this update from every
+                # producer, spread over the reader lanes.
+                keys = [
+                    f"sim{index}_update{update}" for index in range(config.n_simulations)
+                ]
+                lanes = [
+                    keys[lane :: config.reader_lanes]
+                    for lane in range(min(config.reader_lanes, len(keys)))
+                ]
+                procs = [
+                    env.process(reader_lane(store, lane_keys), name=f"lane{j}")
+                    for j, lane_keys in enumerate(lanes)
+                    if lane_keys
+                ]
+                yield env.all_of(procs)
+                update += 1
+        stop.set()
+
+    for index in range(config.n_simulations):
+        env.process(producer(index), name=f"sim{index}")
+    env.process(trainer(), name=ai_name)
+    env.run()
+
+    return PatternResult(
+        log=log,
+        makespan=log.makespan(),
+        sim_iterations=counters["sim_iters"],
+        train_iterations=counters["train_iters"],
+        snapshots_written=counters["written"],
+        snapshots_read=counters["read"],
+    )

@@ -1,0 +1,110 @@
+"""Calibrating mini-app configs from profiled traces (paper §4.1.1).
+
+The paper builds its mini-app by profiling a production run — "timers at
+the start and end of each iteration" — and configuring the emulated
+components with the measured means. This module automates that loop:
+feed it the event log of any run (production instrumentation, a previous
+mini-app, or a synthetic trace) and it returns the calibrated
+configuration pieces:
+
+* :func:`calibrate_run_time` — a Distribution for ``run_time``: the
+  measured mean (``jitter="none"``, the paper's choice) or a lognormal
+  matching mean *and* std (``jitter="lognormal"``);
+* :func:`calibrate_simulation_config` — a ready Listing-2 style config;
+* :func:`calibrate_transport_schedule` — measured write/read intervals
+  and payload sizes, for setting the pattern's staging cadence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.distributions import Constant, Distribution, LogNormal
+from repro.config.schema import SimulationConfig
+from repro.errors import ConfigError
+from repro.telemetry.events import EventKind, EventLog
+from repro.telemetry.stats import iteration_time_summary
+
+
+def calibrate_run_time(
+    log: EventLog,
+    component: str,
+    kind: EventKind = EventKind.COMPUTE,
+    jitter: str = "none",
+) -> Distribution:
+    """Derive a ``run_time`` distribution from measured iteration times."""
+    summary = iteration_time_summary(log, component, kind)
+    if summary.count == 0:
+        raise ConfigError(
+            f"no {kind.value} events for component {component!r}; cannot calibrate"
+        )
+    if summary.mean <= 0:
+        raise ConfigError(f"measured mean iteration time is 0 for {component!r}")
+    if jitter == "none":
+        return Constant(summary.mean)
+    if jitter == "lognormal":
+        if summary.std <= 1e-9 * summary.mean:  # numerically constant trace
+            return Constant(summary.mean)
+        cv2 = (summary.std / summary.mean) ** 2
+        return LogNormal(mean=summary.mean, sigma=math.sqrt(math.log1p(cv2)))
+    raise ConfigError(f"unknown jitter mode {jitter!r} (options: none, lognormal)")
+
+
+def calibrate_simulation_config(
+    log: EventLog,
+    component: str,
+    kernel: str = "MatMulSimple2D",
+    data_size: tuple[int, int] = (256, 256),
+    device: str = "xpu",
+    jitter: str = "none",
+) -> SimulationConfig:
+    """The paper's calibration step: measured iteration time -> Listing 2."""
+    run_time = calibrate_run_time(log, component, EventKind.COMPUTE, jitter=jitter)
+    return SimulationConfig.from_dict(
+        {
+            "kernels": [
+                {
+                    "name": f"{component}_iter",
+                    "run_time": run_time.to_spec(),
+                    "data_size": list(data_size),
+                    "mini_app_kernel": kernel,
+                    "device": device,
+                }
+            ]
+        }
+    )
+
+
+@dataclass(frozen=True)
+class TransportSchedule:
+    """Measured staging cadence of a component."""
+
+    write_interval: int  # compute iterations between writes (0: no writes)
+    read_interval: int  # compute iterations between reads (0: no reads)
+    mean_write_nbytes: float
+    mean_read_nbytes: float
+
+
+def _interval(n_compute: int, n_transport: int) -> int:
+    if n_transport == 0:
+        return 0
+    return max(1, round(n_compute / n_transport))
+
+
+def calibrate_transport_schedule(log: EventLog, component: str) -> TransportSchedule:
+    """Derive write/read cadence and payload sizes from a trace."""
+    comp = log.filter(component=component)
+    n_compute = comp.count(kinds=(EventKind.COMPUTE, EventKind.TRAIN))
+    if n_compute == 0:
+        raise ConfigError(f"no compute/train events for {component!r}")
+    writes = comp.filter(kind=EventKind.WRITE)
+    reads = comp.filter(kind=EventKind.READ)
+    return TransportSchedule(
+        write_interval=_interval(n_compute, len(writes)),
+        read_interval=_interval(n_compute, len(reads)),
+        mean_write_nbytes=float(np.mean([r.nbytes for r in writes])) if len(writes) else 0.0,
+        mean_read_nbytes=float(np.mean([r.nbytes for r in reads])) if len(reads) else 0.0,
+    )

@@ -1,0 +1,156 @@
+"""Real-mode pattern runners: actual components, actual byte movement.
+
+These execute the same patterns as :mod:`repro.workloads.patterns` but
+with real :class:`~repro.core.Simulation` / :class:`~repro.core.AI`
+components on threads and a real data server — what you run on a
+workstation to smoke-test a transport deployment before a big job, and
+what the examples/integration tests use.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.core.ai import AI
+from repro.core.simulation import Simulation
+from repro.errors import ConfigError, WorkflowError
+from repro.ml.data import synthetic_snapshot
+from repro.telemetry.events import EventLog
+from repro.workloads.nekrs import nekrs_ai_config, nekrs_simulation_config
+
+
+@dataclass
+class RealOneToOneConfig:
+    """A scaled-down, wall-clock pattern-1 run."""
+
+    train_iterations: int = 50
+    write_interval: int = 10
+    read_interval: int = 5
+    sim_iter_time: float = 0.004
+    ai_iter_time: float = 0.006
+    snapshot_samples: int = 64
+    input_dim: int = 16
+    output_dim: int = 8
+    sim_config: Optional[dict] = None
+    ai_config: Optional[dict] = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.train_iterations < 1:
+            raise ConfigError("train_iterations must be >= 1")
+        if min(self.write_interval, self.read_interval) < 1:
+            raise ConfigError("intervals must be >= 1")
+
+
+@dataclass
+class RealRunResult:
+    log: EventLog
+    snapshots_written: int
+    snapshots_read: int
+    sim_iterations: int
+    final_loss: float
+
+
+def run_one_to_one_real(
+    server_info: Mapping[str, Any],
+    config: Optional[RealOneToOneConfig] = None,
+    timeout: float = 120.0,
+) -> RealRunResult:
+    """Run pattern 1 for real against a running data server.
+
+    The simulation thread stages a fresh synthetic (x, y) snapshot every
+    ``write_interval`` iterations; the AI thread polls every
+    ``read_interval`` training iterations, ingests what is new, trains on
+    the growing pool, and finally steers the simulation to stop.
+    """
+    config = config or RealOneToOneConfig()
+    log = EventLog()
+    log_lock = threading.Lock()
+    stop = threading.Event()
+    counters = {"written": 0, "read": 0, "sim_iters": 0}
+    errors: list[BaseException] = []
+
+    sim_cfg = config.sim_config or nekrs_simulation_config(
+        run_time=config.sim_iter_time, data_size=(64, 64), device="cpu"
+    )
+    ai_cfg = config.ai_config or {
+        **nekrs_ai_config(
+            run_time=config.ai_iter_time,
+            input_dim=config.input_dim,
+            output_dim=config.output_dim,
+        ),
+        "hidden_dims": [32],
+    }
+
+    def sim_main() -> None:
+        sim = Simulation("sim", config=sim_cfg, server_info=server_info)
+        rng = np.random.default_rng(7)
+        snapshot = 0
+        try:
+            while not stop.is_set():
+                sim.run_iteration()
+                counters["sim_iters"] += 1
+                if counters["sim_iters"] % config.write_interval == 0:
+                    x, y = synthetic_snapshot(
+                        config.snapshot_samples,
+                        config.input_dim,
+                        config.output_dim,
+                        rng,
+                    )
+                    sim.stage_write(f"snap{snapshot}", (x, y))
+                    snapshot += 1
+                    counters["written"] += 1
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+            stop.set()
+        finally:
+            with log_lock:
+                log.extend(sim.event_log)
+            sim.teardown()
+
+    final_loss = [float("nan")]
+
+    def ai_main() -> None:
+        ai = AI("train", config=ai_cfg, server_info=server_info)
+        next_snapshot = 0
+        try:
+            for iteration in range(1, config.train_iterations + 1):
+                ai.train_iteration()
+                if iteration % config.read_interval == 0:
+                    while ai.ingest_staged(f"snap{next_snapshot}"):
+                        next_snapshot += 1
+                        counters["read"] += 1
+            final_loss[0] = ai.last_loss
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+        finally:
+            stop.set()  # steer the simulation to stop (§4.1)
+            with log_lock:
+                log.extend(ai.event_log)
+            ai.close()
+
+    threads = [
+        threading.Thread(target=sim_main, name="sim", daemon=True),
+        threading.Thread(target=ai_main, name="train", daemon=True),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            stop.set()
+            raise WorkflowError(f"{t.name} did not finish within {timeout}s")
+    if errors:
+        raise errors[0]
+
+    return RealRunResult(
+        log=log,
+        snapshots_written=counters["written"],
+        snapshots_read=counters["read"],
+        sim_iterations=counters["sim_iters"],
+        final_loss=final_loss[0],
+    )

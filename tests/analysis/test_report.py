@@ -1,0 +1,68 @@
+"""Tests for table/series rendering."""
+
+import pytest
+
+from repro.analysis import ascii_chart, format_series_table, format_table, relative_error
+from repro.errors import ReproError
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.0], ["long-name", 22.5]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "long-name" in lines[3]
+    # all rows same width
+    assert len({len(line) for line in lines if "|" in line}) == 1
+
+
+def test_format_table_title():
+    text = format_table(["x"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_format_table_row_length_mismatch():
+    with pytest.raises(ReproError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_float_format():
+    text = format_table(["v"], [[3.14159]], float_format="{:.2f}")
+    assert "3.14" in text
+
+
+def test_format_series_table():
+    text = format_series_table(
+        "size", [1.0, 2.0], {"a": [10.0, 20.0], "b": [5.0, 6.0]}
+    )
+    lines = text.splitlines()
+    assert lines[0].split("|")[0].strip() == "size"
+    assert "10" in lines[2]
+
+
+def test_format_series_table_length_mismatch():
+    with pytest.raises(ReproError):
+        format_series_table("x", [1.0], {"a": [1.0, 2.0]})
+
+
+def test_ascii_chart_renders_bars():
+    text = ascii_chart([1.0], {"fast": [100.0], "slow": [1.0]})
+    assert "#" in text
+    fast_line = next(l for l in text.splitlines() if "fast" in l)
+    slow_line = next(l for l in text.splitlines() if "slow" in l)
+    assert fast_line.count("#") > slow_line.count("#")
+
+
+def test_ascii_chart_no_data():
+    assert "(no positive data)" in ascii_chart([1.0], {"a": [0.0]})
+
+
+def test_ascii_chart_width_validation():
+    with pytest.raises(ReproError):
+        ascii_chart([1.0], {"a": [1.0]}, width=5)
+
+
+def test_relative_error():
+    assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+    assert relative_error(0.0, 0.0) == 0.0
+    assert relative_error(1.0, 0.0) == float("inf")
+    assert relative_error(-12.0, -10.0) == pytest.approx(0.2)

@@ -1,0 +1,90 @@
+"""Tests for the Machine abstraction and presets."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec, aurora, laptop, make_machine
+from repro.des import Environment
+from repro.errors import ConfigError
+
+
+def test_aurora_preset_shape():
+    m = aurora(8)
+    assert m.n_nodes == 8
+    assert m.nodes[0].spec.total_gpu_tiles == 12
+    assert m.spec.lustre.stripe_count == 1
+    assert m.spec.lustre.stripe_size == 1024 * 1024
+
+
+def test_laptop_preset():
+    m = laptop()
+    assert m.n_nodes == 2
+    assert m.nodes[0].spec.total_gpu_tiles == 2
+
+
+def test_make_machine_overrides():
+    m = make_machine(n_nodes=4)
+    assert m.n_nodes == 4
+
+
+def test_make_machine_spec_and_overrides_conflict():
+    with pytest.raises(ConfigError):
+        make_machine(MachineSpec(n_nodes=2), n_nodes=4)
+
+
+def test_with_nodes_scales_spec():
+    spec = aurora(8).spec.with_nodes(512)
+    m = Machine(spec)
+    assert m.n_nodes == 512
+    assert m.spec.node == aurora(8).spec.node
+
+
+def test_node_groups_assigned():
+    m = make_machine(n_nodes=64)
+    assert {n.group for n in m.nodes} == {
+        m.topology.group_of_node(i) for i in range(64)
+    }
+
+
+def test_node_by_index_bounds():
+    m = make_machine(n_nodes=4)
+    assert m.node_by_index(3).index == 3
+    with pytest.raises(ConfigError):
+        m.node_by_index(4)
+
+
+def test_allocate_nodes_with_tiles():
+    m = aurora(4)
+    first = m.allocate_nodes(2, tiles_per_node=6)
+    assert [n.index for n in first] == [0, 1]
+    second = m.allocate_nodes(2, tiles_per_node=6)
+    assert [n.index for n in second] == [0, 1]  # co-located: 6 tiles still free
+    third = m.allocate_nodes(2, tiles_per_node=6)
+    assert [n.index for n in third] == [2, 3]
+    fourth = m.allocate_nodes(2, tiles_per_node=6)
+    assert [n.index for n in fourth] == [2, 3]  # fill the second pair
+    with pytest.raises(ConfigError):
+        m.allocate_nodes(1, tiles_per_node=6)  # every tile now claimed
+    m.release_nodes(first, tiles_per_node=6)
+    again = m.allocate_nodes(1, tiles_per_node=6)
+    assert again[0].index == 0
+
+
+def test_allocate_zero_nodes_rejected():
+    with pytest.raises(ConfigError):
+        aurora(2).allocate_nodes(0)
+
+
+def test_instantiate_binds_env():
+    m = laptop()
+    env = Environment()
+    inst = m.instantiate(env)
+    assert inst.env is env
+    assert inst.n_nodes == m.n_nodes
+    assert inst.fabric.topology is m.topology
+    assert inst.lustre.spec == m.spec.lustre
+    assert inst.spec is m.spec
+
+
+def test_invalid_machine_spec():
+    with pytest.raises(ConfigError):
+        MachineSpec(n_nodes=0)

@@ -1,0 +1,121 @@
+"""Tests for the contention-aware network fabric."""
+
+import pytest
+
+from repro.cluster import DragonflyTopology, NetworkFabric
+from repro.des import Environment
+from repro.errors import SimulationError
+
+
+def make_fabric(n=8):
+    env = Environment()
+    topo = DragonflyTopology(n, nodes_per_switch=4, switches_per_group=2)
+    return env, NetworkFabric(env, topo)
+
+
+def test_intra_node_transfer_time():
+    env, fabric = make_fabric()
+    t = fabric.transfer_time(0, 0, 1e6)
+    expected = fabric.intra_node_latency + fabric.per_message_overhead + 1e6 / fabric.intra_node_bandwidth
+    assert t == pytest.approx(expected)
+
+
+def test_transfer_time_increases_with_size():
+    env, fabric = make_fabric()
+    assert fabric.transfer_time(0, 5, 1e7) > fabric.transfer_time(0, 5, 1e6)
+
+
+def test_transfer_time_rejects_negative():
+    env, fabric = make_fabric()
+    with pytest.raises(SimulationError):
+        fabric.transfer_time(0, 1, -1.0)
+
+
+def test_single_transfer_des_process():
+    env, fabric = make_fabric()
+    durations = []
+
+    def proc(env):
+        d = yield from fabric.transfer(0, 5, 10e6)
+        durations.append((env.now, d))
+
+    env.process(proc(env))
+    env.run()
+    assert durations
+    t, d = durations[0]
+    assert t == pytest.approx(d)
+    assert fabric.completed_transfers == 1
+    assert fabric.bytes_moved == 10e6
+
+
+def test_concurrent_flows_share_bandwidth():
+    """Two flows into the same destination take ~2x longer than one."""
+    env1, fabric1 = make_fabric()
+    solo = []
+
+    def one(env, fabric):
+        d = yield from fabric.transfer(0, 5, 50e6)
+        solo.append(d)
+
+    env1.process(one(env1, fabric1))
+    env1.run()
+
+    env2, fabric2 = make_fabric()
+    finish = []
+
+    def many(env, fabric, src):
+        yield from fabric.transfer(src, 5, 50e6)
+        finish.append(env.now)
+
+    env2.process(many(env2, fabric2, 0))
+    env2.process(many(env2, fabric2, 1))
+    env2.run()
+
+    assert max(finish) >= 1.8 * solo[0]
+
+
+def test_incast_flow_counting():
+    """The destination terminal link sees all incoming flows."""
+    env, fabric = make_fabric(8)
+    observed = []
+
+    def sender(env, fabric, src):
+        yield from fabric.transfer(src, 7, 20e6)
+
+    def watcher(env, fabric):
+        yield env.timeout(1e-4)
+        observed.append(fabric.active_flows_on(6, 7))
+
+    for src in range(4):
+        env.process(sender(env, fabric, src))
+    env.process(watcher(env, fabric))
+    env.run()
+    assert observed[0] == 4
+
+
+def test_flows_released_after_transfer():
+    env, fabric = make_fabric()
+
+    def sender(env, fabric):
+        yield from fabric.transfer(0, 5, 1e6)
+
+    env.process(sender(env, fabric))
+    env.run()
+    assert fabric.active_flows_on(0, 5) == 0
+
+
+def test_effective_bandwidth_inverse_in_flows():
+    env, fabric = make_fabric()
+    base = fabric.effective_bandwidth(0, 5)
+    # Manually register a competing flow on the same route.
+    for link in fabric.topology.path_links(1, 5):
+        fabric._link_flows[link] += 1
+    contended = fabric.effective_bandwidth(0, 5)
+    assert contended < base
+
+
+def test_intra_node_ignores_network_state():
+    env, fabric = make_fabric()
+    for link in fabric.topology.path_links(0, 5):
+        fabric._link_flows[link] += 10
+    assert fabric.effective_bandwidth(3, 3) == fabric.intra_node_bandwidth

@@ -1,0 +1,64 @@
+"""Tests for node hardware model."""
+
+import pytest
+
+from repro.cluster import CpuSpec, GpuSpec, MB, Node, NodeSpec
+from repro.cluster.presets import aurora_node
+from repro.errors import ConfigError
+
+
+def test_aurora_node_shape():
+    node = aurora_node()
+    assert node.total_gpu_tiles == 12
+    assert node.total_cores == 104
+    assert node.total_l3_bytes == 2 * 105 * MB
+
+
+def test_l3_share_matches_paper():
+    """Paper §4.1.2: 105 MB per CPU → ~8 MB per process at 12 ranks/node."""
+    node = aurora_node()
+    share = node.l3_share_per_process(12)
+    assert share == pytest.approx(105 * MB / 12)
+    assert 8 * MB <= share <= 9 * MB
+
+
+def test_l3_share_invalid():
+    with pytest.raises(ConfigError):
+        aurora_node().l3_share_per_process(0)
+
+
+def test_node_spec_validation():
+    with pytest.raises(ConfigError):
+        NodeSpec(cpus=())
+    with pytest.raises(ConfigError):
+        NodeSpec(nic_bandwidth=0)
+    with pytest.raises(ConfigError):
+        CpuSpec(cores=0)
+    with pytest.raises(ConfigError):
+        GpuSpec(tiles=0)
+
+
+def test_tile_allocation_lifecycle():
+    node = Node(index=0, spec=aurora_node())
+    assert node.free_tiles == 12
+    node.allocate_tiles(6)
+    assert node.free_tiles == 6
+    node.allocate_tiles(6)
+    assert node.free_tiles == 0
+    with pytest.raises(ConfigError):
+        node.allocate_tiles(1)
+    node.release_tiles(12)
+    assert node.free_tiles == 12
+
+
+def test_tile_release_validation():
+    node = Node(index=0, spec=aurora_node())
+    with pytest.raises(ConfigError):
+        node.release_tiles(1)
+    with pytest.raises(ConfigError):
+        node.allocate_tiles(-1)
+
+
+def test_node_name():
+    node = Node(index=3, spec=aurora_node())
+    assert node.name == "aurora00003"

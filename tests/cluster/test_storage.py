@@ -1,0 +1,82 @@
+"""Tests for the node-local storage model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NodeLocalModel, NodeLocalSpec
+from repro.errors import ConfigError, SimulationError
+
+MB = 1024 * 1024
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        NodeLocalSpec(bandwidth=0)
+    with pytest.raises(ConfigError):
+        NodeLocalSpec(spill_bandwidth=-1)
+    with pytest.raises(ConfigError):
+        NodeLocalSpec(latency=-1e-6)
+    with pytest.raises(ConfigError):
+        NodeLocalSpec(l3_share_bytes=0)
+
+
+def test_in_cache_bandwidth_flat():
+    m = NodeLocalModel(NodeLocalSpec(bandwidth=8e9, l3_share_bytes=8 * MB))
+    assert m.effective_bandwidth(1 * MB) == 8e9
+    assert m.effective_bandwidth(8 * MB) == 8e9
+
+
+def test_spill_reduces_bandwidth():
+    m = NodeLocalModel(NodeLocalSpec(bandwidth=8e9, l3_share_bytes=8 * MB, spill_bandwidth=2e9))
+    assert m.effective_bandwidth(32 * MB) < 8e9
+    assert m.effective_bandwidth(32 * MB) > 2e9
+    # deeper spill -> closer to DRAM bandwidth
+    assert m.effective_bandwidth(256 * MB) < m.effective_bandwidth(32 * MB)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(SimulationError):
+        NodeLocalModel().effective_bandwidth(-1)
+
+
+def test_op_time_composition():
+    spec = NodeLocalSpec(bandwidth=1e9, latency=1e-5, l3_share_bytes=8 * MB)
+    m = NodeLocalModel(spec)
+    assert m.op_time(1e6) == pytest.approx(1e-5 + 1e-3)
+
+
+def test_poll_time_is_latency():
+    spec = NodeLocalSpec(latency=2e-5)
+    assert NodeLocalModel(spec).poll_time() == 2e-5
+
+
+def test_throughput_non_monotonic_shape():
+    """Fig 3's in-memory shape: throughput rises with size then dips once
+    past the L3 share."""
+    m = NodeLocalModel(NodeLocalSpec(bandwidth=8e9, latency=50e-6, l3_share_bytes=8 * MB, spill_bandwidth=2e9))
+    sizes = [0.4 * MB, 2 * MB, 8 * MB, 32 * MB]
+    thr = [s / m.op_time(s) for s in sizes]
+    peak = max(range(len(thr)), key=lambda i: thr[i])
+    assert peak == 2  # peak at the L3 share
+    assert thr[3] < thr[2]  # dip past it
+    assert thr[0] < thr[1] < thr[2]  # latency-dominated rise before it
+
+
+@settings(max_examples=50)
+@given(nbytes=st.floats(min_value=0, max_value=1e10))
+def test_bandwidth_bounded_property(nbytes):
+    spec = NodeLocalSpec(bandwidth=8e9, spill_bandwidth=2e9)
+    bw = NodeLocalModel(spec).effective_bandwidth(nbytes)
+    assert 2e9 <= bw <= 8e9
+
+
+@settings(max_examples=50)
+@given(
+    a=st.floats(min_value=0, max_value=1e9),
+    b=st.floats(min_value=0, max_value=1e9),
+)
+def test_op_time_monotonic_property(a, b):
+    m = NodeLocalModel()
+    lo, hi = sorted((a, b))
+    assert m.op_time(lo) <= m.op_time(hi) + 1e-12

@@ -1,0 +1,118 @@
+"""Tests for the dragonfly topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import DragonflyTopology, LinkSpec
+from repro.errors import ConfigError
+
+
+def small_topo(n=32):
+    return DragonflyTopology(n, nodes_per_switch=4, switches_per_group=2)
+
+
+def test_counts():
+    t = small_topo(32)
+    assert t.n_switches == 8
+    assert t.n_groups == 4
+
+
+def test_same_node_path():
+    t = small_topo()
+    assert t.hop_count(0, 0) == 0
+    assert t.path_latency(0, 0) == 0.0
+    assert t.path_bottleneck_bandwidth(0, 0) == float("inf")
+
+
+def test_same_switch_two_hops():
+    t = small_topo()
+    # nodes 0..3 share switch 0
+    assert t.hop_count(0, 3) == 2
+
+
+def test_same_group_three_hops():
+    t = small_topo()
+    # node 0 on switch 0, node 4 on switch 1, same group
+    assert t.hop_count(0, 4) == 3
+
+
+def test_cross_group_at_most_five_hops():
+    t = small_topo()
+    assert 3 <= t.hop_count(0, 31) <= 5
+
+
+def test_path_latency_positive_and_additive():
+    t = small_topo()
+    assert t.path_latency(0, 3) == pytest.approx(2 * t.node_link.latency)
+
+
+def test_bottleneck_bandwidth():
+    t = DragonflyTopology(
+        8,
+        nodes_per_switch=4,
+        switches_per_group=2,
+        node_link=LinkSpec(10e9, 1e-6),
+        group_link=LinkSpec(5e9, 1e-6),
+    )
+    # cross-switch route traverses the slower group link
+    assert t.path_bottleneck_bandwidth(0, 4) == 5e9
+    assert t.path_bottleneck_bandwidth(0, 1) == 10e9
+
+
+def test_path_links_canonical():
+    t = small_topo()
+    links = t.path_links(0, 3)
+    assert all(link == tuple(sorted(link)) for link in links)
+    assert len(links) == t.hop_count(0, 3)
+
+
+def test_out_of_range_node():
+    t = small_topo()
+    with pytest.raises(ConfigError):
+        t.path(0, 99)
+    with pytest.raises(ConfigError):
+        t.hop_count(-1, 0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigError):
+        DragonflyTopology(0)
+    with pytest.raises(ConfigError):
+        DragonflyTopology(4, nodes_per_switch=0)
+    with pytest.raises(ConfigError):
+        LinkSpec(0.0, 1e-6)
+
+
+def test_group_of_node():
+    t = small_topo()
+    assert t.group_of_node(0) == 0
+    assert t.group_of_node(8) == 1
+
+
+def test_single_switch_machine():
+    t = DragonflyTopology(4, nodes_per_switch=8, switches_per_group=2)
+    assert t.n_switches == 1
+    assert t.hop_count(0, 3) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+)
+def test_connectivity_property(src, dst):
+    """Every node pair is connected with a small hop count and symmetric
+    distance."""
+    t = DragonflyTopology(64, nodes_per_switch=4, switches_per_group=4)
+    hops = t.hop_count(src, dst)
+    assert 0 <= hops <= 6
+    assert hops == t.hop_count(dst, src)
+    if src != dst:
+        assert hops >= 2  # always via at least one switch
+
+
+def test_scales_to_512_nodes():
+    t = DragonflyTopology(512, nodes_per_switch=16, switches_per_group=32)
+    assert t.n_nodes == 512
+    assert t.hop_count(0, 511) >= 2

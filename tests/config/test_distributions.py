@@ -1,0 +1,203 @@
+"""Tests for stochastic parameter distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.distributions import (
+    Constant,
+    Discrete,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Normal,
+    Uniform,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_constant_samples_value(rng):
+    d = Constant(0.03)
+    assert d.sample(rng) == 0.03
+    assert d.mean() == 0.03
+
+
+def test_from_spec_bare_number():
+    d = Distribution.from_spec(0.5)
+    assert isinstance(d, Constant)
+    assert d.value == 0.5
+
+
+def test_from_spec_int():
+    assert Distribution.from_spec(3).mean() == 3.0
+
+
+def test_from_spec_bool_rejected():
+    with pytest.raises(ConfigError):
+        Distribution.from_spec(True)
+
+
+def test_from_spec_passthrough():
+    d = Constant(1.0)
+    assert Distribution.from_spec(d) is d
+
+
+def test_from_spec_dict():
+    d = Distribution.from_spec({"dist": "uniform", "low": 1.0, "high": 2.0})
+    assert isinstance(d, Uniform)
+
+
+def test_from_spec_unknown_kind():
+    with pytest.raises(ConfigError, match="unknown distribution"):
+        Distribution.from_spec({"dist": "zeta"})
+
+
+def test_from_spec_missing_dist_key():
+    with pytest.raises(ConfigError, match="missing 'dist'"):
+        Distribution.from_spec({"low": 0, "high": 1})
+
+
+def test_from_spec_bad_params():
+    with pytest.raises(ConfigError, match="bad parameters"):
+        Distribution.from_spec({"dist": "uniform", "low": 0})
+
+
+def test_from_spec_invalid_type():
+    with pytest.raises(ConfigError):
+        Distribution.from_spec([1, 2, 3])
+
+
+def test_discrete_uniform_weights(rng):
+    d = Discrete([1.0, 2.0, 3.0])
+    assert d.mean() == pytest.approx(2.0)
+    samples = {d.sample(rng) for _ in range(200)}
+    assert samples == {1.0, 2.0, 3.0}
+
+
+def test_discrete_weighted(rng):
+    d = Discrete([0.0, 1.0], weights=[1, 3])
+    assert d.mean() == pytest.approx(0.75)
+    mean = np.mean([d.sample(rng) for _ in range(4000)])
+    assert mean == pytest.approx(0.75, abs=0.05)
+
+
+def test_discrete_validation():
+    with pytest.raises(ConfigError):
+        Discrete([])
+    with pytest.raises(ConfigError):
+        Discrete([1.0], weights=[1.0, 2.0])
+    with pytest.raises(ConfigError):
+        Discrete([1.0, 2.0], weights=[-1.0, 2.0])
+    with pytest.raises(ConfigError):
+        Discrete([1.0], weights=[0.0])
+
+
+def test_uniform_bounds(rng):
+    d = Uniform(2.0, 4.0)
+    xs = [d.sample(rng) for _ in range(500)]
+    assert all(2.0 <= x <= 4.0 for x in xs)
+    assert d.mean() == 3.0
+
+
+def test_uniform_validation():
+    with pytest.raises(ConfigError):
+        Uniform(4.0, 2.0)
+
+
+def test_normal_mean_and_clip(rng):
+    d = Normal(mean=0.0, std=1.0, min=0.0)
+    xs = [d.sample(rng) for _ in range(500)]
+    assert all(x >= 0.0 for x in xs)
+
+
+def test_normal_zero_std(rng):
+    d = Normal(mean=5.0, std=0.0)
+    assert d.sample(rng) == 5.0
+
+
+def test_normal_validation():
+    with pytest.raises(ConfigError):
+        Normal(mean=0.0, std=-1.0)
+
+
+def test_lognormal_mean_matches_arithmetic(rng):
+    d = LogNormal(mean=0.03, sigma=0.8)
+    mean = np.mean([d.sample(rng) for _ in range(20000)])
+    assert mean == pytest.approx(0.03, rel=0.05)
+    assert all(d.sample(rng) > 0 for _ in range(100))
+
+
+def test_lognormal_validation():
+    with pytest.raises(ConfigError):
+        LogNormal(mean=-1.0, sigma=0.5)
+    with pytest.raises(ConfigError):
+        LogNormal(mean=1.0, sigma=-0.5)
+
+
+def test_exponential_shifted(rng):
+    d = Exponential(scale=1.0, shift=2.0)
+    xs = [d.sample(rng) for _ in range(500)]
+    assert all(x >= 2.0 for x in xs)
+    assert d.mean() == 3.0
+
+
+def test_exponential_validation():
+    with pytest.raises(ConfigError):
+        Exponential(scale=0.0)
+
+
+def test_round_trip_all_kinds():
+    dists = [
+        Constant(1.5),
+        Discrete([1.0, 2.0], weights=[0.25, 0.75]),
+        Uniform(0.0, 1.0),
+        Normal(mean=1.0, std=0.1, min=0.0),
+        LogNormal(mean=2.0, sigma=0.3),
+        Exponential(scale=0.5, shift=0.1),
+    ]
+    for d in dists:
+        rebuilt = Distribution.from_spec(d.to_spec())
+        assert rebuilt == d, d
+
+
+def test_equality_and_hash():
+    assert Constant(1.0) == Constant(1.0)
+    assert Constant(1.0) != Constant(2.0)
+    assert hash(Constant(1.0)) == hash(Constant(1.0))
+    assert Constant(1.0) != Uniform(1.0, 1.0)
+
+
+@given(value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+def test_constant_round_trip_property(value):
+    d = Constant(value)
+    assert Distribution.from_spec(d.to_spec()).mean() == d.mean()
+
+
+@settings(max_examples=50)
+@given(
+    low=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    width=st.floats(min_value=0, max_value=100, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_uniform_samples_within_bounds_property(low, width, seed):
+    d = Uniform(low, low + width)
+    x = d.sample(np.random.default_rng(seed))
+    assert low <= x <= low + width
+
+
+@settings(max_examples=50)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=8
+    ),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_discrete_samples_from_support_property(values, seed):
+    d = Discrete(values)
+    assert d.sample(np.random.default_rng(seed)) in values

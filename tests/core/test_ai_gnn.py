@@ -1,0 +1,118 @@
+"""Tests for the GNN-architecture AI component (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.config import AIConfig
+from repro.core import AI
+from repro.errors import ConfigError, MLError
+from repro.ml.data import SnapshotDataset
+from repro.telemetry import VirtualClock
+
+GNN_CONFIG = {
+    "architecture": "gnn",
+    "mesh_shape": [4, 4],
+    "input_dim": 3,
+    "hidden_dims": [8],
+    "output_dim": 2,
+    "learning_rate": 0.01,
+}
+
+
+def make_gnn_ai():
+    return AI("gnn-train", config=GNN_CONFIG, clock=VirtualClock(auto_advance=1e-5))
+
+
+def test_config_architecture_validation():
+    with pytest.raises(ConfigError):
+        AIConfig(architecture="transformer")
+    with pytest.raises(ConfigError):
+        AIConfig(architecture="gnn", mesh_shape=(0, 4))
+    with pytest.raises(ConfigError):
+        AIConfig(architecture="gnn", mesh_shape=(4,))
+
+
+def test_config_round_trip_with_gnn_fields():
+    cfg = AIConfig.from_dict(GNN_CONFIG)
+    assert cfg.architecture == "gnn"
+    assert cfg.mesh_shape == (4, 4)
+    assert cfg.n_mesh_nodes == 16
+    assert AIConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_gnn_ai_uses_snapshot_dataset():
+    ai = make_gnn_ai()
+    assert isinstance(ai.dataset, SnapshotDataset)
+
+
+def test_gnn_ai_predict_shape():
+    ai = make_gnn_ai()
+    out = ai.predict(np.zeros((16, 3)))
+    assert out.shape == (16, 2)
+
+
+def test_gnn_ai_trains_on_mesh_snapshots():
+    ai = make_gnn_ai()
+    rng = np.random.default_rng(0)
+    # A fixed smooth mapping over the mesh (learnable by the GCN).
+    w = rng.normal(size=(3, 2)) / np.sqrt(3)
+    for _ in range(4):
+        x = rng.normal(size=(16, 3))
+        ai.add_training_data(x, np.tanh(x @ w))
+    first = None
+    for _ in range(300):
+        ai.train_iteration()
+        if first is None:
+            first = ai.last_loss
+    assert ai.last_loss < 0.6 * first
+
+
+def test_gnn_ai_rejects_wrong_mesh_size():
+    ai = make_gnn_ai()
+    ai.add_training_data(np.zeros((16, 3)), np.zeros((16, 2)))
+    with pytest.raises(MLError):
+        ai.add_training_data(np.zeros((9, 3)), np.zeros((9, 2)))
+
+
+# ---------------------------------------------------------------------------
+# SnapshotDataset
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_dataset_add_sample():
+    ds = SnapshotDataset(rng=np.random.default_rng(0))
+    ds.add(np.ones((4, 2)), np.zeros((4, 1)))
+    assert len(ds) == 1
+    x, y = ds.sample()
+    assert x.shape == (4, 2)
+
+
+def test_snapshot_dataset_eviction():
+    ds = SnapshotDataset(capacity=2)
+    for i in range(3):
+        ds.add(np.full((4, 1), float(i)), np.zeros((4, 1)))
+    assert len(ds) == 2
+    values = {float(ds.sample()[0][0, 0]) for _ in range(50)}
+    assert 0.0 not in values  # oldest evicted
+
+
+def test_snapshot_dataset_validation():
+    with pytest.raises(MLError):
+        SnapshotDataset(capacity=0)
+    ds = SnapshotDataset()
+    with pytest.raises(MLError):
+        ds.sample()
+    with pytest.raises(MLError):
+        ds.add(np.zeros(4), np.zeros(4))  # not 2-D
+    ds.add(np.zeros((4, 2)), np.zeros((4, 1)))
+    with pytest.raises(MLError):
+        ds.add(np.zeros((4, 3)), np.zeros((4, 1)))  # feature mismatch
+
+
+def test_snapshot_dataset_copies_inputs():
+    ds = SnapshotDataset()
+    x = np.zeros((2, 1))
+    ds.add(x, x)
+    x[0, 0] = 99.0
+    sampled_x, _ = ds.sample()
+    assert sampled_x[0, 0] == 0.0

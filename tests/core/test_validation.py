@@ -1,0 +1,99 @@
+"""Tests for mini-app fidelity validation metrics."""
+
+import pytest
+
+from repro.core import compare_event_counts, compare_iteration_stats, timeline_similarity
+from repro.errors import ReproError
+from repro.telemetry import EventKind, EventLog, EventRecord
+
+
+def make_log(component, kind, n, duration, start=0.0, gap=0.0, transport_every=0):
+    records = []
+    t = start
+    for i in range(n):
+        records.append(
+            EventRecord(component=component, kind=kind, start=t, duration=duration)
+        )
+        t += duration + gap
+        if transport_every and (i + 1) % transport_every == 0:
+            records.append(
+                EventRecord(
+                    component=component,
+                    kind=EventKind.WRITE,
+                    start=t,
+                    duration=0.01,
+                    nbytes=1e6,
+                )
+            )
+            t += 0.01
+    return EventLog(records)
+
+
+def test_count_comparison_fields():
+    orig = make_log("sim", EventKind.COMPUTE, 100, 0.03, transport_every=10)
+    mini = make_log("sim", EventKind.COMPUTE, 98, 0.03, transport_every=10)
+    cmp = compare_event_counts(orig, mini, "sim")
+    assert cmp.original_timesteps == 100
+    assert cmp.miniapp_timesteps == 98
+    assert cmp.original_transport == 10
+    assert cmp.miniapp_transport == 9
+    assert cmp.timestep_relative_error == pytest.approx(0.02)
+    assert cmp.transport_relative_error == pytest.approx(0.1)
+
+
+def test_count_comparison_zero_reference():
+    orig = EventLog()
+    mini = make_log("sim", EventKind.COMPUTE, 5, 0.01)
+    cmp = compare_event_counts(orig, mini, "sim")
+    assert cmp.timestep_relative_error == float("inf")
+    empty_cmp = compare_event_counts(EventLog(), EventLog(), "sim")
+    assert empty_cmp.timestep_relative_error == 0.0
+
+
+def test_iteration_comparison():
+    orig = make_log("train", EventKind.TRAIN, 50, 0.06)
+    mini = make_log("train", EventKind.TRAIN, 50, 0.063)
+    cmp = compare_iteration_stats(orig, mini, "train", EventKind.TRAIN)
+    assert cmp.original.mean == pytest.approx(0.06)
+    assert cmp.miniapp.mean == pytest.approx(0.063)
+    assert cmp.mean_relative_error == pytest.approx(0.05)
+
+
+def test_timeline_similarity_identical_logs():
+    log = make_log("sim", EventKind.COMPUTE, 100, 0.03, transport_every=10)
+    assert timeline_similarity(log, log, "sim", EventKind.COMPUTE) == pytest.approx(1.0)
+
+
+def test_timeline_similarity_similar_patterns_high():
+    a = make_log("sim", EventKind.COMPUTE, 100, 0.03, gap=0.01)
+    b = make_log("sim", EventKind.COMPUTE, 98, 0.031, gap=0.01)
+    assert timeline_similarity(a, b, "sim", EventKind.COMPUTE) > 0.8
+
+
+def test_timeline_similarity_different_patterns_low():
+    # First half active vs second half active.
+    a = EventLog(
+        [
+            EventRecord(component="sim", kind=EventKind.COMPUTE, start=0.0, duration=5.0),
+            EventRecord(component="sim", kind=EventKind.OTHER, start=0.0, duration=10.0),
+        ]
+    )
+    b = EventLog(
+        [
+            EventRecord(component="sim", kind=EventKind.COMPUTE, start=5.0, duration=5.0),
+            EventRecord(component="sim", kind=EventKind.OTHER, start=0.0, duration=10.0),
+        ]
+    )
+    assert timeline_similarity(a, b, "sim", EventKind.COMPUTE) < 0.0
+
+
+def test_timeline_similarity_constant_occupancy():
+    a = make_log("sim", EventKind.COMPUTE, 1, 10.0)  # fully covered
+    b = make_log("sim", EventKind.COMPUTE, 1, 10.0)
+    assert timeline_similarity(a, b, "sim", EventKind.COMPUTE) == 1.0
+
+
+def test_timeline_similarity_bins_validation():
+    log = make_log("sim", EventKind.COMPUTE, 10, 0.1)
+    with pytest.raises(ReproError):
+        timeline_similarity(log, log, "sim", EventKind.COMPUTE, bins=1)

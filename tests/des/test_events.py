@@ -1,0 +1,169 @@
+"""Tests for event composition: AllOf, AnyOf, ConditionValue, operators."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, ConditionValue, Environment
+from repro.errors import SimulationError
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        result = yield env.all_of([t1, t2])
+        log.append((env.now, [result[t1], result[t2]]))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(3.0, ["a", "b"])]
+
+
+def test_any_of_returns_on_first():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(3.0, value="slow")
+        result = yield env.any_of([t1, t2])
+        log.append((env.now, t1 in result, t2 in result))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(1.0, True, False)]
+
+
+def test_and_operator_builds_all_of():
+    env = Environment()
+    t1, t2 = env.timeout(1.0), env.timeout(2.0)
+    assert isinstance(t1 & t2, AllOf)
+
+
+def test_or_operator_builds_any_of():
+    env = Environment()
+    t1, t2 = env.timeout(1.0), env.timeout(2.0)
+    assert isinstance(t1 | t2, AnyOf)
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        result = yield env.all_of([])
+        log.append((env.now, len(result)))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(0.0, 0)]
+
+
+def test_any_of_empty_triggers_immediately():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.any_of([])
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [0.0]
+
+
+def test_condition_with_already_processed_event():
+    env = Environment()
+    log = []
+
+    def proc(env, early):
+        yield env.timeout(5.0)
+        late = env.timeout(1.0, value="late")
+        result = yield env.all_of([early, late])
+        log.append((env.now, result[early], result[late]))
+
+    early = env.timeout(0.5, value="early")
+    env.process(proc(env, early))
+    env.run()
+    assert log == [(6.0, "early", "late")]
+
+
+def test_condition_failure_propagates():
+    env = Environment()
+
+    def failer(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("sub-event failed")
+
+    def proc(env):
+        p = env.process(failer(env))
+        t = env.timeout(10.0)
+        yield env.all_of([p, t])
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="sub-event failed"):
+        env.run()
+
+
+def test_cross_environment_events_rejected():
+    env1, env2 = Environment(), Environment()
+    t1 = env1.timeout(1.0)
+    t2 = env2.timeout(1.0)
+    with pytest.raises(SimulationError):
+        env1.all_of([t1, t2])
+
+
+def test_condition_value_mapping_interface():
+    env = Environment()
+    t1 = env.timeout(0.0, value=1)
+    t2 = env.timeout(0.0, value=2)
+    env.run()
+    cv = ConditionValue([t1, t2])
+    assert cv[t1] == 1
+    assert cv[t2] == 2
+    assert len(cv) == 2
+    assert list(cv) == [t1, t2]
+    assert cv.todict() == {t1: 1, t2: 2}
+    assert cv == {t1: 1, t2: 2}
+
+
+def test_condition_value_missing_key():
+    env = Environment()
+    t1 = env.timeout(0.0, value=1)
+    t2 = env.timeout(0.0, value=2)
+    env.run()
+    cv = ConditionValue([t1])
+    with pytest.raises(KeyError):
+        _ = cv[t2]
+
+
+def test_nested_conditions():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        a = env.timeout(1.0, value="a")
+        b = env.timeout(2.0, value="b")
+        c = env.timeout(9.0, value="c")
+        yield (a & b) | c
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=20.0)
+    assert log == [2.0]
+
+
+def test_event_trigger_copies_state():
+    env = Environment()
+    src = env.event()
+    dst = env.event()
+    src._ok = True
+    src._value = "copied"
+    src._triggered = True
+    dst.trigger(src)
+    env.schedule(src)
+    env.run()
+    assert dst.value == "copied"
+    assert dst.ok

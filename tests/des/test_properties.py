@@ -1,0 +1,119 @@
+"""Property-based tests of the DES engine's core guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, Resource, Store
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=30
+    )
+)
+def test_events_fire_in_time_order(delays):
+    """Whatever the creation order, timeouts fire in nondecreasing time."""
+    env = Environment()
+    fired = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_procs=st.integers(min_value=1, max_value=10),
+)
+def test_identical_schedules_are_deterministic(seed, n_procs):
+    """The same process structure always produces the same trace."""
+    import numpy as np
+
+    def run_once():
+        env = Environment()
+        trace = []
+        rng = np.random.default_rng(seed)
+        delays = rng.random((n_procs, 5)) * 10
+
+        def proc(env, i):
+            for d in delays[i]:
+                yield env.timeout(float(d))
+                trace.append((i, env.now))
+
+        for i in range(n_procs):
+            env.process(proc(env, i))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    n_users=st.integers(min_value=1, max_value=20),
+)
+def test_resource_never_exceeds_capacity(capacity, n_users):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    max_in_use = [0]
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            max_in_use[0] = max(max_in_use[0], res.count)
+            yield env.timeout(1.0)
+
+    for _ in range(n_users):
+        env.process(user(env, res))
+    env.run()
+    assert max_in_use[0] <= capacity
+    assert res.count == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    items=st.lists(st.integers(), min_size=0, max_size=30),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+def test_store_conserves_and_orders_items(items, capacity):
+    """Everything put is got exactly once, in FIFO order, regardless of
+    the buffer capacity (back-pressure must not drop or reorder)."""
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    received = []
+
+    def producer(env, store):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env, store):
+        for _ in range(len(items)):
+            received.append((yield store.get()))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert received == items
+
+
+@settings(max_examples=30, deadline=None)
+@given(until=st.floats(min_value=0.1, max_value=1000.0, allow_nan=False))
+def test_run_until_never_overshoots(until):
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(0.7)
+
+    env.process(proc(env))
+    env.run(until=until)
+    assert env.now == until

@@ -1,0 +1,375 @@
+"""Tests for DES resources: Resource, Store, Container."""
+
+import pytest
+
+from repro.des import Container, Environment, Resource, Store
+from repro.errors import SimulationError
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+
+    def user(env, res, name, hold):
+        with res.request() as req:
+            yield req
+            log.append((name, "in", env.now))
+            yield env.timeout(hold)
+        log.append((name, "out", env.now))
+
+    env.process(user(env, res, "a", 2.0))
+    env.process(user(env, res, "b", 2.0))
+    env.process(user(env, res, "c", 2.0))
+    env.run()
+    assert ("a", "in", 0.0) in log
+    assert ("b", "in", 0.0) in log
+    assert ("c", "in", 2.0) in log  # waited for a slot
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    for name in ("first", "second", "third"):
+        env.process(user(env, res, name))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_counts_and_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            assert res.count == 1
+            yield env.timeout(5.0)
+
+    def waiter(env, res):
+        yield env.timeout(1.0)
+        req = res.request()
+        assert res.queue_length == 1
+        yield req
+        res.release(req)
+
+    env.process(holder(env, res))
+    env.process(waiter(env, res))
+    env.run()
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+def test_resource_release_twice_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)
+
+    env.process(user(env, res))
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_cancel_ungranted_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def impatient(env, res):
+        yield env.timeout(1.0)
+        req = res.request()
+        yield env.timeout(1.0)
+        req.cancel()
+        granted.append(req.triggered)
+
+    env.process(holder(env, res))
+    env.process(impatient(env, res))
+    env.run()
+    assert granted == [False]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_utilization_under_contention():
+    """N users of a unit resource each holding 1s finish at 1,2,...,N."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    finish = []
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+        finish.append(env.now)
+
+    for _ in range(5):
+        env.process(user(env, res))
+    env.run()
+    assert finish == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+
+def test_store_put_get_roundtrip():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env, store):
+        yield env.timeout(1.0)
+        yield store.put("item")
+
+    def consumer(env, store):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [(1.0, "item")]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env, store):
+        yield store.get()
+        times.append(env.now)
+
+    def producer(env, store):
+        yield env.timeout(5.0)
+        yield store.put(1)
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert times == [5.0]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env, store):
+        yield store.put("a")
+        log.append(("a", env.now))
+        yield store.put("b")
+        log.append(("b", env.now))
+
+    def consumer(env, store):
+        yield env.timeout(4.0)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert log == [("a", 0.0), ("b", 4.0)]
+
+
+def test_store_fifo_item_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env, store):
+        for item in ("x", "y", "z"):
+            yield store.put(item)
+
+    def consumer(env, store):
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_filtered_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env, store):
+        yield store.put(("k1", 1))
+        yield store.put(("k2", 2))
+
+    def consumer(env, store):
+        item = yield store.get(filter=lambda it: it[0] == "k2")
+        got.append(item)
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [("k2", 2)]
+    assert store.items == [("k1", 1)]
+
+
+def test_store_filtered_get_does_not_block_plain_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def filtered(env, store):
+        item = yield store.get(filter=lambda it: it == "special")
+        got.append(("filtered", item, env.now))
+
+    def plain(env, store):
+        item = yield store.get()
+        got.append(("plain", item, env.now))
+
+    def producer(env, store):
+        yield env.timeout(1.0)
+        yield store.put("ordinary")
+        yield env.timeout(1.0)
+        yield store.put("special")
+
+    env.process(filtered(env, store))
+    env.process(plain(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert ("plain", "ordinary", 1.0) in got
+    assert ("filtered", "special", 2.0) in got
+
+
+def test_store_level():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env, store):
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(producer(env, store))
+    env.run()
+    assert store.level == 2
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_store_many_producers_consumers_conserve_items():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env, store, base):
+        for i in range(10):
+            yield env.timeout(0.1)
+            yield store.put(base + i)
+
+    def consumer(env, store):
+        while True:
+            item = yield store.get()
+            received.append(item)
+
+    for p in range(3):
+        env.process(producer(env, store, p * 100))
+    env.process(consumer(env, store))
+    env.run(until=100.0)
+    assert sorted(received) == sorted(
+        [p * 100 + i for p in range(3) for i in range(10)]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Container
+# ---------------------------------------------------------------------------
+
+
+def test_container_init_and_level():
+    env = Environment()
+    c = Container(env, capacity=100.0, init=40.0)
+    assert c.level == 40.0
+
+
+def test_container_get_blocks_until_enough():
+    env = Environment()
+    c = Container(env, capacity=100.0, init=0.0)
+    times = []
+
+    def consumer(env, c):
+        yield c.get(30.0)
+        times.append(env.now)
+
+    def producer(env, c):
+        for _ in range(3):
+            yield env.timeout(1.0)
+            yield c.put(10.0)
+
+    env.process(consumer(env, c))
+    env.process(producer(env, c))
+    env.run()
+    assert times == [3.0]
+    assert c.level == 0.0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    c = Container(env, capacity=10.0, init=10.0)
+    times = []
+
+    def producer(env, c):
+        yield c.put(5.0)
+        times.append(env.now)
+
+    def consumer(env, c):
+        yield env.timeout(2.0)
+        yield c.get(5.0)
+
+    env.process(producer(env, c))
+    env.process(consumer(env, c))
+    env.run()
+    assert times == [2.0]
+    assert c.level == 10.0
+
+
+def test_container_rejects_nonpositive_amounts():
+    env = Environment()
+    c = Container(env, capacity=10.0)
+    with pytest.raises(SimulationError):
+        c.put(0.0)
+    with pytest.raises(SimulationError):
+        c.get(-1.0)
+
+
+def test_container_invalid_init():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Container(env, capacity=10.0, init=20.0)

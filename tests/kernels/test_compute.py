@@ -1,0 +1,137 @@
+"""Tests for compute kernels."""
+
+import numpy as np
+import pytest
+
+from repro.config import KernelConfig
+from repro.errors import KernelError
+from repro.kernels import KernelContext, device_from_name, list_kernels, make_kernel
+
+TABLE1_COMPUTE = [
+    "MatMulSimple2D",
+    "MatMulGeneral",
+    "FFT",
+    "AXPY",
+    "InplaceCompute",
+    "GenerateRandomNumber",
+    "ScatterAdd",
+]
+
+
+def make(kernel, data_size=(16, 16), device="cpu", params=None):
+    cfg = KernelConfig(
+        mini_app_kernel=kernel, data_size=data_size, device=device, params=params or {}
+    )
+    ctx = KernelContext(device=device_from_name(device), rng=np.random.default_rng(0))
+    return make_kernel(cfg, ctx)
+
+
+def test_all_table1_compute_kernels_registered():
+    registered = list_kernels(category="compute")
+    for name in TABLE1_COMPUTE:
+        assert name in registered, name
+
+
+@pytest.mark.parametrize("name", TABLE1_COMPUTE)
+@pytest.mark.parametrize("device", ["cpu", "xpu"])
+def test_kernel_runs_on_both_devices(name, device):
+    k = make(name, device=device)
+    result = k.run_once()
+    assert result.bytes_processed > 0
+
+
+def test_unknown_kernel_name():
+    with pytest.raises(KernelError, match="unknown kernel"):
+        make("NotAKernel")
+
+
+def test_matmul_simple_flops():
+    k = make("MatMulSimple2D", data_size=(8, 4))
+    result = k.run_once()
+    # A is 8x4, B is 4x8, C is 8x8: 2*8*4*8 flops
+    assert result.flops == 2 * 8 * 4 * 8
+
+
+def test_matmul_simple_square_from_1d_size():
+    k = make("MatMulSimple2D", data_size=(8,))
+    assert k.a.shape == (8, 8)
+
+
+def test_matmul_bad_data_size():
+    with pytest.raises(KernelError):
+        make("MatMulSimple2D", data_size=(2, 2, 2))
+
+
+def test_matmul_general_beta_accumulates():
+    k = make("MatMulGeneral", data_size=(4, 4), params={"alpha": 1.0, "beta": 1.0})
+    k.run_once()
+    first = k.c.data.copy()
+    k.run_once()
+    np.testing.assert_allclose(k.c.data, 2 * first)
+
+
+def test_matmul_general_beta_zero_idempotent():
+    k = make("MatMulGeneral", data_size=(4, 4), params={"beta": 0.0})
+    k.run_once()
+    first = k.c.data.copy()
+    k.run_once()
+    np.testing.assert_allclose(k.c.data, first)
+
+
+def test_fft_result_accounting():
+    k = make("FFT", data_size=(64,))
+    result = k.run_once()
+    assert result.flops > 0
+    assert result.bytes_processed >= 64 * 8
+
+
+def test_axpy_updates_y():
+    k = make("AXPY", data_size=(100,), params={"alpha": 2.0})
+    x = k.x.data.copy()
+    y = k.y.data.copy()
+    k.run_once()
+    np.testing.assert_allclose(k.y.data, y + 2.0 * x)
+
+
+def test_inplace_compute_default_sin():
+    k = make("InplaceCompute", data_size=(10,))
+    x = k.x.data.copy()
+    k.run_once()
+    np.testing.assert_allclose(k.x.data, np.sin(x))
+
+
+@pytest.mark.parametrize("fn", ["sin", "cos", "expdecay", "sqrtabs", "squaremod"])
+def test_inplace_compute_functions_stay_bounded(fn):
+    k = make("InplaceCompute", data_size=(50,), params={"fn": fn})
+    for _ in range(20):
+        k.run_once()
+    assert np.all(np.isfinite(k.x.data))
+    assert np.all(np.abs(k.x.data) <= 2.0)
+
+
+def test_inplace_compute_unknown_fn():
+    with pytest.raises(KernelError, match="unknown fn"):
+        make("InplaceCompute", params={"fn": "tan"})
+
+
+def test_generate_random_number_changes_output():
+    k = make("GenerateRandomNumber", data_size=(32,))
+    k.run_once()
+    first = k.out.data.copy()
+    k.run_once()
+    assert not np.array_equal(first, k.out.data)
+
+
+def test_scatter_add_accumulates():
+    k = make("ScatterAdd", data_size=(64,))
+    k.run_once()
+    total_once = k.target.data.sum()
+    k.run_once()
+    assert k.target.data.sum() == pytest.approx(2 * total_once)
+    # scatter-add total equals sum of scattered values
+    assert total_once == pytest.approx(k.values.data.sum())
+
+
+def test_kernel_repr():
+    k = make("AXPY", data_size=(10,))
+    assert "AXPY" in repr(k)

@@ -1,0 +1,85 @@
+"""Tests for the device abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.kernels import Device, TransferModel, device_from_name
+
+
+def test_device_kinds():
+    assert Device("cpu").kind == "cpu"
+    assert Device("xpu").is_gpu
+    assert not Device("cpu").is_gpu
+    with pytest.raises(DeviceError):
+        Device("cuda")
+
+
+def test_device_from_name():
+    d = device_from_name("xpu", index=3)
+    assert d.kind == "xpu"
+    assert d.index == 3
+
+
+def test_cpu_from_host_is_free_and_shares_memory():
+    d = Device("cpu")
+    host = np.arange(10.0)
+    darr, t = d.from_host(host)
+    assert t == 0.0
+    assert darr.data is host  # no copy on the CPU device
+    assert d.bytes_to_device == 0.0
+
+
+def test_xpu_from_host_copies_and_charges():
+    d = Device("xpu", transfer=TransferModel(bandwidth=1e9, latency=1e-6))
+    host = np.arange(1000.0)
+    darr, t = d.from_host(host)
+    assert t == pytest.approx(1e-6 + host.nbytes / 1e9)
+    assert darr.data is not host
+    np.testing.assert_array_equal(darr.data, host)
+    assert d.bytes_to_device == host.nbytes
+
+
+def test_xpu_to_host_copies_and_charges():
+    d = Device("xpu")
+    darr, _ = d.from_host(np.ones(100))
+    back, t = d.to_host(darr)
+    assert t > 0
+    np.testing.assert_array_equal(back, np.ones(100))
+    assert d.bytes_to_host == darr.nbytes
+
+
+def test_to_host_wrong_device_rejected():
+    d1, d2 = Device("xpu"), Device("xpu")
+    darr, _ = d1.from_host(np.ones(4))
+    with pytest.raises(DeviceError):
+        d2.to_host(darr)
+
+
+def test_same_device_check():
+    d1, d2 = Device("xpu"), Device("xpu")
+    a, _ = d1.from_host(np.ones(4))
+    b, _ = d2.from_host(np.ones(4))
+    with pytest.raises(DeviceError):
+        a.same_device(b)
+    c, _ = d1.from_host(np.ones(4))
+    a.same_device(c)  # no raise
+
+
+def test_transfer_model_validation():
+    with pytest.raises(DeviceError):
+        TransferModel().time(-1)
+
+
+def test_device_array_properties():
+    d = Device("cpu")
+    arr = d.zeros((3, 4))
+    assert arr.shape == (3, 4)
+    assert arr.nbytes == 3 * 4 * 8
+    assert arr.dtype == np.float64
+
+
+def test_device_alloc_helpers():
+    d = Device("xpu")
+    assert d.empty((5,)).shape == (5,)
+    assert np.all(d.zeros((5,)).data == 0)

@@ -1,0 +1,151 @@
+"""Tests for the kernel registry and execution control (run_time/run_count)."""
+
+import numpy as np
+import pytest
+
+from repro.config import KernelConfig
+from repro.config.distributions import Discrete
+from repro.errors import KernelError
+from repro.kernels import (
+    Kernel,
+    KernelContext,
+    KernelExecutor,
+    KernelResult,
+    device_from_name,
+    kernel_class,
+    make_kernel,
+    register_kernel,
+)
+from repro.telemetry import VirtualClock
+
+
+class CountingKernel(Kernel):
+    """Test helper: counts run_once calls; advances a virtual clock."""
+
+    name = "_CountingKernel"
+    category = "compute"
+
+    def setup(self):
+        self.calls = 0
+        self.cost = float(self.config.params.get("cost", 0.001))
+        self.clock = None  # attached by tests
+
+    def run_once(self):
+        self.calls += 1
+        if self.clock is not None:
+            self.clock.advance(self.cost)
+        return KernelResult(bytes_processed=1.0)
+
+
+# Register once at import; the registry is global.
+try:
+    kernel_class(CountingKernel.name)
+except KernelError:
+    register_kernel(CountingKernel)
+
+
+def make_counting(run_time=None, run_count=None, cost=0.001):
+    cfg = KernelConfig(
+        mini_app_kernel="_CountingKernel",
+        run_time=run_time,
+        run_count=run_count,
+        params={"cost": cost},
+    )
+    ctx = KernelContext(device=device_from_name("cpu"), rng=np.random.default_rng(0))
+    kernel = make_kernel(cfg, ctx)
+    clock = VirtualClock()
+    kernel.clock = clock
+    return kernel, KernelExecutor(kernel, clock=clock)
+
+
+def test_registry_rejects_duplicate_name():
+    with pytest.raises(KernelError, match="already registered"):
+
+        @register_kernel
+        class Duplicate(Kernel):  # noqa: F811
+            name = "_CountingKernel"
+
+            def run_once(self):
+                return KernelResult()
+
+
+def test_registry_rejects_empty_name():
+    with pytest.raises(KernelError, match="non-empty"):
+
+        @register_kernel
+        class Nameless(Kernel):
+            name = ""
+
+            def run_once(self):
+                return KernelResult()
+
+
+def test_run_count_executes_exactly_n_times():
+    from repro.config.distributions import Constant
+
+    kernel, executor = make_counting(run_count=Constant(5))
+    executor.run_iteration()
+    assert kernel.calls == 5
+    assert executor.total_runs == 5
+
+
+def test_run_count_stochastic_sampled_each_iteration():
+    kernel, executor = make_counting(run_count=Discrete([1, 3], weights=[0.5, 0.5]))
+    counts = []
+    for _ in range(50):
+        before = kernel.calls
+        executor.run_iteration()
+        counts.append(kernel.calls - before)
+    assert set(counts) == {1, 3}
+
+
+def test_run_time_duration_close_to_budget():
+    from repro.config.distributions import Constant
+
+    kernel, executor = make_counting(run_time=Constant(0.0315), cost=0.001)
+    duration = executor.run_iteration()
+    # The executor pads with sleep: duration lands on the budget exactly
+    # (virtual clock), and at least one op ran.
+    assert duration == pytest.approx(0.0315, abs=1e-9)
+    assert kernel.calls >= 1
+
+
+def test_run_time_runs_at_least_once_even_if_budget_tiny():
+    from repro.config.distributions import Constant
+
+    kernel, executor = make_counting(run_time=Constant(1e-9), cost=0.01)
+    duration = executor.run_iteration()
+    assert kernel.calls == 1
+    assert duration >= 0.01  # overshoot: op cost exceeds the budget
+
+
+def test_run_time_repeats_op_to_fill_budget():
+    from repro.config.distributions import Constant
+
+    kernel, executor = make_counting(run_time=Constant(0.0105), cost=0.001)
+    executor.run_iteration()
+    # ~10 ops of 1ms fit in a 10.5ms budget before sleep-padding kicks in.
+    assert 9 <= kernel.calls <= 11
+
+
+def test_run_time_iterations_tightly_repeatable():
+    """Table 3's point: mini-app iteration times have tiny std."""
+    from repro.config.distributions import Constant
+
+    kernel, executor = make_counting(run_time=Constant(0.02), cost=0.0007)
+    durations = [executor.run_iteration() for _ in range(20)]
+    assert float(np.std(durations)) < 1e-6
+
+
+def test_run_count_zero_runs_nothing():
+    from repro.config.distributions import Constant
+
+    kernel, executor = make_counting(run_count=Constant(0))
+    executor.run_iteration()
+    assert kernel.calls == 0
+
+
+def test_make_kernel_default_context():
+    cfg = KernelConfig(mini_app_kernel="AXPY", data_size=(8,), device="xpu")
+    k = make_kernel(cfg)
+    assert k.ctx.device.kind == "xpu"

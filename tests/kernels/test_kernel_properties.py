@@ -1,0 +1,60 @@
+"""Property-based tests for kernel configs and execution control."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import KernelConfig
+from repro.config.distributions import Constant
+from repro.kernels import KernelContext, KernelExecutor, device_from_name, make_kernel
+from repro.telemetry import VirtualClock
+
+SAFE_KERNELS = ["AXPY", "InplaceCompute", "GenerateRandomNumber", "MatMulSimple2D"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    kernel=st.sampled_from(SAFE_KERNELS),
+    size=st.integers(min_value=1, max_value=64),
+    device=st.sampled_from(["cpu", "xpu"]),
+)
+def test_any_kernel_config_round_trips_and_runs(kernel, size, device):
+    cfg = KernelConfig.from_dict(
+        {"mini_app_kernel": kernel, "data_size": [size], "device": device, "run_count": 1}
+    )
+    assert KernelConfig.from_dict(cfg.to_dict()) == cfg
+    k = make_kernel(
+        cfg,
+        KernelContext(device=device_from_name(device), rng=np.random.default_rng(0)),
+    )
+    result = k.run_once()
+    assert result.bytes_processed > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(count=st.integers(min_value=0, max_value=20))
+def test_run_count_is_exact_property(count):
+    cfg = KernelConfig(
+        mini_app_kernel="AXPY", data_size=(8,), run_count=Constant(count)
+    )
+    ctx = KernelContext(device=device_from_name("cpu"), rng=np.random.default_rng(0))
+    kernel = make_kernel(cfg, ctx)
+    executor = KernelExecutor(kernel, clock=VirtualClock(auto_advance=1e-6))
+    executor.run_iteration()
+    assert executor.total_runs == count
+
+
+@settings(max_examples=25, deadline=None)
+@given(budget=st.floats(min_value=1e-4, max_value=0.1, allow_nan=False))
+def test_run_time_duration_at_least_budget_property(budget):
+    """With a virtual clock, an iteration never undershoots its budget."""
+    cfg = KernelConfig(
+        mini_app_kernel="AXPY", data_size=(8,), run_time=Constant(budget)
+    )
+    ctx = KernelContext(device=device_from_name("cpu"), rng=np.random.default_rng(0))
+    kernel = make_kernel(cfg, ctx)
+    executor = KernelExecutor(kernel, clock=VirtualClock(auto_advance=1e-5))
+    duration = executor.run_iteration()
+    assert duration >= budget - 1e-12
+    # and never wildly overshoots (one op's worth at most)
+    assert duration <= budget + 1e-4 + 1e-12

@@ -1,0 +1,114 @@
+"""Tests for distributed data-parallel training over the MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.config import AIConfig
+from repro.errors import MLError
+from repro.ml import SGD, DistributedDataParallel, build_mlp, shard_batch, train_step
+from repro.mpi import run_parallel
+
+
+def test_ddp_single_rank_noop():
+    model = build_mlp(AIConfig(input_dim=4, hidden_dims=(8,), output_dim=2))
+    ddp = DistributedDataParallel(model, comm=None)
+    assert ddp.world_size == 1
+    assert ddp.allreduce_gradients() == 0.0
+    assert ddp.check_synchronized()
+
+
+def test_ddp_broadcast_synchronizes_initial_params():
+    def fn(comm):
+        model = build_mlp(AIConfig(input_dim=4, hidden_dims=(8,), output_dim=2, seed=comm.rank))
+        ddp = DistributedDataParallel(model, comm=comm)
+        return ddp.check_synchronized()
+
+    assert all(run_parallel(fn, 4))
+
+
+def test_ddp_replicas_stay_synchronized_across_steps():
+    rng = np.random.default_rng(0)
+    x_global = rng.normal(size=(32, 4))
+    y_global = rng.normal(size=(32, 2))
+
+    def fn(comm):
+        model = build_mlp(AIConfig(input_dim=4, hidden_dims=(8,), output_dim=2, seed=comm.rank))
+        ddp = DistributedDataParallel(model, comm=comm)
+        opt = SGD(model, lr=0.05)
+        x, y = shard_batch(x_global, y_global, comm)
+        for _ in range(5):
+            ddp.train_step(opt, x, y)
+        assert ddp.check_synchronized()
+        return model.get_param("0.W").copy()
+
+    weights = run_parallel(fn, 4)
+    for w in weights[1:]:
+        np.testing.assert_allclose(w, weights[0])
+
+
+def test_ddp_equivalent_to_serial_large_batch():
+    """DDP over shards == serial training on the whole batch (gradients
+    average exactly for MSE when shards are equal)."""
+    rng = np.random.default_rng(1)
+    x_global = rng.normal(size=(32, 4))
+    y_global = rng.normal(size=(32, 2))
+
+    serial = build_mlp(AIConfig(input_dim=4, hidden_dims=(8,), output_dim=2, seed=0))
+    opt = SGD(serial, lr=0.1)
+    for _ in range(3):
+        train_step(serial, opt, x_global, y_global)
+
+    def fn(comm):
+        model = build_mlp(AIConfig(input_dim=4, hidden_dims=(8,), output_dim=2, seed=0))
+        ddp = DistributedDataParallel(model, comm=comm)
+        opt = SGD(model, lr=0.1)
+        x, y = shard_batch(x_global, y_global, comm)
+        for _ in range(3):
+            ddp.train_step(opt, x, y)
+        return model.get_param("0.W").copy()
+
+    weights = run_parallel(fn, 4)
+    np.testing.assert_allclose(weights[0], serial.get_param("0.W"), atol=1e-10)
+
+
+def test_ddp_global_loss_is_mean():
+    def fn(comm):
+        model = build_mlp(AIConfig(input_dim=2, hidden_dims=(), output_dim=1, seed=0))
+        ddp = DistributedDataParallel(model, comm=comm)
+        opt = SGD(model, lr=1e-9)  # negligible update
+        x = np.full((2, 2), float(comm.rank))
+        y = np.zeros((2, 1))
+        return ddp.train_step(opt, x, y)
+
+    losses = run_parallel(fn, 3)
+    assert losses[0] == pytest.approx(losses[1])
+    assert losses[1] == pytest.approx(losses[2])
+
+
+def test_gradient_nbytes():
+    model = build_mlp(AIConfig(input_dim=4, hidden_dims=(8,), output_dim=2))
+    ddp = DistributedDataParallel(model)
+    model.zero_grad()
+    expected = 8 * ((4 * 8 + 8) + (8 * 2 + 2))
+    assert ddp.gradient_nbytes() == expected
+
+
+def test_shard_batch_covers_all_rows():
+    x = np.arange(10).reshape(10, 1).astype(float)
+    y = x.copy()
+
+    def fn(comm):
+        xs, _ = shard_batch(x, y, comm)
+        return xs[:, 0].tolist()
+
+    shards = run_parallel(fn, 3)
+    flat = [v for shard in shards for v in shard]
+    assert sorted(flat) == list(range(10))
+
+
+def test_shard_batch_too_small():
+    def fn(comm):
+        shard_batch(np.ones((1, 2)), np.ones((1, 1)), comm)
+
+    with pytest.raises(MLError):
+        run_parallel(fn, 2)

@@ -1,0 +1,175 @@
+"""Tests for the GNN extension (GraphConv, mesh graphs, halo model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import (
+    SGD,
+    GraphConv,
+    HaloExchangeModel,
+    MSELoss,
+    build_gnn,
+    mesh_graph,
+    normalized_adjacency,
+)
+
+
+def ring_adjacency(n):
+    a = np.zeros((n, n))
+    for i in range(n):
+        a[i, (i + 1) % n] = a[(i + 1) % n, i] = 1.0
+    return a
+
+
+def test_normalized_adjacency_rows_reasonable():
+    a_hat = normalized_adjacency(ring_adjacency(6))
+    assert a_hat.shape == (6, 6)
+    # Symmetric normalization of a regular graph has constant row sums of 1.
+    np.testing.assert_allclose(a_hat.sum(axis=1), np.ones(6))
+    assert np.allclose(a_hat, a_hat.T)
+
+
+def test_normalized_adjacency_validation():
+    with pytest.raises(MLError):
+        normalized_adjacency(np.zeros((2, 3)))
+    asym = np.zeros((3, 3))
+    asym[0, 1] = 1.0
+    with pytest.raises(MLError):
+        normalized_adjacency(asym)
+
+
+def test_mesh_graph_degrees():
+    a = mesh_graph(3, 3)
+    degrees = a.sum(axis=1)
+    assert degrees[4] == 4  # center node
+    assert degrees[0] == 2  # corner
+    assert sorted(set(degrees)) == [2, 3, 4]
+
+
+def test_mesh_graph_validation():
+    with pytest.raises(MLError):
+        mesh_graph(0, 3)
+
+
+def test_graphconv_forward_shape():
+    a_hat = normalized_adjacency(mesh_graph(4, 4))
+    layer = GraphConv(a_hat, 3, 5, rng=np.random.default_rng(0))
+    y = layer(np.ones((16, 3)))
+    assert y.shape == (16, 5)
+
+
+def test_graphconv_shape_validation():
+    a_hat = normalized_adjacency(ring_adjacency(4))
+    layer = GraphConv(a_hat, 3, 2)
+    with pytest.raises(MLError):
+        layer(np.ones((5, 3)))  # wrong node count
+    with pytest.raises(MLError):
+        layer(np.ones((4, 2)))  # wrong features
+    with pytest.raises(MLError):
+        GraphConv(a_hat, 0, 2)
+    with pytest.raises(MLError):
+        layer.backward(np.ones((4, 2)))  # before forward
+
+
+def test_graphconv_aggregates_neighbours():
+    """With identity weights, an isolated feature spreads to neighbours."""
+    a_hat = normalized_adjacency(ring_adjacency(5))
+    layer = GraphConv(a_hat, 1, 1, bias=False)
+    layer.params["W"] = np.eye(1)
+    x = np.zeros((5, 1))
+    x[0, 0] = 1.0
+    y = layer(x)
+    assert y[0, 0] > 0
+    assert y[1, 0] > 0 and y[4, 0] > 0  # neighbours received mass
+    assert y[2, 0] == 0.0  # two hops away: nothing after one layer
+
+
+def test_graphconv_gradcheck():
+    rng = np.random.default_rng(1)
+    a_hat = normalized_adjacency(mesh_graph(2, 3))
+    layer = GraphConv(a_hat, 2, 2, rng=rng)
+    x = rng.normal(size=(6, 2))
+    layer.zero_grad()
+    layer.forward(x)
+    layer.backward(np.ones((6, 2)))
+    eps = 1e-6
+    w = layer.params["W"]
+    for i in range(w.shape[0]):
+        for j in range(w.shape[1]):
+            orig = w[i, j]
+            w[i, j] = orig + eps
+            plus = layer.forward(x).sum()
+            w[i, j] = orig - eps
+            minus = layer.forward(x).sum()
+            w[i, j] = orig
+            numeric = (plus - minus) / (2 * eps)
+            assert layer.grads["W"][i, j] == pytest.approx(numeric, abs=1e-5)
+
+
+def test_graphconv_input_gradcheck():
+    rng = np.random.default_rng(2)
+    a_hat = normalized_adjacency(ring_adjacency(4))
+    layer = GraphConv(a_hat, 2, 3, rng=rng)
+    x = rng.normal(size=(4, 2))
+    layer.zero_grad()
+    layer.forward(x)
+    gin = layer.backward(np.ones((4, 3)))
+    eps = 1e-6
+    for i in range(4):
+        for j in range(2):
+            x[i, j] += eps
+            plus = layer.forward(x).sum()
+            x[i, j] -= 2 * eps
+            minus = layer.forward(x).sum()
+            x[i, j] += eps
+            assert gin[i, j] == pytest.approx((plus - minus) / (2 * eps), abs=1e-5)
+
+
+def test_build_gnn_trains_on_mesh_regression():
+    """A GNN surrogate must learn a smooth field mapping on a mesh."""
+    from repro.ml import Adam
+
+    rng = np.random.default_rng(3)
+    adjacency = mesh_graph(5, 5)
+    # Teacher-student: a fixed random GNN generates the target field, so a
+    # same-architecture student can represent it exactly.
+    teacher = build_gnn(adjacency, in_features=2, hidden_features=(16,), out_features=1,
+                        rng=np.random.default_rng(99))
+    model = build_gnn(adjacency, in_features=2, hidden_features=(16,), out_features=1, rng=rng)
+    opt = Adam(model, lr=0.01)
+    loss_fn = MSELoss()
+
+    x = rng.normal(size=(25, 2))
+    target = teacher(x)
+
+    first = None
+    for step in range(800):
+        opt.zero_grad()
+        value, grad = loss_fn(model(x), target)
+        model.backward(grad)
+        opt.step()
+        if first is None:
+            first = value
+    assert value < 0.1 * first
+
+
+def test_build_gnn_unknown_activation():
+    with pytest.raises(MLError):
+        build_gnn(mesh_graph(2, 2), 1, (4,), 1, activation="mish")
+
+
+def test_halo_exchange_model():
+    model = HaloExchangeModel(alpha=1e-6, beta=1e-9)
+    assert model.step_time(10000, 1, features=8, n_layers=3) == 0.0
+    t4 = model.step_time(10000, 4, features=8, n_layers=3)
+    t16 = model.step_time(10000, 16, features=8, n_layers=3)
+    assert t4 > 0
+    assert t16 < t4  # smaller partitions, smaller halos
+    # More layers exchange more.
+    assert model.step_time(10000, 4, 8, 6) == pytest.approx(2 * t4)
+
+
+def test_halo_exchange_validation():
+    with pytest.raises(MLError):
+        HaloExchangeModel().halo_nodes(0, 4)

@@ -1,0 +1,185 @@
+"""Tests for layers: forward shapes and gradient checks vs finite
+differences."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import GELU, Linear, MSELoss, ReLU, Sequential, Sigmoid, Tanh
+
+
+def numerical_grad_param(module, name, x, eps=1e-6):
+    """Finite-difference dL/dparam for L = sum(module(x))."""
+    param = module.params[name]
+    grad = np.zeros_like(param)
+    it = np.nditer(param, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = param[idx]
+        param[idx] = orig + eps
+        plus = module.forward(x).sum()
+        param[idx] = orig - eps
+        minus = module.forward(x).sum()
+        param[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def test_linear_forward_shape():
+    layer = Linear(4, 3, rng=np.random.default_rng(0))
+    y = layer(np.ones((5, 4)))
+    assert y.shape == (5, 3)
+
+
+def test_linear_shape_mismatch():
+    layer = Linear(4, 3)
+    with pytest.raises(MLError):
+        layer(np.ones((5, 2)))
+    with pytest.raises(MLError):
+        layer(np.ones(4))
+
+
+def test_linear_invalid_dims():
+    with pytest.raises(MLError):
+        Linear(0, 3)
+
+
+def test_linear_backward_before_forward():
+    with pytest.raises(MLError):
+        Linear(2, 2).backward(np.ones((1, 2)))
+
+
+def test_linear_gradcheck_weights():
+    rng = np.random.default_rng(1)
+    layer = Linear(3, 2, rng=rng)
+    x = rng.normal(size=(4, 3))
+    layer.zero_grad()
+    layer.forward(x)
+    layer.backward(np.ones((4, 2)))
+    num = numerical_grad_param(layer, "W", x)
+    np.testing.assert_allclose(layer.grads["W"], num, atol=1e-5)
+
+
+def test_linear_gradcheck_bias():
+    rng = np.random.default_rng(2)
+    layer = Linear(3, 2, rng=rng)
+    x = rng.normal(size=(4, 3))
+    layer.zero_grad()
+    layer.forward(x)
+    layer.backward(np.ones((4, 2)))
+    num = numerical_grad_param(layer, "b", x)
+    np.testing.assert_allclose(layer.grads["b"], num, atol=1e-5)
+
+
+def test_linear_input_gradient():
+    rng = np.random.default_rng(3)
+    layer = Linear(3, 2, rng=rng)
+    x = rng.normal(size=(4, 3))
+    layer.zero_grad()
+    layer.forward(x)
+    gin = layer.backward(np.ones((4, 2)))
+    # dL/dx for L=sum(y) is ones @ W.T
+    np.testing.assert_allclose(gin, np.ones((4, 2)) @ layer.params["W"].T)
+
+
+def test_linear_no_bias():
+    layer = Linear(3, 2, bias=False)
+    assert "b" not in layer.params
+    layer.zero_grad()
+    layer.forward(np.ones((1, 3)))
+    layer.backward(np.ones((1, 2)))
+
+
+def test_linear_grad_accumulates():
+    rng = np.random.default_rng(4)
+    layer = Linear(2, 2, rng=rng)
+    x = rng.normal(size=(3, 2))
+    layer.zero_grad()
+    layer.forward(x)
+    layer.backward(np.ones((3, 2)))
+    once = layer.grads["W"].copy()
+    layer.forward(x)
+    layer.backward(np.ones((3, 2)))
+    np.testing.assert_allclose(layer.grads["W"], 2 * once)
+
+
+@pytest.mark.parametrize("act_cls", [ReLU, Tanh, Sigmoid, GELU])
+def test_activation_gradcheck(act_cls):
+    rng = np.random.default_rng(5)
+    act = act_cls()
+    x = rng.normal(size=(4, 3)) + 0.1  # avoid ReLU kink at exactly 0
+    act.forward(x)
+    analytic = act.backward(np.ones_like(x))
+    eps = 1e-6
+    numeric = (act._fn(x + eps) - act._fn(x - eps)) / (2 * eps)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+def test_activation_backward_before_forward():
+    with pytest.raises(MLError):
+        ReLU().backward(np.ones((1, 1)))
+
+
+def test_sequential_forward_backward_chain():
+    rng = np.random.default_rng(6)
+    model = Sequential(Linear(3, 5, rng=rng), ReLU(), Linear(5, 2, rng=rng))
+    x = rng.normal(size=(7, 3))
+    y = model(x)
+    assert y.shape == (7, 2)
+    model.zero_grad()
+    gin = model.backward(np.ones((7, 2)))
+    assert gin.shape == (7, 3)
+
+
+def test_sequential_gradcheck_end_to_end():
+    """Full-model gradient check through loss."""
+    rng = np.random.default_rng(7)
+    model = Sequential(Linear(3, 4, rng=rng), Tanh(), Linear(4, 2, rng=rng))
+    x = rng.normal(size=(5, 3))
+    target = rng.normal(size=(5, 2))
+    loss_fn = MSELoss()
+
+    model.zero_grad()
+    value, grad = loss_fn(model(x), target)
+    model.backward(grad)
+
+    eps = 1e-6
+    for name, analytic in model.all_grads():
+        param = model.get_param(name)
+        flat = param.reshape(-1)
+        for k in range(0, flat.size, max(1, flat.size // 5)):  # spot-check
+            orig = flat[k]
+            flat[k] = orig + eps
+            plus, _ = loss_fn(model(x), target)
+            flat[k] = orig - eps
+            minus, _ = loss_fn(model(x), target)
+            flat[k] = orig
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic.reshape(-1)[k] == pytest.approx(numeric, abs=1e-5), name
+
+
+def test_parameter_count():
+    model = Sequential(Linear(3, 5), ReLU(), Linear(5, 2))
+    assert model.parameter_count() == (3 * 5 + 5) + (5 * 2 + 2)
+
+
+def test_named_parameters():
+    model = Sequential(Linear(2, 2), ReLU(), Linear(2, 1))
+    names = [n for n, _ in model.named_parameters()]
+    assert names == ["0.W", "0.b", "2.W", "2.b"]
+
+
+def test_get_set_param_roundtrip():
+    model = Sequential(Linear(2, 2))
+    new = np.ones((2, 2))
+    model.set_param("0.W", new)
+    np.testing.assert_array_equal(model.get_param("0.W"), new)
+
+
+def test_train_eval_mode_propagates():
+    model = Sequential(Linear(2, 2), ReLU())
+    model.eval()
+    assert not model.modules[0].training
+    model.train()
+    assert model.modules[1].training

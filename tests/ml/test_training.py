@@ -1,0 +1,266 @@
+"""Tests for losses, optimizers, network builder, training, and data."""
+
+import numpy as np
+import pytest
+
+from repro.config import AIConfig
+from repro.errors import MLError
+from repro.ml import (
+    Adam,
+    CrossEntropyLoss,
+    DataLoader,
+    MSELoss,
+    ReplayDataset,
+    SGD,
+    build_mlp,
+    evaluate,
+    synthetic_snapshot,
+    train_step,
+)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+
+
+def test_mse_value_and_grad():
+    loss = MSELoss()
+    pred = np.array([[1.0, 2.0]])
+    target = np.array([[0.0, 0.0]])
+    value, grad = loss(pred, target)
+    assert value == pytest.approx((1 + 4) / 2)
+    np.testing.assert_allclose(grad, [[1.0, 2.0]])
+
+
+def test_mse_shape_mismatch():
+    with pytest.raises(MLError):
+        MSELoss()(np.ones((2, 2)), np.ones((2, 3)))
+
+
+def test_cross_entropy_uniform_logits():
+    loss = CrossEntropyLoss()
+    logits = np.zeros((4, 10))
+    value, grad = loss(logits, np.zeros(4, dtype=int))
+    assert value == pytest.approx(np.log(10))
+    assert grad.shape == (4, 10)
+
+
+def test_cross_entropy_gradcheck():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(3, 5))
+    target = np.array([0, 2, 4])
+    loss = CrossEntropyLoss()
+    _, grad = loss(logits, target)
+    eps = 1e-6
+    for i in range(3):
+        for j in range(5):
+            logits[i, j] += eps
+            plus, _ = loss(logits, target)
+            logits[i, j] -= 2 * eps
+            minus, _ = loss(logits, target)
+            logits[i, j] += eps
+            assert grad[i, j] == pytest.approx((plus - minus) / (2 * eps), abs=1e-5)
+
+
+def test_cross_entropy_validation():
+    loss = CrossEntropyLoss()
+    with pytest.raises(MLError):
+        loss(np.zeros((2, 3, 1)), np.zeros(2, dtype=int))
+    with pytest.raises(MLError):
+        loss(np.zeros((2, 3)), np.zeros(3, dtype=int))
+    with pytest.raises(MLError):
+        loss(np.zeros((2, 3)), np.zeros(2, dtype=float))
+    with pytest.raises(MLError):
+        loss(np.zeros((2, 3)), np.array([0, 7]))
+
+
+# ---------------------------------------------------------------------------
+# Optimizers
+# ---------------------------------------------------------------------------
+
+
+def quadratic_model():
+    """1-parameter model for closed-form optimizer checks."""
+    from repro.ml.layers import Linear, Sequential
+
+    model = Sequential(Linear(1, 1, bias=False))
+    model.set_param("0.W", np.array([[10.0]]))
+    return model
+
+
+def test_sgd_step_matches_formula():
+    model = quadratic_model()
+    opt = SGD(model, lr=0.1)
+    model.set_grad("0.W", np.array([[2.0]]))
+    opt.step()
+    assert model.get_param("0.W")[0, 0] == pytest.approx(10.0 - 0.1 * 2.0)
+
+
+def test_sgd_momentum_accumulates():
+    model = quadratic_model()
+    opt = SGD(model, lr=0.1, momentum=0.9)
+    model.set_grad("0.W", np.array([[1.0]]))
+    opt.step()  # v=1, W=10-0.1
+    model.set_grad("0.W", np.array([[1.0]]))
+    opt.step()  # v=1.9, W=9.9-0.19
+    assert model.get_param("0.W")[0, 0] == pytest.approx(10.0 - 0.1 - 0.19)
+
+
+def test_sgd_validation():
+    with pytest.raises(MLError):
+        SGD(quadratic_model(), lr=0.0)
+    with pytest.raises(MLError):
+        SGD(quadratic_model(), lr=0.1, momentum=1.0)
+
+
+def test_adam_first_step_size():
+    model = quadratic_model()
+    opt = Adam(model, lr=0.001)
+    model.set_grad("0.W", np.array([[5.0]]))
+    opt.step()
+    # Adam's first step is ~lr regardless of gradient scale.
+    assert model.get_param("0.W")[0, 0] == pytest.approx(10.0 - 0.001, abs=1e-6)
+
+
+def test_adam_validation():
+    with pytest.raises(MLError):
+        Adam(quadratic_model(), lr=0.001, betas=(1.0, 0.9))
+
+
+def test_optimizers_converge_on_regression():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(256, 4))
+    w_true = rng.normal(size=(4, 2))
+    y = x @ w_true
+
+    for opt_cls, lr in ((SGD, 0.05), (Adam, 0.01)):
+        cfg = AIConfig(input_dim=4, hidden_dims=(16,), output_dim=2, seed=1)
+        model = build_mlp(cfg)
+        opt = opt_cls(model, lr=lr)
+        first = train_step(model, opt, x, y)
+        for _ in range(300):
+            last = train_step(model, opt, x, y)
+        assert last < 0.1 * first, opt_cls.__name__
+
+
+# ---------------------------------------------------------------------------
+# Network builder
+# ---------------------------------------------------------------------------
+
+
+def test_build_mlp_architecture():
+    cfg = AIConfig(input_dim=8, hidden_dims=(32, 16), output_dim=4)
+    model = build_mlp(cfg)
+    # Linear, act, Linear, act, Linear
+    assert len(model.modules) == 5
+    y = model(np.zeros((2, 8)))
+    assert y.shape == (2, 4)
+
+
+def test_build_mlp_no_hidden():
+    cfg = AIConfig(input_dim=8, hidden_dims=(), output_dim=4)
+    model = build_mlp(cfg)
+    assert len(model.modules) == 1
+
+
+def test_build_mlp_unknown_activation():
+    with pytest.raises(MLError):
+        build_mlp(AIConfig(), activation="swish")
+
+
+def test_build_mlp_deterministic_by_seed():
+    a = build_mlp(AIConfig(seed=3))
+    b = build_mlp(AIConfig(seed=3))
+    np.testing.assert_array_equal(a.get_param("0.W"), b.get_param("0.W"))
+
+
+def test_evaluate_does_not_update():
+    cfg = AIConfig(input_dim=4, hidden_dims=(8,), output_dim=2)
+    model = build_mlp(cfg)
+    before = model.get_param("0.W").copy()
+    evaluate(model, np.ones((3, 4)), np.ones((3, 2)))
+    np.testing.assert_array_equal(model.get_param("0.W"), before)
+    assert model.training  # restored
+
+
+# ---------------------------------------------------------------------------
+# Data
+# ---------------------------------------------------------------------------
+
+
+def test_replay_dataset_add_and_sample():
+    ds = ReplayDataset(capacity=100, rng=np.random.default_rng(0))
+    ds.add(np.ones((10, 3)), np.zeros((10, 2)))
+    assert len(ds) == 10
+    x, y = ds.sample(4)
+    assert x.shape == (4, 3) and y.shape == (4, 2)
+
+
+def test_replay_dataset_eviction():
+    ds = ReplayDataset(capacity=5)
+    ds.add(np.zeros((4, 1)), np.zeros((4, 1)))
+    ds.add(np.ones((4, 1)), np.ones((4, 1)))
+    assert len(ds) == 5
+    # oldest rows evicted: pool is the last 5 rows (1 zero + 4 ones)
+    assert ds._x.sum() == 4
+
+
+def test_replay_dataset_validation():
+    with pytest.raises(MLError):
+        ReplayDataset(capacity=0)
+    ds = ReplayDataset()
+    with pytest.raises(MLError):
+        ds.sample(1)
+    ds.add(np.ones((2, 3)), np.ones((2, 2)))
+    with pytest.raises(MLError):
+        ds.add(np.ones((2, 4)), np.ones((2, 2)))
+    with pytest.raises(MLError):
+        ds.add(np.ones((2, 3)), np.ones((3, 2)))
+    with pytest.raises(MLError):
+        ds.sample(0)
+
+
+def test_replay_sample_with_replacement_when_small():
+    ds = ReplayDataset()
+    ds.add(np.ones((2, 1)), np.ones((2, 1)))
+    x, _ = ds.sample(10)
+    assert x.shape == (10, 1)
+
+
+def test_dataloader_iterates_forever():
+    ds = ReplayDataset()
+    ds.add(np.ones((8, 2)), np.ones((8, 1)))
+    loader = DataLoader(ds, batch_size=4)
+    it = iter(loader)
+    for _ in range(5):
+        x, y = next(it)
+        assert x.shape == (4, 2)
+
+
+def test_dataloader_validation():
+    with pytest.raises(MLError):
+        DataLoader(ReplayDataset(), batch_size=0)
+
+
+def test_synthetic_snapshot_learnable():
+    """Training on synthetic snapshots must reduce loss (ground truth is
+    shared across snapshots)."""
+    rng = np.random.default_rng(0)
+    cfg = AIConfig(input_dim=8, hidden_dims=(32,), output_dim=4, seed=0)
+    model = build_mlp(cfg)
+    opt = Adam(model, lr=0.005)
+    ds = ReplayDataset(rng=np.random.default_rng(1))
+    x0, y0 = synthetic_snapshot(200, 8, 4, rng)
+    ds.add(x0, y0)
+    first = train_step(model, opt, *ds.sample(64))
+    for i in range(200):
+        if i % 50 == 0:  # online refresh
+            ds.add(*synthetic_snapshot(100, 8, 4, rng))
+        last = train_step(model, opt, *ds.sample(64))
+    assert last < 0.5 * first
+
+
+def test_synthetic_snapshot_validation():
+    with pytest.raises(MLError):
+        synthetic_snapshot(0, 2, 2, np.random.default_rng(0))

@@ -1,0 +1,88 @@
+"""Property-based tests: collectives agree with their serial references
+for arbitrary rank counts and payloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MAX, MIN, SUM, run_parallel
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=9),
+    length=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_allreduce_sum_matches_numpy(size, length, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(size, length))
+
+    def fn(comm):
+        return comm.allreduce(data[comm.rank].copy(), op=SUM)
+
+    expected = data.sum(axis=0)
+    for result in run_parallel(fn, size):
+        np.testing.assert_allclose(result, expected, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=8),
+    op_name=st.sampled_from(["max", "min"]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_allreduce_minmax_matches_numpy(size, op_name, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-100, 100, size=(size, 8)).astype(float)
+    op = MAX if op_name == "max" else MIN
+    ref = data.max(axis=0) if op_name == "max" else data.min(axis=0)
+
+    def fn(comm):
+        return comm.allreduce(data[comm.rank].copy(), op=op)
+
+    for result in run_parallel(fn, size):
+        np.testing.assert_array_equal(result, ref)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=9),
+    root=st.data(),
+)
+def test_bcast_from_any_root(size, root):
+    root_rank = root.draw(st.integers(min_value=0, max_value=size - 1))
+    payload = {"root": root_rank, "data": list(range(root_rank))}
+
+    def fn(comm):
+        obj = payload if comm.rank == root_rank else None
+        return comm.bcast(obj, root=root_rank)
+
+    assert run_parallel(fn, size) == [payload] * size
+
+
+@settings(max_examples=15, deadline=None)
+@given(size=st.integers(min_value=1, max_value=9))
+def test_allgather_preserves_rank_order(size):
+    def fn(comm):
+        return comm.allgather((comm.rank, comm.rank**2))
+
+    expected = [(r, r**2) for r in range(size)]
+    assert run_parallel(fn, size) == [expected] * size
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_gather_scatter_inverse(size, seed):
+    """scatter(gather(x)) is the identity on per-rank values."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 1000, size=size).tolist()
+
+    def fn(comm):
+        gathered = comm.gather(values[comm.rank], root=0)
+        return comm.scatter(gathered, root=0)
+
+    assert run_parallel(fn, size) == values

@@ -1,0 +1,258 @@
+"""Tests for the threaded MPI-like runtime: point-to-point + collectives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, LocalWorld, run_parallel
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+def test_world_validation():
+    with pytest.raises(MPIError):
+        LocalWorld(0)
+    with pytest.raises(MPIError):
+        LocalWorld(2).comm(5)
+
+
+def test_send_recv_basic():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send({"a": 7}, dest=1, tag=11)
+            return None
+        return comm.recv(source=0, tag=11)
+
+    results = run_parallel(fn, 2)
+    assert results[1] == {"a": 7}
+
+
+def test_send_recv_numpy_array():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(np.arange(1000), dest=1)
+            return None
+        return comm.recv(source=0)
+
+    results = run_parallel(fn, 2)
+    assert np.array_equal(results[1], np.arange(1000))
+
+
+def test_recv_any_source_any_tag():
+    def fn(comm):
+        if comm.rank == 0:
+            got = {comm.recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(2)}
+            return got
+        comm.send(comm.rank * 100, dest=0, tag=comm.rank)
+        return None
+
+    results = run_parallel(fn, 3)
+    assert results[0] == {100, 200}
+
+
+def test_tag_matching_out_of_order():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("first", dest=1, tag=1)
+            comm.send("second", dest=1, tag=2)
+            return None
+        second = comm.recv(source=0, tag=2)
+        first = comm.recv(source=0, tag=1)
+        return (first, second)
+
+    results = run_parallel(fn, 2)
+    assert results[1] == ("first", "second")
+
+
+def test_messages_non_overtaking_same_tag():
+    def fn(comm):
+        if comm.rank == 0:
+            for i in range(10):
+                comm.send(i, dest=1, tag=5)
+            return None
+        return [comm.recv(source=0, tag=5) for _ in range(10)]
+
+    results = run_parallel(fn, 2)
+    assert results[1] == list(range(10))
+
+
+def test_send_to_invalid_rank():
+    def fn(comm):
+        comm.send(1, dest=99)
+
+    with pytest.raises(MPIError):
+        run_parallel(fn, 2)
+
+
+def test_recv_timeout_raises():
+    def fn(comm):
+        if comm.rank == 1:
+            comm.recv(source=0, tag=0)
+
+    with pytest.raises(MPIError, match="timed out"):
+        run_parallel(fn, 2, timeout=0.3)
+
+
+def test_peer_failure_wakes_blocked_recv():
+    def fn(comm):
+        if comm.rank == 0:
+            raise ValueError("rank 0 died")
+        comm.recv(source=0)
+
+    with pytest.raises(ValueError, match="rank 0 died"):
+        run_parallel(fn, 2, timeout=30.0)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bcast(size):
+    def fn(comm):
+        obj = {"data": [1, 2, 3]} if comm.rank == 0 else None
+        return comm.bcast(obj, root=0)
+
+    for result in run_parallel(fn, size):
+        assert result == {"data": [1, 2, 3]}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bcast_nonzero_root(size):
+    root = size - 1
+
+    def fn(comm):
+        obj = "payload" if comm.rank == root else None
+        return comm.bcast(obj, root=root)
+
+    assert run_parallel(fn, size) == ["payload"] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_sum_scalars(size):
+    def fn(comm):
+        return comm.allreduce((comm.rank + 1) ** 2, op=SUM)
+
+    expected = sum((i + 1) ** 2 for i in range(size))
+    assert run_parallel(fn, size) == [expected] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_arrays_match_numpy(size):
+    def fn(comm):
+        return comm.allreduce(np.full(16, comm.rank, dtype=np.float64), op=SUM)
+
+    expected = np.full(16, sum(range(size)), dtype=np.float64)
+    for result in run_parallel(fn, size):
+        assert np.allclose(result, expected)
+
+
+@pytest.mark.parametrize("op,expected", [(MAX, 7), (MIN, 0), (PROD, 0)])
+def test_allreduce_other_ops(op, expected):
+    def fn(comm):
+        return comm.allreduce(comm.rank, op=op)
+
+    assert run_parallel(fn, 8) == [expected] * 8
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allgather(size):
+    def fn(comm):
+        return comm.allgather(comm.rank * 10)
+
+    expected = [i * 10 for i in range(size)]
+    assert run_parallel(fn, size) == [expected] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gather(size):
+    def fn(comm):
+        return comm.gather(comm.rank + 1, root=0)
+
+    results = run_parallel(fn, size)
+    assert results[0] == [i + 1 for i in range(size)]
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scatter(size):
+    def fn(comm):
+        objs = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(objs, root=0)
+
+    assert run_parallel(fn, size) == [i * i for i in range(size)]
+
+
+def test_scatter_wrong_length():
+    def fn(comm):
+        objs = [1] if comm.rank == 0 else None
+        return comm.scatter(objs, root=0)
+
+    with pytest.raises(MPIError):
+        run_parallel(fn, 2)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_reduce(size):
+    def fn(comm):
+        return comm.reduce(comm.rank, op=SUM, root=0)
+
+    results = run_parallel(fn, size)
+    assert results[0] == sum(range(size))
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_barrier_completes(size):
+    def fn(comm):
+        for _ in range(3):
+            comm.barrier()
+        return True
+
+    assert run_parallel(fn, size) == [True] * size
+
+
+def test_barrier_actually_synchronizes():
+    import threading
+
+    arrived = []
+    lock = threading.Lock()
+
+    def fn(comm):
+        import time
+
+        if comm.rank == 0:
+            time.sleep(0.2)
+        with lock:
+            arrived.append(comm.rank)
+        comm.barrier()
+        with lock:
+            n_before = len(arrived)
+        return n_before
+
+    results = run_parallel(fn, 4)
+    # After the barrier every rank must observe all 4 arrivals.
+    assert all(r == 4 for r in results)
+
+
+def test_collectives_and_pt2pt_tags_do_not_collide():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("user", dest=1, tag=3)
+        total = comm.allreduce(1, op=SUM)
+        if comm.rank == 1:
+            assert comm.recv(source=0, tag=3) == "user"
+        return total
+
+    assert run_parallel(fn, 2) == [2, 2]
+
+
+def test_parallel_matvec_integration():
+    """The mpi4py tutorial's allgather matvec, on our layer."""
+    p, m = 4, 3
+    A = np.arange(p * m * p * m, dtype=float).reshape(p * m, p * m)
+
+    def fn(comm):
+        rows = A[comm.rank * m : (comm.rank + 1) * m]
+        x_local = np.ones(m)
+        xg = np.concatenate(comm.allgather(x_local))
+        return rows @ xg
+
+    results = run_parallel(fn, p)
+    assert np.allclose(np.concatenate(results), A @ np.ones(p * m))

@@ -1,0 +1,167 @@
+"""Tests for the simulated-mode collective time models and DES channels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import DragonflyTopology, NetworkFabric
+from repro.des import Environment
+from repro.errors import MPIError
+from repro.mpi import AlphaBeta, CollectiveTimeModel, SimCommNetwork
+
+
+def test_alpha_beta_time():
+    link = AlphaBeta(alpha=1e-6, beta=1e-9)
+    assert link.time(0) == 1e-6
+    assert link.time(1000) == pytest.approx(1e-6 + 1e-6)
+    with pytest.raises(MPIError):
+        link.time(-1)
+
+
+def test_single_rank_collectives_free():
+    m = CollectiveTimeModel()
+    assert m.bcast(1, 1e6) == 0.0
+    assert m.allreduce(1, 1e6) == 0.0
+    assert m.allgather(1, 1e6) == 0.0
+    assert m.barrier(1) == 0.0
+
+
+def test_bcast_log_rounds():
+    m = CollectiveTimeModel(AlphaBeta(alpha=1.0, beta=0.0))
+    assert m.bcast(2, 0) == 1.0
+    assert m.bcast(4, 0) == 2.0
+    assert m.bcast(8, 0) == 3.0
+    assert m.bcast(5, 0) == 3.0  # ceil(log2 5)
+
+
+def test_allreduce_small_uses_recursive_doubling():
+    m = CollectiveTimeModel(AlphaBeta(alpha=1.0, beta=0.0), gamma=0.0, ring_threshold=1e6)
+    assert m.allreduce(8, 100) == 3.0
+
+
+def test_allreduce_large_uses_ring():
+    link = AlphaBeta(alpha=0.0, beta=1.0)
+    m = CollectiveTimeModel(link, gamma=0.0, ring_threshold=10.0)
+    p, nbytes = 4, 100.0
+    expected = 2 * (p - 1) * (nbytes / p)
+    assert m.allreduce(p, nbytes) == pytest.approx(expected)
+
+
+def test_ring_cheaper_than_doubling_for_large_messages():
+    m = CollectiveTimeModel()
+    p, nbytes = 16, 64e6
+    ring = m.allreduce(p, nbytes)
+    doubling_like = CollectiveTimeModel(ring_threshold=float("inf")).allreduce(p, nbytes)
+    assert ring < doubling_like
+
+
+def test_allgather_linear_in_p():
+    m = CollectiveTimeModel(AlphaBeta(alpha=0.0, beta=1.0))
+    assert m.allgather(4, 10.0) == pytest.approx(30.0)
+    assert m.allgather(8, 10.0) == pytest.approx(70.0)
+
+
+def test_validation():
+    m = CollectiveTimeModel()
+    with pytest.raises(MPIError):
+        m.bcast(0, 10)
+    with pytest.raises(MPIError):
+        m.allreduce(4, -1)
+
+
+@settings(max_examples=50)
+@given(
+    p=st.integers(min_value=1, max_value=4096),
+    nbytes=st.floats(min_value=0, max_value=1e9),
+)
+def test_collective_times_nonnegative_and_monotonic_in_p(p, nbytes):
+    m = CollectiveTimeModel()
+    assert m.allreduce(p, nbytes) >= 0
+    assert m.allgather(p, nbytes) >= 0
+    assert m.bcast(p, nbytes) >= 0
+    if p > 1:
+        assert m.allgather(p, nbytes) >= m.allgather(p - 1, nbytes)
+
+
+# ---------------------------------------------------------------------------
+# SimCommNetwork (DES point-to-point over the fabric)
+# ---------------------------------------------------------------------------
+
+
+def make_network(n_ranks=4):
+    env = Environment()
+    topo = DragonflyTopology(n_ranks, nodes_per_switch=2, switches_per_group=2)
+    fabric = NetworkFabric(env, topo)
+    net = SimCommNetwork(env, fabric, rank_to_node=list(range(n_ranks)))
+    return env, net
+
+
+def test_sim_send_recv_roundtrip():
+    env, net = make_network()
+    got = []
+
+    def sender(env, net):
+        yield from net.send(0, 1, nbytes=1e6, payload="hello", tag=7)
+
+    def receiver(env, net):
+        source, tag, payload = yield net.recv(1, source=0, tag=7)
+        got.append((env.now, source, tag, payload))
+
+    env.process(sender(env, net))
+    env.process(receiver(env, net))
+    env.run()
+    assert got
+    t, source, tag, payload = got[0]
+    assert payload == "hello"
+    assert source == 0 and tag == 7
+    assert t > 0  # transfer took simulated time
+
+
+def test_sim_recv_filters_by_source():
+    env, net = make_network()
+    got = []
+
+    def sender(env, net, src, msg):
+        yield from net.send(src, 3, nbytes=100, payload=msg)
+
+    def receiver(env, net):
+        _, _, payload = yield net.recv(3, source=2)
+        got.append(payload)
+
+    env.process(sender(env, net, 1, "from-1"))
+    env.process(sender(env, net, 2, "from-2"))
+    env.process(receiver(env, net))
+    env.run()
+    assert got == ["from-2"]
+
+
+def test_sim_incast_delays_delivery():
+    """Four senders into one node take longer than one (terminal link shared)."""
+
+    def run_with_senders(n_senders):
+        env, net = make_network(8)
+        done = []
+
+        def sender(env, net, src):
+            yield from net.send(src, 7, nbytes=50e6)
+
+        def receiver(env, net, n):
+            for _ in range(n):
+                yield net.recv(7)
+            done.append(env.now)
+
+        for src in range(n_senders):
+            env.process(sender(env, net, src))
+        env.process(receiver(env, net, n_senders))
+        env.run()
+        return done[0]
+
+    assert run_with_senders(4) > 2.5 * run_with_senders(1)
+
+
+def test_sim_invalid_rank():
+    env, net = make_network()
+    with pytest.raises(MPIError):
+        net.recv(99)
+    with pytest.raises(MPIError):
+        list(net.send(0, 99, 10))

@@ -1,0 +1,52 @@
+"""Additional EventLog behaviours: indexing, iteration, durations."""
+
+import pytest
+
+from repro.telemetry import EventKind, EventLog, EventRecord
+
+
+def rec(i, kind=EventKind.COMPUTE):
+    return EventRecord(component="c", kind=kind, start=float(i), duration=1.0)
+
+
+def test_indexing_and_slicing():
+    log = EventLog([rec(i) for i in range(5)])
+    assert log[0].start == 0.0
+    assert log[-1].start == 4.0
+    assert [r.start for r in log[1:3]] == [1.0, 2.0]
+
+
+def test_iteration_order_is_insertion_order():
+    log = EventLog([rec(3), rec(1), rec(2)])
+    assert [r.start for r in log] == [3.0, 1.0, 2.0]
+
+
+def test_durations_list():
+    log = EventLog([rec(0), rec(1)])
+    assert log.durations() == [1.0, 1.0]
+
+
+def test_count_shorthand():
+    log = EventLog([rec(0), rec(1, EventKind.WRITE)])
+    assert log.count(kind=EventKind.WRITE) == 1
+    assert log.count(component="c") == 2
+    assert log.count(component="other") == 0
+
+
+def test_filter_returns_new_log():
+    log = EventLog([rec(0)])
+    filtered = log.filter(component="c")
+    filtered.record(rec(1))
+    assert len(log) == 1
+    assert len(filtered) == 2
+
+
+def test_record_equality_and_meta():
+    a = EventRecord(component="x", kind=EventKind.POLL, start=0.0, duration=0.0, meta={"k": 1})
+    b = EventRecord(component="x", kind=EventKind.POLL, start=0.0, duration=0.0, meta={"k": 1})
+    assert a == b
+    assert a.meta["k"] == 1
+
+
+def test_jsonl_empty_log():
+    assert EventLog.from_jsonl(EventLog().to_jsonl()).components() == []

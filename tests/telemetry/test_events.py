@@ -1,0 +1,110 @@
+"""Tests for event records and the event log."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import EventKind, EventLog, EventRecord
+
+
+def rec(component="sim", kind=EventKind.COMPUTE, start=0.0, duration=1.0, **kw):
+    return EventRecord(component=component, kind=kind, start=start, duration=duration, **kw)
+
+
+def test_record_end_and_throughput():
+    r = rec(kind=EventKind.WRITE, start=2.0, duration=0.5, nbytes=1e6)
+    assert r.end == 2.5
+    assert r.throughput == pytest.approx(2e6)
+
+
+def test_zero_duration_throughput_is_zero():
+    assert rec(kind=EventKind.READ, duration=0.0, nbytes=10).throughput == 0.0
+
+
+def test_record_validation():
+    with pytest.raises(ReproError):
+        rec(duration=-1.0)
+    with pytest.raises(ReproError):
+        rec(nbytes=-5)
+
+
+def test_log_record_and_len():
+    log = EventLog()
+    log.record(rec())
+    log.add("ai", EventKind.TRAIN, start=1.0, duration=0.1)
+    assert len(log) == 2
+    assert log[1].component == "ai"
+
+
+def test_log_filter_by_component_kind_rank():
+    log = EventLog(
+        [
+            rec("sim", EventKind.COMPUTE, rank=0),
+            rec("sim", EventKind.WRITE, rank=1),
+            rec("ai", EventKind.READ, rank=0),
+        ]
+    )
+    assert len(log.filter(component="sim")) == 2
+    assert len(log.filter(kind=EventKind.WRITE)) == 1
+    assert len(log.filter(rank=0)) == 2
+    assert len(log.filter(component="sim", rank=0)) == 1
+    assert len(log.filter(kinds=(EventKind.WRITE, EventKind.READ))) == 2
+
+
+def test_log_filter_kind_and_kinds_conflict():
+    log = EventLog()
+    with pytest.raises(ReproError):
+        log.filter(kind=EventKind.WRITE, kinds=(EventKind.READ,))
+
+
+def test_log_components_ordered_by_first_seen():
+    log = EventLog([rec("b"), rec("a"), rec("b")])
+    assert log.components() == ["b", "a"]
+
+
+def test_log_span_and_makespan():
+    log = EventLog([rec(start=1.0, duration=2.0), rec(start=0.5, duration=0.2)])
+    assert log.span() == (0.5, 3.0)
+    assert log.makespan() == 2.5
+
+
+def test_empty_log_span():
+    assert EventLog().span() == (0.0, 0.0)
+    assert EventLog().makespan() == 0.0
+
+
+def test_log_total_bytes():
+    log = EventLog(
+        [
+            rec(kind=EventKind.WRITE, nbytes=100),
+            rec(kind=EventKind.READ, nbytes=50),
+        ]
+    )
+    assert log.total_bytes() == 150
+
+
+def test_log_extend():
+    a = EventLog([rec("x")])
+    b = EventLog([rec("y")])
+    a.extend(b)
+    assert len(a) == 2
+
+
+def test_jsonl_round_trip(tmp_path):
+    log = EventLog(
+        [
+            rec("sim", EventKind.WRITE, start=1.5, duration=0.25, rank=3, nbytes=1024, key="k1"),
+            rec("ai", EventKind.TRAIN, start=2.0, duration=0.061),
+        ]
+    )
+    path = tmp_path / "events.jsonl"
+    log.save(path)
+    loaded = EventLog.load(path)
+    assert len(loaded) == 2
+    assert loaded[0] == log[0]
+    assert loaded[1] == log[1]
+
+
+def test_from_jsonl_skips_blank_lines():
+    log = EventLog([rec()])
+    text = log.to_jsonl() + "\n\n"
+    assert len(EventLog.from_jsonl(text)) == 1

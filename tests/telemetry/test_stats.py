@@ -1,0 +1,118 @@
+"""Tests for summary statistics over event logs."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import (
+    EventKind,
+    EventLog,
+    EventRecord,
+    Summary,
+    event_counts,
+    iteration_time_summary,
+    mean_throughput,
+    mean_transport_time,
+    runtime_per_iteration,
+)
+
+
+def rec(component, kind, start, duration, **kw):
+    return EventRecord(component=component, kind=kind, start=start, duration=duration, **kw)
+
+
+def test_summary_of_values():
+    s = Summary.of([1.0, 2.0, 3.0])
+    assert s.count == 3
+    assert s.mean == 2.0
+    assert s.std == pytest.approx((2.0 / 3.0) ** 0.5)
+    assert (s.min, s.max, s.total) == (1.0, 3.0, 6.0)
+
+
+def test_summary_empty():
+    s = Summary.of([])
+    assert s.count == 0
+    assert s.mean == 0.0
+
+
+def test_iteration_time_summary():
+    log = EventLog(
+        [
+            rec("sim", EventKind.COMPUTE, 0.0, 0.03),
+            rec("sim", EventKind.COMPUTE, 0.03, 0.05),
+            rec("sim", EventKind.WRITE, 0.08, 0.01),
+        ]
+    )
+    s = iteration_time_summary(log, "sim", EventKind.COMPUTE)
+    assert s.count == 2
+    assert s.mean == pytest.approx(0.04)
+
+
+def test_event_counts_table2_semantics():
+    log = EventLog(
+        [rec("sim", EventKind.COMPUTE, i * 0.1, 0.1) for i in range(10)]
+        + [rec("sim", EventKind.WRITE, 0.5, 0.01), rec("sim", EventKind.POLL, 0.6, 0.0)]
+        + [rec("train", EventKind.TRAIN, i * 0.2, 0.2) for i in range(5)]
+        + [rec("train", EventKind.READ, 0.4, 0.02)]
+    )
+    assert event_counts(log, "sim") == {"timestep": 10, "data_transport": 1}
+    assert event_counts(log, "train") == {"timestep": 5, "data_transport": 1}
+
+
+def test_mean_throughput_averages_per_event():
+    log = EventLog(
+        [
+            rec("sim", EventKind.WRITE, 0.0, 1.0, nbytes=100.0),  # 100 B/s
+            rec("sim", EventKind.WRITE, 1.0, 0.5, nbytes=100.0),  # 200 B/s
+        ]
+    )
+    # Paper averages per-event throughputs: (100 + 200)/2, not 200/1.5.
+    assert mean_throughput(log, EventKind.WRITE) == pytest.approx(150.0)
+
+
+def test_mean_throughput_requires_transport_kind():
+    with pytest.raises(ReproError):
+        mean_throughput(EventLog(), EventKind.COMPUTE)
+
+
+def test_mean_throughput_no_events():
+    assert mean_throughput(EventLog(), EventKind.READ) == 0.0
+
+
+def test_mean_throughput_skips_zero_duration():
+    log = EventLog(
+        [
+            rec("s", EventKind.READ, 0.0, 0.0, nbytes=100.0),
+            rec("s", EventKind.READ, 0.0, 1.0, nbytes=100.0),
+        ]
+    )
+    assert mean_throughput(log, EventKind.READ) == pytest.approx(100.0)
+
+
+def test_mean_transport_time():
+    log = EventLog(
+        [
+            rec("s", EventKind.READ, 0.0, 0.2),
+            rec("s", EventKind.READ, 1.0, 0.4),
+        ]
+    )
+    assert mean_transport_time(log, EventKind.READ) == pytest.approx(0.3)
+    assert mean_transport_time(log, EventKind.WRITE) == 0.0
+    with pytest.raises(ReproError):
+        mean_transport_time(log, EventKind.INIT)
+
+
+def test_runtime_per_iteration_includes_transport():
+    """Fig 6 semantics: total makespan over iterations, compute + transport."""
+    log = EventLog(
+        [
+            rec("train", EventKind.TRAIN, 0.0, 1.0),
+            rec("train", EventKind.READ, 1.0, 0.5),
+            rec("train", EventKind.TRAIN, 1.5, 1.0),
+        ]
+    )
+    assert runtime_per_iteration(log, "train", 2) == pytest.approx(1.25)
+
+
+def test_runtime_per_iteration_validation():
+    with pytest.raises(ReproError):
+        runtime_per_iteration(EventLog(), "train", 0)

@@ -1,0 +1,156 @@
+"""Tests for timeline construction and rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import EventKind, EventLog, EventRecord, Timeline
+from repro.telemetry.timer import Stopwatch, VirtualClock
+
+
+def rec(component, kind, start, duration, **kw):
+    return EventRecord(component=component, kind=kind, start=start, duration=duration, **kw)
+
+
+def sample_log():
+    return EventLog(
+        [
+            rec("sim", EventKind.INIT, 0.0, 1.0),
+            rec("sim", EventKind.COMPUTE, 1.0, 4.0),
+            rec("sim", EventKind.WRITE, 3.0, 0.2, nbytes=1e6),
+            rec("train", EventKind.INIT, 0.0, 2.0),
+            rec("train", EventKind.TRAIN, 2.0, 3.0),
+            rec("train", EventKind.READ, 4.0, 0.1, nbytes=1e6),
+        ]
+    )
+
+
+def test_from_log_builds_lanes():
+    tl = Timeline.from_log(sample_log())
+    assert [lane.component for lane in tl.lanes] == ["sim", "train"]
+    assert tl.start == 0.0
+    assert tl.end == 5.0
+
+
+def test_from_log_with_window_clips():
+    tl = Timeline.from_log(sample_log(), window=(2.0, 4.0))
+    assert tl.duration == 2.0
+    sim_lane = tl.lanes[0]
+    # the init record (ends at 1.0) is outside the window
+    assert all(r.end >= 2.0 for r in sim_lane.records)
+
+
+def test_render_contains_marks():
+    tl = Timeline.from_log(sample_log())
+    text = tl.render(width=50)
+    lines = text.splitlines()
+    assert lines[0].startswith("sim")
+    assert "I" in lines[0] and "#" in lines[0] and "W" in lines[0]
+    assert "=" in lines[1] and "R" in lines[1]
+    assert "0.00s" in lines[2] and "5.00s" in lines[2]
+
+
+def test_render_width_validation():
+    tl = Timeline.from_log(sample_log())
+    with pytest.raises(ReproError):
+        tl.render(width=0)
+
+
+def test_transfer_marks_overwrite_compute():
+    log = EventLog(
+        [
+            rec("sim", EventKind.COMPUTE, 0.0, 10.0),
+            rec("sim", EventKind.WRITE, 5.0, 0.1),
+        ]
+    )
+    text = Timeline.from_log(log).render(width=20)
+    assert "W" in text.splitlines()[0]
+
+
+def test_every_event_at_least_one_cell():
+    log = EventLog(
+        [
+            rec("sim", EventKind.COMPUTE, 0.0, 100.0),
+            rec("sim", EventKind.WRITE, 50.0, 1e-9),
+        ]
+    )
+    text = Timeline.from_log(log).render(width=30)
+    assert "W" in text.splitlines()[0]
+
+
+def test_invalid_window():
+    with pytest.raises(ReproError):
+        Timeline([], start=5.0, end=1.0)
+
+
+def test_render_comparison():
+    tl = Timeline.from_log(sample_log())
+    text = Timeline.render_comparison(tl, tl, width=40)
+    assert "--- original ---" in text
+    assert "--- mini-app ---" in text
+
+
+def test_occupancy_full_coverage():
+    log = EventLog([rec("sim", EventKind.COMPUTE, 0.0, 10.0)])
+    tl = Timeline.from_log(log)
+    occ = tl.occupancy("sim", EventKind.COMPUTE, bins=10)
+    assert occ == pytest.approx([1.0] * 10)
+
+
+def test_occupancy_half_coverage():
+    log = EventLog(
+        [
+            rec("sim", EventKind.COMPUTE, 0.0, 5.0),
+            rec("sim", EventKind.OTHER, 0.0, 10.0),  # stretch the window
+        ]
+    )
+    tl = Timeline.from_log(log)
+    occ = tl.occupancy("sim", EventKind.COMPUTE, bins=10)
+    assert occ[:5] == pytest.approx([1.0] * 5)
+    assert occ[5:] == pytest.approx([0.0] * 5)
+
+
+def test_occupancy_unknown_component():
+    tl = Timeline.from_log(sample_log())
+    with pytest.raises(ReproError):
+        tl.occupancy("nope", EventKind.COMPUTE)
+
+
+def test_occupancy_validation():
+    tl = Timeline.from_log(sample_log())
+    with pytest.raises(ReproError):
+        tl.occupancy("sim", EventKind.COMPUTE, bins=0)
+
+
+# ---------------------------------------------------------------------------
+# Clocks
+# ---------------------------------------------------------------------------
+
+
+def test_virtual_clock_sleep_advances():
+    clock = VirtualClock()
+    clock.sleep(2.0)
+    assert clock.now() == 2.0
+
+
+def test_virtual_clock_auto_advance():
+    clock = VirtualClock(auto_advance=0.1)
+    first = clock.now()
+    second = clock.now()
+    assert second - first == pytest.approx(0.1)
+
+
+def test_virtual_clock_validation():
+    with pytest.raises(ReproError):
+        VirtualClock(auto_advance=-1.0)
+    clock = VirtualClock()
+    with pytest.raises(ReproError):
+        clock.sleep(-1.0)
+    with pytest.raises(ReproError):
+        clock.advance(-1.0)
+
+
+def test_stopwatch_with_virtual_clock():
+    clock = VirtualClock()
+    with Stopwatch(clock) as sw:
+        clock.advance(3.5)
+    assert sw.elapsed == pytest.approx(3.5)

@@ -1,0 +1,32 @@
+"""Additional clock tests: RealClock sanity and Stopwatch defaults."""
+
+import time
+
+from repro.telemetry import RealClock, Stopwatch
+
+
+def test_real_clock_monotonic():
+    clock = RealClock()
+    a = clock.now()
+    b = clock.now()
+    assert b >= a
+
+
+def test_real_clock_sleep_advances():
+    clock = RealClock()
+    start = clock.now()
+    clock.sleep(0.05)
+    assert clock.now() - start >= 0.045
+
+
+def test_real_clock_negative_sleep_is_noop():
+    clock = RealClock()
+    start = time.perf_counter()
+    clock.sleep(-1.0)
+    assert time.perf_counter() - start < 0.05
+
+
+def test_stopwatch_defaults_to_real_clock():
+    with Stopwatch() as sw:
+        time.sleep(0.02)
+    assert sw.elapsed >= 0.015

@@ -1,0 +1,111 @@
+"""Tests for the top-level CLI (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_kernels_lists_all(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    for name in ("MatMulSimple2D", "WriteWithMPI", "AllReduce", "CopyHostToDevice"):
+        assert name in out
+
+
+def test_simulate_one_to_one(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--pattern",
+                "one-to-one",
+                "--backend",
+                "dragon",
+                "--nodes",
+                "8",
+                "--size-mb",
+                "1.2",
+                "--iterations",
+                "100",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "write throughput/process" in out
+
+
+def test_simulate_many_to_one(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--pattern",
+                "many-to-one",
+                "--backend",
+                "filesystem",
+                "--nodes",
+                "16",
+                "--iterations",
+                "50",
+            ]
+        )
+        == 0
+    )
+    assert "runtime per iteration" in capsys.readouterr().out
+
+
+def test_simulate_streaming_backend(capsys):
+    assert main(["simulate", "--backend", "streaming", "--iterations", "50"]) == 0
+
+
+def test_simulate_unknown_backend():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="unknown backend"):
+        main(["simulate", "--backend", "s3"])
+
+
+def test_run_real_miniapp(tmp_path, capsys):
+    config = {
+        "server": {"backend": "node-local", "path": str(tmp_path / "stage")},
+        "pattern": "one-to-one",
+        "one_to_one": {
+            "train_iterations": 10,
+            "write_interval": 4,
+            "read_interval": 3,
+            "sim_iter_time": 0.001,
+            "ai_iter_time": 0.001,
+        },
+    }
+    config_path = tmp_path / "app.json"
+    config_path.write_text(json.dumps(config))
+    events_path = tmp_path / "events.jsonl"
+    assert main(["run", "--config", str(config_path), "--events-out", str(events_path)]) == 0
+    out = capsys.readouterr().out
+    assert "snapshots written/read" in out
+    assert events_path.exists()
+    from repro.telemetry import EventLog
+
+    log = EventLog.load(events_path)
+    assert len(log) > 0
+
+
+def test_run_unsupported_pattern(tmp_path):
+    from repro.errors import ConfigError
+
+    config_path = tmp_path / "bad.json"
+    config_path.write_text(json.dumps({"pattern": "many-to-one"}))
+    with pytest.raises(ConfigError, match="unsupported"):
+        main(["run", "--config", str(config_path)])
+
+
+def test_run_non_object_config(tmp_path):
+    from repro.errors import ConfigError
+
+    config_path = tmp_path / "list.json"
+    config_path.write_text("[1]")
+    with pytest.raises(ConfigError):
+        main(["run", "--config", str(config_path)])

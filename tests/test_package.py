@@ -1,0 +1,72 @@
+"""Package-level tests: public API surface and lazy imports."""
+
+import importlib
+
+import pytest
+
+
+def test_version_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_lazy_top_level_api():
+    import repro
+
+    # The paper's Listing 1 imports, via the package root.
+    assert repro.Workflow.__name__ == "Workflow"
+    assert repro.Simulation.__name__ == "Simulation"
+    assert repro.AI.__name__ == "AI"
+    assert repro.ServerManager.__name__ == "ServerManager"
+    assert repro.DataStore.__name__ == "DataStore"
+
+
+def test_unknown_top_level_attribute():
+    import repro
+
+    with pytest.raises(AttributeError):
+        _ = repro.NotAThing
+
+
+ALL_MODULES = [
+    "repro.analysis",
+    "repro.cli",
+    "repro.cluster",
+    "repro.config",
+    "repro.core",
+    "repro.des",
+    "repro.errors",
+    "repro.experiments",
+    "repro.kernels",
+    "repro.ml",
+    "repro.mpi",
+    "repro.telemetry",
+    "repro.transport",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("module", ALL_MODULES)
+def test_every_subpackage_imports(module):
+    importlib.import_module(module)
+
+
+@pytest.mark.parametrize(
+    "module",
+    ["repro.cluster", "repro.config", "repro.core", "repro.des", "repro.ml",
+     "repro.mpi", "repro.telemetry", "repro.transport", "repro.workloads"],
+)
+def test_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.__all__ lists missing {name!r}"
+
+
+def test_exception_hierarchy_rooted():
+    from repro import errors
+
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj.__module__ == "repro.errors":
+            assert issubclass(obj, errors.ReproError) or obj is errors.ReproError

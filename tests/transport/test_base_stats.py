@@ -1,0 +1,59 @@
+"""Tests for client-side operation statistics (OpStats/ClientStats)."""
+
+import pytest
+
+from repro.transport import ClientStats, OpStats
+
+
+def test_opstats_record_accumulates():
+    s = OpStats()
+    s.record(100.0, 0.5)
+    s.record(300.0, 1.5)
+    assert s.count == 2
+    assert s.nbytes == 400.0
+    assert s.seconds == 2.0
+
+
+def test_opstats_mean_and_throughput():
+    s = OpStats()
+    s.record(1000.0, 2.0)
+    assert s.mean_seconds == 2.0
+    assert s.throughput == 500.0
+
+
+def test_opstats_empty_safe():
+    s = OpStats()
+    assert s.mean_seconds == 0.0
+    assert s.throughput == 0.0
+
+
+def test_client_stats_independent_ops(tmp_path):
+    from repro.transport import FileStoreClient
+
+    client = FileStoreClient(tmp_path)
+    client.stage_write("a", 1)
+    client.poll_staged_data("a")
+    client.poll_staged_data("b")
+    client.clean_staged_data(["a"])
+    assert client.stats.write.count == 1
+    assert client.stats.poll.count == 2
+    assert client.stats.clean.count == 1
+    assert client.stats.read.count == 0
+
+
+def test_client_stats_fields_are_per_instance():
+    a, b = ClientStats(), ClientStats()
+    a.write.record(1.0, 1.0)
+    assert b.write.count == 0
+
+
+def test_write_returns_serialized_bytes(tmp_path):
+    import numpy as np
+
+    from repro.transport import FileStoreClient, serialized_nbytes
+
+    client = FileStoreClient(tmp_path)
+    payload = np.ones(100)
+    nbytes = client.stage_write("k", payload)
+    assert nbytes == serialized_nbytes(payload)
+    assert client.stats.write.nbytes == pytest.approx(nbytes)

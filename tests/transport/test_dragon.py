@@ -1,0 +1,147 @@
+"""Tests for the dragon-style distributed dictionary."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import KeyNotStagedError, ServerError
+from repro.transport import DragonDictionary, DragonShardServer, DragonStoreClient
+
+
+@pytest.fixture
+def shard():
+    srv = DragonShardServer().start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def ddict(shard):
+    d = DragonDictionary([shard.address])
+    yield d
+    d.close()
+
+
+def test_shard_lifecycle(shard):
+    assert shard.port > 0
+    with pytest.raises(ServerError):
+        shard.start()
+
+
+def test_ping(ddict):
+    assert ddict.ping()
+
+
+def test_put_get_roundtrip(ddict):
+    ddict.put("key1", b"value1")
+    assert ddict.get("key1") == b"value1"
+
+
+def test_get_missing(ddict):
+    assert ddict.get("missing") is None
+
+
+def test_overwrite(ddict):
+    ddict.put("k", b"v1")
+    ddict.put("k", b"v2")
+    assert ddict.get("k") == b"v2"
+
+
+def test_empty_value(ddict):
+    ddict.put("empty", b"")
+    assert ddict.get("empty") == b""
+
+
+def test_large_value(ddict):
+    payload = b"z" * (8 * 1024 * 1024)
+    ddict.put("big", payload)
+    assert ddict.get("big") == payload
+
+
+def test_has_delete(ddict):
+    ddict.put("k", b"v")
+    assert ddict.has("k")
+    assert ddict.delete("k")
+    assert not ddict.has("k")
+    assert not ddict.delete("k")
+
+
+def test_keys_and_clear(ddict):
+    for i in range(6):
+        ddict.put(f"key{i}", b"v")
+    assert ddict.keys() == [f"key{i}" for i in range(6)]
+    assert ddict.clear() == 6
+    assert ddict.keys() == []
+
+
+def test_clear_empty(ddict):
+    assert ddict.clear() == 0
+
+
+def test_multi_shard_distribution():
+    shards = [DragonShardServer().start() for _ in range(4)]
+    try:
+        d = DragonDictionary([s.address for s in shards])
+        for i in range(80):
+            d.put(f"key-{i}", str(i).encode())
+        sizes = [s.size() for s in shards]
+        assert sum(sizes) == 80
+        assert all(size > 0 for size in sizes)
+        for i in range(80):
+            assert d.get(f"key-{i}") == str(i).encode()
+        d.close()
+    finally:
+        for s in shards:
+            s.stop()
+
+
+def test_concurrent_clients(shard):
+    errors = []
+
+    def worker(i):
+        try:
+            d = DragonDictionary([shard.address])
+            for j in range(20):
+                d.put(f"w{i}-k{j}", f"{i}:{j}".encode())
+            for j in range(20):
+                assert d.get(f"w{i}-k{j}") == f"{i}:{j}".encode()
+            d.close()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert errors == []
+    assert shard.size() == 160
+
+
+def test_requires_addresses():
+    with pytest.raises(ServerError):
+        DragonDictionary([])
+
+
+def test_store_client_adapter(shard):
+    store = DragonStoreClient([shard.address], name="ai")
+    a = np.arange(123.0)
+    store.stage_write("snap", a)
+    np.testing.assert_array_equal(store.stage_read("snap"), a)
+    assert store.poll_staged_data("snap")
+    assert not store.poll_staged_data("other")
+    with pytest.raises(KeyNotStagedError):
+        store.stage_read("other")
+    store.stage_write("b", {"nested": [1, 2]})
+    assert store.clean_staged_data() == 2
+    store.close()
+
+
+def test_store_client_clean_specific(shard):
+    store = DragonStoreClient([shard.address])
+    store.stage_write("a", 1)
+    store.stage_write("b", 2)
+    assert store.clean_staged_data(["a", "zz"]) == 1
+    assert store.poll_staged_data("b")
+    store.close()

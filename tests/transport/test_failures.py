@@ -1,0 +1,118 @@
+"""Failure-injection tests: servers dying, corrupt data, torn workflows."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServerError, TransportError
+from repro.transport import (
+    DataStore,
+    DragonShardServer,
+    DragonStoreClient,
+    MiniRedisServer,
+    RedisStoreClient,
+    ServerManager,
+    ShardedFileStore,
+)
+
+
+def test_redis_client_op_after_server_stop():
+    server = MiniRedisServer().start()
+    client = RedisStoreClient([server.address])
+    client.stage_write("k", 1)
+    server.stop()
+    with pytest.raises(ServerError):
+        for _ in range(20):  # OS buffering may absorb the first sends
+            client.stage_write("k2", np.ones(100_000))
+    client.close()
+
+
+def test_dragon_client_op_after_shard_stop():
+    shard = DragonShardServer().start()
+    client = DragonStoreClient([shard.address])
+    client.stage_write("k", 1)
+    shard.stop()
+    with pytest.raises(ServerError):
+        for _ in range(20):
+            client.stage_write("k2", np.ones(100_000))
+    client.close()
+
+
+def test_filestore_corrupt_value_surfaces_as_transport_error(tmp_path):
+    store = ShardedFileStore(tmp_path, n_shards=1)
+    store.write("key1", b"RNP1garbage-not-a-real-header")
+    from repro.transport.kvfile import FileStoreClient
+
+    client = FileStoreClient(tmp_path, n_shards=1)
+    with pytest.raises(TransportError):
+        client.stage_read("key1")
+
+
+def test_filestore_unknown_magic(tmp_path):
+    store = ShardedFileStore(tmp_path, n_shards=1)
+    store.write("key1", b"XXXXtotally unknown")
+    from repro.transport.kvfile import FileStoreClient
+
+    client = FileStoreClient(tmp_path, n_shards=1)
+    with pytest.raises(TransportError, match="magic"):
+        client.stage_read("key1")
+
+
+def test_partial_cluster_failure_isolated_to_shard():
+    """With a client-sharded cluster, keys on live shards keep working."""
+    servers = [MiniRedisServer().start() for _ in range(2)]
+    client = RedisStoreClient([s.address for s in servers])
+    try:
+        # Find keys landing on each shard.
+        from repro.transport import crc32_shard
+
+        key_on_0 = next(f"k{i}" for i in range(100) if crc32_shard(f"k{i}", 2) == 0)
+        key_on_1 = next(f"k{i}" for i in range(100) if crc32_shard(f"k{i}", 2) == 1)
+        client.stage_write(key_on_0, "a")
+        client.stage_write(key_on_1, "b")
+        servers[1].stop()
+        # Shard 0 still serves.
+        assert client.stage_read(key_on_0) == "a"
+        # Shard 1 ops fail loudly, not silently.
+        with pytest.raises(ServerError):
+            for _ in range(20):
+                client.stage_write(key_on_1, np.ones(100_000))
+    finally:
+        client.close()
+        for s in servers:
+            s.stop()
+
+
+def test_real_workflow_component_failure_stops_run(tmp_path):
+    """A failing component aborts the workflow without hanging peers."""
+    from repro.core import Workflow
+
+    with ServerManager("s", config={"backend": "node-local", "path": str(tmp_path)}) as m:
+        info = m.get_server_info()
+        w = Workflow()
+
+        @w.component(name="producer", args={"info": info})
+        def producer(info=None):
+            store = DataStore("p", server_info=info)
+            store.stage_write("k", 1)
+            raise RuntimeError("producer crashed after staging")
+
+        @w.component(name="consumer", args={"info": info}, dependencies=["producer"])
+        def consumer(info=None):
+            return DataStore("c", server_info=info).stage_read("k")
+
+        with pytest.raises(RuntimeError, match="producer crashed"):
+            w.launch(timeout=30.0)
+        assert "consumer" not in w.results
+
+
+def test_stale_data_readable_after_producer_death(tmp_path):
+    """File-backed staging survives its writer: the robustness the paper
+    credits file-based transport with."""
+    with ServerManager("s", config={"backend": "node-local", "path": str(tmp_path)}) as m:
+        info = m.get_server_info()
+        writer = DataStore("w", server_info=info)
+        writer.stage_write("snapshot", np.arange(10.0))
+        writer.close()  # producer gone
+        reader = DataStore("r", server_info=info)
+        np.testing.assert_array_equal(reader.stage_read("snapshot"), np.arange(10.0))
+        reader.close()

@@ -1,0 +1,220 @@
+"""Tests for the sharded file KV store (node-local / filesystem backend)."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotStagedError, TransportError
+from repro.transport import FileStoreClient, ShardedFileStore, crc32_shard
+
+KEY_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789_-."
+
+
+def test_crc32_shard_stable_and_in_range():
+    for key in ("key1", "key2", "abc", "x" * 100):
+        shard = crc32_shard(key, 7)
+        assert 0 <= shard < 7
+        assert shard == crc32_shard(key, 7)  # deterministic
+
+
+def test_crc32_shard_validation():
+    with pytest.raises(TransportError):
+        crc32_shard("k", 0)
+
+
+def test_crc32_shard_distribution_roughly_uniform():
+    n_shards = 8
+    counts = [0] * n_shards
+    for i in range(4000):
+        counts[crc32_shard(f"key-{i}", n_shards)] += 1
+    assert min(counts) > 300  # perfectly uniform would be 500
+
+
+def test_store_creates_shard_dirs(tmp_path):
+    ShardedFileStore(tmp_path, n_shards=3)
+    assert sorted(p.name for p in tmp_path.iterdir()) == [
+        "shard0000",
+        "shard0001",
+        "shard0002",
+    ]
+
+
+def test_store_write_read_roundtrip(tmp_path):
+    store = ShardedFileStore(tmp_path, n_shards=4)
+    store.write("key1", b"hello")
+    assert store.read("key1") == b"hello"
+
+
+def test_store_value_file_named_key_dot_pickle(tmp_path):
+    store = ShardedFileStore(tmp_path, n_shards=2)
+    store.write("key1", b"x")
+    assert store.path_for("key1").name == "key1.pickle"
+    assert store.path_for("key1").exists()
+
+
+def test_store_overwrite(tmp_path):
+    store = ShardedFileStore(tmp_path)
+    store.write("k", b"v1")
+    store.write("k", b"v2")
+    assert store.read("k") == b"v2"
+
+
+def test_store_read_missing_raises(tmp_path):
+    store = ShardedFileStore(tmp_path)
+    with pytest.raises(KeyNotStagedError):
+        store.read("missing")
+
+
+def test_store_poll_and_delete(tmp_path):
+    store = ShardedFileStore(tmp_path)
+    assert not store.poll("k")
+    store.write("k", b"v")
+    assert store.poll("k")
+    assert store.delete("k")
+    assert not store.poll("k")
+    assert not store.delete("k")
+
+
+def test_store_keys_and_clear(tmp_path):
+    store = ShardedFileStore(tmp_path, n_shards=4)
+    for i in range(10):
+        store.write(f"key{i}", b"v")
+    assert store.keys() == sorted(f"key{i}" for i in range(10))
+    assert store.clear() == 10
+    assert store.keys() == []
+
+
+def test_store_no_temp_files_left_behind(tmp_path):
+    store = ShardedFileStore(tmp_path, n_shards=2)
+    for i in range(20):
+        store.write(f"k{i}", b"data" * 100)
+    leftovers = [p for p in tmp_path.rglob("*.tmp")]
+    assert leftovers == []
+
+
+def test_store_concurrent_writers_readers_atomicity(tmp_path):
+    """Readers must never observe a torn value under concurrent overwrite."""
+    store = ShardedFileStore(tmp_path, n_shards=1)
+    payloads = [bytes([i]) * 4096 for i in range(8)]
+    store.write("hot", payloads[0])
+    stop = threading.Event()
+    errors: list[str] = []
+
+    def writer():
+        i = 0
+        while not stop.is_set():
+            store.write("hot", payloads[i % len(payloads)])
+            i += 1
+
+    def reader():
+        while not stop.is_set():
+            blob = store.read("hot")
+            if len(blob) != 4096 or any(b != blob[0] for b in blob):
+                errors.append("torn read observed")
+                return
+
+    threads = [threading.Thread(target=writer) for _ in range(2)] + [
+        threading.Thread(target=reader) for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    stop_timer = threading.Timer(0.5, stop.set)
+    stop_timer.start()
+    for t in threads:
+        t.join(timeout=10)
+    stop_timer.cancel()
+    assert errors == []
+
+
+def test_store_validation(tmp_path):
+    with pytest.raises(TransportError):
+        ShardedFileStore(tmp_path, n_shards=0)
+
+
+# ---------------------------------------------------------------------------
+# FileStoreClient (DataStore API over the store)
+# ---------------------------------------------------------------------------
+
+
+def test_client_numpy_roundtrip(tmp_path):
+    client = FileStoreClient(tmp_path, n_shards=2)
+    a = np.arange(100.0)
+    nbytes = client.stage_write("arr", a)
+    assert nbytes > a.nbytes  # header overhead
+    np.testing.assert_array_equal(client.stage_read("arr"), a)
+
+
+def test_client_poll_and_clean(tmp_path):
+    client = FileStoreClient(tmp_path)
+    assert not client.poll_staged_data("k")
+    client.stage_write("k", 1)
+    assert client.poll_staged_data("k")
+    assert client.clean_staged_data(["k"]) == 1
+    assert not client.poll_staged_data("k")
+
+
+def test_client_clean_all(tmp_path):
+    client = FileStoreClient(tmp_path, n_shards=3)
+    for i in range(5):
+        client.stage_write(f"k{i}", i)
+    assert client.clean_staged_data() == 5
+
+
+def test_client_stats_accumulate(tmp_path):
+    client = FileStoreClient(tmp_path)
+    client.stage_write("a", np.ones(100))
+    client.stage_write("b", np.ones(100))
+    client.stage_read("a")
+    client.poll_staged_data("a")
+    assert client.stats.write.count == 2
+    assert client.stats.read.count == 1
+    assert client.stats.poll.count == 1
+    assert client.stats.write.nbytes > 1600
+    assert client.stats.write.throughput > 0
+
+
+def test_client_event_log_records(tmp_path):
+    from repro.telemetry import EventKind, EventLog
+
+    log = EventLog()
+    client = FileStoreClient(tmp_path, name="sim", rank=3, event_log=log)
+    client.stage_write("k", np.ones(10))
+    client.stage_read("k")
+    assert len(log) == 2
+    assert log[0].kind is EventKind.WRITE
+    assert log[0].rank == 3
+    assert log[1].kind is EventKind.READ
+    assert log[1].key == "k"
+
+
+def test_client_key_validation(tmp_path):
+    client = FileStoreClient(tmp_path)
+    with pytest.raises(TransportError):
+        client.stage_write("", 1)
+    with pytest.raises(TransportError):
+        client.stage_write("bad/key", 1)
+    with pytest.raises(TransportError):
+        client.stage_read(None)  # type: ignore[arg-type]
+
+
+def test_client_backend_name(tmp_path):
+    assert FileStoreClient(tmp_path).backend_name == "node-local"
+    assert (
+        FileStoreClient(tmp_path, backend_name="filesystem").backend_name == "filesystem"
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    key=st.text(alphabet=KEY_ALPHABET, min_size=1, max_size=32),
+    payload=st.binary(min_size=0, max_size=2048),
+)
+def test_store_roundtrip_property(tmp_path_factory, key, payload):
+    tmp = tmp_path_factory.mktemp("kv")
+    store = ShardedFileStore(tmp, n_shards=4)
+    store.write(key, payload)
+    assert store.read(key) == payload
+    assert store.poll(key)

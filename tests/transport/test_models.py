@@ -1,0 +1,245 @@
+"""Tests for the calibrated backend performance models.
+
+These tests pin the *qualitative shapes* the paper reports — they are the
+acceptance criteria for Figs 3-6 before the experiment drivers aggregate
+anything.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransportError
+from repro.transport.models import (
+    MB,
+    DragonBackendModel,
+    FileSystemBackendModel,
+    NodeLocalBackendModel,
+    RedisBackendModel,
+    TransportOpContext,
+    aurora_backend_models,
+)
+
+SIZES = [0.4 * MB, 1 * MB, 2 * MB, 4 * MB, 8 * MB, 16 * MB, 32 * MB]
+
+LOCAL = TransportOpContext(local=True, clients_per_server=12, concurrent_clients=96)
+LOCAL_512 = TransportOpContext(
+    local=True, clients_per_server=12, concurrent_clients=512 * 12
+)
+REMOTE = TransportOpContext(local=False, clients_per_server=12, concurrent_clients=24)
+
+
+def throughput(model, nbytes, ctx, op="write"):
+    time = getattr(model, f"{op}_time")(nbytes, ctx)
+    return nbytes / time
+
+
+@pytest.fixture(scope="module")
+def models():
+    return aurora_backend_models()
+
+
+def test_aurora_models_complete(models):
+    assert set(models) == {"node-local", "redis", "dragon", "filesystem"}
+
+
+# ---------------------------------------------------------------------------
+# Node-local
+# ---------------------------------------------------------------------------
+
+
+def test_nodelocal_nonmonotonic_with_l3_knee(models):
+    """Fig 3a: rise with size, dip past the ~8.75 MB L3 share."""
+    thr = [throughput(models["node-local"], s, LOCAL) for s in SIZES]
+    peak = max(range(len(thr)), key=lambda i: thr[i])
+    assert SIZES[peak] in (4 * MB, 8 * MB)
+    assert thr[0] < thr[peak]  # latency-dominated at 0.4 MB
+    assert thr[-1] < thr[peak]  # cache spill at 32 MB
+
+
+def test_nodelocal_scale_free(models):
+    """Fig 3b/Fig 4: node-local identical at 8 and 512 nodes."""
+    m = models["node-local"]
+    for s in SIZES:
+        assert m.write_time(s, LOCAL) == m.write_time(s, LOCAL_512)
+
+
+def test_nodelocal_32mb_roughly_one_iteration(models):
+    """Fig 4: a 32 MB node-local transfer ~ one 0.031 s sim iteration."""
+    t = models["node-local"].write_time(32 * MB, LOCAL)
+    assert 0.3 * 0.031 <= t <= 3 * 0.031
+
+
+def test_nodelocal_rejects_nonlocal(models):
+    with pytest.raises(TransportError):
+        models["node-local"].write_time(MB, REMOTE)
+
+
+def test_nodelocal_poll_cheap(models):
+    assert models["node-local"].poll_time(LOCAL) < 1e-3
+
+
+# ---------------------------------------------------------------------------
+# Redis
+# ---------------------------------------------------------------------------
+
+
+def test_redis_slower_than_nodelocal_locally(models):
+    """Fig 3: Redis is the least performant in-memory option."""
+    for s in SIZES:
+        assert throughput(models["redis"], s, LOCAL) < throughput(
+            models["node-local"], s, LOCAL
+        )
+
+
+def test_redis_nonlocal_read_poor(models):
+    """Fig 5a: Redis non-local read throughput far below dragon."""
+    for s in SIZES:
+        r = throughput(models["redis"], s, REMOTE, op="read")
+        d = throughput(models["dragon"], s, REMOTE, op="read")
+        assert r < 0.5 * d, s
+
+
+def test_redis_queueing_grows_with_clients_per_server(models):
+    m = models["redis"]
+    alone = TransportOpContext(local=True, clients_per_server=1)
+    crowded = TransportOpContext(local=True, clients_per_server=12)
+    assert m.write_time(MB, crowded) > m.write_time(MB, alone)
+
+
+def test_redis_scale_free_when_local(models):
+    m = models["redis"]
+    assert m.write_time(MB, LOCAL) == m.write_time(MB, LOCAL_512)
+
+
+# ---------------------------------------------------------------------------
+# Dragon
+# ---------------------------------------------------------------------------
+
+
+def test_dragon_competitive_with_nodelocal_locally(models):
+    """Fig 3: node-local and dragon both 'excellent'."""
+    for s in SIZES:
+        ratio = throughput(models["dragon"], s, LOCAL) / throughput(
+            models["node-local"], s, LOCAL
+        )
+        assert 0.4 <= ratio <= 2.5, (s, ratio)
+
+
+def test_dragon_nonlocal_peaks_near_10mb(models):
+    """Fig 5a: dragon non-local read throughput peaks ~10 MB then declines."""
+    m = models["dragon"]
+    sizes = [1 * MB, 4 * MB, 10 * MB, 16 * MB, 32 * MB]
+    thr = [throughput(m, s, REMOTE, op="read") for s in sizes]
+    peak = max(range(len(thr)), key=lambda i: thr[i])
+    assert sizes[peak] == 10 * MB
+    assert thr[-1] < thr[peak]
+    assert thr[0] < thr[peak]
+
+
+def test_dragon_incast_latency_grows_with_fan_in(models):
+    """Fig 6: many-to-one latency penalty."""
+    m = models["dragon"]
+    small = TransportOpContext(local=False, fan_in=7)
+    large = TransportOpContext(local=False, fan_in=127)
+    assert m.read_time(1 * MB, large) > 3 * m.read_time(1 * MB, small)
+
+
+def test_dragon_incast_hurts_small_messages_most(models):
+    """At 128 nodes dragon loses to fs below 10 MB but not above (Fig 6b)."""
+    m = models["dragon"]
+    ctx = TransportOpContext(local=False, fan_in=127)
+    overhead_small = m.read_time(1 * MB, ctx) / (1 * MB)
+    overhead_large = m.read_time(32 * MB, ctx) / (32 * MB)
+    assert overhead_small > 3 * overhead_large
+
+
+# ---------------------------------------------------------------------------
+# Filesystem
+# ---------------------------------------------------------------------------
+
+
+def test_filesystem_monotonic_throughput_in_size(models):
+    """Fig 3/5: fs throughput strictly increases with message size."""
+    for ctx in (LOCAL, LOCAL_512, REMOTE):
+        thr = [throughput(models["filesystem"], s, ctx) for s in SIZES]
+        assert thr == sorted(thr), ctx
+
+
+def test_filesystem_collapses_at_512_nodes(models):
+    """Fig 3b: fs degrades severely going 8 -> 512 nodes."""
+    m = models["filesystem"]
+    for s in SIZES:
+        slow = m.write_time(s, LOCAL_512)
+        fast = m.write_time(s, LOCAL)
+        assert slow > 3 * fast, s
+
+
+def test_filesystem_32mb_one_iter_at_8_nodes_10x_at_512(models):
+    """Fig 4 bottom row."""
+    m = models["filesystem"]
+    t8 = m.write_time(32 * MB, LOCAL)
+    t512 = m.write_time(32 * MB, LOCAL_512)
+    assert 0.3 * 0.031 <= t8 <= 3 * 0.031
+    assert t512 >= 5 * 0.031
+
+
+def test_filesystem_comparable_to_dragon_at_large_nonlocal_sizes(models):
+    """Fig 5a: fs approaches dragon at the largest message sizes."""
+    f = throughput(models["filesystem"], 32 * MB, REMOTE, op="read")
+    d = throughput(models["dragon"], 32 * MB, REMOTE, op="read")
+    assert 0.25 <= f / d <= 4.0
+
+
+def test_filesystem_insensitive_to_locality(models):
+    """fs IO goes to disk either way; local vs non-local is irrelevant."""
+    m = models["filesystem"]
+    ctx_a = TransportOpContext(local=True, concurrent_clients=24)
+    ctx_b = TransportOpContext(local=False, concurrent_clients=24)
+    assert m.write_time(MB, ctx_a) == m.write_time(MB, ctx_b)
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend / generic properties
+# ---------------------------------------------------------------------------
+
+
+def test_context_validation():
+    with pytest.raises(TransportError):
+        TransportOpContext(fan_in=0)
+
+
+def test_negative_size_rejected(models):
+    for model in models.values():
+        with pytest.raises(TransportError):
+            model.write_time(-1.0, LOCAL)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nbytes=st.floats(min_value=0, max_value=256 * MB),
+    clients=st.integers(min_value=1, max_value=8192),
+    fan_in=st.integers(min_value=1, max_value=512),
+)
+def test_all_models_nonnegative_times_property(nbytes, clients, fan_in):
+    ctx = TransportOpContext(
+        local=False, clients_per_server=12, concurrent_clients=clients, fan_in=fan_in
+    )
+    for name, model in aurora_backend_models().items():
+        if name == "node-local":
+            continue  # non-local rejected by design
+        assert model.write_time(nbytes, ctx) >= 0
+        assert model.read_time(nbytes, ctx) >= 0
+        assert model.poll_time(ctx) >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.floats(min_value=0, max_value=64 * MB),
+    b=st.floats(min_value=0, max_value=64 * MB),
+)
+def test_times_monotonic_in_size_property(a, b):
+    lo, hi = sorted((a, b))
+    ctx = TransportOpContext(local=True, clients_per_server=12, concurrent_clients=96)
+    for model in aurora_backend_models().values():
+        assert model.write_time(lo, ctx) <= model.write_time(hi, ctx) + 1e-12

@@ -1,0 +1,186 @@
+"""Tests for the mini-Redis server, client, and DataStore adapter."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import KeyNotStagedError, ServerError
+from repro.transport import MiniRedisClient, MiniRedisServer, RedisStoreClient
+
+
+@pytest.fixture
+def server():
+    srv = MiniRedisServer().start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    c = MiniRedisClient([server.address])
+    yield c
+    c.close()
+
+
+def test_server_binds_ephemeral_port(server):
+    assert server.port > 0
+    assert server.address == f"127.0.0.1:{server.port}"
+
+
+def test_double_start_rejected(server):
+    with pytest.raises(ServerError):
+        server.start()
+
+
+def test_stop_idempotent():
+    srv = MiniRedisServer().start()
+    srv.stop()
+    srv.stop()
+
+
+def test_ping(client):
+    assert client.ping()
+
+
+def test_set_get_roundtrip(client):
+    client.set("key1", b"value1")
+    assert client.get("key1") == b"value1"
+
+
+def test_get_missing_returns_none(client):
+    assert client.get("nope") is None
+
+
+def test_binary_values(client):
+    payload = bytes(range(256)) * 100
+    client.set("bin", payload)
+    assert client.get("bin") == payload
+
+
+def test_large_value_roundtrip(client):
+    payload = b"x" * (4 * 1024 * 1024)
+    client.set("big", payload)
+    assert client.get("big") == payload
+
+
+def test_delete_and_exists(client):
+    client.set("k", b"v")
+    assert client.exists("k")
+    assert client.delete("k") == 1
+    assert not client.exists("k")
+    assert client.delete("k") == 0
+
+
+def test_keys_listing(client):
+    for i in range(5):
+        client.set(f"key{i}", b"v")
+    assert client.keys() == [f"key{i}" for i in range(5)]
+    assert client.keys("key1") == ["key1"]
+
+
+def test_flushdb(client, server):
+    client.set("a", b"1")
+    client.set("b", b"2")
+    client.flushdb()
+    assert client.keys() == []
+    assert server.dbsize() == 0
+
+
+def test_unknown_command_is_error(server):
+    from repro.errors import TransportError
+    from repro.transport.redis_backend import MiniRedisConnection
+
+    conn = MiniRedisConnection(server.host, server.port)
+    try:
+        with pytest.raises(TransportError, match="unknown command"):
+            conn.command("BOGUS")
+    finally:
+        conn.close()
+
+
+def test_wrong_arity_is_error(server):
+    from repro.errors import TransportError
+    from repro.transport.redis_backend import MiniRedisConnection
+
+    conn = MiniRedisConnection(server.host, server.port)
+    try:
+        with pytest.raises(TransportError, match="wrong number"):
+            conn.command("SET", "only-key")
+    finally:
+        conn.close()
+
+
+def test_concurrent_clients(server):
+    errors = []
+
+    def worker(i):
+        try:
+            c = MiniRedisClient([server.address])
+            for j in range(20):
+                c.set(f"w{i}-k{j}", f"value-{i}-{j}".encode())
+            for j in range(20):
+                assert c.get(f"w{i}-k{j}") == f"value-{i}-{j}".encode()
+            c.close()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert errors == []
+    assert server.dbsize() == 8 * 20
+
+
+def test_cluster_shards_keys_across_servers():
+    servers = [MiniRedisServer().start() for _ in range(3)]
+    try:
+        client = MiniRedisClient([s.address for s in servers])
+        for i in range(60):
+            client.set(f"key-{i}", b"v")
+        sizes = [s.dbsize() for s in servers]
+        assert sum(sizes) == 60
+        assert all(size > 0 for size in sizes)  # all shards used
+        assert len(client.keys()) == 60
+        client.close()
+    finally:
+        for s in servers:
+            s.stop()
+
+
+def test_client_requires_addresses():
+    with pytest.raises(ServerError):
+        MiniRedisClient([])
+
+
+def test_connect_to_dead_server():
+    with pytest.raises(ServerError):
+        MiniRedisClient(["127.0.0.1:1"]).ping()
+
+
+def test_store_client_adapter(server):
+    store = RedisStoreClient([server.address], name="sim")
+    a = np.arange(50.0)
+    store.stage_write("arr", a)
+    np.testing.assert_array_equal(store.stage_read("arr"), a)
+    assert store.poll_staged_data("arr")
+    with pytest.raises(KeyNotStagedError):
+        store.stage_read("missing")
+    assert store.clean_staged_data(["arr"]) == 1
+    store.stage_write("x", 1)
+    store.stage_write("y", 2)
+    assert store.clean_staged_data() == 2
+    assert store.clean_staged_data([]) == 0
+    store.close()
+
+
+def test_store_client_stats(server):
+    store = RedisStoreClient([server.address])
+    store.stage_write("k", np.ones(100))
+    store.stage_read("k")
+    assert store.stats.write.count == 1
+    assert store.stats.read.count == 1
+    assert store.stats.read.nbytes == store.stats.write.nbytes
+    store.close()

@@ -1,0 +1,146 @@
+"""Tests for RESP encoding and incremental parsing."""
+
+import pytest
+
+from repro.transport.resp import (
+    RespError,
+    RespParser,
+    ServerReplyError,
+    encode_array,
+    encode_bulk,
+    encode_command,
+    encode_error,
+    encode_integer,
+    encode_simple,
+)
+
+
+def parse_one(blob):
+    p = RespParser()
+    p.feed(blob)
+    found, value = p.pop_frame()
+    assert found
+    return value
+
+
+def test_encode_command_wire_format():
+    assert encode_command("SET", "k", b"v") == b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"
+
+
+def test_encode_command_int_args():
+    assert b"$2\r\n42\r\n" in encode_command("EXPIRE", "k", 42)
+
+
+def test_encode_command_empty_rejected():
+    with pytest.raises(RespError):
+        encode_command()
+
+
+def test_encode_command_bad_type():
+    with pytest.raises(RespError):
+        encode_command("SET", 1.5)
+
+
+def test_parse_simple_string():
+    assert parse_one(encode_simple("OK")) == "OK"
+
+
+def test_parse_integer():
+    assert parse_one(encode_integer(-7)) == -7
+
+
+def test_parse_bulk():
+    assert parse_one(encode_bulk(b"hello\r\nworld")) == b"hello\r\nworld"
+
+
+def test_parse_null_bulk():
+    assert parse_one(encode_bulk(None)) is None
+
+
+def test_parse_empty_bulk():
+    assert parse_one(encode_bulk(b"")) == b""
+
+
+def test_parse_array():
+    assert parse_one(encode_array([b"a", b"bb"])) == [b"a", b"bb"]
+
+
+def test_parse_command_array():
+    assert parse_one(encode_command("GET", "key")) == [b"GET", b"key"]
+
+
+def test_parse_error_reply_raises():
+    p = RespParser()
+    p.feed(encode_error("something bad"))
+    with pytest.raises(ServerReplyError, match="something bad"):
+        p.pop_frame()
+
+
+def test_incremental_feeding_byte_by_byte():
+    blob = encode_command("SET", "key", b"value-bytes")
+    p = RespParser()
+    results = []
+    for i, byte in enumerate(blob):
+        p.feed(bytes([byte]))
+        found, value = p.pop_frame()
+        if found:
+            results.append((i, value))
+    assert len(results) == 1
+    assert results[0][0] == len(blob) - 1
+    assert results[0][1] == [b"SET", b"key", b"value-bytes"]
+
+
+def test_multiple_messages_in_one_feed():
+    p = RespParser()
+    p.feed(encode_simple("A") + encode_integer(1) + encode_bulk(b"z"))
+    assert p.pop_frame() == (True, "A")
+    assert p.pop_frame() == (True, 1)
+    assert p.pop_frame() == (True, b"z")
+    assert p.pop_frame() == (False, None)
+
+
+def test_pop_convenience():
+    p = RespParser()
+    assert p.pop() is None
+    p.feed(encode_simple("X"))
+    assert p.pop() == "X"
+
+
+def test_malformed_integer():
+    p = RespParser()
+    p.feed(b":abc\r\n")
+    with pytest.raises(RespError):
+        p.pop_frame()
+
+
+def test_malformed_bulk_length():
+    p = RespParser()
+    p.feed(b"$xyz\r\n")
+    with pytest.raises(RespError):
+        p.pop_frame()
+
+
+def test_negative_bulk_length_other_than_null():
+    p = RespParser()
+    p.feed(b"$-2\r\n")
+    with pytest.raises(RespError):
+        p.pop_frame()
+
+
+def test_bulk_missing_terminator():
+    p = RespParser()
+    p.feed(b"$3\r\nabcXX")
+    with pytest.raises(RespError):
+        p.pop_frame()
+
+
+def test_unknown_marker():
+    p = RespParser()
+    p.feed(b"?what\r\n")
+    with pytest.raises(RespError):
+        p.pop_frame()
+
+
+def test_binary_safe_payload():
+    payload = bytes(range(256)) * 4
+    assert parse_one(encode_bulk(payload)) == payload

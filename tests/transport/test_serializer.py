@@ -1,0 +1,109 @@
+"""Tests for value serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.errors import TransportError
+from repro.transport import deserialize, serialize, serialized_nbytes
+
+
+def test_numpy_round_trip():
+    a = np.arange(24.0).reshape(2, 3, 4)
+    b = deserialize(serialize(a))
+    np.testing.assert_array_equal(a, b)
+    assert b.dtype == a.dtype
+    assert b.shape == a.shape
+
+
+def test_numpy_noncontiguous_round_trip():
+    a = np.arange(16.0).reshape(4, 4).T
+    np.testing.assert_array_equal(deserialize(serialize(a)), a)
+
+
+def test_numpy_scalar_shapes():
+    a = np.array(3.5)
+    b = deserialize(serialize(a))
+    assert b.shape == ()
+    assert float(b) == 3.5
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float64", "int32", "int64", "uint8", "complex128", "bool"])
+def test_numpy_dtypes(dtype):
+    a = np.ones(7, dtype=dtype)
+    b = deserialize(serialize(a))
+    assert b.dtype == a.dtype
+    np.testing.assert_array_equal(a, b)
+
+
+def test_python_object_round_trip():
+    obj = {"a": [1, 2, (3, 4)], "b": "text", "c": None}
+    assert deserialize(serialize(obj)) == obj
+
+
+def test_object_dtype_array_uses_pickle():
+    a = np.array([{"x": 1}, {"y": 2}], dtype=object)
+    b = deserialize(serialize(a))
+    assert list(b) == list(a)
+
+
+def test_deserialize_result_is_writable():
+    a = np.ones(4)
+    b = deserialize(serialize(a))
+    b[0] = 42.0  # must not raise (frombuffer alone would be read-only)
+
+
+def test_serialized_nbytes_matches_numpy():
+    a = np.arange(1000.0)
+    assert serialized_nbytes(a) == len(serialize(a))
+
+
+def test_serialized_nbytes_matches_pickle():
+    obj = {"k": list(range(100))}
+    assert serialized_nbytes(obj) == len(serialize(obj))
+
+
+def test_deserialize_garbage():
+    with pytest.raises(TransportError):
+        deserialize(b"xx")
+    with pytest.raises(TransportError):
+        deserialize(b"XXXXsome unknown payload")
+
+
+def test_deserialize_truncated_numpy():
+    blob = serialize(np.ones(100))
+    with pytest.raises(TransportError):
+        deserialize(blob[:-8])
+
+
+def test_deserialize_corrupt_pickle():
+    with pytest.raises(TransportError):
+        deserialize(b"RPK1not-a-pickle")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arr=npst.arrays(
+        dtype=st.sampled_from([np.float64, np.int32, np.uint16]),
+        shape=npst.array_shapes(max_dims=3, max_side=8),
+    )
+)
+def test_numpy_round_trip_property(arr):
+    out = deserialize(serialize(arr))
+    np.testing.assert_array_equal(out, arr)
+    assert out.dtype == arr.dtype
+
+
+@settings(max_examples=50)
+@given(
+    obj=st.recursive(
+        st.none() | st.booleans() | st.integers() | st.text(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=10,
+    )
+)
+def test_object_round_trip_property(obj):
+    assert deserialize(serialize(obj)) == obj

@@ -1,0 +1,186 @@
+"""Tests for the DES-side simulated DataStore."""
+
+import pytest
+
+from repro.des import Environment
+from repro.errors import KeyNotStagedError, TransportError
+from repro.telemetry import EventKind, EventLog
+from repro.transport.models import (
+    NodeLocalBackendModel,
+    TransportOpContext,
+)
+from repro.transport.simstore import SimDataStore, SimStagingArea
+
+
+def make_store(event_log=None):
+    env = Environment()
+    area = SimStagingArea()
+    store = SimDataStore(
+        env,
+        NodeLocalBackendModel(),
+        area,
+        component="sim",
+        rank=2,
+        event_log=event_log,
+        default_ctx=TransportOpContext(local=True),
+    )
+    return env, area, store
+
+
+def test_staging_area_publish_and_query():
+    area = SimStagingArea()
+    area.publish("k", 100.0)
+    assert area.contains("k")
+    assert area.size_of("k") == 100.0
+    assert area.keys() == ["k"]
+    assert area.remove("k")
+    assert not area.remove("k")
+    with pytest.raises(KeyNotStagedError):
+        area.size_of("k")
+
+
+def test_staging_area_clear():
+    area = SimStagingArea()
+    area.publish("a", 1)
+    area.publish("b", 2)
+    assert area.clear() == 2
+    assert area.keys() == []
+
+
+def test_write_advances_clock_and_publishes():
+    env, area, store = make_store()
+    done = []
+
+    def proc(env):
+        nbytes = yield from store.stage_write("snap", 1e6)
+        done.append((env.now, nbytes))
+
+    env.process(proc(env))
+    env.run()
+    t, nbytes = done[0]
+    assert t == pytest.approx(NodeLocalBackendModel().write_time(1e6, store.default_ctx))
+    assert nbytes == 1e6
+    assert area.contains("snap")
+
+
+def test_read_returns_staged_size():
+    env, area, store = make_store()
+    got = []
+
+    def proc(env):
+        yield from store.stage_write("snap", 2e6)
+        nbytes = yield from store.stage_read("snap")
+        got.append((env.now, nbytes))
+
+    env.process(proc(env))
+    env.run()
+    assert got[0][1] == 2e6
+    assert area.total_reads == 1
+
+
+def test_read_missing_raises_immediately():
+    env, area, store = make_store()
+
+    def proc(env):
+        yield from store.stage_read("nope")
+
+    env.process(proc(env))
+    with pytest.raises(KeyNotStagedError):
+        env.run()
+
+
+def test_poll_returns_presence():
+    env, area, store = make_store()
+    results = []
+
+    def proc(env):
+        first = yield from store.poll_staged_data("snap")
+        yield from store.stage_write("snap", 10.0)
+        second = yield from store.poll_staged_data("snap")
+        results.append((first, second))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(False, True)]
+
+
+def test_poll_charges_time():
+    env, area, store = make_store()
+    times = []
+
+    def proc(env):
+        yield from store.poll_staged_data("x")
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times[0] > 0
+
+
+def test_concurrent_producer_consumer_ordering():
+    """A consumer polling sees data only after the producer's write lands."""
+    env, area, store = make_store()
+    observations = []
+
+    def producer(env):
+        yield env.timeout(0.5)
+        yield from store.stage_write("snap", 1e6)
+
+    def consumer(env):
+        while True:
+            ok = yield from store.poll_staged_data("snap")
+            observations.append((env.now, ok))
+            if ok:
+                return
+            yield env.timeout(0.2)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert observations[-1][1] is True
+    assert all(not ok for _, ok in observations[:-1])
+    # Data visible strictly after 0.5 + write time.
+    assert observations[-1][0] > 0.5
+
+
+def test_event_log_records_sim_events():
+    log = EventLog()
+    env, area, store = make_store(event_log=log)
+
+    def proc(env):
+        yield from store.stage_write("k", 5e5)
+        yield from store.stage_read("k")
+        yield from store.poll_staged_data("k")
+
+    env.process(proc(env))
+    env.run()
+    kinds = [r.kind for r in log]
+    assert kinds == [EventKind.WRITE, EventKind.READ, EventKind.POLL]
+    assert log[0].nbytes == 5e5
+    assert log[0].rank == 2
+    assert log[0].duration > 0
+    assert log[1].component == "sim"
+
+
+def test_clean_staged_data():
+    env, area, store = make_store()
+
+    def proc(env):
+        yield from store.stage_write("a", 1)
+        yield from store.stage_write("b", 1)
+
+    env.process(proc(env))
+    env.run()
+    assert store.clean_staged_data(["a"]) == 1
+    assert store.clean_staged_data() == 1
+
+
+def test_negative_write_size_rejected():
+    env, area, store = make_store()
+    with pytest.raises(TransportError):
+        list(store.stage_write("k", -1))
+
+
+def test_backend_name():
+    env, area, store = make_store()
+    assert store.backend == "node-local"

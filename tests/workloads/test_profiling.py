@@ -1,0 +1,113 @@
+"""Tests for trace-based calibration (the paper's §4.1.1 loop, automated)."""
+
+import numpy as np
+import pytest
+
+from repro.config.distributions import Constant, LogNormal
+from repro.errors import ConfigError
+from repro.telemetry import EventKind, EventLog, EventRecord
+from repro.workloads.profiling import (
+    calibrate_run_time,
+    calibrate_simulation_config,
+    calibrate_transport_schedule,
+)
+
+
+def trace(mean=0.03, std=0.0, n=200, writes_every=0, write_nbytes=1.2e6, seed=0):
+    rng = np.random.default_rng(seed)
+    log = EventLog()
+    t = 0.0
+    for i in range(n):
+        duration = max(1e-6, rng.normal(mean, std)) if std else mean
+        log.record(EventRecord("sim", EventKind.COMPUTE, t, duration))
+        t += duration
+        if writes_every and (i + 1) % writes_every == 0:
+            log.record(
+                EventRecord("sim", EventKind.WRITE, t, 0.002, nbytes=write_nbytes)
+            )
+            t += 0.002
+    return log
+
+
+def test_calibrate_constant_run_time():
+    dist = calibrate_run_time(trace(mean=0.0315), "sim")
+    assert isinstance(dist, Constant)
+    assert dist.mean() == pytest.approx(0.0315)
+
+
+def test_calibrate_lognormal_matches_moments():
+    log = trace(mean=0.03, std=0.01, n=2000)
+    dist = calibrate_run_time(log, "sim", jitter="lognormal")
+    assert isinstance(dist, LogNormal)
+    rng = np.random.default_rng(1)
+    samples = np.array([dist.sample(rng) for _ in range(20000)])
+    assert samples.mean() == pytest.approx(0.03, rel=0.05)
+    assert samples.std() == pytest.approx(0.01, rel=0.2)
+
+
+def test_calibrate_lognormal_zero_std_degrades_to_constant():
+    dist = calibrate_run_time(trace(std=0.0), "sim", jitter="lognormal")
+    assert isinstance(dist, Constant)
+
+
+def test_calibrate_missing_component():
+    with pytest.raises(ConfigError, match="cannot calibrate"):
+        calibrate_run_time(trace(), "ghost")
+
+
+def test_calibrate_unknown_jitter():
+    with pytest.raises(ConfigError, match="jitter"):
+        calibrate_run_time(trace(), "sim", jitter="gamma")
+
+
+def test_calibrate_simulation_config_listing2_shape():
+    cfg = calibrate_simulation_config(trace(mean=0.0315), "sim")
+    kernel = cfg.kernels[0]
+    assert kernel.name == "sim_iter"
+    assert kernel.mini_app_kernel == "MatMulSimple2D"
+    assert kernel.device == "xpu"
+    assert kernel.run_time.mean() == pytest.approx(0.0315)
+
+
+def test_calibrated_config_runs_in_simulation():
+    from repro.core import Simulation
+    from repro.telemetry import VirtualClock
+
+    cfg = calibrate_simulation_config(
+        trace(mean=0.005), "sim", data_size=(16, 16), device="cpu"
+    )
+    sim = Simulation("replica", config=cfg, clock=VirtualClock(auto_advance=1e-4))
+    sim.run(10)
+    durations = sim.event_log.filter(kind=EventKind.COMPUTE).durations()
+    assert np.mean(durations) == pytest.approx(0.005, rel=0.1)
+
+
+def test_transport_schedule_intervals():
+    log = trace(n=200, writes_every=10)
+    schedule = calibrate_transport_schedule(log, "sim")
+    assert schedule.write_interval == 10
+    assert schedule.read_interval == 0
+    assert schedule.mean_write_nbytes == pytest.approx(1.2e6)
+    assert schedule.mean_read_nbytes == 0.0
+
+
+def test_transport_schedule_no_compute():
+    with pytest.raises(ConfigError):
+        calibrate_transport_schedule(EventLog(), "sim")
+
+
+def test_round_trip_calibration_recovers_source():
+    """Calibrate from a mini-app run; the re-calibrated replica must match
+    the original's mean iteration time — the paper's validation loop."""
+    from repro.transport.models import NodeLocalBackendModel
+    from repro.workloads import OneToOneConfig, run_one_to_one
+
+    source = run_one_to_one(
+        NodeLocalBackendModel(),
+        OneToOneConfig(train_iterations=200, ranks_per_component=1),
+    )
+    dist = calibrate_run_time(source.log, "sim")
+    assert dist.mean() == pytest.approx(0.03147, rel=0.01)
+    schedule = calibrate_transport_schedule(source.log, "sim")
+    # arrays_per_snapshot=2 every 100 iterations -> a write every ~50.
+    assert 40 <= schedule.write_interval <= 60
