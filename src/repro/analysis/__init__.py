@@ -3,8 +3,15 @@
 from repro.analysis.report import (
     ascii_chart,
     format_series_table,
+    format_summary_table,
     format_table,
     relative_error,
 )
 
-__all__ = ["ascii_chart", "format_series_table", "format_table", "relative_error"]
+__all__ = [
+    "ascii_chart",
+    "format_series_table",
+    "format_summary_table",
+    "format_table",
+    "relative_error",
+]

@@ -8,9 +8,12 @@ output can be compared against the paper's plots at a glance.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.stats import Summary
 
 
 def format_table(
@@ -99,6 +102,44 @@ def ascii_chart(
             bar = "#" * max(1, int(scale(v) * width)) if v > 0 else ""
             lines.append(f"  {name:<{label_width}} |{bar} {v:.3g}")
     return "\n".join(lines)
+
+
+def format_summary_table(
+    summaries: Mapping[str, "Summary"],
+    title: Optional[str] = None,
+    unit_scale: float = 1.0,
+    unit: str = "s",
+) -> str:
+    """One row per named :class:`~repro.telemetry.stats.Summary`, with
+    mean/std and the p50/p95/p99 percentile columns.
+
+    ``unit_scale`` multiplies every duration column (e.g. ``1e3`` to show
+    milliseconds); ``unit`` labels the headers.
+    """
+    headers = [
+        "series",
+        "count",
+        f"mean ({unit})",
+        f"std ({unit})",
+        f"p50 ({unit})",
+        f"p95 ({unit})",
+        f"p99 ({unit})",
+        f"max ({unit})",
+    ]
+    rows = [
+        [
+            name,
+            s.count,
+            s.mean * unit_scale,
+            s.std * unit_scale,
+            s.p50 * unit_scale,
+            s.p95 * unit_scale,
+            s.p99 * unit_scale,
+            s.max * unit_scale,
+        ]
+        for name, s in summaries.items()
+    ]
+    return format_table(headers, rows, title=title)
 
 
 def relative_error(measured: float, reference: float) -> float:

@@ -6,6 +6,13 @@ Subcommands::
     python -m repro run --config app.json   # real-mode mini-app from JSON
     python -m repro simulate --pattern one-to-one --backend dragon \
         --nodes 64 --size-mb 4              # sim-mode what-if study
+    python -m repro trace-summary out.json  # top-k slowest spans per component
+
+Observability: ``run`` and ``simulate`` accept ``--trace out.json``
+(Chrome trace-event file — open in https://ui.perfetto.dev or
+chrome://tracing) and ``--metrics metrics.json`` (counter/gauge/histogram
+registry dump with p50/p95/p99). ``simulate --json`` prints the whole
+run summary as one JSON object for scripting.
 
 The ``run`` config format::
 
@@ -26,6 +33,28 @@ import json
 from typing import Optional
 
 from repro.errors import ConfigError
+
+
+def _make_telemetry(args: argparse.Namespace):
+    """A Telemetry hub when --trace/--metrics was requested, else None."""
+    if not (getattr(args, "trace", "") or getattr(args, "metrics", "")):
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry()
+
+
+def _save_telemetry(telemetry, args: argparse.Namespace, quiet: bool = False) -> None:
+    if telemetry is None:
+        return
+    if args.trace:
+        n = telemetry.save_trace(args.trace)
+        if not quiet:
+            print(f"trace written to {args.trace} ({n} events; open in Perfetto)")
+    if args.metrics:
+        telemetry.save_metrics(args.metrics)
+        if not quiet:
+            print(f"metrics written to {args.metrics}")
 
 
 def _cmd_kernels(args: argparse.Namespace) -> int:
@@ -59,9 +88,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     server_spec = spec.get("server", {"backend": "node-local"})
     run_spec = spec.get("one_to_one", {})
     config = RealOneToOneConfig(**run_spec)
+    telemetry = _make_telemetry(args)
 
     with ServerManager("stage", config=server_spec) as server:
-        result = run_one_to_one_real(server.get_server_info(), config)
+        result = run_one_to_one_real(
+            server.get_server_info(), config, telemetry=telemetry
+        )
 
     print(f"pattern: one-to-one, backend: {server_spec.get('backend')}")
     print(f"simulation iterations: {result.sim_iterations}")
@@ -73,30 +105,100 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"{component}: {counts['timestep']} steps, "
             f"{counts['data_transport']} transport events, "
-            f"iter {s.mean * 1e3:.2f} ± {s.std * 1e3:.2f} ms"
+            f"iter {s.mean * 1e3:.2f} ± {s.std * 1e3:.2f} ms "
+            f"(p50 {s.p50 * 1e3:.2f}, p95 {s.p95 * 1e3:.2f}, p99 {s.p99 * 1e3:.2f})"
         )
     if args.events_out:
         result.log.save(args.events_out)
         print(f"event log written to {args.events_out}")
+    _save_telemetry(telemetry, args)
     return 0
 
 
+def _simulate_one_to_one(args, model, telemetry):
+    from repro.experiments.common import pattern1_context
+    from repro.transport.models import MB
+    from repro.workloads import OneToOneConfig, run_one_to_one
+
+    nbytes = args.size_mb * MB
+    return run_one_to_one(
+        model,
+        OneToOneConfig(train_iterations=args.iterations, snapshot_nbytes=nbytes),
+        ctx=pattern1_context(args.nodes),
+        telemetry=telemetry,
+    )
+
+
+def _simulate_many_to_one(args, model, telemetry):
+    from repro.transport.models import MB, TransportOpContext
+    from repro.workloads import ManyToOneConfig, run_many_to_one
+
+    nbytes = args.size_mb * MB
+    n_sims = args.nodes - 1
+    n_clients = n_sims + min(12, n_sims)
+    return run_many_to_one(
+        model,
+        ManyToOneConfig(
+            n_simulations=n_sims,
+            train_iterations=args.iterations,
+            snapshot_nbytes=nbytes,
+        ),
+        write_ctx=TransportOpContext(
+            local=True, clients_per_server=12, concurrent_clients=n_clients
+        ),
+        read_ctx=TransportOpContext(
+            local=False,
+            clients_per_server=12,
+            fan_in=n_sims,
+            concurrent_peers=min(12, n_sims),
+            concurrent_clients=n_clients,
+        ),
+        telemetry=telemetry,
+    )
+
+
+def _simulate_summary(args, result) -> dict:
+    """The machine-readable run summary (simulate --json)."""
+    from repro.telemetry import EventKind, mean_throughput, mean_transport_time
+    from repro.telemetry.stats import Summary
+
+    transport = {}
+    for kind in (EventKind.WRITE, EventKind.READ):
+        durations = result.log.filter(kind=kind).durations()
+        transport[kind.value] = {
+            "throughput_bytes_per_s": mean_throughput(result.log, kind),
+            "mean_seconds": mean_transport_time(result.log, kind),
+            "time_seconds": Summary.of(durations).as_dict(),
+        }
+    iteration = {}
+    for component, kind in (("sim", EventKind.COMPUTE), ("train", EventKind.TRAIN)):
+        comps = [c for c in result.log.components() if c.startswith(component)]
+        durations = []
+        for comp in comps:
+            durations.extend(result.log.filter(component=comp, kind=kind).durations())
+        iteration[component] = Summary.of(durations).as_dict()
+    return {
+        "pattern": args.pattern,
+        "backend": args.backend,
+        "nodes": args.nodes,
+        "size_mb": args.size_mb,
+        "iterations": args.iterations,
+        "makespan_seconds": result.makespan,
+        "sim_iterations": result.sim_iterations,
+        "train_iterations": result.train_iterations,
+        "snapshots_written": result.snapshots_written,
+        "snapshots_read": result.snapshots_read,
+        "iteration_time_seconds": iteration,
+        "transport": transport,
+    }
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.experiments.common import backend_models, pattern1_context
+    from repro.analysis import format_summary_table
+    from repro.experiments.common import backend_models
     from repro.telemetry import EventKind
-    from repro.telemetry.stats import mean_throughput, runtime_per_iteration
-    from repro.transport.models import (
-        MB,
-        DaosBackendModel,
-        StreamingBackendModel,
-        TransportOpContext,
-    )
-    from repro.workloads import (
-        ManyToOneConfig,
-        OneToOneConfig,
-        run_many_to_one,
-        run_one_to_one,
-    )
+    from repro.telemetry.stats import Summary, mean_throughput, runtime_per_iteration
+    from repro.transport.models import DaosBackendModel, StreamingBackendModel
 
     models = dict(backend_models())
     models["streaming"] = StreamingBackendModel()
@@ -107,14 +209,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         raise ConfigError(
             f"unknown backend {args.backend!r}; options {sorted(models)}"
         ) from None
-    nbytes = args.size_mb * MB
+    telemetry = _make_telemetry(args)
 
     if args.pattern == "one-to-one":
-        result = run_one_to_one(
-            model,
-            OneToOneConfig(train_iterations=args.iterations, snapshot_nbytes=nbytes),
-            ctx=pattern1_context(args.nodes),
-        )
+        result = _simulate_one_to_one(args, model, telemetry)
+    else:
+        result = _simulate_many_to_one(args, model, telemetry)
+
+    if args.json:
+        print(json.dumps(_simulate_summary(args, result), sort_keys=True))
+        _save_telemetry(telemetry, args, quiet=True)
+        return 0
+
+    if args.pattern == "one-to-one":
         print(
             f"one-to-one on {args.nodes} nodes, {args.size_mb} MB, backend {args.backend}:"
         )
@@ -128,35 +235,54 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{mean_throughput(result.log, EventKind.READ) / 1e9:.3f} GB/s"
         )
     else:
-        n_sims = args.nodes - 1
-        n_clients = n_sims + min(12, n_sims)
-        result = run_many_to_one(
-            model,
-            ManyToOneConfig(
-                n_simulations=n_sims,
-                train_iterations=args.iterations,
-                snapshot_nbytes=nbytes,
-            ),
-            write_ctx=TransportOpContext(
-                local=True, clients_per_server=12, concurrent_clients=n_clients
-            ),
-            read_ctx=TransportOpContext(
-                local=False,
-                clients_per_server=12,
-                fan_in=n_sims,
-                concurrent_peers=min(12, n_sims),
-                concurrent_clients=n_clients,
-            ),
-        )
         runtime = runtime_per_iteration(
             result.log.filter(component="train"), "train", args.iterations
         )
+        n_sims = args.nodes - 1
         print(
             f"many-to-one on {args.nodes} nodes ({n_sims} sims), {args.size_mb} MB, "
             f"backend {args.backend}:"
         )
         print(f"  training runtime per iteration: {runtime * 1e3:.2f} ms")
         print(f"  makespan: {result.makespan:.2f} s")
+    summaries = {
+        kind.value: Summary.of(result.log.filter(kind=kind).durations())
+        for kind in (EventKind.WRITE, EventKind.READ)
+    }
+    print(
+        format_summary_table(
+            summaries, title="transport time percentiles", unit_scale=1e3, unit="ms"
+        )
+    )
+    _save_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.telemetry import load_trace, summarize_trace, validate_trace_events
+
+    events = load_trace(args.file)
+    validate_trace_events(events)
+    rows = []
+    for process, spans in summarize_trace(events, top_k=args.top):
+        for event in spans:
+            rows.append(
+                (
+                    process,
+                    event.get("name", ""),
+                    event.get("cat", ""),
+                    float(event.get("dur", 0.0)) / 1e3,
+                    float(event.get("ts", 0.0)) / 1e6,
+                )
+            )
+    print(
+        format_table(
+            ["component", "span", "category", "dur (ms)", "start (s)"],
+            rows,
+            title=f"top {args.top} slowest spans per component ({len(events)} events)",
+        )
+    )
     return 0
 
 
@@ -169,11 +295,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("kernels", help="list registered mini-app kernels")
 
+    def add_observability(p) -> None:
+        p.add_argument(
+            "--trace",
+            default="",
+            metavar="FILE",
+            help="write a Chrome trace-event JSON file (open in Perfetto)",
+        )
+        p.add_argument(
+            "--metrics",
+            default="",
+            metavar="FILE",
+            help="write the metrics registry (counters/gauges/histograms) as JSON",
+        )
+
     run_parser = sub.add_parser("run", help="run a real-mode mini-app from JSON")
     run_parser.add_argument("--config", required=True, help="mini-app JSON config")
     run_parser.add_argument(
         "--events-out", default="", help="write the event log (JSONL) here"
     )
+    add_observability(run_parser)
 
     simulate = sub.add_parser(
         "simulate", help="sim-mode what-if study on the modeled Aurora"
@@ -185,6 +326,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--nodes", type=int, default=8)
     simulate.add_argument("--size-mb", type=float, default=1.2)
     simulate.add_argument("--iterations", type=int, default=500)
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        help="print the run summary as a single JSON object",
+    )
+    add_observability(simulate)
+
+    trace_summary = sub.add_parser(
+        "trace-summary", help="print the top-k slowest spans per component of a trace"
+    )
+    trace_summary.add_argument("file", help="Chrome trace JSON written by --trace")
+    trace_summary.add_argument("--top", type=int, default=5, help="spans per component")
     return parser
 
 
@@ -196,4 +349,6 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "trace-summary":
+        return _cmd_trace_summary(args)
     raise ConfigError(f"unknown command {args.command!r}")  # pragma: no cover

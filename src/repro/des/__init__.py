@@ -19,6 +19,13 @@ process-based DES style (generators yielding events)::
 """
 
 from repro.des.core import EmptySchedule, Environment, Process
+from repro.des.probe import (
+    CountingProbe,
+    MultiProbe,
+    PeriodicSampler,
+    Probe,
+    attach_probe,
+)
 from repro.des.events import (
     AllOf,
     AnyOf,
@@ -37,14 +44,19 @@ __all__ = [
     "Condition",
     "ConditionValue",
     "Container",
+    "CountingProbe",
     "EmptySchedule",
     "Environment",
     "Event",
     "Interrupt",
+    "MultiProbe",
+    "PeriodicSampler",
+    "Probe",
     "Process",
     "Request",
     "Resource",
     "RngRegistry",
     "Store",
     "Timeout",
+    "attach_probe",
 ]

@@ -18,7 +18,7 @@ monotonically increasing sequence number.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional
 
 from repro.des.events import (
     NORMAL,
@@ -30,6 +30,9 @@ from repro.des.events import (
     Timeout,
 )
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.probe import Probe
 
 ProcessGenerator = Generator[Event, Any, Any]
 
@@ -111,6 +114,8 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self.env._active_proc = self
+        if self.env.probe is not None:
+            self.env.probe.on_process_switch(self.env, self)
         try:
             while True:
                 try:
@@ -166,13 +171,21 @@ class Process(Event):
 
 
 class Environment:
-    """A simulation environment: clock + event calendar + process factory."""
+    """A simulation environment: clock + event calendar + process factory.
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    An optional :class:`~repro.des.probe.Probe` observes scheduling,
+    steps, and process switches (see :mod:`repro.des.probe`). With no
+    probe attached the hook sites cost one ``is None`` check each, and
+    event ordering is bit-identical to an unprobed environment either
+    way — probes observe, they never schedule.
+    """
+
+    def __init__(self, initial_time: float = 0.0, probe: Optional["Probe"] = None) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        self.probe = probe
 
     # -- clock ------------------------------------------------------------
     @property
@@ -211,6 +224,8 @@ class Environment:
         """Push a triggered event onto the calendar ``delay`` from now."""
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
         self._seq += 1
+        if self.probe is not None:
+            self.probe.on_schedule(self, event, self._now + delay, priority)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -222,6 +237,9 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events remain") from None
+
+        if self.probe is not None:
+            self.probe.on_step(self, self._now, event)
 
         callbacks = event.callbacks
         event.callbacks = None  # callbacks added after processing are an error

@@ -1,0 +1,194 @@
+"""Engine profiling hooks: observe a simulation without perturbing it.
+
+A :class:`Probe` attached to an :class:`~repro.des.core.Environment`
+receives callbacks on event scheduling, event processing (steps), and
+process switches. Probes are pure observers — they must not create or
+trigger events — so attaching one never changes event ordering, and an
+environment with no probe pays only a single ``is None`` check per hook
+site.
+
+:class:`PeriodicSampler` is the standard probe: it snapshots registered
+sources (resource occupancy/queue depth, store levels, container
+levels, the event-heap size, arbitrary callables) into
+:class:`~repro.telemetry.metrics.Gauge` time-series at a fixed simulated
+interval, piggybacking on event processing instead of scheduling its own
+wake-ups. A Fig-3/Fig-6 run can therefore be replayed as a utilization
+timeline with zero impact on determinism.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment, Process
+    from repro.des.events import Event
+    from repro.des.resources import Container, Resource, Store
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.tracing import Tracer
+
+
+class Probe:
+    """Observer interface; subclass and override what you need.
+
+    Callbacks must not mutate the environment (no scheduling, no
+    triggering) — they exist to *watch* the engine.
+    """
+
+    def on_schedule(self, env: "Environment", event: "Event", time: float, priority: int) -> None:
+        """An event was pushed onto the calendar for ``time``."""
+
+    def on_step(self, env: "Environment", time: float, event: "Event") -> None:
+        """An event was popped and is about to run its callbacks."""
+
+    def on_process_switch(self, env: "Environment", process: "Process") -> None:
+        """The engine is about to resume ``process``."""
+
+
+class MultiProbe(Probe):
+    """Fan a hook out to several probes, in attachment order."""
+
+    def __init__(self, probes: Optional[list[Probe]] = None) -> None:
+        self.probes: list[Probe] = list(probes or [])
+
+    def add(self, probe: Probe) -> None:
+        self.probes.append(probe)
+
+    def on_schedule(self, env, event, time, priority) -> None:
+        for probe in self.probes:
+            probe.on_schedule(env, event, time, priority)
+
+    def on_step(self, env, time, event) -> None:
+        for probe in self.probes:
+            probe.on_step(env, time, event)
+
+    def on_process_switch(self, env, process) -> None:
+        for probe in self.probes:
+            probe.on_process_switch(env, process)
+
+
+class CountingProbe(Probe):
+    """Cheap engine statistics: events scheduled/processed, switches."""
+
+    def __init__(self) -> None:
+        self.scheduled = 0
+        self.processed = 0
+        self.switches = 0
+        self.max_heap = 0
+
+    def on_schedule(self, env, event, time, priority) -> None:
+        self.scheduled += 1
+        self.max_heap = max(self.max_heap, len(env._queue))
+
+    def on_step(self, env, time, event) -> None:
+        self.processed += 1
+
+    def on_process_switch(self, env, process) -> None:
+        self.switches += 1
+
+
+class PeriodicSampler(Probe):
+    """Sample gauge sources every ``interval`` simulated seconds.
+
+    Sampling is driven by event processing: on each step past the next
+    deadline, every source is read and recorded at the *current*
+    simulated time. An idle stretch with no events yields no samples —
+    which is correct, since nothing changed.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        metrics: Optional["MetricsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
+        emit_spans: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"sample interval must be positive, got {interval}")
+        if metrics is None:
+            from repro.telemetry.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.interval = float(interval)
+        self.metrics = metrics
+        self.tracer = tracer
+        self.emit_spans = emit_spans
+        self.samples_taken = 0
+        self._sources: list[tuple[str, Callable[[], float]]] = []
+        self._next: Optional[float] = None
+
+    # -- source registration ----------------------------------------------
+    def add_source(self, name: str, fn: Callable[[], float]) -> "PeriodicSampler":
+        """Watch an arbitrary ``() -> float`` under gauge ``name``."""
+        self._sources.append((name, fn))
+        return self
+
+    def watch_resource(self, name: str, resource: "Resource") -> "PeriodicSampler":
+        """Record a Resource's occupancy and queue depth."""
+        self.add_source(f"{name}.in_use", lambda: resource.count)
+        self.add_source(f"{name}.queue_depth", lambda: resource.queue_length)
+        return self
+
+    def watch_store(self, name: str, store: "Store") -> "PeriodicSampler":
+        """Record a Store's buffered-item count."""
+        return self.add_source(f"{name}.level", lambda: store.level)
+
+    def watch_container(self, name: str, container: "Container") -> "PeriodicSampler":
+        """Record a Container's level (e.g. bytes of staged memory)."""
+        return self.add_source(f"{name}.level", lambda: container.level)
+
+    def watch_heap(self, env: "Environment", name: str = "des.event_queue") -> "PeriodicSampler":
+        """Record the environment's pending-event count."""
+        return self.add_source(name, lambda: len(env._queue))
+
+    # -- probe hooks --------------------------------------------------------
+    def on_step(self, env: "Environment", time: float, event: "Event") -> None:
+        if self._next is None:
+            self._next = time  # first step: sample immediately
+        if time < self._next:
+            return
+        self.sample(time)
+        # Advance past `time` in whole intervals so a long quiet stretch
+        # does not trigger a burst of catch-up samples.
+        periods = int((time - self._next) / self.interval) + 1
+        self._next += periods * self.interval
+
+    def sample(self, time: float) -> None:
+        """Read every source now and append to the gauge series."""
+        for name, fn in self._sources:
+            value = float(fn())
+            self.metrics.gauge(name).set(value, t=time)
+            if self.tracer is not None:
+                self.tracer.counter(name, value, time=time)
+        if self.tracer is not None and self.emit_spans:
+            self.tracer.add_span(
+                "des.sample",
+                start=time,
+                duration=0.0,
+                category="des",
+                pid="des.sampler",
+                n_sources=len(self._sources),
+            )
+        self.samples_taken += 1
+
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """The recorded (time, value) samples for one source."""
+        gauge = self.metrics.get(name)
+        samples = getattr(gauge, "samples", None)
+        if samples is None:
+            raise SimulationError(f"no sampled gauge named {name!r}")
+        return list(samples)
+
+
+def attach_probe(env: "Environment", probe: Probe) -> Probe:
+    """Attach ``probe`` to ``env``, stacking with any existing probe."""
+    existing = env.probe
+    if existing is None:
+        env.probe = probe
+    elif isinstance(existing, MultiProbe):
+        existing.add(probe)
+    else:
+        env.probe = MultiProbe([existing, probe])
+    return probe

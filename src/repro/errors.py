@@ -19,6 +19,10 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid state."""
 
 
+class EmptyLogError(ReproError):
+    """A time-window query (span/makespan) was made on an empty event log."""
+
+
 class TransportError(ReproError):
     """A data-transport backend operation failed."""
 

@@ -63,15 +63,22 @@ def measure_one_to_one(
     n_nodes: int,
     train_iterations: int = 2500,
     seed: int = 0,
+    telemetry=None,
 ) -> TransportMeasurement:
-    """Run pattern 1 with one backend/size/scale; extract Fig 3/4 metrics."""
+    """Run pattern 1 with one backend/size/scale; extract Fig 3/4 metrics.
+
+    ``telemetry`` (a :class:`~repro.telemetry.hub.Telemetry`) records the
+    run's spans/metrics — see the "Observability" section of the README.
+    """
     config = OneToOneConfig(
         train_iterations=train_iterations,
         snapshot_nbytes=nbytes,
         ranks_per_component=6,
         seed=seed,
     )
-    result = run_one_to_one(model, config, ctx=pattern1_context(n_nodes))
+    result = run_one_to_one(
+        model, config, ctx=pattern1_context(n_nodes), telemetry=telemetry
+    )
     return measurement_from_log(result.log)
 
 

@@ -58,18 +58,28 @@ class Fig3Result:
         return "\n\n".join(blocks)
 
 
-def run(quick: bool = False) -> Fig3Result:
+def run(quick: bool = False, backends=None, telemetry=None) -> Fig3Result:
+    """Run the sweep; ``backends`` restricts it, ``telemetry`` records it.
+
+    When a :class:`~repro.telemetry.hub.Telemetry` hub is given, every
+    pattern run contributes transport/workload spans and engine gauge
+    series to it — one trace file covering the whole sweep.
+    """
     iterations = 300 if quick else 2500
     models = backend_models()
     result = Fig3Result()
     for scale in SCALES:
         result.read[scale] = {}
         result.write[scale] = {}
-        for backend in PATTERN1_BACKENDS:
+        for backend in backends or PATTERN1_BACKENDS:
             reads, writes = [], []
             for nbytes in SIZE_SWEEP_BYTES:
                 m = measure_one_to_one(
-                    models[backend], nbytes, n_nodes=scale, train_iterations=iterations
+                    models[backend],
+                    nbytes,
+                    n_nodes=scale,
+                    train_iterations=iterations,
+                    telemetry=telemetry,
                 )
                 reads.append(m.read_throughput)
                 writes.append(m.write_throughput)

@@ -1,6 +1,22 @@
-"""Telemetry: clocks, event records, summary statistics, timelines."""
+"""Telemetry: clocks, event records, summary statistics, timelines,
+hierarchical spans, metrics, and Chrome-trace export."""
 
+from repro.telemetry.chrome_trace import (
+    load_trace,
+    summarize_trace,
+    trace_events,
+    validate_trace_events,
+    write_chrome_trace,
+)
 from repro.telemetry.events import TRANSPORT_KINDS, EventKind, EventLog, EventRecord
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labeled_name,
+)
 from repro.telemetry.stats import (
     Summary,
     event_counts,
@@ -11,22 +27,38 @@ from repro.telemetry.stats import (
 )
 from repro.telemetry.timeline import Lane, Timeline
 from repro.telemetry.timer import Clock, RealClock, Stopwatch, VirtualClock
+from repro.telemetry.tracing import CounterSample, InstantEvent, Span, Tracer
 
 __all__ = [
     "Clock",
+    "Counter",
+    "CounterSample",
     "EventKind",
     "EventLog",
     "EventRecord",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
     "Lane",
+    "MetricsRegistry",
     "RealClock",
+    "Span",
     "Stopwatch",
     "Summary",
+    "Telemetry",
     "Timeline",
     "TRANSPORT_KINDS",
+    "Tracer",
     "VirtualClock",
     "event_counts",
     "iteration_time_summary",
+    "labeled_name",
+    "load_trace",
     "mean_throughput",
     "mean_transport_time",
     "runtime_per_iteration",
+    "summarize_trace",
+    "trace_events",
+    "validate_trace_events",
+    "write_chrome_trace",
 ]

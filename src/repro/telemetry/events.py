@@ -13,7 +13,7 @@ from dataclasses import asdict, dataclass, field
 from enum import Enum
 from typing import Iterable, Iterator, Optional
 
-from repro.errors import ReproError
+from repro.errors import EmptyLogError, ReproError
 
 
 class EventKind(str, Enum):
@@ -134,7 +134,12 @@ class EventLog:
         return len(self.filter(**kwargs))
 
     def durations(self) -> list[float]:
-        """Every record's duration, in log order."""
+        """Every record's duration, in log order.
+
+        An empty log yields ``[]`` (the documented sentinel) — summary
+        statistics over no events are simply empty, unlike time-window
+        queries which have no meaningful answer (see :meth:`span`).
+        """
         return [r.duration for r in self._records]
 
     def total_bytes(self) -> float:
@@ -142,15 +147,29 @@ class EventLog:
         return sum(r.nbytes for r in self._records)
 
     def span(self) -> tuple[float, float]:
-        """(earliest start, latest end) over all records."""
+        """(earliest start, latest end) over all records.
+
+        Raises :class:`~repro.errors.EmptyLogError` on an empty log:
+        there is no meaningful time window, and silently returning
+        ``(0.0, 0.0)`` used to hide filters that matched nothing.
+        """
         if not self._records:
-            return (0.0, 0.0)
+            raise EmptyLogError(
+                "span() on an empty event log — no records means no time window "
+                "(check component/kind filters)"
+            )
         return (
             min(r.start for r in self._records),
             max(r.end for r in self._records),
         )
 
     def makespan(self) -> float:
+        """Latest end minus earliest start (raises on an empty log)."""
+        if not self._records:
+            raise EmptyLogError(
+                "makespan() on an empty event log — no records means no time "
+                "window (check component/kind filters)"
+            )
         start, end = self.span()
         return end - start
 

@@ -1,0 +1,96 @@
+"""The Telemetry hub: one object to thread through a whole run.
+
+Bundles a :class:`~repro.telemetry.tracing.Tracer` and a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, plus the shared
+run-level state both need (in-flight transport ops for the
+link-occupancy gauge). Workloads, transport clients, and experiments all
+accept ``telemetry=None``; passing one hub to everything produces a
+single coherent trace + metrics document::
+
+    telemetry = Telemetry()
+    result = run_one_to_one(model, config, telemetry=telemetry)
+    telemetry.save_trace("out.json")      # open in Perfetto
+    telemetry.save_metrics("metrics.json")
+
+For simulated runs the hub binds itself to the DES environment
+(:meth:`bind_environment`): span timestamps switch to virtual time and a
+:class:`~repro.des.probe.PeriodicSampler` starts recording engine gauge
+series (event-heap depth, plus whatever the workload registers).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+    from repro.des.probe import PeriodicSampler
+
+#: Default simulated-seconds between engine gauge samples.
+DEFAULT_SAMPLE_INTERVAL = 0.25
+
+
+class Telemetry:
+    """Tracer + metrics registry + run-level occupancy tracking."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+    ) -> None:
+        self.tracer = tracer or Tracer()
+        self.metrics = metrics or MetricsRegistry()
+        self.sample_interval = sample_interval
+        self.sampler: Optional["PeriodicSampler"] = None
+        self._inflight = 0
+
+    # -- convenience passthroughs ----------------------------------------
+    def span(self, name: str, **kwargs):
+        return self.tracer.span(name, **kwargs)
+
+    def now(self) -> float:
+        return self.tracer.now()
+
+    # -- link occupancy ----------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Transport operations currently on the wire."""
+        return self._inflight
+
+    def transport_started(self, t: Optional[float] = None) -> None:
+        """Note one more in-flight transport op (event-driven gauge)."""
+        self._inflight += 1
+        self.metrics.gauge("link.occupancy").set(self._inflight, t=t)
+
+    def transport_finished(self, t: Optional[float] = None) -> None:
+        self._inflight -= 1
+        self.metrics.gauge("link.occupancy").set(self._inflight, t=t)
+
+    # -- DES binding -------------------------------------------------------
+    def bind_environment(self, env: "Environment") -> "PeriodicSampler":
+        """Switch to virtual time and start the engine gauge sampler."""
+        from repro.des.probe import PeriodicSampler, attach_probe
+
+        self.tracer.bind_clock(lambda: env.now)
+        sampler = PeriodicSampler(
+            self.sample_interval, metrics=self.metrics, tracer=self.tracer
+        )
+        sampler.watch_heap(env)
+        sampler.add_source("link.occupancy.sampled", lambda: self._inflight)
+        attach_probe(env, sampler)
+        self.sampler = sampler
+        return sampler
+
+    # -- output ------------------------------------------------------------
+    def save_trace(self, path, event_log=None) -> int:
+        """Write the Chrome trace file; returns the event count."""
+        from repro.telemetry.chrome_trace import write_chrome_trace
+
+        return write_chrome_trace(path, tracer=self.tracer, event_log=event_log)
+
+    def save_metrics(self, path) -> None:
+        self.metrics.save_json(path)

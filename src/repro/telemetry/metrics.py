@@ -1,0 +1,252 @@
+"""Metrics registry: counters, gauges, and percentile histograms.
+
+Transport clients and kernels publish into a shared
+:class:`MetricsRegistry`; the DES probe samplers append gauge
+time-series; experiments and the CLI read the result back as text or a
+JSON document. Metric names are dotted paths with optional
+``{label=value,...}`` suffixes, e.g. ``transport.write.seconds{backend=redis}``.
+
+Histogram percentiles use linear interpolation over the full retained
+sample set (bounded by a reservoir cap), so p50/p95/p99 of a known
+distribution match ``numpy.percentile`` exactly while memory stays
+bounded on long runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not name:
+        raise ReproError(f"metric names must be non-empty strings, got {name!r}")
+    return name
+
+
+def labeled_name(name: str, **labels: object) -> str:
+    """``labeled_name("x.seconds", backend="redis")`` -> ``x.seconds{backend=redis}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, ...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = _check_name(name)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+    def render(self) -> str:
+        return f"{self.name} {self._value:g}"
+
+
+class Gauge:
+    """A point-in-time level, optionally retained as a time-series.
+
+    ``set(value, t=...)`` appends a ``(t, value)`` sample when a timestamp
+    is given (the DES samplers always pass ``env.now``); without one only
+    the last value is tracked.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = _check_name(name)
+        self._value = 0.0
+        self.samples: list[tuple[float, float]] = []
+
+    def set(self, value: float, t: Optional[float] = None) -> None:
+        self._value = float(value)
+        if t is not None:
+            self.samples.append((float(t), self._value))
+
+    def inc(self, amount: float = 1.0, t: Optional[float] = None) -> None:
+        self.set(self._value + amount, t=t)
+
+    def dec(self, amount: float = 1.0, t: Optional[float] = None) -> None:
+        self.set(self._value - amount, t=t)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max_sample(self) -> float:
+        return max((v for _, v in self.samples), default=self._value)
+
+    def nonzero_samples(self) -> list[tuple[float, float]]:
+        return [(t, v) for t, v in self.samples if v != 0]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "value": self._value,
+            "n_samples": len(self.samples),
+            "max": self.max_sample,
+        }
+
+    def render(self) -> str:
+        return f"{self.name} {self._value:g} (samples={len(self.samples)}, max={self.max_sample:g})"
+
+
+class Histogram:
+    """A distribution with exact interpolated percentiles.
+
+    Retains at most ``max_samples`` observations; past the cap, samples
+    are thinned deterministically (every other retained sample is
+    dropped and the stride doubles) so long runs stay bounded while the
+    tail shape survives. Count/sum/min/max always cover *all*
+    observations.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, max_samples: int = 65536) -> None:
+        if max_samples < 2:
+            raise ReproError(f"max_samples must be >= 2, got {max_samples}")
+        self.name = _check_name(name)
+        self.max_samples = int(max_samples)
+        self._samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if self._skip:
+            self._skip -= 1
+            return
+        self._samples.append(value)
+        self._skip = self._stride - 1
+        if len(self._samples) >= self.max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0-100) of retained samples."""
+        if not 0 <= q <= 100:
+            raise ReproError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.name} count={self.count} mean={self.mean:g} "
+            f"p50={self.p50:g} p95={self.p95:g} p99={self.p99:g}"
+        )
+
+
+class MetricsRegistry:
+    """Name -> metric instrument, with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ReproError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(labeled_name(name, **labels), Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(labeled_name(name, **labels), Gauge)
+
+    def histogram(self, name: str, max_samples: int = 65536, **labels) -> Histogram:
+        return self._get(labeled_name(name, **labels), Histogram, max_samples=max_samples)
+
+    def get(self, name: str) -> Optional[Counter | Gauge | Histogram]:
+        """Look up a metric without creating it."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def gauges(self) -> list[Gauge]:
+        return [m for m in self._metrics.values() if isinstance(m, Gauge)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- exposition --------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready {name: metric summary} document."""
+        return {name: self._metrics[name].to_dict() for name in self.names()}
+
+    def render_text(self) -> str:
+        """One metric per line, histograms with their percentiles."""
+        return "\n".join(self._metrics[name].render() for name in self.names())
+
+    def save_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

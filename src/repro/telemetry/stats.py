@@ -19,7 +19,11 @@ from repro.telemetry.events import TRANSPORT_KINDS, EventKind, EventLog
 
 @dataclass(frozen=True)
 class Summary:
-    """Mean/std/min/max/count of a sample."""
+    """Mean/std/min/max/count plus p50/p95/p99 percentiles of a sample.
+
+    Percentiles use linear interpolation (``numpy.percentile`` defaults),
+    so they are exact for the retained sample set.
+    """
 
     count: int
     mean: float
@@ -27,12 +31,16 @@ class Summary:
     min: float
     max: float
     total: float
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
 
     @classmethod
     def of(cls, values: Iterable[float]) -> "Summary":
         arr = np.asarray(list(values), dtype=float)
         if arr.size == 0:
             return cls(count=0, mean=0.0, std=0.0, min=0.0, max=0.0, total=0.0)
+        p50, p95, p99 = np.percentile(arr, (50, 95, 99))
         return cls(
             count=int(arr.size),
             mean=float(arr.mean()),
@@ -40,7 +48,24 @@ class Summary:
             min=float(arr.min()),
             max=float(arr.max()),
             total=float(arr.sum()),
+            p50=float(p50),
+            p95=float(p95),
+            p99=float(p99),
         )
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for JSON output (field order preserved)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+            "total": self.total,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
 
 
 def iteration_time_summary(log: EventLog, component: str, kind: EventKind) -> Summary:
@@ -92,4 +117,9 @@ def runtime_per_iteration(log: EventLog, component: str, iterations: int) -> flo
     if iterations <= 0:
         raise ReproError(f"iterations must be positive, got {iterations}")
     comp = log.filter(component=component)
+    if len(comp) == 0:
+        raise ReproError(
+            f"no events recorded for component {component!r}; "
+            f"known components: {log.components()}"
+        )
     return comp.makespan() / iterations

@@ -74,6 +74,11 @@ class Timeline:
     ) -> "Timeline":
         components = components or log.components()
         if window is None:
+            if len(log) == 0:
+                raise ReproError(
+                    "cannot infer a timeline window from an empty event log; "
+                    "pass window=(start, end) explicitly"
+                )
             window = log.span()
         start, end = window
         lanes = []

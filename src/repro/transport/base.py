@@ -21,6 +21,7 @@ from typing import Any, Iterable, Optional
 
 from repro.errors import TransportError
 from repro.telemetry.events import EventKind, EventLog
+from repro.telemetry.hub import Telemetry
 from repro.telemetry.timer import Clock, RealClock
 
 
@@ -71,11 +72,13 @@ class DataStoreClient:
         rank: int = 0,
         clock: Optional[Clock] = None,
         event_log: Optional[EventLog] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.name = name
         self.rank = rank
         self.clock = clock or RealClock()
         self.event_log = event_log
+        self.telemetry = telemetry
         self.stats = ClientStats()
 
     # -- public API -------------------------------------------------------
@@ -161,3 +164,21 @@ class DataStoreClient:
                 nbytes=nbytes,
                 key=key,
             )
+        if self.telemetry is not None:
+            self.telemetry.tracer.add_span(
+                f"transport.{kind.value}",
+                start=start,
+                duration=duration,
+                category="transport",
+                pid=self.name,
+                tid=self.rank,
+                key=key,
+                nbytes=nbytes,
+                backend=self.backend_name,
+            )
+            metrics = self.telemetry.metrics
+            label = {"backend": self.backend_name}
+            metrics.histogram(f"transport.{kind.value}.seconds", **label).observe(duration)
+            metrics.counter(f"transport.{kind.value}.ops", **label).inc()
+            if nbytes:
+                metrics.counter(f"transport.{kind.value}.bytes", **label).inc(nbytes)

@@ -20,6 +20,7 @@ from typing import Any, Mapping, Optional
 
 from repro.errors import TransportError
 from repro.telemetry.events import EventLog
+from repro.telemetry.hub import Telemetry
 from repro.telemetry.timer import Clock
 from repro.transport.base import DataStoreClient
 from repro.transport.dragon_backend import DragonStoreClient
@@ -33,13 +34,20 @@ def make_client(
     rank: int = 0,
     clock: Optional[Clock] = None,
     event_log: Optional[EventLog] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> DataStoreClient:
     """Build the right backend client from server info."""
     try:
         backend = server_info["backend"]
     except KeyError:
         raise TransportError("server_info missing 'backend'") from None
-    common = {"name": name, "rank": rank, "clock": clock, "event_log": event_log}
+    common = {
+        "name": name,
+        "rank": rank,
+        "clock": clock,
+        "event_log": event_log,
+        "telemetry": telemetry,
+    }
     if backend in ("node-local", "filesystem"):
         try:
             path = server_info["path"]
@@ -70,11 +78,17 @@ class DataStore:
         rank: int = 0,
         clock: Optional[Clock] = None,
         event_log: Optional[EventLog] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.name = name
         self.server_info = dict(server_info)
         self._client = make_client(
-            server_info, name=name, rank=rank, clock=clock, event_log=event_log
+            server_info,
+            name=name,
+            rank=rank,
+            clock=clock,
+            event_log=event_log,
+            telemetry=telemetry,
         )
 
     @property

@@ -26,6 +26,7 @@ from typing import Generator, Optional
 from repro.des import Environment
 from repro.errors import KeyNotStagedError, TransportError
 from repro.telemetry.events import EventKind, EventLog
+from repro.telemetry.hub import Telemetry
 from repro.transport.models import BackendModel, TransportOpContext
 
 
@@ -36,8 +37,15 @@ class SimStagingArea:
         self._staged: dict[str, float] = {}
         self.total_writes = 0
         self.total_reads = 0
+        self._staged_bytes = 0.0
+
+    @property
+    def staged_bytes(self) -> float:
+        """Bytes currently staged (the store-memory gauge source)."""
+        return self._staged_bytes
 
     def publish(self, key: str, nbytes: float) -> None:
+        self._staged_bytes += nbytes - self._staged.get(key, 0.0)
         self._staged[key] = nbytes
         self.total_writes += 1
 
@@ -51,7 +59,11 @@ class SimStagingArea:
         return key in self._staged
 
     def remove(self, key: str) -> bool:
-        return self._staged.pop(key, None) is not None
+        nbytes = self._staged.pop(key, None)
+        if nbytes is None:
+            return False
+        self._staged_bytes -= nbytes
+        return True
 
     def keys(self) -> list[str]:
         return sorted(self._staged)
@@ -59,6 +71,7 @@ class SimStagingArea:
     def clear(self) -> int:
         count = len(self._staged)
         self._staged.clear()
+        self._staged_bytes = 0.0
         return count
 
 
@@ -74,6 +87,7 @@ class SimDataStore:
         rank: int = 0,
         event_log: Optional[EventLog] = None,
         default_ctx: Optional[TransportOpContext] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.env = env
         self.model = model
@@ -82,6 +96,7 @@ class SimDataStore:
         self.rank = rank
         self.event_log = event_log
         self.default_ctx = default_ctx or TransportOpContext()
+        self.telemetry = telemetry
 
     @property
     def backend(self) -> str:
@@ -98,6 +113,25 @@ class SimDataStore:
                 nbytes=nbytes,
                 key=key,
             )
+        if self.telemetry is not None:
+            duration = self.env.now - start
+            self.telemetry.tracer.add_span(
+                f"transport.{kind.value}",
+                start=start,
+                duration=duration,
+                category="transport",
+                pid=self.component,
+                tid=self.rank,
+                key=key,
+                nbytes=nbytes,
+                backend=self.model.name,
+            )
+            metrics = self.telemetry.metrics
+            label = {"backend": self.model.name}
+            metrics.histogram(f"transport.{kind.value}.seconds", **label).observe(duration)
+            metrics.counter(f"transport.{kind.value}.ops", **label).inc()
+            if nbytes:
+                metrics.counter(f"transport.{kind.value}.bytes", **label).inc(nbytes)
 
     # -- staging API (DES generators) ----------------------------------------
     def stage_write(
@@ -108,7 +142,13 @@ class SimDataStore:
             raise TransportError(f"negative staged size {nbytes}")
         ctx = ctx or self.default_ctx
         start = self.env.now
-        yield self.env.timeout(self.model.write_time(nbytes, ctx))
+        if self.telemetry is not None:
+            self.telemetry.transport_started(t=start)
+        try:
+            yield self.env.timeout(self.model.write_time(nbytes, ctx))
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.transport_finished(t=self.env.now)
         self.area.publish(key, nbytes)
         self._log(EventKind.WRITE, start, nbytes, key)
         return nbytes
@@ -120,7 +160,13 @@ class SimDataStore:
         nbytes = self.area.size_of(key)  # raises if not staged
         ctx = ctx or self.default_ctx
         start = self.env.now
-        yield self.env.timeout(self.model.read_time(nbytes, ctx))
+        if self.telemetry is not None:
+            self.telemetry.transport_started(t=start)
+        try:
+            yield self.env.timeout(self.model.read_time(nbytes, ctx))
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.transport_finished(t=self.env.now)
         self.area.total_reads += 1
         self._log(EventKind.READ, start, nbytes, key)
         return nbytes

@@ -111,7 +111,7 @@ def run_inference_loop(
     env.process(inference_server(), name="infer")
     env.run()
 
-    makespan = log.makespan()
+    makespan = log.makespan() if len(log) else 0.0
     compute = sum(log.filter(component="sim", kind=EventKind.COMPUTE).durations())
     infer = sum(log.filter(component="infer", kind=EventKind.COMPUTE).durations())
     mean_rt = sum(round_trips) / len(round_trips) if round_trips else 0.0

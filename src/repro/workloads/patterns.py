@@ -34,6 +34,7 @@ from repro.des import Environment
 from repro.des.rng import RngRegistry
 from repro.errors import ConfigError
 from repro.telemetry.events import EventKind, EventLog
+from repro.telemetry.hub import Telemetry
 from repro.transport.models import BackendModel, TransportOpContext
 from repro.transport.simstore import SimDataStore, SimStagingArea
 
@@ -98,26 +99,65 @@ class _StopFlag:
         self.stopped = True
 
 
+def _bind_telemetry(telemetry: Optional[Telemetry], env: Environment, area: SimStagingArea):
+    """Attach the engine sampler and the staging-memory gauge source."""
+    if telemetry is None:
+        return
+    sampler = telemetry.bind_environment(env)
+    sampler.add_source("staging.bytes", lambda: area.staged_bytes)
+    sampler.add_source("staging.keys", lambda: len(area.keys()))
+
+
+def _iteration_span(
+    telemetry: Optional[Telemetry], component: str, rank: int, iteration: int
+):
+    """An open workload-iteration span, or None when telemetry is off."""
+    if telemetry is None:
+        return None
+    return telemetry.tracer.span(
+        f"iteration.{component}",
+        category="workload",
+        pid=component,
+        tid=rank,
+        iteration=iteration,
+    )
+
+
 def run_one_to_one(
     model: BackendModel,
     config: Optional[OneToOneConfig] = None,
     ctx: Optional[TransportOpContext] = None,
     sim_name: str = "sim",
     ai_name: str = "train",
+    telemetry: Optional[Telemetry] = None,
 ) -> PatternResult:
-    """Simulate the one-to-one pattern; returns logs and counters."""
+    """Simulate the one-to-one pattern; returns logs and counters.
+
+    Passing a :class:`~repro.telemetry.hub.Telemetry` hub records
+    workload-iteration and transport spans on virtual time, transport
+    histograms, and engine gauge series (link occupancy, staged bytes,
+    event-queue depth); with ``telemetry=None`` the run is untouched.
+    """
     config = config or OneToOneConfig()
     ctx = ctx or TransportOpContext(local=True, clients_per_server=12)
     env = Environment()
     log = EventLog()
     area = SimStagingArea()
+    _bind_telemetry(telemetry, env, area)
     rngs = RngRegistry(config.seed)
     stop = _StopFlag()
     counters = {"sim_iters": 0, "train_iters": 0, "written": 0, "read": 0}
 
     def sim_rank(rank: int):
         store = SimDataStore(
-            env, model, area, component=sim_name, rank=rank, event_log=log, default_ctx=ctx
+            env,
+            model,
+            area,
+            component=sim_name,
+            rank=rank,
+            event_log=log,
+            default_ctx=ctx,
+            telemetry=telemetry,
         )
         rng = rngs.stream(f"sim{rank}")
         yield env.timeout(config.sim_init_time)
@@ -127,7 +167,10 @@ def run_one_to_one(
         snapshot = 0
         while not stop.stopped:
             start = env.now
+            span = _iteration_span(telemetry, sim_name, rank, iteration + 1)
             yield env.timeout(max(0.0, config.sim_iter_time.sample(rng)))
+            if span is not None:
+                span.finish()
             log.add(sim_name, EventKind.COMPUTE, start, env.now - start, rank=rank)
             iteration += 1
             if rank == 0:
@@ -143,7 +186,14 @@ def run_one_to_one(
 
     def ai_rank(rank: int):
         store = SimDataStore(
-            env, model, area, component=ai_name, rank=rank, event_log=log, default_ctx=ctx
+            env,
+            model,
+            area,
+            component=ai_name,
+            rank=rank,
+            event_log=log,
+            default_ctx=ctx,
+            telemetry=telemetry,
         )
         rng = rngs.stream(f"ai{rank}")
         yield env.timeout(config.ai_init_time)
@@ -152,7 +202,10 @@ def run_one_to_one(
         next_snapshot = 0
         for iteration in range(1, config.train_iterations + 1):
             start = env.now
+            span = _iteration_span(telemetry, ai_name, rank, iteration)
             yield env.timeout(max(0.0, config.ai_iter_time.sample(rng)))
+            if span is not None:
+                span.finish()
             log.add(ai_name, EventKind.TRAIN, start, env.now - start, rank=rank)
             if rank == 0:
                 counters["train_iters"] += 1
@@ -216,12 +269,13 @@ def run_many_to_one(
     write_ctx: Optional[TransportOpContext] = None,
     read_ctx: Optional[TransportOpContext] = None,
     ai_name: str = "train",
+    telemetry: Optional[Telemetry] = None,
 ) -> PatternResult:
     """Simulate the many-to-one pattern.
 
     The trainer blocks at every update until data from *all* producers for
     that update has arrived (§4.2), draining reads over ``reader_lanes``
-    concurrent lanes.
+    concurrent lanes. ``telemetry`` behaves as in :func:`run_one_to_one`.
     """
     config = config or ManyToOneConfig()
     write_ctx = write_ctx or TransportOpContext(local=True, clients_per_server=12)
@@ -234,6 +288,7 @@ def run_many_to_one(
     env = Environment()
     log = EventLog()
     area = SimStagingArea()
+    _bind_telemetry(telemetry, env, area)
     rngs = RngRegistry(config.seed)
     stop = _StopFlag()
     counters = {"sim_iters": 0, "train_iters": 0, "written": 0, "read": 0}
@@ -247,13 +302,17 @@ def run_many_to_one(
             rank=index,
             event_log=log,
             default_ctx=write_ctx,
+            telemetry=telemetry,
         )
         rng = rngs.stream(f"sim{index}")
         iteration = 0
         update = 0
         while not stop.stopped:
             start = env.now
+            span = _iteration_span(telemetry, f"sim{index}", index, iteration + 1)
             yield env.timeout(max(0.0, config.sim_iter_time.sample(rng)))
+            if span is not None:
+                span.finish()
             log.add(f"sim{index}", EventKind.COMPUTE, start, env.now - start, rank=index)
             iteration += 1
             if index == 0:
@@ -277,13 +336,23 @@ def run_many_to_one(
 
     def trainer():
         store = SimDataStore(
-            env, model, area, component=ai_name, rank=0, event_log=log, default_ctx=read_ctx
+            env,
+            model,
+            area,
+            component=ai_name,
+            rank=0,
+            event_log=log,
+            default_ctx=read_ctx,
+            telemetry=telemetry,
         )
         rng = rngs.stream("ai")
         update = 0
         for iteration in range(1, config.train_iterations + 1):
             start = env.now
+            span = _iteration_span(telemetry, ai_name, 0, iteration)
             yield env.timeout(max(0.0, config.ai_iter_time.sample(rng)))
+            if span is not None:
+                span.finish()
             log.add(ai_name, EventKind.TRAIN, start, env.now - start, rank=0)
             counters["train_iters"] += 1
             if iteration % config.read_interval == 0:

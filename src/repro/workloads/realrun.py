@@ -20,6 +20,7 @@ from repro.core.simulation import Simulation
 from repro.errors import ConfigError, WorkflowError
 from repro.ml.data import synthetic_snapshot
 from repro.telemetry.events import EventLog
+from repro.telemetry.hub import Telemetry
 from repro.workloads.nekrs import nekrs_ai_config, nekrs_simulation_config
 
 
@@ -59,6 +60,7 @@ def run_one_to_one_real(
     server_info: Mapping[str, Any],
     config: Optional[RealOneToOneConfig] = None,
     timeout: float = 120.0,
+    telemetry: Optional[Telemetry] = None,
 ) -> RealRunResult:
     """Run pattern 1 for real against a running data server.
 
@@ -86,13 +88,26 @@ def run_one_to_one_real(
         "hidden_dims": [32],
     }
 
+    def _iteration_span(component: str, iteration: int):
+        if telemetry is None:
+            return None
+        return telemetry.tracer.span(
+            f"iteration.{component}",
+            category="workload",
+            pid=component,
+            iteration=iteration,
+        )
+
     def sim_main() -> None:
-        sim = Simulation("sim", config=sim_cfg, server_info=server_info)
+        sim = Simulation("sim", config=sim_cfg, server_info=server_info, telemetry=telemetry)
         rng = np.random.default_rng(7)
         snapshot = 0
         try:
             while not stop.is_set():
+                span = _iteration_span("sim", counters["sim_iters"] + 1)
                 sim.run_iteration()
+                if span is not None:
+                    span.finish()
                 counters["sim_iters"] += 1
                 if counters["sim_iters"] % config.write_interval == 0:
                     x, y = synthetic_snapshot(
@@ -115,11 +130,14 @@ def run_one_to_one_real(
     final_loss = [float("nan")]
 
     def ai_main() -> None:
-        ai = AI("train", config=ai_cfg, server_info=server_info)
+        ai = AI("train", config=ai_cfg, server_info=server_info, telemetry=telemetry)
         next_snapshot = 0
         try:
             for iteration in range(1, config.train_iterations + 1):
+                span = _iteration_span("train", iteration)
                 ai.train_iteration()
+                if span is not None:
+                    span.finish()
                 if iteration % config.read_interval == 0:
                     while ai.ingest_staged(f"snap{next_snapshot}"):
                         next_snapshot += 1

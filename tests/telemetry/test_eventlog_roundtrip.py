@@ -1,0 +1,71 @@
+"""JSONL round-trip hardening for EventLog (satellite of the
+observability PR): non-ASCII component names, out-of-order timestamps,
+and metadata survival through save/load."""
+
+import json
+
+from repro.telemetry import EventKind, EventLog, EventRecord
+
+
+def test_round_trip_non_ascii_component_names(tmp_path):
+    log = EventLog()
+    log.add("simulación", EventKind.WRITE, start=0.0, duration=0.5, nbytes=10, key="снимок")
+    log.add("訓練", EventKind.TRAIN, start=1.0, duration=0.25)
+    path = tmp_path / "events.jsonl"
+    log.save(path)
+
+    loaded = EventLog.load(path)
+    assert loaded.components() == ["simulación", "訓練"]
+    assert loaded[0] == log[0]
+    assert loaded[0].key == "снимок"
+    assert loaded[1] == log[1]
+
+    # The file itself keeps the characters readable, not \u-escaped-only:
+    # either way json must parse them back identically.
+    lines = path.read_text(encoding="utf-8").strip().splitlines()
+    assert json.loads(lines[0])["component"] == "simulación"
+
+
+def test_round_trip_preserves_out_of_order_timestamps(tmp_path):
+    # Logs are recorded in completion order, not start order; persistence
+    # must not silently re-sort them.
+    log = EventLog()
+    log.add("sim", EventKind.COMPUTE, start=5.0, duration=1.0)
+    log.add("sim", EventKind.COMPUTE, start=1.0, duration=1.0)
+    log.add("sim", EventKind.COMPUTE, start=3.0, duration=1.0)
+    path = tmp_path / "events.jsonl"
+    log.save(path)
+
+    loaded = EventLog.load(path)
+    assert [r.start for r in loaded] == [5.0, 1.0, 3.0]
+    # Window queries still see the true extent regardless of order.
+    assert loaded.span() == (1.0, 6.0)
+    assert loaded.makespan() == 5.0
+
+
+def test_round_trip_meta_and_rank(tmp_path):
+    record = EventRecord(
+        component="sim",
+        kind=EventKind.READ,
+        start=0.5,
+        duration=0.125,
+        rank=7,
+        nbytes=2048,
+        key="k",
+        meta={"note": "コメント", "attempt": 2},
+    )
+    log = EventLog([record])
+    path = tmp_path / "events.jsonl"
+    log.save(path)
+    loaded = EventLog.load(path)
+    assert loaded[0] == record
+    assert loaded[0].meta == {"note": "コメント", "attempt": 2}
+
+
+def test_jsonl_text_round_trip_without_files():
+    log = EventLog()
+    log.add("naïve-sim", EventKind.POLL, start=2.0, duration=0.0)
+    text = log.to_jsonl()
+    again = EventLog.from_jsonl(text)
+    assert len(again) == 1
+    assert again[0].component == "naïve-sim"

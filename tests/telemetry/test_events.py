@@ -67,9 +67,17 @@ def test_log_span_and_makespan():
     assert log.makespan() == 2.5
 
 
-def test_empty_log_span():
-    assert EventLog().span() == (0.0, 0.0)
-    assert EventLog().makespan() == 0.0
+def test_empty_log_span_raises():
+    from repro.errors import EmptyLogError, ReproError
+
+    with pytest.raises(EmptyLogError, match="empty event log"):
+        EventLog().span()
+    with pytest.raises(EmptyLogError, match="empty event log"):
+        EventLog().makespan()
+    # EmptyLogError is catchable as the library-wide base class.
+    assert issubclass(EmptyLogError, ReproError)
+    # durations() keeps its documented empty sentinel.
+    assert EventLog().durations() == []
 
 
 def test_log_total_bytes():

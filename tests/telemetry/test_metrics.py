@@ -1,0 +1,134 @@
+"""Tests for the metrics registry: counters, gauges, and histograms."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labeled_name,
+)
+
+
+def test_counter_is_monotonic():
+    c = Counter("ops")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ReproError, match="cannot decrease"):
+        c.inc(-1.0)
+
+
+def test_gauge_set_inc_dec_and_series():
+    g = Gauge("depth")
+    g.set(2.0)
+    g.inc()
+    g.dec(0.5)
+    assert g.value == 2.5
+    assert g.samples == []  # untimed updates record no series
+    g.set(1.0, t=0.5)
+    g.set(4.0, t=1.5)
+    assert g.samples == [(0.5, 1.0), (1.5, 4.0)]
+    assert g.max_sample == 4.0
+    assert g.nonzero_samples() == [(0.5, 1.0), (1.5, 4.0)]
+
+
+def test_histogram_percentiles_known_distribution():
+    # Acceptance criterion: prove p50/p95/p99 against a known distribution.
+    # Use 1..1000 ms; numpy's linear interpolation is the reference.
+    values = [i / 1000.0 for i in range(1, 1001)]
+    h = Histogram("latency.seconds")
+    for v in values:
+        h.observe(v)
+    arr = np.asarray(values)
+    assert h.count == 1000
+    assert h.sum == pytest.approx(arr.sum())
+    assert h.min == 0.001 and h.max == 1.0
+    assert h.p50 == pytest.approx(np.percentile(arr, 50))
+    assert h.p95 == pytest.approx(np.percentile(arr, 95))
+    assert h.p99 == pytest.approx(np.percentile(arr, 99))
+    assert h.p50 == pytest.approx(0.5005, abs=1e-9)
+    assert h.p95 == pytest.approx(0.95005, abs=1e-9)
+    assert h.p99 == pytest.approx(0.99001, abs=1e-9)
+    assert h.mean == pytest.approx(arr.mean())
+
+
+def test_histogram_percentiles_skewed_distribution():
+    # A heavily skewed distribution: 99 fast ops and one slow outlier.
+    h = Histogram("skew")
+    for _ in range(99):
+        h.observe(0.01)
+    h.observe(10.0)
+    arr = np.asarray([0.01] * 99 + [10.0])
+    assert h.p50 == pytest.approx(0.01)
+    assert h.p99 == pytest.approx(np.percentile(arr, 99))
+    assert h.p99 > h.p95  # the outlier pulls the extreme tail up
+    assert h.max == 10.0
+
+
+def test_histogram_reservoir_thinning_keeps_percentiles_close():
+    h = Histogram("big", max_samples=512)
+    n = 10_000
+    for i in range(n):
+        h.observe(i / n)
+    assert h.count == n  # count/sum stay exact even after thinning
+    assert len(h._samples) <= 512
+    # Thinning is uniform-by-stride, so percentiles stay close.
+    assert h.p50 == pytest.approx(0.5, abs=0.05)
+    assert h.p95 == pytest.approx(0.95, abs=0.05)
+
+
+def test_empty_histogram():
+    h = Histogram("empty")
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.p50 == 0.0 and h.p95 == 0.0 and h.p99 == 0.0
+    assert h.to_dict()["min"] == 0.0 and h.to_dict()["max"] == 0.0
+    with pytest.raises(ReproError, match=r"\[0, 100\]"):
+        h.percentile(101)
+
+
+def test_registry_get_or_create_and_kind_mismatch():
+    reg = MetricsRegistry()
+    c = reg.counter("x.ops")
+    assert reg.counter("x.ops") is c
+    with pytest.raises(ReproError, match="registered as"):
+        reg.gauge("x.ops")
+    reg.gauge("x.depth")
+    reg.histogram("x.seconds")
+    assert reg.names() == ["x.depth", "x.ops", "x.seconds"]
+    assert reg.get("missing") is None
+
+
+def test_labeled_name():
+    assert labeled_name("t.seconds", backend="redis") == "t.seconds{backend=redis}"
+    assert labeled_name("t.seconds", b="2", a="1") == "t.seconds{a=1,b=2}"
+    assert labeled_name("plain") == "plain"
+
+
+def test_registry_exposition_text_and_json(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("transport.write.ops").inc(3)
+    reg.gauge("link.occupancy").set(2.0, t=1.0)
+    h = reg.histogram("transport.write.seconds")
+    for v in (0.1, 0.2, 0.3):
+        h.observe(v)
+
+    text = reg.render_text()
+    assert "transport.write.ops 3" in text
+    assert "link.occupancy" in text
+    assert "p95=" in text  # histogram line carries its percentiles
+
+    path = tmp_path / "metrics.json"
+    reg.save_json(path)
+    data = json.loads(path.read_text())
+    assert data["transport.write.ops"] == {"kind": "counter", "value": 3}
+    assert data["link.occupancy"]["n_samples"] == 1
+    assert data["link.occupancy"]["max"] == 2.0
+    assert data["transport.write.seconds"]["count"] == 3
+    assert data["transport.write.seconds"]["p50"] == pytest.approx(0.2)

@@ -1,0 +1,135 @@
+"""Tests for the hierarchical span tracer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import VirtualClock
+from repro.telemetry.tracing import Tracer
+
+
+def make_tracer():
+    clock = VirtualClock()
+    return Tracer(clock), clock
+
+
+def test_span_context_manager_measures_clock():
+    tracer, clock = make_tracer()
+    with tracer.span("work") as span:
+        clock.advance(2.5)
+    assert span.finished
+    assert span.start == 0.0
+    assert span.duration == 2.5
+    assert tracer.spans == [span]
+
+
+def test_parent_child_nesting():
+    tracer, clock = make_tracer()
+    with tracer.span("outer") as outer:
+        clock.advance(1.0)
+        with tracer.span("inner") as inner:
+            clock.advance(1.0)
+    assert inner.parent is outer
+    assert outer.parent is None
+    # Children finish (and are recorded) before their parents.
+    assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+
+def test_tracks_nest_independently():
+    tracer, clock = make_tracer()
+    a = tracer.span("a", pid="sim", tid=0)
+    b = tracer.span("b", pid="train", tid=0)
+    c = tracer.span("c", pid="sim", tid=1)
+    inner = tracer.span("inner", pid="sim", tid=0)
+    assert inner.parent is a  # same track nests
+    assert b.parent is None  # different pid: separate stack
+    assert c.parent is None  # different tid: separate stack
+    for span in (inner, a, b, c):
+        span.finish()
+    assert len(tracer.spans) == 4
+
+
+def test_out_of_order_finish_closes_children():
+    tracer, clock = make_tracer()
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    clock.advance(3.0)
+    outer.finish()  # force-closes the still-open inner span
+    assert inner.finished
+    assert inner.end == outer.end
+    assert {s.name for s in tracer.spans} == {"outer", "inner"}
+
+
+def test_finish_is_idempotent():
+    tracer, clock = make_tracer()
+    span = tracer.span("once")
+    clock.advance(1.0)
+    span.finish()
+    clock.advance(1.0)
+    span.finish()
+    assert span.duration == 1.0
+    assert len(tracer.spans) == 1
+
+
+def test_span_attributes_and_error_flag():
+    tracer, clock = make_tracer()
+    with tracer.span("op", category="transport", nbytes=42) as span:
+        span.set(key="snap0")
+    assert span.args == {"nbytes": 42, "key": "snap0"}
+
+    with pytest.raises(ValueError):
+        with tracer.span("fails") as failing:
+            raise ValueError("boom")
+    assert failing.args["error"] == "ValueError"
+    assert failing.finished
+
+
+def test_add_span_records_premeasured_times():
+    tracer, _ = make_tracer()
+    span = tracer.add_span("op", start=5.0, duration=0.5, pid="sim", tid=3)
+    assert (span.start, span.end) == (5.0, 5.5)
+    with pytest.raises(ReproError, match="negative"):
+        tracer.add_span("bad", start=0.0, duration=-1.0)
+
+
+def test_bind_clock_switches_time_source():
+    tracer, clock = make_tracer()
+    clock.advance(10.0)
+    state = {"now": 100.0}
+    tracer.bind_clock(lambda: state["now"])
+    with tracer.span("virtual") as span:
+        state["now"] = 103.0
+    assert span.start == 100.0
+    assert span.duration == 3.0
+
+
+def test_instants_and_counters():
+    tracer, clock = make_tracer()
+    clock.advance(1.0)
+    tracer.instant("marker", pid="sim")
+    tracer.counter("occupancy", 3)
+    tracer.counter("multi", {"read": 1.0, "write": 2.0}, time=9.0)
+    assert tracer.instants[0].time == pytest.approx(1.0)
+    assert tracer.counters[0].values == {"value": 3.0}
+    assert tracer.counters[1].time == 9.0
+    assert tracer.counters[1].values == {"read": 1.0, "write": 2.0}
+
+
+def test_current_tracks_innermost_open_span():
+    tracer, _ = make_tracer()
+    assert tracer.current() is None
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    assert tracer.current() is inner
+    inner.finish()
+    assert tracer.current() is outer
+    outer.finish()
+    assert tracer.current() is None
+
+
+def test_categories_first_seen_order():
+    tracer, _ = make_tracer()
+    tracer.add_span("a", 0, 1, category="workload")
+    tracer.add_span("b", 0, 1, category="transport")
+    tracer.add_span("c", 0, 1, category="workload")
+    assert tracer.categories() == ["workload", "transport"]
+    assert [s.name for s in tracer.finished_spans(category="workload")] == ["a", "c"]

@@ -109,3 +109,119 @@ def test_run_non_object_config(tmp_path):
     config_path.write_text("[1]")
     with pytest.raises(ConfigError):
         main(["run", "--config", str(config_path)])
+
+
+def simulate_args(*extra):
+    return [
+        "simulate",
+        "--pattern",
+        "one-to-one",
+        "--backend",
+        "redis",
+        "--nodes",
+        "8",
+        "--iterations",
+        "100",
+        *extra,
+    ]
+
+
+def test_simulate_json_summary(capsys):
+    assert main(simulate_args("--json")) == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out)  # a single JSON object, nothing else
+    assert summary["pattern"] == "one-to-one"
+    assert summary["backend"] == "redis"
+    assert summary["makespan_seconds"] > 0
+    write = summary["transport"]["write"]
+    assert write["throughput_bytes_per_s"] > 0
+    pct = write["time_seconds"]
+    assert pct["count"] > 0
+    assert pct["p99"] >= pct["p95"] >= pct["p50"] > 0
+    assert summary["iteration_time_seconds"]["sim"]["count"] > 0
+
+
+def test_simulate_text_mode_prints_percentile_table(capsys):
+    assert main(simulate_args()) == 0
+    out = capsys.readouterr().out
+    assert "transport time percentiles" in out
+    assert "p95" in out and "p99" in out
+
+
+def test_simulate_trace_and_metrics_files(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    assert main(simulate_args("--trace", str(trace), "--metrics", str(metrics))) == 0
+    out = capsys.readouterr().out
+    assert "Perfetto" in out
+
+    from repro.telemetry import load_trace, validate_trace_events
+
+    events = load_trace(trace)
+    assert validate_trace_events(events) == len(events) > 0
+    cats = {e.get("cat") for e in events if e.get("ph") == "X"}
+    assert {"transport", "workload", "des"} <= cats
+
+    data = json.loads(metrics.read_text())
+    assert data["transport.write.seconds{backend=redis}"]["count"] > 0
+    assert data["link.occupancy"]["max"] >= 1.0
+
+
+def test_simulate_json_keeps_stdout_clean_with_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(simulate_args("--json", "--trace", str(trace))) == 0
+    json.loads(capsys.readouterr().out)  # trace message must not pollute stdout
+    assert trace.exists()
+
+
+def test_trace_summary_subcommand(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(simulate_args("--trace", str(trace))) == 0
+    capsys.readouterr()
+    assert main(["trace-summary", str(trace), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "slowest spans per component" in out
+    assert "dur (ms)" in out
+    assert "sim" in out
+
+
+def test_run_with_trace_and_metrics(tmp_path, capsys):
+    config = {
+        "server": {"backend": "node-local", "path": str(tmp_path / "stage")},
+        "one_to_one": {
+            "train_iterations": 8,
+            "write_interval": 4,
+            "read_interval": 4,
+            "sim_iter_time": 0.001,
+            "ai_iter_time": 0.001,
+        },
+    }
+    config_path = tmp_path / "app.json"
+    config_path.write_text(json.dumps(config))
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "run",
+                "--config",
+                str(config_path),
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(metrics),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "p50" in out  # percentiles in the iteration lines
+
+    from repro.telemetry import load_trace, validate_trace_events
+
+    events = load_trace(trace)
+    assert validate_trace_events(events) == len(events) > 0
+    cats = {e.get("cat") for e in events if e.get("ph") == "X"}
+    assert {"transport", "workload"} <= cats  # real mode: no DES sampler
+    data = json.loads(metrics.read_text())
+    assert any(name.startswith("transport.write.seconds") for name in data)
