@@ -14,6 +14,13 @@ chrome://tracing) and ``--metrics metrics.json`` (counter/gauge/histogram
 registry dump with p50/p95/p99). ``simulate --json`` prints the whole
 run summary as one JSON object for scripting.
 
+Fault injection: ``simulate --fault-plan plan.json`` replays the plan's
+faults through the DES (deterministic under the plan's seed) and reports
+recovery/retry/data-loss counters; ``run --fault-plan`` projects the
+plan's stochastic entries onto per-operation chaos probabilities for the
+real backends. ``chaos`` runs the full seeded sweep (fault rate x
+backend x pattern) of :mod:`repro.experiments.ext_faults`.
+
 The ``run`` config format::
 
     {
@@ -57,6 +64,16 @@ def _save_telemetry(telemetry, args: argparse.Namespace, quiet: bool = False) ->
             print(f"metrics written to {args.metrics}")
 
 
+def _load_fault_plan(args: argparse.Namespace):
+    """The FaultPlan named by --fault-plan, or None."""
+    path = getattr(args, "fault_plan", "")
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.load(path)
+
+
 def _cmd_kernels(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.kernels import kernel_class, list_kernels
@@ -89,15 +106,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     run_spec = spec.get("one_to_one", {})
     config = RealOneToOneConfig(**run_spec)
     telemetry = _make_telemetry(args)
+    plan = _load_fault_plan(args)
 
     with ServerManager("stage", config=server_spec) as server:
-        result = run_one_to_one_real(
-            server.get_server_info(), config, telemetry=telemetry
-        )
+        server_info = dict(server.get_server_info())
+        if plan is not None and plan.is_active:
+            # Real runs cannot replay virtual-time windows: project the
+            # plan onto per-op chaos probabilities, with retries on top.
+            server_info["chaos"] = {**plan.client_probabilities(), "seed": plan.seed}
+            server_info["resilience"] = {"seed": plan.seed}
+        result = run_one_to_one_real(server_info, config, telemetry=telemetry)
 
     print(f"pattern: one-to-one, backend: {server_spec.get('backend')}")
     print(f"simulation iterations: {result.sim_iterations}")
     print(f"snapshots written/read: {result.snapshots_written}/{result.snapshots_read}")
+    if result.snapshots_lost or result.failed_ingests:
+        print(
+            f"degraded: {result.snapshots_lost} snapshots lost, "
+            f"{result.failed_ingests} failed ingests"
+        )
     print(f"final loss: {result.final_loss:.4f}")
     for component, kind in (("sim", EventKind.COMPUTE), ("train", EventKind.TRAIN)):
         s = iteration_time_summary(result.log, component, kind)
@@ -115,7 +142,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _simulate_one_to_one(args, model, telemetry):
+def _simulate_one_to_one(args, model, telemetry, fault_plan=None):
     from repro.experiments.common import pattern1_context
     from repro.transport.models import MB
     from repro.workloads import OneToOneConfig, run_one_to_one
@@ -126,10 +153,11 @@ def _simulate_one_to_one(args, model, telemetry):
         OneToOneConfig(train_iterations=args.iterations, snapshot_nbytes=nbytes),
         ctx=pattern1_context(args.nodes),
         telemetry=telemetry,
+        fault_plan=fault_plan,
     )
 
 
-def _simulate_many_to_one(args, model, telemetry):
+def _simulate_many_to_one(args, model, telemetry, fault_plan=None):
     from repro.transport.models import MB, TransportOpContext
     from repro.workloads import ManyToOneConfig, run_many_to_one
 
@@ -154,6 +182,7 @@ def _simulate_many_to_one(args, model, telemetry):
             concurrent_clients=n_clients,
         ),
         telemetry=telemetry,
+        fault_plan=fault_plan,
     )
 
 
@@ -190,6 +219,7 @@ def _simulate_summary(args, result) -> dict:
         "snapshots_read": result.snapshots_read,
         "iteration_time_seconds": iteration,
         "transport": transport,
+        "resilience": result.resilience,
     }
 
 
@@ -210,11 +240,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"unknown backend {args.backend!r}; options {sorted(models)}"
         ) from None
     telemetry = _make_telemetry(args)
+    fault_plan = _load_fault_plan(args)
 
     if args.pattern == "one-to-one":
-        result = _simulate_one_to_one(args, model, telemetry)
+        result = _simulate_one_to_one(args, model, telemetry, fault_plan)
     else:
-        result = _simulate_many_to_one(args, model, telemetry)
+        result = _simulate_many_to_one(args, model, telemetry, fault_plan)
 
     if args.json:
         print(json.dumps(_simulate_summary(args, result), sort_keys=True))
@@ -254,7 +285,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             summaries, title="transport time percentiles", unit_scale=1e3, unit="ms"
         )
     )
+    if result.resilience is not None:
+        print("resilience report:")
+        print(json.dumps(result.resilience, indent=2, sort_keys=True))
     _save_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import ext_faults
+
+    telemetry = _make_telemetry(args)
+    result = ext_faults.run(
+        quick=args.quick, rates=args.rates, seed=args.seed, telemetry=telemetry
+    )
+    if args.json:
+        payload = {
+            "cells": [
+                {
+                    "pattern": c.pattern,
+                    "backend": c.backend,
+                    "rate": c.rate,
+                    "makespan_seconds": c.makespan,
+                    "healthy_makespan_seconds": c.healthy_makespan,
+                    "faults_injected": c.faults_injected,
+                    "retries": c.retries,
+                    "giveups": c.giveups,
+                    "recoveries": c.recoveries,
+                    "mean_recovery_seconds": c.mean_recovery_seconds,
+                    "max_recovery_seconds": c.max_recovery_seconds,
+                    "data_loss": c.data_loss,
+                    "staleness_or_quorum": c.staleness_or_quorum,
+                    "goodput_degradation": c.goodput_degradation,
+                }
+                for c in result.cells
+            ]
+        }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(result.render())
+    _save_telemetry(telemetry, args, quiet=args.json)
     return 0
 
 
@@ -309,12 +379,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the metrics registry (counters/gauges/histograms) as JSON",
         )
 
+    def add_fault_plan(p) -> None:
+        p.add_argument(
+            "--fault-plan",
+            default="",
+            metavar="FILE",
+            help="JSON fault plan to inject (see repro.faults.plan)",
+        )
+
     run_parser = sub.add_parser("run", help="run a real-mode mini-app from JSON")
     run_parser.add_argument("--config", required=True, help="mini-app JSON config")
     run_parser.add_argument(
         "--events-out", default="", help="write the event log (JSONL) here"
     )
     add_observability(run_parser)
+    add_fault_plan(run_parser)
 
     simulate = sub.add_parser(
         "simulate", help="sim-mode what-if study on the modeled Aurora"
@@ -332,6 +411,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run summary as a single JSON object",
     )
     add_observability(simulate)
+    add_fault_plan(simulate)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded chaos sweep: fault rate x backend x pattern"
+    )
+    chaos.add_argument(
+        "--quick", action="store_true", help="shrunk iteration counts (CI smoke)"
+    )
+    chaos.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="RATE",
+        help="stochastic fault rates (faults per simulated second) to sweep",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="root seed for the sweep")
+    chaos.add_argument(
+        "--json", action="store_true", help="print the sweep cells as JSON"
+    )
+    add_observability(chaos)
 
     trace_summary = sub.add_parser(
         "trace-summary", help="print the top-k slowest spans per component of a trace"
@@ -349,6 +449,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "trace-summary":
         return _cmd_trace_summary(args)
     raise ConfigError(f"unknown command {args.command!r}")  # pragma: no cover

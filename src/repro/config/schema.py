@@ -272,6 +272,11 @@ class ServerConfig:
     stripe_size_mb: float = 1.0
     stripe_count: int = 1
     options: dict[str, Any] = field(default_factory=dict)
+    #: Optional client-side knobs forwarded verbatim through server_info:
+    #: ``chaos`` (fault-injection probabilities) and ``resilience``
+    #: (retry/backoff/breaker policy) — see repro.transport.resilience.
+    chaos: dict[str, Any] = field(default_factory=dict)
+    resilience: dict[str, Any] = field(default_factory=dict)
 
     VALID_BACKENDS = ("node-local", "filesystem", "redis", "dragon")
 
@@ -291,14 +296,15 @@ class ServerConfig:
     def from_dict(cls, raw: Mapping[str, Any]) -> "ServerConfig":
         allowed = {
             "backend", "path", "n_shards", "host", "port", "cluster_nodes",
-            "stripe_size_mb", "stripe_count", "options",
+            "stripe_size_mb", "stripe_count", "options", "chaos", "resilience",
         }
         _check_unknown(raw, allowed, "server config")
         kwargs = {k: raw[k] for k in allowed if k in raw}
         if "cluster_nodes" in kwargs:
             kwargs["cluster_nodes"] = tuple(kwargs["cluster_nodes"])
-        if "options" in kwargs:
-            kwargs["options"] = dict(kwargs["options"])
+        for key in ("options", "chaos", "resilience"):
+            if key in kwargs:
+                kwargs[key] = dict(kwargs[key])
         return cls(**kwargs)
 
     def to_dict(self) -> dict[str, Any]:
@@ -312,4 +318,6 @@ class ServerConfig:
             "stripe_size_mb": self.stripe_size_mb,
             "stripe_count": self.stripe_count,
             "options": dict(self.options),
+            **({"chaos": dict(self.chaos)} if self.chaos else {}),
+            **({"resilience": dict(self.resilience)} if self.resilience else {}),
         }

@@ -6,6 +6,8 @@ callers can catch library failures without catching programming errors.
 
 from __future__ import annotations
 
+import builtins
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -24,11 +26,24 @@ class EmptyLogError(ReproError):
 
 
 class TransportError(ReproError):
-    """A data-transport backend operation failed."""
+    """A data-transport backend operation failed.
+
+    ``retryable`` classifies the failure for retry policies
+    (:mod:`repro.transport.resilience`): transient conditions — timeouts,
+    unreachable servers, corrupted payloads — may be re-attempted, while
+    programming/configuration errors must surface immediately.
+    """
+
+    #: Whether a retry policy may reasonably re-attempt the operation.
+    retryable = False
 
 
 class KeyNotStagedError(TransportError, KeyError):
-    """A ``stage_read`` was issued for a key that has not been staged."""
+    """A ``stage_read`` was issued for a key that has not been staged.
+
+    Not retryable: absence is a normal workflow state (poll first), not a
+    transient backend failure.
+    """
 
     def __init__(self, key: str, backend: str = "") -> None:
         self.key = key
@@ -37,8 +52,50 @@ class KeyNotStagedError(TransportError, KeyError):
         super().__init__(f"key {key!r} is not staged{where}")
 
 
+class TimeoutError(TransportError, builtins.TimeoutError):  # noqa: A001
+    """A transport operation exceeded its configured timeout.
+
+    Also subclasses the builtin ``TimeoutError`` so generic handlers
+    (``except TimeoutError``) catch it without importing repro.
+    """
+
+    retryable = True
+
+
 class ServerError(TransportError):
     """A data server failed to start, stop, or respond."""
+
+
+class BackendUnavailableError(ServerError):
+    """The backend cannot be reached (server down, link cut, partition).
+
+    The canonical *retryable* failure: the operation itself was valid and
+    may succeed once the outage heals.
+    """
+
+    retryable = True
+
+
+class CorruptPayloadError(TransportError):
+    """A staged value failed to deserialize (torn write, bit flip, drop).
+
+    Retryable: a re-read after the producer re-stages may succeed.
+    """
+
+    retryable = True
+
+
+class CircuitOpenError(TransportError):
+    """A circuit breaker is open: the call was short-circuited, not sent.
+
+    Not retryable by the inner policy — callers should back off at a
+    coarser granularity (or degrade gracefully) until the breaker's reset
+    timeout elapses.
+    """
+
+
+class FaultPlanError(ConfigError):
+    """A fault-injection plan is malformed or inconsistent."""
 
 
 class WorkflowError(ReproError):

@@ -8,6 +8,7 @@ Each exposes ``run(quick=False) -> Result`` where the result has a
 """
 
 from repro.experiments import (
+    ext_faults,
     ext_futurework,
     ext_inference,
     fig2_timeline,
@@ -36,6 +37,7 @@ ALL_EXPERIMENTS = {
 EXTENSION_EXPERIMENTS = {
     "ext_inference": ext_inference,
     "ext_futurework": ext_futurework,
+    "ext_faults": ext_faults,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS"]

@@ -1,0 +1,283 @@
+"""Extension experiment — chaos sweep: transport under injected faults.
+
+Not a paper artifact: the paper benchmarks healthy runs only, but
+production coupled workflows lose nodes, links, and datastore servers
+mid-run. This driver sweeps a seeded fault intensity against backends
+and both workflow patterns, measuring what the healthy-path tables
+cannot: recovery latency, retry volume, data loss/staleness, and goodput
+degradation versus the healthy baseline.
+
+Every faulty run injects at least one backend crash and one node crash
+(scheduled), plus Poisson streams of link degradation, message drops,
+and corruption whose rate is the sweep variable. Everything draws from
+derived seeds, so the whole sweep is bit-reproducible.
+
+Expected outcome: goodput degrades smoothly with fault rate while the
+retry/backoff layer holds recovery latency near the fault durations
+themselves; in-memory backends (redis/dragon) recover faster than the
+filesystem path because their per-op times keep retry turnaround short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.report import format_table
+from repro.experiments.common import backend_models, pattern1_context
+from repro.faults import FaultKind, FaultPlan, FaultSpec, StochasticFaultSpec
+from repro.transport.resilience import ResilienceConfig, RetryPolicy
+from repro.workloads.patterns import (
+    ManyToOneConfig,
+    OneToOneConfig,
+    run_many_to_one,
+    run_one_to_one,
+)
+
+#: Faults per simulated second for the sweep's stochastic streams.
+DEFAULT_RATES = [0.05, 0.2]
+#: Backends exercised by the chaos sweep (one in-memory TCP, one RDMA-like).
+CHAOS_BACKENDS = ["redis", "dragon"]
+
+
+def chaos_plan(
+    rate: float, horizon: float, pattern: int, seed: int = 0
+) -> FaultPlan:
+    """The sweep's fault plan for one (rate, pattern) cell.
+
+    Two scheduled anchor faults — a backend crash and a node crash — land
+    in the middle half of the run so every cell exercises outage
+    detection and recovery; the stochastic streams scale with ``rate``.
+    """
+    target = "sim" if pattern == 1 else "sim0"
+    faults = [
+        FaultSpec(
+            kind=FaultKind.BACKEND_CRASH, at=0.30 * horizon, duration=0.04 * horizon
+        ),
+        FaultSpec(
+            kind=FaultKind.NODE_CRASH,
+            at=0.55 * horizon,
+            duration=0.05 * horizon,
+            target=target,
+        ),
+    ]
+    stochastic = [
+        StochasticFaultSpec(
+            kind=FaultKind.LINK_DEGRADE,
+            rate=rate,
+            horizon=horizon,
+            duration=0.02 * horizon,
+            severity=4.0,
+        ),
+        StochasticFaultSpec(
+            kind=FaultKind.MESSAGE_DROP,
+            rate=rate,
+            horizon=horizon,
+            duration=0.02 * horizon,
+            severity=0.3,
+        ),
+        StochasticFaultSpec(
+            kind=FaultKind.MESSAGE_CORRUPT,
+            rate=rate,
+            horizon=horizon,
+            duration=0.02 * horizon,
+            severity=0.3,
+        ),
+    ]
+    return FaultPlan(faults=faults, stochastic=stochastic, seed=seed)
+
+
+def chaos_resilience(pattern: int) -> ResilienceConfig:
+    """The sweep's client-side policy (tight timeouts so cells stay fast)."""
+    return ResilienceConfig(
+        policy=RetryPolicy(max_attempts=4, base_delay=0.05, max_delay=1.0, timeout=10.0),
+        breaker_threshold=5,
+        breaker_reset=0.5,
+        staleness_bound=5.0 if pattern == 1 else float("inf"),
+        quorum=1.0 if pattern == 1 else 0.75,
+    )
+
+
+@dataclass
+class ChaosCell:
+    """One (pattern, backend, rate) measurement."""
+
+    pattern: int
+    backend: str
+    rate: float
+    makespan: float
+    healthy_makespan: float
+    goodput: float  # snapshots ingested per simulated second
+    healthy_goodput: float
+    faults_injected: int
+    retries: int
+    giveups: int
+    recoveries: int
+    mean_recovery_seconds: float
+    max_recovery_seconds: float
+    data_loss: int  # lost + skipped snapshots (p1) / lost + missed (p2)
+    staleness_or_quorum: int  # staleness violations (p1) / quorum misses (p2)
+
+    @property
+    def goodput_degradation(self) -> float:
+        """Fraction of healthy goodput lost to the faults (0 = unhurt)."""
+        if self.healthy_goodput <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.goodput / self.healthy_goodput)
+
+
+@dataclass
+class FaultsExtResult:
+    cells: list[ChaosCell] = field(default_factory=list)
+    #: (pattern, backend) -> healthy (makespan, goodput)
+    baselines: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"p{c.pattern}",
+                c.backend,
+                c.rate,
+                c.faults_injected,
+                c.retries,
+                c.recoveries,
+                c.mean_recovery_seconds,
+                c.data_loss,
+                c.staleness_or_quorum,
+                c.goodput_degradation * 100.0,
+            )
+            for c in self.cells
+        ]
+        return format_table(
+            [
+                "pattern",
+                "backend",
+                "fault rate (/s)",
+                "faults",
+                "retries",
+                "recoveries",
+                "mean recovery (s)",
+                "data loss",
+                "stale/quorum",
+                "goodput loss (%)",
+            ],
+            rows,
+            title="Extension: chaos sweep (fault rate x backend x pattern)",
+        )
+
+
+def _p1_config(quick: bool, seed: int) -> OneToOneConfig:
+    return OneToOneConfig(train_iterations=200 if quick else 1000, seed=seed)
+
+
+def _p2_config(quick: bool, seed: int) -> ManyToOneConfig:
+    return ManyToOneConfig(
+        train_iterations=150 if quick else 600,
+        n_simulations=4,
+        poll_timeout=2.0,
+        seed=seed,
+    )
+
+
+def run(
+    quick: bool = False,
+    rates: Optional[list[float]] = None,
+    seed: int = 0,
+    telemetry=None,
+) -> FaultsExtResult:
+    """Run the chaos sweep; fully deterministic for a fixed ``seed``.
+
+    ``telemetry`` (a :class:`~repro.telemetry.hub.Telemetry`) is attached
+    to the *last* faulty cell only — one run per trace keeps the Chrome
+    timeline readable; fault injections appear as ``fault.inject`` /
+    ``fault.recover`` instants and retries as ``transport.retry``.
+    """
+    rates = rates if rates is not None else DEFAULT_RATES
+    models = backend_models()
+    result = FaultsExtResult()
+    ctx1 = pattern1_context(8)
+
+    runs = []  # (pattern, backend, rate) in sweep order
+    for pattern in (1, 2):
+        for backend in CHAOS_BACKENDS:
+            for rate in rates:
+                runs.append((pattern, backend, rate))
+
+    for pattern in (1, 2):
+        for backend in CHAOS_BACKENDS:
+            model = models[backend]
+            if pattern == 1:
+                healthy = run_one_to_one(model, _p1_config(quick, seed), ctx=ctx1)
+            else:
+                healthy = run_many_to_one(model, _p2_config(quick, seed))
+            h_goodput = healthy.snapshots_read / healthy.makespan
+            result.baselines[(pattern, backend)] = (healthy.makespan, h_goodput)
+
+            for rate in rates:
+                plan = chaos_plan(
+                    rate, horizon=healthy.makespan, pattern=pattern, seed=seed
+                )
+                resilience = chaos_resilience(pattern)
+                is_last = (pattern, backend, rate) == runs[-1]
+                cell_telemetry = telemetry if is_last else None
+                if pattern == 1:
+                    faulty = run_one_to_one(
+                        model,
+                        _p1_config(quick, seed),
+                        ctx=ctx1,
+                        telemetry=cell_telemetry,
+                        fault_plan=plan,
+                        resilience=resilience,
+                    )
+                    loss = (
+                        faulty.resilience["lost_snapshots"]
+                        + faulty.resilience["skipped_snapshots"]
+                    )
+                    stale = faulty.resilience["staleness_violations"]
+                else:
+                    faulty = run_many_to_one(
+                        model,
+                        _p2_config(quick, seed),
+                        telemetry=cell_telemetry,
+                        fault_plan=plan,
+                        resilience=resilience,
+                    )
+                    loss = (
+                        faulty.resilience["lost_snapshots"]
+                        + faulty.resilience["missed_reads"]
+                    )
+                    stale = faulty.resilience["quorum_misses"]
+                stats = faulty.resilience["stats"]
+                faults = faulty.resilience["faults"]
+                result.cells.append(
+                    ChaosCell(
+                        pattern=pattern,
+                        backend=backend,
+                        rate=rate,
+                        makespan=faulty.makespan,
+                        healthy_makespan=healthy.makespan,
+                        goodput=faulty.snapshots_read / faulty.makespan,
+                        healthy_goodput=h_goodput,
+                        faults_injected=faults["injected"],
+                        retries=stats["retries"],
+                        giveups=stats["giveups"],
+                        recoveries=stats["recoveries"],
+                        mean_recovery_seconds=max(
+                            stats["mean_recovery_seconds"],
+                            faults["mean_recovery_seconds"],
+                        ),
+                        max_recovery_seconds=max(
+                            stats["max_recovery_seconds"],
+                            faults["max_recovery_seconds"],
+                        ),
+                        data_loss=loss,
+                        staleness_or_quorum=stale,
+                    )
+                )
+    return result
+
+
+if __name__ == "__main__":
+    import sys
+
+    print(run(quick="--quick" in sys.argv).render())

@@ -1,0 +1,36 @@
+"""Fault injection: deterministic chaos for coupled AI-simulation runs.
+
+The subsystem has three pieces:
+
+* :mod:`repro.faults.plan` — *what* to break: scheduled and stochastic
+  (seeded Poisson) fault specs, serialisable to JSON;
+* :mod:`repro.faults.state` — the live fault switchboard the transport
+  layer consults on every operation;
+* :mod:`repro.faults.injector` — the DES driver that opens and closes
+  fault windows at their planned virtual times.
+
+Resilience policies that *react* to these faults (retry, backoff,
+circuit breaking, quorum reads) live in
+:mod:`repro.transport.resilience`.
+"""
+
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    StochasticFaultSpec,
+    merge_plans,
+)
+from repro.faults.state import FaultState
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultState",
+    "InjectedFault",
+    "StochasticFaultSpec",
+    "merge_plans",
+]

@@ -1,0 +1,333 @@
+"""Deterministic fault plans: *what* breaks, *when*, and for *how long*.
+
+A :class:`FaultPlan` is the single source of truth for a chaos run. It
+mixes two ingredients:
+
+* **scheduled** faults (:class:`FaultSpec`) — explicit ``(kind, at,
+  duration, target, severity)`` tuples, reproducible by construction;
+* **stochastic** fault processes (:class:`StochasticFaultSpec`) — a
+  Poisson arrival process per entry (``rate`` faults per simulated
+  second over ``[start, horizon)``), expanded into concrete
+  :class:`FaultSpec` instances with a seeded RNG *before* the run
+  starts, so two runs with the same plan see bit-identical injections.
+
+Plans serialize to plain JSON (YAML is accepted when PyYAML happens to
+be installed — it is not a dependency)::
+
+    {
+      "seed": 7,
+      "faults": [
+        {"kind": "backend_crash", "at": 5.0, "duration": 2.0}
+      ],
+      "stochastic": [
+        {"kind": "node_crash", "rate": 0.02, "horizon": 60.0,
+         "duration": 3.0, "target": "sim0"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.des.rng import _derive_seed
+from repro.errors import FaultPlanError
+
+
+class FaultKind(str, Enum):
+    """The failure modes the injector knows how to apply."""
+
+    NODE_CRASH = "node_crash"  # a component's node dies (and later restarts)
+    BACKEND_CRASH = "backend_crash"  # the data-server side goes down entirely
+    LINK_DEGRADE = "link_degrade"  # NIC/link slowdown: op times x severity
+    PARTITION = "partition"  # target component cut off from the backend
+    OST_STALL = "ost_stall"  # Lustre data path stall (filesystem backend)
+    MDS_STALL = "mds_stall"  # Lustre metadata server stall
+    MESSAGE_DROP = "message_drop"  # writes silently lost with prob. severity
+    MESSAGE_CORRUPT = "message_corrupt"  # staged payloads corrupted with prob.
+
+
+#: Kinds whose ``severity`` is a probability in [0, 1].
+PROBABILITY_KINDS = frozenset({FaultKind.MESSAGE_DROP, FaultKind.MESSAGE_CORRUPT})
+#: Kinds whose ``severity`` is a slowdown factor >= 1.
+SLOWDOWN_KINDS = frozenset(
+    {FaultKind.LINK_DEGRADE, FaultKind.OST_STALL, FaultKind.MDS_STALL}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One concrete fault: inject at ``at``, heal after ``duration``.
+
+    ``duration == 0`` means the fault never heals within the run (a crash
+    without restart). ``target`` selects a component (node crash,
+    partition) or is ignored for global kinds. ``severity`` is a drop /
+    corruption probability for message faults and a slowdown factor for
+    degradation faults.
+    """
+
+    kind: FaultKind
+    at: float
+    duration: float = 0.0
+    target: str = ""
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.at < 0:
+            raise FaultPlanError(f"fault time must be >= 0, got {self.at}")
+        if self.duration < 0:
+            raise FaultPlanError(f"fault duration must be >= 0, got {self.duration}")
+        if self.kind in PROBABILITY_KINDS and not 0.0 <= self.severity <= 1.0:
+            raise FaultPlanError(
+                f"{self.kind.value} severity is a probability, got {self.severity}"
+            )
+        if self.kind in SLOWDOWN_KINDS and self.severity < 1.0:
+            raise FaultPlanError(
+                f"{self.kind.value} severity is a slowdown factor >= 1, "
+                f"got {self.severity}"
+            )
+        if self.kind in (FaultKind.NODE_CRASH, FaultKind.PARTITION) and not self.target:
+            raise FaultPlanError(f"{self.kind.value} needs a target component")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "at": self.at,
+            "duration": self.duration,
+            "target": self.target,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        try:
+            kind = FaultKind(data["kind"])
+        except KeyError:
+            raise FaultPlanError(f"fault entry missing 'kind': {dict(data)}") from None
+        except ValueError:
+            raise FaultPlanError(
+                f"unknown fault kind {data.get('kind')!r}; "
+                f"options {sorted(k.value for k in FaultKind)}"
+            ) from None
+        if "at" not in data:
+            raise FaultPlanError(f"fault entry missing 'at': {dict(data)}")
+        return cls(
+            kind=kind,
+            at=float(data["at"]),
+            duration=float(data.get("duration", 0.0)),
+            target=str(data.get("target", "")),
+            severity=float(data.get("severity", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class StochasticFaultSpec:
+    """A Poisson fault process, expanded deterministically from the seed.
+
+    Arrivals are drawn with exponential inter-arrival times at ``rate``
+    events per simulated second over ``[start, horizon)``; each arrival
+    becomes a :class:`FaultSpec` with this entry's duration, target, and
+    severity. ``max_events`` caps runaway rates.
+    """
+
+    kind: FaultKind
+    rate: float
+    horizon: float
+    start: float = 0.0
+    duration: float = 0.0
+    target: str = ""
+    severity: float = 1.0
+    max_events: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.rate < 0:
+            raise FaultPlanError(f"fault rate must be >= 0, got {self.rate}")
+        if self.horizon <= self.start:
+            raise FaultPlanError(
+                f"horizon ({self.horizon}) must exceed start ({self.start})"
+            )
+        if self.max_events < 1:
+            raise FaultPlanError("max_events must be >= 1")
+
+    def expand(self, rng: np.random.Generator) -> list[FaultSpec]:
+        """Materialise concrete faults (empty when rate is 0)."""
+        if self.rate == 0.0:
+            return []
+        faults: list[FaultSpec] = []
+        t = self.start
+        while len(faults) < self.max_events:
+            t += float(rng.exponential(1.0 / self.rate))
+            if t >= self.horizon:
+                break
+            faults.append(
+                FaultSpec(
+                    kind=self.kind,
+                    at=t,
+                    duration=self.duration,
+                    target=self.target,
+                    severity=self.severity,
+                )
+            )
+        return faults
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "rate": self.rate,
+            "horizon": self.horizon,
+            "start": self.start,
+            "duration": self.duration,
+            "target": self.target,
+            "severity": self.severity,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StochasticFaultSpec":
+        for required in ("kind", "rate", "horizon"):
+            if required not in data:
+                raise FaultPlanError(f"stochastic entry missing {required!r}")
+        try:
+            kind = FaultKind(data["kind"])
+        except ValueError:
+            raise FaultPlanError(f"unknown fault kind {data['kind']!r}") from None
+        return cls(
+            kind=kind,
+            rate=float(data["rate"]),
+            horizon=float(data["horizon"]),
+            start=float(data.get("start", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            target=str(data.get("target", "")),
+            severity=float(data.get("severity", 1.0)),
+            max_events=int(data.get("max_events", 64)),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """Scheduled + stochastic faults under one seed.
+
+    ``materialize()`` returns the full, time-sorted list of concrete
+    faults; it is deterministic: the i-th stochastic entry draws from a
+    stream derived from ``(seed, i, kind)``, so plans are reproducible
+    regardless of entry order elsewhere in the run.
+    """
+
+    faults: list[FaultSpec] = field(default_factory=list)
+    stochastic: list[StochasticFaultSpec] = field(default_factory=list)
+    seed: int = 0
+    enabled: bool = True
+
+    @classmethod
+    def disabled(cls) -> "FaultPlan":
+        """A no-op plan: runs with it are identical to runs without one."""
+        return cls(enabled=False)
+
+    @property
+    def is_active(self) -> bool:
+        return self.enabled and bool(self.faults or self.stochastic)
+
+    def materialize(self) -> list[FaultSpec]:
+        """All concrete faults, sorted by injection time."""
+        if not self.is_active:
+            return []
+        out = list(self.faults)
+        for i, entry in enumerate(self.stochastic):
+            rng = np.random.default_rng(
+                _derive_seed(self.seed, f"fault:{i}:{entry.kind.value}")
+            )
+            out.extend(entry.expand(rng))
+        return sorted(out, key=lambda f: (f.at, f.kind.value, f.target))
+
+    # -- real-mode projection ---------------------------------------------
+    def client_probabilities(self) -> dict[str, float]:
+        """Per-operation fault probabilities for real-mode chaos clients.
+
+        Real (wall-clock, threaded) runs cannot replay virtual-time
+        windows, so each stochastic entry's ``rate`` is reinterpreted as
+        a per-operation probability: drops/corruptions use their
+        severity scaled by rate presence, crashes map to transient
+        unavailability.
+        """
+        probs = {"drop": 0.0, "corrupt": 0.0, "unavailable": 0.0}
+        for entry in self.stochastic:
+            p = min(1.0, entry.rate)
+            if entry.kind is FaultKind.MESSAGE_DROP:
+                probs["drop"] = max(probs["drop"], p * entry.severity)
+            elif entry.kind is FaultKind.MESSAGE_CORRUPT:
+                probs["corrupt"] = max(probs["corrupt"], p * entry.severity)
+            elif entry.kind in (FaultKind.BACKEND_CRASH, FaultKind.PARTITION):
+                probs["unavailable"] = max(probs["unavailable"], p)
+        return probs
+
+    # -- (de)serialisation -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "enabled": self.enabled,
+            "faults": [f.to_dict() for f in self.faults],
+            "stochastic": [s.to_dict() for s in self.stochastic],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise FaultPlanError(f"fault plan must be a mapping, got {type(data)}")
+        faults = [FaultSpec.from_dict(d) for d in data.get("faults", [])]
+        stochastic = [
+            StochasticFaultSpec.from_dict(d) for d in data.get("stochastic", [])
+        ]
+        return cls(
+            faults=faults,
+            stochastic=stochastic,
+            seed=int(data.get("seed", 0)),
+            enabled=bool(data.get("enabled", True)),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        """Load a plan from a JSON (or, if PyYAML is installed, YAML) file."""
+        text = Path(path).read_text(encoding="utf-8")
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            try:
+                import yaml  # type: ignore[import-untyped]
+            except ImportError:
+                raise FaultPlanError(
+                    f"{path} is not valid JSON and PyYAML is not installed"
+                ) from None
+            try:
+                data = yaml.safe_load(text)
+            except yaml.YAMLError as exc:
+                raise FaultPlanError(
+                    f"{path} is neither valid JSON nor valid YAML: {exc}"
+                ) from None
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+
+def merge_plans(plans: Iterable[Optional["FaultPlan"]]) -> Optional["FaultPlan"]:
+    """Combine plans (first non-None seed wins); None when all are None."""
+    merged: Optional[FaultPlan] = None
+    for plan in plans:
+        if plan is None:
+            continue
+        if merged is None:
+            merged = FaultPlan(seed=plan.seed, enabled=plan.enabled)
+        merged.faults.extend(plan.faults)
+        merged.stochastic.extend(plan.stochastic)
+        merged.enabled = merged.enabled or plan.enabled
+    return merged

@@ -25,6 +25,7 @@ class EventKind(str, Enum):
     READ = "read"
     POLL = "poll"
     TRAIN = "train"
+    FAULT = "fault"
     OTHER = "other"
 
 

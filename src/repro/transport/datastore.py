@@ -26,6 +26,10 @@ from repro.transport.base import DataStoreClient
 from repro.transport.dragon_backend import DragonStoreClient
 from repro.transport.kvfile import FileStoreClient
 from repro.transport.redis_backend import RedisStoreClient
+from repro.transport.resilience import (
+    chaos_client_from_config,
+    resilient_client_from_config,
+)
 
 
 def make_client(
@@ -36,7 +40,21 @@ def make_client(
     event_log: Optional[EventLog] = None,
     telemetry: Optional[Telemetry] = None,
 ) -> DataStoreClient:
-    """Build the right backend client from server info."""
+    """Build the right backend client from server info.
+
+    Two optional server_info keys layer behaviour on top of the backend
+    client, innermost first:
+
+    * ``chaos`` — a :func:`~repro.transport.resilience.
+      chaos_client_from_config` dict injecting seeded per-op faults
+      (drops, corruption, outages) for real-mode chaos experiments;
+    * ``resilience`` — a :func:`~repro.transport.resilience.
+      resilient_client_from_config` dict adding retry/backoff and a
+      circuit breaker around every operation.
+
+    Chaos sits under resilience so injected faults exercise the retry
+    path rather than bypassing it.
+    """
     try:
         backend = server_info["backend"]
     except KeyError:
@@ -53,19 +71,27 @@ def make_client(
             path = server_info["path"]
         except KeyError:
             raise TransportError(f"{backend} server_info missing 'path'") from None
-        return FileStoreClient(
+        client: Any = FileStoreClient(
             root=path,
             n_shards=int(server_info.get("n_shards", 1)),
             backend_name=backend,
             **common,
         )
-    if backend in ("redis", "dragon"):
+    elif backend in ("redis", "dragon"):
         addresses = server_info.get("addresses")
         if not addresses:
             raise TransportError(f"{backend} server_info missing 'addresses'")
         cls = RedisStoreClient if backend == "redis" else DragonStoreClient
-        return cls(addresses=list(addresses), **common)
-    raise TransportError(f"unknown backend {backend!r} in server_info")
+        client = cls(addresses=list(addresses), **common)
+    else:
+        raise TransportError(f"unknown backend {backend!r} in server_info")
+    chaos = server_info.get("chaos")
+    if chaos:
+        client = chaos_client_from_config(client, chaos, name=name, rank=rank)
+    resilience = server_info.get("resilience")
+    if resilience:
+        client = resilient_client_from_config(client, resilience, name=name, rank=rank)
+    return client
 
 
 class DataStore:

@@ -28,7 +28,12 @@ import struct
 import threading
 from typing import Any, Optional
 
-from repro.errors import KeyNotStagedError, ServerError, TransportError
+from repro.errors import (
+    BackendUnavailableError,
+    KeyNotStagedError,
+    ServerError,
+    TransportError,
+)
 from repro.transport.base import DataStoreClient
 from repro.transport.kvfile import crc32_shard
 from repro.transport.serializer import deserialize, serialize
@@ -48,7 +53,7 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     while remaining > 0:
         data = sock.recv(min(remaining, _RECV_CHUNK))
         if not data:
-            raise ServerError("connection closed mid-frame")
+            raise BackendUnavailableError("connection closed mid-frame")
         chunks.append(data)
         remaining -= len(data)
     return b"".join(chunks)
@@ -205,7 +210,9 @@ class DragonConnection:
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
-            raise ServerError(f"cannot connect to {host}:{port}: {exc}") from exc
+            raise BackendUnavailableError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._lock = threading.Lock()
 
@@ -223,7 +230,7 @@ class DragonConnection:
                 status, payload_len = _RESP_HEADER.unpack(header)
                 payload = _recv_exact(self._sock, payload_len) if payload_len else b""
             except OSError as exc:
-                raise ServerError(f"dragon connection failed: {exc}") from exc
+                raise BackendUnavailableError(f"dragon connection failed: {exc}") from exc
         if status == STATUS_ERROR:
             raise TransportError(payload.decode("utf-8", "replace"))
         return status, payload

@@ -24,7 +24,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Optional
 
-from repro.errors import KeyNotStagedError, TransportError
+from repro.errors import BackendUnavailableError, KeyNotStagedError, TransportError
 from repro.transport.base import DataStoreClient
 from repro.transport.serializer import deserialize, serialize
 
@@ -59,9 +59,14 @@ class ShardedFileStore:
     def write(self, key: str, blob: bytes) -> None:
         """Atomically publish ``blob`` under ``key``."""
         final = self.path_for(key)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key}.", suffix=".tmp", dir=final.parent
-        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key}.", suffix=".tmp", dir=final.parent
+            )
+        except OSError as exc:
+            raise BackendUnavailableError(
+                f"cannot stage into {final.parent}: {exc}"
+            ) from exc
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
@@ -79,6 +84,8 @@ class ShardedFileStore:
                 return handle.read()
         except FileNotFoundError:
             raise KeyNotStagedError(key, backend="kvfile") from None
+        except OSError as exc:
+            raise BackendUnavailableError(f"cannot read key {key!r}: {exc}") from exc
 
     def poll(self, key: str) -> bool:
         return self.path_for(key).exists()

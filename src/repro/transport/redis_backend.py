@@ -21,7 +21,12 @@ import socket
 import threading
 from typing import Any, Optional
 
-from repro.errors import KeyNotStagedError, ServerError, TransportError
+from repro.errors import (
+    BackendUnavailableError,
+    KeyNotStagedError,
+    ServerError,
+    TransportError,
+)
 from repro.transport import resp
 from repro.transport.base import DataStoreClient
 from repro.transport.kvfile import crc32_shard
@@ -217,7 +222,9 @@ class MiniRedisConnection:
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
-            raise ServerError(f"cannot connect to {host}:{port}: {exc}") from exc
+            raise BackendUnavailableError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._parser = resp.RespParser()
         self._lock = threading.Lock()
@@ -232,10 +239,10 @@ class MiniRedisConnection:
                         return reply
                     data = self._sock.recv(_RECV_CHUNK)
                     if not data:
-                        raise ServerError("connection closed by server")
+                        raise BackendUnavailableError("connection closed by server")
                     self._parser.feed(data)
             except OSError as exc:
-                raise ServerError(f"redis connection failed: {exc}") from exc
+                raise BackendUnavailableError(f"redis connection failed: {exc}") from exc
 
     def close(self) -> None:
         try:

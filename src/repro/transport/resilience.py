@@ -1,0 +1,620 @@
+"""Resilience policies around DataStore operations.
+
+Production coupled runs see node failures, degraded links, and metadata
+stalls; this module provides the client-side countermeasures the paper's
+healthy-path benchmarks leave out:
+
+* :class:`RetryPolicy` — per-op timeout, bounded exponential backoff
+  with seeded jitter, and a retry budget; only failures whose exception
+  class is marked ``retryable`` (see :mod:`repro.errors`) are retried;
+* :class:`CircuitBreaker` — classic closed / open / half-open breaker so
+  a dead backend sheds load instead of burning every client's retry
+  budget on it;
+* :class:`ResilientSimDataStore` — wraps a
+  :class:`~repro.transport.simstore.SimDataStore`, retrying in *virtual*
+  time (backoff delays are DES timeouts), which keeps chaos experiments
+  deterministic;
+* :class:`ResilientClient` — the same policy around a real
+  :class:`~repro.transport.base.DataStoreClient` (wall-clock sleeps);
+* :class:`FaultingClient` — a seeded chaos wrapper for real backends
+  (drop / corrupt / unavailability per operation), the real-mode
+  counterpart of the DES fault injector.
+
+All wrappers share one :class:`ResilienceStats`, which is how pattern
+runs report retries, giveups, and failure->success recovery latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Generator, Iterable, Optional
+
+import numpy as np
+
+from repro.des.rng import _derive_seed
+from repro.errors import (
+    BackendUnavailableError,
+    CircuitOpenError,
+    ConfigError,
+    CorruptPayloadError,
+    TimeoutError as StoreTimeoutError,
+    TransportError,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultingClient",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "ResilientClient",
+    "ResilientSimDataStore",
+    "RetryPolicy",
+    "chaos_client_from_config",
+    "policy_from_dict",
+    "resilient_client_from_config",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + bounded exponential backoff with jitter.
+
+    The delay before retry ``n`` (1-based) is ``base_delay *
+    multiplier**(n-1)``, capped at ``max_delay``, then jittered by a
+    uniform factor in ``[1-jitter, 1+jitter]`` drawn from the caller's
+    seeded RNG — deterministic under a fixed seed, desynchronised across
+    clients (no retry storms).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    timeout: float = 30.0  # per-operation budget (virtual seconds in sim mode)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if min(self.base_delay, self.max_delay, self.timeout) <= 0:
+            raise ConfigError("delays and timeout must be positive")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Backoff before retrying after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if rng is None or self.jitter == 0.0:
+            return raw
+        return raw * float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+
+    def schedule(self, rng: Optional[np.random.Generator] = None) -> list[float]:
+        """The full backoff schedule (one delay per possible retry)."""
+        return [self.delay(n, rng) for n in range(1, self.max_attempts)]
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Sheds load from a failing backend until it shows signs of life.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` rejects calls. After ``reset_timeout`` (by the
+    injected ``clock`` — bind ``lambda: env.now`` in sim mode) the next
+    ``allow`` transitions to half-open and lets one probe through: its
+    success closes the circuit, its failure re-opens it.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        clock: Optional[Callable[[], float]] = None,
+        name: str = "breaker",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ConfigError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock or time.monotonic
+        self.name = name
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        #: (time, from_state, to_state) — test hook and telemetry feed.
+        self.transitions: list[tuple[float, str, str]] = []
+
+    def _transition(self, to: BreakerState) -> None:
+        self.transitions.append((self.clock(), self.state.value, to.value))
+        self.state = to
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (May move open -> half-open.)"""
+        if self.state is BreakerState.OPEN:
+            assert self.opened_at is not None
+            if self.clock() - self.opened_at >= self.reset_timeout:
+                self._transition(BreakerState.HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED)
+            self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.OPEN)
+            self.opened_at = self.clock()
+        elif (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(BreakerState.OPEN)
+            self.opened_at = self.clock()
+
+
+@dataclass
+class ResilienceStats:
+    """Shared counters across every resilient wrapper of one run."""
+
+    retries: int = 0
+    failures: int = 0
+    giveups: int = 0
+    breaker_rejections: int = 0
+    recoveries: int = 0
+    recovery_latencies: list[float] = field(default_factory=list)
+    _first_failure: dict[str, float] = field(default_factory=dict)
+
+    def note_failure(self, track: str, t: float) -> None:
+        self.failures += 1
+        self._first_failure.setdefault(track, t)
+
+    def note_retry(self) -> None:
+        self.retries += 1
+
+    def note_giveup(self, track: str) -> None:
+        self.giveups += 1
+        # Keep first-failure time: a later success still counts recovery
+        # latency from the moment service was first lost.
+
+    def note_rejection(self) -> None:
+        self.breaker_rejections += 1
+
+    def note_success(self, track: str, t: float) -> Optional[float]:
+        """Returns the failure->success recovery latency, when one ended."""
+        first = self._first_failure.pop(track, None)
+        if first is None:
+            return None
+        latency = t - first
+        self.recoveries += 1
+        self.recovery_latencies.append(latency)
+        return latency
+
+    def as_dict(self) -> dict:
+        lat = self.recovery_latencies
+        return {
+            "retries": self.retries,
+            "failures": self.failures,
+            "giveups": self.giveups,
+            "breaker_rejections": self.breaker_rejections,
+            "recoveries": self.recoveries,
+            "mean_recovery_seconds": sum(lat) / len(lat) if lat else 0.0,
+            "max_recovery_seconds": max(lat) if lat else 0.0,
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Workload-level resilience knobs for the pattern runners.
+
+    ``staleness_bound`` (pattern 1): simulated seconds the trainer may go
+    without ingesting a fresh snapshot before a staleness violation is
+    counted. ``quorum`` (pattern 2): fraction of producers whose update
+    must be read before the trainer proceeds; missing members are counted
+    as quorum misses instead of blocking forever.
+    """
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    use_breaker: bool = True
+    breaker_threshold: int = 5
+    breaker_reset: float = 5.0
+    staleness_bound: float = float("inf")
+    quorum: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quorum <= 1.0:
+            raise ConfigError("quorum must be in (0, 1]")
+        if self.staleness_bound <= 0:
+            raise ConfigError("staleness_bound must be positive")
+
+    def make_breaker(self, clock: Callable[[], float]) -> Optional[CircuitBreaker]:
+        if not self.use_breaker:
+            return None
+        return CircuitBreaker(
+            failure_threshold=self.breaker_threshold,
+            reset_timeout=self.breaker_reset,
+            clock=clock,
+        )
+
+
+def _is_retryable(exc: BaseException) -> bool:
+    return bool(getattr(exc, "retryable", False))
+
+
+def _trips_breaker(exc: BaseException) -> bool:
+    """Only availability-class failures feed the breaker.
+
+    Payload-level failures (corruption) prove the backend is alive and
+    answering; tripping on them would shed load from a healthy service.
+    """
+    return isinstance(exc, (BackendUnavailableError, StoreTimeoutError))
+
+
+class ResilientSimDataStore:
+    """Retry/backoff/breaker around a SimDataStore, in virtual time.
+
+    The success path is a plain ``yield from`` — no extra DES events, no
+    RNG draws — so wrapping a healthy run leaves its event sequence
+    bit-identical. Failures consult the policy: retryable errors back
+    off (a DES timeout drawn from the seeded ``rng``) and re-attempt;
+    fatal errors and exhausted budgets re-raise to the workload, which
+    decides how to degrade.
+    """
+
+    def __init__(
+        self,
+        store,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        rng: Optional[np.random.Generator] = None,
+        stats: Optional[ResilienceStats] = None,
+        telemetry=None,
+    ) -> None:
+        self.store = store
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker
+        self.rng = rng
+        self.stats = stats or ResilienceStats()
+        self.telemetry = telemetry
+        # Let the sim store model per-op timeouts (stalled ops abort).
+        if getattr(store, "op_timeout", None) is None:
+            store.op_timeout = self.policy.timeout
+
+    # passthroughs the workloads use
+    @property
+    def env(self):
+        return self.store.env
+
+    @property
+    def component(self) -> str:
+        return self.store.component
+
+    @property
+    def backend(self) -> str:
+        return self.store.backend
+
+    def clean_staged_data(self, keys: Optional[list[str]] = None) -> int:
+        return self.store.clean_staged_data(keys)
+
+    # -- wrapped staging API ------------------------------------------------
+    def stage_write(self, key: str, nbytes: float, ctx=None) -> Generator:
+        result = yield from self._attempt(
+            "write", key, lambda: self.store.stage_write(key, nbytes, ctx)
+        )
+        return result
+
+    def stage_read(self, key: str, ctx=None) -> Generator:
+        result = yield from self._attempt(
+            "read", key, lambda: self.store.stage_read(key, ctx)
+        )
+        return result
+
+    def poll_staged_data(self, key: str, ctx=None) -> Generator:
+        result = yield from self._attempt(
+            "poll", key, lambda: self.store.poll_staged_data(key, ctx)
+        )
+        return result
+
+    def _mark_retry(self, op: str, key: str, attempt: int, exc: BaseException) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.tracer.instant(
+            "transport.retry",
+            category="resilience",
+            pid=self.component,
+            op=op,
+            key=key,
+            attempt=attempt,
+            error=type(exc).__name__,
+        )
+        self.telemetry.metrics.counter(
+            "resilience.retries", backend=self.backend, op=op
+        ).inc()
+
+    def _attempt(self, op: str, key: str, thunk: Callable[[], Generator]) -> Generator:
+        env = self.store.env
+        track = f"{self.component}:{op}"
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if self.breaker is not None and not self.breaker.allow():
+                self.stats.note_rejection()
+                raise CircuitOpenError(
+                    f"circuit open for backend {self.backend!r} ({op} {key!r})"
+                )
+            try:
+                result = yield from thunk()
+            except TransportError as exc:
+                if self.breaker is not None and _trips_breaker(exc):
+                    self.breaker.record_failure()
+                self.stats.note_failure(track, env.now)
+                if not _is_retryable(exc) or attempt == self.policy.max_attempts:
+                    self.stats.note_giveup(track)
+                    if self.telemetry is not None:
+                        self.telemetry.metrics.counter(
+                            "resilience.giveups", backend=self.backend, op=op
+                        ).inc()
+                    raise
+                self.stats.note_retry()
+                self._mark_retry(op, key, attempt, exc)
+                yield env.timeout(self.policy.delay(attempt, self.rng))
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                latency = self.stats.note_success(track, env.now)
+                if latency is not None and self.telemetry is not None:
+                    self.telemetry.metrics.histogram(
+                        "resilience.recovery.seconds", backend=self.backend
+                    ).observe(latency)
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class ResilientClient:
+    """The same retry/backoff/breaker policy around a real client.
+
+    Exposes the DataStoreClient surface (``stage_*`` / ``poll`` /
+    ``clean`` / ``close`` / ``stats``), so it slots into
+    :class:`~repro.transport.datastore.DataStore` transparently.
+    Backoff sleeps use the injected ``sleep`` (default
+    :func:`time.sleep`); per-op timeouts rely on the backends' socket
+    timeouts surfacing :class:`~repro.errors.BackendUnavailableError`.
+    """
+
+    def __init__(
+        self,
+        client,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        rng: Optional[np.random.Generator] = None,
+        stats: Optional[ResilienceStats] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.client = client
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker
+        self.rng = rng
+        self.resilience = stats or ResilienceStats()
+        self._sleep = sleep
+        self._clock = time.monotonic
+
+    # -- client surface passthrough ----------------------------------------
+    @property
+    def backend_name(self) -> str:
+        return self.client.backend_name
+
+    @property
+    def name(self) -> str:
+        return self.client.name
+
+    @property
+    def stats(self):
+        return self.client.stats
+
+    @property
+    def event_log(self):
+        return self.client.event_log
+
+    @property
+    def telemetry(self):
+        return self.client.telemetry
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- wrapped operations --------------------------------------------------
+    def stage_write(self, key: str, value: Any) -> float:
+        return self._attempt("write", lambda: self.client.stage_write(key, value))
+
+    def stage_read(self, key: str) -> Any:
+        return self._attempt("read", lambda: self.client.stage_read(key))
+
+    def poll_staged_data(self, key: str) -> bool:
+        return self._attempt("poll", lambda: self.client.poll_staged_data(key))
+
+    def clean_staged_data(self, keys: Optional[Iterable[str]] = None) -> int:
+        return self._attempt("clean", lambda: self.client.clean_staged_data(keys))
+
+    def _attempt(self, op: str, thunk: Callable[[], Any]) -> Any:
+        track = f"{self.client.name}:{op}"
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if self.breaker is not None and not self.breaker.allow():
+                self.resilience.note_rejection()
+                raise CircuitOpenError(
+                    f"circuit open for backend {self.backend_name!r} ({op})"
+                )
+            try:
+                result = thunk()
+            except TransportError as exc:
+                if self.breaker is not None and _trips_breaker(exc):
+                    self.breaker.record_failure()
+                self.resilience.note_failure(track, self._clock())
+                if not _is_retryable(exc) or attempt == self.policy.max_attempts:
+                    self.resilience.note_giveup(track)
+                    raise
+                self.resilience.note_retry()
+                if self.telemetry is not None:
+                    self.telemetry.metrics.counter(
+                        "resilience.retries", backend=self.backend_name, op=op
+                    ).inc()
+                self._sleep(self.policy.delay(attempt, self.rng))
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                self.resilience.note_success(track, self._clock())
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class FaultingClient:
+    """Deterministic chaos wrapper for a real DataStoreClient.
+
+    Injects, per operation and from a seeded RNG: transient backend
+    unavailability (``unavailable``), silent write drops (``drop``), and
+    payload corruption on read (``corrupt``). The real-mode counterpart
+    of the DES :class:`~repro.faults.injector.FaultInjector`, meant to
+    sit *under* a :class:`ResilientClient` so retries actually re-roll.
+    """
+
+    def __init__(
+        self,
+        client,
+        unavailable: float = 0.0,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        for name, p in (("unavailable", unavailable), ("drop", drop), ("corrupt", corrupt)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} probability must be in [0, 1], got {p}")
+        self.client = client
+        self.unavailable = unavailable
+        self.drop = drop
+        self.corrupt = corrupt
+        self._rng = np.random.default_rng(seed)
+        self.injected = {"unavailable": 0, "drop": 0, "corrupt": 0}
+
+    @property
+    def backend_name(self) -> str:
+        return self.client.backend_name
+
+    @property
+    def name(self) -> str:
+        return self.client.name
+
+    @property
+    def stats(self):
+        return self.client.stats
+
+    @property
+    def event_log(self):
+        return self.client.event_log
+
+    @property
+    def telemetry(self):
+        return self.client.telemetry
+
+    def close(self) -> None:
+        self.client.close()
+
+    def _maybe_unavailable(self, op: str) -> None:
+        if self.unavailable and self._rng.random() < self.unavailable:
+            self.injected["unavailable"] += 1
+            raise BackendUnavailableError(f"injected outage during {op}")
+
+    def stage_write(self, key: str, value: Any) -> float:
+        self._maybe_unavailable("write")
+        if self.drop and self._rng.random() < self.drop:
+            # Silently lost in transit: report success, stage nothing.
+            self.injected["drop"] += 1
+            return 0.0
+        return self.client.stage_write(key, value)
+
+    def stage_read(self, key: str) -> Any:
+        self._maybe_unavailable("read")
+        if self.corrupt and self._rng.random() < self.corrupt:
+            self.injected["corrupt"] += 1
+            raise CorruptPayloadError(f"injected corruption reading {key!r}")
+        return self.client.stage_read(key)
+
+    def poll_staged_data(self, key: str) -> bool:
+        self._maybe_unavailable("poll")
+        return self.client.poll_staged_data(key)
+
+    def clean_staged_data(self, keys: Optional[Iterable[str]] = None) -> int:
+        return self.client.clean_staged_data(keys)
+
+
+# -- config-driven construction (server_info plumbing) ------------------------
+
+_POLICY_FIELDS = ("max_attempts", "base_delay", "multiplier", "max_delay", "jitter", "timeout")
+
+
+def policy_from_dict(config: dict) -> RetryPolicy:
+    """A RetryPolicy from a plain dict (unknown keys ignored)."""
+    return RetryPolicy(**{k: config[k] for k in _POLICY_FIELDS if k in config})
+
+
+def resilient_client_from_config(
+    client, config: dict, name: str = "client", rank: int = 0
+) -> ResilientClient:
+    """Wrap a real client per a ``server_info['resilience']`` dict.
+
+    Recognised keys: the RetryPolicy fields, plus ``breaker`` (bool,
+    default True), ``breaker_threshold``, ``breaker_reset``, ``seed``.
+    The jitter RNG seed is derived from (seed, name, rank) so each rank
+    desynchronises its retries deterministically.
+    """
+    breaker = None
+    if config.get("breaker", True):
+        breaker = CircuitBreaker(
+            failure_threshold=int(config.get("breaker_threshold", 5)),
+            reset_timeout=float(config.get("breaker_reset", 5.0)),
+            name=f"{name}:{rank}",
+        )
+    rng = np.random.default_rng(
+        _derive_seed(int(config.get("seed", 0)), f"resilience:{name}:{rank}")
+    )
+    return ResilientClient(
+        client, policy=policy_from_dict(config), breaker=breaker, rng=rng
+    )
+
+
+def chaos_client_from_config(
+    client, config: dict, name: str = "client", rank: int = 0
+) -> FaultingClient:
+    """Wrap a real client per a ``server_info['chaos']`` dict.
+
+    Recognised keys: ``unavailable``, ``drop``, ``corrupt`` (per-op
+    probabilities) and ``seed``. Each rank draws from its own derived
+    stream so chaos is reproducible across runs yet uncorrelated across
+    clients.
+    """
+    return FaultingClient(
+        client,
+        unavailable=float(config.get("unavailable", 0.0)),
+        drop=float(config.get("drop", 0.0)),
+        corrupt=float(config.get("corrupt", 0.0)),
+        seed=_derive_seed(int(config.get("seed", 0)), f"chaos:{name}:{rank}"),
+    )

@@ -16,7 +16,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import TransportError
+from repro.errors import CorruptPayloadError
 
 _MAGIC_NUMPY = b"RNP1"
 _MAGIC_PICKLE = b"RPK1"
@@ -46,11 +46,11 @@ def serialize(value: Any) -> bytes:
 def deserialize(blob: bytes) -> Any:
     """Decode bytes produced by :func:`serialize`."""
     if len(blob) < 4:
-        raise TransportError(f"blob too short to deserialize ({len(blob)} bytes)")
+        raise CorruptPayloadError(f"blob too short to deserialize ({len(blob)} bytes)")
     magic, rest = blob[:4], blob[4:]
     if magic == _MAGIC_NUMPY:
         if len(rest) < 4:
-            raise TransportError("truncated numpy header length")
+            raise CorruptPayloadError("truncated numpy header length")
         (header_len,) = struct.unpack("<I", rest[:4])
         header_blob = rest[4 : 4 + header_len]
         try:
@@ -58,11 +58,11 @@ def deserialize(blob: bytes) -> Any:
             dtype = np.dtype(header["dtype"])
             shape = tuple(header["shape"])
         except Exception as exc:
-            raise TransportError(f"corrupt numpy header: {exc}") from exc
+            raise CorruptPayloadError(f"corrupt numpy header: {exc}") from exc
         payload = rest[4 + header_len :]
         expected = dtype.itemsize * int(np.prod(shape)) if shape else dtype.itemsize
         if len(payload) != expected:
-            raise TransportError(
+            raise CorruptPayloadError(
                 f"numpy payload length {len(payload)} != expected {expected}"
             )
         return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
@@ -70,8 +70,8 @@ def deserialize(blob: bytes) -> Any:
         try:
             return pickle.loads(rest)
         except Exception as exc:
-            raise TransportError(f"corrupt pickle payload: {exc}") from exc
-    raise TransportError(f"unknown serialization magic {magic!r}")
+            raise CorruptPayloadError(f"corrupt pickle payload: {exc}") from exc
+    raise CorruptPayloadError(f"unknown serialization magic {magic!r}")
 
 
 def serialized_nbytes(value: Any) -> int:

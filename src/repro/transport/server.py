@@ -120,4 +120,8 @@ class ServerManager:
                 info["stripe_count"] = self.config.stripe_count
         else:
             info["addresses"] = [server.address for server in self._servers]
+        if self.config.chaos:
+            info["chaos"] = dict(self.config.chaos)
+        if self.config.resilience:
+            info["resilience"] = dict(self.config.resilience)
         return info

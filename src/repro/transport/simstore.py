@@ -21,13 +21,16 @@ Usage inside a DES process::
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.des import Environment
-from repro.errors import KeyNotStagedError, TransportError
+from repro.errors import CorruptPayloadError, KeyNotStagedError, TimeoutError, TransportError
 from repro.telemetry.events import EventKind, EventLog
 from repro.telemetry.hub import Telemetry
 from repro.transport.models import BackendModel, TransportOpContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.state import FaultState
 
 
 class SimStagingArea:
@@ -88,6 +91,8 @@ class SimDataStore:
         event_log: Optional[EventLog] = None,
         default_ctx: Optional[TransportOpContext] = None,
         telemetry: Optional[Telemetry] = None,
+        fault_state: Optional["FaultState"] = None,
+        op_timeout: Optional[float] = None,
     ) -> None:
         self.env = env
         self.model = model
@@ -97,6 +102,11 @@ class SimDataStore:
         self.event_log = event_log
         self.default_ctx = default_ctx or TransportOpContext()
         self.telemetry = telemetry
+        # Fault hooks. With fault_state None (the default) every hook is a
+        # no-op and the event sequence is byte-identical to a store built
+        # before faults existed — healthy runs stay bit-reproducible.
+        self.fault_state = fault_state
+        self.op_timeout = op_timeout
 
     @property
     def backend(self) -> str:
@@ -133,6 +143,37 @@ class SimDataStore:
             if nbytes:
                 metrics.counter(f"transport.{kind.value}.bytes", **label).inc(nbytes)
 
+    # -- fault hooks ----------------------------------------------------------
+    def _fault_gate(self) -> Generator:
+        """Abort the op when an open fault window blocks this component.
+
+        Charges the fault-detection delay (a connect attempt that times
+        out) before raising, so outages cost virtual time the way real
+        ones cost wall time. Yields nothing when no fault is active.
+        """
+        if self.fault_state is None:
+            return
+        failure = self.fault_state.failure_for(self.component, self.backend)
+        if failure is not None:
+            yield self.env.timeout(self.fault_state.detect_seconds)
+            raise failure
+
+    def _op_cost(self, seconds: float) -> float:
+        """Modeled op time under any active slowdown windows."""
+        if self.fault_state is not None:
+            seconds *= self.fault_state.delay_factor(self.backend)
+        return seconds
+
+    def _charge(self, op: str, key: str, cost: float) -> Generator:
+        """Charge ``cost`` to the clock, or time out when it exceeds budget."""
+        if self.op_timeout is not None and cost > self.op_timeout:
+            yield self.env.timeout(self.op_timeout)
+            raise TimeoutError(
+                f"{op} {key!r} on backend {self.backend!r} aborted after "
+                f"{self.op_timeout:g}s (modeled {cost:.3g}s under current faults)"
+            )
+        yield self.env.timeout(cost)
+
     # -- staging API (DES generators) ----------------------------------------
     def stage_write(
         self, key: str, nbytes: float, ctx: Optional[TransportOpContext] = None
@@ -141,15 +182,23 @@ class SimDataStore:
         if nbytes < 0:
             raise TransportError(f"negative staged size {nbytes}")
         ctx = ctx or self.default_ctx
+        yield from self._fault_gate()
         start = self.env.now
         if self.telemetry is not None:
             self.telemetry.transport_started(t=start)
         try:
-            yield self.env.timeout(self.model.write_time(nbytes, ctx))
+            yield from self._charge(
+                "write", key, self._op_cost(self.model.write_time(nbytes, ctx))
+            )
         finally:
             if self.telemetry is not None:
                 self.telemetry.transport_finished(t=self.env.now)
+        if self.fault_state is not None and self.fault_state.drops_message():
+            # Silently lost in transit: time was spent, nothing staged.
+            return nbytes
         self.area.publish(key, nbytes)
+        if self.fault_state is not None:
+            self.fault_state.corrupts_message(key)
         self._log(EventKind.WRITE, start, nbytes, key)
         return nbytes
 
@@ -157,16 +206,24 @@ class SimDataStore:
         self, key: str, ctx: Optional[TransportOpContext] = None
     ) -> Generator:
         """Read a staged key; yields the modeled read time; returns nbytes."""
+        yield from self._fault_gate()
         nbytes = self.area.size_of(key)  # raises if not staged
         ctx = ctx or self.default_ctx
         start = self.env.now
         if self.telemetry is not None:
             self.telemetry.transport_started(t=start)
         try:
-            yield self.env.timeout(self.model.read_time(nbytes, ctx))
+            yield from self._charge(
+                "read", key, self._op_cost(self.model.read_time(nbytes, ctx))
+            )
         finally:
             if self.telemetry is not None:
                 self.telemetry.transport_finished(t=self.env.now)
+        if self.fault_state is not None and self.fault_state.consume_corruption(key):
+            # Fetched a damaged copy; a retry models re-fetching a good one.
+            raise CorruptPayloadError(
+                f"staged payload for {key!r} failed checksum on {self.backend!r}"
+            )
         self.area.total_reads += 1
         self._log(EventKind.READ, start, nbytes, key)
         return nbytes
@@ -176,8 +233,9 @@ class SimDataStore:
     ) -> Generator:
         """Existence check; yields the modeled poll time; returns bool."""
         ctx = ctx or self.default_ctx
+        yield from self._fault_gate()
         start = self.env.now
-        yield self.env.timeout(self.model.poll_time(ctx))
+        yield from self._charge("poll", key, self._op_cost(self.model.poll_time(ctx)))
         present = self.area.contains(key)
         self._log(EventKind.POLL, start, 0.0, key)
         return present

@@ -26,16 +26,23 @@ producer.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.config.distributions import Constant, Distribution
 from repro.des import Environment
 from repro.des.rng import RngRegistry
-from repro.errors import ConfigError
+from repro.errors import ConfigError, KeyNotStagedError, TransportError
+from repro.faults import FaultInjector, FaultPlan, FaultState
 from repro.telemetry.events import EventKind, EventLog
 from repro.telemetry.hub import Telemetry
 from repro.transport.models import BackendModel, TransportOpContext
+from repro.transport.resilience import (
+    ResilienceConfig,
+    ResilienceStats,
+    ResilientSimDataStore,
+)
 from repro.transport.simstore import SimDataStore, SimStagingArea
 
 #: Calibrated iteration times from the paper's production profiling (§4.1.1).
@@ -79,7 +86,13 @@ class OneToOneConfig:
 
 @dataclass
 class PatternResult:
-    """What a pattern run produces."""
+    """What a pattern run produces.
+
+    ``resilience`` is None on a healthy run; under an active fault plan
+    (or explicit resilience config) it carries the injector summary,
+    retry/recovery stats, and the degradation counters (lost snapshots,
+    missed reads, quorum misses, staleness violations, downtime).
+    """
 
     log: EventLog
     makespan: float
@@ -87,6 +100,7 @@ class PatternResult:
     train_iterations: int
     snapshots_written: int
     snapshots_read: int
+    resilience: Optional[dict] = None
 
 
 class _StopFlag:
@@ -123,6 +137,84 @@ def _iteration_span(
     )
 
 
+class _FaultHarness:
+    """Per-run fault/resilience wiring shared by both patterns.
+
+    Inactive — no enabled fault plan and no explicit resilience config —
+    it is pure pass-through: :meth:`wrap` returns the store unchanged and
+    every check short-circuits, so the run's event sequence stays
+    bit-identical to a build without the fault subsystem.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        log: EventLog,
+        rngs: RngRegistry,
+        telemetry: Optional[Telemetry],
+        fault_plan: Optional[FaultPlan],
+        resilience: Optional[ResilienceConfig],
+    ) -> None:
+        self.env = env
+        self.telemetry = telemetry
+        self.rngs = rngs
+        plan_active = fault_plan is not None and fault_plan.is_active
+        self.active = plan_active or resilience is not None
+        self.state = FaultState(seed=fault_plan.seed) if plan_active else None
+        self.config = resilience or (ResilienceConfig() if self.active else None)
+        self.stats = ResilienceStats() if self.active else None
+        self.injector: Optional[FaultInjector] = None
+        if plan_active:
+            self.injector = FaultInjector(
+                env, fault_plan, self.state, telemetry=telemetry, event_log=log
+            )
+
+    def start(self) -> None:
+        if self.injector is not None:
+            self.injector.start()
+
+    def wrap(
+        self, store: SimDataStore
+    ) -> Union[SimDataStore, ResilientSimDataStore]:
+        if not self.active:
+            return store
+        return ResilientSimDataStore(
+            store,
+            policy=self.config.policy,
+            breaker=self.config.make_breaker(lambda: self.env.now),
+            rng=self.rngs.stream(f"resilience:{store.component}:{store.rank}"),
+            stats=self.stats,
+            telemetry=self.telemetry,
+        )
+
+    def crashed(self, component: str) -> bool:
+        """True while ``component``'s node is down (fault runs only)."""
+        return self.state is not None and self.state.is_component_down(component)
+
+    @property
+    def staleness_bound(self) -> float:
+        return self.config.staleness_bound if self.config is not None else float("inf")
+
+    @property
+    def quorum(self) -> float:
+        return self.config.quorum if self.config is not None else 1.0
+
+    def report(self, extra: dict) -> Optional[dict]:
+        """The PatternResult.resilience payload (None when inactive)."""
+        if not self.active:
+            return None
+        out: dict = {"stats": self.stats.as_dict()}
+        if self.injector is not None:
+            out["faults"] = self.injector.summary()
+        out.update(extra)
+        return out
+
+
+def _workload_makespan(log: EventLog) -> float:
+    """Makespan over workload records (fault windows may outlast the run)."""
+    return log.filter(kinds=[k for k in EventKind if k is not EventKind.FAULT]).makespan()
+
+
 def run_one_to_one(
     model: BackendModel,
     config: Optional[OneToOneConfig] = None,
@@ -130,6 +222,8 @@ def run_one_to_one(
     sim_name: str = "sim",
     ai_name: str = "train",
     telemetry: Optional[Telemetry] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> PatternResult:
     """Simulate the one-to-one pattern; returns logs and counters.
 
@@ -137,6 +231,16 @@ def run_one_to_one(
     workload-iteration and transport spans on virtual time, transport
     histograms, and engine gauge series (link occupancy, staged bytes,
     event-queue depth); with ``telemetry=None`` the run is untouched.
+
+    An enabled ``fault_plan`` injects the planned faults (node/backend
+    crashes, degraded links, drops, corruption) through DES events and
+    wraps every store with retry/backoff per ``resilience`` (defaults
+    apply when omitted). The workload degrades rather than crashes: the
+    simulation skips snapshots it cannot stage (counted as data loss)
+    and the trainer tolerates stale data up to
+    ``resilience.staleness_bound``, skipping snapshots lost for good.
+    With the plan disabled (or None) the run is bit-identical to a
+    healthy one.
     """
     config = config or OneToOneConfig()
     ctx = ctx or TransportOpContext(local=True, clients_per_server=12)
@@ -146,18 +250,32 @@ def run_one_to_one(
     _bind_telemetry(telemetry, env, area)
     rngs = RngRegistry(config.seed)
     stop = _StopFlag()
-    counters = {"sim_iters": 0, "train_iters": 0, "written": 0, "read": 0}
+    harness = _FaultHarness(env, log, rngs, telemetry, fault_plan, resilience)
+    counters = {
+        "sim_iters": 0,
+        "train_iters": 0,
+        "written": 0,
+        "read": 0,
+        "lost": 0,
+        "lost_skipped": 0,
+        "failed_ingests": 0,
+        "staleness": 0,
+        "downtime": 0.0,
+    }
 
     def sim_rank(rank: int):
-        store = SimDataStore(
-            env,
-            model,
-            area,
-            component=sim_name,
-            rank=rank,
-            event_log=log,
-            default_ctx=ctx,
-            telemetry=telemetry,
+        store = harness.wrap(
+            SimDataStore(
+                env,
+                model,
+                area,
+                component=sim_name,
+                rank=rank,
+                event_log=log,
+                default_ctx=ctx,
+                telemetry=telemetry,
+                fault_state=harness.state,
+            )
         )
         rng = rngs.stream(f"sim{rank}")
         yield env.timeout(config.sim_init_time)
@@ -166,6 +284,12 @@ def run_one_to_one(
         iteration = 0
         snapshot = 0
         while not stop.stopped:
+            if harness.crashed(sim_name):
+                counters["downtime"] += yield from harness.state.wait_until_up(
+                    env, sim_name, should_abort=lambda: stop.stopped
+                )
+                if stop.stopped:
+                    break
             start = env.now
             span = _iteration_span(telemetry, sim_name, rank, iteration + 1)
             yield env.timeout(max(0.0, config.sim_iter_time.sample(rng)))
@@ -176,31 +300,45 @@ def run_one_to_one(
             if rank == 0:
                 counters["sim_iters"] += 1
             if iteration % config.write_interval == 0:
-                for a in range(config.arrays_per_snapshot):
-                    yield from store.stage_write(
-                        f"r{rank}_snap{snapshot}_a{a}", config.snapshot_nbytes
-                    )
+                try:
+                    for a in range(config.arrays_per_snapshot):
+                        yield from store.stage_write(
+                            f"r{rank}_snap{snapshot}_a{a}", config.snapshot_nbytes
+                        )
+                except TransportError:
+                    # Degrade, don't crash: the snapshot is lost, the
+                    # simulation carries on.
+                    counters["lost"] += 1
+                else:
+                    if rank == 0:
+                        counters["written"] += 1
                 snapshot += 1
-                if rank == 0:
-                    counters["written"] += 1
 
     def ai_rank(rank: int):
-        store = SimDataStore(
-            env,
-            model,
-            area,
-            component=ai_name,
-            rank=rank,
-            event_log=log,
-            default_ctx=ctx,
-            telemetry=telemetry,
+        store = harness.wrap(
+            SimDataStore(
+                env,
+                model,
+                area,
+                component=ai_name,
+                rank=rank,
+                event_log=log,
+                default_ctx=ctx,
+                telemetry=telemetry,
+                fault_state=harness.state,
+            )
         )
         rng = rngs.stream(f"ai{rank}")
         yield env.timeout(config.ai_init_time)
         if rank == 0:
             log.add(ai_name, EventKind.INIT, 0.0, config.ai_init_time, rank=rank)
         next_snapshot = 0
+        last_ingest = env.now
         for iteration in range(1, config.train_iterations + 1):
+            if harness.crashed(ai_name):
+                counters["downtime"] += yield from harness.state.wait_until_up(
+                    env, ai_name
+                )
             start = env.now
             span = _iteration_span(telemetry, ai_name, rank, iteration)
             yield env.timeout(max(0.0, config.ai_iter_time.sample(rng)))
@@ -214,17 +352,51 @@ def run_one_to_one(
                 # the co-located sim rank with the same index.
                 while True:
                     key0 = f"r{rank}_snap{next_snapshot}_a0"
-                    present = yield from store.poll_staged_data(key0)
-                    if not present:
+                    try:
+                        present = yield from store.poll_staged_data(key0)
+                    except TransportError:
+                        counters["failed_ingests"] += 1
                         break
-                    for a in range(config.arrays_per_snapshot):
-                        yield from store.stage_read(f"r{rank}_snap{next_snapshot}_a{a}")
+                    if not present:
+                        if harness.state is not None:
+                            # Control-plane peek (no modeled transport op):
+                            # when a later snapshot exists, this one was
+                            # dropped in a fault window — skip it for good.
+                            look = next_snapshot + 1
+                            horizon = look + 64
+                            while look < horizon and not area.contains(
+                                f"r{rank}_snap{look}_a0"
+                            ):
+                                look += 1
+                            if look < horizon:
+                                counters["lost_skipped"] += look - next_snapshot
+                                next_snapshot = look
+                                continue
+                        break
+                    try:
+                        for a in range(config.arrays_per_snapshot):
+                            yield from store.stage_read(
+                                f"r{rank}_snap{next_snapshot}_a{a}"
+                            )
+                    except KeyNotStagedError:
+                        # Partially staged snapshot (write died mid-fault):
+                        # unrecoverable, skip past it.
+                        counters["lost_skipped"] += 1
+                        next_snapshot += 1
+                        continue
+                    except TransportError:
+                        counters["failed_ingests"] += 1
+                        break
                     next_snapshot += 1
+                    last_ingest = env.now
                     if rank == 0:
                         counters["read"] += 1
+                if rank == 0 and env.now - last_ingest > harness.staleness_bound:
+                    counters["staleness"] += 1
         if rank == 0:
             stop.set()
 
+    harness.start()
     for rank in range(config.ranks_per_component):
         env.process(sim_rank(rank), name=f"{sim_name}{rank}")
         env.process(ai_rank(rank), name=f"{ai_name}{rank}")
@@ -232,11 +404,20 @@ def run_one_to_one(
 
     return PatternResult(
         log=log,
-        makespan=log.makespan(),
+        makespan=_workload_makespan(log),
         sim_iterations=counters["sim_iters"],
         train_iterations=counters["train_iters"],
         snapshots_written=counters["written"],
         snapshots_read=counters["read"],
+        resilience=harness.report(
+            {
+                "lost_snapshots": counters["lost"],
+                "skipped_snapshots": counters["lost_skipped"],
+                "failed_ingests": counters["failed_ingests"],
+                "staleness_violations": counters["staleness"],
+                "downtime_seconds": counters["downtime"],
+            }
+        ),
     )
 
 
@@ -252,6 +433,10 @@ class ManyToOneConfig:
     train_iterations: int = 2500
     snapshot_nbytes: float = DEFAULT_SNAPSHOT_NBYTES
     reader_lanes: int = 12  # the AI node's 12 tiles read concurrently
+    #: Simulated seconds a reader lane waits for one producer's update
+    #: before giving up on it. Bounds the previously unbounded re-poll
+    #: loop; generous enough that healthy runs never hit it.
+    poll_timeout: float = 300.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -261,6 +446,8 @@ class ManyToOneConfig:
             raise ConfigError("intervals and reader_lanes must be >= 1")
         if self.train_iterations < 0:
             raise ConfigError("train_iterations must be >= 0")
+        if self.poll_timeout <= 0:
+            raise ConfigError("poll_timeout must be positive")
 
 
 def run_many_to_one(
@@ -270,12 +457,19 @@ def run_many_to_one(
     read_ctx: Optional[TransportOpContext] = None,
     ai_name: str = "train",
     telemetry: Optional[Telemetry] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> PatternResult:
     """Simulate the many-to-one pattern.
 
     The trainer blocks at every update until data from *all* producers for
     that update has arrived (§4.2), draining reads over ``reader_lanes``
     concurrent lanes. ``telemetry`` behaves as in :func:`run_one_to_one`.
+
+    Each lane's wait is bounded by ``config.poll_timeout``; under an
+    active ``fault_plan`` the trainer proceeds when at least
+    ``resilience.quorum`` of the producers' updates arrived, counting the
+    rest as missed reads instead of blocking forever on a dead producer.
     """
     config = config or ManyToOneConfig()
     write_ctx = write_ctx or TransportOpContext(local=True, clients_per_server=12)
@@ -291,23 +485,43 @@ def run_many_to_one(
     _bind_telemetry(telemetry, env, area)
     rngs = RngRegistry(config.seed)
     stop = _StopFlag()
-    counters = {"sim_iters": 0, "train_iters": 0, "written": 0, "read": 0}
+    harness = _FaultHarness(env, log, rngs, telemetry, fault_plan, resilience)
+    counters = {
+        "sim_iters": 0,
+        "train_iters": 0,
+        "written": 0,
+        "read": 0,
+        "lost": 0,
+        "missed": 0,
+        "quorum_misses": 0,
+        "downtime": 0.0,
+    }
+    quorum_needed = math.ceil(harness.quorum * config.n_simulations)
 
     def producer(index: int):
-        store = SimDataStore(
-            env,
-            model,
-            area,
-            component=f"sim{index}",
-            rank=index,
-            event_log=log,
-            default_ctx=write_ctx,
-            telemetry=telemetry,
+        store = harness.wrap(
+            SimDataStore(
+                env,
+                model,
+                area,
+                component=f"sim{index}",
+                rank=index,
+                event_log=log,
+                default_ctx=write_ctx,
+                telemetry=telemetry,
+                fault_state=harness.state,
+            )
         )
         rng = rngs.stream(f"sim{index}")
         iteration = 0
         update = 0
         while not stop.stopped:
+            if harness.crashed(f"sim{index}"):
+                counters["downtime"] += yield from harness.state.wait_until_up(
+                    env, f"sim{index}", should_abort=lambda: stop.stopped
+                )
+                if stop.stopped:
+                    break
             start = env.now
             span = _iteration_span(telemetry, f"sim{index}", index, iteration + 1)
             yield env.timeout(max(0.0, config.sim_iter_time.sample(rng)))
@@ -318,36 +532,62 @@ def run_many_to_one(
             if index == 0:
                 counters["sim_iters"] += 1
             if iteration % config.write_interval == 0:
-                yield from store.stage_write(
-                    f"sim{index}_update{update}", config.snapshot_nbytes
-                )
+                try:
+                    yield from store.stage_write(
+                        f"sim{index}_update{update}", config.snapshot_nbytes
+                    )
+                except TransportError:
+                    counters["lost"] += 1
+                else:
+                    counters["written"] += 1
                 update += 1
-                counters["written"] += 1
 
-    def reader_lane(store: SimDataStore, keys: list[str]):
+    def reader_lane(store, keys: list[str], got: dict):
         for key in keys:
+            deadline = env.now + config.poll_timeout
+            present = False
             while True:
-                present = yield from store.poll_staged_data(key)
-                if present:
+                try:
+                    present = yield from store.poll_staged_data(key)
+                except TransportError:
+                    present = False
+                if present or env.now >= deadline:
                     break
                 yield env.timeout(0.01)  # producer not there yet: re-poll
-            yield from store.stage_read(key)
+            if not present:
+                got[key] = False
+                counters["missed"] += 1
+                continue
+            try:
+                yield from store.stage_read(key)
+            except TransportError:
+                got[key] = False
+                counters["missed"] += 1
+                continue
+            got[key] = True
             counters["read"] += 1
 
     def trainer():
-        store = SimDataStore(
-            env,
-            model,
-            area,
-            component=ai_name,
-            rank=0,
-            event_log=log,
-            default_ctx=read_ctx,
-            telemetry=telemetry,
+        store = harness.wrap(
+            SimDataStore(
+                env,
+                model,
+                area,
+                component=ai_name,
+                rank=0,
+                event_log=log,
+                default_ctx=read_ctx,
+                telemetry=telemetry,
+                fault_state=harness.state,
+            )
         )
         rng = rngs.stream("ai")
         update = 0
         for iteration in range(1, config.train_iterations + 1):
+            if harness.crashed(ai_name):
+                counters["downtime"] += yield from harness.state.wait_until_up(
+                    env, ai_name
+                )
             start = env.now
             span = _iteration_span(telemetry, ai_name, 0, iteration)
             yield env.timeout(max(0.0, config.ai_iter_time.sample(rng)))
@@ -357,7 +597,10 @@ def run_many_to_one(
             counters["train_iters"] += 1
             if iteration % config.read_interval == 0:
                 # Blocking collective ingest of this update from every
-                # producer, spread over the reader lanes.
+                # producer, spread over the reader lanes. Lanes give up
+                # after poll_timeout, so a dead producer costs bounded
+                # time; the quorum check below decides whether enough of
+                # the collective arrived.
                 keys = [
                     f"sim{index}_update{update}" for index in range(config.n_simulations)
                 ]
@@ -365,15 +608,29 @@ def run_many_to_one(
                     keys[lane :: config.reader_lanes]
                     for lane in range(min(config.reader_lanes, len(keys)))
                 ]
+                got: dict = {}
                 procs = [
-                    env.process(reader_lane(store, lane_keys), name=f"lane{j}")
+                    env.process(reader_lane(store, lane_keys, got), name=f"lane{j}")
                     for j, lane_keys in enumerate(lanes)
                     if lane_keys
                 ]
                 yield env.all_of(procs)
+                arrived = sum(1 for ok in got.values() if ok)
+                if arrived < quorum_needed:
+                    counters["quorum_misses"] += 1
+                    if telemetry is not None:
+                        telemetry.tracer.instant(
+                            "quorum.miss",
+                            category="resilience",
+                            pid=ai_name,
+                            update=update,
+                            arrived=arrived,
+                            needed=quorum_needed,
+                        )
                 update += 1
         stop.set()
 
+    harness.start()
     for index in range(config.n_simulations):
         env.process(producer(index), name=f"sim{index}")
     env.process(trainer(), name=ai_name)
@@ -381,9 +638,17 @@ def run_many_to_one(
 
     return PatternResult(
         log=log,
-        makespan=log.makespan(),
+        makespan=_workload_makespan(log),
         sim_iterations=counters["sim_iters"],
         train_iterations=counters["train_iters"],
         snapshots_written=counters["written"],
         snapshots_read=counters["read"],
+        resilience=harness.report(
+            {
+                "lost_snapshots": counters["lost"],
+                "missed_reads": counters["missed"],
+                "quorum_misses": counters["quorum_misses"],
+                "downtime_seconds": counters["downtime"],
+            }
+        ),
     )

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.ai import AI
 from repro.core.simulation import Simulation
-from repro.errors import ConfigError, WorkflowError
+from repro.errors import ConfigError, TransportError, WorkflowError
 from repro.ml.data import synthetic_snapshot
 from repro.telemetry.events import EventLog
 from repro.telemetry.hub import Telemetry
@@ -54,6 +54,11 @@ class RealRunResult:
     snapshots_read: int
     sim_iterations: int
     final_loss: float
+    #: Degradation counters — non-zero only under injected chaos or a
+    #: genuinely failing backend (writes lost after retries, snapshots
+    #: skipped because their read kept failing).
+    snapshots_lost: int = 0
+    failed_ingests: int = 0
 
 
 def run_one_to_one_real(
@@ -73,7 +78,7 @@ def run_one_to_one_real(
     log = EventLog()
     log_lock = threading.Lock()
     stop = threading.Event()
-    counters = {"written": 0, "read": 0, "sim_iters": 0}
+    counters = {"written": 0, "read": 0, "sim_iters": 0, "lost": 0, "failed": 0}
     errors: list[BaseException] = []
 
     sim_cfg = config.sim_config or nekrs_simulation_config(
@@ -116,9 +121,15 @@ def run_one_to_one_real(
                         config.output_dim,
                         rng,
                     )
-                    sim.stage_write(f"snap{snapshot}", (x, y))
+                    try:
+                        sim.stage_write(f"snap{snapshot}", (x, y))
+                    except TransportError:
+                        # Degrade, don't crash: the snapshot is lost (the
+                        # retry budget is already spent), the sim carries on.
+                        counters["lost"] += 1
+                    else:
+                        counters["written"] += 1
                     snapshot += 1
-                    counters["written"] += 1
         except BaseException as exc:  # noqa: BLE001
             errors.append(exc)
             stop.set()
@@ -139,7 +150,16 @@ def run_one_to_one_real(
                 if span is not None:
                     span.finish()
                 if iteration % config.read_interval == 0:
-                    while ai.ingest_staged(f"snap{next_snapshot}"):
+                    while True:
+                        try:
+                            if not ai.ingest_staged(f"snap{next_snapshot}"):
+                                break
+                        except TransportError:
+                            # Unreadable even after retries: skip it and
+                            # train on what did arrive.
+                            counters["failed"] += 1
+                            next_snapshot += 1
+                            continue
                         next_snapshot += 1
                         counters["read"] += 1
             final_loss[0] = ai.last_loss
@@ -171,4 +191,6 @@ def run_one_to_one_real(
         snapshots_read=counters["read"],
         sim_iterations=counters["sim_iters"],
         final_loss=final_loss[0],
+        snapshots_lost=counters["lost"],
+        failed_ingests=counters["failed"],
     )

@@ -10,7 +10,11 @@ from repro.transport.models import (
 
 
 def test_extension_registry():
-    assert set(EXTENSION_EXPERIMENTS) == {"ext_inference", "ext_futurework"}
+    assert set(EXTENSION_EXPERIMENTS) == {
+        "ext_inference",
+        "ext_futurework",
+        "ext_faults",
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,176 @@
+"""Fault-plan semantics: validation, determinism, (de)serialisation."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import FaultKind, FaultPlan, FaultSpec, StochasticFaultSpec, merge_plans
+
+
+# ---------------------------------------------------------------------------
+# FaultSpec validation
+# ---------------------------------------------------------------------------
+
+
+def test_spec_accepts_string_kind():
+    spec = FaultSpec(kind="backend_crash", at=1.0)
+    assert spec.kind is FaultKind.BACKEND_CRASH
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(kind=FaultKind.BACKEND_CRASH, at=-1.0),
+        dict(kind=FaultKind.BACKEND_CRASH, at=0.0, duration=-0.1),
+        dict(kind=FaultKind.MESSAGE_DROP, at=0.0, severity=1.5),  # probability
+        dict(kind=FaultKind.LINK_DEGRADE, at=0.0, severity=0.5),  # slowdown < 1
+        dict(kind=FaultKind.NODE_CRASH, at=0.0),  # missing target
+        dict(kind=FaultKind.PARTITION, at=0.0),  # missing target
+    ],
+)
+def test_spec_rejects_invalid(kwargs):
+    with pytest.raises(FaultPlanError):
+        FaultSpec(**kwargs)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises((FaultPlanError, ValueError)):
+        FaultSpec(kind="gamma_ray", at=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+def _plan(seed=7):
+    return FaultPlan(
+        faults=[FaultSpec(kind=FaultKind.BACKEND_CRASH, at=5.0, duration=1.0)],
+        stochastic=[
+            StochasticFaultSpec(
+                kind=FaultKind.NODE_CRASH,
+                rate=0.3,
+                horizon=30.0,
+                duration=2.0,
+                target="sim0",
+            ),
+            StochasticFaultSpec(
+                kind=FaultKind.MESSAGE_DROP,
+                rate=0.2,
+                horizon=30.0,
+                duration=1.0,
+                severity=0.5,
+            ),
+        ],
+        seed=seed,
+    )
+
+
+def test_materialize_deterministic():
+    assert _plan().materialize() == _plan().materialize()
+
+
+def test_materialize_sorted_by_time():
+    times = [f.at for f in _plan().materialize()]
+    assert times == sorted(times)
+
+
+def test_seed_changes_stochastic_draws():
+    a = [f.at for f in _plan(seed=1).materialize()]
+    b = [f.at for f in _plan(seed=2).materialize()]
+    assert a != b
+
+
+def test_scheduled_faults_unaffected_by_seed():
+    for plan in (_plan(seed=1), _plan(seed=2)):
+        assert any(
+            f.kind is FaultKind.BACKEND_CRASH and f.at == 5.0
+            for f in plan.materialize()
+        )
+
+
+def test_stochastic_respects_horizon_and_cap():
+    entry = StochasticFaultSpec(
+        kind=FaultKind.LINK_DEGRADE, rate=50.0, horizon=10.0, max_events=8, severity=2.0
+    )
+    plan = FaultPlan(stochastic=[entry], seed=0)
+    faults = plan.materialize()
+    assert len(faults) == 8  # capped
+    assert all(0.0 <= f.at < 10.0 for f in faults)
+
+
+def test_zero_rate_expands_to_nothing():
+    plan = FaultPlan(
+        stochastic=[StochasticFaultSpec(kind=FaultKind.MESSAGE_DROP, rate=0.0, horizon=5.0)]
+    )
+    assert plan.materialize() == []
+    assert plan.is_active  # the entry exists even though it never fires
+
+
+def test_disabled_plan_inactive():
+    plan = FaultPlan.disabled()
+    assert not plan.is_active
+    assert plan.materialize() == []
+    disabled_with_faults = FaultPlan(
+        faults=[FaultSpec(kind=FaultKind.BACKEND_CRASH, at=0.0)], enabled=False
+    )
+    assert not disabled_with_faults.is_active
+    assert disabled_with_faults.materialize() == []
+
+
+# ---------------------------------------------------------------------------
+# Serialisation
+# ---------------------------------------------------------------------------
+
+
+def test_dict_roundtrip():
+    plan = _plan()
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone.materialize() == plan.materialize()
+    assert clone.seed == plan.seed and clone.enabled == plan.enabled
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "plan.json"
+    plan = _plan()
+    plan.save(path)
+    assert FaultPlan.load(path).materialize() == plan.materialize()
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json or yaml: [")
+    with pytest.raises(FaultPlanError):
+        FaultPlan.load(path)
+
+
+def test_from_dict_rejects_missing_fields():
+    with pytest.raises(FaultPlanError):
+        FaultSpec.from_dict({"at": 1.0})
+    with pytest.raises(FaultPlanError):
+        FaultSpec.from_dict({"kind": "backend_crash"})
+    with pytest.raises(FaultPlanError):
+        StochasticFaultSpec.from_dict({"kind": "node_crash", "rate": 0.1})
+
+
+# ---------------------------------------------------------------------------
+# client_probabilities / merge
+# ---------------------------------------------------------------------------
+
+
+def test_client_probabilities_projection():
+    probs = _plan().client_probabilities()
+    assert probs["drop"] == pytest.approx(0.2 * 0.5)
+    assert probs["corrupt"] == 0.0
+    assert probs["unavailable"] == 0.0
+    crashy = FaultPlan(
+        stochastic=[StochasticFaultSpec(kind=FaultKind.BACKEND_CRASH, rate=0.4, horizon=1.0)]
+    )
+    assert crashy.client_probabilities()["unavailable"] == pytest.approx(0.4)
+
+
+def test_merge_plans():
+    assert merge_plans([None, None]) is None
+    merged = merge_plans([_plan(seed=3), None, FaultPlan.disabled()])
+    assert merged.seed == 3
+    assert merged.enabled
+    assert len(merged.faults) == 1 and len(merged.stochastic) == 2

@@ -1,0 +1,447 @@
+"""Retry policy, circuit breaker, and the resilient store/client wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.errors import (
+    BackendUnavailableError,
+    CircuitOpenError,
+    ConfigError,
+    CorruptPayloadError,
+    KeyNotStagedError,
+    TimeoutError as StoreTimeoutError,
+)
+from repro.transport.models import NodeLocalBackendModel, TransportOpContext
+from repro.transport.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    FaultingClient,
+    ResilienceStats,
+    ResilientClient,
+    ResilientSimDataStore,
+    RetryPolicy,
+    chaos_client_from_config,
+    policy_from_dict,
+    resilient_client_from_config,
+)
+from repro.transport.simstore import SimDataStore, SimStagingArea
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_deterministic_under_fixed_seed():
+    policy = RetryPolicy(max_attempts=6, jitter=0.25)
+    a = policy.schedule(np.random.default_rng(7))
+    b = policy.schedule(np.random.default_rng(7))
+    assert a == b
+    assert a != policy.schedule(np.random.default_rng(8))
+
+
+def test_backoff_is_bounded_exponential():
+    policy = RetryPolicy(
+        max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+    )
+    assert policy.schedule() == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_jitter_stays_within_band():
+    policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.2)
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        assert 0.8 <= policy.delay(1, rng) <= 1.2
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(max_attempts=0),
+        dict(base_delay=0.0),
+        dict(multiplier=0.5),
+        dict(jitter=1.0),
+        dict(timeout=-1.0),
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(ConfigError):
+        RetryPolicy(**kwargs)
+
+
+def test_policy_from_dict_ignores_unknown_keys():
+    policy = policy_from_dict({"max_attempts": 7, "breaker": False, "seed": 3})
+    assert policy.max_attempts == 7
+    assert policy.base_delay == RetryPolicy.base_delay
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_breaker_open_half_open_close_cycle():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=1.0, clock=clock)
+    assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED  # below threshold
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow()  # still open, reset_timeout not elapsed
+    clock.t = 1.5
+    assert breaker.allow()  # probe allowed
+    assert breaker.state is BreakerState.HALF_OPEN
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert [(f, t) for _, f, t in breaker.transitions] == [
+        ("closed", "open"),
+        ("open", "half-open"),
+        ("half-open", "closed"),
+    ]
+
+
+def test_breaker_reopens_on_failed_probe():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+    breaker.record_failure()
+    clock.t = 1.0
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow()
+    clock.t = 2.0
+    assert breaker.allow()  # opened_at was refreshed at t=1
+
+
+def test_breaker_success_resets_failure_streak():
+    breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+
+
+# ---------------------------------------------------------------------------
+# ResilientSimDataStore (virtual-time retries)
+# ---------------------------------------------------------------------------
+
+
+class FlakyStore:
+    """A SimDataStore stand-in that fails the first ``failures`` calls."""
+
+    def __init__(self, env, failures=0, exc=BackendUnavailableError, op_cost=0.01):
+        self.env = env
+        self.component = "sim"
+        self.backend = "stub"
+        self.rank = 0
+        self.op_timeout = None
+        self.calls = 0
+        self.failures = failures
+        self.exc = exc
+        self.op_cost = op_cost
+
+    def _op(self, result):
+        self.calls += 1
+        yield self.env.timeout(self.op_cost)
+        if self.calls <= self.failures:
+            raise self.exc("injected")
+        return result
+
+    def stage_write(self, key, nbytes, ctx=None):
+        return self._op(nbytes)
+
+    def stage_read(self, key, ctx=None):
+        return self._op(123.0)
+
+    def poll_staged_data(self, key, ctx=None):
+        return self._op(True)
+
+    def clean_staged_data(self, keys=None):
+        return 0
+
+
+def _drive(env, gen):
+    """Run one generator to completion, returning (result, error, t_end)."""
+    out = {}
+
+    def proc(env):
+        try:
+            out["result"] = yield from gen
+        except Exception as exc:  # noqa: BLE001 - recorded for assertions
+            out["error"] = exc
+        out["t"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    return out.get("result"), out.get("error"), out["t"]
+
+
+def test_sim_store_retries_in_virtual_time():
+    env = Environment()
+    inner = FlakyStore(env, failures=2)
+    policy = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0, jitter=0.0)
+    store = ResilientSimDataStore(inner, policy=policy)
+    result, error, t = _drive(env, store.stage_write("k", 100.0))
+    assert error is None and result == 100.0
+    assert inner.calls == 3
+    # 3 ops at 0.01 each, plus backoffs 0.1 and 0.2 — all virtual time.
+    assert t == pytest.approx(0.03 + 0.1 + 0.2)
+    assert store.stats.retries == 2
+    assert store.stats.recoveries == 1
+    assert store.stats.giveups == 0
+
+
+def test_sim_store_raises_nonretryable_immediately():
+    env = Environment()
+    inner = FlakyStore(env, failures=5, exc=KeyNotStagedError)
+    store = ResilientSimDataStore(inner, policy=RetryPolicy(max_attempts=4))
+    _, error, _ = _drive(env, store.stage_read("k"))
+    assert isinstance(error, KeyNotStagedError)
+    assert inner.calls == 1
+    assert store.stats.retries == 0
+    assert store.stats.giveups == 1
+
+
+def test_sim_store_gives_up_after_budget():
+    env = Environment()
+    inner = FlakyStore(env, failures=99)
+    store = ResilientSimDataStore(inner, policy=RetryPolicy(max_attempts=3, jitter=0.0))
+    _, error, _ = _drive(env, store.poll_staged_data("k"))
+    assert isinstance(error, BackendUnavailableError)
+    assert inner.calls == 3
+    assert store.stats.retries == 2
+    assert store.stats.giveups == 1
+
+
+def test_sim_store_breaker_opens_and_sheds_load():
+    env = Environment()
+    inner = FlakyStore(env, failures=99)
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10.0, clock=lambda: env.now)
+    store = ResilientSimDataStore(
+        inner, policy=RetryPolicy(max_attempts=3, jitter=0.0), breaker=breaker
+    )
+    _, error, _ = _drive(env, store.stage_write("k", 1.0))
+    # The second failure opens the breaker, so the third attempt of the
+    # same call is already rejected without touching the backend.
+    assert isinstance(error, CircuitOpenError)
+    assert breaker.state is BreakerState.OPEN
+    assert inner.calls == 2
+    calls_before = inner.calls
+    _, error2, _ = _drive(env, store.stage_write("k2", 1.0))
+    assert isinstance(error2, CircuitOpenError)
+    assert inner.calls == calls_before
+    assert store.stats.breaker_rejections == 2
+
+
+def test_sim_store_breaker_half_open_probe_closes():
+    env = Environment()
+    inner = FlakyStore(env, failures=2)
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=0.05, clock=lambda: env.now)
+    store = ResilientSimDataStore(
+        inner, policy=RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0), breaker=breaker
+    )
+    result, error, _ = _drive(env, store.stage_write("k", 1.0))
+    # Failures 1+2 open the breaker; the 0.1 s backoff exceeds the 0.05 s
+    # reset, so the next attempt goes through half-open and succeeds.
+    assert error is None and result == 1.0
+    states = [t for _, _, t in breaker.transitions]
+    assert states == ["open", "half-open", "closed"]
+
+
+def test_corruption_does_not_trip_breaker():
+    env = Environment()
+    inner = FlakyStore(env, failures=99, exc=CorruptPayloadError)
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=1.0, clock=lambda: env.now)
+    store = ResilientSimDataStore(
+        inner, policy=RetryPolicy(max_attempts=6, jitter=0.0), breaker=breaker
+    )
+    _, error, _ = _drive(env, store.stage_read("k"))
+    assert isinstance(error, CorruptPayloadError)  # budget exhausted
+    assert breaker.state is BreakerState.CLOSED  # backend answered every time
+
+
+def test_sim_store_success_path_adds_no_events():
+    """Wrapping a healthy store must not change the event sequence."""
+    def run(wrap):
+        env = Environment()
+        area = SimStagingArea()
+        store = SimDataStore(
+            env, NodeLocalBackendModel(), area, component="sim",
+            default_ctx=TransportOpContext(local=True),
+        )
+        if wrap:
+            store = ResilientSimDataStore(store)
+        times = []
+
+        def proc(env):
+            yield from store.stage_write("k", 1e6)
+            times.append(env.now)
+            yield from store.stage_read("k")
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        return times
+
+    assert run(wrap=False) == run(wrap=True)
+
+
+def test_simstore_op_timeout_aborts_stalled_ops():
+    env = Environment()
+    area = SimStagingArea()
+    store = SimDataStore(
+        env, NodeLocalBackendModel(), area, component="sim",
+        default_ctx=TransportOpContext(local=True), op_timeout=1e-9,
+    )
+    _, error, t = _drive(env, store.stage_write("k", 1e6))
+    assert isinstance(error, StoreTimeoutError)
+    assert error.retryable
+    assert t == pytest.approx(1e-9)  # the op is charged only up to the budget
+    assert not area.contains("k")  # nothing published
+
+
+# ---------------------------------------------------------------------------
+# ResilientClient / FaultingClient (real mode, wall clock injected away)
+# ---------------------------------------------------------------------------
+
+
+class FakeClient:
+    backend_name = "fake"
+    name = "fake-client"
+    stats = None
+    event_log = None
+    telemetry = None
+
+    def __init__(self, failures=0, exc=BackendUnavailableError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+        self.data = {}
+        self.closed = False
+
+    def _maybe_fail(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc("injected")
+
+    def stage_write(self, key, value):
+        self._maybe_fail()
+        self.data[key] = value
+        return 0.001
+
+    def stage_read(self, key):
+        self._maybe_fail()
+        return self.data[key]
+
+    def poll_staged_data(self, key):
+        self._maybe_fail()
+        return key in self.data
+
+    def clean_staged_data(self, keys=None):
+        n = len(self.data)
+        self.data.clear()
+        return n
+
+    def close(self):
+        self.closed = True
+
+
+def test_resilient_client_retries_with_injected_sleep():
+    sleeps = []
+    inner = FakeClient(failures=2)
+    client = ResilientClient(
+        inner,
+        policy=RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0, jitter=0.0),
+        sleep=sleeps.append,
+    )
+    client.stage_write("k", b"v")
+    assert inner.calls == 3
+    assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+    assert client.resilience.retries == 2
+    assert client.resilience.recoveries == 1
+
+
+def test_resilient_client_gives_up_and_reraises():
+    inner = FakeClient(failures=99)
+    client = ResilientClient(
+        inner, policy=RetryPolicy(max_attempts=2), sleep=lambda _: None
+    )
+    with pytest.raises(BackendUnavailableError):
+        client.stage_read("k")
+    assert inner.calls == 2
+    assert client.resilience.giveups == 1
+
+
+def test_resilient_client_shares_stats_and_passthrough():
+    inner = FakeClient()
+    stats = ResilienceStats()
+    with ResilientClient(inner, stats=stats, sleep=lambda _: None) as client:
+        assert client.backend_name == "fake"
+        client.stage_write("k", b"v")
+        assert client.poll_staged_data("k")
+        assert client.stage_read("k") == b"v"
+        assert client.clean_staged_data() == 1
+    assert inner.closed
+    assert stats.retries == 0 and stats.failures == 0
+
+
+def test_faulting_client_is_seeded_deterministic():
+    def run(seed):
+        inner = FakeClient()
+        chaos = FaultingClient(inner, unavailable=0.3, drop=0.3, corrupt=0.3, seed=seed)
+        outcomes = []
+        for i in range(50):
+            for op in ("w", "r", "p"):
+                try:
+                    if op == "w":
+                        chaos.stage_write(f"k{i}", b"v")
+                    elif op == "r":
+                        chaos.stage_read(f"k{i}")
+                    else:
+                        chaos.poll_staged_data(f"k{i}")
+                    outcomes.append("ok")
+                except (BackendUnavailableError, CorruptPayloadError, KeyError) as exc:
+                    outcomes.append(type(exc).__name__)
+        return outcomes, dict(chaos.injected)
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)
+
+
+def test_faulting_client_rejects_bad_probabilities():
+    with pytest.raises(ConfigError):
+        FaultingClient(FakeClient(), drop=1.5)
+
+
+def test_config_driven_construction():
+    inner = FakeClient(failures=1)
+    client = resilient_client_from_config(
+        inner, {"max_attempts": 3, "breaker_threshold": 2, "seed": 1}, name="train", rank=0
+    )
+    assert isinstance(client, ResilientClient)
+    assert client.policy.max_attempts == 3
+    assert client.breaker is not None
+    client._sleep = lambda _: None
+    client.stage_write("k", b"v")
+    assert client.resilience.retries == 1
+
+    no_breaker = resilient_client_from_config(FakeClient(), {"breaker": False})
+    assert no_breaker.breaker is None
+
+    chaos = chaos_client_from_config(
+        FakeClient(), {"drop": 0.5, "seed": 2}, name="sim", rank=1
+    )
+    assert isinstance(chaos, FaultingClient)
+    assert chaos.drop == 0.5 and chaos.unavailable == 0.0

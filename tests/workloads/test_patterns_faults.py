@@ -1,0 +1,231 @@
+"""Pattern runners under fault plans: degradation, determinism, and the
+bit-identical healthy-path regression."""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec, StochasticFaultSpec
+from repro.transport.models import NodeLocalBackendModel, RedisBackendModel
+from repro.transport.resilience import ResilienceConfig, RetryPolicy
+from repro.workloads.patterns import (
+    ManyToOneConfig,
+    OneToOneConfig,
+    run_many_to_one,
+    run_one_to_one,
+)
+
+
+def p1_config(**overrides):
+    defaults = dict(
+        train_iterations=100,
+        ranks_per_component=1,
+        write_interval=20,
+        read_interval=10,
+    )
+    defaults.update(overrides)
+    return OneToOneConfig(**defaults)
+
+
+def p2_config(**overrides):
+    defaults = dict(
+        n_simulations=3,
+        train_iterations=60,
+        write_interval=10,
+        read_interval=10,
+        reader_lanes=3,
+        poll_timeout=2.0,
+    )
+    defaults.update(overrides)
+    return ManyToOneConfig(**defaults)
+
+
+def p1_plan(seed=0):
+    return FaultPlan(
+        faults=[
+            FaultSpec(kind=FaultKind.BACKEND_CRASH, at=4.0, duration=1.0),
+            FaultSpec(kind=FaultKind.NODE_CRASH, at=7.0, duration=1.5, target="sim"),
+        ],
+        stochastic=[
+            StochasticFaultSpec(
+                kind=FaultKind.MESSAGE_CORRUPT,
+                rate=0.1,
+                horizon=10.0,
+                duration=1.0,
+                severity=0.3,
+            )
+        ],
+        seed=seed,
+    )
+
+
+def chaos_resilience(**overrides):
+    defaults = dict(
+        policy=RetryPolicy(max_attempts=4, base_delay=0.05, max_delay=0.5, timeout=10.0),
+        breaker_reset=0.5,
+    )
+    defaults.update(overrides)
+    return ResilienceConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# The healthy-path regression: faults disabled == faults never existed
+# ---------------------------------------------------------------------------
+
+
+def test_one_to_one_disabled_plan_is_bit_identical():
+    base = run_one_to_one(NodeLocalBackendModel(), p1_config())
+    gated = run_one_to_one(
+        NodeLocalBackendModel(), p1_config(), fault_plan=FaultPlan.disabled()
+    )
+    assert base.log.to_jsonl() == gated.log.to_jsonl()
+    assert base.makespan == gated.makespan
+    assert base.resilience is None and gated.resilience is None
+
+
+def test_many_to_one_disabled_plan_is_bit_identical():
+    base = run_many_to_one(RedisBackendModel(), p2_config())
+    gated = run_many_to_one(
+        RedisBackendModel(), p2_config(), fault_plan=FaultPlan.disabled()
+    )
+    assert base.log.to_jsonl() == gated.log.to_jsonl()
+    assert base.makespan == gated.makespan
+    assert base.resilience is None and gated.resilience is None
+
+
+# ---------------------------------------------------------------------------
+# Fault runs: deterministic, degraded, reported
+# ---------------------------------------------------------------------------
+
+
+def test_one_to_one_fault_run_deterministic():
+    a = run_one_to_one(
+        RedisBackendModel(), p1_config(), fault_plan=p1_plan(), resilience=chaos_resilience()
+    )
+    b = run_one_to_one(
+        RedisBackendModel(), p1_config(), fault_plan=p1_plan(), resilience=chaos_resilience()
+    )
+    assert a.log.to_jsonl() == b.log.to_jsonl()
+    assert a.resilience == b.resilience
+    assert a.makespan == b.makespan
+
+
+def test_one_to_one_fault_report_contents():
+    result = run_one_to_one(
+        RedisBackendModel(), p1_config(), fault_plan=p1_plan(), resilience=chaos_resilience()
+    )
+    rep = result.resilience
+    assert rep is not None
+    assert rep["faults"]["injected"] >= 2  # the two scheduled ones, at least
+    assert set(rep["faults"]["by_kind"]) >= {"backend_crash", "node_crash"}
+    assert rep["stats"]["retries"] > 0
+    assert rep["downtime_seconds"] > 0  # the sim node crash idles the producer
+    # Training still completes despite the chaos.
+    assert result.train_iterations == 100
+
+
+def test_one_to_one_training_survives_permanent_message_loss():
+    plan = FaultPlan(
+        faults=[
+            FaultSpec(
+                kind=FaultKind.MESSAGE_DROP, at=5.0, duration=20.0, severity=0.9
+            )
+        ]
+    )
+    result = run_one_to_one(
+        NodeLocalBackendModel(), p1_config(), fault_plan=plan,
+        resilience=chaos_resilience(),
+    )
+    rep = result.resilience
+    assert rep["lost_snapshots"] + rep["skipped_snapshots"] > 0
+    assert result.train_iterations == 100  # trainer skipped, not hung
+
+
+def test_many_to_one_fault_run_deterministic():
+    plan = p1_plan()
+    a = run_many_to_one(
+        RedisBackendModel(), p2_config(), fault_plan=plan, resilience=chaos_resilience()
+    )
+    b = run_many_to_one(
+        RedisBackendModel(), p2_config(), fault_plan=plan, resilience=chaos_resilience()
+    )
+    assert a.log.to_jsonl() == b.log.to_jsonl()
+    assert a.resilience == b.resilience
+
+
+def test_many_to_one_quorum_tolerates_dead_producer():
+    # sim0 dies before staging anything and never restarts; with quorum
+    # 2/3 the trainer keeps making progress and counts the misses.
+    plan = FaultPlan(
+        faults=[FaultSpec(kind=FaultKind.NODE_CRASH, at=0.2, target="sim0")]
+    )
+    config = p2_config(poll_timeout=0.5)
+    result = run_many_to_one(
+        RedisBackendModel(),
+        config,
+        fault_plan=plan,
+        resilience=chaos_resilience(quorum=2 / 3),
+    )
+    rep = result.resilience
+    assert result.train_iterations == config.train_iterations
+    assert rep["quorum_misses"] == 0  # 2 of 3 producers suffice
+    assert rep["missed_reads"] > 0  # sim0's updates time out
+
+
+def test_many_to_one_full_quorum_counts_misses():
+    plan = FaultPlan(
+        faults=[FaultSpec(kind=FaultKind.NODE_CRASH, at=0.2, target="sim0")]
+    )
+    config = p2_config(poll_timeout=0.5)
+    result = run_many_to_one(
+        RedisBackendModel(), config, fault_plan=plan, resilience=chaos_resilience()
+    )
+    rep = result.resilience
+    assert result.train_iterations == config.train_iterations  # no hang
+    assert rep["quorum_misses"] > 0
+
+
+def test_poll_timeout_bounds_reader_wait():
+    """A key that never arrives costs at most ~poll_timeout per lane."""
+    plan = FaultPlan(
+        faults=[FaultSpec(kind=FaultKind.NODE_CRASH, at=0.0, target="sim0")]
+    )
+    fast = run_many_to_one(
+        RedisBackendModel(), p2_config(poll_timeout=0.5, train_iterations=30),
+        fault_plan=plan, resilience=chaos_resilience(quorum=2 / 3),
+    )
+    slow = run_many_to_one(
+        RedisBackendModel(), p2_config(poll_timeout=4.0, train_iterations=30),
+        fault_plan=plan, resilience=chaos_resilience(quorum=2 / 3),
+    )
+    assert fast.makespan < slow.makespan
+
+
+def test_poll_timeout_validation():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        p2_config(poll_timeout=0.0)
+
+
+def test_staleness_bound_reported():
+    # Kill the producer permanently near the start: the trainer keeps
+    # training on stale data past the bound and reports the violation.
+    plan = FaultPlan(
+        faults=[FaultSpec(kind=FaultKind.NODE_CRASH, at=5.0, target="sim")]
+    )
+    result = run_one_to_one(
+        NodeLocalBackendModel(), p1_config(), fault_plan=plan,
+        resilience=chaos_resilience(staleness_bound=2.0),
+    )
+    assert result.resilience["staleness_violations"] >= 1
+
+
+def test_resilience_config_without_plan_reports_clean_stats():
+    """An explicit resilience config on a healthy run reports zeros."""
+    result = run_one_to_one(
+        NodeLocalBackendModel(), p1_config(), resilience=chaos_resilience()
+    )
+    rep = result.resilience
+    assert rep is not None
+    assert rep["stats"]["retries"] == 0
+    assert rep["stats"]["giveups"] == 0
+    assert rep["lost_snapshots"] == 0
