@@ -5,6 +5,10 @@ question for a custom workload without a supercomputer: given your message
 size and node count, which transport backend should the workflow use?
 
 Run:  python examples/aurora_scale_simulation.py [size_mb] [nodes]
+Test: PYTHONPATH=src python -m pytest -x -q   (tier-1 suite; covers the examples)
+
+Paper-scale sweeps of the same machinery run via the parallel sweep
+engine: python -m repro.experiments all --parallel 4 --cache-dir .sweep-cache
 """
 
 import sys

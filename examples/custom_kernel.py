@@ -6,6 +6,10 @@ built-in, then driven by a Simulation component straight from a config
 that names it.
 
 Run:  python examples/custom_kernel.py
+Test: PYTHONPATH=src python -m pytest -x -q   (tier-1 suite; covers the examples)
+
+Paper-scale sweeps of the same machinery run via the parallel sweep
+engine: python -m repro.experiments all --parallel 4 --cache-dir .sweep-cache
 """
 
 import numpy as np

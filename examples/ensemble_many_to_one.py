@@ -7,6 +7,10 @@ trains on the pooled data, and reports how much of its runtime went to
 data transport vs compute — the quantity Fig 6 scales up.
 
 Run:  python examples/ensemble_many_to_one.py [backend] [n_simulations]
+Test: PYTHONPATH=src python -m pytest -x -q   (tier-1 suite; covers the examples)
+
+Paper-scale sweeps of the same machinery run via the parallel sweep
+engine: python -m repro.experiments all --parallel 4 --cache-dir .sweep-cache
 """
 
 import sys

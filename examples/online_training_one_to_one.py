@@ -8,6 +8,10 @@ event statistics the paper validates (Tables 2-3 style) plus the training
 loss trajectory, and renders a Fig 2-style timeline.
 
 Run:  python examples/online_training_one_to_one.py [backend]
+Test: PYTHONPATH=src python -m pytest -x -q   (tier-1 suite; covers the examples)
+
+Paper-scale sweeps of the same machinery run via the parallel sweep
+engine: python -m repro.experiments all --parallel 4 --cache-dir .sweep-cache
 """
 
 import sys

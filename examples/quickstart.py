@@ -7,6 +7,10 @@ runs a matmul kernel and stages a result; ``sim2`` (which depends on
 and nothing else changes — that is the point of the unified DataStore API.
 
 Run:  python examples/quickstart.py [backend]
+Test: PYTHONPATH=src python -m pytest -x -q   (tier-1 suite; covers the examples)
+
+Paper-scale sweeps of the same machinery run via the parallel sweep
+engine: python -m repro.experiments all --parallel 4 --cache-dir .sweep-cache
 """
 
 import sys

@@ -6,6 +6,10 @@ trainer blocks on "next step", trains a GNN surrogate on each arriving
 snapshot, and back-pressure keeps the producer from running away.
 
 Run:  python examples/streaming_pipeline.py
+Test: PYTHONPATH=src python -m pytest -x -q   (tier-1 suite; covers the examples)
+
+Paper-scale sweeps of the same machinery run via the parallel sweep
+engine: python -m repro.experiments all --parallel 4 --cache-dir .sweep-cache
 """
 
 import threading

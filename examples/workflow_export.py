@@ -7,6 +7,10 @@ a JSON spec, reloads it, and drives it through the ExternalExecutor — the
 reference adapter showing the submit() contract an external manager needs.
 
 Run:  python examples/workflow_export.py
+Test: PYTHONPATH=src python -m pytest -x -q   (tier-1 suite; covers the examples)
+
+Paper-scale sweeps of the same machinery run via the parallel sweep
+engine: python -m repro.experiments all --parallel 4 --cache-dir .sweep-cache
 """
 
 import json

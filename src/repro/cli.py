@@ -6,6 +6,8 @@ Subcommands::
     python -m repro run --config app.json   # real-mode mini-app from JSON
     python -m repro simulate --pattern one-to-one --backend dragon \
         --nodes 64 --size-mb 4              # sim-mode what-if study
+    python -m repro sweep fig3 --quick --parallel 4 \
+        --cache-dir .sweep-cache            # cached parallel experiment sweep
     python -m repro trace-summary out.json  # top-k slowest spans per component
 
 Observability: ``run`` and ``simulate`` accept ``--trace out.json``
@@ -20,6 +22,13 @@ recovery/retry/data-loss counters; ``run --fault-plan`` projects the
 plan's stochastic entries onto per-operation chaos probabilities for the
 real backends. ``chaos`` runs the full seeded sweep (fault rate x
 backend x pattern) of :mod:`repro.experiments.ext_faults`.
+
+Sweep execution: ``sweep`` regenerates any experiment through the
+parallel sweep engine (:mod:`repro.sweep`) with live progress on stderr;
+``--parallel N`` fans grid points across worker processes and
+``--cache-dir DIR`` serves repeated points from the content-addressed
+result cache. Rendered output is bit-identical to the serial path for a
+fixed seed, whatever the worker count.
 
 The ``run`` config format::
 
@@ -292,6 +301,77 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+class _SweepProgress:
+    """Live per-point progress on stderr; tallies how each point was served."""
+
+    def __init__(self, stream=None):
+        import sys
+
+        self.stream = stream if stream is not None else sys.stderr
+        self.cached = 0
+        self.computed = 0
+        self.retried = 0
+
+    @property
+    def total_points(self) -> int:
+        return self.cached + self.computed
+
+    def __call__(self, done: int, total: int, label: str, source: str) -> None:
+        if source == "cache":
+            self.cached += 1
+        elif source == "retry":
+            self.retried += 1
+        else:
+            self.computed += 1
+        interactive = getattr(self.stream, "isatty", lambda: False)()
+        end = "\n" if (not interactive or done == total) else "\r"
+        line = f"[{done}/{total}] {label} ({source})"
+        if interactive:
+            line = line.ljust(79)
+        print(line, end=end, file=self.stream, flush=True)
+
+    def summary(self, name: str, elapsed: float) -> str:
+        parts = [f"{self.total_points} points", f"{self.cached} cached"]
+        if self.total_points:
+            parts[-1] += f" ({100.0 * self.cached / self.total_points:.0f}%)"
+        parts.append(f"{self.computed} computed")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        return f"sweep {name}: " + ", ".join(parts) + f" in {elapsed:.1f}s"
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import sys
+    import time
+
+    from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+    from repro.sweep import SweepOptions
+
+    registry = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+    names = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise ConfigError(
+            f"unknown experiments {unknown}; choose from {sorted(registry)}"
+        )
+
+    for name in names:
+        progress = _SweepProgress()
+        options = SweepOptions(
+            parallel=args.parallel,
+            cache_dir=args.cache_dir or None,
+            progress=progress,
+        )
+        start = time.perf_counter()
+        result = registry[name].run(quick=args.quick, sweep=options)
+        elapsed = time.perf_counter() - start
+        print(progress.summary(name, elapsed), file=sys.stderr)
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(result.render())
+        print()
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments import ext_faults
 
@@ -413,6 +493,33 @@ def build_parser() -> argparse.ArgumentParser:
     add_observability(simulate)
     add_fault_plan(simulate)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="regenerate experiments through the parallel sweep engine",
+    )
+    sweep.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="experiment ids or 'all' (e.g. fig3, table2, ext_faults)",
+    )
+    sweep.add_argument(
+        "--quick", action="store_true", help="scaled-down iteration counts"
+    )
+    sweep.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per grid (1 = serial, bit-identical default)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default="",
+        metavar="DIR",
+        help="content-addressed result cache; repeated points are served from disk",
+    )
+
     chaos = sub.add_parser(
         "chaos", help="seeded chaos sweep: fault rate x backend x pattern"
     )
@@ -449,6 +556,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "trace-summary":

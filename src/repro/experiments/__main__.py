@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.experiments all [--quick]
-    python -m repro.experiments fig3 fig6 [--quick]
+    python -m repro.experiments fig3 fig6 [--quick] [--parallel 4] [--cache-dir .sweep-cache]
 """
 
 from __future__ import annotations
@@ -13,6 +13,7 @@ import sys
 import time
 
 from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+from repro.sweep import SweepOptions
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,6 +35,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="scaled-down iteration counts (shapes preserved)",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per sweep grid (1 = serial, bit-identical default)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache; re-runs are served from disk",
+    )
     args = parser.parse_args(argv)
 
     registry = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
@@ -42,9 +56,13 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments {unknown}; choose from {list(registry)}")
 
+    sweep = None
+    if args.parallel != 1 or args.cache_dir:
+        sweep = SweepOptions(parallel=args.parallel, cache_dir=args.cache_dir)
+
     for name in names:
         start = time.perf_counter()
-        result = registry[name].run(quick=args.quick)
+        result = registry[name].run(quick=args.quick, sweep=sweep)
         elapsed = time.perf_counter() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(result.render())

@@ -10,6 +10,7 @@ benchmarks; the shapes (who wins, crossovers) are preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.telemetry.events import EventKind, EventLog
 from repro.telemetry.stats import mean_throughput, mean_transport_time
@@ -80,6 +81,48 @@ def measure_one_to_one(
         model, config, ctx=pattern1_context(n_nodes), telemetry=telemetry
     )
     return measurement_from_log(result.log)
+
+
+def sweep_values(
+    func: Callable,
+    cells: Iterable[Mapping[str, Any]],
+    *,
+    sweep=None,
+    telemetry=None,
+    telemetry_points: Optional[Sequence[bool]] = None,
+) -> list[Any]:
+    """Run a driver's grid through the sweep engine; values in cell order.
+
+    ``sweep`` is a :class:`~repro.sweep.engine.SweepOptions` (None = the
+    historical serial in-process path, bit-identical to the pre-engine
+    drivers). ``func`` must be a module-level function so worker
+    processes can import it; when ``telemetry`` is given, it is injected
+    into each cell marked by ``telemetry_points`` (default: all).
+    """
+    from repro.sweep import SweepEngine
+
+    engine = sweep if isinstance(sweep, SweepEngine) else SweepEngine(sweep)
+    return engine.map(
+        func, cells, telemetry=telemetry, telemetry_points=telemetry_points
+    )
+
+
+def nekrs_validation_point(which: str, iterations: int, seed: int = 0):
+    """One §4.1.1 validation run — shared by Table 2, Table 3, and Fig 2.
+
+    ``which`` is ``"original"`` (measured-jitter workflow) or
+    ``"miniapp"`` (SimAI-Bench replica). A shared point function means
+    the three fidelity artifacts reuse each other's cached runs when the
+    sweep cache is enabled.
+    """
+    from repro.workloads.nekrs import NekrsValidationSetup
+
+    setup = NekrsValidationSetup(train_iterations=iterations, seed=seed)
+    if which == "original":
+        return setup.run_original()
+    if which == "miniapp":
+        return setup.run_miniapp()
+    raise ValueError(f"unknown validation run {which!r}")
 
 
 def measurement_from_log(log: EventLog) -> TransportMeasurement:

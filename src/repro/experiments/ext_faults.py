@@ -179,11 +179,86 @@ def _p2_config(quick: bool, seed: int) -> ManyToOneConfig:
     )
 
 
+def baseline_point(pattern: int, backend: str, quick: bool, seed: int) -> tuple[float, float]:
+    """Healthy (makespan, goodput) for one pattern x backend pair."""
+    model = backend_models()[backend]
+    if pattern == 1:
+        healthy = run_one_to_one(model, _p1_config(quick, seed), ctx=pattern1_context(8))
+    else:
+        healthy = run_many_to_one(model, _p2_config(quick, seed))
+    return healthy.makespan, healthy.snapshots_read / healthy.makespan
+
+
+def cell_point(
+    pattern: int,
+    backend: str,
+    rate: float,
+    horizon: float,
+    quick: bool,
+    seed: int,
+    telemetry=None,
+) -> dict:
+    """One faulty (pattern, backend, rate) cell against a known horizon.
+
+    ``horizon`` is the healthy run's makespan (stage-1 baseline), which
+    anchors the plan's scheduled crashes in the middle half of the run.
+    """
+    model = backend_models()[backend]
+    plan = chaos_plan(rate, horizon=horizon, pattern=pattern, seed=seed)
+    resilience = chaos_resilience(pattern)
+    if pattern == 1:
+        faulty = run_one_to_one(
+            model,
+            _p1_config(quick, seed),
+            ctx=pattern1_context(8),
+            telemetry=telemetry,
+            fault_plan=plan,
+            resilience=resilience,
+        )
+        loss = (
+            faulty.resilience["lost_snapshots"]
+            + faulty.resilience["skipped_snapshots"]
+        )
+        stale = faulty.resilience["staleness_violations"]
+    else:
+        faulty = run_many_to_one(
+            model,
+            _p2_config(quick, seed),
+            telemetry=telemetry,
+            fault_plan=plan,
+            resilience=resilience,
+        )
+        loss = (
+            faulty.resilience["lost_snapshots"]
+            + faulty.resilience["missed_reads"]
+        )
+        stale = faulty.resilience["quorum_misses"]
+    stats = faulty.resilience["stats"]
+    faults = faulty.resilience["faults"]
+    return {
+        "makespan": faulty.makespan,
+        "goodput": faulty.snapshots_read / faulty.makespan,
+        "faults_injected": faults["injected"],
+        "retries": stats["retries"],
+        "giveups": stats["giveups"],
+        "recoveries": stats["recoveries"],
+        "mean_recovery_seconds": max(
+            stats["mean_recovery_seconds"], faults["mean_recovery_seconds"]
+        ),
+        "max_recovery_seconds": max(
+            stats["max_recovery_seconds"], faults["max_recovery_seconds"]
+        ),
+        "data_loss": loss,
+        "staleness_or_quorum": stale,
+    }
+
+
 def run(
     quick: bool = False,
     rates: Optional[list[float]] = None,
     seed: int = 0,
     telemetry=None,
+    sweep=None,
 ) -> FaultsExtResult:
     """Run the chaos sweep; fully deterministic for a fixed ``seed``.
 
@@ -191,89 +266,55 @@ def run(
     to the *last* faulty cell only — one run per trace keeps the Chrome
     timeline readable; fault injections appear as ``fault.inject`` /
     ``fault.recover`` instants and retries as ``transport.retry``.
+
+    The sweep runs in two engine stages because the fault plans are
+    anchored to each healthy makespan: stage 1 computes the baselines,
+    stage 2 sweeps the faulty cells with those makespans as horizons.
     """
+    from repro.experiments.common import sweep_values
+
     rates = rates if rates is not None else DEFAULT_RATES
-    models = backend_models()
     result = FaultsExtResult()
-    ctx1 = pattern1_context(8)
 
-    runs = []  # (pattern, backend, rate) in sweep order
-    for pattern in (1, 2):
-        for backend in CHAOS_BACKENDS:
-            for rate in rates:
-                runs.append((pattern, backend, rate))
+    combos = [(pattern, backend) for pattern in (1, 2) for backend in CHAOS_BACKENDS]
+    base_cells = [
+        {"pattern": pattern, "backend": backend, "quick": quick, "seed": seed}
+        for pattern, backend in combos
+    ]
+    baselines = sweep_values(baseline_point, base_cells, sweep=sweep)
+    for (pattern, backend), (makespan, goodput) in zip(combos, baselines):
+        result.baselines[(pattern, backend)] = (makespan, goodput)
 
-    for pattern in (1, 2):
-        for backend in CHAOS_BACKENDS:
-            model = models[backend]
-            if pattern == 1:
-                healthy = run_one_to_one(model, _p1_config(quick, seed), ctx=ctx1)
-            else:
-                healthy = run_many_to_one(model, _p2_config(quick, seed))
-            h_goodput = healthy.snapshots_read / healthy.makespan
-            result.baselines[(pattern, backend)] = (healthy.makespan, h_goodput)
-
-            for rate in rates:
-                plan = chaos_plan(
-                    rate, horizon=healthy.makespan, pattern=pattern, seed=seed
-                )
-                resilience = chaos_resilience(pattern)
-                is_last = (pattern, backend, rate) == runs[-1]
-                cell_telemetry = telemetry if is_last else None
-                if pattern == 1:
-                    faulty = run_one_to_one(
-                        model,
-                        _p1_config(quick, seed),
-                        ctx=ctx1,
-                        telemetry=cell_telemetry,
-                        fault_plan=plan,
-                        resilience=resilience,
-                    )
-                    loss = (
-                        faulty.resilience["lost_snapshots"]
-                        + faulty.resilience["skipped_snapshots"]
-                    )
-                    stale = faulty.resilience["staleness_violations"]
-                else:
-                    faulty = run_many_to_one(
-                        model,
-                        _p2_config(quick, seed),
-                        telemetry=cell_telemetry,
-                        fault_plan=plan,
-                        resilience=resilience,
-                    )
-                    loss = (
-                        faulty.resilience["lost_snapshots"]
-                        + faulty.resilience["missed_reads"]
-                    )
-                    stale = faulty.resilience["quorum_misses"]
-                stats = faulty.resilience["stats"]
-                faults = faulty.resilience["faults"]
-                result.cells.append(
-                    ChaosCell(
-                        pattern=pattern,
-                        backend=backend,
-                        rate=rate,
-                        makespan=faulty.makespan,
-                        healthy_makespan=healthy.makespan,
-                        goodput=faulty.snapshots_read / faulty.makespan,
-                        healthy_goodput=h_goodput,
-                        faults_injected=faults["injected"],
-                        retries=stats["retries"],
-                        giveups=stats["giveups"],
-                        recoveries=stats["recoveries"],
-                        mean_recovery_seconds=max(
-                            stats["mean_recovery_seconds"],
-                            faults["mean_recovery_seconds"],
-                        ),
-                        max_recovery_seconds=max(
-                            stats["max_recovery_seconds"],
-                            faults["max_recovery_seconds"],
-                        ),
-                        data_loss=loss,
-                        staleness_or_quorum=stale,
-                    )
-                )
+    cells = [
+        {
+            "pattern": pattern,
+            "backend": backend,
+            "rate": rate,
+            "horizon": result.baselines[(pattern, backend)][0],
+            "quick": quick,
+            "seed": seed,
+        }
+        for pattern, backend in combos
+        for rate in rates
+    ]
+    flags = [False] * len(cells)
+    if flags:
+        flags[-1] = True  # trace only the last cell (one run per trace)
+    values = sweep_values(
+        cell_point, cells, sweep=sweep, telemetry=telemetry, telemetry_points=flags
+    )
+    for cell, data in zip(cells, values):
+        h_makespan, h_goodput = result.baselines[(cell["pattern"], cell["backend"])]
+        result.cells.append(
+            ChaosCell(
+                pattern=cell["pattern"],
+                backend=cell["backend"],
+                rate=cell["rate"],
+                healthy_makespan=h_makespan,
+                healthy_goodput=h_goodput,
+                **data,
+            )
+        )
     return result
 
 

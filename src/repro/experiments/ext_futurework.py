@@ -39,6 +39,41 @@ def extended_models():
     return models
 
 
+def p1_sweep_point(backend: str, nbytes: float, iterations: int) -> float:
+    """Pattern 1 at 512 nodes: write throughput (GB/s) for one cell."""
+    m = measure_one_to_one(
+        extended_models()[backend], nbytes, n_nodes=512, train_iterations=iterations
+    )
+    return m.write_throughput / 1e9
+
+
+def p2_sweep_point(backend: str, nbytes: float, iterations: int) -> float:
+    """Pattern 2 at 128 nodes: training runtime per iteration for one cell."""
+    n_sims = 127
+    n_clients = n_sims + 12
+    res = run_many_to_one(
+        extended_models()[backend],
+        ManyToOneConfig(
+            n_simulations=n_sims,
+            train_iterations=iterations,
+            snapshot_nbytes=nbytes,
+        ),
+        write_ctx=TransportOpContext(
+            local=True, clients_per_server=12, concurrent_clients=n_clients
+        ),
+        read_ctx=TransportOpContext(
+            local=False,
+            clients_per_server=12,
+            fan_in=n_sims,
+            concurrent_peers=12,
+            concurrent_clients=n_clients,
+        ),
+    )
+    return runtime_per_iteration(
+        res.log.filter(component="train"), "train", iterations
+    )
+
+
 @dataclass
 class FutureWorkResult:
     #: pattern 1 write throughput at 512 nodes, backend -> series (GB/s)
@@ -71,52 +106,36 @@ class FutureWorkResult:
         return "\n\n".join(blocks)
 
 
-def run(quick: bool = False) -> FutureWorkResult:
+P1_BACKENDS = ("node-local", "filesystem", "daos", "streaming")
+P2_BACKENDS = ("filesystem", "dragon", "daos", "streaming")
+
+
+def run(quick: bool = False, sweep=None) -> FutureWorkResult:
+    from repro.experiments.common import sweep_values
+
     p1_iters = 300 if quick else 1500
     p2_iters = 100 if quick else 500
-    models = extended_models()
     result = FutureWorkResult()
 
     # Pattern 1 at 512 nodes: filesystem vs daos vs node-local vs streaming.
-    for backend in ("node-local", "filesystem", "daos", "streaming"):
-        series = []
-        for nbytes in SIZE_SWEEP_BYTES:
-            m = measure_one_to_one(
-                models[backend], nbytes, n_nodes=512, train_iterations=p1_iters
-            )
-            series.append(m.write_throughput / 1e9)
-        result.p1_write_512[backend] = series
+    p1_cells = [
+        {"backend": backend, "nbytes": nbytes, "iterations": p1_iters}
+        for backend in P1_BACKENDS
+        for nbytes in SIZE_SWEEP_BYTES
+    ]
+    p1_values = iter(sweep_values(p1_sweep_point, p1_cells, sweep=sweep))
+    for backend in P1_BACKENDS:
+        result.p1_write_512[backend] = [next(p1_values) for _ in SIZE_SWEEP_BYTES]
 
     # Pattern 2 at 128 nodes: filesystem vs dragon vs daos vs streaming.
-    n_sims = 127
-    n_clients = n_sims + 12
-    for backend in ("filesystem", "dragon", "daos", "streaming"):
-        series = []
-        for nbytes in SIZE_SWEEP_BYTES:
-            res = run_many_to_one(
-                models[backend],
-                ManyToOneConfig(
-                    n_simulations=n_sims,
-                    train_iterations=p2_iters,
-                    snapshot_nbytes=nbytes,
-                ),
-                write_ctx=TransportOpContext(
-                    local=True, clients_per_server=12, concurrent_clients=n_clients
-                ),
-                read_ctx=TransportOpContext(
-                    local=False,
-                    clients_per_server=12,
-                    fan_in=n_sims,
-                    concurrent_peers=12,
-                    concurrent_clients=n_clients,
-                ),
-            )
-            series.append(
-                runtime_per_iteration(
-                    res.log.filter(component="train"), "train", p2_iters
-                )
-            )
-        result.p2_runtime_128[backend] = series
+    p2_cells = [
+        {"backend": backend, "nbytes": nbytes, "iterations": p2_iters}
+        for backend in P2_BACKENDS
+        for nbytes in SIZE_SWEEP_BYTES
+    ]
+    p2_values = iter(sweep_values(p2_sweep_point, p2_cells, sweep=sweep))
+    for backend in P2_BACKENDS:
+        result.p2_runtime_128[backend] = [next(p2_values) for _ in SIZE_SWEEP_BYTES]
     return result
 
 

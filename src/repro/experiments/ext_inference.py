@@ -16,9 +16,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
-from repro.experiments.common import backend_models, pattern1_context
+from repro.experiments.common import backend_models, pattern1_context, sweep_values
 from repro.transport.models import StreamingBackendModel
 from repro.workloads.inference import InferenceLoopConfig, run_inference_loop
+
+
+def _inference_models():
+    models = dict(backend_models())
+    models["streaming"] = StreamingBackendModel()
+    return models
+
+
+def sweep_point(backend: str, iterations: int) -> tuple[float, float]:
+    """One grid cell: (mean round trip s, transport fraction of the loop)."""
+    res = run_inference_loop(
+        _inference_models()[backend],
+        InferenceLoopConfig(iterations=iterations),
+        ctx=pattern1_context(8),
+    )
+    return res.mean_round_trip, res.transport_fraction
 
 
 @dataclass
@@ -38,16 +54,14 @@ class InferenceExtResult:
         )
 
 
-def run(quick: bool = False) -> InferenceExtResult:
+def run(quick: bool = False, sweep=None) -> InferenceExtResult:
     iterations = 50 if quick else 500
-    config = InferenceLoopConfig(iterations=iterations)
-    models = dict(backend_models())
-    models["streaming"] = StreamingBackendModel()
+    names = list(_inference_models())
+    cells = [{"backend": name, "iterations": iterations} for name in names]
+    values = sweep_values(sweep_point, cells, sweep=sweep)
     result = InferenceExtResult()
-    ctx = pattern1_context(8)
-    for name, model in models.items():
-        res = run_inference_loop(model, config, ctx=ctx)
-        result.rows[name] = (res.mean_round_trip, res.transport_fraction)
+    for name, value in zip(names, values):
+        result.rows[name] = value
     return result
 
 

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from repro.core.validation import timeline_similarity
 from repro.telemetry.events import EventKind, EventLog
 from repro.telemetry.timeline import Timeline
-from repro.workloads.nekrs import NekrsValidationSetup
 
 
 @dataclass
@@ -40,11 +39,15 @@ class Fig2Result:
         )
 
 
-def run(quick: bool = False, seed: int = 0) -> Fig2Result:
+def run(quick: bool = False, seed: int = 0, sweep=None) -> Fig2Result:
+    from repro.experiments.common import nekrs_validation_point, sweep_values
+
     iterations = 300 if quick else 2000
-    setup = NekrsValidationSetup(train_iterations=iterations, seed=seed)
-    original = setup.run_original()
-    miniapp = setup.run_miniapp()
+    cells = [
+        {"which": which, "iterations": iterations, "seed": seed}
+        for which in ("original", "miniapp")
+    ]
+    original, miniapp = sweep_values(nekrs_validation_point, cells, sweep=sweep)
     # A representative mid-run segment, as in the paper's figure.
     end = min(original.makespan, miniapp.makespan)
     window = (0.0, min(60.0, end))

@@ -24,9 +24,24 @@ from repro.experiments.common import (
     SIZE_SWEEP_MB,
     backend_models,
     measure_one_to_one,
+    sweep_values,
 )
 
 SCALES = (8, 512)
+
+
+def sweep_point(
+    backend: str, nbytes: float, scale: int, iterations: int, telemetry=None
+) -> tuple[float, float]:
+    """One grid cell: (read, write) throughput for backend x size x scale."""
+    m = measure_one_to_one(
+        backend_models()[backend],
+        nbytes,
+        n_nodes=scale,
+        train_iterations=iterations,
+        telemetry=telemetry,
+    )
+    return m.read_throughput, m.write_throughput
 
 
 @dataclass
@@ -58,33 +73,35 @@ class Fig3Result:
         return "\n\n".join(blocks)
 
 
-def run(quick: bool = False, backends=None, telemetry=None) -> Fig3Result:
+def run(quick: bool = False, backends=None, telemetry=None, sweep=None) -> Fig3Result:
     """Run the sweep; ``backends`` restricts it, ``telemetry`` records it.
 
     When a :class:`~repro.telemetry.hub.Telemetry` hub is given, every
     pattern run contributes transport/workload spans and engine gauge
-    series to it — one trace file covering the whole sweep.
+    series to it — one trace file covering the whole sweep. ``sweep``
+    (a :class:`~repro.sweep.engine.SweepOptions`) fans the grid out
+    across worker processes and/or a result cache; for a fixed seed the
+    rendered output is bit-identical to the serial path.
     """
     iterations = 300 if quick else 2500
-    models = backend_models()
+    backends = list(backends or PATTERN1_BACKENDS)
+    cells = [
+        {"backend": backend, "nbytes": nbytes, "scale": scale, "iterations": iterations}
+        for scale in SCALES
+        for backend in backends
+        for nbytes in SIZE_SWEEP_BYTES
+    ]
+    values = sweep_values(sweep_point, cells, sweep=sweep, telemetry=telemetry)
+
     result = Fig3Result()
+    it = iter(values)
     for scale in SCALES:
         result.read[scale] = {}
         result.write[scale] = {}
-        for backend in backends or PATTERN1_BACKENDS:
-            reads, writes = [], []
-            for nbytes in SIZE_SWEEP_BYTES:
-                m = measure_one_to_one(
-                    models[backend],
-                    nbytes,
-                    n_nodes=scale,
-                    train_iterations=iterations,
-                    telemetry=telemetry,
-                )
-                reads.append(m.read_throughput)
-                writes.append(m.write_throughput)
-            result.read[scale][backend] = reads
-            result.write[scale][backend] = writes
+        for backend in backends:
+            series = [next(it) for _ in SIZE_SWEEP_BYTES]
+            result.read[scale][backend] = [read for read, _ in series]
+            result.write[scale][backend] = [write for _, write in series]
     return result
 
 

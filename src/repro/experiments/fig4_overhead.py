@@ -23,10 +23,21 @@ from repro.experiments.common import (
     SIZE_SWEEP_MB,
     backend_models,
     measure_one_to_one,
+    sweep_values,
 )
 
 BACKENDS = ("node-local", "filesystem")
 SCALES = (8, 512)
+
+
+def sweep_point(
+    backend: str, scale: int, nbytes: float, iterations: int
+) -> tuple[float, float, float, float]:
+    """One grid cell: (read s, write s, sim-iter s, ai-iter s)."""
+    m = measure_one_to_one(
+        backend_models()[backend], nbytes, n_nodes=scale, train_iterations=iterations
+    )
+    return m.read_time, m.write_time, m.sim_iter_time, m.ai_iter_time
 
 
 @dataclass
@@ -71,26 +82,27 @@ class Fig4Result:
         return "\n\n".join(blocks)
 
 
-def run(quick: bool = False) -> Fig4Result:
+def run(quick: bool = False, sweep=None) -> Fig4Result:
     iterations = 300 if quick else 2500
-    models = backend_models()
+    cells = [
+        {"backend": backend, "scale": scale, "nbytes": nbytes, "iterations": iterations}
+        for backend in BACKENDS
+        for scale in SCALES
+        for nbytes in SIZE_SWEEP_BYTES
+    ]
+    values = sweep_values(sweep_point, cells, sweep=sweep)
+
     result = Fig4Result()
+    it = iter(values)
     for backend in BACKENDS:
         for scale in SCALES:
-            reads, writes = [], []
-            sim_iter = ai_iter = 0.0
-            for nbytes in SIZE_SWEEP_BYTES:
-                m = measure_one_to_one(
-                    models[backend], nbytes, n_nodes=scale, train_iterations=iterations
-                )
-                reads.append(m.read_time)
-                writes.append(m.write_time)
-                sim_iter, ai_iter = m.sim_iter_time, m.ai_iter_time
+            series = [next(it) for _ in SIZE_SWEEP_BYTES]
+            sim_iter, ai_iter = series[-1][2], series[-1][3]
             result.panels[(backend, scale)] = Fig4Panel(
                 backend=backend,
                 n_nodes=scale,
-                read_time=reads,
-                write_time=writes,
+                read_time=[s[0] for s in series],
+                write_time=[s[1] for s in series],
                 sim_iter_time=sim_iter,
                 ai_iter_time=ai_iter,
             )

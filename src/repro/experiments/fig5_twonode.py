@@ -24,11 +24,34 @@ from repro.experiments.common import (
     SIZE_SWEEP_BYTES,
     SIZE_SWEEP_MB,
     backend_models,
+    sweep_values,
 )
 from repro.telemetry.events import EventKind
 from repro.telemetry.stats import mean_throughput
 from repro.transport.models import TransportOpContext
 from repro.workloads.patterns import ManyToOneConfig, run_many_to_one
+
+
+def sweep_point(backend: str, nbytes: float, iterations: int) -> tuple[float, float]:
+    """One grid cell: (non-local read, local write) throughput."""
+    config = ManyToOneConfig(
+        n_simulations=1,
+        train_iterations=iterations,
+        snapshot_nbytes=nbytes,
+        reader_lanes=1,
+    )
+    res = run_many_to_one(
+        backend_models()[backend],
+        config,
+        write_ctx=TransportOpContext(local=True, clients_per_server=12),
+        read_ctx=TransportOpContext(
+            local=False, clients_per_server=12, fan_in=1, concurrent_clients=2
+        ),
+    )
+    return (
+        mean_throughput(res.log, EventKind.READ),
+        mean_throughput(res.log, EventKind.WRITE),
+    )
 
 
 @dataclass
@@ -52,31 +75,21 @@ class Fig5Result:
         return "\n\n".join(blocks)
 
 
-def run(quick: bool = False) -> Fig5Result:
+def run(quick: bool = False, sweep=None) -> Fig5Result:
     iterations = 300 if quick else 2500
-    models = backend_models()
+    cells = [
+        {"backend": backend, "nbytes": nbytes, "iterations": iterations}
+        for backend in PATTERN2_BACKENDS
+        for nbytes in SIZE_SWEEP_BYTES
+    ]
+    values = sweep_values(sweep_point, cells, sweep=sweep)
+
     result = Fig5Result()
+    it = iter(values)
     for backend in PATTERN2_BACKENDS:
-        reads, writes = [], []
-        for nbytes in SIZE_SWEEP_BYTES:
-            config = ManyToOneConfig(
-                n_simulations=1,
-                train_iterations=iterations,
-                snapshot_nbytes=nbytes,
-                reader_lanes=1,
-            )
-            res = run_many_to_one(
-                models[backend],
-                config,
-                write_ctx=TransportOpContext(local=True, clients_per_server=12),
-                read_ctx=TransportOpContext(
-                    local=False, clients_per_server=12, fan_in=1, concurrent_clients=2
-                ),
-            )
-            reads.append(mean_throughput(res.log, EventKind.READ))
-            writes.append(mean_throughput(res.log, EventKind.WRITE))
-        result.read[backend] = reads
-        result.write[backend] = writes
+        series = [next(it) for _ in SIZE_SWEEP_BYTES]
+        result.read[backend] = [read for read, _ in series]
+        result.write[backend] = [write for _, write in series]
     return result
 
 

@@ -24,12 +24,47 @@ from repro.experiments.common import (
     SIZE_SWEEP_BYTES,
     SIZE_SWEEP_MB,
     backend_models,
+    sweep_values,
 )
 from repro.telemetry.stats import runtime_per_iteration
 from repro.transport.models import TransportOpContext
 from repro.workloads.patterns import ManyToOneConfig, run_many_to_one
 
 SCALES = (8, 128)
+
+
+def sweep_point(backend: str, scale: int, nbytes: float, iterations: int) -> float:
+    """One grid cell: training runtime per iteration (seconds)."""
+    n_sims = scale - 1  # one node reserved for the trainer
+    config = ManyToOneConfig(
+        n_simulations=n_sims,
+        train_iterations=iterations,
+        snapshot_nbytes=nbytes,
+    )
+    # Each pattern-2 component stages ONE array per interval (§4.2), so
+    # the staging-client population is one writer per simulation node
+    # plus the trainer's reader lanes — unlike pattern 1, where every
+    # rank stages its own data.
+    n_clients = n_sims + min(12, n_sims)
+    res = run_many_to_one(
+        backend_models()[backend],
+        config,
+        write_ctx=TransportOpContext(
+            local=True,
+            clients_per_server=12,
+            concurrent_clients=n_clients,
+        ),
+        read_ctx=TransportOpContext(
+            local=False,
+            clients_per_server=12,
+            fan_in=n_sims,
+            concurrent_peers=min(12, n_sims),
+            concurrent_clients=n_clients,
+        ),
+    )
+    return runtime_per_iteration(
+        res.log.filter(component="train"), "train", iterations
+    )
 
 
 @dataclass
@@ -55,48 +90,23 @@ class Fig6Result:
         return "\n\n".join(blocks)
 
 
-def run(quick: bool = False) -> Fig6Result:
+def run(quick: bool = False, sweep=None) -> Fig6Result:
     iterations = 200 if quick else 1000
-    models = backend_models()
+    cells = [
+        {"backend": backend, "scale": scale, "nbytes": nbytes, "iterations": iterations}
+        for scale in SCALES
+        for backend in PATTERN2_BACKENDS
+        for nbytes in SIZE_SWEEP_BYTES
+    ]
+    values = sweep_values(sweep_point, cells, sweep=sweep)
+
     result = Fig6Result()
+    it = iter(values)
     for scale in SCALES:
-        n_sims = scale - 1  # one node reserved for the trainer
-        result.runtime[scale] = {}
-        for backend in PATTERN2_BACKENDS:
-            runtimes = []
-            for nbytes in SIZE_SWEEP_BYTES:
-                config = ManyToOneConfig(
-                    n_simulations=n_sims,
-                    train_iterations=iterations,
-                    snapshot_nbytes=nbytes,
-                )
-                # Each pattern-2 component stages ONE array per interval
-                # (§4.2), so the staging-client population is one writer per
-                # simulation node plus the trainer's reader lanes — unlike
-                # pattern 1, where every rank stages its own data.
-                n_clients = n_sims + min(12, n_sims)
-                res = run_many_to_one(
-                    models[backend],
-                    config,
-                    write_ctx=TransportOpContext(
-                        local=True,
-                        clients_per_server=12,
-                        concurrent_clients=n_clients,
-                    ),
-                    read_ctx=TransportOpContext(
-                        local=False,
-                        clients_per_server=12,
-                        fan_in=n_sims,
-                        concurrent_peers=min(12, n_sims),
-                        concurrent_clients=n_clients,
-                    ),
-                )
-                runtimes.append(
-                    runtime_per_iteration(
-                        res.log.filter(component="train"), "train", iterations
-                    )
-                )
-            result.runtime[scale][backend] = runtimes
+        result.runtime[scale] = {
+            backend: [next(it) for _ in SIZE_SWEEP_BYTES]
+            for backend in PATTERN2_BACKENDS
+        }
     return result
 
 

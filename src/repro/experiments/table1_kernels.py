@@ -69,17 +69,31 @@ def _kernel_runs(name: str, tmpdir) -> bool:
     return True
 
 
-def run(quick: bool = False) -> Table1Result:
+def sweep_point(category: str, name: str) -> bool:
+    """One grid cell: is the kernel registered, and does it run on both devices?"""
     import tempfile
     from pathlib import Path
 
-    rows = []
+    if name not in list_kernels(category=_CATEGORY_MAP[category]):
+        return False
     with tempfile.TemporaryDirectory() as tmp:
-        for category, name, description in PAPER_TABLE1:
-            registered = name in list_kernels(category=_CATEGORY_MAP[category])
-            runs = registered and _kernel_runs(name, Path(tmp))
-            rows.append((category, name, description, runs))
-            assert kernel_class(name)  # raises if unregistered
+        return _kernel_runs(name, Path(tmp))
+
+
+def run(quick: bool = False, sweep=None) -> Table1Result:
+    from repro.experiments.common import sweep_values
+
+    cells = [
+        {"category": category, "name": name}
+        for category, name, _ in PAPER_TABLE1
+    ]
+    values = sweep_values(sweep_point, cells, sweep=sweep)
+    rows = [
+        (category, name, description, runs)
+        for (category, name, description), runs in zip(PAPER_TABLE1, values)
+    ]
+    for _, name, _ in PAPER_TABLE1:
+        assert kernel_class(name)  # raises if unregistered
     return Table1Result(rows=rows)
 
 

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.core.validation import CountComparison, compare_event_counts
-from repro.workloads.nekrs import NekrsValidationSetup
 
 PAPER_TABLE2 = {
     "original": {"sim_timestep": 10108, "sim_transport": 203, "train_timestep": 5000, "train_transport": 208},
@@ -72,11 +71,15 @@ class Table2Result:
         return table
 
 
-def run(quick: bool = False, seed: int = 0) -> Table2Result:
+def run(quick: bool = False, seed: int = 0, sweep=None) -> Table2Result:
+    from repro.experiments.common import nekrs_validation_point, sweep_values
+
     iterations = 500 if quick else 5000
-    setup = NekrsValidationSetup(train_iterations=iterations, seed=seed)
-    original = setup.run_original()
-    miniapp = setup.run_miniapp()
+    cells = [
+        {"which": which, "iterations": iterations, "seed": seed}
+        for which in ("original", "miniapp")
+    ]
+    original, miniapp = sweep_values(nekrs_validation_point, cells, sweep=sweep)
     return Table2Result(
         sim=compare_event_counts(original.log, miniapp.log, "sim"),
         train=compare_event_counts(original.log, miniapp.log, "train"),

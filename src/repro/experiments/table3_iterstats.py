@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.core.validation import IterationComparison, compare_iteration_stats
 from repro.telemetry.events import EventKind
-from repro.workloads.nekrs import NekrsValidationSetup
 
 PAPER_TABLE3 = {
     "original": {"sim_mean": 0.0312, "sim_std": 0.0273, "train_mean": 0.0611, "train_std": 0.1},
@@ -70,11 +69,15 @@ class Table3Result:
         return table
 
 
-def run(quick: bool = False, seed: int = 0) -> Table3Result:
+def run(quick: bool = False, seed: int = 0, sweep=None) -> Table3Result:
+    from repro.experiments.common import nekrs_validation_point, sweep_values
+
     iterations = 500 if quick else 5000
-    setup = NekrsValidationSetup(train_iterations=iterations, seed=seed)
-    original = setup.run_original()
-    miniapp = setup.run_miniapp()
+    cells = [
+        {"which": which, "iterations": iterations, "seed": seed}
+        for which in ("original", "miniapp")
+    ]
+    original, miniapp = sweep_values(nekrs_validation_point, cells, sweep=sweep)
     return Table3Result(
         sim=compare_iteration_stats(original.log, miniapp.log, "sim", EventKind.COMPUTE),
         train=compare_iteration_stats(original.log, miniapp.log, "train", EventKind.TRAIN),

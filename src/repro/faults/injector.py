@@ -43,6 +43,7 @@ class InjectedFault:
 
     @property
     def recovery_latency(self) -> Optional[float]:
+        """Outage span in virtual seconds; None while still open."""
         if self.recovered_at is None:
             return None
         return self.recovered_at - self.injected_at
@@ -80,6 +81,7 @@ class FaultInjector:
         return procs
 
     def _mark(self, name: str, spec: FaultSpec, **extra) -> None:
+        """Emit a telemetry instant for an inject/recover edge."""
         if self.telemetry is None:
             return
         self.telemetry.tracer.instant(
@@ -93,6 +95,7 @@ class FaultInjector:
         )
 
     def _drive(self, spec: FaultSpec) -> Generator:
+        """DES process: wait, apply the fault, and revert it after its window."""
         if spec.at > self.env.now:
             yield self.env.timeout(spec.at - self.env.now)
         record = InjectedFault(spec=spec, injected_at=self.env.now)

@@ -233,6 +233,7 @@ class FaultPlan:
 
     @property
     def is_active(self) -> bool:
+        """True when the plan will actually inject something."""
         return self.enabled and bool(self.faults or self.stochastic)
 
     def materialize(self) -> list[FaultSpec]:

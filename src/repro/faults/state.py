@@ -61,6 +61,7 @@ class FaultState:
 
     # -- applied by the injector -------------------------------------------
     def apply(self, spec: FaultSpec) -> None:
+        """Open one fault window (crashes count, slowdowns stack)."""
         kind = spec.kind
         if kind is FaultKind.BACKEND_CRASH:
             self._backend_down += 1
@@ -78,6 +79,7 @@ class FaultState:
             raise FaultPlanError(f"unhandled fault kind {kind}")
 
     def revert(self, spec: FaultSpec) -> None:
+        """Close a window opened by :meth:`apply`; any order is safe."""
         kind = spec.kind
         if kind is FaultKind.BACKEND_CRASH:
             self._backend_down = max(0, self._backend_down - 1)
@@ -99,6 +101,7 @@ class FaultState:
     # -- consulted by the transport layer ----------------------------------
     @property
     def backend_down(self) -> bool:
+        """True while at least one backend-crash window is open."""
         return self._backend_down > 0
 
     def is_component_down(self, component: str) -> bool:
@@ -106,6 +109,7 @@ class FaultState:
         return component in self._down_components
 
     def is_partitioned(self, component: str) -> bool:
+        """True while ``component`` is cut off from the backend."""
         return component in self._partitioned
 
     def failure_for(
@@ -133,6 +137,7 @@ class FaultState:
         return factor
 
     def _combined(self, probs: list[float]) -> float:
+        """Probability that at least one of the open windows fires."""
         p_ok = 1.0
         for p in probs:
             p_ok *= 1.0 - p

@@ -1,0 +1,215 @@
+"""Content-addressed on-disk cache for sweep point results.
+
+Each cache entry is one executed :class:`~repro.sweep.point.SweepPoint`:
+its return value plus the telemetry snapshot the run produced. Entries
+are addressed by :func:`point_key` — a SHA-256 over a *canonical* string
+rendering of (function identity, keyword arguments, package version) —
+so the same grid cell always maps to the same file, re-running a sweep
+only computes changed points, and bumping :data:`repro.__version__`
+(which any behaviour-relevant code change must do) invalidates every
+stale entry at once without a scan.
+
+Layout (two-level fan-out keeps directories small on big sweeps)::
+
+    <cache-dir>/
+      ab/abcdef....pkl      # pickle of {"value": ..., "snapshot": ..., "meta": ...}
+
+Writes are atomic (temp file + ``os.replace``) so a sweep killed
+mid-write never leaves a truncated entry; unreadable or corrupt entries
+are treated as misses and overwritten. Values are whatever the point
+function returned — they must pickle, which every experiment result in
+this repository does by construction (plain dataclasses and lists).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.errors import SweepError
+from repro.version import __version__
+
+#: Bytes written before the pickled payload, bumped when the entry
+#: format itself (not the cached computation) changes shape.
+_FORMAT = "repro-sweep-cache-v1"
+
+
+def fingerprint(obj: Any) -> str:
+    """A canonical, process-stable string rendering of ``obj``.
+
+    Covers the kwarg vocabulary of the experiment grids: primitives
+    (floats via ``repr`` for full precision), strings/bytes, sequences,
+    mappings (key-sorted), sets (element-sorted), enums, dataclasses
+    (class name + field mapping), numpy scalars/arrays, and objects
+    exposing ``to_spec()``/``to_dict()`` (distributions, fault plans).
+    Anything falling back to a default ``object.__repr__`` (which embeds
+    a memory address) is rejected — a cache key built from it would
+    never hit.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return repr(obj)
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; cast first so numpy float
+        # subclasses render identically to the equal python float.
+        return repr(float(obj))
+    if isinstance(obj, bytes):
+        return f"bytes:{hashlib.sha256(obj).hexdigest()}"
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)
+        }
+        return f"{type(obj).__name__}({fingerprint(fields)})"
+    for method in ("to_spec", "to_dict"):
+        converter = getattr(obj, method, None)
+        if callable(converter):
+            return f"{type(obj).__name__}:{fingerprint(converter())}"
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(fingerprint(v) for v in obj)
+        return f"[{inner}]" if isinstance(obj, list) else f"({inner})"
+    if isinstance(obj, dict):
+        inner = ",".join(
+            f"{fingerprint(k)}:{fingerprint(obj[k])}" for k in sorted(obj, key=repr)
+        )
+        return f"{{{inner}}}"
+    if isinstance(obj, (set, frozenset)):
+        return f"set[{','.join(sorted(fingerprint(v) for v in obj))}]"
+    try:  # numpy scalars and arrays, without importing numpy eagerly
+        import numpy as np
+
+        if isinstance(obj, np.generic):
+            return fingerprint(obj.item())
+        if isinstance(obj, np.ndarray):
+            return (
+                f"ndarray{obj.shape}:"
+                f"{hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()}"
+            )
+    except ImportError:  # pragma: no cover
+        pass
+    rendered = repr(obj)
+    if " at 0x" in rendered:
+        raise SweepError(
+            f"cannot fingerprint {type(obj).__name__} for the sweep cache: "
+            "give it a to_spec()/to_dict() or a value-based __repr__"
+        )
+    return f"{type(obj).__name__}:{rendered}"
+
+
+def point_key(func_path: str, kwargs: dict, version: str = __version__) -> str:
+    """The content address of one sweep point under one code version."""
+    material = f"{_FORMAT}|{version}|{func_path}|{fingerprint(dict(kwargs))}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting for one sweep run."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0  # unreadable/corrupt entries treated as misses
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Content-addressed pickle store under one directory."""
+
+    def __init__(self, directory: str | Path, version: str = __version__) -> None:
+        self.directory = Path(directory)
+        self.version = version
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def key_for(self, point) -> str:
+        """The cache key of a :class:`~repro.sweep.point.SweepPoint`.
+
+        The ``telemetry`` flag is deliberately *not* part of the key: it
+        changes what gets observed, never what gets computed, and the
+        entry stores the snapshot either way.
+        """
+        return point_key(point.func_path, dict(point.kwargs), self.version)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    # -- read --------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[dict]:
+        """The stored ``{"value", "snapshot", "meta"}`` entry, or None."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:  # truncated/corrupt/unpicklable -> recompute
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("format") != _FORMAT:
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    # -- write -------------------------------------------------------------
+    def store(self, key: str, value: Any, snapshot=None, meta: Optional[dict] = None) -> None:
+        """Atomically persist one point result (last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": _FORMAT,
+            "version": self.version,
+            "value": value,
+            "snapshot": snapshot,
+            "meta": dict(meta or {}),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- maintenance -------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*/*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

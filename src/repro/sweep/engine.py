@@ -1,0 +1,321 @@
+"""The sweep engine: serial or process-parallel execution of point grids.
+
+Execution contract (what the bit-identical regression tests rely on):
+
+* **Determinism** — every point is an independent deterministic
+  computation of its kwargs (the DES guarantees this for simulated
+  runs), so values do not depend on worker count, completion order, or
+  cache state. The engine returns values in *point order*, never
+  completion order, and merges telemetry snapshots in point order too.
+* **Serial fast path** — with default options (no parallelism, no
+  cache) a point's function is called in-process with the parent
+  telemetry hub, which is byte-for-byte the code path the experiment
+  drivers used before this layer existed.
+* **Worker path** — with ``parallel > 1`` (or a cache), each point runs
+  with its own :class:`~repro.telemetry.hub.Telemetry` hub; the engine
+  ships back a :class:`~repro.telemetry.snapshot.TelemetrySnapshot` and
+  folds it into the parent hub, so one trace/metrics document still
+  covers the whole sweep.
+* **Faults** — a point failure raising an exception whose class is
+  marked ``retryable`` (see :mod:`repro.errors`) is re-attempted up to
+  ``retries`` times; terminal failures surface as
+  :class:`~repro.errors.SweepPointError` naming the grid cell. Per-point
+  wall-clock ``timeout`` is enforced *inside* worker processes (via
+  ``SIGALRM``), so a wedged point converts into a retryable
+  :class:`~repro.errors.SweepTimeoutError` instead of hanging the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import SweepError, SweepPointError, SweepTimeoutError
+from repro.sweep.cache import CacheStats, ResultCache
+from repro.sweep.point import SweepPoint, points_from_grid
+
+#: Progress callback signature: (done_count, total, label, source) where
+#: source is "cache", "run", or "retry".
+ProgressFn = Callable[[int, int, str, str], None]
+
+_UNSET = object()
+
+
+@dataclass
+class SweepOptions:
+    """How a sweep executes (not *what* it computes — that's the points).
+
+    Defaults reproduce the historical serial driver behaviour exactly.
+    """
+
+    #: Worker processes; <= 1 means run in-process (serial).
+    parallel: int = 1
+    #: Result-cache directory; None disables caching.
+    cache_dir: Optional[str | Path] = None
+    #: Per-point wall-clock seconds before a worker aborts the attempt
+    #: with a retryable SweepTimeoutError. None = unlimited. Enforced in
+    #: worker processes only (the serial path cannot safely interrupt).
+    timeout: Optional[float] = None
+    #: Additional attempts granted to retryable point failures.
+    retries: int = 1
+    #: Live progress callback (see ProgressFn); None = silent.
+    progress: Optional[ProgressFn] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise SweepError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise SweepError(f"timeout must be positive, got {self.timeout}")
+
+
+@dataclass
+class SweepReport:
+    """What one engine run produced, beyond the values themselves."""
+
+    values: list[Any] = field(default_factory=list)
+    n_points: int = 0
+    computed: int = 0  # points actually executed (not cache-served)
+    retried: int = 0
+    cache: Optional[CacheStats] = None
+
+    @property
+    def from_cache(self) -> int:
+        return self.n_points - self.computed
+
+
+def _execute_point(point: SweepPoint, capture: bool):
+    """Run one point; return (value, telemetry snapshot or None)."""
+    hub = None
+    if capture and point.telemetry:
+        from repro.telemetry.hub import Telemetry
+
+        hub = Telemetry()
+    value = point.call(telemetry=hub)
+    snapshot = hub.snapshot() if hub is not None else None
+    return value, snapshot
+
+
+def _worker(point: SweepPoint, capture: bool, timeout: Optional[float]):
+    """Process-pool entry: point execution under an optional SIGALRM."""
+    if not timeout:
+        return _execute_point(point, capture)
+    import signal
+
+    if not hasattr(signal, "setitimer"):  # pragma: no cover - non-POSIX
+        return _execute_point(point, capture)
+
+    def _on_alarm(signum, frame):
+        raise SweepTimeoutError(point.label, timeout)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return _execute_point(point, capture)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _is_retryable(exc: BaseException) -> bool:
+    return bool(getattr(exc, "retryable", False))
+
+
+class SweepEngine:
+    """Executes :class:`SweepPoint` lists under one :class:`SweepOptions`."""
+
+    def __init__(
+        self,
+        options: Optional[SweepOptions] = None,
+        telemetry=None,
+    ) -> None:
+        self.options = options or SweepOptions()
+        self.telemetry = telemetry
+
+    # -- public API --------------------------------------------------------
+    def run(self, points: Sequence[SweepPoint], telemetry=None) -> SweepReport:
+        """Execute every point; values come back in point order.
+
+        ``telemetry`` (or the engine's hub) receives every point's
+        spans/instants/metrics — live on the serial no-cache path,
+        merged from per-worker snapshots otherwise — plus engine-level
+        ``sweep.*`` counters.
+        """
+        hub = telemetry if telemetry is not None else self.telemetry
+        points = list(points)
+        report = SweepReport(n_points=len(points))
+        if not points:
+            return report
+
+        cache = (
+            ResultCache(self.options.cache_dir) if self.options.cache_dir else None
+        )
+        values: list[Any] = [_UNSET] * len(points)
+        snapshots: list[Any] = [None] * len(points)
+        total = len(points)
+        done = 0
+
+        def emit(done_count: int, label: str, source: str) -> None:
+            if self.options.progress is not None:
+                self.options.progress(done_count, total, label, source)
+
+        # 1. Serve whatever the cache already has.
+        pending: list[tuple[int, Optional[str]]] = []
+        for index, point in enumerate(points):
+            if cache is None:
+                pending.append((index, None))
+                continue
+            key = cache.key_for(point)
+            entry = cache.lookup(key)
+            if entry is None:
+                pending.append((index, key))
+            else:
+                values[index] = entry["value"]
+                snapshots[index] = entry["snapshot"]
+                done += 1
+                emit(done, point.label, "cache")
+
+        # 2. Compute the rest, serially or across the pool.
+        #    Snapshot capture is needed whenever results leave this
+        #    process (workers) or outlive it (cache entries).
+        capture = hub is not None or cache is not None
+        if pending:
+            if self.options.parallel <= 1:
+                self._run_serial(
+                    points, pending, cache, hub, capture, values, snapshots, report,
+                    done, emit,
+                )
+            else:
+                self._run_pool(
+                    points, pending, cache, capture, values, snapshots, report,
+                    done, emit,
+                )
+            report.computed = len(pending)
+
+        # 3. Deterministic telemetry merge, in point order.
+        if hub is not None:
+            for snapshot in snapshots:
+                hub.merge(snapshot)
+            hub.metrics.counter("sweep.points").inc(len(points))
+            hub.metrics.counter("sweep.points.computed").inc(report.computed)
+            if cache is not None:
+                hub.metrics.counter("sweep.cache.hits").inc(cache.stats.hits)
+                hub.metrics.counter("sweep.cache.misses").inc(cache.stats.misses)
+
+        report.values = values
+        report.cache = cache.stats if cache is not None else None
+        return report
+
+    def map(
+        self,
+        func: Callable,
+        cells: Iterable[Mapping[str, Any]],
+        *,
+        telemetry=None,
+        telemetry_points: Optional[Sequence[bool]] = None,
+        label: Optional[Callable[[Mapping[str, Any]], str]] = None,
+    ) -> list[Any]:
+        """Run ``func`` over grid cells; returns values in cell order.
+
+        ``telemetry_points`` selects which cells get the telemetry
+        keyword injected (default: all of them when a hub is present).
+        """
+        cells = [dict(c) for c in cells]
+        hub = telemetry if telemetry is not None else self.telemetry
+        if telemetry_points is None:
+            flags = [hub is not None] * len(cells)
+        else:
+            flags = list(telemetry_points)
+            if len(flags) != len(cells):
+                raise SweepError(
+                    f"telemetry_points has {len(flags)} flags for {len(cells)} cells"
+                )
+        points = points_from_grid(func, cells, label=label)
+        points = [
+            SweepPoint(func=p.func, kwargs=p.kwargs, label=p.label, telemetry=flag)
+            for p, flag in zip(points, flags)
+        ]
+        return self.run(points, telemetry=hub).values
+
+    # -- serial path -------------------------------------------------------
+    def _run_serial(
+        self, points, pending, cache, hub, capture, values, snapshots, report,
+        done, emit,
+    ) -> None:
+        for index, key in pending:
+            point = points[index]
+            attempts = self.options.retries + 1
+            while True:
+                attempts -= 1
+                try:
+                    if cache is None and hub is not None:
+                        # Historical driver path: record live into the
+                        # parent hub (spans nest under any open spans).
+                        value, snapshot = point.call(telemetry=hub), None
+                    else:
+                        value, snapshot = _execute_point(point, capture)
+                    break
+                except Exception as exc:
+                    if attempts > 0 and _is_retryable(exc):
+                        report.retried += 1
+                        emit(done, point.label, "retry")
+                        continue
+                    raise SweepPointError(point.label, exc) from exc
+            values[index] = value
+            snapshots[index] = snapshot
+            if cache is not None and key is not None:
+                cache.store(key, value, snapshot, meta={"label": point.label})
+            done += 1
+            emit(done, point.label, "run")
+
+    # -- pool path ---------------------------------------------------------
+    def _run_pool(
+        self, points, pending, cache, capture, values, snapshots, report,
+        done, emit,
+    ) -> None:
+        max_workers = max(1, min(self.options.parallel, len(pending)))
+        attempts_left = {index: self.options.retries for index, _ in pending}
+        keys = dict(pending)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _worker, points[index], capture, self.options.timeout
+                ): index
+                for index, _ in pending
+            }
+            while futures:
+                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = futures.pop(future)
+                    point = points[index]
+                    try:
+                        value, snapshot = future.result()
+                    except Exception as exc:
+                        if attempts_left[index] > 0 and _is_retryable(exc):
+                            attempts_left[index] -= 1
+                            report.retried += 1
+                            emit(done, point.label, "retry")
+                            futures[
+                                pool.submit(
+                                    _worker, point, capture, self.options.timeout
+                                )
+                            ] = index
+                            continue
+                        for open_future in futures:
+                            open_future.cancel()
+                        raise SweepPointError(point.label, exc) from exc
+                    values[index] = value
+                    snapshots[index] = snapshot
+                    if cache is not None and keys.get(index) is not None:
+                        cache.store(
+                            keys[index], value, snapshot, meta={"label": point.label}
+                        )
+                    done += 1
+                    emit(done, point.label, "run")
+
+
+def default_parallelism() -> int:
+    """A sensible ``--parallel auto`` value: the machine's core count."""
+    return max(1, os.cpu_count() or 1)

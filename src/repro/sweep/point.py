@@ -1,0 +1,120 @@
+"""Declarative sweep points: one grid cell of an experiment.
+
+A :class:`SweepPoint` names a *module-level* function and the keyword
+arguments of one cell of an experiment grid (backend, message size, node
+count, seed, fault plan, ...). Points are plain data: they pickle across
+process boundaries, fingerprint stably for the result cache, and say
+nothing about *how* they run — that is the
+:class:`~repro.sweep.engine.SweepEngine`'s job.
+
+The point function must be importable by reference (defined at module
+top level), because worker processes re-import it; closures and lambdas
+are rejected early with a clear error rather than dying inside the pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.errors import SweepError
+
+
+def _callable_path(func: Callable) -> str:
+    """Stable ``module:qualname`` identity of a module-level callable."""
+    module = getattr(func, "__module__", None)
+    qualname = getattr(func, "__qualname__", None)
+    if not module or not qualname:
+        raise SweepError(f"sweep point function {func!r} has no importable identity")
+    if "<locals>" in qualname or "<lambda>" in qualname:
+        raise SweepError(
+            f"sweep point function {module}:{qualname} must be defined at module "
+            "top level (worker processes import it by reference)"
+        )
+    return f"{module}:{qualname}"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent, deterministic unit of sweep work.
+
+    ``kwargs`` must be picklable and fingerprintable (primitives,
+    containers, dataclasses, enums — see
+    :func:`repro.sweep.cache.fingerprint`). ``telemetry=True`` asks the
+    engine to inject a ``telemetry=`` keyword argument: the parent hub
+    when running serially without a cache, a fresh worker-local hub
+    (merged back afterwards) otherwise.
+    """
+
+    func: Callable
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+    telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        _callable_path(self.func)  # validate importability up front
+        if not self.label:
+            object.__setattr__(self, "label", self.default_label())
+
+    @property
+    def func_path(self) -> str:
+        return _callable_path(self.func)
+
+    def default_label(self) -> str:
+        inner = ",".join(f"{k}={self.kwargs[k]!r}" for k in sorted(self.kwargs))
+        return f"{self.func.__name__}({inner})"
+
+    def call(self, telemetry=None) -> Any:
+        """Execute the point in-process."""
+        kwargs = dict(self.kwargs)
+        if self.telemetry:
+            kwargs["telemetry"] = telemetry
+        return self.func(**kwargs)
+
+
+def grid(**axes: Iterable[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of named axes, in nested-loop order.
+
+    ``grid(a=[1, 2], b=["x", "y"])`` yields dicts in the same order as
+    ``for a in ...: for b in ...:`` — the *last* axis varies fastest, so
+    porting a serial driver loop nest onto a grid preserves its
+    execution (and telemetry) order.
+    """
+    names = list(axes)
+    values = [list(axes[name]) for name in names]
+    return [dict(zip(names, combo)) for combo in itertools.product(*values)]
+
+
+def derive_seed(base: int, *parts: Any, bits: int = 48) -> int:
+    """A deterministic per-point seed from a base seed and cell coordinates.
+
+    Stable across processes and Python versions (no ``hash()``): the
+    parts are rendered to a canonical string and digested with SHA-256.
+    Distinct coordinates get statistically independent seeds; the same
+    coordinates always get the same seed, which is what keeps cached and
+    recomputed points interchangeable.
+    """
+    text = repr((int(base),) + tuple(str(p) for p in parts))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[: (bits + 7) // 8], "big") % (1 << bits)
+
+
+def points_from_grid(
+    func: Callable,
+    cells: Iterable[Mapping[str, Any]],
+    *,
+    telemetry: bool = False,
+    label: Optional[Callable[[Mapping[str, Any]], str]] = None,
+) -> list[SweepPoint]:
+    """Wrap each grid cell dict into a :class:`SweepPoint` for ``func``."""
+    return [
+        SweepPoint(
+            func=func,
+            kwargs=dict(cell),
+            label=label(cell) if label else "",
+            telemetry=telemetry,
+        )
+        for cell in cells
+    ]

@@ -17,6 +17,7 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     labeled_name,
 )
+from repro.telemetry.snapshot import TelemetrySnapshot
 from repro.telemetry.stats import (
     Summary,
     event_counts,
@@ -46,6 +47,7 @@ __all__ = [
     "Stopwatch",
     "Summary",
     "Telemetry",
+    "TelemetrySnapshot",
     "Timeline",
     "TRANSPORT_KINDS",
     "Tracer",

@@ -85,6 +85,21 @@ class Telemetry:
         self.sampler = sampler
         return sampler
 
+    # -- cross-process transfer --------------------------------------------
+    def snapshot(self):
+        """Flatten collected state into a picklable
+        :class:`~repro.telemetry.snapshot.TelemetrySnapshot` (for shipping
+        a worker process's telemetry back to a parent hub)."""
+        from repro.telemetry.snapshot import TelemetrySnapshot
+
+        return TelemetrySnapshot.capture(self)
+
+    def merge(self, snapshot) -> None:
+        """Replay a :class:`~repro.telemetry.snapshot.TelemetrySnapshot`
+        (e.g. from a sweep worker) into this hub; None is a no-op."""
+        if snapshot is not None:
+            snapshot.merge_into(self)
+
     # -- output ------------------------------------------------------------
     def save_trace(self, path, event_log=None) -> int:
         """Write the Chrome trace file; returns the event count."""

@@ -237,6 +237,70 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
+    # -- cross-process state transfer --------------------------------------
+    def export_state(self, name: str) -> dict:
+        """Full mergeable state of one metric (plain data, picklable).
+
+        Unlike :meth:`to_dict` summaries, the exported state carries
+        everything needed to *combine* two registries: gauge sample
+        series and histogram retained samples included. Consumed by
+        :meth:`merge_state`; used by
+        :class:`~repro.telemetry.snapshot.TelemetrySnapshot` to ship
+        worker-process metrics back to the parent sweep hub.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            raise ReproError(f"unknown metric {name!r}")
+        if isinstance(metric, Counter):
+            return {"kind": "counter", "value": metric.value}
+        if isinstance(metric, Gauge):
+            return {
+                "kind": "gauge",
+                "value": metric.value,
+                "samples": list(metric.samples),
+            }
+        return {
+            "kind": "histogram",
+            "count": metric.count,
+            "sum": metric.sum,
+            "min": metric.min,
+            "max": metric.max,
+            "samples": list(metric._samples),
+            "max_samples": metric.max_samples,
+        }
+
+    def merge_state(self, name: str, state: dict) -> None:
+        """Fold one :meth:`export_state` dict into this registry.
+
+        Counters add; gauges concatenate their sample series (kept in
+        time order) and adopt the later last-value; histograms combine
+        count/sum/min/max exactly and pool their retained percentile
+        samples (re-thinned if the pool exceeds the cap).
+        """
+        kind = state.get("kind")
+        if kind == "counter":
+            self._get(name, Counter).inc(state["value"])
+        elif kind == "gauge":
+            gauge = self._get(name, Gauge)
+            gauge.samples.extend((float(t), float(v)) for t, v in state["samples"])
+            gauge.samples.sort(key=lambda tv: tv[0])
+            gauge.set(state["value"])
+        elif kind == "histogram":
+            hist = self._get(
+                name, Histogram, max_samples=state.get("max_samples", 65536)
+            )
+            if state["count"]:
+                hist.count += state["count"]
+                hist.sum += state["sum"]
+                hist.min = min(hist.min, state["min"])
+                hist.max = max(hist.max, state["max"])
+                hist._samples.extend(float(v) for v in state["samples"])
+                while len(hist._samples) >= hist.max_samples:
+                    hist._samples = hist._samples[::2]
+                    hist._stride *= 2
+        else:
+            raise ReproError(f"cannot merge metric state of kind {kind!r}")
+
     # -- exposition --------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-ready {name: metric summary} document."""

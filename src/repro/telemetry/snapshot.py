@@ -1,0 +1,143 @@
+"""Picklable telemetry snapshots: move a hub's contents across processes.
+
+The sweep engine (:mod:`repro.sweep`) runs every grid point in a worker
+process with its own :class:`~repro.telemetry.hub.Telemetry` hub — a
+live hub is not picklable (spans hold tracer back-references, gauges may
+hold closures). A :class:`TelemetrySnapshot` is the flattened, plain-data
+form of everything the hub collected:
+
+* finished **spans** (name/category/track/start/end/args),
+* **instants** (zero-duration markers, e.g. ``fault.inject``),
+* **counter samples** (the Chrome counter tracks),
+* **metric state** (counter totals, gauge time-series, histogram
+  aggregates *plus* their retained percentile samples).
+
+``TelemetrySnapshot.capture(hub)`` serialises a worker's hub;
+``snapshot.merge_into(hub)`` replays it into the parent hub so one trace
+file and one metrics document cover the whole sweep. Merging preserves
+the worker's internal event order (spans in finish order, instants in
+emission order) and is associative across workers: merging snapshots in
+deterministic point order yields a deterministic parent hub regardless
+of which worker finished first.
+
+Snapshots are also what the sweep's result cache stores next to each
+point value, so cache *hits* replay the same telemetry the original
+computation produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.telemetry.tracing import InstantEvent, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.hub import Telemetry
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Plain-data copy of one Telemetry hub's collected state."""
+
+    #: {name, category, pid, tid, start, end, args} per finished span.
+    spans: list[dict] = field(default_factory=list)
+    #: {name, time, pid, tid, category, args} per instant marker.
+    instants: list[dict] = field(default_factory=list)
+    #: {name, time, values, pid} per counter-track sample.
+    counters: list[dict] = field(default_factory=list)
+    #: metric name -> mergeable state dict (see ``MetricsRegistry.merge_state``).
+    metrics: dict[str, dict] = field(default_factory=dict)
+
+    # -- capture -----------------------------------------------------------
+    @classmethod
+    def capture(cls, telemetry: Optional["Telemetry"]) -> Optional["TelemetrySnapshot"]:
+        """Flatten ``telemetry`` into a picklable snapshot (None -> None)."""
+        if telemetry is None:
+            return None
+        tracer = telemetry.tracer
+        snap = cls()
+        for span in tracer.spans:
+            if not span.finished:  # open spans cannot be replayed faithfully
+                continue
+            snap.spans.append(
+                {
+                    "name": span.name,
+                    "category": span.category,
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "start": span.start,
+                    "end": span.end,
+                    "args": dict(span.args),
+                }
+            )
+        for inst in tracer.instants:
+            snap.instants.append(
+                {
+                    "name": inst.name,
+                    "time": inst.time,
+                    "pid": inst.pid,
+                    "tid": inst.tid,
+                    "category": inst.category,
+                    "args": dict(inst.args),
+                }
+            )
+        for sample in tracer.counters:
+            snap.counters.append(
+                {
+                    "name": sample.name,
+                    "time": sample.time,
+                    "values": dict(sample.values),
+                    "pid": sample.pid,
+                }
+            )
+        for name in telemetry.metrics.names():
+            snap.metrics[name] = telemetry.metrics.export_state(name)
+        return snap
+
+    # -- merge -------------------------------------------------------------
+    def merge_into(self, telemetry: "Telemetry") -> None:
+        """Replay this snapshot into ``telemetry`` (append semantics).
+
+        Spans/instants/counter samples are appended in this snapshot's
+        internal order with their original timestamps and tracks, so a
+        worker's relative event ordering survives the round trip. Metric
+        instruments are merged additively (counter totals add, gauge
+        sample series concatenate in time order, histogram aggregates
+        and retained samples combine).
+        """
+        tracer: Tracer = telemetry.tracer
+        for rec in self.spans:
+            tracer.add_span(
+                rec["name"],
+                rec["start"],
+                rec["end"] - rec["start"],
+                category=rec["category"],
+                pid=rec["pid"],
+                tid=rec["tid"],
+                **rec["args"],
+            )
+        for rec in self.instants:
+            tracer.instants.append(
+                InstantEvent(
+                    name=rec["name"],
+                    time=rec["time"],
+                    pid=rec["pid"],
+                    tid=rec["tid"],
+                    category=rec["category"],
+                    args=dict(rec["args"]),
+                )
+            )
+        for rec in self.counters:
+            tracer.counter(
+                rec["name"], rec["values"], pid=rec["pid"], time=rec["time"]
+            )
+        for name, state in self.metrics.items():
+            telemetry.metrics.merge_state(name, state)
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.counters)
+
+    def is_empty(self) -> bool:
+        return not (self.spans or self.instants or self.counters or self.metrics)

@@ -101,6 +101,8 @@ class RetryPolicy:
 
 
 class BreakerState(str, Enum):
+    """Breaker lifecycle: closed (healthy) -> open (shedding) -> half-open (probing)."""
+
     CLOSED = "closed"
     OPEN = "open"
     HALF_OPEN = "half-open"
@@ -152,12 +154,14 @@ class CircuitBreaker:
         return True
 
     def record_success(self) -> None:
+        """A call succeeded: close the circuit and reset the failure run."""
         self.consecutive_failures = 0
         if self.state is not BreakerState.CLOSED:
             self._transition(BreakerState.CLOSED)
             self.opened_at = None
 
     def record_failure(self) -> None:
+        """A call failed: trip on threshold, or re-open a failed probe."""
         self.consecutive_failures += 1
         if self.state is BreakerState.HALF_OPEN:
             self._transition(BreakerState.OPEN)
@@ -183,18 +187,22 @@ class ResilienceStats:
     _first_failure: dict[str, float] = field(default_factory=dict)
 
     def note_failure(self, track: str, t: float) -> None:
+        """Record a failed attempt; starts the recovery clock for ``track``."""
         self.failures += 1
         self._first_failure.setdefault(track, t)
 
     def note_retry(self) -> None:
+        """One more re-attempt after a retryable failure."""
         self.retries += 1
 
     def note_giveup(self, track: str) -> None:
+        """The retry budget ran out for one logical operation."""
         self.giveups += 1
         # Keep first-failure time: a later success still counts recovery
         # latency from the moment service was first lost.
 
     def note_rejection(self) -> None:
+        """The circuit breaker refused a call without attempting it."""
         self.breaker_rejections += 1
 
     def note_success(self, track: str, t: float) -> Optional[float]:
@@ -208,6 +216,7 @@ class ResilienceStats:
         return latency
 
     def as_dict(self) -> dict:
+        """The counters as reported through ``PatternResult.resilience``."""
         lat = self.recovery_latencies
         return {
             "retries": self.retries,
@@ -245,6 +254,7 @@ class ResilienceConfig:
             raise ConfigError("staleness_bound must be positive")
 
     def make_breaker(self, clock: Callable[[], float]) -> Optional[CircuitBreaker]:
+        """A breaker bound to ``clock`` (env.now in sim mode), or None."""
         if not self.use_breaker:
             return None
         return CircuitBreaker(
@@ -255,6 +265,7 @@ class ResilienceConfig:
 
 
 def _is_retryable(exc: BaseException) -> bool:
+    """Dispatch on the exception class's ``retryable`` marker."""
     return bool(getattr(exc, "retryable", False))
 
 
@@ -349,6 +360,7 @@ class ResilientSimDataStore:
         ).inc()
 
     def _attempt(self, op: str, key: str, thunk: Callable[[], Generator]) -> Generator:
+        """One logical op: breaker gate, attempt, classify, back off, repeat."""
         env = self.store.env
         track = f"{self.component}:{op}"
         for attempt in range(1, self.policy.max_attempts + 1):

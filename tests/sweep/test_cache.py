@@ -1,0 +1,138 @@
+"""Tests for the content-addressed result cache and its fingerprints."""
+
+import dataclasses
+import enum
+
+import numpy as np
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import ResultCache, SweepPoint, fingerprint, point_key
+
+
+def work(a, b=0):
+    return a + b
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclasses.dataclass
+class Cell:
+    backend: str
+    nbytes: int
+
+
+class Opaque:
+    pass
+
+
+class WithSpec:
+    def to_spec(self):
+        return {"kind": "lognormal", "mu": 1.5}
+
+
+# -- fingerprint -----------------------------------------------------------
+
+
+def test_fingerprint_primitives_round_trip_floats():
+    assert fingerprint(0.1) == repr(0.1)
+    assert fingerprint(True) != fingerprint(1) or repr(True) == repr(1)
+    assert fingerprint(None) == "None"
+    assert fingerprint("x") == "'x'"
+
+
+def test_fingerprint_dict_is_key_order_invariant():
+    assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+
+def test_fingerprint_distinguishes_list_from_tuple():
+    assert fingerprint([1, 2]) != fingerprint((1, 2))
+
+
+def test_fingerprint_enum_dataclass_and_spec_objects():
+    assert fingerprint(Color.RED) == "Color.RED"
+    assert fingerprint(Cell("redis", 4)) == fingerprint(Cell("redis", 4))
+    assert fingerprint(Cell("redis", 4)) != fingerprint(Cell("redis", 8))
+    assert fingerprint(WithSpec()) == fingerprint(WithSpec())
+
+
+def test_fingerprint_numpy_values():
+    assert fingerprint(np.float64(0.25)) == fingerprint(0.25)
+    a = np.arange(6, dtype=np.int64).reshape(2, 3)
+    assert fingerprint(a) == fingerprint(a.copy())
+    assert fingerprint(a) != fingerprint(a.T.copy())
+
+
+def test_fingerprint_rejects_address_based_repr():
+    with pytest.raises(SweepError, match="cannot fingerprint"):
+        fingerprint(Opaque())
+
+
+# -- point_key -------------------------------------------------------------
+
+
+def test_point_key_stable_and_sensitive():
+    key = point_key("m:f", {"a": 1})
+    assert key == point_key("m:f", {"a": 1})
+    assert key != point_key("m:f", {"a": 2})
+    assert key != point_key("m:g", {"a": 1})
+    assert key != point_key("m:f", {"a": 1}, version="999.0")
+    assert len(key) == 64  # sha256 hex
+
+
+def test_telemetry_flag_not_part_of_cache_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    plain = SweepPoint(func=work, kwargs={"a": 1})
+    traced = SweepPoint(func=work, kwargs={"a": 1}, telemetry=True)
+    assert cache.key_for(plain) == cache.key_for(traced)
+
+
+# -- ResultCache -----------------------------------------------------------
+
+
+def test_cache_roundtrip_and_stats(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = point_key("m:f", {"a": 1})
+    assert cache.lookup(key) is None
+    cache.store(key, {"result": 42}, meta={"label": "p"})
+    entry = cache.lookup(key)
+    assert entry["value"] == {"result": 42}
+    assert entry["meta"]["label"] == "p"
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = point_key("m:f", {"a": 1})
+    cache.store(key, "good")
+    path = cache._path(key)
+    path.write_bytes(b"not a pickle")
+    assert cache.lookup(key) is None
+    assert cache.stats.invalid == 1
+    # storing again repairs the entry
+    cache.store(key, "repaired")
+    assert cache.lookup(key)["value"] == "repaired"
+
+
+def test_cache_version_change_misses(tmp_path):
+    old = ResultCache(tmp_path, version="1")
+    new = ResultCache(tmp_path, version="2")
+    point = SweepPoint(func=work, kwargs={"a": 1})
+    old.store(old.key_for(point), "old-value")
+    assert new.lookup(new.key_for(point)) is None
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for a in range(3):
+        cache.store(point_key("m:f", {"a": a}), a)
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0

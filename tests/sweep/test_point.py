@@ -1,0 +1,106 @@
+"""Tests for sweep points, grids, and seed derivation."""
+
+import pickle
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import SweepPoint, derive_seed, grid
+from repro.sweep.point import points_from_grid
+
+
+def add(a, b):
+    return a + b
+
+
+def observed(x, telemetry=None):
+    return (x, telemetry)
+
+
+def test_point_calls_function_with_kwargs():
+    point = SweepPoint(func=add, kwargs={"a": 2, "b": 3})
+    assert point.call() == 5
+
+
+def test_point_default_label_is_sorted_and_stable():
+    point = SweepPoint(func=add, kwargs={"b": 3, "a": 2})
+    assert point.label == "add(a=2,b=3)"
+
+
+def test_point_func_path_names_module_and_qualname():
+    point = SweepPoint(func=add, kwargs={"a": 1, "b": 1})
+    assert point.func_path.endswith(":add")
+    assert ":" in point.func_path
+
+
+def test_point_rejects_lambda_and_closure():
+    with pytest.raises(SweepError, match="module top level"):
+        SweepPoint(func=lambda x: x, kwargs={"x": 1})
+
+    def local(x):
+        return x
+
+    with pytest.raises(SweepError, match="module top level"):
+        SweepPoint(func=local, kwargs={"x": 1})
+
+
+def test_point_telemetry_flag_controls_injection():
+    silent = SweepPoint(func=observed, kwargs={"x": 1})
+    assert silent.call(telemetry="hub") == (1, None)
+    traced = SweepPoint(func=observed, kwargs={"x": 1}, telemetry=True)
+    assert traced.call(telemetry="hub") == (1, "hub")
+
+
+def test_point_pickles():
+    point = SweepPoint(func=observed, kwargs={"x": 1}, telemetry=True)
+    clone = pickle.loads(pickle.dumps(point))
+    assert clone.call(telemetry="hub") == (1, "hub")
+    assert clone.label == point.label
+    assert clone.telemetry is True
+
+
+def test_grid_nested_loop_order_last_axis_fastest():
+    cells = grid(a=[1, 2], b=["x", "y"])
+    assert cells == [
+        {"a": 1, "b": "x"},
+        {"a": 1, "b": "y"},
+        {"a": 2, "b": "x"},
+        {"a": 2, "b": "y"},
+    ]
+
+
+def test_grid_matches_equivalent_loop_nest():
+    backends = ["redis", "dragon"]
+    sizes = [1, 8, 64]
+    expected = [
+        {"backend": backend, "nbytes": nbytes}
+        for backend in backends
+        for nbytes in sizes
+    ]
+    assert grid(backend=backends, nbytes=sizes) == expected
+
+
+def test_derive_seed_deterministic_and_distinct():
+    a = derive_seed(0, "redis", 1024)
+    assert a == derive_seed(0, "redis", 1024)
+    assert a != derive_seed(0, "redis", 2048)
+    assert a != derive_seed(1, "redis", 1024)
+    assert 0 <= a < (1 << 48)
+
+
+def test_derive_seed_respects_bits():
+    assert 0 <= derive_seed(7, "x", bits=16) < (1 << 16)
+
+
+def test_points_from_grid_wraps_cells_in_order():
+    cells = grid(a=[1, 2], b=[10])
+    points = points_from_grid(add, cells)
+    assert [p.kwargs for p in points] == cells
+    assert [p.call() for p in points] == [11, 12]
+
+
+def test_points_from_grid_custom_label():
+    points = points_from_grid(
+        add, [{"a": 1, "b": 2}], label=lambda cell: f"cell-{cell['a']}"
+    )
+    assert points[0].label == "cell-1"

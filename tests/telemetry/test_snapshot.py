@@ -1,0 +1,94 @@
+"""Tests for TelemetrySnapshot: capture, pickling, and parent-hub merge."""
+
+import pickle
+
+from repro.telemetry import Telemetry, TelemetrySnapshot
+
+
+def make_worker_hub(offset=0.0, pid="worker"):
+    """A hub resembling what one sweep worker collects."""
+    hub = Telemetry()
+    t = [offset]
+    hub.tracer.bind_clock(lambda: t[0])
+    with hub.span("outer", pid=pid, backend="redis"):
+        t[0] += 1.0
+        with hub.span("inner", pid=pid):
+            t[0] += 0.5
+    hub.tracer.instant("fault.inject", pid=pid, kind="node")
+    hub.tracer.counter("queue.depth", 3.0, time=t[0])
+    hub.metrics.counter("ops").inc(5)
+    hub.metrics.gauge("depth").set(2.0, t=offset + 1.0)
+    hub.metrics.histogram("latency").observe(0.25)
+    hub.metrics.histogram("latency").observe(0.75)
+    return hub
+
+
+def test_capture_none_is_none():
+    assert TelemetrySnapshot.capture(None) is None
+
+
+def test_capture_skips_open_spans():
+    hub = Telemetry()
+    hub.span("left-open")
+    done = hub.span("closed")
+    done.finish()
+    snap = hub.snapshot()
+    assert [s["name"] for s in snap.spans] == ["closed"]
+
+
+def test_snapshot_survives_pickle_round_trip():
+    snap = make_worker_hub().snapshot()
+    clone = pickle.loads(pickle.dumps(snap))
+    assert clone.spans == snap.spans
+    assert clone.instants == snap.instants
+    assert clone.counters == snap.counters
+    assert clone.metrics == snap.metrics
+    assert len(clone) == len(snap)
+    assert not clone.is_empty()
+
+
+def test_merge_preserves_span_order_and_args():
+    parent = Telemetry()
+    snap = pickle.loads(pickle.dumps(make_worker_hub().snapshot()))
+    parent.merge(snap)
+    spans = parent.tracer.finished_spans()
+    # worker finish order: inner closes before outer
+    assert [s.name for s in spans] == ["inner", "outer"]
+    assert spans[1].args["backend"] == "redis"
+    assert spans[1].pid == "worker"
+    assert [i.name for i in parent.tracer.instants] == ["fault.inject"]
+    assert parent.tracer.counters[0].name == "queue.depth"
+    assert parent.tracer.counters[0].values == {"value": 3.0}
+
+
+def test_merge_accumulates_metrics():
+    parent = Telemetry()
+    parent.metrics.counter("ops").inc(1)
+    parent.merge(make_worker_hub().snapshot())
+    parent.merge(make_worker_hub(offset=10.0, pid="worker-2").snapshot())
+    assert parent.metrics.counter("ops").value == 11.0
+    hist = parent.metrics.histogram("latency")
+    assert hist.count == 4
+    assert hist.sum == 2.0
+    gauge = parent.metrics.gauge("depth")
+    assert [t for t, _ in gauge.samples] == sorted(t for t, _ in gauge.samples)
+
+
+def test_merge_order_is_deterministic():
+    """Merging worker snapshots in point order gives one canonical hub."""
+    snaps = [make_worker_hub(offset=i, pid=f"w{i}").snapshot() for i in range(3)]
+    a, b = Telemetry(), Telemetry()
+    for s in snaps:
+        a.merge(s)
+    for s in pickle.loads(pickle.dumps(snaps)):  # as if shipped from workers
+        b.merge(s)
+    assert [(s.name, s.pid, s.start) for s in a.tracer.finished_spans()] == [
+        (s.name, s.pid, s.start) for s in b.tracer.finished_spans()
+    ]
+    assert a.metrics.counter("ops").value == b.metrics.counter("ops").value == 15.0
+
+
+def test_merge_none_is_noop():
+    parent = Telemetry()
+    parent.merge(None)
+    assert parent.tracer.finished_spans() == []

@@ -225,3 +225,51 @@ def test_run_with_trace_and_metrics(tmp_path, capsys):
     assert {"transport", "workload"} <= cats  # real mode: no DES sampler
     data = json.loads(metrics.read_text())
     assert any(name.startswith("transport.write.seconds") for name in data)
+
+
+def test_sweep_subcommand_runs_and_reports_progress(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert (
+        main(
+            [
+                "sweep",
+                "fig5",
+                "--quick",
+                "--parallel",
+                "2",
+                "--cache-dir",
+                str(cache),
+            ]
+        )
+        == 0
+    )
+    cold = capsys.readouterr()
+    assert "Figure 5" in cold.out
+    assert "(run)" in cold.err
+    assert "0 cached" in cold.err
+
+    assert (
+        main(["sweep", "fig5", "--quick", "--cache-dir", str(cache)])
+        == 0
+    )
+    warm = capsys.readouterr()
+    assert "(cache)" in warm.err
+    assert "100%" in warm.err
+    assert "0 computed" in warm.err
+    # rendered artifact identical however the points were served
+    assert warm.out.splitlines()[1:] == cold.out.splitlines()[1:]
+
+
+def test_sweep_subcommand_serial_matches_plain_driver(capsys):
+    assert main(["sweep", "table2", "--quick"]) == 0
+    out = capsys.readouterr().out
+    from repro.experiments import table2_validation
+
+    assert table2_validation.run(quick=True).render() in out
+
+
+def test_sweep_unknown_experiment():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="unknown experiments"):
+        main(["sweep", "nope", "--quick"])
