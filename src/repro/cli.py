@@ -311,16 +311,22 @@ class _SweepProgress:
         self.cached = 0
         self.computed = 0
         self.retried = 0
+        self.replayed = 0  # restored from a distributed crash-recovery journal
+        self.stolen = 0  # leases reclaimed from silent distributed workers
 
     @property
     def total_points(self) -> int:
-        return self.cached + self.computed
+        return self.cached + self.computed + self.replayed
 
     def __call__(self, done: int, total: int, label: str, source: str) -> None:
         if source == "cache":
             self.cached += 1
         elif source == "retry":
             self.retried += 1
+        elif source == "journal":
+            self.replayed += 1
+        elif source == "steal":
+            self.stolen += 1
         else:
             self.computed += 1
         interactive = getattr(self.stream, "isatty", lambda: False)()
@@ -335,14 +341,124 @@ class _SweepProgress:
         if self.total_points:
             parts[-1] += f" ({100.0 * self.cached / self.total_points:.0f}%)"
         parts.append(f"{self.computed} computed")
+        if self.replayed:
+            parts.append(f"{self.replayed} replayed")
+        if self.stolen:
+            parts.append(f"{self.stolen} stolen")
         if self.retried:
             parts.append(f"{self.retried} retried")
         return f"sweep {name}: " + ", ".join(parts) + f" in {elapsed:.1f}s"
 
 
+def _validate_sweep_args(args: argparse.Namespace) -> None:
+    if args.cache_info:
+        if not args.cache_dir:
+            raise ConfigError("--cache-info needs --cache-dir to inspect")
+        return
+    if args.connect:
+        if args.serve:
+            raise ConfigError("--connect and --serve are mutually exclusive")
+        if args.experiments:
+            raise ConfigError(
+                "--connect takes no experiment names: workers claim their "
+                "points from the coordinator"
+            )
+        return
+    if not args.experiments:
+        raise ConfigError("name at least one experiment (or 'all')")
+    if args.serve and args.parallel > 1:
+        raise ConfigError(
+            "--serve and --parallel are mutually exclusive: a serving sweep "
+            "delegates execution to remote workers"
+        )
+    if (args.journal or args.lease is not None) and not args.serve:
+        raise ConfigError("--journal/--lease only apply to --serve")
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    """``sweep --cache-info``: entry count, bytes, and hit-rate history."""
+    from repro.sweep.cache import ResultCache
+
+    info = ResultCache(args.cache_dir).info()
+    print(f"cache {info['directory']}:")
+    print(f"  entries: {info['entries']}")
+    mb = info["total_bytes"] / (1024.0 * 1024.0)
+    print(f"  total size: {mb:.2f} MB (largest entry {info['largest_bytes']} B)")
+    if info["entries"]:
+        print(
+            f"  entry age: {info['newest_age_seconds']:.0f}s (newest) to "
+            f"{info['oldest_age_seconds']:.0f}s (oldest)"
+        )
+    history = info["history"]
+    if history:
+        print(f"  hit-rate history (last {len(history)} runs):")
+        for record in history:
+            print(
+                f"    {record.get('hits', 0)} hits / {record.get('misses', 0)} "
+                f"misses ({100.0 * record.get('hit_rate', 0.0):.0f}%), "
+                f"{record.get('stores', 0)} stores"
+            )
+    else:
+        print("  hit-rate history: (none recorded yet)")
+    return 0
+
+
+def _cmd_sweep_workers(args: argparse.Namespace) -> int:
+    """``sweep --connect``: run a fleet of worker processes.
+
+    With ``--workers 1`` the agent runs in *this* process (so its PID is
+    the worker's — chaos harnesses SIGKILL it directly); with more, each
+    agent gets its own process and SIGTERM here drains the whole fleet.
+    """
+    import multiprocessing
+    import signal
+
+    from repro.sweep.dist import run_worker_process
+
+    kwargs = {
+        "address": args.connect,
+        "seed": args.seed,
+        "reconnect_budget": args.reconnect_budget,
+        "poll": args.poll,
+    }
+    if args.workers <= 1:
+        return run_worker_process(**kwargs)
+
+    context = multiprocessing.get_context("spawn")  # no inherited sockets/locks
+    procs = [
+        context.Process(
+            target=run_worker_process,
+            kwargs={**kwargs, "seed": args.seed + rank},
+            name=f"sweep-worker-{rank}",
+        )
+        for rank in range(args.workers)
+    ]
+    for proc in procs:
+        proc.start()
+
+    def _forward_sigterm(signum, frame):
+        for proc in procs:
+            if proc.is_alive() and proc.pid:
+                proc.terminate()  # SIGTERM -> each agent drains gracefully
+
+    previous = signal.signal(signal.SIGTERM, _forward_sigterm)
+    try:
+        for proc in procs:
+            proc.join()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return max((proc.exitcode or 0) for proc in procs)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import sys
     import time
+
+    _validate_sweep_args(args)
+    if args.cache_info:
+        return _cmd_cache_info(args)
+    if args.connect:
+        return _cmd_sweep_workers(args)
 
     from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
     from repro.sweep import SweepOptions
@@ -361,6 +477,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             parallel=args.parallel,
             cache_dir=args.cache_dir or None,
             progress=progress,
+            serve=args.serve or None,
+            journal_dir=args.journal or None,
+            lease_seconds=args.lease if args.lease is not None else 5.0,
+            cache_max_mb=args.cache_max_mb,
         )
         start = time.perf_counter()
         result = registry[name].run(quick=args.quick, sweep=options)
@@ -499,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         metavar="EXPERIMENT",
         help="experiment ids or 'all' (e.g. fig3, table2, ext_faults)",
     )
@@ -518,6 +638,70 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="DIR",
         help="content-addressed result cache; repeated points are served from disk",
+    )
+    sweep.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="evict oldest cache entries above this size after each sweep",
+    )
+    sweep.add_argument(
+        "--cache-info",
+        action="store_true",
+        help="print cache entry count, size, and hit-rate history, then exit",
+    )
+    sweep.add_argument(
+        "--serve",
+        default="",
+        metavar="HOST:PORT",
+        help="serve grid points to distributed workers instead of computing "
+        "locally (start workers with: sweep --connect HOST:PORT)",
+    )
+    sweep.add_argument(
+        "--journal",
+        default="",
+        metavar="DIR",
+        help="crash-recovery journal for --serve; restarting with the same "
+        "journal resumes without re-running completed points",
+    )
+    sweep.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="distributed lease duration (default 5); a worker silent this "
+        "long loses its point to the next claimer",
+    )
+    sweep.add_argument(
+        "--connect",
+        default="",
+        metavar="HOST:PORT",
+        help="run as a worker fleet claiming points from a serving sweep",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --connect (1 = run the agent in-process)",
+    )
+    sweep.add_argument(
+        "--reconnect-budget",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a worker keeps retrying an unreachable coordinator",
+    )
+    sweep.add_argument(
+        "--poll",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="worker idle wait between claims when no point is available",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=0, help="root seed for worker backoff jitter"
     )
 
     chaos = sub.add_parser(

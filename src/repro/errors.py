@@ -136,6 +136,44 @@ class SweepTimeoutError(SweepError, builtins.TimeoutError):
         return (type(self), (self.label, self.timeout))
 
 
+class SweepJournalError(SweepError):
+    """The crash-recovery journal is unusable for this grid.
+
+    Raised when a journal file's header names a different grid signature
+    (the journal belongs to another sweep or another code version) or the
+    file is structurally unreadable beyond ordinary torn-tail truncation.
+    """
+
+
+class SweepPoisonedError(SweepError):
+    """One or more grid points were quarantined as poison.
+
+    A point is poisoned when it fails terminally on enough *distinct*
+    workers (or accumulates enough total failures) that re-queueing it
+    would only burn the fleet. Carries every quarantined point's label
+    and the collected failure records (worker, error, traceback) so the
+    operator can see exactly which cell is toxic and why.
+    """
+
+    def __init__(self, poisoned: list) -> None:
+        #: [{"label": ..., "index": ..., "failures": [{"worker", "error",
+        #: "traceback"}, ...]}] per quarantined point.
+        self.poisoned = list(poisoned)
+        labels = ", ".join(repr(p.get("label", p.get("index"))) for p in self.poisoned)
+        errors = "; ".join(
+            f"{p.get('label', p.get('index'))}: {p['failures'][-1].get('error', '?')}"
+            for p in self.poisoned
+            if p.get("failures")
+        )
+        message = f"{len(self.poisoned)} sweep point(s) poisoned: {labels}"
+        if errors:
+            message += f" ({errors})"
+        super().__init__(message)
+
+    def __reduce__(self):  # crosses process boundaries in reports
+        return (type(self), (self.poisoned,))
+
+
 class WorkflowError(ReproError):
     """Workflow construction or execution failed."""
 

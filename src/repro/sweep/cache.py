@@ -26,9 +26,11 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Optional
 
@@ -158,24 +160,45 @@ class ResultCache:
 
     # -- read --------------------------------------------------------------
     def lookup(self, key: str) -> Optional[dict]:
-        """The stored ``{"value", "snapshot", "meta"}`` entry, or None."""
+        """The stored ``{"value", "snapshot", "meta"}`` entry, or None.
+
+        Robust against concurrent writers: a partial/corrupt read is
+        retried once (the writer may have finished an atomic
+        ``os.replace`` in between) before the bad entry is repaired
+        (unlinked) and the lookup reported as a miss.
+        """
         path = self._path(key)
+        for attempt in (1, 2):
+            try:
+                with open(path, "rb") as handle:
+                    entry = pickle.load(handle)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                return None
+            except Exception:  # truncated/corrupt/unpicklable
+                entry = None
+            if isinstance(entry, dict) and entry.get("format") == _FORMAT:
+                self.stats.hits += 1
+                return entry
+            if attempt == 1:
+                continue  # retry once: a concurrent store may just have landed
+        self.stats.invalid += 1
+        self.stats.misses += 1
+        self._repair(path)
+        return None
+
+    def _repair(self, path: Path) -> None:
+        """Drop a corrupt entry so the recomputed result replaces it.
+
+        Tolerates the entry vanishing (or being rewritten and locked)
+        between detection and unlink — another process may have repaired
+        or replaced it first; either way the recompute-and-store path
+        handles the rest.
+        """
         try:
-            with open(path, "rb") as handle:
-                entry = pickle.load(handle)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except Exception:  # truncated/corrupt/unpicklable -> recompute
-            self.stats.invalid += 1
-            self.stats.misses += 1
-            return None
-        if not isinstance(entry, dict) or entry.get("format") != _FORMAT:
-            self.stats.invalid += 1
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return entry
+            path.unlink()
+        except (FileNotFoundError, OSError):
+            pass
 
     # -- write -------------------------------------------------------------
     def store(self, key: str, value: Any, snapshot=None, meta: Optional[dict] = None) -> None:
@@ -213,3 +236,101 @@ class ResultCache:
             path.unlink(missing_ok=True)
             removed += 1
         return removed
+
+    def _entries(self) -> list[tuple[Path, float, int]]:
+        """(path, mtime, size) for every entry that still exists."""
+        out = []
+        for path in self.directory.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except (FileNotFoundError, OSError):
+                continue  # concurrently evicted/repaired
+            out.append((path, stat.st_mtime, stat.st_size))
+        return out
+
+    def evict(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """LRU eviction by entry mtime; returns how many entries went.
+
+        ``max_age_seconds`` drops everything older than the horizon;
+        ``max_bytes`` then removes oldest-first until the cache fits.
+        ``os.replace`` on store refreshes mtime, so recently *written*
+        entries survive; reads do not bump mtime (this is an LRU over
+        writes, which for a content-addressed cache of deterministic
+        results is the signal that matters: untouched entries belong to
+        grids nobody sweeps any more).
+        """
+        entries = self._entries()
+        doomed: set[Path] = set()
+        if max_age_seconds is not None:
+            horizon = (now if now is not None else time.time()) - max_age_seconds
+            doomed.update(path for path, mtime, _ in entries if mtime < horizon)
+        if max_bytes is not None:
+            total = sum(size for path, _, size in entries if path not in doomed)
+            for path, _, size in sorted(entries, key=lambda e: e[1]):  # oldest first
+                if total <= max_bytes:
+                    break
+                if path in doomed:
+                    continue
+                doomed.add(path)
+                total -= size
+        removed = 0
+        for path in doomed:
+            try:
+                path.unlink()
+            except (FileNotFoundError, OSError):
+                continue
+            removed += 1
+        return removed
+
+    # -- introspection -------------------------------------------------------
+    def info(self) -> dict:
+        """Entry count, byte totals, age span, and recorded hit-rate history."""
+        entries = self._entries()
+        sizes = [size for _, _, size in entries]
+        mtimes = [mtime for _, mtime, _ in entries]
+        now = time.time()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": sum(sizes),
+            "largest_bytes": max(sizes) if sizes else 0,
+            "oldest_age_seconds": now - min(mtimes) if mtimes else 0.0,
+            "newest_age_seconds": now - max(mtimes) if mtimes else 0.0,
+            "history": self.history(),
+        }
+
+    def record_history(self) -> None:
+        """Append this run's hit/miss counters to ``history.jsonl``.
+
+        Best-effort: a read-only cache directory must not fail the sweep.
+        """
+        if self.stats.lookups == 0 and self.stats.stores == 0:
+            return
+        record = {"time": time.time(), **self.stats.as_dict()}
+        try:
+            with open(self.directory / "history.jsonl", "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def history(self, limit: int = 20) -> list[dict]:
+        """The most recent ``limit`` hit-rate records (oldest first)."""
+        path = self.directory / "history.jsonl"
+        records: list[dict] = []
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except (FileNotFoundError, OSError):
+            return records
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn append
+            if isinstance(record, dict):
+                records.append(record)
+        return records[-limit:]

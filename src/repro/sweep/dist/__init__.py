@@ -1,0 +1,48 @@
+"""Fault-tolerant distributed sweep: coordinator, workers, leases, journal.
+
+A :class:`SweepCoordinator` serves a point grid over TCP (the RESP
+substrate shared with the mini-Redis backend); :class:`WorkerAgent`\\ s
+claim points under time-bounded leases, renew them via heartbeats, and
+stream results back. Expired leases are reclaimed and re-queued (work
+stealing), points that fail on multiple distinct workers are quarantined
+as poison, and an append-only journal lets a restarted coordinator
+resume a half-finished grid without re-running completed points.
+
+See ``ARCHITECTURE.md`` for the lease state machine and failure matrix.
+"""
+
+from repro.sweep.dist.coordinator import DistOutcome, DistProgressFn, SweepCoordinator
+from repro.sweep.dist.journal import SweepJournal
+from repro.sweep.dist.lease import LeaseTable, PointRecord, PointState
+from repro.sweep.dist.protocol import (
+    Assignment,
+    FailureRecord,
+    GridInfo,
+    grid_signature,
+    parse_hostport,
+)
+from repro.sweep.dist.worker import (
+    WorkerAgent,
+    WorkerOptions,
+    WorkerReport,
+    run_worker_process,
+)
+
+__all__ = [
+    "Assignment",
+    "DistOutcome",
+    "DistProgressFn",
+    "FailureRecord",
+    "GridInfo",
+    "LeaseTable",
+    "PointRecord",
+    "PointState",
+    "SweepCoordinator",
+    "SweepJournal",
+    "WorkerAgent",
+    "WorkerOptions",
+    "WorkerReport",
+    "grid_signature",
+    "parse_hostport",
+    "run_worker_process",
+]

@@ -1,0 +1,338 @@
+"""SweepCoordinator: serves a point grid to workers over TCP.
+
+The coordinator is the grid's single source of truth. It is a
+:class:`~repro.transport.server.RespTcpServer` (the same threaded RESP
+substrate as the mini-Redis backend), so every command handler runs
+under the server's execution lock and the :class:`LeaseTable` needs no
+locking of its own.
+
+Correctness under failure:
+
+* **Worker crash / partition** — the worker stops renewing; its lease
+  expires and the point is reclaimed and handed to the next claimer
+  (work stealing). A stale worker that finishes anyway gets a
+  ``DUPLICATE`` ack — results are deterministic, first writer wins.
+* **Coordinator crash** — every completed point was fsync'd to the
+  journal *before* its worker was acknowledged, so a restarted
+  coordinator (same journal directory, same grid) replays its ``done``
+  records and serves only the remainder. Previously *poisoned* points
+  are re-queued on restart: quarantine is a per-session verdict, the
+  journal keeps the audit trail.
+* **Poison points** — a point that fails terminally on
+  ``poison_workers`` distinct workers (or ``poison_failures`` times in
+  total, which bounds the single-worker case) is quarantined with its
+  tracebacks. The grid still drains; :meth:`serve` then raises
+  :class:`~repro.errors.SweepPoisonedError` naming the toxic cells.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import SweepError, SweepPoisonedError, TransportError
+from repro.sweep.dist.journal import SweepJournal
+from repro.sweep.dist.lease import LeaseTable, PointRecord, PointState
+from repro.sweep.dist.protocol import (
+    DRAINED,
+    Assignment,
+    FailureRecord,
+    GridInfo,
+    dump_result,
+    grid_signature,
+    load_result,
+)
+from repro.sweep.point import SweepPoint
+from repro.transport import resp
+from repro.transport.server import RespTcpServer
+from repro.version import __version__
+
+#: Progress callback: (event, index, worker) where event is one of
+#: "replay", "lease", "done", "requeue", "reclaim", "poison".
+DistProgressFn = Callable[[str, int, Optional[str]], None]
+
+
+@dataclass
+class DistOutcome:
+    """What one :meth:`SweepCoordinator.serve` session produced."""
+
+    #: index -> (value, snapshot); covers replayed *and* executed points.
+    results: dict[int, tuple[Any, Any]] = field(default_factory=dict)
+    executed: int = 0  # completed by workers this session
+    replayed: int = 0  # restored from the journal before serving
+    requeues: int = 0  # terminal worker failures that were re-queued
+    reclaims: int = 0  # leases stolen back from expired workers
+    duplicates: int = 0  # stale completions acknowledged and discarded
+    #: [{"index", "label", "failures": [...]}] for quarantined points.
+    poisoned: list[dict] = field(default_factory=list)
+    #: worker_id -> {"claimed", "completed", "failed", "capabilities"}.
+    workers: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return self.executed + self.replayed
+
+
+class SweepCoordinator(RespTcpServer):
+    """Work-stealing grid server with leases, journal, and poison control."""
+
+    def __init__(
+        self,
+        work: Sequence[tuple[int, SweepPoint]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_seconds: float = 5.0,
+        poison_workers: int = 2,
+        poison_failures: int = 4,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        capture: bool = True,
+        journal_dir: Optional[str | Path] = None,
+        progress: Optional[DistProgressFn] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__(host=host, port=port, name="sweep-coordinator")
+        work = list(work)
+        if not work:
+            raise SweepError("coordinator needs at least one point")
+        self.points: dict[int, SweepPoint] = dict(work)
+        if len(self.points) != len(work):
+            raise SweepError("duplicate point indices in work list")
+        self.signature = grid_signature(work)
+        self.timeout = timeout
+        self.retries = retries
+        self.capture = capture
+        self.progress = progress
+        self.outcome = DistOutcome()
+        self.table = LeaseTable(
+            (index for index, _ in work),
+            lease_seconds=lease_seconds,
+            poison_workers=poison_workers,
+            poison_failures=poison_failures,
+            clock=clock,
+            observer=self._on_transition,
+        )
+        self._stop_serving = False
+        self._journal: Optional[SweepJournal] = None
+        if journal_dir is not None:
+            self._journal = SweepJournal(journal_dir, self.signature, len(work))
+            self._replay_journal()
+            self._journal.open_session()
+
+    # -- journal replay ----------------------------------------------------
+    def _replay_journal(self) -> None:
+        assert self._journal is not None
+        state = self._journal.replay()
+        for index, (value, snapshot) in state.done.items():
+            if index not in self.points:
+                continue  # journal knows more than this sub-grid (cache hit)
+            self.table.preload_done(index)
+            self.outcome.results[index] = (value, snapshot)
+            self.outcome.replayed += 1
+            self._emit("replay", index, None)
+        # Previously poisoned points stay queued: a new session gets a
+        # fresh quarantine verdict (their history lives in the journal).
+
+    # -- transition plumbing ------------------------------------------------
+    def _emit(self, event: str, index: int, worker: Optional[str]) -> None:
+        if self.progress is not None:
+            self.progress(event, index, worker)
+
+    def _on_transition(self, event: str, record: PointRecord) -> None:
+        """LeaseTable observer: journal the audit trail, forward progress."""
+        if self._journal is not None and event in ("lease", "reclaim", "requeue"):
+            self._journal.record_transition(event, record.index, record.worker)
+        if event == "reclaim":
+            self.outcome.reclaims += 1
+        if event in ("lease", "reclaim", "requeue", "poison"):
+            self._emit(event, record.index, record.worker)
+
+    # -- command dispatch ---------------------------------------------------
+    def _dispatch(self, name: str, args: list) -> bytes:
+        if name == "PING":
+            return resp.encode_simple("PONG")
+        if name == "HELLO":
+            self._need(args, 2, "HELLO")
+            return self._handle_hello(_text(args[0]), _text(args[1]))
+        if name == "CLAIM":
+            self._need(args, 1, "CLAIM")
+            return self._handle_claim(_text(args[0]))
+        if name == "RENEW":
+            self._need(args, 2, "RENEW")
+            return self._handle_renew(_text(args[0]), _index(args[1]))
+        if name == "DONE":
+            self._need(args, 3, "DONE")
+            return self._handle_done(_text(args[0]), _index(args[1]), bytes(args[2]))
+        if name == "FAIL":
+            self._need(args, 3, "FAIL")
+            return self._handle_fail(_text(args[0]), _index(args[1]), _text(args[2]))
+        if name == "STATUS":
+            return resp.encode_bulk(json.dumps(self.status(), sort_keys=True).encode())
+        raise TransportError(f"unknown command '{name}'")
+
+    def _worker_entry(self, worker: str) -> dict:
+        return self.outcome.workers.setdefault(
+            worker, {"claimed": 0, "completed": 0, "failed": 0, "capabilities": {}}
+        )
+
+    def _handle_hello(self, worker: str, caps_json: str) -> bytes:
+        try:
+            caps = json.loads(caps_json) if caps_json else {}
+        except ValueError:
+            raise TransportError("HELLO capabilities must be JSON") from None
+        version = str(caps.get("version", ""))
+        if version and version != __version__:
+            # Point fingerprints embed the version; mixing versions would
+            # silently compute different grids.
+            raise TransportError(
+                f"version mismatch: coordinator {__version__}, worker {version}"
+            )
+        self._worker_entry(worker)["capabilities"] = caps
+        info = GridInfo(
+            grid=self.signature,
+            n_points=len(self.points),
+            lease_seconds=self.table.lease_seconds,
+            version=__version__,
+            remaining=self.table.remaining(),
+        )
+        return resp.encode_bulk(json.dumps(info.as_dict(), sort_keys=True).encode())
+
+    def _handle_claim(self, worker: str) -> bytes:
+        if self.table.done():
+            return resp.encode_simple(DRAINED)
+        index = self.table.claim(worker)
+        if index is None:
+            return resp.encode_bulk(None)
+        self._worker_entry(worker)["claimed"] += 1
+        assignment = Assignment(
+            index=index,
+            point=self.points[index],
+            lease_seconds=self.table.lease_seconds,
+            timeout=self.timeout,
+            retries=self.retries,
+            capture=self.capture,
+        )
+        return resp.encode_bulk(assignment.to_bytes())
+
+    def _handle_renew(self, worker: str, index: int) -> bytes:
+        return resp.encode_integer(int(self.table.renew(worker, index)))
+
+    def _handle_done(self, worker: str, index: int, blob: bytes) -> bytes:
+        if index not in self.points:
+            raise TransportError(f"unknown point index {index}")
+        record = self.table.records[index]
+        if record.state in (PointState.DONE, PointState.POISONED):
+            self.outcome.duplicates += 1
+            return resp.encode_simple("DUPLICATE")
+        try:
+            value, snapshot = load_result(blob)
+        except Exception as exc:
+            raise TransportError(f"unreadable result for point {index}: {exc}") from None
+        # Durability before acknowledgment: once the worker sees +OK the
+        # result must survive a coordinator crash.
+        if self._journal is not None:
+            self._journal.record_done(index, value, snapshot)
+        self.table.complete(worker, index)
+        self.outcome.results[index] = (value, snapshot)
+        self.outcome.executed += 1
+        self._worker_entry(worker)["completed"] += 1
+        self._emit("done", index, worker)
+        return resp.encode_simple("OK")
+
+    def _handle_fail(self, worker: str, index: int, info_json: str) -> bytes:
+        if index not in self.points:
+            raise TransportError(f"unknown point index {index}")
+        try:
+            info = json.loads(info_json) if info_json else {}
+        except ValueError:
+            raise TransportError("FAIL payload must be JSON") from None
+        failure = FailureRecord.from_dict({**info, "worker": worker})
+        state = self.table.fail(worker, index, failure)
+        self._worker_entry(worker)["failed"] += 1
+        if state is PointState.POISONED:
+            failures = [f.as_dict() for f in self.table.records[index].failures]
+            if self._journal is not None:
+                self._journal.record_poisoned(index, failures)
+            return resp.encode_simple("POISONED")
+        if state is PointState.QUEUED:
+            self.outcome.requeues += 1
+        return resp.encode_simple("REQUEUED")
+
+    # -- serving ------------------------------------------------------------
+    def status(self) -> dict:
+        """Plain-dict coordinator state (also the STATUS reply)."""
+        return {
+            "grid": self.signature,
+            "n_points": len(self.points),
+            "counts": self.table.counts(),
+            "reclaims": self.table.reclaims,
+            "requeues": self.outcome.requeues,
+            "executed": self.outcome.executed,
+            "replayed": self.outcome.replayed,
+            "workers": {
+                w: {k: v for k, v in entry.items() if k != "capabilities"}
+                for w, entry in self.outcome.workers.items()
+            },
+        }
+
+    def request_stop(self) -> None:
+        """Abort :meth:`serve` at its next poll (tests, signal handlers)."""
+        self._stop_serving = True
+
+    def serve(self, poll: float = 0.1) -> DistOutcome:
+        """Block until the grid drains (or :meth:`request_stop`).
+
+        Periodically reclaims expired leases even when no worker is
+        polling, so the journal's audit trail reflects expiry promptly.
+        Raises :class:`~repro.errors.SweepPoisonedError` after the drain
+        if any point was quarantined.
+        """
+        if not self.is_running:
+            self.start()
+        try:
+            while not self._stop_serving:
+                with self._exec_lock:
+                    self.table.reclaim_expired()
+                    if self.table.done():
+                        break
+                time.sleep(poll)
+        finally:
+            if self._journal is not None:
+                self._journal.close()
+        poisoned = [
+            {
+                "index": record.index,
+                "label": self.points[record.index].label,
+                "failures": [f.as_dict() for f in record.failures],
+            }
+            for record in self.table.poisoned()
+        ]
+        self.outcome.poisoned = poisoned
+        if poisoned and not self._stop_serving:
+            raise SweepPoisonedError(poisoned)
+        return self.outcome
+
+    def stop(self) -> None:
+        self.request_stop()
+        super().stop()
+        if self._journal is not None:
+            self._journal.close()
+
+
+def _text(arg: Any) -> str:
+    if isinstance(arg, (bytes, bytearray)):
+        return bytes(arg).decode("utf-8", "replace")
+    return str(arg)
+
+
+def _index(arg: Any) -> int:
+    try:
+        return int(_text(arg))
+    except ValueError:
+        raise TransportError(f"bad point index {arg!r}") from None
+
+
+__all__ = ["DistOutcome", "DistProgressFn", "SweepCoordinator", "dump_result"]

@@ -1,0 +1,184 @@
+"""Append-only crash-recovery journal for the sweep coordinator.
+
+One JSONL file per grid, named by the grid signature, so a coordinator
+restarted with the same ``--journal`` directory finds exactly its own
+log and a different grid (or code version) can never replay a stale one.
+
+Record stream::
+
+    {"type": "header", "format": ..., "grid": ..., "n_points": N, ...}
+    {"type": "lease",    "index": i, "worker": w}
+    {"type": "renew",    "index": i, "worker": w}          # optional noise
+    {"type": "reclaim",  "index": i}
+    {"type": "requeue",  "index": i, "error": ...}
+    {"type": "done",     "index": i, "payload": base64(pickle)}
+    {"type": "poisoned", "index": i, "failures": [...]}
+
+Only ``done``/``poisoned`` matter for recovery — the lease-lifecycle
+records are an audit trail of state transitions. Replay is tolerant of a
+torn tail (the coordinator may die mid-append): a final partial line is
+ignored, but corruption *before* the tail raises
+:class:`~repro.errors.SweepJournalError` since silently dropping
+completed work would re-run points. ``done`` payloads are fsync'd before
+the coordinator acknowledges the worker, so an acknowledged result is
+never lost to a coordinator crash.
+
+A restarted coordinator appends a fresh ``header`` (same grid signature)
+so sessions are visible in the audit trail; replay validates every
+header it meets.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.errors import SweepJournalError
+from repro.version import __version__
+
+JOURNAL_FORMAT = "repro-sweep-journal-v1"
+
+
+@dataclass
+class ReplayState:
+    """What a journal already knows about its grid."""
+
+    #: index -> (value, snapshot) for completed points.
+    done: dict[int, tuple[Any, Any]] = field(default_factory=dict)
+    #: index -> failure dicts for quarantined points.
+    poisoned: dict[int, list[dict]] = field(default_factory=dict)
+    sessions: int = 0  # header count (coordinator [re]starts)
+    records: int = 0
+
+
+class SweepJournal:
+    """One grid's append-only recovery log inside a journal directory."""
+
+    def __init__(self, directory: str | Path, signature: str, n_points: int) -> None:
+        self.directory = Path(directory)
+        self.signature = signature
+        self.n_points = n_points
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / f"{signature[:24]}.jsonl"
+        self._handle = None
+
+    # -- replay ------------------------------------------------------------
+    def replay(self) -> ReplayState:
+        """Read every prior record; validates headers against this grid."""
+        state = ReplayState()
+        if not self.path.exists():
+            return state
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        # A torn tail is normal after a crash: the final chunk either is
+        # empty (file ended in a clean newline) or is a partial record.
+        tail = lines.pop() if lines else b""
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise SweepJournalError(
+                    f"{self.path}:{lineno}: corrupt journal record: {exc}"
+                ) from exc
+            self._apply(record, state, lineno)
+        if tail.strip():
+            try:
+                record = json.loads(tail)
+            except ValueError:
+                pass  # torn final append — the worker will redo that point
+            else:
+                self._apply(record, state, len(lines) + 1)
+        return state
+
+    def _apply(self, record: dict, state: ReplayState, lineno: int) -> None:
+        state.records += 1
+        kind = record.get("type")
+        if kind == "header":
+            if record.get("format") != JOURNAL_FORMAT:
+                raise SweepJournalError(
+                    f"{self.path}:{lineno}: unknown journal format "
+                    f"{record.get('format')!r}"
+                )
+            if record.get("grid") != self.signature:
+                raise SweepJournalError(
+                    f"{self.path}:{lineno}: journal belongs to grid "
+                    f"{record.get('grid')!r}, not {self.signature!r} — stale "
+                    "journal directory?"
+                )
+            state.sessions += 1
+        elif kind == "done":
+            index = int(record["index"])
+            try:
+                payload = pickle.loads(base64.b64decode(record["payload"]))
+            except Exception as exc:
+                raise SweepJournalError(
+                    f"{self.path}:{lineno}: unreadable done-payload for point "
+                    f"{index}: {exc}"
+                ) from exc
+            state.done[index] = (payload["value"], payload["snapshot"])
+            state.poisoned.pop(index, None)
+        elif kind == "poisoned":
+            index = int(record["index"])
+            if index not in state.done:
+                state.poisoned[index] = list(record.get("failures", []))
+        # lease/renew/reclaim/requeue are audit-only.
+
+    # -- append ------------------------------------------------------------
+    def open_session(self) -> None:
+        """Open for appending and stamp a session header."""
+        if self._handle is not None:
+            return
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._append(
+            {
+                "type": "header",
+                "format": JOURNAL_FORMAT,
+                "grid": self.signature,
+                "n_points": self.n_points,
+                "version": __version__,
+                "time": time.time(),
+            },
+            durable=True,
+        )
+
+    def _append(self, record: dict, durable: bool = False) -> None:
+        if self._handle is None:
+            raise SweepJournalError("journal session is not open")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if durable:
+            os.fsync(self._handle.fileno())
+
+    def record_transition(self, event: str, index: int, worker: Optional[str]) -> None:
+        """Audit-trail lease lifecycle events (not needed for recovery)."""
+        self._append({"type": event, "index": index, "worker": worker})
+
+    def record_done(self, index: int, value: Any, snapshot: Any) -> None:
+        """Durably persist one completed point (fsync before returning)."""
+        payload = base64.b64encode(
+            pickle.dumps(
+                {"value": value, "snapshot": snapshot},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        ).decode("ascii")
+        self._append({"type": "done", "index": index, "payload": payload}, durable=True)
+
+    def record_poisoned(self, index: int, failures: list[dict]) -> None:
+        self._append(
+            {"type": "poisoned", "index": index, "failures": failures}, durable=True
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None

@@ -1,0 +1,254 @@
+"""Lease table: the coordinator's point state machine.
+
+Every grid point moves through::
+
+            claim                    complete
+    QUEUED --------> LEASED --------------------> DONE
+      ^                |  \\
+      |     expiry     |   \\  terminal failure
+      +--- (reclaim) --+    \\
+      ^                      v
+      +---- requeue ---- [failed] ----> POISONED
+                         (below the      (>= poison_workers distinct
+                          thresholds)     workers, or >= poison_failures
+                                          total failures)
+
+DONE and POISONED are terminal. Leases are **time-bounded**: a worker
+that stops renewing (crash, partition, SIGKILL) loses the point at its
+deadline and the next claimer steals it — that is the whole
+fault-tolerance story, there is no worker liveness bookkeeping beyond
+the leases themselves. Completion is **idempotent and first-writer-wins**:
+a stale worker finishing a point that was already reclaimed and finished
+elsewhere gets a duplicate-ack, never an error, because points are
+deterministic functions of their kwargs (any result is *the* result).
+
+The table is not itself thread-safe; the coordinator serializes access
+under its command-execution lock (see
+:class:`~repro.transport.server.RespTcpServer`). Time is injected
+(``clock``) so expiry ordering is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Optional
+
+from repro.errors import SweepError
+from repro.sweep.dist.protocol import FailureRecord
+
+
+class PointState(str, Enum):
+    """Lifecycle of one grid point on the coordinator."""
+
+    QUEUED = "queued"
+    LEASED = "leased"
+    DONE = "done"
+    POISONED = "poisoned"
+
+
+@dataclass
+class PointRecord:
+    """Everything the coordinator tracks about one point."""
+
+    index: int
+    state: PointState = PointState.QUEUED
+    worker: Optional[str] = None
+    deadline: float = 0.0
+    leases: int = 0  # how many times this point has been handed out
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    @property
+    def failed_workers(self) -> set[str]:
+        return {f.worker for f in self.failures}
+
+
+class LeaseTable:
+    """Queued/leased/done/poisoned bookkeeping with time-bounded leases.
+
+    ``observer(event, record)`` is called on every state transition
+    (``lease``, ``renew``, ``reclaim``, ``done``, ``requeue``,
+    ``poison``) — the coordinator hangs its journal and progress
+    reporting off it.
+    """
+
+    def __init__(
+        self,
+        indices: Iterable[int],
+        lease_seconds: float = 5.0,
+        poison_workers: int = 2,
+        poison_failures: int = 4,
+        clock: Callable[[], float] = time.monotonic,
+        observer: Optional[Callable[[str, PointRecord], None]] = None,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise SweepError(f"lease_seconds must be positive, got {lease_seconds}")
+        if min(poison_workers, poison_failures) < 1:
+            raise SweepError("poison thresholds must be >= 1")
+        self.lease_seconds = lease_seconds
+        self.poison_workers = poison_workers
+        self.poison_failures = poison_failures
+        self.clock = clock
+        self.observer = observer
+        self.records: dict[int, PointRecord] = {}
+        self._queue: deque[int] = deque()
+        for index in indices:
+            if index in self.records:
+                raise SweepError(f"duplicate point index {index}")
+            self.records[index] = PointRecord(index)
+            self._queue.append(index)
+        self.reclaims = 0  # leases stolen back from expired workers
+
+    # -- helpers -----------------------------------------------------------
+    def _notify(self, event: str, record: PointRecord) -> None:
+        if self.observer is not None:
+            self.observer(event, record)
+
+    def _terminal(self, record: PointRecord) -> bool:
+        return record.state in (PointState.DONE, PointState.POISONED)
+
+    # -- queries -----------------------------------------------------------
+    def done(self) -> bool:
+        """Every point reached a terminal state (DONE or POISONED)."""
+        return all(self._terminal(r) for r in self.records.values())
+
+    def counts(self) -> dict[str, int]:
+        out = {state.value: 0 for state in PointState}
+        for record in self.records.values():
+            out[record.state.value] += 1
+        return out
+
+    def remaining(self) -> int:
+        return sum(1 for r in self.records.values() if not self._terminal(r))
+
+    def poisoned(self) -> list[PointRecord]:
+        return [
+            self.records[i]
+            for i in sorted(self.records)
+            if self.records[i].state is PointState.POISONED
+        ]
+
+    # -- transitions -------------------------------------------------------
+    def reclaim_expired(self) -> list[int]:
+        """Steal back every expired lease, in index order.
+
+        Reclaimed points go to the *front* of the queue (they are the
+        oldest outstanding work), lowest index first, so recovery from a
+        dead worker re-issues its points before fresh ones.
+        """
+        now = self.clock()
+        expired = sorted(
+            record.index
+            for record in self.records.values()
+            if record.state is PointState.LEASED and record.deadline <= now
+        )
+        for index in reversed(expired):  # appendleft reverses again
+            record = self.records[index]
+            record.state = PointState.QUEUED
+            record.worker = None
+            record.deadline = 0.0
+            self._queue.appendleft(index)
+            self.reclaims += 1
+            self._notify("reclaim", record)
+        return expired
+
+    def claim(self, worker: str) -> Optional[int]:
+        """Lease the next claimable point to ``worker`` (None = nothing now).
+
+        Prefers points that have *not* already failed on this worker
+        (work-stealing another worker's poison draft does nobody any
+        good); hands an already-failed one out only when nothing else is
+        queued, relying on the total-failure poison cap to terminate.
+        """
+        self.reclaim_expired()
+        chosen: Optional[int] = None
+        for index in self._queue:
+            if worker not in self.records[index].failed_workers:
+                chosen = index
+                break
+        if chosen is None and self._queue:
+            chosen = self._queue[0]
+        if chosen is None:
+            return None
+        self._queue.remove(chosen)
+        record = self.records[chosen]
+        record.state = PointState.LEASED
+        record.worker = worker
+        record.deadline = self.clock() + self.lease_seconds
+        record.leases += 1
+        self._notify("lease", record)
+        return chosen
+
+    def renew(self, worker: str, index: int) -> bool:
+        """Heartbeat: extend the lease iff ``worker`` still holds it."""
+        record = self.records.get(index)
+        if record is None or record.state is not PointState.LEASED:
+            return False
+        if record.worker != worker:
+            return False
+        record.deadline = self.clock() + self.lease_seconds
+        self._notify("renew", record)
+        return True
+
+    def complete(self, worker: str, index: int) -> bool:
+        """Mark ``index`` DONE; False means a duplicate (already terminal).
+
+        Accepts results from stale leases (expired, reclaimed, even
+        currently re-leased to someone else): the computation is
+        deterministic, so the first finisher's result stands and later
+        ones are acknowledged and discarded.
+        """
+        record = self.records.get(index)
+        if record is None:
+            raise SweepError(f"unknown point index {index}")
+        if self._terminal(record):
+            return False
+        if record.state is PointState.QUEUED:
+            self._queue.remove(index)
+        record.state = PointState.DONE
+        record.worker = worker
+        record.deadline = 0.0
+        self._notify("done", record)
+        return True
+
+    def fail(self, worker: str, index: int, failure: FailureRecord) -> PointState:
+        """Record a terminal worker-side failure; requeue or poison.
+
+        Returns the point's resulting state (QUEUED = requeued for
+        another worker, POISONED = quarantined). Failures reported for
+        already-terminal points are ignored (stale workers).
+        """
+        record = self.records.get(index)
+        if record is None:
+            raise SweepError(f"unknown point index {index}")
+        if self._terminal(record):
+            return record.state
+        record.failures.append(failure)
+        record.worker = None
+        record.deadline = 0.0
+        if record.state is PointState.QUEUED:
+            self._queue.remove(index)
+        if (
+            len(record.failed_workers) >= self.poison_workers
+            or len(record.failures) >= self.poison_failures
+        ):
+            record.state = PointState.POISONED
+            self._notify("poison", record)
+        else:
+            record.state = PointState.QUEUED
+            self._queue.append(index)
+            self._notify("requeue", record)
+        return record.state
+
+    def preload_done(self, index: int) -> None:
+        """Mark a point DONE before serving (journal replay / cache hit)."""
+        record = self.records.get(index)
+        if record is None:
+            raise SweepError(f"unknown point index {index}")
+        if record.state is not PointState.QUEUED:
+            raise SweepError(f"point {index} already {record.state.value}")
+        self._queue.remove(index)
+        record.state = PointState.DONE
+        record.worker = "journal"

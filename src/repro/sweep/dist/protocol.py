@@ -1,0 +1,172 @@
+"""Wire protocol of the distributed sweep: RESP commands + payloads.
+
+The coordinator is a :class:`~repro.transport.server.RespTcpServer`
+subclass, so every exchange is a RESP command array from the worker and
+a single RESP reply from the coordinator — the same substrate (and the
+same :class:`~repro.transport.redis_backend.MiniRedisConnection` client
+framing) as the mini-Redis backend. The vocabulary:
+
+=========  =============================================  =======================
+command    arguments                                      reply
+=========  =============================================  =======================
+PING       —                                              ``+PONG``
+HELLO      worker_id, capabilities-JSON                   bulk JSON grid info
+CLAIM      worker_id                                      bulk assignment pickle,
+                                                          null (nothing claimable
+                                                          right now), or
+                                                          ``+DRAINED``
+RENEW      worker_id, index                               ``:1`` (lease held) /
+                                                          ``:0`` (lease lost)
+DONE       worker_id, index, result pickle                ``+OK`` / ``+DUPLICATE``
+FAIL       worker_id, index, failure-JSON                 ``+REQUEUED`` /
+                                                          ``+POISONED``
+STATUS     —                                              bulk JSON state counts
+=========  =============================================  =======================
+
+Assignments and results are pickled: workers are trusted peers running
+the *same* ``repro`` version against the same grid (HELLO rejects a
+version mismatch, because cache keys and point fingerprints embed the
+version). This is a cluster-internal tool, not an internet-facing one —
+never expose the coordinator port to untrusted networks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.errors import SweepError
+from repro.sweep.cache import point_key
+from repro.sweep.point import SweepPoint
+
+#: Bumped when the assignment/result wire shape changes.
+WIRE_FORMAT = "repro-dist-sweep-v1"
+
+#: CLAIM reply meaning "every point is done or poisoned; nothing left".
+DRAINED = "DRAINED"
+
+
+def parse_hostport(text: str) -> tuple[str, int]:
+    """Split ``HOST:PORT`` (IPv4/hostname) into its parts."""
+    host, sep, port_text = str(text).rpartition(":")
+    if not sep or not host:
+        raise SweepError(f"expected HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SweepError(f"bad port in {text!r}") from None
+    if not 0 <= port <= 65535:
+        raise SweepError(f"port out of range in {text!r}")
+    return host, port
+
+
+def grid_signature(points: Sequence[tuple[int, SweepPoint]]) -> str:
+    """Content identity of one (sub)grid: SHA-256 over its point keys.
+
+    Embeds each point's function path, canonical kwargs fingerprint, and
+    the package version (via :func:`~repro.sweep.cache.point_key`), plus
+    the grid *indices* — so a journal written for one grid can never be
+    replayed into a different one, a reordered grid, or another code
+    version.
+    """
+    digest = hashlib.sha256()
+    for index, point in points:
+        digest.update(f"{index}:{point_key(point.func_path, dict(point.kwargs))}\n".encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One leased unit of work, shipped coordinator -> worker."""
+
+    index: int
+    point: SweepPoint
+    lease_seconds: float
+    #: Per-point wall-clock timeout (None = unlimited), enforced worker-side.
+    timeout: Optional[float] = None
+    #: Additional local attempts the worker grants retryable failures.
+    retries: int = 1
+    #: Whether the worker must capture a telemetry snapshot.
+    capture: bool = True
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(
+            {"format": WIRE_FORMAT, "assignment": self},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Assignment":
+        payload = pickle.loads(blob)
+        if not isinstance(payload, dict) or payload.get("format") != WIRE_FORMAT:
+            raise SweepError("malformed assignment payload")
+        assignment = payload["assignment"]
+        if not isinstance(assignment, cls):
+            raise SweepError("malformed assignment payload")
+        return assignment
+
+
+def dump_result(value: Any, snapshot: Any) -> bytes:
+    """Encode one completed point's (value, telemetry snapshot)."""
+    return pickle.dumps(
+        {"format": WIRE_FORMAT, "value": value, "snapshot": snapshot},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def load_result(blob: bytes) -> tuple[Any, Any]:
+    payload = pickle.loads(blob)
+    if not isinstance(payload, dict) or payload.get("format") != WIRE_FORMAT:
+        raise SweepError("malformed result payload")
+    return payload["value"], payload["snapshot"]
+
+
+@dataclass
+class FailureRecord:
+    """One terminal worker-side failure of one point (FAIL payload)."""
+
+    worker: str
+    error: str
+    traceback: str = ""
+    retries: int = 0  # local re-attempts the worker burned before giving up
+
+    def as_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "error": self.error,
+            "traceback": self.traceback,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureRecord":
+        return cls(
+            worker=str(data.get("worker", "?")),
+            error=str(data.get("error", "?")),
+            traceback=str(data.get("traceback", "")),
+            retries=int(data.get("retries", 0)),
+        )
+
+
+@dataclass
+class GridInfo:
+    """HELLO reply: what the coordinator is serving."""
+
+    grid: str
+    n_points: int
+    lease_seconds: float
+    version: str
+    remaining: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "grid": self.grid,
+            "n_points": self.n_points,
+            "lease_seconds": self.lease_seconds,
+            "version": self.version,
+            "remaining": self.remaining,
+            **self.extra,
+        }

@@ -1,0 +1,380 @@
+"""WorkerAgent: claims, executes, and reports sweep points over TCP.
+
+The agent is deliberately stateless about the grid: it claims one
+assignment at a time, executes it with the sweep engine's own point
+runner (per-point ``SIGALRM`` timeout, local retries for *retryable*
+errors with :class:`~repro.transport.resilience.RetryPolicy` backoff),
+streams the pickled (value, telemetry snapshot) result back, and claims
+again. Everything that makes the system fault-tolerant lives in how the
+agent fails:
+
+* **heartbeats** — a background thread renews the current lease every
+  ``lease_seconds * heartbeat_fraction``; if the agent dies (SIGKILL,
+  OOM), renewals stop and the coordinator reclaims the point;
+* **reconnect with backoff + jitter** — every connection failure goes
+  through the shared :class:`RetryPolicy` (seeded jitter desynchronises
+  a fleet restarting together) gated by a :class:`CircuitBreaker`; the
+  agent only gives up after ``reconnect_budget`` seconds without
+  managing to reach the coordinator, which is what lets it ride out a
+  coordinator restart or the gap between two grids of a multi-stage
+  sweep;
+* **result durability** — a computed result is resent across reconnects
+  until acknowledged; a ``DUPLICATE`` ack (someone stole and finished
+  the point while we were partitioned) is a success, not an error;
+* **graceful drain** — SIGTERM (see :meth:`install_signal_handlers`)
+  finishes and reports the in-flight point, then exits the claim loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import BackendUnavailableError, SweepError
+from repro.sweep.dist.protocol import (
+    DRAINED,
+    Assignment,
+    FailureRecord,
+    parse_hostport,
+)
+from repro.sweep.point import derive_seed
+from repro.transport.redis_backend import MiniRedisConnection
+from repro.transport.resilience import CircuitBreaker, RetryPolicy
+from repro.version import __version__
+
+_AGENT_COUNTER = itertools.count()
+
+
+def _default_policy() -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=6, base_delay=0.2, multiplier=2.0, max_delay=3.0, jitter=0.25
+    )
+
+
+@dataclass
+class WorkerOptions:
+    """How one agent connects, retries, and paces itself."""
+
+    policy: RetryPolicy = field(default_factory=_default_policy)
+    #: Seconds without reaching the coordinator before the agent exits.
+    reconnect_budget: float = 30.0
+    #: Idle wait between claims when the queue is empty or drained.
+    poll: float = 0.25
+    #: Lease renewals happen every ``lease_seconds * heartbeat_fraction``.
+    heartbeat_fraction: float = 1.0 / 3.0
+    breaker_threshold: int = 3
+    breaker_reset: float = 1.0
+    #: Stop after completing/failing this many points (tests, canaries).
+    max_points: Optional[int] = None
+    #: Root seed for backoff jitter (derived per worker id).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reconnect_budget <= 0:
+            raise SweepError("reconnect_budget must be positive")
+        if self.poll <= 0:
+            raise SweepError("poll must be positive")
+        if not 0.0 < self.heartbeat_fraction < 1.0:
+            raise SweepError("heartbeat_fraction must be in (0, 1)")
+
+
+@dataclass
+class WorkerReport:
+    """What one agent did before exiting its claim loop."""
+
+    worker_id: str = ""
+    completed: int = 0
+    failed: int = 0
+    duplicates: int = 0  # results the coordinator had already (stolen points)
+    reconnects: int = 0
+    renews: int = 0
+    lease_losses: int = 0  # renewals answered "lease lost" mid-execution
+    local_retries: int = 0
+    drained: bool = False  # exited via SIGTERM / request_drain
+    gave_up: bool = False  # reconnect budget exhausted
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.completed} completed",
+            f"{self.failed} failed",
+            f"{self.reconnects} reconnects",
+        ]
+        if self.duplicates:
+            parts.append(f"{self.duplicates} duplicates")
+        if self.lease_losses:
+            parts.append(f"{self.lease_losses} lease losses")
+        how = "drained" if self.drained else ("gave up" if self.gave_up else "done")
+        return f"worker {self.worker_id}: " + ", ".join(parts) + f" ({how})"
+
+
+class WorkerAgent:
+    """One claim-execute-report loop against one coordinator address."""
+
+    def __init__(
+        self,
+        address: str,
+        options: Optional[WorkerOptions] = None,
+        worker_id: Optional[str] = None,
+    ) -> None:
+        self.host, self.port = parse_hostport(address)
+        self.options = options or WorkerOptions()
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}:{os.getpid()}:{next(_AGENT_COUNTER)}"
+        )
+        self.report = WorkerReport(worker_id=self.worker_id)
+        self._rng = np.random.default_rng(
+            derive_seed(self.options.seed, "dist-worker", self.worker_id)
+        )
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.options.breaker_threshold,
+            reset_timeout=self.options.breaker_reset,
+            name=f"worker:{self.worker_id}",
+        )
+        self._conn: Optional[MiniRedisConnection] = None
+        self._drain = threading.Event()
+        self._last_contact = time.monotonic()
+        self.grid_info: Optional[dict] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def request_drain(self) -> None:
+        """Finish the in-flight point (if any), then exit the claim loop."""
+        self._drain.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM -> graceful drain. Call from a dedicated worker process."""
+        signal.signal(signal.SIGTERM, lambda signum, frame: self.request_drain())
+
+    # -- connection management ----------------------------------------------
+    def _touch(self) -> None:
+        self._last_contact = time.monotonic()
+
+    def _drop_conn(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+
+    def _connect_once(self) -> MiniRedisConnection:
+        conn = MiniRedisConnection(self.host, self.port, timeout=30.0)
+        caps = json.dumps(
+            {
+                "version": __version__,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "python": sys.version.split()[0],
+            }
+        )
+        try:
+            reply = conn.command("HELLO", self.worker_id, caps)
+        except BaseException:
+            conn.close()  # a rejected HELLO (version mismatch) is fatal
+            raise
+        self.grid_info = json.loads(reply) if reply else {}
+        return conn
+
+    def _ensure_connection(self) -> Optional[MiniRedisConnection]:
+        """(Re)connect under the retry policy; None = budget exhausted.
+
+        The budget is measured from the last successful exchange, so a
+        healthy agent that loses the coordinator has the full window to
+        wait out a restart.
+        """
+        if self._conn is not None:
+            return self._conn
+        attempt = 0
+        while not self._drain.is_set():
+            if time.monotonic() - self._last_contact > self.options.reconnect_budget:
+                return None
+            if not self._breaker.allow():
+                time.sleep(min(self.options.breaker_reset, self.options.poll))
+                continue
+            try:
+                self._conn = self._connect_once()
+            except BackendUnavailableError:
+                self._breaker.record_failure()
+                attempt += 1
+                delay = self.options.policy.delay(
+                    min(attempt, self.options.policy.max_attempts - 1) or 1, self._rng
+                )
+                time.sleep(delay)
+            else:
+                self._breaker.record_success()
+                self._touch()
+                if attempt:
+                    self.report.reconnects += 1
+                return self._conn
+        return None
+
+    # -- execution ----------------------------------------------------------
+    def _execute(self, assignment: Assignment):
+        """Run the point with local retries; returns (value, snap, failure)."""
+        from repro.sweep.engine import _worker  # late: engine imports dist lazily
+
+        attempts = assignment.retries + 1
+        local_retries = 0
+        while True:
+            attempts -= 1
+            try:
+                value, snapshot = _worker(
+                    assignment.point, assignment.capture, assignment.timeout
+                )
+                return value, snapshot, None
+            except Exception as exc:
+                retryable = bool(getattr(exc, "retryable", False))
+                if attempts > 0 and retryable and not self._drain.is_set():
+                    local_retries += 1
+                    self.report.local_retries += 1
+                    time.sleep(
+                        self.options.policy.delay(
+                            min(local_retries, self.options.policy.max_attempts - 1)
+                            or 1,
+                            self._rng,
+                        )
+                    )
+                    continue
+                failure = FailureRecord(
+                    worker=self.worker_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback.format_exc(),
+                    retries=local_retries,
+                )
+                return None, None, failure
+
+    def _heartbeat(self, assignment: Assignment, stop: threading.Event) -> None:
+        interval = max(
+            assignment.lease_seconds * self.options.heartbeat_fraction, 0.05
+        )
+        while not stop.wait(interval):
+            conn = self._conn
+            if conn is None:
+                continue  # main thread is reconnecting; lease may lapse
+            try:
+                held = conn.command("RENEW", self.worker_id, str(assignment.index))
+            except (BackendUnavailableError, OSError):
+                continue
+            self._touch()
+            self.report.renews += 1
+            if not held:
+                # The lease expired and may be running elsewhere too; we
+                # still finish and submit — the coordinator deduplicates.
+                self.report.lease_losses += 1
+
+    def _submit(self, command: str, index: int, payload: bytes | str) -> Optional[str]:
+        """Send DONE/FAIL across reconnects until acked (None = gave up)."""
+        while True:
+            conn = self._ensure_connection()
+            if conn is None:
+                return None
+            try:
+                reply = conn.command(command, self.worker_id, str(index), payload)
+            except BackendUnavailableError:
+                self._drop_conn()
+                continue
+            self._touch()
+            return str(reply)
+
+    def _process(self, assignment: Assignment) -> None:
+        from repro.sweep.dist.protocol import dump_result
+
+        stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat,
+            args=(assignment, stop),
+            name=f"heartbeat-{self.worker_id}",
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            value, snapshot, failure = self._execute(assignment)
+        finally:
+            stop.set()
+            heartbeat.join(timeout=2.0)
+        if failure is None:
+            reply = self._submit(
+                "DONE", assignment.index, dump_result(value, snapshot)
+            )
+            if reply is not None:
+                self.report.completed += 1
+                if reply == "DUPLICATE":
+                    self.report.duplicates += 1
+        else:
+            self._submit(
+                "FAIL", assignment.index, json.dumps(failure.as_dict())
+            )
+            self.report.failed += 1
+            # Back off before claiming again: the re-queued point should
+            # go to a *different* worker if one is polling (the poison
+            # verdict needs distinct workers), not back to this one in
+            # the same breath.
+            self._drain.wait(self.options.poll)
+
+    # -- main loop -----------------------------------------------------------
+    def _budget_spent(self) -> bool:
+        limit = self.options.max_points
+        return limit is not None and (self.report.completed + self.report.failed) >= limit
+
+    def run(self) -> WorkerReport:
+        """Claim and execute until drained, budget-spent, or cut off."""
+        try:
+            while not self._drain.is_set() and not self._budget_spent():
+                conn = self._ensure_connection()
+                if conn is None:
+                    self.report.gave_up = True
+                    break
+                try:
+                    reply = conn.command("CLAIM", self.worker_id)
+                except BackendUnavailableError:
+                    self._drop_conn()
+                    continue
+                self._touch()
+                if reply == DRAINED:
+                    # This grid is finished — but a multi-stage sweep may
+                    # serve another one on the same address shortly.
+                    self._drop_conn()
+                    self._drain.wait(self.options.poll)
+                    continue
+                if reply is None:
+                    self._drain.wait(self.options.poll)
+                    continue
+                self._process(Assignment.from_bytes(reply))
+        finally:
+            self._drop_conn()
+        self.report.drained = self._drain.is_set()
+        return self.report
+
+
+def run_worker_process(
+    address: str,
+    seed: int = 0,
+    reconnect_budget: float = 30.0,
+    poll: float = 0.25,
+    max_points: Optional[int] = None,
+    quiet: bool = False,
+) -> int:
+    """Entry point for a dedicated worker process (CLI ``--connect``).
+
+    Installs the SIGTERM drain handler, runs one agent to completion,
+    and prints its report to stderr. Returns a process exit code.
+    """
+    options = WorkerOptions(
+        reconnect_budget=reconnect_budget, poll=poll, max_points=max_points, seed=seed
+    )
+    agent = WorkerAgent(address, options)
+    agent.install_signal_handlers()
+    report = agent.run()
+    if not quiet:
+        print(report.summary(), file=sys.stderr)
+    return 0
+
+
+__all__ = ["WorkerAgent", "WorkerOptions", "WorkerReport", "run_worker_process"]

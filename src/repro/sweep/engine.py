@@ -27,7 +27,12 @@ Execution contract (what the bit-identical regression tests rely on):
 
 from __future__ import annotations
 
+import contextlib
 import os
+import signal
+import threading
+import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,7 +43,9 @@ from repro.sweep.cache import CacheStats, ResultCache
 from repro.sweep.point import SweepPoint, points_from_grid
 
 #: Progress callback signature: (done_count, total, label, source) where
-#: source is "cache", "run", or "retry".
+#: source is "cache", "run", "retry", "journal" (restored from a
+#: crash-recovery journal), or "steal" (lease reclaimed from a dead
+#: worker — informational, does not advance the done count).
 ProgressFn = Callable[[int, int, str, str], None]
 
 _UNSET = object()
@@ -63,12 +70,42 @@ class SweepOptions:
     retries: int = 1
     #: Live progress callback (see ProgressFn); None = silent.
     progress: Optional[ProgressFn] = None
+    #: ``HOST:PORT`` to serve the grid on for distributed workers
+    #: (mutually exclusive with ``parallel > 1``). Pending points are
+    #: executed by remote :class:`~repro.sweep.dist.WorkerAgent`\\ s.
+    serve: Optional[str] = None
+    #: Crash-recovery journal directory for the distributed coordinator;
+    #: a restarted sweep with the same journal resumes where it died.
+    journal_dir: Optional[str | Path] = None
+    #: Distributed lease duration; a worker silent this long loses its
+    #: point to the next claimer.
+    lease_seconds: float = 5.0
+    #: Quarantine a point after terminal failures on this many distinct
+    #: workers ...
+    poison_workers: int = 2
+    #: ... or after this many terminal failures in total.
+    poison_failures: int = 4
+    #: Evict cache entries (oldest first) above this size after the run.
+    cache_max_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
             raise SweepError(f"retries must be >= 0, got {self.retries}")
         if self.timeout is not None and self.timeout <= 0:
             raise SweepError(f"timeout must be positive, got {self.timeout}")
+        if self.serve is not None and self.parallel > 1:
+            raise SweepError(
+                "serve and parallel are mutually exclusive: a serving sweep "
+                "delegates execution to remote workers"
+            )
+        if self.journal_dir is not None and self.serve is None:
+            raise SweepError("journal_dir only applies to a serving sweep")
+        if self.lease_seconds <= 0:
+            raise SweepError(f"lease_seconds must be positive, got {self.lease_seconds}")
+        if min(self.poison_workers, self.poison_failures) < 1:
+            raise SweepError("poison thresholds must be >= 1")
+        if self.cache_max_mb is not None and self.cache_max_mb <= 0:
+            raise SweepError(f"cache_max_mb must be positive, got {self.cache_max_mb}")
 
 
 @dataclass
@@ -77,13 +114,17 @@ class SweepReport:
 
     values: list[Any] = field(default_factory=list)
     n_points: int = 0
-    computed: int = 0  # points actually executed (not cache-served)
+    computed: int = 0  # points actually executed (not cache- or journal-served)
     retried: int = 0
     cache: Optional[CacheStats] = None
+    # Distributed-run extras (zero on serial/pool runs):
+    replayed: int = 0  # points restored from the crash-recovery journal
+    reclaims: int = 0  # leases stolen back from silent workers
+    requeues: int = 0  # worker failures re-queued to other workers
 
     @property
     def from_cache(self) -> int:
-        return self.n_points - self.computed
+        return self.n_points - self.computed - self.replayed
 
 
 def _execute_point(point: SweepPoint, capture: bool):
@@ -98,25 +139,65 @@ def _execute_point(point: SweepPoint, capture: bool):
     return value, snapshot
 
 
-def _worker(point: SweepPoint, capture: bool, timeout: Optional[float]):
-    """Process-pool entry: point execution under an optional SIGALRM."""
-    if not timeout:
-        return _execute_point(point, capture)
-    import signal
+@contextlib.contextmanager
+def _point_alarm(label: str, timeout: Optional[float]):
+    """Bound a block's wall-clock time with SIGALRM, safely.
 
-    if not hasattr(signal, "setitimer"):  # pragma: no cover - non-POSIX
-        return _execute_point(point, capture)
+    SIGALRM only delivers to the main thread, and naively arming an
+    itimer clobbers whatever alarm the host application had pending. So
+    this guard:
+
+    * no-ops (with a :class:`RuntimeWarning`) off the main thread or on
+      platforms without ``SIGALRM``/``setitimer`` — the point simply
+      runs unbounded rather than the timer silently misfiring;
+    * saves the previous handler *and* the previous timer's remaining
+      time, and re-arms both on exit, crediting the time this block
+      consumed (an outer alarm that would have fired during the block
+      fires almost immediately after it).
+    """
+    if not timeout:
+        yield
+        return
+    if not (hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")):
+        warnings.warn(  # pragma: no cover - non-POSIX
+            f"per-point timeout for {label!r} disabled: platform lacks SIGALRM",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        yield
+        return
+    if threading.current_thread() is not threading.main_thread():
+        warnings.warn(
+            f"per-point timeout for {label!r} disabled: SIGALRM timers only "
+            "fire on the main thread",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        yield
+        return
 
     def _on_alarm(signum, frame):
-        raise SweepTimeoutError(point.label, timeout)
+        raise SweepTimeoutError(label, timeout)
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    prev_delay, prev_interval = signal.setitimer(signal.ITIMER_REAL, timeout)
+    started = time.monotonic()
     try:
-        return _execute_point(point, capture)
+        yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if prev_delay > 0.0:
+            remaining = prev_delay - (time.monotonic() - started)
+            # An outer timer that expired while ours was armed still owes
+            # its application a signal: fire it as soon as possible.
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6), prev_interval)
+
+
+def _worker(point: SweepPoint, capture: bool, timeout: Optional[float]):
+    """Process-pool / dist-worker entry: execution under an optional alarm."""
+    with _point_alarm(point.label, timeout):
+        return _execute_point(point, capture)
 
 
 def _is_retryable(exc: BaseException) -> bool:
@@ -133,6 +214,9 @@ class SweepEngine:
     ) -> None:
         self.options = options or SweepOptions()
         self.telemetry = telemetry
+        #: Live SweepCoordinator while a distributed run is serving
+        #: (signal handlers use it to request a graceful stop).
+        self._coordinator = None
 
     # -- public API --------------------------------------------------------
     def run(self, points: Sequence[SweepPoint], telemetry=None) -> SweepReport:
@@ -182,17 +266,25 @@ class SweepEngine:
         #    process (workers) or outlive it (cache entries).
         capture = hub is not None or cache is not None
         if pending:
-            if self.options.parallel <= 1:
+            if self.options.serve is not None:
+                # Results cross process (and host) boundaries: always
+                # capture snapshots so telemetry merges deterministically.
+                self._run_dist(
+                    points, pending, cache, True, values, snapshots, report,
+                    done, emit,
+                )
+            elif self.options.parallel <= 1:
                 self._run_serial(
                     points, pending, cache, hub, capture, values, snapshots, report,
                     done, emit,
                 )
+                report.computed = len(pending)
             else:
                 self._run_pool(
                     points, pending, cache, capture, values, snapshots, report,
                     done, emit,
                 )
-            report.computed = len(pending)
+                report.computed = len(pending)
 
         # 3. Deterministic telemetry merge, in point order.
         if hub is not None:
@@ -200,12 +292,19 @@ class SweepEngine:
                 hub.merge(snapshot)
             hub.metrics.counter("sweep.points").inc(len(points))
             hub.metrics.counter("sweep.points.computed").inc(report.computed)
+            if report.replayed:
+                hub.metrics.counter("sweep.points.replayed").inc(report.replayed)
             if cache is not None:
                 hub.metrics.counter("sweep.cache.hits").inc(cache.stats.hits)
                 hub.metrics.counter("sweep.cache.misses").inc(cache.stats.misses)
 
         report.values = values
         report.cache = cache.stats if cache is not None else None
+        if cache is not None:
+            # Housekeeping: log this run's hit rate, then trim the cache.
+            cache.record_history()
+            if self.options.cache_max_mb is not None:
+                cache.evict(max_bytes=int(self.options.cache_max_mb * 1024 * 1024))
         return report
 
     def map(
@@ -314,6 +413,101 @@ class SweepEngine:
                         )
                     done += 1
                     emit(done, point.label, "run")
+
+    # -- distributed path ---------------------------------------------------
+    def _run_dist(
+        self, points, pending, cache, capture, values, snapshots, report,
+        done, emit,
+    ) -> None:
+        """Serve pending points to remote workers; block until drained.
+
+        The coordinator owns fault tolerance (leases, stealing, poison,
+        journal); this method only adapts it to the engine's bookkeeping:
+        point-order values/snapshots, cache stores, and progress events
+        ("journal" for replayed points, "steal" for reclaimed leases).
+        Raises :class:`~repro.errors.SweepPoisonedError` if any point was
+        quarantined — partial results are not silently returned.
+        """
+        from repro.sweep.dist.coordinator import SweepCoordinator
+
+        keys = dict(pending)
+        work = [(index, points[index]) for index, _ in pending]
+        progress_done = [done]  # box: closed over by the callback
+
+        def on_event(event: str, index: int, worker) -> None:
+            label = points[index].label
+            if event in ("replay", "done"):
+                progress_done[0] += 1
+                emit(progress_done[0], label, "journal" if event == "replay" else "run")
+            elif event == "reclaim":
+                emit(progress_done[0], label, "steal")
+            elif event == "requeue":
+                emit(progress_done[0], label, "retry")
+
+        coordinator = SweepCoordinator(
+            work,
+            host=self._serve_host,
+            port=self._serve_port,
+            lease_seconds=self.options.lease_seconds,
+            poison_workers=self.options.poison_workers,
+            poison_failures=self.options.poison_failures,
+            timeout=self.options.timeout,
+            retries=self.options.retries,
+            capture=capture,
+            journal_dir=self.options.journal_dir,
+            progress=on_event,
+        )
+        self._coordinator = coordinator  # exposed for signal handlers/tests
+        # Graceful drain: SIGTERM stops serving at the next poll; the
+        # journal (if any) already holds every acknowledged result, so a
+        # restarted sweep with the same journal resumes where this died.
+        previous_term = None
+        on_main = (
+            hasattr(signal, "SIGTERM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if on_main:
+            previous_term = signal.signal(
+                signal.SIGTERM, lambda signum, frame: coordinator.request_stop()
+            )
+        try:
+            outcome = coordinator.serve()
+        finally:
+            if on_main:
+                signal.signal(signal.SIGTERM, previous_term)
+            coordinator.stop()
+            self._coordinator = None
+        for index, (value, snapshot) in outcome.results.items():
+            values[index] = value
+            snapshots[index] = snapshot
+            if cache is not None and keys.get(index) is not None:
+                cache.store(keys[index], value, snapshot,
+                            meta={"label": points[index].label})
+        report.computed = outcome.executed
+        report.replayed = outcome.replayed
+        report.reclaims = outcome.reclaims
+        report.requeues = outcome.requeues
+        report.retried += outcome.requeues
+        if len(outcome.results) < len(pending):
+            # serve() returned early (request_stop): surface the gap
+            # rather than handing back _UNSET placeholders.
+            missing = [i for i, _ in pending if i not in outcome.results]
+            raise SweepError(
+                f"distributed sweep stopped with {len(missing)} unfinished "
+                f"points (first: {points[missing[0]].label})"
+            )
+
+    @property
+    def _serve_host(self) -> str:
+        from repro.sweep.dist.protocol import parse_hostport
+
+        return parse_hostport(self.options.serve)[0]
+
+    @property
+    def _serve_port(self) -> int:
+        from repro.sweep.dist.protocol import parse_hostport
+
+        return parse_hostport(self.options.serve)[1]
 
 
 def default_parallelism() -> int:

@@ -3,7 +3,9 @@
 The paper's Redis backend (via SmartSim) is a production in-memory store;
 this module reproduces its architecturally relevant properties:
 
-* a real TCP server speaking RESP (see :mod:`repro.transport.resp`);
+* a real TCP server speaking RESP (the shared
+  :class:`~repro.transport.server.RespTcpServer` substrate, also reused
+  by the distributed sweep coordinator);
 * **single-threaded command execution** — connections are accepted and
   parsed concurrently, but commands funnel through one executor lock, the
   same serialization point that caps real Redis throughput under
@@ -31,148 +33,29 @@ from repro.transport import resp
 from repro.transport.base import DataStoreClient
 from repro.transport.kvfile import crc32_shard
 from repro.transport.serializer import deserialize, serialize
+from repro.transport.server import RespTcpServer
 
 _RECV_CHUNK = 1 << 16
 
 
-class MiniRedisServer:
-    """A single store instance listening on (host, port)."""
+class MiniRedisServer(RespTcpServer):
+    """A single store instance listening on (host, port).
+
+    The TCP/RESP serving loop lives in :class:`RespTcpServer`; this class
+    is only the Redis command vocabulary over one in-memory dict. The
+    base class's execution lock is exactly Redis's single-threaded
+    command execution.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__(host=host, port=port, name="miniredis")
         self._data: dict[bytes, bytes] = {}
-        self._exec_lock = threading.Lock()  # single-threaded execution
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        try:
-            self._listener.bind((host, port))
-        except OSError as exc:
-            raise ServerError(f"cannot bind {host}:{port}: {exc}") from exc
-        self._listener.listen(128)
-        # A finite accept timeout lets the accept loop observe shutdown
-        # promptly (closing a listener does not reliably wake accept()).
-        self._listener.settimeout(0.2)
-        self.host, self.port = self._listener.getsockname()
-        self._running = threading.Event()
-        self._accept_thread: Optional[threading.Thread] = None
-        self._conn_threads: list[threading.Thread] = []
-        self._open_conns: set[socket.socket] = set()
-        self._conns_lock = threading.Lock()
-        self.commands_served = 0
-
-    # -- lifecycle ----------------------------------------------------------
-    def start(self) -> "MiniRedisServer":
-        if self._running.is_set():
-            raise ServerError("server already started")
-        self._running.set()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"miniredis-{self.port}", daemon=True
-        )
-        self._accept_thread.start()
-        return self
-
-    def stop(self) -> None:
-        if not self._running.is_set():
-            return
-        self._running.clear()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        # Unblock connection threads sitting in recv().
-        with self._conns_lock:
-            conns = list(self._open_conns)
-        for conn in conns:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.close()
-            except OSError:
-                pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
-        for t in self._conn_threads:
-            t.join(timeout=1.0)
-
-    def __enter__(self) -> "MiniRedisServer":
-        return self.start()
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop()
-
-    @property
-    def address(self) -> str:
-        return f"{self.host}:{self.port}"
 
     def dbsize(self) -> int:
         with self._exec_lock:
             return len(self._data)
 
-    # -- connection handling --------------------------------------------------
-    def _accept_loop(self) -> None:
-        while self._running.is_set():
-            try:
-                conn, _ = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break
-            conn.settimeout(None)  # connections block indefinitely
-            thread = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
-            )
-            thread.start()
-            self._conn_threads.append(thread)
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        parser = resp.RespParser()
-        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        with self._conns_lock:
-            self._open_conns.add(conn)
-        try:
-            while self._running.is_set():
-                try:
-                    data = conn.recv(_RECV_CHUNK)
-                except OSError:
-                    break
-                if not data:
-                    break
-                parser.feed(data)
-                while True:
-                    try:
-                        message = parser.pop()
-                    except TransportError as exc:
-                        conn.sendall(resp.encode_error(str(exc)))
-                        return
-                    if message is None:
-                        break
-                    reply = self._execute(message)
-                    conn.sendall(reply)
-        finally:
-            with self._conns_lock:
-                self._open_conns.discard(conn)
-            try:
-                conn.close()
-            except OSError:
-                pass
-
     # -- command execution -------------------------------------------------------
-    def _execute(self, message: Any) -> bytes:
-        if not isinstance(message, list) or not message:
-            return resp.encode_error("protocol: expected a command array")
-        command = message[0]
-        if not isinstance(command, bytes):
-            return resp.encode_error("protocol: command must be a bulk string")
-        name = command.decode("utf-8", "replace").upper()
-        args = message[1:]
-        with self._exec_lock:  # Redis executes commands one at a time
-            self.commands_served += 1
-            try:
-                return self._dispatch(name, args)
-            except TransportError as exc:
-                return resp.encode_error(str(exc))
-
     def _dispatch(self, name: str, args: list) -> bytes:
         if name == "PING":
             return resp.encode_simple("PONG")
@@ -208,11 +91,6 @@ class MiniRedisServer:
             self._data.clear()
             return resp.encode_simple("OK")
         raise TransportError(f"unknown command '{name}'")
-
-    @staticmethod
-    def _need(args: list, n: int, command: str) -> None:
-        if len(args) != n:
-            raise TransportError(f"wrong number of arguments for '{command}'")
 
 
 class MiniRedisConnection:

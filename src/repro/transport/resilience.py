@@ -26,6 +26,7 @@ runs report retries, giveups, and failure->success recovery latency.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -136,42 +137,67 @@ class CircuitBreaker:
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at: Optional[float] = None
+        self._probe_started: Optional[float] = None
         #: (time, from_state, to_state) — test hook and telemetry feed.
         self.transitions: list[tuple[float, str, str]] = []
+        # Breakers are shared across threads (e.g. a distributed sweep
+        # worker's main loop and its heartbeat thread); the lock keeps
+        # the open -> half-open probe transition single-winner.
+        self._lock = threading.RLock()
 
     def _transition(self, to: BreakerState) -> None:
         self.transitions.append((self.clock(), self.state.value, to.value))
         self.state = to
 
     def allow(self) -> bool:
-        """May a call proceed right now? (May move open -> half-open.)"""
-        if self.state is BreakerState.OPEN:
-            assert self.opened_at is not None
-            if self.clock() - self.opened_at >= self.reset_timeout:
-                self._transition(BreakerState.HALF_OPEN)
+        """May a call proceed right now? (May move open -> half-open.)
+
+        Half-open admits a *single* probe: concurrent callers are shed
+        until the probe reports back. A probe that never reports (its
+        thread died) forfeits after another ``reset_timeout``, at which
+        point the next caller becomes the probe.
+        """
+        with self._lock:
+            if self.state is BreakerState.OPEN:
+                assert self.opened_at is not None
+                if self.clock() - self.opened_at >= self.reset_timeout:
+                    self._transition(BreakerState.HALF_OPEN)
+                    self._probe_started = self.clock()
+                    return True
+                return False
+            if self.state is BreakerState.HALF_OPEN:
+                if (
+                    self._probe_started is not None
+                    and self.clock() - self._probe_started < self.reset_timeout
+                ):
+                    return False  # a probe is in flight; shed everyone else
+                self._probe_started = self.clock()  # lost probe: take over
                 return True
-            return False
-        return True
+            return True
 
     def record_success(self) -> None:
         """A call succeeded: close the circuit and reset the failure run."""
-        self.consecutive_failures = 0
-        if self.state is not BreakerState.CLOSED:
-            self._transition(BreakerState.CLOSED)
-            self.opened_at = None
+        with self._lock:
+            self.consecutive_failures = 0
+            self._probe_started = None
+            if self.state is not BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED)
+                self.opened_at = None
 
     def record_failure(self) -> None:
         """A call failed: trip on threshold, or re-open a failed probe."""
-        self.consecutive_failures += 1
-        if self.state is BreakerState.HALF_OPEN:
-            self._transition(BreakerState.OPEN)
-            self.opened_at = self.clock()
-        elif (
-            self.state is BreakerState.CLOSED
-            and self.consecutive_failures >= self.failure_threshold
-        ):
-            self._transition(BreakerState.OPEN)
-            self.opened_at = self.clock()
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state is BreakerState.HALF_OPEN:
+                self._transition(BreakerState.OPEN)
+                self.opened_at = self.clock()
+                self._probe_started = None
+            elif (
+                self.state is BreakerState.CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(BreakerState.OPEN)
+                self.opened_at = self.clock()
 
 
 @dataclass

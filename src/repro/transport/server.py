@@ -1,9 +1,20 @@
-"""ServerManager: deploys and configures data servers (paper §3.2).
+"""Server-side transport substrate: RESP TCP serving + ServerManager.
 
-"The ServerManager is responsible for the creation and configuration of
-data servers, while the DataStore exposes a uniform client API."
+Two layers live here:
 
-Backend-specific setup:
+* :class:`RespTcpServer` — a generic threaded TCP server speaking RESP
+  (see :mod:`repro.transport.resp`): bind/listen, per-connection reader
+  threads, incremental frame parsing, and serialized command dispatch.
+  :class:`~repro.transport.redis_backend.MiniRedisServer` (the mini-Redis
+  backend) and :class:`~repro.sweep.dist.coordinator.SweepCoordinator`
+  (the distributed sweep coordinator) are both subclasses that only
+  implement ``_dispatch``.
+* :class:`ServerManager` — deploys and configures data servers (paper
+  §3.2): "The ServerManager is responsible for the creation and
+  configuration of data servers, while the DataStore exposes a uniform
+  client API."
+
+ServerManager backend-specific setup:
 
 * ``redis`` / ``dragon`` — starts ``n_shards`` in-memory server instances
   (as a client-sharded cluster) and reports their addresses;
@@ -18,16 +29,175 @@ construction.
 from __future__ import annotations
 
 import shutil
+import socket
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
 from repro.config.loader import load_server_config
 from repro.config.schema import ServerConfig
-from repro.errors import ServerError
-from repro.transport.dragon_backend import DragonShardServer
+from repro.errors import ServerError, TransportError
+from repro.transport import resp
 from repro.transport.kvfile import ShardedFileStore
-from repro.transport.redis_backend import MiniRedisServer
+
+_RECV_CHUNK = 1 << 16
+
+
+class RespTcpServer:
+    """Threaded TCP server speaking RESP; subclasses implement ``_dispatch``.
+
+    Connections are accepted and parsed concurrently (one reader thread
+    per connection), but command execution funnels through one lock, so
+    ``_dispatch`` implementations may mutate shared state without their
+    own locking. Protocol errors are answered with ``-ERR`` replies;
+    :class:`~repro.errors.TransportError` raised by ``_dispatch`` becomes
+    an error reply instead of killing the connection.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, name: str = "resp") -> None:
+        self.name = name
+        self._exec_lock = threading.Lock()  # serialized command execution
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+        except OSError as exc:
+            raise ServerError(f"cannot bind {host}:{port}: {exc}") from exc
+        self._listener.listen(128)
+        # A finite accept timeout lets the accept loop observe shutdown
+        # promptly (closing a listener does not reliably wake accept()).
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()
+        self._running = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: list[threading.Thread] = []
+        self._open_conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self.commands_served = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "RespTcpServer":
+        if self._running.is_set():
+            raise ServerError("server already started")
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{self.name}-{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        # Unblock connection threads sitting in recv().
+        with self._conns_lock:
+            conns = list(self._open_conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for t in self._conn_threads:
+            t.join(timeout=1.0)
+
+    def __enter__(self) -> "RespTcpServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def is_running(self) -> bool:
+        return self._running.is_set()
+
+    # -- connection handling ------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.settimeout(None)  # connections block indefinitely
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        parser = resp.RespParser()
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._conns_lock:
+            self._open_conns.add(conn)
+        try:
+            while self._running.is_set():
+                try:
+                    data = conn.recv(_RECV_CHUNK)
+                except OSError:
+                    break
+                if not data:
+                    break
+                parser.feed(data)
+                while True:
+                    try:
+                        message = parser.pop()
+                    except TransportError as exc:
+                        conn.sendall(resp.encode_error(str(exc)))
+                        return
+                    if message is None:
+                        break
+                    reply = self._execute(message)
+                    conn.sendall(reply)
+        finally:
+            with self._conns_lock:
+                self._open_conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- command execution ---------------------------------------------------
+    def _execute(self, message: Any) -> bytes:
+        if not isinstance(message, list) or not message:
+            return resp.encode_error("protocol: expected a command array")
+        command = message[0]
+        if not isinstance(command, bytes):
+            return resp.encode_error("protocol: command must be a bulk string")
+        name = command.decode("utf-8", "replace").upper()
+        args = message[1:]
+        with self._exec_lock:  # commands execute one at a time
+            self.commands_served += 1
+            try:
+                return self._dispatch(name, args)
+            except TransportError as exc:
+                return resp.encode_error(str(exc))
+
+    def _dispatch(self, name: str, args: list) -> bytes:
+        """Handle one command; subclasses must implement."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _need(args: list, n: int, command: str) -> None:
+        if len(args) != n:
+            raise TransportError(f"wrong number of arguments for '{command}'")
 
 
 class ServerManager:
@@ -57,11 +227,17 @@ class ServerManager:
         if backend in ("node-local", "filesystem"):
             self._start_file_backend()
         elif backend == "redis":
+            # Imported lazily: the backend modules build on RespTcpServer
+            # above, so a module-level import would be circular.
+            from repro.transport.redis_backend import MiniRedisServer
+
             self._servers = [
                 MiniRedisServer(host=self.config.host, port=0).start()
                 for _ in range(self.config.n_shards)
             ]
         elif backend == "dragon":
+            from repro.transport.dragon_backend import DragonShardServer
+
             self._servers = [
                 DragonShardServer(host=self.config.host, port=0).start()
                 for _ in range(self.config.n_shards)

@@ -136,3 +136,150 @@ def test_cache_clear(tmp_path):
     assert len(cache) == 3
     assert cache.clear() == 3
     assert len(cache) == 0
+
+
+# -- eviction (size/age LRU over entry mtime) ------------------------------
+
+
+def _age(cache, key, seconds):
+    """Backdate an entry's mtime by ``seconds``."""
+    import os
+    import time
+
+    path = cache._path(key)
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+def test_evict_by_age_drops_only_stale_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    old = point_key("m:f", {"a": 1})
+    fresh = point_key("m:f", {"a": 2})
+    cache.store(old, "old")
+    cache.store(fresh, "fresh")
+    _age(cache, old, seconds=3600)
+
+    assert cache.evict(max_age_seconds=600) == 1
+    assert cache.lookup(old) is None
+    assert cache.lookup(fresh)["value"] == "fresh"
+
+
+def test_evict_by_size_removes_oldest_first(tmp_path):
+    cache = ResultCache(tmp_path)
+    keys = [point_key("m:f", {"a": a}) for a in range(4)]
+    for rank, key in enumerate(keys):
+        cache.store(key, "x" * 100)
+        _age(cache, key, seconds=(4 - rank) * 100)  # keys[0] is oldest
+    entry_size = cache._path(keys[0]).stat().st_size
+
+    # Budget for exactly two entries: the two oldest must go.
+    assert cache.evict(max_bytes=2 * entry_size) == 2
+    assert cache.lookup(keys[0]) is None
+    assert cache.lookup(keys[1]) is None
+    assert cache.lookup(keys[2]) is not None
+    assert cache.lookup(keys[3]) is not None
+
+
+def test_evict_noop_when_under_budget(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store(point_key("m:f", {"a": 1}), "v")
+    assert cache.evict(max_bytes=10**9, max_age_seconds=10**9) == 0
+    assert len(cache) == 1
+
+
+def test_store_refreshes_mtime_and_rescues_entry_from_eviction(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = point_key("m:f", {"a": 1})
+    cache.store(key, "v1")
+    _age(cache, key, seconds=3600)
+    cache.store(key, "v2")  # rewrite = recent use
+    assert cache.evict(max_age_seconds=600) == 0
+    assert cache.lookup(key)["value"] == "v2"
+
+
+# -- info / history --------------------------------------------------------
+
+
+def test_info_reports_sizes_and_ages(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store(point_key("m:f", {"a": 1}), "v")
+    cache.store(point_key("m:f", {"a": 2}), "v" * 50)
+    info = cache.info()
+    assert info["entries"] == 2
+    assert info["total_bytes"] > 0
+    assert info["largest_bytes"] <= info["total_bytes"]
+    assert info["oldest_age_seconds"] >= info["newest_age_seconds"] >= 0.0
+    assert info["history"] == []
+
+
+def test_record_history_round_trips_and_tolerates_torn_lines(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = point_key("m:f", {"a": 1})
+    cache.store(key, "v")
+    cache.lookup(key)
+    cache.record_history()
+    with open(tmp_path / "history.jsonl", "a", encoding="utf-8") as fh:
+        fh.write('{"torn": ')  # killed mid-append
+
+    records = ResultCache(tmp_path).history()
+    assert len(records) == 1
+    assert records[0]["hits"] == 1 and records[0]["stores"] == 1
+
+
+def test_record_history_skips_idle_runs(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.record_history()
+    assert not (tmp_path / "history.jsonl").exists()
+
+
+def test_history_limit_keeps_most_recent(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = point_key("m:f", {"a": 1})
+    for _ in range(5):
+        cache.lookup(key)
+        cache.record_history()
+    records = cache.history(limit=2)
+    assert len(records) == 2
+    assert records[-1]["misses"] == 5  # counters accumulate per run
+
+
+# -- concurrent-writer hardening -------------------------------------------
+
+
+def test_lookup_retries_once_when_a_writer_lands_mid_read(tmp_path, monkeypatch):
+    import pickle
+
+    real_load = pickle.load
+    cache = ResultCache(tmp_path)
+    key = point_key("m:f", {"a": 1})
+    cache.store(key, "v")
+
+    calls = {"n": 0}
+
+    def torn_then_fine(handle):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise EOFError("torn read under a concurrent writer")
+        return real_load(handle)
+
+    monkeypatch.setattr("repro.sweep.cache.pickle.load", torn_then_fine)
+    entry = cache.lookup(key)
+    assert entry["value"] == "v"
+    assert calls["n"] == 2
+    assert cache.stats.hits == 1 and cache.stats.invalid == 0
+
+
+def test_lookup_repairs_persistently_corrupt_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = point_key("m:f", {"a": 1})
+    cache.store(key, "v")
+    cache._path(key).write_bytes(b"garbage")
+
+    assert cache.lookup(key) is None
+    assert cache.stats.invalid == 1
+    assert not cache._path(key).exists()  # repaired (unlinked)
+
+
+def test_repair_tolerates_entry_vanishing_first(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache._repair(tmp_path / "ab" / "nope.pkl")  # no raise

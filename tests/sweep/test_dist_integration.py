@@ -1,0 +1,303 @@
+"""Coordinator + WorkerAgent integration, in-process (threads, real TCP)."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    BackendUnavailableError,
+    SweepError,
+    SweepPoisonedError,
+)
+from repro.sweep import SweepEngine, SweepOptions, SweepPoint
+from repro.sweep.dist import (
+    SweepCoordinator,
+    WorkerAgent,
+    WorkerOptions,
+    grid_signature,
+)
+from repro.transport.redis_backend import MiniRedisConnection
+from repro.transport.resp import ServerReplyError
+
+
+def add(x, y):
+    return x + y
+
+
+def traced_add(x, y, telemetry=None):
+    if telemetry is not None:
+        telemetry.metrics.counter("adds").inc()
+    return x + y
+
+
+_flaky_seen = set()
+
+
+def flaky_once(x):
+    """Raises a retryable error on the first attempt per point."""
+    if x not in _flaky_seen:
+        _flaky_seen.add(x)
+        raise BackendUnavailableError(f"transient for {x}")
+    return x
+
+
+def always_boom(x):
+    raise ValueError(f"toxic cell {x}")
+
+
+def make_points(n=6, func=add):
+    return [SweepPoint(func, {"x": x, "y": 1}) for x in range(n)]
+
+
+def agent_options(**kwargs):
+    kwargs.setdefault("poll", 0.02)
+    kwargs.setdefault("reconnect_budget", 10.0)
+    return WorkerOptions(**kwargs)
+
+
+def run_agents(address, n=2, **kwargs):
+    agents = [WorkerAgent(address, agent_options(**kwargs)) for _ in range(n)]
+    threads = [threading.Thread(target=a.run, daemon=True) for a in agents]
+    for t in threads:
+        t.start()
+    return agents, threads
+
+
+def drain_agents(agents, threads):
+    for agent in agents:
+        agent.request_drain()
+    for thread in threads:
+        thread.join(timeout=10)
+
+
+@pytest.fixture
+def coordinator_factory():
+    coordinators = []
+
+    def make(points, **kwargs):
+        kwargs.setdefault("lease_seconds", 5.0)
+        coordinator = SweepCoordinator(list(enumerate(points)), **kwargs)
+        coordinator.start()
+        coordinators.append(coordinator)
+        return coordinator
+
+    yield make
+    for coordinator in coordinators:
+        coordinator.stop()
+
+
+class TestHandshake:
+    def test_ping_and_status(self, coordinator_factory):
+        coordinator = coordinator_factory(make_points(2))
+        conn = MiniRedisConnection(coordinator.host, coordinator.port)
+        assert conn.command("PING") == "PONG"
+        status = json.loads(conn.command("STATUS"))
+        assert status["n_points"] == 2
+        assert status["counts"]["queued"] == 2
+        conn.close()
+
+    def test_hello_returns_grid_info(self, coordinator_factory):
+        points = make_points(3)
+        coordinator = coordinator_factory(points)
+        conn = MiniRedisConnection(coordinator.host, coordinator.port)
+        info = json.loads(conn.command("HELLO", "w1", json.dumps({"pid": 1})))
+        assert info["grid"] == grid_signature(list(enumerate(points)))
+        assert info["n_points"] == 3 and info["remaining"] == 3
+        conn.close()
+
+    def test_hello_rejects_version_mismatch(self, coordinator_factory):
+        coordinator = coordinator_factory(make_points(1))
+        conn = MiniRedisConnection(coordinator.host, coordinator.port)
+        with pytest.raises(ServerReplyError, match="version mismatch"):
+            conn.command("HELLO", "w1", json.dumps({"version": "0.0.0-other"}))
+        conn.close()
+
+
+class TestDistributedRun:
+    def test_two_agents_drain_the_grid(self, coordinator_factory):
+        points = make_points(8)
+        coordinator = coordinator_factory(points)
+        agents, threads = run_agents(coordinator.address, n=2)
+        outcome = coordinator.serve(poll=0.02)
+        drain_agents(agents, threads)
+
+        assert outcome.completed == 8
+        assert sorted(outcome.results) == list(range(8))
+        assert [outcome.results[i][0] for i in range(8)] == [x + 1 for x in range(8)]
+        assert sum(e["completed"] for e in outcome.workers.values()) == 8
+
+    def test_telemetry_snapshots_ship_back(self, coordinator_factory):
+        points = [
+            SweepPoint(traced_add, {"x": x, "y": 2}, telemetry=True) for x in range(3)
+        ]
+        coordinator = coordinator_factory(points, capture=True)
+        agents, threads = run_agents(coordinator.address, n=1)
+        outcome = coordinator.serve(poll=0.02)
+        drain_agents(agents, threads)
+        for index in range(3):
+            value, snapshot = outcome.results[index]
+            assert value == points[index].kwargs["x"] + 2
+            assert snapshot is not None
+
+    def test_worker_retries_retryable_failures_locally(self, coordinator_factory):
+        _flaky_seen.clear()
+        points = [SweepPoint(flaky_once, {"x": x}) for x in range(3)]
+        coordinator = coordinator_factory(points, retries=2)
+        agents, threads = run_agents(coordinator.address, n=1)
+        outcome = coordinator.serve(poll=0.02)
+        drain_agents(agents, threads)
+        assert outcome.completed == 3
+        assert outcome.requeues == 0  # absorbed by local retries
+        assert agents[0].report.local_retries == 3
+
+    def test_poison_point_raises_with_tracebacks(self, coordinator_factory):
+        points = [SweepPoint(add, {"x": 1, "y": 1}), SweepPoint(always_boom, {"x": 9})]
+        # poison_failures is high so quarantine can only come from the
+        # two-distinct-workers rule (deterministic worker set below).
+        coordinator = coordinator_factory(
+            points, poison_workers=2, poison_failures=50, retries=0
+        )
+        agents, threads = run_agents(coordinator.address, n=2)
+        with pytest.raises(SweepPoisonedError) as excinfo:
+            coordinator.serve(poll=0.02)
+        drain_agents(agents, threads)
+
+        (cell,) = excinfo.value.poisoned
+        assert cell["index"] == 1
+        assert "toxic cell 9" in cell["failures"][0]["error"]
+        assert "always_boom" in cell["failures"][0]["traceback"]
+        assert {f["worker"] for f in cell["failures"]} == {
+            a.worker_id for a in agents
+        }
+        # The healthy point still completed.
+        assert coordinator.outcome.results[0][0] == 2
+
+
+class TestFaultPaths:
+    def test_lease_steal_after_worker_goes_silent(self, coordinator_factory):
+        points = make_points(2)
+        coordinator = coordinator_factory(points, lease_seconds=0.3)
+        # A "worker" that claims a point and then dies (never renews).
+        ghost = MiniRedisConnection(coordinator.host, coordinator.port)
+        ghost.command("HELLO", "ghost", "{}")
+        assert ghost.command("CLAIM", "ghost") is not None
+        ghost.close()
+
+        agents, threads = run_agents(coordinator.address, n=1)
+        outcome = coordinator.serve(poll=0.02)
+        drain_agents(agents, threads)
+        assert outcome.completed == 2
+        assert outcome.reclaims >= 1
+        assert coordinator.table.records[0].leases >= 2 or (
+            coordinator.table.records[1].leases >= 2
+        )
+
+    def test_duplicate_done_is_acknowledged(self, coordinator_factory):
+        from repro.sweep.dist.protocol import Assignment, dump_result
+
+        coordinator = coordinator_factory(make_points(1))
+        conn = MiniRedisConnection(coordinator.host, coordinator.port)
+        conn.command("HELLO", "w1", "{}")
+        assignment = Assignment.from_bytes(conn.command("CLAIM", "w1"))
+        blob = dump_result(123, None)
+        assert conn.command("DONE", "w1", str(assignment.index), blob) == "OK"
+        assert conn.command("DONE", "w1", str(assignment.index), blob) == "DUPLICATE"
+        assert coordinator.outcome.duplicates == 1
+        assert coordinator.outcome.results[0][0] == 123  # first writer won
+        conn.close()
+
+    def test_worker_gives_up_when_coordinator_never_appears(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        agent = WorkerAgent(
+            f"127.0.0.1:{free_port}",
+            WorkerOptions(poll=0.02, reconnect_budget=0.5, breaker_reset=0.1),
+        )
+        report = agent.run()
+        assert report.gave_up is True
+        assert report.completed == 0
+
+    def test_worker_drains_on_request(self, coordinator_factory):
+        coordinator = coordinator_factory(make_points(2))
+        agent = WorkerAgent(coordinator.address, agent_options(max_points=None))
+        agent.request_drain()  # drain before starting: loop exits immediately
+        report = agent.run()
+        assert report.drained is True and report.completed == 0
+
+
+class TestEngineServe:
+    def _free_port(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            return probe.getsockname()[1]
+
+    def test_engine_serve_matches_serial(self):
+        points = make_points(6)
+        serial = SweepEngine(SweepOptions()).run(points)
+
+        port = self._free_port()
+        address = f"127.0.0.1:{port}"
+        events = []
+        options = SweepOptions(
+            serve=address,
+            lease_seconds=5.0,
+            progress=lambda done, total, label, source: events.append(source),
+        )
+        engine = SweepEngine(options)
+        agents, threads = run_agents(address, n=2)
+        try:
+            report = engine.run(points)
+        finally:
+            drain_agents(agents, threads)
+
+        assert report.values == serial.values
+        assert report.computed == 6 and report.replayed == 0
+        assert events.count("run") == 6
+
+    def test_engine_serve_resumes_from_journal(self, tmp_path):
+        points = make_points(4)
+        port = self._free_port()
+        address = f"127.0.0.1:{port}"
+        journal = tmp_path / "journal"
+
+        # Session 1: one agent computes only 2 points, then the "run"
+        # stops (request_stop simulates a killed coordinator).
+        options = SweepOptions(serve=address, journal_dir=journal)
+        engine = SweepEngine(options)
+        agent = WorkerAgent(address, agent_options(max_points=2))
+        thread = threading.Thread(target=agent.run, daemon=True)
+
+        def stop_after_agent():
+            thread.join(timeout=10)
+            while engine._coordinator is None:
+                time.sleep(0.01)
+            engine._coordinator.request_stop()
+
+        stopper = threading.Thread(target=stop_after_agent, daemon=True)
+        thread.start()
+        stopper.start()
+        with pytest.raises(SweepError, match="unfinished"):
+            engine.run(points)
+        stopper.join(timeout=10)
+
+        # Session 2: same journal -> the 2 done points replay, 2 execute.
+        engine2 = SweepEngine(SweepOptions(serve=address, journal_dir=journal))
+        agents, threads = run_agents(address, n=1)
+        try:
+            report = engine2.run(points)
+        finally:
+            drain_agents(agents, threads)
+        assert report.replayed == 2 and report.computed == 2
+        assert report.values == [x + 1 for x in range(4)]
+
+    def test_serve_and_parallel_are_exclusive(self):
+        with pytest.raises(SweepError, match="mutually exclusive"):
+            SweepOptions(serve="127.0.0.1:1", parallel=4)
+
+    def test_journal_requires_serve(self):
+        with pytest.raises(SweepError, match="journal"):
+            SweepOptions(journal_dir="/tmp/x")

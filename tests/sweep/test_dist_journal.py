@@ -1,0 +1,117 @@
+"""Crash-recovery journal: replay, torn tails, and signature safety."""
+
+import json
+
+import pytest
+
+from repro.errors import SweepJournalError
+from repro.sweep.dist.journal import SweepJournal
+
+
+SIG = "a" * 64
+
+
+def make_journal(tmp_path, signature=SIG, n_points=4):
+    return SweepJournal(tmp_path / "journal", signature, n_points)
+
+
+class TestRoundTrip:
+    def test_empty_journal_replays_empty(self, tmp_path):
+        journal = make_journal(tmp_path)
+        state = journal.replay()
+        assert state.done == {} and state.poisoned == {} and state.sessions == 0
+
+    def test_done_records_round_trip(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_session()
+        journal.record_done(0, {"metric": 1.5}, None)
+        journal.record_done(2, [1, 2, 3], {"spans": []})
+        journal.close()
+
+        state = make_journal(tmp_path).replay()
+        assert state.done[0] == ({"metric": 1.5}, None)
+        assert state.done[2] == ([1, 2, 3], {"spans": []})
+        assert state.sessions == 1
+
+    def test_poisoned_records_survive_unless_later_done(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_session()
+        journal.record_poisoned(1, [{"worker": "w", "error": "boom"}])
+        journal.record_poisoned(3, [{"worker": "w", "error": "boom"}])
+        journal.record_done(3, "fixed", None)  # later session succeeded
+        journal.close()
+
+        state = make_journal(tmp_path).replay()
+        assert 1 in state.poisoned and 3 not in state.poisoned
+        assert state.done[3] == ("fixed", None)
+
+    def test_each_session_appends_a_header(self, tmp_path):
+        for _ in range(3):
+            journal = make_journal(tmp_path)
+            journal.replay()
+            journal.open_session()
+            journal.close()
+        assert make_journal(tmp_path).replay().sessions == 3
+
+    def test_transitions_are_audit_only(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_session()
+        journal.record_transition("lease", 0, "w1")
+        journal.record_transition("reclaim", 0, None)
+        journal.close()
+        state = make_journal(tmp_path).replay()
+        assert state.done == {}
+        assert state.records == 3  # header + 2 transitions
+
+
+class TestCorruption:
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_session()
+        journal.record_done(0, 42, None)
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "done", "index": 1, "payl')  # killed mid-append
+
+        state = make_journal(tmp_path).replay()
+        assert state.done == {0: (42, None)}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open_session()
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write("NOT JSON AT ALL\n")
+            fh.write(json.dumps({"type": "done", "index": 0, "payload": ""}) + "\n")
+        with pytest.raises(SweepJournalError, match="corrupt"):
+            make_journal(tmp_path).replay()
+
+    def test_grid_signature_mismatch_raises(self, tmp_path):
+        journal = make_journal(tmp_path, signature=SIG)
+        journal.open_session()
+        journal.close()
+        # Same prefix -> same file name, different full signature.
+        other = SweepJournal(tmp_path / "journal", SIG[:24] + "b" * 40, 4)
+        with pytest.raises(SweepJournalError, match="belongs to grid"):
+            other.replay()
+
+    def test_unknown_format_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.path.write_text(
+            json.dumps({"type": "header", "format": "v999", "grid": SIG}) + "\n"
+        )
+        with pytest.raises(SweepJournalError, match="format"):
+            journal.replay()
+
+    def test_unreadable_done_payload_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.path.write_text(
+            json.dumps({"type": "done", "index": 0, "payload": "!!!"}) + "\n"
+        )
+        with pytest.raises(SweepJournalError, match="unreadable"):
+            journal.replay()
+
+    def test_append_without_session_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        with pytest.raises(SweepJournalError, match="not open"):
+            journal.record_done(0, 1, None)

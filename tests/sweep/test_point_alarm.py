@@ -1,0 +1,104 @@
+"""The SIGALRM per-point timeout guard: reentrancy and thread safety.
+
+Satellite fix under test: the old guard armed ``signal.alarm`` blindly,
+which (a) blew up off the main thread and (b) clobbered any alarm the
+host application had pending. The guard must now degrade to an
+unbounded (but *warned*) run off the main thread, and save/restore both
+the previous handler and the previous timer's remaining time.
+"""
+
+import signal
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.errors import SweepTimeoutError
+from repro.sweep.engine import _point_alarm
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="needs POSIX signals"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_sigalrm_state():
+    yield
+    signal.setitimer(signal.ITIMER_REAL, 0.0)
+    signal.signal(signal.SIGALRM, signal.SIG_DFL)
+
+
+def test_alarm_bounds_a_runaway_point():
+    with pytest.raises(SweepTimeoutError, match="stuck"):
+        with _point_alarm("stuck", 0.05):
+            time.sleep(5.0)
+
+
+def test_none_timeout_is_a_transparent_noop():
+    before = signal.getsignal(signal.SIGALRM)
+    with _point_alarm("p", None):
+        pass
+    assert signal.getsignal(signal.SIGALRM) is before
+
+
+def test_off_main_thread_runs_unbounded_with_a_warning():
+    outcome = {}
+
+    def body():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with _point_alarm("threaded-point", 0.01):
+                time.sleep(0.05)  # longer than the timeout: must NOT raise
+            outcome["warnings"] = [w for w in caught if w.category is RuntimeWarning]
+        outcome["ok"] = True
+
+    thread = threading.Thread(target=body)
+    thread.start()
+    thread.join(timeout=10)
+    assert outcome.get("ok") is True
+    assert any(
+        "threaded-point" in str(w.message) and "main thread" in str(w.message)
+        for w in outcome["warnings"]
+    )
+
+
+def test_nested_alarm_restores_outer_handler_and_remaining_time():
+    def outer_handler(signum, frame):  # pragma: no cover - must not fire here
+        raise AssertionError("outer alarm fired during the guarded block")
+
+    signal.signal(signal.SIGALRM, outer_handler)
+    signal.setitimer(signal.ITIMER_REAL, 60.0)
+
+    with _point_alarm("inner", 0.5):
+        pass
+
+    assert signal.getsignal(signal.SIGALRM) is outer_handler
+    delay, _ = signal.getitimer(signal.ITIMER_REAL)
+    # Re-armed with the outer timer's remaining time (60 s minus the
+    # instants the block consumed), not clobbered to zero or reset to 60.
+    assert 0.0 < delay <= 60.0
+
+
+def test_overdue_outer_alarm_fires_right_after_the_block():
+    fired = threading.Event()
+    signal.signal(signal.SIGALRM, lambda signum, frame: fired.set())
+    signal.setitimer(signal.ITIMER_REAL, 0.05)  # due long before the block ends
+
+    with _point_alarm("inner", 5.0):
+        time.sleep(0.2)  # outer timer expires while suspended...
+        assert not fired.is_set()  # ...but never fires inside the block
+
+    assert fired.wait(timeout=2.0)  # the owed signal is delivered promptly
+
+
+def test_inner_timeout_still_raises_with_an_outer_alarm_pending():
+    def outer_handler(signum, frame):  # pragma: no cover
+        raise AssertionError("outer alarm fired instead of the inner one")
+
+    signal.signal(signal.SIGALRM, outer_handler)
+    signal.setitimer(signal.ITIMER_REAL, 60.0)
+    with pytest.raises(SweepTimeoutError):
+        with _point_alarm("inner", 0.05):
+            time.sleep(5.0)
+    assert signal.getsignal(signal.SIGALRM) is outer_handler

@@ -273,3 +273,90 @@ def test_sweep_unknown_experiment():
 
     with pytest.raises(ConfigError, match="unknown experiments"):
         main(["sweep", "nope", "--quick"])
+
+
+# -- sweep: distributed/cache flags ----------------------------------------
+
+
+def test_sweep_flag_validation_errors():
+    from repro.errors import ConfigError
+
+    cases = [
+        (["sweep", "--cache-info"], "needs --cache-dir"),
+        (["sweep"], "name at least one experiment"),
+        (
+            ["sweep", "fig5", "--serve", "127.0.0.1:1", "--parallel", "2"],
+            "mutually exclusive",
+        ),
+        (
+            ["sweep", "--connect", "127.0.0.1:1", "--serve", "127.0.0.1:2"],
+            "mutually exclusive",
+        ),
+        (
+            ["sweep", "fig5", "--connect", "127.0.0.1:1"],
+            "no experiment names",
+        ),
+        (["sweep", "fig5", "--journal", "j"], "only apply to --serve"),
+        (["sweep", "fig5", "--lease", "3"], "only apply to --serve"),
+    ]
+    for argv, match in cases:
+        with pytest.raises(ConfigError, match=match):
+            main(argv)
+
+
+def test_sweep_progress_tracks_distributed_sources():
+    import io
+
+    from repro.cli import _SweepProgress
+
+    progress = _SweepProgress(stream=io.StringIO())
+    progress(1, 4, "p0", "cache")
+    progress(2, 4, "p1", "journal")
+    progress(3, 4, "p2", "run")
+    progress(3, 4, "p2", "steal")  # reclaim notice, not a completion
+    progress(3, 4, "p2", "retry")
+    progress(4, 4, "p3", "run")
+
+    assert progress.total_points == 4
+    assert (progress.cached, progress.replayed, progress.computed) == (1, 1, 2)
+    assert (progress.stolen, progress.retried) == (1, 1)
+    summary = progress.summary("fig9", elapsed=1.23)
+    # The leading "N points, M cached (..%), K computed" shape is load-
+    # bearing: CI's sweep-smoke greps it. Extras only appear when nonzero.
+    assert summary.startswith("sweep fig9: 4 points, 1 cached (25%), 2 computed")
+    assert "1 replayed" in summary and "1 stolen" in summary and "1 retried" in summary
+
+
+def test_sweep_progress_summary_omits_zero_extras():
+    import io
+
+    from repro.cli import _SweepProgress
+
+    progress = _SweepProgress(stream=io.StringIO())
+    progress(1, 1, "p0", "run")
+    summary = progress.summary("t", elapsed=0.0)
+    assert "replayed" not in summary and "stolen" not in summary
+    assert "retried" not in summary
+
+
+def test_sweep_cache_info_reports_entries_and_history(tmp_path, capsys):
+    from repro.sweep import ResultCache, point_key
+
+    cache = ResultCache(tmp_path)
+    key = point_key("m:f", {"a": 1})
+    cache.store(key, "v")
+    cache.lookup(key)
+    cache.record_history()
+
+    assert main(["sweep", "--cache-info", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 1" in out
+    assert "total size:" in out
+    assert "1 hits / 0 misses (100%)" in out
+
+
+def test_sweep_cache_info_on_empty_directory(tmp_path, capsys):
+    assert main(["sweep", "--cache-info", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 0" in out
+    assert "(none recorded yet)" in out

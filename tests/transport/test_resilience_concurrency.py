@@ -1,0 +1,191 @@
+"""Resilience primitives under concurrency and seeded determinism.
+
+The distributed sweep shares one CircuitBreaker between a worker's claim
+loop and its heartbeat thread, so the breaker must keep its invariants
+under real thread interleavings: exactly one probe wins the open ->
+half-open transition, and counters never tear. RetryPolicy backoff must
+be bit-reproducible under a fixed seed (that is what makes chaos sweeps
+and reconnect storms replayable).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.transport.resilience import BreakerState, CircuitBreaker, RetryPolicy
+
+
+class FakeClock:
+    """Thread-safe manual clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            return self.now
+
+    def advance(self, dt):
+        with self._lock:
+            self.now += dt
+
+
+def tripped_breaker(clock, threshold=3, reset=5.0):
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, reset_timeout=reset, clock=clock
+    )
+    for _ in range(threshold):
+        breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    return breaker
+
+
+def hammer(n_threads, per_thread, fn):
+    """Run ``fn(results_list)`` from many threads after a common barrier."""
+    results = [[] for _ in range(n_threads)]
+    barrier = threading.Barrier(n_threads)
+
+    def body(bucket):
+        barrier.wait()
+        for _ in range(per_thread):
+            fn(bucket)
+
+    threads = [
+        threading.Thread(target=body, args=(results[i],)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    return results
+
+
+class TestBreakerHalfOpenRace:
+    def test_single_probe_wins_the_half_open_transition(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock, reset=5.0)
+        clock.advance(5.1)  # reset timeout elapsed: next allow() probes
+
+        results = hammer(8, 1, lambda bucket: bucket.append(breaker.allow()))
+        allowed = [r for bucket in results for r in bucket]
+        # Exactly one thread got the probe; everyone else was shed.
+        assert allowed.count(True) == 1
+        assert breaker.state is BreakerState.HALF_OPEN
+        half_open = [t for t in breaker.transitions if t[2] == "half-open"]
+        assert len(half_open) == 1
+
+    def test_probe_failure_reopens_and_shuts_the_gate_again(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock, reset=1.0)
+        clock.advance(1.5)
+        assert breaker.allow() is True  # the probe
+        breaker.record_failure()  # probe failed
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allow() is False  # re-armed from the failure time
+        clock.advance(1.5)
+        assert breaker.allow() is True  # next probe window
+
+    def test_probe_success_closes_for_everyone(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock, reset=1.0)
+        clock.advance(1.5)
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        results = hammer(4, 5, lambda bucket: bucket.append(breaker.allow()))
+        assert all(r for bucket in results for r in bucket)
+
+    def test_lost_probe_forfeits_after_another_reset_timeout(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock, reset=1.0)
+        clock.advance(1.5)
+        assert breaker.allow() is True  # probe taken... and never reported
+        assert breaker.allow() is False  # shed while the probe is in flight
+        clock.advance(1.5)
+        assert breaker.allow() is True  # probe presumed dead: next caller takes over
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_concurrent_failures_trip_exactly_once(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=10, reset_timeout=5.0, clock=clock)
+        hammer(5, 20, lambda bucket: breaker.record_failure())
+        assert breaker.consecutive_failures == 100  # no torn increments
+        opened = [t for t in breaker.transitions if t[2] == "open"]
+        assert len(opened) == 1
+
+    def test_mixed_success_failure_storm_keeps_invariants(self):
+        # Heartbeat thread reporting successes while the claim loop
+        # reports failures: state must always be a legal enum member and
+        # the transition log must alternate legally.
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=0.001, clock=clock)
+
+        def churn(bucket):
+            breaker.record_failure()
+            breaker.allow()
+            breaker.record_success()
+            clock.advance(0.01)
+
+        hammer(6, 50, churn)
+        assert breaker.state in set(BreakerState)
+        legal = {
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "open"),
+            ("half-open", "closed"),
+            ("open", "closed"),  # success while open: close immediately
+        }
+        assert {(a, b) for _, a, b in breaker.transitions} <= legal
+
+
+class TestRetryPolicyDeterminism:
+    def test_backoff_schedule_without_jitter_is_exact(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert policy.schedule() == [0.1, 0.2, 0.4, 0.5]
+
+    def test_same_seed_same_schedule_different_seed_different(self):
+        policy = RetryPolicy(max_attempts=6, jitter=0.25)
+        one = policy.schedule(np.random.default_rng(7))
+        two = policy.schedule(np.random.default_rng(7))
+        other = policy.schedule(np.random.default_rng(8))
+        assert one == two  # bit-identical, replayable
+        assert one != other  # desynchronised across seeds
+
+    def test_jitter_stays_within_the_configured_band(self):
+        policy = RetryPolicy(
+            max_attempts=2, base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.2
+        )
+        rng = np.random.default_rng(0)
+        draws = [policy.delay(1, rng) for _ in range(500)]
+        assert all(0.8 <= d <= 1.2 for d in draws)
+
+    def test_delay_is_one_based(self):
+        with pytest.raises(ConfigError, match="1-based"):
+            RetryPolicy().delay(0)
+
+    def test_concurrent_delay_draws_from_private_rngs_stay_deterministic(self):
+        # Each sweep worker derives its own RNG; drawing concurrently
+        # must not perturb anyone's sequence.
+        policy = RetryPolicy(max_attempts=4, jitter=0.25)
+        expected = {
+            seed: policy.schedule(np.random.default_rng(seed)) for seed in range(6)
+        }
+        actual = {}
+        lock = threading.Lock()
+
+        def worker(seed):
+            schedule = policy.schedule(np.random.default_rng(seed))
+            with lock:
+                actual[seed] = schedule
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert actual == expected
