@@ -414,6 +414,7 @@ def _cmd_sweep_workers(args: argparse.Namespace) -> int:
     import signal
 
     from repro.sweep.dist import run_worker_process
+    from repro.sweep.dist.worker import worker_process_main
 
     kwargs = {
         "address": args.connect,
@@ -427,7 +428,10 @@ def _cmd_sweep_workers(args: argparse.Namespace) -> int:
     context = multiprocessing.get_context("spawn")  # no inherited sockets/locks
     procs = [
         context.Process(
-            target=run_worker_process,
+            # worker_process_main sys.exits with run_worker_process's
+            # return value — Process ignores a target's plain return, and
+            # max(exitcode) below must see worker failures as nonzero.
+            target=worker_process_main,
             kwargs={**kwargs, "seed": args.seed + rank},
             name=f"sweep-worker-{rank}",
         )

@@ -12,6 +12,11 @@ Correctness under failure:
   expires and the point is reclaimed and handed to the next claimer
   (work stealing). A stale worker that finishes anyway gets a
   ``DUPLICATE`` ack — results are deterministic, first writer wins.
+* **Cross-grid staleness** — DONE/FAIL submissions carry the grid
+  signature of the assignment they answer; a worker that rode out a
+  coordinator swap into a *different* grid on the same HOST:PORT (the
+  multi-stage sweep case the reconnect budget exists for) gets a
+  ``STALE`` ack and its submission is discarded, never recorded.
 * **Coordinator crash** — every completed point was fsync'd to the
   journal *before* its worker was acknowledged, so a restarted
   coordinator (same journal directory, same grid) replays its ``done``
@@ -38,6 +43,7 @@ from repro.sweep.dist.journal import SweepJournal
 from repro.sweep.dist.lease import LeaseTable, PointRecord, PointState
 from repro.sweep.dist.protocol import (
     DRAINED,
+    STALE,
     Assignment,
     FailureRecord,
     GridInfo,
@@ -66,6 +72,7 @@ class DistOutcome:
     requeues: int = 0  # terminal worker failures that were re-queued
     reclaims: int = 0  # leases stolen back from expired workers
     duplicates: int = 0  # stale completions acknowledged and discarded
+    stale_grid: int = 0  # submissions that belonged to a different grid
     #: [{"index", "label", "failures": [...]}] for quarantined points.
     poisoned: list[dict] = field(default_factory=list)
     #: worker_id -> {"claimed", "completed", "failed", "capabilities"}.
@@ -143,7 +150,11 @@ class SweepCoordinator(RespTcpServer):
 
     def _on_transition(self, event: str, record: PointRecord) -> None:
         """LeaseTable observer: journal the audit trail, forward progress."""
-        if self._journal is not None and event in ("lease", "reclaim", "requeue"):
+        if (
+            self._journal is not None
+            and self._journal.is_open  # late commands may outlive the session
+            and event in ("lease", "reclaim", "requeue")
+        ):
             self._journal.record_transition(event, record.index, record.worker)
         if event == "reclaim":
             self.outcome.reclaims += 1
@@ -164,11 +175,15 @@ class SweepCoordinator(RespTcpServer):
             self._need(args, 2, "RENEW")
             return self._handle_renew(_text(args[0]), _index(args[1]))
         if name == "DONE":
-            self._need(args, 3, "DONE")
-            return self._handle_done(_text(args[0]), _index(args[1]), bytes(args[2]))
+            self._need(args, 4, "DONE")
+            return self._handle_done(
+                _text(args[0]), _index(args[1]), _text(args[2]), bytes(args[3])
+            )
         if name == "FAIL":
-            self._need(args, 3, "FAIL")
-            return self._handle_fail(_text(args[0]), _index(args[1]), _text(args[2]))
+            self._need(args, 4, "FAIL")
+            return self._handle_fail(
+                _text(args[0]), _index(args[1]), _text(args[2]), _text(args[3])
+            )
         if name == "STATUS":
             return resp.encode_bulk(json.dumps(self.status(), sort_keys=True).encode())
         raise TransportError(f"unknown command '{name}'")
@@ -201,7 +216,9 @@ class SweepCoordinator(RespTcpServer):
         return resp.encode_bulk(json.dumps(info.as_dict(), sort_keys=True).encode())
 
     def _handle_claim(self, worker: str) -> bytes:
-        if self.table.done():
+        if self._stop_serving or self.table.done():
+            # A stopping coordinator hands out no new work — its session
+            # is over even if some points never reached a terminal state.
             return resp.encode_simple(DRAINED)
         index = self.table.claim(worker)
         if index is None:
@@ -214,19 +231,32 @@ class SweepCoordinator(RespTcpServer):
             timeout=self.timeout,
             retries=self.retries,
             capture=self.capture,
+            grid=self.signature,
         )
         return resp.encode_bulk(assignment.to_bytes())
 
     def _handle_renew(self, worker: str, index: int) -> bytes:
         return resp.encode_integer(int(self.table.renew(worker, index)))
 
-    def _handle_done(self, worker: str, index: int, blob: bytes) -> bytes:
+    def _handle_done(self, worker: str, index: int, grid: str, blob: bytes) -> bytes:
+        if grid != self.signature:
+            # A worker that claimed from a previous grid on this address:
+            # its indices overlap ours (grids are 0-based) but the value
+            # is another grid's. Acknowledge so the worker moves on.
+            self.outcome.stale_grid += 1
+            return resp.encode_simple(STALE)
         if index not in self.points:
             raise TransportError(f"unknown point index {index}")
         record = self.table.records[index]
         if record.state in (PointState.DONE, PointState.POISONED):
             self.outcome.duplicates += 1
             return resp.encode_simple("DUPLICATE")
+        if self._journal is not None and not self._journal.is_open:
+            # Durability can no longer be promised (serve() closed the
+            # journal on drain/stop); reject rather than silently accept.
+            raise TransportError(
+                f"coordinator is shutting down; cannot accept point {index}"
+            )
         try:
             value, snapshot = load_result(blob)
         except Exception as exc:
@@ -242,9 +272,20 @@ class SweepCoordinator(RespTcpServer):
         self._emit("done", index, worker)
         return resp.encode_simple("OK")
 
-    def _handle_fail(self, worker: str, index: int, info_json: str) -> bytes:
+    def _handle_fail(self, worker: str, index: int, grid: str, info_json: str) -> bytes:
+        if grid != self.signature:
+            # Never let another grid's failure count toward this grid's
+            # poison verdict (see _handle_done).
+            self.outcome.stale_grid += 1
+            return resp.encode_simple(STALE)
         if index not in self.points:
             raise TransportError(f"unknown point index {index}")
+        record = self.table.records[index]
+        if record.state in (PointState.DONE, PointState.POISONED):
+            # Stale failure for a point that already reached a terminal
+            # state: ignore it (and do not re-journal the poison record).
+            self.outcome.duplicates += 1
+            return resp.encode_simple("DUPLICATE")
         try:
             info = json.loads(info_json) if info_json else {}
         except ValueError:
@@ -254,7 +295,7 @@ class SweepCoordinator(RespTcpServer):
         self._worker_entry(worker)["failed"] += 1
         if state is PointState.POISONED:
             failures = [f.as_dict() for f in self.table.records[index].failures]
-            if self._journal is not None:
+            if self._journal is not None and self._journal.is_open:
                 self._journal.record_poisoned(index, failures)
             return resp.encode_simple("POISONED")
         if state is PointState.QUEUED:

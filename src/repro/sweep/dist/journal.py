@@ -132,6 +132,11 @@ class SweepJournal:
         # lease/renew/reclaim/requeue are audit-only.
 
     # -- append ------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        """Whether an append session is active (False once closed)."""
+        return self._handle is not None
+
     def open_session(self) -> None:
         """Open for appending and stamp a session header."""
         if self._handle is not None:

@@ -17,11 +17,23 @@ CLAIM      worker_id                                      bulk assignment pickle
                                                           ``+DRAINED``
 RENEW      worker_id, index                               ``:1`` (lease held) /
                                                           ``:0`` (lease lost)
-DONE       worker_id, index, result pickle                ``+OK`` / ``+DUPLICATE``
-FAIL       worker_id, index, failure-JSON                 ``+REQUEUED`` /
-                                                          ``+POISONED``
+DONE       worker_id, index, grid, result pickle          ``+OK`` / ``+DUPLICATE``
+                                                          / ``+STALE``
+FAIL       worker_id, index, grid, failure-JSON           ``+REQUEUED`` /
+                                                          ``+POISONED`` /
+                                                          ``+DUPLICATE`` /
+                                                          ``+STALE``
 STATUS     —                                              bulk JSON state counts
 =========  =============================================  =======================
+
+``DONE``/``FAIL`` carry the **grid signature** of the assignment they
+answer. A coordinator on the same HOST:PORT may be serving a different
+grid by the time a slow worker reports back (multi-stage sweeps reuse
+the address; the worker's reconnect budget is designed to ride out the
+gap between grids), and point indices always collide because every grid
+is 0-based — the signature is what keeps grid A's value out of grid B's
+results. A mismatched submission is acknowledged with ``+STALE`` and
+discarded.
 
 Assignments and results are pickled: workers are trusted peers running
 the *same* ``repro`` version against the same grid (HELLO rejects a
@@ -42,10 +54,13 @@ from repro.sweep.cache import point_key
 from repro.sweep.point import SweepPoint
 
 #: Bumped when the assignment/result wire shape changes.
-WIRE_FORMAT = "repro-dist-sweep-v1"
+WIRE_FORMAT = "repro-dist-sweep-v2"
 
 #: CLAIM reply meaning "every point is done or poisoned; nothing left".
 DRAINED = "DRAINED"
+
+#: DONE/FAIL ack meaning "your submission belongs to a different grid".
+STALE = "STALE"
 
 
 def parse_hostport(text: str) -> tuple[str, int]:
@@ -90,6 +105,9 @@ class Assignment:
     retries: int = 1
     #: Whether the worker must capture a telemetry snapshot.
     capture: bool = True
+    #: Signature of the grid this assignment belongs to; echoed back in
+    #: DONE/FAIL so a result can never land in a different grid's table.
+    grid: str = ""
 
     def to_bytes(self) -> bytes:
         return pickle.dumps(

@@ -20,7 +20,12 @@ agent fails:
   sweep;
 * **result durability** — a computed result is resent across reconnects
   until acknowledged; a ``DUPLICATE`` ack (someone stole and finished
-  the point while we were partitioned) is a success, not an error;
+  the point while we were partitioned) is a success, not an error. Every
+  submission names its grid signature, and the agent checks the grid the
+  coordinator advertises after each reconnect — a result computed for a
+  *previous* grid on the same address is dropped (``STALE``), never
+  recorded into the wrong grid. An ``-ERR`` rejection discards the point
+  and the agent claims again; only a rejected HELLO is fatal;
 * **graceful drain** — SIGTERM (see :meth:`install_signal_handlers`)
   finishes and reports the in-flight point, then exits the claim loop.
 """
@@ -41,9 +46,10 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import BackendUnavailableError, SweepError
+from repro.errors import BackendUnavailableError, SweepError, TransportError
 from repro.sweep.dist.protocol import (
     DRAINED,
+    STALE,
     Assignment,
     FailureRecord,
     parse_hostport,
@@ -101,6 +107,8 @@ class WorkerReport:
     renews: int = 0
     lease_losses: int = 0  # renewals answered "lease lost" mid-execution
     local_retries: int = 0
+    stale_grid: int = 0  # results dropped: the grid changed under us
+    rejected: int = 0  # submissions/claims the coordinator answered -ERR
     drained: bool = False  # exited via SIGTERM / request_drain
     gave_up: bool = False  # reconnect budget exhausted
 
@@ -114,6 +122,10 @@ class WorkerReport:
             parts.append(f"{self.duplicates} duplicates")
         if self.lease_losses:
             parts.append(f"{self.lease_losses} lease losses")
+        if self.stale_grid:
+            parts.append(f"{self.stale_grid} stale-grid drops")
+        if self.rejected:
+            parts.append(f"{self.rejected} rejected")
         how = "drained" if self.drained else ("gave up" if self.gave_up else "done")
         return f"worker {self.worker_id}: " + ", ".join(parts) + f" ({how})"
 
@@ -163,6 +175,21 @@ class WorkerAgent:
         conn, self._conn = self._conn, None
         if conn is not None:
             conn.close()
+
+    def _drop_conn_if(self, conn) -> None:
+        """Drop the shared connection iff it is still ``conn``.
+
+        The heartbeat thread and the main loop share ``self._conn``; a
+        thread that saw an error on its copy must not close a *fresh*
+        connection the other thread just established.
+        """
+        if self._conn is conn:
+            self._drop_conn()
+        else:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def _connect_once(self) -> MiniRedisConnection:
         conn = MiniRedisConnection(self.host, self.port, timeout=30.0)
@@ -257,10 +284,25 @@ class WorkerAgent:
         while not stop.wait(interval):
             conn = self._conn
             if conn is None:
-                continue  # main thread is reconnecting; lease may lapse
+                # While the point executes, the main thread is blocked in
+                # _execute — this thread is the only one that can bring
+                # the connection back so renewals resume within the
+                # lease window after a transient outage.
+                if not self._breaker.allow():
+                    continue
+                try:
+                    conn = self._conn = self._connect_once()
+                except (TransportError, OSError):
+                    self._breaker.record_failure()
+                    continue
+                self._breaker.record_success()
+                self._touch()
             try:
                 held = conn.command("RENEW", self.worker_id, str(assignment.index))
-            except (BackendUnavailableError, OSError):
+            except (TransportError, OSError):
+                # Broken (or rejecting) connection: drop it so the next
+                # beat reconnects instead of failing silently forever.
+                self._drop_conn_if(conn)
                 continue
             self._touch()
             self.report.renews += 1
@@ -269,19 +311,47 @@ class WorkerAgent:
                 # still finish and submit — the coordinator deduplicates.
                 self.report.lease_losses += 1
 
-    def _submit(self, command: str, index: int, payload: bytes | str) -> Optional[str]:
-        """Send DONE/FAIL across reconnects until acked (None = gave up)."""
+    def _submit(
+        self, command: str, assignment: Assignment, payload: bytes | str
+    ) -> Optional[str]:
+        """Send DONE/FAIL across reconnects until acked (None = discarded)."""
         while True:
             conn = self._ensure_connection()
             if conn is None:
                 return None
+            served = (self.grid_info or {}).get("grid")
+            if assignment.grid and served and served != assignment.grid:
+                # We reconnected into a *different* grid on the same
+                # address (a multi-stage sweep moved on): this result is
+                # not part of it — drop it without submitting.
+                self.report.stale_grid += 1
+                return STALE
             try:
-                reply = conn.command(command, self.worker_id, str(index), payload)
+                reply = conn.command(
+                    command,
+                    self.worker_id,
+                    str(assignment.index),
+                    assignment.grid,
+                    payload,
+                )
             except BackendUnavailableError:
-                self._drop_conn()
+                self._drop_conn_if(conn)
                 continue
+            except TransportError:
+                # An -ERR reply (unknown index, draining coordinator,
+                # malformed payload): the submission was *rejected*, not
+                # lost. Discard the point and go claim again rather than
+                # crashing the whole agent. Only HELLO errors are fatal.
+                self.report.rejected += 1
+                self._touch()
+                return None
             self._touch()
-            return str(reply)
+            reply = str(reply)
+            if reply == STALE:
+                # The coordinator (not our local check) spotted the
+                # cross-grid submission; same verdict, same counter.
+                self.report.stale_grid += 1
+            return reply
 
     def _process(self, assignment: Assignment) -> None:
         from repro.sweep.dist.protocol import dump_result
@@ -301,15 +371,15 @@ class WorkerAgent:
             heartbeat.join(timeout=2.0)
         if failure is None:
             reply = self._submit(
-                "DONE", assignment.index, dump_result(value, snapshot)
+                "DONE", assignment, dump_result(value, snapshot)
             )
-            if reply is not None:
+            if reply in ("OK", "DUPLICATE"):
                 self.report.completed += 1
                 if reply == "DUPLICATE":
                     self.report.duplicates += 1
         else:
             self._submit(
-                "FAIL", assignment.index, json.dumps(failure.as_dict())
+                "FAIL", assignment, json.dumps(failure.as_dict())
             )
             self.report.failed += 1
             # Back off before claiming again: the re-queued point should
@@ -329,12 +399,23 @@ class WorkerAgent:
             while not self._drain.is_set() and not self._budget_spent():
                 conn = self._ensure_connection()
                 if conn is None:
-                    self.report.gave_up = True
+                    # Either the reconnect budget ran out or a drain was
+                    # requested mid-reconnect; only the former is giving up.
+                    if not self._drain.is_set():
+                        self.report.gave_up = True
                     break
                 try:
                     reply = conn.command("CLAIM", self.worker_id)
                 except BackendUnavailableError:
                     self._drop_conn()
+                    continue
+                except TransportError:
+                    # -ERR reply: the coordinator refused the claim. Drop
+                    # the connection (a fresh HELLO re-validates us) and
+                    # retry under the reconnect budget instead of dying.
+                    self.report.rejected += 1
+                    self._drop_conn()
+                    self._drain.wait(self.options.poll)
                     continue
                 self._touch()
                 if reply == DRAINED:
@@ -364,17 +445,46 @@ def run_worker_process(
     """Entry point for a dedicated worker process (CLI ``--connect``).
 
     Installs the SIGTERM drain handler, runs one agent to completion,
-    and prints its report to stderr. Returns a process exit code.
+    and prints its report to stderr. Returns a process exit code: 0 for
+    a clean exit (including a SIGTERM drain), nonzero when the agent
+    gave up (reconnect budget exhausted with the grid unfinished),
+    failed every point it touched, or was refused at the handshake —
+    so fleet managers taking ``max(exitcode)`` can tell a failed fleet
+    from a successful drain.
     """
     options = WorkerOptions(
         reconnect_budget=reconnect_budget, poll=poll, max_points=max_points, seed=seed
     )
     agent = WorkerAgent(address, options)
     agent.install_signal_handlers()
-    report = agent.run()
+    try:
+        report = agent.run()
+    except TransportError as exc:
+        # Fatal handshake failure (HELLO version mismatch): misjoining
+        # this fleet would silently compute a different grid.
+        print(f"worker {agent.worker_id}: fatal: {exc}", file=sys.stderr)
+        return 1
     if not quiet:
         print(report.summary(), file=sys.stderr)
+    if report.gave_up or (report.failed and not report.completed):
+        return 1
     return 0
 
 
-__all__ = ["WorkerAgent", "WorkerOptions", "WorkerReport", "run_worker_process"]
+def worker_process_main(**kwargs) -> None:
+    """Multiprocessing entry: turn the return value into the exit code.
+
+    ``multiprocessing.Process`` ignores its target's return value, so a
+    fleet manager taking ``max(proc.exitcode)`` would read every worker
+    as 0 without this shim (module-level so spawn contexts can pickle it).
+    """
+    sys.exit(run_worker_process(**kwargs))
+
+
+__all__ = [
+    "WorkerAgent",
+    "WorkerOptions",
+    "WorkerReport",
+    "run_worker_process",
+    "worker_process_main",
+]

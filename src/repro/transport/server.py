@@ -52,7 +52,9 @@ class RespTcpServer:
     ``_dispatch`` implementations may mutate shared state without their
     own locking. Protocol errors are answered with ``-ERR`` replies;
     :class:`~repro.errors.TransportError` raised by ``_dispatch`` becomes
-    an error reply instead of killing the connection.
+    an error reply instead of killing the connection, and so does any
+    unexpected exception (answered as ``-ERR internal ...``) — a client
+    mid-protocol always gets a reply, never a torn-down socket.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, name: str = "resp") -> None:
@@ -189,6 +191,14 @@ class RespTcpServer:
                 return self._dispatch(name, args)
             except TransportError as exc:
                 return resp.encode_error(str(exc))
+            except Exception as exc:
+                # A handler bug (or a command racing server shutdown)
+                # must not kill the connection thread mid-protocol: the
+                # client would burn its reconnect budget retrying a
+                # socket that silently drops every submission.
+                return resp.encode_error(
+                    f"internal {type(exc).__name__} in '{name}': {exc}"
+                )
 
     def _dispatch(self, name: str, args: list) -> bytes:
         """Handle one command; subclasses must implement."""

@@ -202,12 +202,185 @@ class TestFaultPaths:
         conn = MiniRedisConnection(coordinator.host, coordinator.port)
         conn.command("HELLO", "w1", "{}")
         assignment = Assignment.from_bytes(conn.command("CLAIM", "w1"))
+        assert assignment.grid == coordinator.signature
         blob = dump_result(123, None)
-        assert conn.command("DONE", "w1", str(assignment.index), blob) == "OK"
-        assert conn.command("DONE", "w1", str(assignment.index), blob) == "DUPLICATE"
+        args = ("w1", str(assignment.index), assignment.grid, blob)
+        assert conn.command("DONE", *args) == "OK"
+        assert conn.command("DONE", *args) == "DUPLICATE"
         assert coordinator.outcome.duplicates == 1
         assert coordinator.outcome.results[0][0] == 123  # first writer won
         conn.close()
+
+    def test_done_from_another_grid_is_discarded(self, coordinator_factory):
+        """A stale worker's result must never land in a different grid."""
+        from repro.sweep.dist.protocol import dump_result
+
+        coordinator = coordinator_factory(make_points(2))
+        conn = MiniRedisConnection(coordinator.host, coordinator.port)
+        conn.command("HELLO", "w1", "{}")
+        blob = dump_result(999, None)  # index 0 exists in *every* grid
+        reply = conn.command("DONE", "w1", "0", "grid-from-a-previous-life", blob)
+        assert reply == "STALE"
+        assert 0 not in coordinator.outcome.results
+        assert coordinator.outcome.stale_grid == 1
+        conn.close()
+
+    def test_fail_from_another_grid_never_counts_toward_poison(
+        self, coordinator_factory
+    ):
+        coordinator = coordinator_factory(
+            make_points(1), poison_workers=1, poison_failures=1
+        )
+        conn = MiniRedisConnection(coordinator.host, coordinator.port)
+        payload = json.dumps({"error": "boom", "traceback": "tb"})
+        assert conn.command("FAIL", "w1", "0", "other-grid", payload) == "STALE"
+        assert coordinator.table.records[0].failures == []
+        assert coordinator.outcome.stale_grid == 1
+        conn.close()
+
+    def test_repeated_stale_fail_journals_poison_once(
+        self, coordinator_factory, tmp_path
+    ):
+        coordinator = coordinator_factory(
+            make_points(1),
+            journal_dir=tmp_path / "journal",
+            poison_workers=2,
+            poison_failures=2,
+        )
+        conn = MiniRedisConnection(coordinator.host, coordinator.port)
+        grid = coordinator.signature
+        payload = json.dumps({"error": "boom", "traceback": "tb"})
+        assert conn.command("FAIL", "w1", "0", grid, payload) == "REQUEUED"
+        assert conn.command("FAIL", "w2", "0", grid, payload) == "POISONED"
+        # A third, stale FAIL is acknowledged but not re-journaled.
+        assert conn.command("FAIL", "w3", "0", grid, payload) == "DUPLICATE"
+        text = coordinator._journal.path.read_text(encoding="utf-8")
+        assert text.count('"poisoned"') == 1
+        conn.close()
+
+    def test_done_after_journal_close_is_an_error_reply_not_a_disconnect(
+        self, coordinator_factory, tmp_path
+    ):
+        """Late submissions racing shutdown get -ERR, not a dead socket."""
+        from repro.sweep.dist.protocol import Assignment, dump_result
+
+        coordinator = coordinator_factory(
+            make_points(2), journal_dir=tmp_path / "journal"
+        )
+        conn = MiniRedisConnection(coordinator.host, coordinator.port)
+        conn.command("HELLO", "w1", "{}")
+        assignment = Assignment.from_bytes(conn.command("CLAIM", "w1"))
+        coordinator._journal.close()  # what serve() does on drain/stop
+        blob = dump_result(1, None)
+        with pytest.raises(ServerReplyError, match="shutting down"):
+            conn.command(
+                "DONE", "w1", str(assignment.index), assignment.grid, blob
+            )
+        # The connection survived the rejection and is still usable.
+        assert conn.command("PING") == "PONG"
+        conn.close()
+
+    def test_submit_discards_on_error_reply_instead_of_crashing(
+        self, coordinator_factory
+    ):
+        from repro.sweep.dist.protocol import Assignment, dump_result
+
+        coordinator = coordinator_factory(make_points(1))
+        agent = WorkerAgent(coordinator.address, agent_options())
+        # An index the coordinator does not serve, but with the right
+        # grid signature: the coordinator answers -ERR, and the agent
+        # must treat that as a discarded submission, not a crash.
+        assignment = Assignment(
+            index=77,
+            point=make_points(1)[0],
+            lease_seconds=1.0,
+            grid=coordinator.signature,
+        )
+        reply = agent._submit("DONE", assignment, dump_result(1, None))
+        assert reply is None
+        assert agent.report.rejected == 1
+        agent._drop_conn()
+
+    def test_heartbeat_drops_broken_connection_and_renews_again(
+        self, coordinator_factory
+    ):
+        from repro.sweep.dist.protocol import Assignment
+
+        coordinator = coordinator_factory(make_points(1), lease_seconds=2.0)
+        agent = WorkerAgent(coordinator.address, agent_options())
+        conn = agent._ensure_connection()
+        assignment = Assignment.from_bytes(conn.command("CLAIM", agent.worker_id))
+        agent._drop_conn()
+
+        class BrokenConn:
+            closed = False
+
+            def command(self, *args):
+                raise OSError("wire cut")
+
+            def close(self):
+                self.closed = True
+
+        broken = BrokenConn()
+        agent._conn = broken  # a transient socket error broke the pipe
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=agent._heartbeat, args=(assignment, stop), daemon=True
+        )
+        thread.start()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and agent.report.renews == 0:
+            time.sleep(0.02)
+        stop.set()
+        thread.join(timeout=10)
+        assert broken.closed is True  # the dead connection was dropped
+        assert agent.report.renews >= 1  # and renewals resumed on a fresh one
+        agent._drop_conn()
+
+    def test_grid_swap_on_same_address_discards_stale_result(self):
+        """The reconnect budget rides out a coordinator swap; the old
+        grid's in-flight result must not land in the new grid."""
+        from tests.sweep.dist_grid import slow_add
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        grid_a = SweepCoordinator(
+            [(0, SweepPoint(slow_add, {"x": 100, "y": 1, "delay": 1.0}))],
+            port=port,
+        )
+        grid_a.start()
+        agent = WorkerAgent(
+            f"127.0.0.1:{port}", agent_options(reconnect_budget=20.0)
+        )
+        thread = threading.Thread(target=agent.run, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 10
+            while (
+                time.monotonic() < deadline
+                and grid_a.table.records[0].state.value != "leased"
+            ):
+                time.sleep(0.01)
+            # Grid A's coordinator vanishes while the point is in flight
+            # and a *different* grid appears on the same address.
+            grid_a.stop()
+            grid_b = SweepCoordinator(
+                [(0, SweepPoint(add, {"x": 0, "y": 5}))], port=port
+            )
+            grid_b.start()
+            try:
+                outcome = grid_b.serve(poll=0.02)
+            finally:
+                grid_b.stop()
+        finally:
+            agent.request_drain()
+            thread.join(timeout=10)
+
+        # Grid B got its own value, not grid A's 101 for the same index.
+        assert outcome.results[0][0] == 5
+        assert agent.report.stale_grid + grid_b.outcome.stale_grid >= 1
 
     def test_worker_gives_up_when_coordinator_never_appears(self):
         with socket.socket() as probe:
@@ -227,6 +400,42 @@ class TestFaultPaths:
         agent.request_drain()  # drain before starting: loop exits immediately
         report = agent.run()
         assert report.drained is True and report.completed == 0
+
+    def test_drain_during_reconnect_is_not_giving_up(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        agent = WorkerAgent(
+            f"127.0.0.1:{free_port}",
+            WorkerOptions(poll=0.02, reconnect_budget=30.0, breaker_reset=0.05),
+        )
+        thread = threading.Thread(target=agent.run, daemon=True)
+        thread.start()
+        time.sleep(0.3)  # let the agent enter its reconnect loop
+        agent.request_drain()
+        thread.join(timeout=10)
+        assert agent.report.drained is True
+        assert agent.report.gave_up is False
+
+    def test_worker_process_exits_nonzero_after_giving_up(self):
+        import signal as signal_module
+
+        from repro.sweep.dist import run_worker_process
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        previous = signal_module.getsignal(signal_module.SIGTERM)
+        try:
+            code = run_worker_process(
+                f"127.0.0.1:{free_port}",
+                reconnect_budget=0.4,
+                poll=0.02,
+                quiet=True,
+            )
+        finally:
+            signal_module.signal(signal_module.SIGTERM, previous)
+        assert code == 1
 
 
 class TestEngineServe:

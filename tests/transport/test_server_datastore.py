@@ -157,3 +157,29 @@ def test_datastore_event_log_wiring(tmp_path):
         store.stage_read("k")
     assert len(log) == 2
     assert store.event_log is log
+
+
+def test_dispatch_exception_becomes_error_reply_not_disconnect():
+    """A handler bug must answer -ERR, not kill the connection thread."""
+    from repro.transport import resp
+    from repro.transport.redis_backend import MiniRedisConnection
+    from repro.transport.resp import ServerReplyError
+    from repro.transport.server import RespTcpServer
+
+    class BuggyServer(RespTcpServer):
+        def _dispatch(self, name, args):
+            if name == "PING":
+                return resp.encode_simple("PONG")
+            raise ValueError("handler bug")
+
+    server = BuggyServer()
+    server.start()
+    try:
+        conn = MiniRedisConnection(server.host, server.port)
+        with pytest.raises(ServerReplyError, match="internal ValueError"):
+            conn.command("BOOM")
+        # The connection survived and still answers the next command.
+        assert conn.command("PING") == "PONG"
+        conn.close()
+    finally:
+        server.stop()
