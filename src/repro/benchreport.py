@@ -1,0 +1,355 @@
+"""Performance baseline tooling: ``python -m repro bench``.
+
+The DES engine's event throughput is the hard ceiling on every number
+this reproduction produces, so its trajectory is tracked in the repo:
+``repro bench`` runs the DES micro-benchmarks plus one quick round of
+each paper experiment, writes a machine-readable ``BENCH_<date>.json``
+(events/sec, per-experiment wall seconds, peak RSS), and prints a delta
+table against the most recent committed baseline. CI runs
+``repro bench --quick --check`` as a perf-smoke job that fails on a
+>25% events/sec regression against the baseline in ``benchmarks/``.
+
+Report schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "created": "2026-08-05T12:00:00",
+      "quick": false,
+      "python": "3.12.1",
+      "platform": "Linux-...",
+      "des": {
+        "event_throughput": {"events": N, "seconds": s, "events_per_sec": r},
+        "resource_contention": {...}
+      },
+      "experiments": {"fig3": {"seconds": s}, ...},
+      "peak_rss_bytes": B
+    }
+
+Benchmarks are wall-clock measurements: absolute numbers move between
+machines, so the regression check only compares runs from the same
+environment (the committed baseline is refreshed whenever the CI image
+or the engine changes materially).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import pathlib
+import platform
+import resource
+import sys
+import time
+from typing import Any, Optional
+
+#: Experiments timed by ``--quick`` (CI smoke) vs the full bench.
+QUICK_EXPERIMENTS = ("table2", "fig3")
+
+#: Fail ``--check`` when events/sec drops below this fraction of baseline.
+DEFAULT_REGRESSION_THRESHOLD = 0.25
+
+
+# -- DES micro-benchmarks ---------------------------------------------------
+def _ticker_workload(env) -> None:
+    """The ``test_micro_substrates`` event-throughput workload."""
+
+    def ticker(env):
+        for _ in range(1000):
+            yield env.timeout(1.0)
+
+    for _ in range(10):
+        env.process(ticker(env))
+
+
+def _contention_workload(env) -> None:
+    """The ``test_micro_substrates`` resource-contention workload."""
+    from repro.des import Resource
+
+    res = Resource(env, capacity=4)
+
+    def user(env, res):
+        for _ in range(50):
+            with res.request() as req:
+                yield req
+                yield env.timeout(0.1)
+
+    for _ in range(40):
+        env.process(user(env, res))
+
+
+def _measure_des(build, repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` wall time for one DES workload.
+
+    The event count is taken once from a probed run (deterministic, so
+    it is identical for every repeat); the timed runs are unprobed so
+    the number reflects what experiments actually pay.
+    """
+    from repro.des import Environment
+    from repro.des.probe import CountingProbe
+
+    counter = CountingProbe()
+    env = Environment(probe=counter)
+    build(env)
+    env.run()
+    events = counter.processed
+
+    best = float("inf")
+    for _ in range(repeats):
+        env = Environment()
+        build(env)
+        start = time.perf_counter()
+        env.run()
+        best = min(best, time.perf_counter() - start)
+    return {
+        "events": float(events),
+        "seconds": best,
+        "events_per_sec": events / best,
+    }
+
+
+def run_des_benchmarks(repeats: int = 5) -> dict[str, dict[str, float]]:
+    """Both DES micro-benchmarks as ``{name: {events, seconds, events_per_sec}}``."""
+    return {
+        "event_throughput": _measure_des(_ticker_workload, repeats),
+        "resource_contention": _measure_des(_contention_workload, repeats),
+    }
+
+
+# -- experiment rounds ------------------------------------------------------
+def run_experiment_rounds(names: Optional[list[str]] = None) -> dict[str, dict[str, float]]:
+    """Wall seconds for one quick round of each named paper experiment."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    chosen = list(ALL_EXPERIMENTS) if names is None else list(names)
+    timings: dict[str, dict[str, float]] = {}
+    for name in chosen:
+        module = ALL_EXPERIMENTS[name]
+        start = time.perf_counter()
+        module.run(quick=True)
+        timings[name] = {"seconds": time.perf_counter() - start}
+    return timings
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process (ru_maxrss is KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss * (1 if sys.platform == "darwin" else 1024)
+
+
+# -- report assembly --------------------------------------------------------
+def collect(quick: bool = False, repeats: int = 5) -> dict[str, Any]:
+    """Run the whole bench and assemble the report payload."""
+    names = list(QUICK_EXPERIMENTS) if quick else None
+    des = run_des_benchmarks(repeats=repeats)
+    experiments = run_experiment_rounds(names)
+    return {
+        "schema_version": 1,
+        "created": _dt.datetime.now().isoformat(timespec="seconds"),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "des": des,
+        "experiments": experiments,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def report_path(out_dir: pathlib.Path, date: Optional[str] = None) -> pathlib.Path:
+    """Next free ``BENCH_<date>[_N].json`` path under ``out_dir``.
+
+    The suffix keeps same-day reports distinct, and ``_N`` sorts after
+    the bare name lexicographically ('.' < '_'), so ``sorted()`` order
+    is chronological within a day too.
+    """
+    date = date or _dt.date.today().isoformat()
+    path = out_dir / f"BENCH_{date}.json"
+    n = 2
+    while path.exists():
+        path = out_dir / f"BENCH_{date}_{n}.json"
+        n += 1
+    return path
+
+
+def find_baseline(baseline_dir: pathlib.Path) -> Optional[pathlib.Path]:
+    """Most recent committed ``BENCH_*.json`` (lexicographically greatest)."""
+    candidates = sorted(baseline_dir.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def write_report(payload: dict[str, Any], out_dir: pathlib.Path) -> pathlib.Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = report_path(out_dir)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# -- comparison -------------------------------------------------------------
+def _fmt_delta(current: float, baseline: float, higher_is_better: bool) -> str:
+    if baseline <= 0:
+        return "n/a"
+    ratio = current / baseline
+    sign = "+" if ratio >= 1 else ""
+    arrow = ratio >= 1 if higher_is_better else ratio <= 1
+    return f"{sign}{100.0 * (ratio - 1.0):.1f}% {'ok' if arrow else 'worse'}"
+
+
+def delta_table(current: dict[str, Any], baseline: dict[str, Any]) -> str:
+    """Human-readable comparison of two bench payloads."""
+    rows: list[tuple[str, str, str, str]] = []
+    for name, cur in current.get("des", {}).items():
+        base = baseline.get("des", {}).get(name)
+        if base is None:
+            continue
+        rows.append(
+            (
+                f"des.{name} (events/sec)",
+                f"{base['events_per_sec']:,.0f}",
+                f"{cur['events_per_sec']:,.0f}",
+                _fmt_delta(cur["events_per_sec"], base["events_per_sec"], True),
+            )
+        )
+    for name, cur in current.get("experiments", {}).items():
+        base = baseline.get("experiments", {}).get(name)
+        if base is None:
+            continue
+        rows.append(
+            (
+                f"{name} (s)",
+                f"{base['seconds']:.2f}",
+                f"{cur['seconds']:.2f}",
+                _fmt_delta(cur["seconds"], base["seconds"], False),
+            )
+        )
+    cur_rss = current.get("peak_rss_bytes", 0)
+    base_rss = baseline.get("peak_rss_bytes", 0)
+    if cur_rss and base_rss:
+        rows.append(
+            (
+                "peak RSS (MB)",
+                f"{base_rss / 1e6:.0f}",
+                f"{cur_rss / 1e6:.0f}",
+                _fmt_delta(cur_rss, base_rss, False),
+            )
+        )
+    if not rows:
+        return "(no comparable metrics in baseline)"
+    headers = ("metric", "baseline", "current", "delta")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+    return "\n".join(lines)
+
+
+def check_regression(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> list[str]:
+    """Events/sec regressions beyond ``threshold`` (empty = pass).
+
+    Only the DES throughput numbers gate: experiment wall times include
+    process startup and numpy noise, so they are reported but advisory.
+    """
+    failures = []
+    for name, cur in current.get("des", {}).items():
+        base = baseline.get("des", {}).get(name)
+        if base is None:
+            continue
+        floor = (1.0 - threshold) * base["events_per_sec"]
+        if cur["events_per_sec"] < floor:
+            failures.append(
+                f"des.{name}: {cur['events_per_sec']:,.0f} events/sec is below "
+                f"{floor:,.0f} ({(1.0 - threshold) * 100:.0f}% of baseline "
+                f"{base['events_per_sec']:,.0f})"
+            )
+    return failures
+
+
+# -- CLI --------------------------------------------------------------------
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"time only {', '.join(QUICK_EXPERIMENTS)} (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        metavar="N",
+        help="DES micro-bench repeats (best-of-N wall time)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default="benchmarks",
+        metavar="DIR",
+        help="where BENCH_<date>.json is written",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default="benchmarks",
+        metavar="DIR",
+        help="where the committed baseline BENCH_*.json files live",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report and delta table without writing a file",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero on a DES events/sec regression beyond --threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        metavar="FRACTION",
+        help="allowed events/sec regression fraction for --check (default 0.25)",
+    )
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    baseline_path = find_baseline(baseline_dir)
+    payload = collect(quick=args.quick, repeats=args.repeats)
+
+    for name, numbers in payload["des"].items():
+        print(
+            f"des.{name}: {numbers['events_per_sec']:,.0f} events/sec "
+            f"({numbers['events']:.0f} events in {numbers['seconds'] * 1e3:.1f} ms)"
+        )
+    for name, numbers in payload["experiments"].items():
+        print(f"{name}: {numbers['seconds']:.2f} s")
+    print(f"peak RSS: {payload['peak_rss_bytes'] / 1e6:.0f} MB")
+
+    if baseline_path is not None:
+        baseline = json.loads(baseline_path.read_text())
+        print(f"\ndelta vs {baseline_path}:")
+        print(delta_table(payload, baseline))
+    else:
+        baseline = None
+        print(f"\nno baseline BENCH_*.json in {baseline_dir} (first run?)")
+
+    if not args.no_write:
+        path = write_report(payload, pathlib.Path(args.out_dir))
+        print(f"\nreport written to {path}")
+
+    if args.check:
+        if baseline is None:
+            print("--check: no baseline to compare against", file=sys.stderr)
+            return 1
+        failures = check_regression(payload, baseline, args.threshold)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("perf check passed")
+    return 0

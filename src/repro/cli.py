@@ -8,6 +8,7 @@ Subcommands::
         --nodes 64 --size-mb 4              # sim-mode what-if study
     python -m repro sweep fig3 --quick --parallel 4 \
         --cache-dir .sweep-cache            # cached parallel experiment sweep
+    python -m repro bench --quick           # perf baseline -> BENCH_<date>.json
     python -m repro trace-summary out.json  # top-k slowest spans per component
 
 Observability: ``run`` and ``simulate`` accept ``--trace out.json``
@@ -532,6 +533,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchreport import cmd_bench
+
+    return cmd_bench(args)
+
+
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.telemetry import load_trace, summarize_trace, validate_trace_events
@@ -728,6 +735,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_observability(chaos)
 
+    bench = sub.add_parser(
+        "bench",
+        help="perf baseline: DES micro-bench + quick experiment rounds "
+        "-> BENCH_<date>.json with a delta table vs the last baseline",
+    )
+    from repro.benchreport import add_bench_arguments
+
+    add_bench_arguments(bench)
+
     trace_summary = sub.add_parser(
         "trace-summary", help="print the top-k slowest spans per component of a trace"
     )
@@ -748,6 +764,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "trace-summary":
         return _cmd_trace_summary(args)
     raise ConfigError(f"unknown command {args.command!r}")  # pragma: no cover

@@ -70,6 +70,13 @@ class DragonflyTopology:
 
         self.graph = nx.Graph()
         self._build()
+        # Route memo: the graph is immutable after _build(), so every
+        # path query is a pure function of (src, dst). Each transfer in
+        # the contention model asks for its route; without the memo that
+        # is one networkx shortest-path search per simulated message.
+        self._path_cache: dict[tuple[int, int], list[str]] = {}
+        self._links_cache: dict[tuple[int, int], list[tuple[str, str]]] = {}
+        self._latency_cache: dict[tuple[int, int], float] = {}
 
     # -- construction -----------------------------------------------------
     @staticmethod
@@ -133,23 +140,36 @@ class DragonflyTopology:
         return (node // self.nodes_per_switch) // self.switches_per_group
 
     def path(self, src: int, dst: int) -> list[str]:
-        """Minimal-hop route between two compute nodes (graph node ids)."""
+        """Minimal-hop route between two compute nodes (graph node ids).
+
+        Cached per (src, dst); callers must treat the list as read-only.
+        """
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
         self._check_node(src)
         self._check_node(dst)
         if src == dst:
-            return [self.node_id(src)]
-        return nx.shortest_path(self.graph, self.node_id(src), self.node_id(dst))
+            route = [self.node_id(src)]
+        else:
+            route = nx.shortest_path(self.graph, self.node_id(src), self.node_id(dst))
+        self._path_cache[(src, dst)] = route
+        return route
 
     def hop_count(self, src: int, dst: int) -> int:
         """Number of links traversed between two nodes (0 when identical)."""
         return len(self.path(src, dst)) - 1
 
     def path_latency(self, src: int, dst: int) -> float:
-        """Sum of link latencies along the minimal route."""
+        """Sum of link latencies along the minimal route (cached)."""
+        cached = self._latency_cache.get((src, dst))
+        if cached is not None:
+            return cached
         path = self.path(src, dst)
         total = 0.0
         for a, b in zip(path, path[1:]):
             total += self.graph.edges[a, b]["latency"]
+        self._latency_cache[(src, dst)] = total
         return total
 
     def path_bottleneck_bandwidth(self, src: int, dst: int) -> float:
@@ -160,9 +180,17 @@ class DragonflyTopology:
         return min(self.graph.edges[a, b]["bandwidth"] for a, b in zip(path, path[1:]))
 
     def path_links(self, src: int, dst: int) -> list[tuple[str, str]]:
-        """Canonically ordered (sorted endpoints) link list along the route."""
+        """Canonically ordered (sorted endpoints) link list along the route.
+
+        Cached per (src, dst); callers must treat the list as read-only.
+        """
+        cached = self._links_cache.get((src, dst))
+        if cached is not None:
+            return cached
         path = self.path(src, dst)
-        return [tuple(sorted((a, b))) for a, b in zip(path, path[1:])]
+        links = [tuple(sorted((a, b))) for a, b in zip(path, path[1:])]
+        self._links_cache[(src, dst)] = links
+        return links
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.n_nodes:

@@ -17,7 +17,7 @@ monotonically increasing sequence number.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional
 
 from repro.des.events import (
@@ -45,6 +45,16 @@ class StopProcess(Exception):
     """Raised internally to abort :meth:`Environment.run` at ``until``."""
 
 
+def _detached(event: "Event") -> None:
+    """No-op callback left behind when a process detaches from an event.
+
+    Detaching swaps the process's resume callback for this sentinel
+    instead of calling ``list.remove``: no tail shifting, and the other
+    callbacks keep their exact positions, so run order is bit-identical
+    to a removal.
+    """
+
+
 class Process(Event):
     """A process wraps a generator of events and is itself an event.
 
@@ -52,7 +62,7 @@ class Process(Event):
     generator terminates, so other processes can wait on it ("join").
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb")
 
     def __init__(
         self,
@@ -65,10 +75,12 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        # One bound method reused for every wait: appending self._resume
+        # directly would allocate a fresh bound-method object per yield.
+        self._resume_cb = self._resume
         # The event the process is currently waiting on (None when resuming).
         self._target: Optional[Event] = Initialize(env)
-        assert self._target.callbacks is not None
-        self._target.callbacks.append(self._resume)
+        self._target.callbacks.append(self._resume_cb)
 
     @property
     def target(self) -> Optional[Event]:
@@ -103,38 +115,43 @@ class Process(Event):
     def _resume_interrupt(self, event: Event) -> None:
         if not self.is_alive:
             return  # terminated before the interrupt was delivered
-        # Detach from the event we were waiting on.
+        # Detach from the event we were waiting on (sentinel swap, see
+        # :func:`_detached`).
         if self._target is not None and self._target.callbacks is not None:
+            callbacks = self._target.callbacks
             try:
-                self._target.callbacks.remove(self._resume)
+                callbacks[callbacks.index(self._resume_cb)] = _detached
             except ValueError:
                 pass
         self._target = None
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_proc = self
-        if self.env.probe is not None:
-            self.env.probe.on_process_switch(self.env, self)
+        env = self.env
+        env._active_proc = self
+        if env.probe is not None:
+            env.probe.on_process_switch(env, self)
+        send = self._generator.send
+        throw = self._generator.throw
         try:
             while True:
                 try:
                     if event._ok:
-                        next_event = self._generator.send(event._value)
+                        next_event = send(event._value)
                     else:
                         # Mark the failure as handled: the process sees it.
-                        next_event = self._generator.throw(event._value)
+                        next_event = throw(event._value)
                 except StopIteration as exc:
                     self._ok = True
                     self._value = exc.value
                     self._triggered = True
-                    self.env.schedule(self)
+                    env.schedule(self)
                     break
                 except BaseException as exc:
                     self._ok = False
                     self._value = exc
                     self._triggered = True
-                    self.env.schedule(self)
+                    env.schedule(self)
                     break
 
                 if not isinstance(next_event, Event):
@@ -148,13 +165,13 @@ class Process(Event):
                         self._ok = True
                         self._value = stop.value
                         self._triggered = True
-                        self.env.schedule(self)
+                        env.schedule(self)
                         break
                     except BaseException as exc3:
                         self._ok = False
                         self._value = exc3
                         self._triggered = True
-                        self.env.schedule(self)
+                        env.schedule(self)
                         break
 
                 if next_event._processed:
@@ -163,11 +180,10 @@ class Process(Event):
                     continue
 
                 self._target = next_event
-                assert next_event.callbacks is not None
-                next_event.callbacks.append(self._resume)
+                next_event.callbacks.append(self._resume_cb)
                 break
         finally:
-            self.env._active_proc = None
+            env._active_proc = None
 
 
 class Environment:
@@ -222,10 +238,12 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Push a triggered event onto the calendar ``delay`` from now."""
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+        at = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (at, priority, seq, event))
         if self.probe is not None:
-            self.probe.on_schedule(self, event, self._now + delay, priority)
+            self.probe.on_schedule(self, event, at, priority)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -233,10 +251,10 @@ class Environment:
 
     def step(self) -> None:
         """Process the next event on the calendar."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no scheduled events remain") from None
+        queue = self._queue
+        if not queue:
+            raise EmptySchedule("no scheduled events remain")
+        self._now, _, _, event = heappop(queue)
 
         if self.probe is not None:
             self.probe.on_step(self, self._now, event)
@@ -244,7 +262,6 @@ class Environment:
         callbacks = event.callbacks
         event.callbacks = None  # callbacks added after processing are an error
         event._processed = True
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
 
@@ -273,7 +290,7 @@ class Environment:
                 stop_event._ok = True
                 stop_event._value = None
                 stop_event._triggered = True
-                heapq.heappush(self._queue, (at, 0, -1, stop_event))
+                heappush(self._queue, (at, 0, -1, stop_event))
 
         if stop_event is not None:
             if stop_event._processed:
@@ -283,9 +300,29 @@ class Environment:
             assert stop_event.callbacks is not None
             stop_event.callbacks.append(self._stop_callback)
 
+        # The event loop is inlined here (rather than calling self.step()
+        # per event) — at hundreds of thousands of events per run the
+        # method-call overhead dominates. Semantics are identical to
+        # step(); the probe hook keeps its exact call points.
+        queue = self._queue
+        pop = heappop
         try:
             while True:
-                self.step()
+                if not queue:
+                    raise EmptySchedule("no scheduled events remain")
+                self._now, _, _, event = pop(queue)
+
+                if self.probe is not None:
+                    self.probe.on_step(self, self._now, event)
+
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+
+                if not event._ok and not callbacks:
+                    raise event._value
         except EmptySchedule:
             if stop_event is not None and not stop_event._processed:
                 if isinstance(until, Event):

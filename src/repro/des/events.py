@@ -22,6 +22,7 @@ trigger when their generator terminates, which is what makes ``yield proc``
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -131,12 +132,25 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = float(delay)
-        self._ok = True
+        # Fast path: one Timeout per simulated wait makes this the
+        # hottest constructor in the engine, so the Event.__init__ +
+        # Environment.schedule() call chain is inlined. State and push
+        # order (including the probe hook) are identical to
+        # ``Event.__init__`` followed by ``env.schedule(...)``.
+        delay = float(delay)
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._triggered = True
-        env.schedule(self, priority=NORMAL, delay=self.delay)
+        self._processed = False
+        self.delay = delay
+        at = env._now + delay
+        seq = env._seq
+        env._seq = seq + 1
+        heappush(env._queue, (at, NORMAL, seq, self))
+        if env.probe is not None:
+            env.probe.on_schedule(env, self, at, NORMAL)
 
 
 class Initialize(Event):

@@ -6,10 +6,19 @@ request queue (used for the Lustre metadata server, network injection
 ports, ...); a :class:`Store` is a buffer of items with blocking get/put
 (used for message channels); a :class:`Container` tracks a continuous level
 (used for memory accounting).
+
+Performance notes (see ARCHITECTURE.md "Performance"): every wait queue
+here is a :class:`collections.deque` — grants pop from the left in O(1)
+instead of ``list.pop(0)``'s O(n). Withdrawing an ungranted
+:class:`Request` does not search the queue; it flips a tombstone flag on
+the request and the grant loop discards tombstones lazily when they
+reach the front. Neither change can reorder events: live entries keep
+their exact FIFO positions, and a tombstone produces no event at all.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.des.events import Event
@@ -22,12 +31,14 @@ if TYPE_CHECKING:  # pragma: no cover
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "_cancelled")
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
+        self._cancelled = False  # lazy-cancellation tombstone
         resource._queue.append(self)
+        resource._pending += 1
         resource._trigger_requests()
 
     # Support "with resource.request() as req: yield req".
@@ -50,8 +61,11 @@ class Resource:
             raise SimulationError(f"resource capacity must be positive, got {capacity}")
         self.env = env
         self._capacity = int(capacity)
-        self._queue: list[Request] = []  # ungranted requests, FIFO
-        self._users: list[Request] = []  # granted requests
+        # Ungranted requests, FIFO; may contain tombstoned (cancelled)
+        # entries that the grant loop discards when they surface.
+        self._queue: deque[Request] = deque()
+        self._pending = 0  # live (non-tombstoned) queued requests
+        self._users: set[Request] = set()  # granted requests (order unused)
 
     @property
     def capacity(self) -> int:
@@ -65,7 +79,7 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a slot."""
-        return len(self._queue)
+        return self._pending
 
     def request(self) -> Request:
         """Claim a slot; the returned event triggers when granted."""
@@ -73,19 +87,28 @@ class Resource:
 
     def release(self, request: Request) -> None:
         """Return a slot (or withdraw an ungranted request)."""
-        try:
-            self._users.remove(request)
-        except ValueError:
-            try:
-                self._queue.remove(request)
-            except ValueError:
-                return  # releasing twice is a no-op
-        self._trigger_requests()
+        users = self._users
+        if request in users:
+            users.remove(request)
+            self._trigger_requests()
+        elif not request._triggered and not request._cancelled:
+            # Still queued: tombstone instead of an O(n) queue search.
+            # No slot freed, so nothing can be granted (a request only
+            # queues while the resource is at capacity).
+            request._cancelled = True
+            self._pending -= 1
+        # else: releasing twice is a no-op
 
     def _trigger_requests(self) -> None:
-        while self._queue and len(self._users) < self._capacity:
-            request = self._queue.pop(0)
-            self._users.append(request)
+        queue = self._queue
+        users = self._users
+        capacity = self._capacity
+        while queue and len(users) < capacity:
+            request = queue.popleft()
+            if request._cancelled:
+                continue  # lazily discard a withdrawn request
+            self._pending -= 1
+            users.add(request)
             request.succeed()
 
 
@@ -100,11 +123,14 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
-    __slots__ = ("filter",)
+    __slots__ = ("filter", "_scan")
 
     def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
         super().__init__(store.env)
         self.filter = filter
+        # Scan cursor: items[:_scan] are known not to match this get's
+        # filter, so repeated dispatches only examine new arrivals.
+        self._scan = 0
         store._get_queue.append(self)
         store._dispatch()
 
@@ -115,6 +141,12 @@ class Store:
     ``capacity`` bounds the number of buffered items; ``float('inf')`` (the
     default) never blocks producers. ``get(filter=...)`` retrieves the first
     item matching a predicate (FilterStore semantics).
+
+    Filters must be pure functions of the item: a blocked get remembers
+    which buffered items it has already rejected (its scan cursor) and
+    never re-evaluates them, so a predicate whose answer changes over
+    time would be ignored. The in-repo user (tagged MPI mailbox
+    source/tag matching) is pure.
     """
 
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
@@ -123,7 +155,7 @@ class Store:
         self.env = env
         self.capacity = capacity
         self.items: list[Any] = []
-        self._put_queue: list[StorePut] = []
+        self._put_queue: deque[StorePut] = deque()
         self._get_queue: list[StoreGet] = []
 
     def put(self, item: Any) -> StorePut:
@@ -139,37 +171,57 @@ class Store:
         return len(self.items)
 
     def _dispatch(self) -> None:
+        items = self.items
+        put_queue = self._put_queue
+        get_queue = self._get_queue
         progressed = True
         while progressed:
             progressed = False
             # Admit puts while there is room.
-            while self._put_queue and len(self.items) < self.capacity:
-                put = self._put_queue.pop(0)
-                self.items.append(put.item)
+            while put_queue and len(items) < self.capacity:
+                put = put_queue.popleft()
+                items.append(put.item)
                 put.succeed()
                 progressed = True
             # Satisfy gets in FIFO order; a filtered get blocks the queue
-            # only for itself (scan past non-matching getters).
+            # only for itself (scan past non-matching getters). Each
+            # getter resumes scanning at its cursor, so a blocked
+            # filtered get costs O(new items) per dispatch, not
+            # O(all items).
             i = 0
-            while i < len(self._get_queue):
-                get = self._get_queue[i]
-                idx = self._find(get.filter)
+            while i < len(get_queue):
+                get = get_queue[i]
+                idx = self._find(get)
                 if idx is None:
                     i += 1
                     continue
-                item = self.items.pop(idx)
-                self._get_queue.pop(i)
+                item = items.pop(idx)
+                get_queue.pop(i)
                 get.succeed(item)
+                # Removing items[idx] shifts later items one slot left:
+                # keep the other waiters' cursors pointing at the same
+                # elements they had already cleared.
+                for waiter in get_queue:
+                    if waiter._scan > idx:
+                        waiter._scan -= 1
                 progressed = True
 
-    def _find(self, filter: Optional[Callable[[Any], bool]]) -> Optional[int]:
+    def _find(self, get: StoreGet) -> Optional[int]:
+        """Index of the first item satisfying ``get`` (None = blocked),
+        advancing the get's scan cursor past confirmed non-matches."""
+        items = self.items
+        filter = get.filter
         if filter is None:
-            return 0 if self.items else None
-        for idx, item in enumerate(self.items):
-            if filter(item):
+            return 0 if items else None
+        n = len(items)
+        idx = get._scan
+        while idx < n:
+            if filter(items[idx]):
+                get._scan = idx
                 return idx
+            idx += 1
+        get._scan = n
         return None
-
 
 class ContainerPut(Event):
     __slots__ = ("amount",)
@@ -211,8 +263,8 @@ class Container:
         self.env = env
         self.capacity = capacity
         self._level = float(init)
-        self._put_queue: list[ContainerPut] = []
-        self._get_queue: list[ContainerGet] = []
+        self._put_queue: deque[ContainerPut] = deque()
+        self._get_queue: deque[ContainerGet] = deque()
 
     @property
     def level(self) -> float:
@@ -225,20 +277,22 @@ class Container:
         return ContainerGet(self, amount)
 
     def _dispatch(self) -> None:
+        put_queue = self._put_queue
+        get_queue = self._get_queue
         progressed = True
         while progressed:
             progressed = False
-            if self._put_queue:
-                put = self._put_queue[0]
+            if put_queue:
+                put = put_queue[0]
                 if self._level + put.amount <= self.capacity:
-                    self._put_queue.pop(0)
+                    put_queue.popleft()
                     self._level += put.amount
                     put.succeed()
                     progressed = True
-            if self._get_queue:
-                get = self._get_queue[0]
+            if get_queue:
+                get = get_queue[0]
                 if get.amount <= self._level:
-                    self._get_queue.pop(0)
+                    get_queue.popleft()
                     self._level -= get.amount
                     get.succeed()
                     progressed = True

@@ -8,6 +8,7 @@ batches are sampled uniformly from the current pool.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterator, Optional
 
 import numpy as np
@@ -76,7 +77,9 @@ class SnapshotDataset:
             raise MLError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.rng = rng or np.random.default_rng(0)
-        self._snapshots: list[tuple[np.ndarray, np.ndarray]] = []
+        # maxlen makes eviction O(1): appending past capacity drops the
+        # oldest snapshot, where list.pop(0) shifted the whole pool.
+        self._snapshots: deque[tuple[np.ndarray, np.ndarray]] = deque(maxlen=capacity)
         self.updates = 0
 
     def __len__(self) -> int:
@@ -98,8 +101,6 @@ class SnapshotDataset:
                     f"new {x.shape}/{y.shape}"
                 )
         self._snapshots.append((x.copy(), y.copy()))
-        if len(self._snapshots) > self.capacity:
-            self._snapshots.pop(0)
         self.updates += 1
 
     def sample(self) -> tuple[np.ndarray, np.ndarray]:

@@ -72,6 +72,17 @@ class LeaseTable:
     (``lease``, ``renew``, ``reclaim``, ``done``, ``requeue``,
     ``poison``) — the coordinator hangs its journal and progress
     reporting off it.
+
+    The ready queue is a deque of ``(index, generation)`` entries plus a
+    liveness map ``index -> generation``: removing a point just drops it
+    from the map (O(1)) and the stale deque entry is skipped when it
+    surfaces, instead of ``deque.remove``'s O(n) scan-and-shift per
+    claim/complete/fail. Generations make re-queued points unambiguous —
+    a point that is lazily discarded and later re-queued gets a fresh
+    generation, so its abandoned earlier entry can never resurrect it
+    out of order. Live entries keep the exact order the eager-removal
+    implementation produced (lowest-index-first reclaim at the front,
+    requeues at the back).
     """
 
     def __init__(
@@ -93,18 +104,43 @@ class LeaseTable:
         self.clock = clock
         self.observer = observer
         self.records: dict[int, PointRecord] = {}
-        self._queue: deque[int] = deque()
+        self._queue: deque[tuple[int, int]] = deque()
+        self._live: dict[int, int] = {}  # index -> generation of its live entry
+        self._generation = 0
         for index in indices:
             if index in self.records:
                 raise SweepError(f"duplicate point index {index}")
             self.records[index] = PointRecord(index)
-            self._queue.append(index)
+            self._queue_append(index)
         self.reclaims = 0  # leases stolen back from expired workers
 
     # -- helpers -----------------------------------------------------------
     def _notify(self, event: str, record: PointRecord) -> None:
         if self.observer is not None:
             self.observer(event, record)
+
+    def _queue_append(self, index: int, left: bool = False) -> None:
+        self._generation += 1
+        generation = self._generation
+        self._live[index] = generation
+        if left:
+            self._queue.appendleft((index, generation))
+        else:
+            self._queue.append((index, generation))
+
+    def _queue_discard(self, index: int) -> None:
+        """O(1) removal: kill the liveness entry; the deque entry dies lazily."""
+        self._live.pop(index, None)
+
+    def _queue_compact(self) -> None:
+        """Drop dead entries off the queue head so peeking sees live work."""
+        queue = self._queue
+        live = self._live
+        while queue:
+            index, generation = queue[0]
+            if live.get(index) == generation:
+                break
+            queue.popleft()
 
     def _terminal(self, record: PointRecord) -> bool:
         return record.state in (PointState.DONE, PointState.POISONED)
@@ -149,7 +185,7 @@ class LeaseTable:
             record.state = PointState.QUEUED
             record.worker = None
             record.deadline = 0.0
-            self._queue.appendleft(index)
+            self._queue_append(index, left=True)
             self.reclaims += 1
             self._notify("reclaim", record)
         return expired
@@ -163,16 +199,23 @@ class LeaseTable:
         queued, relying on the total-failure poison cap to terminate.
         """
         self.reclaim_expired()
+        self._queue_compact()
+        live = self._live
         chosen: Optional[int] = None
-        for index in self._queue:
+        first_live: Optional[int] = None
+        for index, generation in self._queue:
+            if live.get(index) != generation:
+                continue  # lazily-discarded entry
+            if first_live is None:
+                first_live = index
             if worker not in self.records[index].failed_workers:
                 chosen = index
                 break
-        if chosen is None and self._queue:
-            chosen = self._queue[0]
+        if chosen is None:
+            chosen = first_live
         if chosen is None:
             return None
-        self._queue.remove(chosen)
+        self._queue_discard(chosen)
         record = self.records[chosen]
         record.state = PointState.LEASED
         record.worker = worker
@@ -206,7 +249,7 @@ class LeaseTable:
         if self._terminal(record):
             return False
         if record.state is PointState.QUEUED:
-            self._queue.remove(index)
+            self._queue_discard(index)
         record.state = PointState.DONE
         record.worker = worker
         record.deadline = 0.0
@@ -229,7 +272,7 @@ class LeaseTable:
         record.worker = None
         record.deadline = 0.0
         if record.state is PointState.QUEUED:
-            self._queue.remove(index)
+            self._queue_discard(index)
         if (
             len(record.failed_workers) >= self.poison_workers
             or len(record.failures) >= self.poison_failures
@@ -238,7 +281,7 @@ class LeaseTable:
             self._notify("poison", record)
         else:
             record.state = PointState.QUEUED
-            self._queue.append(index)
+            self._queue_append(index)
             self._notify("requeue", record)
         return record.state
 
@@ -249,6 +292,6 @@ class LeaseTable:
             raise SweepError(f"unknown point index {index}")
         if record.state is not PointState.QUEUED:
             raise SweepError(f"point {index} already {record.state.value}")
-        self._queue.remove(index)
+        self._queue_discard(index)
         record.state = PointState.DONE
         record.worker = "journal"

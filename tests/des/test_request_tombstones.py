@@ -1,0 +1,172 @@
+"""Request cancellation / release semantics under the tombstone scheme.
+
+``Resource`` no longer removes a withdrawn request from its wait queue;
+it flips a flag and the grant loop discards the corpse when it reaches
+the front. These tests pin the externally visible contract: counts stay
+exact, tombstones are never granted, and double releases are no-ops.
+"""
+
+from __future__ import annotations
+
+from repro.des import Environment, Resource
+
+
+def test_cancel_ungranted_request_updates_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    waiting = []
+
+    def waiter(env):
+        req = res.request()
+        waiting.append(req)
+        yield req
+        res.release(req)
+
+    env.process(holder(env))
+    for _ in range(3):
+        env.process(waiter(env))
+    env.run(until=1.0)
+
+    assert res.count == 1
+    assert res.queue_length == 3
+    waiting[1].cancel()
+    assert res.queue_length == 2  # tombstone excluded immediately
+    assert res.count == 1
+
+
+def test_tombstoned_request_is_never_granted():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        res.release(req)
+
+    def impatient(env):
+        req = res.request()
+        got = yield req | env.timeout(0.5)
+        assert req not in got
+        req.cancel()
+
+    def patient(env):
+        req = res.request()
+        yield req
+        granted.append("patient")
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(impatient(env))
+    env.process(patient(env))
+    env.run()
+
+    # The cancelled request sat ahead of the patient one in FIFO order;
+    # the grant loop must skip its tombstone, not hand it the slot.
+    assert granted == ["patient"]
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+def test_double_release_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def proc(env):
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)  # second release must not free someone else's slot
+        res.release(req)
+
+    def occupant(env):
+        req = res.request()
+        yield req
+        yield env.timeout(5.0)
+        res.release(req)
+
+    env.process(occupant(env))
+    env.process(proc(env))
+    env.run(until=1.0)
+    assert res.count == 1  # occupant still holds exactly its own slot
+
+
+def test_double_cancel_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    cancelled = []
+
+    def quitter(env):
+        req = res.request()
+        yield env.timeout(0.1)
+        req.cancel()
+        req.cancel()  # idempotent: must not drive _pending negative
+        cancelled.append(req)
+
+    env.process(holder(env))
+    env.process(quitter(env))
+    env.run(until=1.0)
+    assert res.queue_length == 0
+    assert res.count == 1
+
+
+def test_cancel_after_grant_releases_the_slot():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def first(env):
+        req = res.request()
+        yield req
+        order.append("first")
+        yield env.timeout(1.0)
+        # cancel() on a granted request is release() by definition.
+        req.cancel()
+
+    def second(env):
+        req = res.request()
+        yield req
+        order.append("second")
+        res.release(req)
+
+    env.process(first(env))
+    env.process(second(env))
+    env.run()
+    assert order == ["first", "second"]
+    assert res.count == 0
+
+
+def test_context_manager_release_with_tombstoned_peers():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    done = []
+
+    def churner(env, k):
+        with res.request() as req:
+            got = yield req | env.timeout(0.05 * (k + 1))
+            if req in got:
+                yield env.timeout(0.2)
+                done.append(k)
+        # __exit__ releases granted requests and tombstones pending ones.
+
+    for k in range(5):
+        env.process(churner(env, k))
+    env.run()
+    assert done  # at least the first claimant ran
+    assert res.count == 0
+    assert res.queue_length == 0
