@@ -17,6 +17,10 @@ Report schema (``schema_version`` 1)::
       "quick": false,
       "python": "3.12.1",
       "platform": "Linux-...",
+      "environment": {
+        "hostname": "...", "cpu_model": "...", "cpu_count": N,
+        "python": "3.12.1", "platform": "Linux-..."
+      },
       "des": {
         "event_throughput": {"events": N, "seconds": s, "events_per_sec": r},
         "resource_contention": {...}
@@ -36,9 +40,11 @@ from __future__ import annotations
 import argparse
 import datetime as _dt
 import json
+import os
 import pathlib
 import platform
 import resource
+import socket
 import sys
 import time
 from typing import Any, Optional
@@ -137,6 +143,30 @@ def peak_rss_bytes() -> int:
     return rss * (1 if sys.platform == "darwin" else 1024)
 
 
+def cpu_model() -> str:
+    """Human CPU model name (``/proc/cpuinfo`` on Linux, else platform)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def environment_info() -> dict[str, Any]:
+    """Where this bench ran: baselines are only comparable within one
+    environment, so the report records enough to tell them apart."""
+    return {
+        "hostname": socket.gethostname(),
+        "cpu_model": cpu_model(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
 # -- report assembly --------------------------------------------------------
 def collect(quick: bool = False, repeats: int = 5) -> dict[str, Any]:
     """Run the whole bench and assemble the report payload."""
@@ -149,6 +179,7 @@ def collect(quick: bool = False, repeats: int = 5) -> dict[str, Any]:
         "quick": quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "environment": environment_info(),
         "des": des,
         "experiments": experiments,
         "peak_rss_bytes": peak_rss_bytes(),

@@ -31,6 +31,16 @@ parallel sweep engine (:mod:`repro.sweep`) with live progress on stderr;
 result cache. Rendered output is bit-identical to the serial path for a
 fixed seed, whatever the worker count.
 
+Fleet observability (all passive — rendered sweep output stays
+bit-identical with every layer on): a serving sweep takes
+``--fleet-trace out.json`` (one merged Chrome trace: coordinator lease
+spans + every worker's execution spans on named tracks) and
+``--flight-recorder dump.json`` (postmortem ring of recent protocol
+events; workers accept the same flag). ``sweep --watch HOST:PORT``
+attaches a read-only live console to a running coordinator.
+``--log-json FILE`` / ``--log-level`` emit structured JSONL logs from
+the coordinator/worker/engine layers.
+
 The ``run`` config format::
 
     {
@@ -356,6 +366,18 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
         if not args.cache_dir:
             raise ConfigError("--cache-info needs --cache-dir to inspect")
         return
+    if args.watch:
+        if args.serve or args.connect:
+            raise ConfigError(
+                "--watch is a read-only observer; it cannot also --serve "
+                "or --connect"
+            )
+        if args.experiments:
+            raise ConfigError(
+                "--watch takes no experiment names: it attaches to a "
+                "running coordinator"
+            )
+        return
     if args.connect:
         if args.serve:
             raise ConfigError("--connect and --serve are mutually exclusive")
@@ -363,6 +385,11 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
             raise ConfigError(
                 "--connect takes no experiment names: workers claim their "
                 "points from the coordinator"
+            )
+        if args.fleet_trace:
+            raise ConfigError(
+                "--fleet-trace only applies to --serve (the coordinator "
+                "merges the fleet's spans)"
             )
         return
     if not args.experiments:
@@ -374,6 +401,11 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
         )
     if (args.journal or args.lease is not None) and not args.serve:
         raise ConfigError("--journal/--lease only apply to --serve")
+    if (args.fleet_trace or args.flight_recorder) and not args.serve:
+        raise ConfigError(
+            "--fleet-trace/--flight-recorder only apply to --serve "
+            "(or --connect, for a worker-side flight recorder)"
+        )
 
 
 def _cmd_cache_info(args: argparse.Namespace) -> int:
@@ -404,6 +436,18 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _worker_flight_path(base: str, rank: int, workers: int) -> Optional[str]:
+    """Per-rank flight-recorder path so fleet members never clobber."""
+    if not base:
+        return None
+    if workers <= 1:
+        return base
+    from pathlib import Path
+
+    path = Path(base)
+    return str(path.with_name(f"{path.stem}-{rank}{path.suffix or '.json'}"))
+
+
 def _cmd_sweep_workers(args: argparse.Namespace) -> int:
     """``sweep --connect``: run a fleet of worker processes.
 
@@ -424,7 +468,9 @@ def _cmd_sweep_workers(args: argparse.Namespace) -> int:
         "poll": args.poll,
     }
     if args.workers <= 1:
-        return run_worker_process(**kwargs)
+        return run_worker_process(
+            **kwargs, flight_path=_worker_flight_path(args.flight_recorder, 0, 1)
+        )
 
     context = multiprocessing.get_context("spawn")  # no inherited sockets/locks
     procs = [
@@ -433,7 +479,13 @@ def _cmd_sweep_workers(args: argparse.Namespace) -> int:
             # return value — Process ignores a target's plain return, and
             # max(exitcode) below must see worker failures as nonzero.
             target=worker_process_main,
-            kwargs={**kwargs, "seed": args.seed + rank},
+            kwargs={
+                **kwargs,
+                "seed": args.seed + rank,
+                "flight_path": _worker_flight_path(
+                    args.flight_recorder, rank, args.workers
+                ),
+            },
             name=f"sweep-worker-{rank}",
         )
         for rank in range(args.workers)
@@ -462,8 +514,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     _validate_sweep_args(args)
     if args.cache_info:
         return _cmd_cache_info(args)
-    if args.connect:
-        return _cmd_sweep_workers(args)
+    handler = None
+    if args.log_json or args.log_level != "info":
+        # Structured logging is opt-in; without it the repro logger keeps
+        # its NullHandler and the sweep's output is byte-identical.
+        from repro.telemetry.log import configure_logging
+
+        handler = configure_logging(path=args.log_json or None, level=args.log_level)
+    try:
+        if args.watch:
+            from repro.sweep.dist.watch import watch
+
+            return watch(args.watch)
+        if args.connect:
+            return _cmd_sweep_workers(args)
+        return _cmd_sweep_serial_or_serve(args)
+    finally:
+        if handler is not None:
+            from repro.telemetry.log import remove_handler
+
+            remove_handler(handler)
+
+
+def _cmd_sweep_serial_or_serve(args: argparse.Namespace) -> int:
+    import sys
+    import time
 
     from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
     from repro.sweep import SweepOptions
@@ -486,6 +561,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             journal_dir=args.journal or None,
             lease_seconds=args.lease if args.lease is not None else 5.0,
             cache_max_mb=args.cache_max_mb,
+            fleet_trace=args.fleet_trace or None,
+            flight_recorder=args.flight_recorder or None,
         )
         start = time.perf_counter()
         result = registry[name].run(quick=args.quick, sweep=options)
@@ -713,6 +790,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--seed", type=int, default=0, help="root seed for worker backoff jitter"
+    )
+    sweep.add_argument(
+        "--watch",
+        default="",
+        metavar="HOST:PORT",
+        help="attach a read-only live console to a running coordinator "
+        "(progress bar, per-worker rates, quarantine list)",
+    )
+    sweep.add_argument(
+        "--fleet-trace",
+        default="",
+        metavar="FILE",
+        help="with --serve: write one merged Chrome trace of the whole "
+        "fleet (coordinator lease spans + worker execution spans)",
+    )
+    sweep.add_argument(
+        "--flight-recorder",
+        default="",
+        metavar="FILE",
+        help="dump the flight-recorder ring (recent protocol events) here "
+        "on exit, poison, crash, or drain; with --connect and --workers N "
+        "each rank writes FILE-<rank>.json",
+    )
+    sweep.add_argument(
+        "--log-json",
+        default="",
+        metavar="FILE",
+        help="append structured JSONL logs (coordinator/worker/engine "
+        "events) to FILE",
+    )
+    sweep.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="structured-log threshold (default info; debug narrates every "
+        "lease and claim)",
     )
 
     chaos = sub.add_parser(

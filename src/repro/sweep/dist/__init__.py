@@ -12,6 +12,7 @@ See ``ARCHITECTURE.md`` for the lease state machine and failure matrix.
 """
 
 from repro.sweep.dist.coordinator import DistOutcome, DistProgressFn, SweepCoordinator
+from repro.sweep.dist.fleetmetrics import EwmaRate, prometheus_exposition
 from repro.sweep.dist.journal import SweepJournal
 from repro.sweep.dist.lease import LeaseTable, PointRecord, PointState
 from repro.sweep.dist.protocol import (
@@ -21,6 +22,7 @@ from repro.sweep.dist.protocol import (
     grid_signature,
     parse_hostport,
 )
+from repro.sweep.dist.watch import fetch_status, render_status, watch
 from repro.sweep.dist.worker import (
     WorkerAgent,
     WorkerOptions,
@@ -32,6 +34,7 @@ __all__ = [
     "Assignment",
     "DistOutcome",
     "DistProgressFn",
+    "EwmaRate",
     "FailureRecord",
     "GridInfo",
     "LeaseTable",
@@ -42,7 +45,11 @@ __all__ = [
     "WorkerAgent",
     "WorkerOptions",
     "WorkerReport",
+    "fetch_status",
     "grid_signature",
     "parse_hostport",
+    "prometheus_exposition",
+    "render_status",
     "run_worker_process",
+    "watch",
 ]

@@ -28,6 +28,23 @@ Correctness under failure:
   total, which bounds the single-worker case) is quarantined with its
   tracebacks. The grid still drains; :meth:`serve` then raises
   :class:`~repro.errors.SweepPoisonedError` naming the toxic cells.
+
+Observability (all passive — the healthy-path result stream is
+bit-identical with every layer enabled):
+
+* a **fleet tracer** records every lease's lifetime as a wall-clock
+  span on the ``coordinator`` track (one lane per worker) plus
+  steal/quarantine/replay instants, and files worker-shipped ``SPANS``
+  under per-worker pid tracks named from their HELLO ``hostname:pid``
+  identity — :meth:`write_fleet_trace` merges it all into one Chrome
+  trace;
+* per-worker **EWMA completion rates** and lease ages surface in
+  ``STATUS`` (the ``rates`` section) and as a Prometheus text scrape
+  via the ``METRICS`` command;
+* a **flight recorder** rings the last protocol events and dumps a
+  postmortem JSON on poison, crash, or stop-requested drain;
+* **structured logs** (``repro.sweep.coordinator``) narrate the same
+  transitions as JSONL when logging is configured.
 """
 
 from __future__ import annotations
@@ -39,6 +56,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import SweepError, SweepPoisonedError, TransportError
+from repro.sweep.dist.fleetmetrics import EwmaRate, prometheus_exposition
 from repro.sweep.dist.journal import SweepJournal
 from repro.sweep.dist.lease import LeaseTable, PointRecord, PointState
 from repro.sweep.dist.protocol import (
@@ -50,11 +68,18 @@ from repro.sweep.dist.protocol import (
     dump_result,
     grid_signature,
     load_result,
+    load_spans,
 )
 from repro.sweep.point import SweepPoint
+from repro.telemetry.chrome_trace import write_chrome_trace
+from repro.telemetry.flight import FlightRecorder, maybe_dump
+from repro.telemetry.log import get_logger
+from repro.telemetry.tracing import Tracer
 from repro.transport import resp
 from repro.transport.server import RespTcpServer
 from repro.version import __version__
+
+_log = get_logger("sweep.coordinator")
 
 #: Progress callback: (event, index, worker) where event is one of
 #: "replay", "lease", "done", "requeue", "reclaim", "poison".
@@ -100,6 +125,8 @@ class SweepCoordinator(RespTcpServer):
         journal_dir: Optional[str | Path] = None,
         progress: Optional[DistProgressFn] = None,
         clock: Callable[[], float] = time.monotonic,
+        flight_path: Optional[str | Path] = None,
+        wall: Callable[[], float] = time.time,
     ) -> None:
         super().__init__(host=host, port=port, name="sweep-coordinator")
         work = list(work)
@@ -109,11 +136,23 @@ class SweepCoordinator(RespTcpServer):
         if len(self.points) != len(work):
             raise SweepError("duplicate point indices in work list")
         self.signature = grid_signature(work)
+        self.trace_id = self.signature[:16]
         self.timeout = timeout
         self.retries = retries
         self.capture = capture
         self.progress = progress
         self.outcome = DistOutcome()
+        # Fleet observability: wall-clock tracer (worker spans arrive in
+        # wall time, so lease spans must share the clock to merge),
+        # per-worker EWMA rates on the lease clock, and the flight ring.
+        self.wall = wall
+        self.fleet = Tracer(clock=wall)
+        self.flight = FlightRecorder(component="coordinator", clock=wall)
+        self.flight_path = Path(flight_path) if flight_path is not None else None
+        self._rates: dict[str, EwmaRate] = {}
+        self._worker_lanes: dict[str, int] = {}  # worker -> coordinator-track tid
+        self._lease_open: dict[int, tuple[str, float, str]] = {}
+        self._spans_accepted = 0
         self.table = LeaseTable(
             (index for index, _ in work),
             lease_seconds=lease_seconds,
@@ -128,6 +167,13 @@ class SweepCoordinator(RespTcpServer):
             self._journal = SweepJournal(journal_dir, self.signature, len(work))
             self._replay_journal()
             self._journal.open_session()
+        _log.info(
+            "grid.open",
+            grid=self.trace_id,
+            n_points=len(self.points),
+            replayed=self.outcome.replayed,
+            address=f"{self.host}:{self.port}",
+        )
 
     # -- journal replay ----------------------------------------------------
     def _replay_journal(self) -> None:
@@ -139,6 +185,9 @@ class SweepCoordinator(RespTcpServer):
             self.table.preload_done(index)
             self.outcome.results[index] = (value, snapshot)
             self.outcome.replayed += 1
+            self.fleet.instant(
+                "replay", category="journal", pid="coordinator", index=index
+            )
             self._emit("replay", index, None)
         # Previously poisoned points stay queued: a new session gets a
         # fresh quarantine verdict (their history lives in the journal).
@@ -158,8 +207,72 @@ class SweepCoordinator(RespTcpServer):
             self._journal.record_transition(event, record.index, record.worker)
         if event == "reclaim":
             self.outcome.reclaims += 1
+        self._observe_transition(event, record)
         if event in ("lease", "reclaim", "requeue", "poison"):
             self._emit(event, record.index, record.worker)
+
+    def _worker_lane(self, worker: str) -> int:
+        """Stable per-worker tid on the coordinator track (lane 0 = self)."""
+        return self._worker_lanes.setdefault(worker, len(self._worker_lanes) + 1)
+
+    def _observe_transition(self, event: str, record: PointRecord) -> None:
+        """Fleet tracer + flight recorder + logs for one lease transition.
+
+        Strictly passive: nothing here touches the lease table, journal,
+        or outcome, so the healthy-path result stream is unchanged.
+        """
+        index, worker = record.index, record.worker
+        self.flight.record(event, index=index, worker=worker, leases=record.leases)
+        if event == "lease":
+            self._lease_open[index] = (
+                worker or "?",
+                self.wall(),
+                f"{index}/{record.leases}",
+            )
+            _log.debug("lease.grant", index=index, worker=worker, generation=record.leases)
+            return
+        if event == "renew":
+            _log.debug("lease.renew", index=index, worker=worker)
+            return
+        opened = self._lease_open.pop(index, None)
+        if opened is not None:
+            holder, started, span_id = opened
+            self.fleet.add_span(
+                f"lease p{index}",
+                started,
+                max(0.0, self.wall() - started),
+                category="lease",
+                pid="coordinator",
+                tid=self._worker_lane(holder),
+                index=index,
+                worker=holder,
+                outcome=event,
+                trace_id=self.trace_id,
+                span_id=span_id,
+            )
+        if event == "reclaim":
+            self.fleet.instant(
+                "steal",
+                category="lease",
+                pid="coordinator",
+                tid=self._worker_lane(worker or "?"),
+                index=index,
+                worker=worker,
+            )
+            _log.warning("lease.reclaim", index=index, worker=worker)
+        elif event == "requeue":
+            _log.warning("lease.requeue", index=index, worker=worker)
+        elif event == "poison":
+            self.fleet.instant(
+                "quarantine",
+                category="poison",
+                pid="coordinator",
+                index=index,
+                failures=len(record.failures),
+            )
+            _log.error("point.poisoned", index=index, failures=len(record.failures))
+        elif event == "done":
+            _log.debug("point.done", index=index, worker=worker)
 
     # -- command dispatch ---------------------------------------------------
     def _dispatch(self, name: str, args: list) -> bytes:
@@ -186,12 +299,31 @@ class SweepCoordinator(RespTcpServer):
             )
         if name == "STATUS":
             return resp.encode_bulk(json.dumps(self.status(), sort_keys=True).encode())
+        if name == "METRICS":
+            return resp.encode_bulk(prometheus_exposition(self.status()).encode())
+        if name == "SPANS":
+            self._need(args, 2, "SPANS")
+            return self._handle_spans(_text(args[0]), _text(args[1]))
         raise TransportError(f"unknown command '{name}'")
 
     def _worker_entry(self, worker: str) -> dict:
         return self.outcome.workers.setdefault(
-            worker, {"claimed": 0, "completed": 0, "failed": 0, "capabilities": {}}
+            worker,
+            {
+                "claimed": 0,
+                "completed": 0,
+                "failed": 0,
+                "capabilities": {},
+                "track": f"worker {worker}",
+            },
         )
+
+    def _worker_track(self, worker: str) -> str:
+        """Fleet-trace pid track for a worker (``worker HOST:PID``)."""
+        entry = self.outcome.workers.get(worker)
+        if entry is None:
+            return f"worker {worker}"
+        return entry.get("track") or f"worker {worker}"
 
     def _handle_hello(self, worker: str, caps_json: str) -> bytes:
         try:
@@ -205,7 +337,16 @@ class SweepCoordinator(RespTcpServer):
             raise TransportError(
                 f"version mismatch: coordinator {__version__}, worker {version}"
             )
-        self._worker_entry(worker)["capabilities"] = caps
+        entry = self._worker_entry(worker)
+        entry["capabilities"] = caps
+        host = caps.get("host")
+        pid = caps.get("pid")
+        if host is not None and pid is not None:
+            # Name the worker's fleet-trace track from its HELLO identity
+            # rather than the worker_id (which carries an agent counter).
+            entry["track"] = f"worker {host}:{pid}"
+        self.flight.record("hello", worker=worker, host=host, pid=pid)
+        _log.info("worker.hello", worker=worker, host=host, pid=pid)
         info = GridInfo(
             grid=self.signature,
             n_points=len(self.points),
@@ -224,6 +365,7 @@ class SweepCoordinator(RespTcpServer):
         if index is None:
             return resp.encode_bulk(None)
         self._worker_entry(worker)["claimed"] += 1
+        self._rates.setdefault(worker, EwmaRate()).mark_active(self.table.clock())
         assignment = Assignment(
             index=index,
             point=self.points[index],
@@ -232,6 +374,8 @@ class SweepCoordinator(RespTcpServer):
             retries=self.retries,
             capture=self.capture,
             grid=self.signature,
+            trace_id=self.trace_id,
+            span_id=f"{index}/{self.table.records[index].leases}",
         )
         return resp.encode_bulk(assignment.to_bytes())
 
@@ -269,6 +413,7 @@ class SweepCoordinator(RespTcpServer):
         self.outcome.results[index] = (value, snapshot)
         self.outcome.executed += 1
         self._worker_entry(worker)["completed"] += 1
+        self._rates.setdefault(worker, EwmaRate()).observe(self.table.clock())
         self._emit("done", index, worker)
         return resp.encode_simple("OK")
 
@@ -291,6 +436,8 @@ class SweepCoordinator(RespTcpServer):
         except ValueError:
             raise TransportError("FAIL payload must be JSON") from None
         failure = FailureRecord.from_dict({**info, "worker": worker})
+        self.flight.record("fail", index=index, worker=worker, error=failure.error)
+        _log.warning("worker.fail", index=index, worker=worker, error=failure.error)
         state = self.table.fail(worker, index, failure)
         self._worker_entry(worker)["failed"] += 1
         if state is PointState.POISONED:
@@ -302,21 +449,61 @@ class SweepCoordinator(RespTcpServer):
             self.outcome.requeues += 1
         return resp.encode_simple("REQUEUED")
 
+    def _handle_spans(self, worker: str, spans_json: str) -> bytes:
+        """File worker-shipped spans under the worker's fleet track.
+
+        Best effort by design: entries that fail validation are dropped
+        (see :func:`~repro.sweep.dist.protocol.load_spans`) and nothing
+        here can fail the grid — observability must observe, not perturb.
+        """
+        spans = load_spans(spans_json)
+        track = self._worker_track(worker)
+        for span in spans:
+            self.fleet.add_span(
+                span["name"],
+                span["start"],
+                span["end"] - span["start"],
+                category=span["category"],
+                pid=track,
+                tid=span["tid"],
+                **span["args"],
+            )
+        self._spans_accepted += len(spans)
+        self.flight.record("spans", worker=worker, accepted=len(spans))
+        _log.debug("worker.spans", worker=worker, accepted=len(spans))
+        return resp.encode_integer(len(spans))
+
     # -- serving ------------------------------------------------------------
     def status(self) -> dict:
         """Plain-dict coordinator state (also the STATUS reply)."""
+        now = self.table.clock()
+        lease_age: dict[str, float] = {}
+        for record in self.table.records.values():
+            if record.state is PointState.LEASED and record.worker is not None:
+                age = max(0.0, self.table.lease_seconds - (record.deadline - now))
+                lease_age[record.worker] = max(lease_age.get(record.worker, 0.0), age)
+        rates = {
+            worker: {
+                "points_per_second": rate.current(now),
+                "lease_age_seconds": lease_age.get(worker),
+            }
+            for worker, rate in self._rates.items()
+        }
         return {
             "grid": self.signature,
             "n_points": len(self.points),
+            "remaining": self.table.remaining(),
             "counts": self.table.counts(),
             "reclaims": self.table.reclaims,
             "requeues": self.outcome.requeues,
             "executed": self.outcome.executed,
             "replayed": self.outcome.replayed,
+            "poisoned_points": sorted(r.index for r in self.table.poisoned()),
             "workers": {
                 w: {k: v for k, v in entry.items() if k != "capabilities"}
                 for w, entry in self.outcome.workers.items()
             },
+            "rates": rates,
         }
 
     def request_stop(self) -> None:
@@ -340,6 +527,9 @@ class SweepCoordinator(RespTcpServer):
                     if self.table.done():
                         break
                 time.sleep(poll)
+        except BaseException:
+            maybe_dump(self.flight, self.flight_path, "crash")
+            raise
         finally:
             if self._journal is not None:
                 self._journal.close()
@@ -352,9 +542,47 @@ class SweepCoordinator(RespTcpServer):
             for record in self.table.poisoned()
         ]
         self.outcome.poisoned = poisoned
+        reason = (
+            "poison" if poisoned else "drain" if self._stop_serving else "completed"
+        )
+        maybe_dump(self.flight, self.flight_path, reason)
+        _log.info(
+            "grid.closed",
+            grid=self.trace_id,
+            reason=reason,
+            executed=self.outcome.executed,
+            replayed=self.outcome.replayed,
+            reclaims=self.outcome.reclaims,
+            spans=self._spans_accepted,
+        )
         if poisoned and not self._stop_serving:
             raise SweepPoisonedError(poisoned)
         return self.outcome
+
+    def write_fleet_trace(self, path: str | Path) -> int:
+        """Merge coordinator lease spans + worker spans into one trace.
+
+        Any lease still open (stop-requested drains leave unfinished
+        points) is closed at "now" so the trace stays structurally valid.
+        Returns the number of trace events written.
+        """
+        with self._exec_lock:
+            for index in sorted(self._lease_open):
+                holder, started, span_id = self._lease_open.pop(index)
+                self.fleet.add_span(
+                    f"lease p{index}",
+                    started,
+                    max(0.0, self.wall() - started),
+                    category="lease",
+                    pid="coordinator",
+                    tid=self._worker_lane(holder),
+                    index=index,
+                    worker=holder,
+                    outcome="open",
+                    trace_id=self.trace_id,
+                    span_id=span_id,
+                )
+            return write_chrome_trace(path, tracer=self.fleet)
 
     def stop(self) -> None:
         self.request_stop()

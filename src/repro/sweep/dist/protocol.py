@@ -4,7 +4,7 @@ The coordinator is a :class:`~repro.transport.server.RespTcpServer`
 subclass, so every exchange is a RESP command array from the worker and
 a single RESP reply from the coordinator — the same substrate (and the
 same :class:`~repro.transport.redis_backend.MiniRedisConnection` client
-framing) as the mini-Redis backend. The vocabulary:
+framing) as the mini-Redis backend. The full vocabulary:
 
 =========  =============================================  =======================
 command    arguments                                      reply
@@ -24,16 +24,36 @@ FAIL       worker_id, index, grid, failure-JSON           ``+REQUEUED`` /
                                                           ``+DUPLICATE`` /
                                                           ``+STALE``
 STATUS     —                                              bulk JSON state counts
+                                                          + per-worker ``rates``
+METRICS    —                                              bulk Prometheus-style
+                                                          text exposition
+SPANS      worker_id, spans-JSON                          ``:n`` (spans accepted)
 =========  =============================================  =======================
 
-``DONE``/``FAIL`` carry the **grid signature** of the assignment they
-answer. A coordinator on the same HOST:PORT may be serving a different
-grid by the time a slow worker reports back (multi-stage sweeps reuse
-the address; the worker's reconnect budget is designed to ride out the
-gap between grids), and point indices always collide because every grid
-is 0-based — the signature is what keeps grid A's value out of grid B's
-results. A mismatched submission is acknowledged with ``+STALE`` and
-discarded.
+Wire-format history (``WIRE_FORMAT`` gates the pickled payload shape;
+HELLO's version check keeps mixed fleets out entirely):
+
+* **v1** — PING/HELLO/CLAIM/RENEW/DONE/FAIL/STATUS, results keyed by
+  point index alone.
+* **v2** — **grid-signature binding**: ``DONE``/``FAIL`` carry the grid
+  signature of the assignment they answer. A coordinator on the same
+  HOST:PORT may be serving a different grid by the time a slow worker
+  reports back (multi-stage sweeps reuse the address; the worker's
+  reconnect budget is designed to ride out the gap between grids), and
+  point indices always collide because every grid is 0-based — the
+  signature is what keeps grid A's value out of grid B's results. A
+  mismatched submission is acknowledged with ``+STALE`` and discarded.
+* **v3** — **observability**: assignments carry a trace context
+  (``trace_id`` identifying the sweep, ``span_id`` identifying this
+  lease) so worker-side spans parent correctly in the merged fleet
+  trace; the ``SPANS`` command ships those finished spans back (JSON
+  list of ``{name, category, start, end, tid, args}`` with wall-clock
+  seconds — the coordinator files them under a pid track named from the
+  worker's HELLO ``hostname:pid`` identity); ``METRICS`` returns a
+  Prometheus-style text scrape of grid state and per-worker rates.
+  ``SPANS`` is fire-and-forget best effort: a worker never retries it
+  across reconnects and the coordinator never fails a grid over it —
+  observability must observe, never perturb.
 
 Assignments and results are pickled: workers are trusted peers running
 the *same* ``repro`` version against the same grid (HELLO rejects a
@@ -45,6 +65,7 @@ never expose the coordinator port to untrusted networks.
 from __future__ import annotations
 
 import hashlib
+import json
 import pickle
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
@@ -54,7 +75,7 @@ from repro.sweep.cache import point_key
 from repro.sweep.point import SweepPoint
 
 #: Bumped when the assignment/result wire shape changes.
-WIRE_FORMAT = "repro-dist-sweep-v2"
+WIRE_FORMAT = "repro-dist-sweep-v3"
 
 #: CLAIM reply meaning "every point is done or poisoned; nothing left".
 DRAINED = "DRAINED"
@@ -108,6 +129,12 @@ class Assignment:
     #: Signature of the grid this assignment belongs to; echoed back in
     #: DONE/FAIL so a result can never land in a different grid's table.
     grid: str = ""
+    #: Trace context stamped by the coordinator: ``trace_id`` identifies
+    #: the sweep (grid-signature prefix), ``span_id`` this specific
+    #: lease (``index/lease-generation``). Worker-side spans carry both
+    #: so the merged fleet trace links every execution to its lease.
+    trace_id: str = ""
+    span_id: str = ""
 
     def to_bytes(self) -> bytes:
         return pickle.dumps(
@@ -139,6 +166,50 @@ def load_result(blob: bytes) -> tuple[Any, Any]:
     if not isinstance(payload, dict) or payload.get("format") != WIRE_FORMAT:
         raise SweepError("malformed result payload")
     return payload["value"], payload["snapshot"]
+
+
+def dump_spans(spans: Sequence[dict]) -> str:
+    """Encode fleet spans for the SPANS command (JSON, wall-clock secs)."""
+    return json.dumps(list(spans), sort_keys=True)
+
+
+def load_spans(text: str) -> list[dict]:
+    """Decode and sanity-check a SPANS payload.
+
+    Malformed *entries* are dropped rather than failing the whole batch
+    (a fleet trace with a hole beats a worker burning its claim loop on
+    rejected observability), but a payload that is not a JSON list at
+    all is a protocol error.
+    """
+    try:
+        payload = json.loads(text) if text else []
+    except ValueError:
+        raise SweepError("SPANS payload must be JSON") from None
+    if not isinstance(payload, list):
+        raise SweepError("SPANS payload must be a JSON list")
+    spans: list[dict] = []
+    for record in payload:
+        if not isinstance(record, dict):
+            continue
+        try:
+            start = float(record["start"])
+            end = float(record["end"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if end < start or not record.get("name"):
+            continue
+        args = record.get("args")
+        spans.append(
+            {
+                "name": str(record["name"]),
+                "category": str(record.get("category", "point")),
+                "start": start,
+                "end": end,
+                "tid": int(record.get("tid", 0)),
+                "args": dict(args) if isinstance(args, dict) else {},
+            }
+        )
+    return spans
 
 
 @dataclass

@@ -1,0 +1,180 @@
+"""Live fleet console: render a coordinator's STATUS as refreshing text.
+
+``repro sweep --watch HOST:PORT`` attaches to a *running* coordinator
+(local or remote) as a read-only observer: it polls the ``STATUS``
+command, renders a grid progress bar, the per-worker rate table (from
+the ``rates`` section the coordinator computes with
+:class:`~repro.sweep.dist.fleetmetrics.EwmaRate`), and the quarantine
+list, then repaints in place with ANSI cursor control. It claims
+nothing, renews nothing, and submits nothing — watching a sweep cannot
+perturb it.
+
+Rendering is a pure function of the status document
+(:func:`render_status`), so tests exercise the exact strings without a
+socket; :func:`watch` owns only the poll/clear/exit loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+from repro.errors import BackendUnavailableError, SweepError, TransportError
+from repro.sweep.dist.protocol import parse_hostport
+from repro.transport.redis_backend import MiniRedisConnection
+
+#: Progress-bar width in cells.
+BAR_WIDTH = 30
+
+#: ANSI: move the cursor home and wipe the rest of the screen.
+_CLEAR = "\x1b[H\x1b[J"
+
+
+def fetch_status(address: str, timeout: float = 5.0) -> dict:
+    """One STATUS round-trip to the coordinator at ``HOST:PORT``."""
+    host, port = parse_hostport(address)
+    conn = MiniRedisConnection(host, port, timeout=timeout)
+    try:
+        reply = conn.command("STATUS")
+    finally:
+        conn.close()
+    try:
+        status = json.loads(reply) if reply else None
+    except ValueError:
+        status = None
+    if not isinstance(status, dict):
+        raise SweepError(f"malformed STATUS reply from {address}")
+    return status
+
+
+def progress_bar(done: int, total: int, width: int = BAR_WIDTH) -> str:
+    """``[#####....] done/total`` with a guaranteed-bounded fill."""
+    total = max(total, 1)
+    filled = min(width, max(0, round(width * done / total)))
+    return f"[{'#' * filled}{'.' * (width - filled)}] {done}/{total}"
+
+
+def _fmt_rate(entry: dict) -> str:
+    rate = float(entry.get("points_per_second") or 0.0)
+    return f"{rate:7.2f}/s"
+
+
+def _fmt_age(entry: dict) -> str:
+    age = entry.get("lease_age_seconds")
+    return "idle" if age is None else f"{float(age):5.1f}s"
+
+
+def drained(status: dict) -> bool:
+    """True when every point reached a terminal state (done/poisoned)."""
+    counts = status.get("counts", {})
+    total = int(status.get("n_points", 0))
+    terminal = int(counts.get("done", 0)) + int(counts.get("poisoned", 0))
+    return total > 0 and terminal >= total
+
+
+def render_status(status: dict) -> str:
+    """Pure text rendering of one STATUS document (no ANSI codes)."""
+    counts = status.get("counts", {})
+    total = int(status.get("n_points", 0))
+    done = int(counts.get("done", 0))
+    lines = [
+        f"sweep {str(status.get('grid', '?'))[:16]}  "
+        f"{progress_bar(done, total)}",
+        (
+            f"  queued {counts.get('queued', 0)}  "
+            f"leased {counts.get('leased', 0)}  "
+            f"poisoned {counts.get('poisoned', 0)}  |  "
+            f"executed {status.get('executed', 0)}  "
+            f"replayed {status.get('replayed', 0)}  "
+            f"reclaims {status.get('reclaims', 0)}  "
+            f"requeues {status.get('requeues', 0)}"
+        ),
+    ]
+    workers = status.get("workers", {})
+    rates = status.get("rates", {})
+    if workers:
+        lines.append("")
+        lines.append(
+            f"  {'worker':<28} {'claimed':>7} {'done':>5} {'failed':>6}"
+            f" {'rate':>9} {'lease':>7}"
+        )
+        for worker in sorted(workers):
+            entry = workers[worker]
+            rate_entry = rates.get(worker, {})
+            lines.append(
+                f"  {worker:<28} {entry.get('claimed', 0):>7}"
+                f" {entry.get('completed', 0):>5} {entry.get('failed', 0):>6}"
+                f" {_fmt_rate(rate_entry):>9} {_fmt_age(rate_entry):>7}"
+            )
+    poisoned = status.get("poisoned_points", [])
+    if poisoned:
+        lines.append("")
+        lines.append("  quarantined points: " + ", ".join(str(i) for i in poisoned))
+    if drained(status):
+        lines.append("")
+        lines.append("  grid drained.")
+    return "\n".join(lines)
+
+
+def watch(
+    address: str,
+    interval: float = 1.0,
+    stream: Optional[TextIO] = None,
+    max_refreshes: Optional[int] = None,
+    fetch: Callable[[str], dict] = fetch_status,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll-and-repaint until the grid drains; returns an exit code.
+
+    Exit 0 when the watched grid drained, or when a coordinator we had
+    reached goes away — a serve-mode coordinator only exits once its
+    grid resolves (drain, poison, or stop), and the one-second poll
+    usually misses the sub-second window between the last completion
+    and the process exiting, so "gone after contact" is the *normal*
+    end of a watched run, not a failure. Exit 1 only when the
+    coordinator was never reachable at all.
+    """
+    if interval <= 0:
+        raise SweepError(f"watch interval must be positive, got {interval}")
+    out = stream if stream is not None else sys.stdout
+    use_ansi = stream is None and sys.stdout.isatty()
+    refreshes = 0
+    last: Optional[dict] = None
+    while max_refreshes is None or refreshes < max_refreshes:
+        try:
+            status = fetch(address)
+        except (BackendUnavailableError, TransportError, OSError):
+            if last is None:
+                print(f"coordinator at {address} is unreachable", file=out)
+                return 1
+            if not drained(last):
+                counts = last.get("counts", {})
+                print(
+                    f"coordinator at {address} closed "
+                    f"({counts.get('done', 0)}/{last.get('n_points', 0)} done "
+                    f"at last poll)",
+                    file=out,
+                )
+            return 0
+        refreshes += 1
+        if use_ansi:
+            out.write(_CLEAR)
+        print(render_status(status), file=out)
+        out.flush()
+        last = status
+        if drained(status):
+            return 0
+        sleep(interval)
+    return 0
+
+
+__all__ = [
+    "BAR_WIDTH",
+    "drained",
+    "fetch_status",
+    "progress_bar",
+    "render_status",
+    "watch",
+]

@@ -28,6 +28,18 @@ agent fails:
   and the agent claims again; only a rejected HELLO is fatal;
 * **graceful drain** — SIGTERM (see :meth:`install_signal_handlers`)
   finishes and reports the in-flight point, then exits the claim loop.
+
+Observability (passive, never on the failure-handling path):
+
+* every executed point becomes a wall-clock **fleet span** carrying the
+  assignment's ``trace_id``/``span_id``; finished spans ship back on the
+  ``SPANS`` command *fire-and-forget* — one attempt on the live
+  connection, no reconnects, no retries, because a worker must never
+  burn its reconnect budget (or stall its claim loop) on telemetry;
+* a **flight recorder** rings recent protocol events and dumps a
+  postmortem JSON on crash, drain, or exit when a dump path is set;
+* **structured logs** (``repro.sweep.worker``) narrate claims, results,
+  and reconnects when logging is configured.
 """
 
 from __future__ import annotations
@@ -52,14 +64,19 @@ from repro.sweep.dist.protocol import (
     STALE,
     Assignment,
     FailureRecord,
+    dump_spans,
     parse_hostport,
 )
 from repro.sweep.point import derive_seed
+from repro.telemetry.flight import FlightRecorder, maybe_dump
+from repro.telemetry.log import get_logger
 from repro.transport.redis_backend import MiniRedisConnection
 from repro.transport.resilience import CircuitBreaker, RetryPolicy
 from repro.version import __version__
 
 _AGENT_COUNTER = itertools.count()
+
+_log = get_logger("sweep.worker")
 
 
 def _default_policy() -> RetryPolicy:
@@ -85,6 +102,10 @@ class WorkerOptions:
     max_points: Optional[int] = None
     #: Root seed for backoff jitter (derived per worker id).
     seed: int = 0
+    #: Where :func:`run_worker_process` dumps the flight recorder
+    #: (postmortem on crash, drain record on SIGTERM, always on exit
+    #: when set). None disables dumping; the ring still records.
+    flight_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.reconnect_budget <= 0:
@@ -109,6 +130,8 @@ class WorkerReport:
     local_retries: int = 0
     stale_grid: int = 0  # results dropped: the grid changed under us
     rejected: int = 0  # submissions/claims the coordinator answered -ERR
+    spans_shipped: int = 0  # fleet spans the coordinator accepted
+    spans_dropped: int = 0  # fleet spans lost to fire-and-forget shipping
     drained: bool = False  # exited via SIGTERM / request_drain
     gave_up: bool = False  # reconnect budget exhausted
 
@@ -157,10 +180,18 @@ class WorkerAgent:
         self._drain = threading.Event()
         self._last_contact = time.monotonic()
         self.grid_info: Optional[dict] = None
+        self.flight = FlightRecorder(component=f"worker:{self.worker_id}")
+        self._spans: list[dict] = []  # finished fleet spans awaiting SPANS
 
     # -- lifecycle ----------------------------------------------------------
     def request_drain(self) -> None:
-        """Finish the in-flight point (if any), then exit the claim loop."""
+        """Finish the in-flight point (if any), then exit the claim loop.
+
+        Runs from the SIGTERM handler, so it only sets the event — no
+        locks (the flight recorder's, a log handler's) may be taken here
+        or a signal landing mid-``record`` would self-deadlock. The run
+        loop notices the flag and writes the drain records itself.
+        """
         self._drain.set()
 
     def install_signal_handlers(self) -> None:
@@ -239,6 +270,8 @@ class WorkerAgent:
                 self._touch()
                 if attempt:
                     self.report.reconnects += 1
+                    self.flight.record("reconnect", attempts=attempt)
+                    _log.info("reconnect", worker=self.worker_id, attempts=attempt)
                 return self._conn
         return None
 
@@ -353,9 +386,66 @@ class WorkerAgent:
                 self.report.stale_grid += 1
             return reply
 
+    def _record_span(
+        self, assignment: Assignment, start: float, end: float, outcome: str
+    ) -> None:
+        """Queue one finished execution span for the next SPANS flush."""
+        self._spans.append(
+            {
+                "name": f"p{assignment.index}",
+                "category": "point",
+                "start": start,
+                "end": end,
+                "tid": 0,
+                "args": {
+                    "index": assignment.index,
+                    "worker": self.worker_id,
+                    "outcome": outcome,
+                    "trace_id": assignment.trace_id,
+                    "span_id": assignment.span_id,
+                },
+            }
+        )
+
+    def _flush_spans(self) -> None:
+        """Ship queued fleet spans — one attempt, never a reconnect.
+
+        Observability is expendable: a broken connection drops the batch
+        (counted in ``spans_dropped``) rather than burning the reconnect
+        budget, and an ``-ERR`` reply discards it without protest.
+        """
+        if not self._spans:
+            return
+        batch, self._spans = self._spans, []
+        conn = self._conn
+        if conn is None:
+            self.report.spans_dropped += len(batch)
+            return
+        try:
+            accepted = conn.command("SPANS", self.worker_id, dump_spans(batch))
+        except BackendUnavailableError:
+            self._drop_conn_if(conn)  # the socket is dead; claims need a new one
+            self.report.spans_dropped += len(batch)
+            return
+        except TransportError:
+            self.report.spans_dropped += len(batch)
+            return
+        self._touch()
+        self.report.spans_shipped += int(accepted or 0)
+
     def _process(self, assignment: Assignment) -> None:
         from repro.sweep.dist.protocol import dump_result
 
+        self.flight.record(
+            "claim", index=assignment.index, span_id=assignment.span_id
+        )
+        _log.debug(
+            "claim",
+            worker=self.worker_id,
+            index=assignment.index,
+            trace_id=assignment.trace_id,
+            span_id=assignment.span_id,
+        )
         stop = threading.Event()
         heartbeat = threading.Thread(
             target=self._heartbeat,
@@ -364,11 +454,15 @@ class WorkerAgent:
             daemon=True,
         )
         heartbeat.start()
+        started = time.time()  # wall clock: fleet spans merge across hosts
         try:
             value, snapshot, failure = self._execute(assignment)
         finally:
             stop.set()
             heartbeat.join(timeout=2.0)
+        outcome = "done" if failure is None else "fail"
+        self._record_span(assignment, started, time.time(), outcome)
+        self.flight.record(outcome, index=assignment.index)
         if failure is None:
             reply = self._submit(
                 "DONE", assignment, dump_result(value, snapshot)
@@ -377,11 +471,25 @@ class WorkerAgent:
                 self.report.completed += 1
                 if reply == "DUPLICATE":
                     self.report.duplicates += 1
+            _log.info(
+                "point.done",
+                worker=self.worker_id,
+                index=assignment.index,
+                ack=str(reply),
+            )
+            self._flush_spans()
         else:
             self._submit(
                 "FAIL", assignment, json.dumps(failure.as_dict())
             )
             self.report.failed += 1
+            _log.warning(
+                "point.fail",
+                worker=self.worker_id,
+                index=assignment.index,
+                error=failure.error,
+            )
+            self._flush_spans()
             # Back off before claiming again: the re-queued point should
             # go to a *different* worker if one is polling (the poison
             # verdict needs distinct workers), not back to this one in
@@ -429,8 +537,15 @@ class WorkerAgent:
                     continue
                 self._process(Assignment.from_bytes(reply))
         finally:
+            self._flush_spans()  # last chance before the socket goes away
             self._drop_conn()
         self.report.drained = self._drain.is_set()
+        if self.report.drained:
+            self.flight.record("drained", completed=self.report.completed)
+            _log.info("drained", worker=self.worker_id, completed=self.report.completed)
+        elif self.report.gave_up:
+            self.flight.record("gave_up", completed=self.report.completed)
+            _log.error("gave_up", worker=self.worker_id, completed=self.report.completed)
         return self.report
 
 
@@ -441,6 +556,7 @@ def run_worker_process(
     poll: float = 0.25,
     max_points: Optional[int] = None,
     quiet: bool = False,
+    flight_path: Optional[str] = None,
 ) -> int:
     """Entry point for a dedicated worker process (CLI ``--connect``).
 
@@ -453,7 +569,11 @@ def run_worker_process(
     from a successful drain.
     """
     options = WorkerOptions(
-        reconnect_budget=reconnect_budget, poll=poll, max_points=max_points, seed=seed
+        reconnect_budget=reconnect_budget,
+        poll=poll,
+        max_points=max_points,
+        seed=seed,
+        flight_path=flight_path,
     )
     agent = WorkerAgent(address, options)
     agent.install_signal_handlers()
@@ -462,8 +582,14 @@ def run_worker_process(
     except TransportError as exc:
         # Fatal handshake failure (HELLO version mismatch): misjoining
         # this fleet would silently compute a different grid.
+        maybe_dump(agent.flight, options.flight_path, "fatal")
         print(f"worker {agent.worker_id}: fatal: {exc}", file=sys.stderr)
         return 1
+    except BaseException:
+        maybe_dump(agent.flight, options.flight_path, "crash")
+        raise
+    reason = "drain" if report.drained else "gave_up" if report.gave_up else "completed"
+    maybe_dump(agent.flight, options.flight_path, reason)
     if not quiet:
         print(report.summary(), file=sys.stderr)
     if report.gave_up or (report.failed and not report.completed):

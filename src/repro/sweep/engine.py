@@ -30,6 +30,7 @@ from __future__ import annotations
 import contextlib
 import os
 import signal
+import sys
 import threading
 import time
 import warnings
@@ -87,6 +88,13 @@ class SweepOptions:
     poison_failures: int = 4
     #: Evict cache entries (oldest first) above this size after the run.
     cache_max_mb: Optional[float] = None
+    #: Write the merged fleet Chrome trace (coordinator lease spans +
+    #: worker execution spans) here when the serving sweep ends — even a
+    #: poisoned or stopped one. Requires ``serve``.
+    fleet_trace: Optional[str | Path] = None
+    #: Dump the coordinator's flight-recorder ring (recent protocol
+    #: events) here when serving ends or crashes. Requires ``serve``.
+    flight_recorder: Optional[str | Path] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -100,6 +108,10 @@ class SweepOptions:
             )
         if self.journal_dir is not None and self.serve is None:
             raise SweepError("journal_dir only applies to a serving sweep")
+        if self.fleet_trace is not None and self.serve is None:
+            raise SweepError("fleet_trace only applies to a serving sweep")
+        if self.flight_recorder is not None and self.serve is None:
+            raise SweepError("flight_recorder only applies to a serving sweep")
         if self.lease_seconds <= 0:
             raise SweepError(f"lease_seconds must be positive, got {self.lease_seconds}")
         if min(self.poison_workers, self.poison_failures) < 1:
@@ -456,6 +468,7 @@ class SweepEngine:
             capture=capture,
             journal_dir=self.options.journal_dir,
             progress=on_event,
+            flight_path=self.options.flight_recorder,
         )
         self._coordinator = coordinator  # exposed for signal handlers/tests
         # Graceful drain: SIGTERM stops serving at the next poll; the
@@ -475,6 +488,13 @@ class SweepEngine:
         finally:
             if on_main:
                 signal.signal(signal.SIGTERM, previous_term)
+            if self.options.fleet_trace is not None:
+                # Even a poisoned or stopped sweep leaves a trace — that
+                # is when you want the timeline most.
+                try:
+                    coordinator.write_fleet_trace(self.options.fleet_trace)
+                except OSError as exc:  # observability must not mask the run
+                    print(f"fleet trace not written: {exc}", file=sys.stderr)
             coordinator.stop()
             self._coordinator = None
         for index, (value, snapshot) in outcome.results.items():

@@ -9,7 +9,16 @@ from repro.telemetry.chrome_trace import (
     write_chrome_trace,
 )
 from repro.telemetry.events import TRANSPORT_KINDS, EventKind, EventLog, EventRecord
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.hub import Telemetry
+from repro.telemetry.log import (
+    ComponentLogger,
+    JsonLineFormatter,
+    configure_logging,
+    get_logger,
+    host_identity,
+    remove_handler,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -32,13 +41,16 @@ from repro.telemetry.tracing import CounterSample, InstantEvent, Span, Tracer
 
 __all__ = [
     "Clock",
+    "ComponentLogger",
     "Counter",
     "CounterSample",
     "EventKind",
     "EventLog",
     "EventRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonLineFormatter",
     "InstantEvent",
     "Lane",
     "MetricsRegistry",
@@ -52,10 +64,14 @@ __all__ = [
     "TRANSPORT_KINDS",
     "Tracer",
     "VirtualClock",
+    "configure_logging",
     "event_counts",
+    "get_logger",
+    "host_identity",
     "iteration_time_summary",
     "labeled_name",
     "load_trace",
+    "remove_handler",
     "mean_throughput",
     "mean_transport_time",
     "runtime_per_iteration",

@@ -5,7 +5,11 @@ event objects with ``ph`` (phase), ``ts`` (microseconds), ``pid``,
 ``tid``, ``name``. Spans become complete events (``ph: "X"`` with
 ``dur``), counter samples become counter events (``ph: "C"``), instants
 become ``ph: "i"``, and metadata events (``ph: "M"``) name each
-process/thread track after the component/rank it represents.
+process/thread track after the component/rank it represents — plus
+``process_sort_index``/``thread_sort_index`` metadata so merged
+fleet traces (one pid track per worker, named from its HELLO
+``hostname:pid`` identity) render in stable name order with the
+coordinator track first.
 
 Both :class:`~repro.telemetry.tracing.Tracer` contents and plain
 :class:`~repro.telemetry.events.EventLog` records can be rendered, so
@@ -29,7 +33,18 @@ REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "tid", "name")
 
 
 class _TrackIds:
-    """Stable string->int id assignment for pid/tid tracks."""
+    """Stable string->int id assignment for pid/tid tracks.
+
+    Historically this assumed one process's tracer: pids were numbered
+    in first-seen order and viewers sorted tracks however they pleased.
+    A merged *fleet* trace (coordinator + N workers, each a pid track
+    named ``worker HOST:PID`` from its HELLO identity) needs an explicit
+    order, so :meth:`sort_metadata` emits ``process_sort_index`` /
+    ``thread_sort_index`` metadata ranking tracks by *name* — the
+    coordinator track sorts before every ``worker ...`` track, and
+    workers appear in stable identity order regardless of which one
+    happened to emit its first span first.
+    """
 
     def __init__(self) -> None:
         self._pids: dict[str, int] = {}
@@ -70,6 +85,36 @@ class _TrackIds:
                 }
             )
         return mapped
+
+    def sort_metadata(self) -> list[dict]:
+        """Track-ordering metadata: rank pids (and tids within) by name."""
+        events: list[dict] = []
+        for rank, name in enumerate(sorted(self._pids)):
+            events.append(
+                {
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": self._pids[name],
+                    "tid": 0,
+                    "name": "process_sort_index",
+                    "args": {"sort_index": rank},
+                }
+            )
+        for pid_name, tid in sorted(self._tids):
+            events.append(
+                {
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": self._pids[pid_name],
+                    "tid": self._tids[(pid_name, tid)],
+                    "name": "thread_sort_index",
+                    "args": {"sort_index": tid},
+                }
+            )
+        return events
+
+    def all_metadata(self) -> list[dict]:
+        return self.metadata + self.sort_metadata()
 
 
 def _json_safe(args: dict) -> dict:
@@ -119,7 +164,7 @@ def tracer_events(tracer: Tracer) -> list[dict]:
                 "args": {k: float(v) for k, v in sample.values.items()},
             }
         )
-    return tracks.metadata + events
+    return tracks.all_metadata() + events
 
 
 def eventlog_events(log: EventLog) -> list[dict]:
@@ -141,7 +186,7 @@ def eventlog_events(log: EventLog) -> list[dict]:
                 ),
             }
         )
-    return tracks.metadata + events
+    return tracks.all_metadata() + events
 
 
 def trace_events(

@@ -1,0 +1,22 @@
+"""Bench report environment block: the fields that make baselines comparable."""
+
+import socket
+
+from repro.benchreport import cpu_model, environment_info
+
+
+def test_environment_info_has_all_comparability_fields():
+    info = environment_info()
+    assert set(info) == {"hostname", "cpu_model", "cpu_count", "python", "platform"}
+    assert info["hostname"] == socket.gethostname()
+    assert isinstance(info["cpu_model"], str) and info["cpu_model"]
+    assert isinstance(info["cpu_count"], int) and info["cpu_count"] >= 1
+    assert info["python"].count(".") == 2
+
+
+def test_cpu_model_is_nonempty_even_without_proc(monkeypatch):
+    def refuse(*args, **kwargs):
+        raise OSError("no /proc here")
+
+    monkeypatch.setattr("builtins.open", refuse)
+    assert cpu_model()  # falls back to platform info, never raises

@@ -1,0 +1,624 @@
+"""Fleet observability: trace propagation, rates/METRICS, SPANS, watch.
+
+Unit layers use injectable clocks (no sleeps, no sockets); the
+integration layer runs real coordinator+worker fleets over TCP and
+asserts the merged artifacts — deterministic snapshot merges, the
+fleet Chrome trace, and the Prometheus scrape.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import SweepError, SweepPoisonedError
+from repro.sweep import SweepEngine, SweepOptions, SweepPoint
+from repro.sweep.dist import (
+    EwmaRate,
+    SweepCoordinator,
+    WorkerAgent,
+    WorkerOptions,
+    prometheus_exposition,
+)
+from repro.sweep.dist.protocol import Assignment, dump_result, dump_spans, load_spans
+from repro.sweep.dist.watch import (
+    drained,
+    fetch_status,
+    progress_bar,
+    render_status,
+    watch,
+)
+from repro.telemetry import Telemetry
+from repro.telemetry.chrome_trace import load_trace, validate_trace_events
+from repro.transport.redis_backend import MiniRedisConnection
+from repro.version import __version__
+
+
+def plain(x):
+    return x * 2
+
+
+def traced(x, telemetry=None):
+    if telemetry is not None:
+        with telemetry.span(f"compute x{x}", category="test"):
+            pass
+        telemetry.metrics.counter("computed").inc()
+    return x * 2
+
+
+def boom(x):
+    raise ValueError(f"toxic {x}")
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = float(t)
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def bulk_payload(reply: bytes) -> bytes:
+    """Strip RESP bulk framing from a raw handler reply."""
+    _, _, rest = bytes(reply).partition(b"\r\n")
+    return rest[:-2]
+
+
+# -- EwmaRate ---------------------------------------------------------------
+class TestEwmaRate:
+    def test_no_observations_reads_zero(self):
+        assert EwmaRate().current(100.0) == 0.0
+
+    def test_steady_completions_converge_on_true_rate(self):
+        rate = EwmaRate()
+        rate.mark_active(0.0)
+        for t in range(1, 12):
+            rate.observe(float(t))
+        assert rate.current(11.0) == pytest.approx(1.0, rel=0.01)
+
+    def test_silence_decays_the_estimate(self):
+        rate = EwmaRate()
+        rate.mark_active(0.0)
+        for t in range(1, 6):
+            rate.observe(float(t))
+        assert rate.current(5.0) > 0.9
+        assert rate.current(25.0) <= 1.0 / 20.0
+
+    def test_observe_without_claim_anchors_silently(self):
+        rate = EwmaRate()
+        rate.observe(10.0)  # journal-replay path: no claim preceded it
+        assert rate.current(10.0) == 0.0
+        rate.observe(11.0)
+        assert rate.current(11.0) == pytest.approx(1.0)
+
+    def test_zero_interval_is_skipped(self):
+        rate = EwmaRate()
+        rate.mark_active(1.0)
+        rate.observe(1.0)  # quantized clock: no time passed
+        assert rate.current(1.0) == 0.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(SweepError):
+            EwmaRate(alpha=0.0)
+        with pytest.raises(SweepError):
+            EwmaRate(alpha=1.5)
+
+
+# -- Prometheus exposition --------------------------------------------------
+class TestPrometheusExposition:
+    def status(self):
+        return {
+            "n_points": 4,
+            "counts": {"queued": 1, "leased": 1, "done": 2, "poisoned": 0},
+            "reclaims": 1,
+            "requeues": 0,
+            "executed": 2,
+            "replayed": 0,
+            "workers": {"h:1:0": {"claimed": 3, "completed": 2, "failed": 1}},
+            "rates": {
+                "h:1:0": {"points_per_second": 2.5, "lease_age_seconds": 0.75}
+            },
+        }
+
+    def test_families_and_samples(self):
+        text = prometheus_exposition(self.status())
+        assert '# TYPE repro_sweep_points gauge' in text
+        assert 'repro_sweep_points{state="done"} 2' in text
+        assert "repro_sweep_points_total 4" in text
+        assert "repro_sweep_reclaims_total 1" in text
+        assert 'repro_sweep_worker_completed_total{worker="h:1:0"} 2' in text
+        assert (
+            'repro_sweep_worker_rate_points_per_second{worker="h:1:0"} 2.5' in text
+        )
+        assert 'repro_sweep_worker_lease_age_seconds{worker="h:1:0"} 0.75' in text
+
+    def test_label_values_are_escaped(self):
+        status = self.status()
+        status["workers"] = {'evil"\\worker': {"claimed": 1}}
+        status["rates"] = {}
+        text = prometheus_exposition(status)
+        assert 'worker="evil\\"\\\\worker"' in text
+
+    def test_every_family_has_help_and_type(self):
+        lines = prometheus_exposition(self.status()).splitlines()
+        families = {
+            l.split()[2] for l in lines if l.startswith("# TYPE")
+        }
+        helped = {l.split()[2] for l in lines if l.startswith("# HELP")}
+        assert families == helped and len(families) >= 8
+
+
+# -- SPANS wire format ------------------------------------------------------
+class TestSpansPayload:
+    def test_roundtrip(self):
+        spans = [
+            {
+                "name": "p3",
+                "category": "point",
+                "start": 10.0,
+                "end": 11.5,
+                "tid": 0,
+                "args": {"index": 3},
+            }
+        ]
+        assert load_spans(dump_spans(spans)) == spans
+
+    def test_non_list_payload_is_a_protocol_error(self):
+        with pytest.raises(SweepError):
+            load_spans('{"name": "x"}')
+        with pytest.raises(SweepError):
+            load_spans("not json")
+
+    def test_malformed_entries_are_dropped_not_fatal(self):
+        payload = dump_spans(
+            [
+                {"name": "ok", "start": 1.0, "end": 2.0},
+                {"name": "backwards", "start": 2.0, "end": 1.0},
+                {"start": 1.0, "end": 2.0},  # nameless
+                "not a dict",
+                {"name": "no-times"},
+            ]
+        )
+        (span,) = load_spans(payload)
+        assert span["name"] == "ok"
+        assert span["category"] == "point" and span["args"] == {}
+
+
+# -- Coordinator observability (no sockets, fake clocks) --------------------
+def make_coordinator(n=3, func=plain, **kwargs):
+    points = [SweepPoint(func, {"x": i}) for i in range(n)]
+    clock = FakeClock(0.0)
+    wall = FakeClock(1000.0)
+    kwargs.setdefault("lease_seconds", 5.0)
+    coordinator = SweepCoordinator(
+        list(enumerate(points)), port=0, clock=clock, wall=wall, **kwargs
+    )
+    return coordinator, clock, wall
+
+
+def hello(coordinator, worker="w1", host="nodeA", pid=7):
+    coordinator._handle_hello(
+        worker, json.dumps({"version": __version__, "host": host, "pid": pid})
+    )
+
+
+def claim(coordinator, worker="w1") -> Assignment:
+    reply = coordinator._handle_claim(worker)
+    return Assignment.from_bytes(bulk_payload(reply))
+
+
+class TestCoordinatorTraceContext:
+    def test_claim_is_stamped_with_trace_and_span_ids(self):
+        coordinator, _, _ = make_coordinator()
+        hello(coordinator)
+        assignment = claim(coordinator)
+        assert assignment.trace_id == coordinator.trace_id
+        assert assignment.trace_id == coordinator.signature[:16]
+        assert assignment.span_id == f"{assignment.index}/1"
+
+    def test_lease_lifetime_becomes_a_coordinator_span(self):
+        coordinator, clock, wall = make_coordinator()
+        hello(coordinator)
+        assignment = claim(coordinator)
+        clock.advance(1.0)
+        wall.advance(2.5)
+        coordinator._handle_done(
+            "w1", assignment.index, coordinator.signature, dump_result(0, None)
+        )
+        (span,) = [s for s in coordinator.fleet.spans if s.category == "lease"]
+        assert span.pid == "coordinator"
+        assert span.name == f"lease p{assignment.index}"
+        assert span.duration == pytest.approx(2.5)
+        assert span.args["outcome"] == "done"
+        assert span.args["worker"] == "w1"
+        assert span.args["span_id"] == assignment.span_id
+
+    def test_reclaim_emits_steal_instant_and_closes_the_span(self):
+        coordinator, clock, wall = make_coordinator()
+        hello(coordinator)
+        claim(coordinator)
+        clock.advance(10.0)  # past the 5s lease
+        wall.advance(10.0)
+        coordinator.table.reclaim_expired()
+        instants = [i.name for i in coordinator.fleet.instants]
+        assert "steal" in instants
+        (span,) = [s for s in coordinator.fleet.spans if s.category == "lease"]
+        assert span.args["outcome"] == "reclaim"
+
+    def test_worker_spans_file_under_hello_identity_track(self):
+        coordinator, _, _ = make_coordinator()
+        hello(coordinator, worker="w1", host="nodeA", pid=7)
+        reply = coordinator._handle_spans(
+            "w1",
+            dump_spans(
+                [{"name": "p0", "start": 1000.0, "end": 1001.0, "args": {"k": 1}}]
+            ),
+        )
+        assert reply == b":1\r\n"
+        (span,) = [s for s in coordinator.fleet.spans if s.name == "p0"]
+        assert span.pid == "worker nodeA:7"
+        assert span.args["k"] == 1
+
+    def test_spans_from_unknown_worker_use_fallback_track(self):
+        coordinator, _, _ = make_coordinator()
+        coordinator._handle_spans(
+            "ghost", dump_spans([{"name": "p1", "start": 1.0, "end": 2.0}])
+        )
+        (span,) = coordinator.fleet.spans
+        assert span.pid == "worker ghost"
+
+
+class TestCoordinatorRatesAndStatus:
+    def test_status_gains_rates_remaining_and_poison_sections(self):
+        coordinator, clock, _ = make_coordinator()
+        hello(coordinator)
+        assignment = claim(coordinator)
+        clock.advance(2.0)
+        status = coordinator.status()
+        assert status["remaining"] == 3
+        assert status["poisoned_points"] == []
+        entry = status["rates"]["w1"]
+        assert entry["lease_age_seconds"] == pytest.approx(2.0)
+        coordinator._handle_done(
+            "w1", assignment.index, coordinator.signature, dump_result(0, None)
+        )
+        status = coordinator.status()
+        assert status["rates"]["w1"]["points_per_second"] == pytest.approx(0.5)
+        assert status["rates"]["w1"]["lease_age_seconds"] is None
+        assert status["workers"]["w1"]["track"] == "worker nodeA:7"
+
+    def test_metrics_command_returns_prometheus_text(self):
+        coordinator, clock, _ = make_coordinator()
+        hello(coordinator)
+        assignment = claim(coordinator)
+        clock.advance(1.0)
+        coordinator._handle_done(
+            "w1", assignment.index, coordinator.signature, dump_result(0, None)
+        )
+        reply = coordinator._dispatch("METRICS", [])
+        text = bulk_payload(reply).decode()
+        assert "repro_sweep_executed_total 1" in text
+        assert 'repro_sweep_worker_rate_points_per_second{worker="w1"} 1' in text
+
+    def test_flight_ring_narrates_the_protocol(self):
+        coordinator, _, _ = make_coordinator()
+        hello(coordinator)
+        assignment = claim(coordinator)
+        coordinator._handle_done(
+            "w1", assignment.index, coordinator.signature, dump_result(0, None)
+        )
+        names = [e["event"] for e in coordinator.flight.events()]
+        assert names == ["hello", "lease", "done"]
+
+
+class TestFleetTraceWriter:
+    def test_open_leases_are_closed_at_write_time(self, tmp_path):
+        coordinator, _, wall = make_coordinator()
+        hello(coordinator)
+        claim(coordinator)
+        wall.advance(3.0)
+        path = tmp_path / "fleet.json"
+        n = coordinator.write_fleet_trace(path)
+        events = load_trace(path)
+        assert validate_trace_events(events) == n
+        (lease,) = [e for e in events if e.get("cat") == "lease"]
+        assert lease["args"]["outcome"] == "open"
+        assert lease["dur"] == pytest.approx(3.0 * 1e6)
+
+    def test_trace_has_named_sorted_tracks(self, tmp_path):
+        coordinator, _, wall = make_coordinator()
+        hello(coordinator, worker="w1", host="nodeA", pid=7)
+        assignment = claim(coordinator)
+        wall.advance(1.0)
+        coordinator._handle_done(
+            "w1", assignment.index, coordinator.signature, dump_result(0, None)
+        )
+        coordinator._handle_spans(
+            "w1", dump_spans([{"name": "p0", "start": 1000.0, "end": 1001.0}])
+        )
+        path = tmp_path / "fleet.json"
+        coordinator.write_fleet_trace(path)
+        events = load_trace(path)
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e.get("name") == "process_name"
+        }
+        sort_index = {
+            e["pid"]: e["args"]["sort_index"]
+            for e in events
+            if e.get("name") == "process_sort_index"
+        }
+        by_name = {names[pid]: sort_index[pid] for pid in names}
+        assert set(by_name) == {"coordinator", "worker nodeA:7"}
+        assert by_name["coordinator"] < by_name["worker nodeA:7"]
+
+    def test_poisoned_serve_dumps_the_flight_recorder(self, tmp_path):
+        coordinator, _, _ = make_coordinator(
+            n=1, poison_workers=1, poison_failures=1
+        )
+        dump_path = tmp_path / "postmortem.json"
+        coordinator.flight_path = dump_path
+        hello(coordinator)
+        assignment = claim(coordinator)
+        coordinator._handle_fail(
+            "w1",
+            assignment.index,
+            coordinator.signature,
+            json.dumps({"error": "ValueError: toxic"}),
+        )
+        try:
+            with pytest.raises(SweepPoisonedError):
+                coordinator.serve(poll=0.01)
+        finally:
+            coordinator.stop()
+        payload = json.loads(dump_path.read_text())
+        assert payload["reason"] == "poison"
+        assert [e["event"] for e in payload["events"]][:2] == ["hello", "lease"]
+
+
+# -- Watch console ----------------------------------------------------------
+class TestWatchRendering:
+    def status(self, done=2):
+        return {
+            "grid": "abcdef0123456789deadbeef",
+            "n_points": 4,
+            "counts": {"queued": 1, "leased": 4 - done - 1, "done": done,
+                       "poisoned": 0},
+            "executed": done,
+            "replayed": 0,
+            "reclaims": 1,
+            "requeues": 0,
+            "poisoned_points": [],
+            "workers": {"h:1:0": {"claimed": 2, "completed": done, "failed": 0}},
+            "rates": {"h:1:0": {"points_per_second": 2.0,
+                                "lease_age_seconds": 0.5}},
+        }
+
+    def test_progress_bar_bounds(self):
+        assert progress_bar(0, 0, width=10) == "[..........] 0/1"
+        assert progress_bar(4, 4, width=10) == "[##########] 4/4"
+        assert progress_bar(9, 4, width=10).startswith("[##########]")
+
+    def test_render_includes_workers_and_rates(self):
+        text = render_status(self.status())
+        assert "abcdef0123456789" in text
+        assert "2/4" in text
+        assert "h:1:0" in text and "2.00/s" in text and "0.5s" in text
+
+    def test_render_flags_quarantine_and_drain(self):
+        status = self.status(done=3)
+        status["counts"] = {"queued": 0, "leased": 0, "done": 3, "poisoned": 1}
+        status["poisoned_points"] = [2]
+        text = render_status(status)
+        assert "quarantined points: 2" in text
+        assert "grid drained." in text
+        assert drained(status)
+
+    def test_watch_loops_until_drained(self, tmp_path):
+        import io
+
+        statuses = [self.status(done=2), self.status(done=3)]
+        statuses[1]["counts"] = {"queued": 0, "leased": 0, "done": 4,
+                                 "poisoned": 0}
+        statuses[1]["counts"]["done"] = 4
+        feed = iter(statuses)
+        stream = io.StringIO()
+        slept = []
+        code = watch(
+            "127.0.0.1:1",
+            interval=0.5,
+            stream=stream,
+            fetch=lambda addr: next(feed),
+            sleep=slept.append,
+        )
+        assert code == 0
+        assert slept == [0.5]
+        assert "grid drained." in stream.getvalue()
+
+    def test_watch_treats_gone_after_contact_as_run_end(self):
+        # The coordinator exits sub-seconds after its last DONE; a
+        # watcher that polled mid-grid then lost it must not fail.
+        import io
+
+        from repro.errors import BackendUnavailableError
+
+        replies = iter([self.status(done=2)])
+
+        def fetch(addr):
+            try:
+                return next(replies)
+            except StopIteration:
+                raise BackendUnavailableError("coordinator exited")
+
+        stream = io.StringIO()
+        code = watch(
+            "127.0.0.1:1", stream=stream, fetch=fetch, sleep=lambda s: None
+        )
+        assert code == 0
+        assert "closed (2/4 done" in stream.getvalue()
+
+    def test_watch_unreachable_coordinator_exits_nonzero(self):
+        import io
+
+        from repro.errors import BackendUnavailableError
+
+        def fetch(addr):
+            raise BackendUnavailableError("nobody home")
+
+        stream = io.StringIO()
+        assert watch("127.0.0.1:1", stream=stream, fetch=fetch) == 1
+        assert "unreachable" in stream.getvalue()
+
+    def test_watch_validates_interval(self):
+        with pytest.raises(SweepError):
+            watch("127.0.0.1:1", interval=0.0)
+
+
+# -- Integration: real fleets over TCP --------------------------------------
+def run_agents(address, n, **kwargs):
+    kwargs.setdefault("poll", 0.02)
+    kwargs.setdefault("reconnect_budget", 10.0)
+    agents = [WorkerAgent(address, WorkerOptions(**kwargs)) for _ in range(n)]
+    threads = [threading.Thread(target=a.run, daemon=True) for a in agents]
+    for thread in threads:
+        thread.start()
+    return agents, threads
+
+
+def drain_agents(agents, threads):
+    for agent in agents:
+        agent.request_drain()
+    for thread in threads:
+        thread.join(timeout=10)
+
+
+class TestFleetIntegration:
+    def _run_served(self, points, n_workers, hub=None, **option_kwargs):
+        address = f"127.0.0.1:{free_port()}"
+        options = SweepOptions(serve=address, **option_kwargs)
+        engine = SweepEngine(options)
+        agents, threads = run_agents(address, n_workers)
+        try:
+            report = engine.run(points, telemetry=hub)
+        finally:
+            drain_agents(agents, threads)
+        return report, agents
+
+    def test_three_worker_snapshot_merge_is_point_ordered(self):
+        points = [
+            SweepPoint(traced, {"x": x}, telemetry=True) for x in range(9)
+        ]
+        hubs = []
+        for _ in range(2):
+            hub = Telemetry()
+            report, _ = self._run_served(points, n_workers=3, hub=hub)
+            assert report.values == [x * 2 for x in range(9)]
+            hubs.append(hub)
+        orders = [
+            [s.name for s in hub.tracer.spans if s.category == "test"]
+            for hub in hubs
+        ]
+        # Whatever order 3 racing workers finished in, the merge is in
+        # point order — twice over.
+        assert orders[0] == [f"compute x{x}" for x in range(9)]
+        assert orders[0] == orders[1]
+        assert hubs[0].metrics.counter("computed").value == 9
+
+    def test_replayed_cache_hits_carry_original_spans(self, tmp_path):
+        points = [
+            SweepPoint(traced, {"x": x}, telemetry=True) for x in range(4)
+        ]
+        cache_dir = tmp_path / "cache"
+        report, _ = self._run_served(
+            points, n_workers=2, hub=Telemetry(), cache_dir=cache_dir
+        )
+        assert report.computed == 4
+
+        # Second run: pure cache hits, no workers, serial engine — the
+        # original worker-side spans still arrive via the snapshots.
+        hub = Telemetry()
+        replay = SweepEngine(SweepOptions(cache_dir=cache_dir)).run(
+            points, telemetry=hub
+        )
+        assert replay.computed == 0 and replay.cache.hits == 4
+        names = [s.name for s in hub.tracer.spans if s.category == "test"]
+        assert names == [f"compute x{x}" for x in range(4)]
+
+    def test_metrics_scrape_and_fleet_trace_from_live_run(self, tmp_path):
+        points = [SweepPoint(plain, {"x": x}) for x in range(6)]
+        coordinator = SweepCoordinator(
+            list(enumerate(points)), lease_seconds=5.0
+        )
+        coordinator.start()
+        agents, threads = run_agents(coordinator.address, n=2)
+        try:
+            outcome = coordinator.serve(poll=0.02)
+            conn = MiniRedisConnection(coordinator.host, coordinator.port)
+            metrics = conn.command("METRICS")
+            status = fetch_status(coordinator.address)
+            conn.close()
+        finally:
+            drain_agents(agents, threads)
+        text = (
+            metrics.decode()
+            if isinstance(metrics, (bytes, bytearray))
+            else str(metrics)
+        )
+        assert outcome.completed == 6
+        assert "repro_sweep_executed_total 6" in text
+        for agent in agents:
+            assert f'worker="{agent.worker_id}"' in text
+        assert drained(status)
+        assert sum(e["completed"] for e in status["workers"].values()) == 6
+
+        trace_path = tmp_path / "fleet.json"
+        n = coordinator.write_fleet_trace(trace_path)
+        coordinator.stop()
+        events = load_trace(trace_path)
+        assert validate_trace_events(events) == n
+        tracks = {
+            e["args"]["name"]
+            for e in events
+            if e.get("name") == "process_name"
+        }
+        assert "coordinator" in tracks
+        assert any(t.startswith("worker ") for t in tracks)
+        lease_spans = [
+            e for e in events if e["ph"] == "X" and e.get("cat") == "lease"
+        ]
+        point_spans = [
+            e for e in events if e["ph"] == "X" and e.get("cat") == "point"
+        ]
+        assert len(lease_spans) == 6
+        # SPANS shipping is best-effort, but on a healthy loopback run
+        # every executed point's span lands.
+        assert len(point_spans) == 6
+        total_shipped = sum(a.report.spans_shipped for a in agents)
+        assert total_shipped == 6
+
+    def test_dist_output_is_unchanged_by_observability(self, tmp_path):
+        points = [SweepPoint(plain, {"x": x}) for x in range(5)]
+        baseline = SweepEngine(SweepOptions()).run(points)
+        report, _ = self._run_served(
+            points,
+            n_workers=2,
+            fleet_trace=tmp_path / "fleet.json",
+            flight_recorder=tmp_path / "flight.json",
+        )
+        assert report.values == baseline.values
+        assert (tmp_path / "fleet.json").exists()
+        assert (tmp_path / "flight.json").exists()
+        assert json.loads((tmp_path / "flight.json").read_text())["reason"] == (
+            "completed"
+        )

@@ -1,0 +1,89 @@
+"""Flight recorder: bounded ring, postmortem dump, never-raise dumping."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.flight import DEFAULT_CAPACITY, FlightRecorder, maybe_dump
+
+
+def ticking_clock(start=100.0, step=1.0):
+    state = {"t": start - step}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestRing:
+    def test_records_event_with_fields(self):
+        recorder = FlightRecorder(component="coordinator", clock=ticking_clock())
+        recorder.record("lease", index=3, worker="w1")
+        (event,) = recorder.events()
+        assert event["event"] == "lease"
+        assert event["index"] == 3 and event["worker"] == "w1"
+        assert event["ts"] == 100.0
+
+    def test_capacity_bounds_the_ring(self):
+        recorder = FlightRecorder(capacity=4, clock=ticking_clock())
+        for i in range(10):
+            recorder.record("e", i=i)
+        assert len(recorder) == 4
+        assert [e["i"] for e in recorder.events()] == [6, 7, 8, 9]
+        assert recorder.recorded == 10
+        assert recorder.dropped == 6
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ReproError):
+            FlightRecorder(capacity=0)
+
+
+class TestDump:
+    def test_dump_writes_payload(self, tmp_path):
+        recorder = FlightRecorder(component="worker:w1", clock=ticking_clock())
+        recorder.record("claim", index=0)
+        path = recorder.dump(tmp_path / "dump.json", reason="drain")
+        payload = json.loads(path.read_text())
+        assert payload["component"] == "worker:w1"
+        assert payload["reason"] == "drain"
+        assert payload["recorded"] == 1 and payload["dropped"] == 0
+        assert payload["events"][0]["event"] == "claim"
+
+    def test_dump_handles_non_json_fields(self, tmp_path):
+        recorder = FlightRecorder(clock=ticking_clock())
+        recorder.record("odd", payload=object())
+        payload = json.loads(recorder.dump(tmp_path / "d.json", "crash").read_text())
+        assert "object object" in payload["events"][0]["payload"]
+
+    def test_dump_leaves_no_tmp_file(self, tmp_path):
+        recorder = FlightRecorder(clock=ticking_clock())
+        recorder.record("x")
+        recorder.dump(tmp_path / "d.json", "completed")
+        assert [p.name for p in tmp_path.iterdir()] == ["d.json"]
+
+
+class TestMaybeDump:
+    def test_none_path_is_a_noop(self):
+        recorder = FlightRecorder(clock=ticking_clock())
+        assert maybe_dump(recorder, None, "crash") is None
+
+    def test_unwritable_path_never_raises(self, tmp_path, capsys):
+        recorder = FlightRecorder(clock=ticking_clock())
+        recorder.record("x")
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        target = blocker / "nested" / "d.json"  # mkdir under a file: OSError
+        assert maybe_dump(recorder, target, "crash") is None
+        assert "flight" in capsys.readouterr().err.lower()
+
+    def test_successful_dump_returns_path(self, tmp_path):
+        recorder = FlightRecorder(clock=ticking_clock())
+        recorder.record("x")
+        path = maybe_dump(recorder, tmp_path / "d.json", "drain")
+        assert path is not None and path.exists()

@@ -1,0 +1,126 @@
+"""Structured JSONL logging: formatter, configuration, guards."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.log import (
+    ROOT_LOGGER,
+    ComponentLogger,
+    JsonLineFormatter,
+    configure_logging,
+    get_logger,
+    host_identity,
+    remove_handler,
+    resolve_level,
+)
+
+
+@pytest.fixture
+def stream_handler():
+    stream = io.StringIO()
+    handler = configure_logging(level="debug", stream=stream)
+    yield stream, handler
+    remove_handler(handler)
+
+
+def records(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestFormatter:
+    def test_event_record_is_one_json_line(self, stream_handler):
+        stream, _ = stream_handler
+        get_logger("sweep.test").event("unit.fired", index=3, worker="w1")
+        (record,) = records(stream)
+        assert record["event"] == "unit.fired"
+        assert record["component"] == "sweep.test"
+        assert record["level"] == "info"
+        assert record["index"] == 3 and record["worker"] == "w1"
+        assert isinstance(record["ts"], float)
+
+    def test_levels_map_to_names(self, stream_handler):
+        stream, _ = stream_handler
+        log = get_logger("x")
+        log.debug("a")
+        log.warning("b")
+        log.error("c")
+        assert [r["level"] for r in records(stream)] == ["debug", "warning", "error"]
+
+    def test_exception_text_is_attached(self, stream_handler):
+        stream, _ = stream_handler
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logging.getLogger(f"{ROOT_LOGGER}.t").error(
+                "event", exc_info=True, extra={"fields": {"event": "fail"}}
+            )
+        (record,) = records(stream)
+        assert "ValueError: boom" in record["exc"]
+
+    def test_non_serializable_fields_fall_back_to_repr(self, stream_handler):
+        stream, _ = stream_handler
+        get_logger("x").event("obj", payload=object())
+        (record,) = records(stream)
+        assert "object object" in record["payload"]
+
+
+class TestConfiguration:
+    def test_unconfigured_logging_emits_nothing(self, capsys):
+        # The NullHandler defeats logging.lastResort: nothing on stderr.
+        get_logger("quiet").warning("should.vanish")
+        captured = capsys.readouterr()
+        assert captured.err == "" and captured.out == ""
+
+    def test_file_handler_appends_jsonl(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        handler = configure_logging(path=path, level="info")
+        try:
+            get_logger("sweep").event("first")
+            get_logger("sweep").event("second")
+        finally:
+            remove_handler(handler)
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["event"] for l in lines] == ["first", "second"]
+
+    def test_level_threshold_filters(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        handler = configure_logging(path=path, level="warning")
+        try:
+            log = get_logger("sweep")
+            log.info("dropped")
+            log.warning("kept")
+        finally:
+            remove_handler(handler)
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["event"] for l in lines] == ["kept"]
+
+    def test_enabled_guard_tracks_threshold(self, tmp_path):
+        handler = configure_logging(path=tmp_path / "l.jsonl", level="debug")
+        try:
+            assert get_logger("guarded").enabled
+        finally:
+            remove_handler(handler)
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ReproError, match="unknown log level"):
+            resolve_level("chatty")
+
+    def test_remove_handler_stops_emission(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        handler = configure_logging(path=path, level="info")
+        remove_handler(handler)
+        get_logger("sweep").event("after.removal")
+        assert path.read_text() == ""
+
+
+class TestHelpers:
+    def test_component_logger_type(self):
+        assert isinstance(get_logger("anything"), ComponentLogger)
+
+    def test_host_identity_shape(self):
+        host, _, pid = host_identity().rpartition(":")
+        assert host and int(pid) > 0
