@@ -366,6 +366,29 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
         if not args.cache_dir:
             raise ConfigError("--cache-info needs --cache-dir to inspect")
         return
+    if args.migrate_history:
+        if not args.cache_dir:
+            raise ConfigError("--migrate-history needs --cache-dir to import")
+        return
+    if args.service:
+        if not args.store:
+            raise ConfigError(
+                "--service needs --store FILE: durability across restarts "
+                "is the point of the service"
+            )
+        if args.serve or args.connect or args.watch or args.submit:
+            raise ConfigError(
+                "--service runs standalone; it cannot also --serve, "
+                "--connect, --submit, or --watch"
+            )
+        if args.experiments:
+            raise ConfigError(
+                "--service takes no experiment names: tenants SUBMIT grids "
+                "to it (sweep --submit HOST:PORT ...)"
+            )
+        return
+    if args.store:
+        raise ConfigError("--store only applies to --service/--migrate-history")
     if args.watch:
         if args.serve or args.connect:
             raise ConfigError(
@@ -379,8 +402,10 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
             )
         return
     if args.connect:
-        if args.serve:
-            raise ConfigError("--connect and --serve are mutually exclusive")
+        if args.serve or args.submit:
+            raise ConfigError(
+                "--connect and --serve/--submit are mutually exclusive"
+            )
         if args.experiments:
             raise ConfigError(
                 "--connect takes no experiment names: workers claim their "
@@ -392,6 +417,19 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
                 "merges the fleet's spans)"
             )
         return
+    if args.submit:
+        if args.serve:
+            raise ConfigError(
+                "--submit and --serve are mutually exclusive: submit hands "
+                "the grid to an already-running service"
+            )
+        if args.parallel > 1:
+            raise ConfigError(
+                "--submit and --parallel are mutually exclusive: the "
+                "service's workers do the computing"
+            )
+    elif args.tenant:
+        raise ConfigError("--tenant only applies to --submit")
     if not args.experiments:
         raise ConfigError("name at least one experiment (or 'all')")
     if args.serve and args.parallel > 1:
@@ -436,6 +474,36 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_migrate_history(args: argparse.Namespace) -> int:
+    """``sweep --migrate-history``: JSONL history + journals -> SQLite.
+
+    One-shot and idempotent: journals import by grid signature (already-
+    present jobs are skipped) and the imported ``history.jsonl`` is
+    renamed ``history.jsonl.imported`` so a re-run cannot double-count.
+    """
+    from pathlib import Path
+
+    from repro.sweep.dist.store import STORE_FILENAME, SweepStore, migrate_cache_dir
+
+    cache_dir = Path(args.cache_dir)
+    store_path = Path(args.store) if args.store else cache_dir / STORE_FILENAME
+    store = SweepStore(store_path)
+    try:
+        counts = migrate_cache_dir(
+            store, cache_dir, journal_dirs=[args.journal] if args.journal else []
+        )
+    finally:
+        store.close()
+    history_jsonl = cache_dir / "history.jsonl"
+    if counts["history"] and history_jsonl.exists():
+        history_jsonl.rename(history_jsonl.with_suffix(".jsonl.imported"))
+    print(
+        f"migrated {counts['history']} history records and "
+        f"{counts['journals']} journal(s) into {store_path}"
+    )
+    return 0
+
+
 def _worker_flight_path(base: str, rank: int, workers: int) -> Optional[str]:
     """Per-rank flight-recorder path so fleet members never clobber."""
     if not base:
@@ -466,6 +534,7 @@ def _cmd_sweep_workers(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "reconnect_budget": args.reconnect_budget,
         "poll": args.poll,
+        "op_timeout": args.op_timeout,
     }
     if args.workers <= 1:
         return run_worker_process(
@@ -514,6 +583,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     _validate_sweep_args(args)
     if args.cache_info:
         return _cmd_cache_info(args)
+    if args.migrate_history:
+        return _cmd_migrate_history(args)
     handler = None
     if args.log_json or args.log_level != "info":
         # Structured logging is opt-in; without it the repro logger keeps
@@ -525,7 +596,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.watch:
             from repro.sweep.dist.watch import watch
 
-            return watch(args.watch)
+            return watch(
+                args.watch,
+                reconnect_budget=args.reconnect_budget,
+                seed=args.seed,
+            )
+        if args.service:
+            from repro.sweep.dist.service import run_service_process
+
+            return run_service_process(
+                args.service,
+                args.store,
+                lease_seconds=args.lease if args.lease is not None else 5.0,
+                flight_path=args.flight_recorder or None,
+            )
         if args.connect:
             return _cmd_sweep_workers(args)
         return _cmd_sweep_serial_or_serve(args)
@@ -563,6 +647,9 @@ def _cmd_sweep_serial_or_serve(args: argparse.Namespace) -> int:
             cache_max_mb=args.cache_max_mb,
             fleet_trace=args.fleet_trace or None,
             flight_recorder=args.flight_recorder or None,
+            submit=args.submit or None,
+            tenant=args.tenant if args.submit else "",
+            job_name=name if args.submit else None,
         )
         start = time.perf_counter()
         result = registry[name].run(quick=args.quick, sweep=options)
@@ -762,6 +849,41 @@ def build_parser() -> argparse.ArgumentParser:
         "long loses its point to the next claimer",
     )
     sweep.add_argument(
+        "--service",
+        default="",
+        metavar="HOST:PORT",
+        help="run the durable multi-tenant sweep service: accepts many "
+        "named grids (sweep --submit) concurrently, persists every result "
+        "in --store, survives SIGKILL + restart without losing work",
+    )
+    sweep.add_argument(
+        "--store",
+        default="",
+        metavar="FILE",
+        help="SQLite job/results store for --service (also the "
+        "--migrate-history target; defaults there to CACHE_DIR/store.sqlite)",
+    )
+    sweep.add_argument(
+        "--submit",
+        default="",
+        metavar="HOST:PORT",
+        help="submit the experiment grids to a running sweep service "
+        "instead of computing locally; blocks until the job drains",
+    )
+    sweep.add_argument(
+        "--tenant",
+        default="",
+        metavar="NAME",
+        help="tenant label for --submit (fair-share accounting across "
+        "concurrent tenants)",
+    )
+    sweep.add_argument(
+        "--migrate-history",
+        action="store_true",
+        help="one-shot import of CACHE_DIR/history.jsonl (plus --journal "
+        "DIR journals) into the SQLite store, then exit",
+    )
+    sweep.add_argument(
         "--connect",
         default="",
         metavar="HOST:PORT",
@@ -787,6 +909,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         metavar="SECONDS",
         help="worker idle wait between claims when no point is available",
+    )
+    sweep.add_argument(
+        "--op-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request socket timeout for --connect workers; a stalled "
+        "or one-way-partitioned exchange becomes a retryable reconnect",
     )
     sweep.add_argument(
         "--seed", type=int, default=0, help="root seed for worker backoff jitter"

@@ -145,6 +145,16 @@ class SweepJournalError(SweepError):
     """
 
 
+class SweepStoreError(SweepError):
+    """The SQLite-backed sweep store is unusable.
+
+    Raised when the database fails its integrity check on open (real
+    corruption, not a torn tail — torn writes roll back silently), when
+    its schema version is newer than this code, or when the store's
+    writer thread has shut down.
+    """
+
+
 class SweepPoisonedError(SweepError):
     """One or more grid points were quarantined as poison.
 

@@ -7,7 +7,9 @@ The subsystem has three pieces:
 * :mod:`repro.faults.state` — the live fault switchboard the transport
   layer consults on every operation;
 * :mod:`repro.faults.injector` — the DES driver that opens and closes
-  fault windows at their planned virtual times.
+  fault windows at their planned virtual times;
+* :mod:`repro.faults.netproxy` — a seeded TCP relay that injects the
+  same fault vocabulary on real sockets for the distributed sweep.
 
 Resilience policies that *react* to these faults (retry, backoff,
 circuit breaking, quorum reads) live in
@@ -15,6 +17,7 @@ circuit breaking, quorum reads) live in
 """
 
 from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.netproxy import ChaosProxy, NetChaos
 from repro.faults.plan import (
     FaultKind,
     FaultPlan,
@@ -25,12 +28,14 @@ from repro.faults.plan import (
 from repro.faults.state import FaultState
 
 __all__ = [
+    "ChaosProxy",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
     "FaultState",
     "InjectedFault",
+    "NetChaos",
     "StochasticFaultSpec",
     "merge_plans",
 ]

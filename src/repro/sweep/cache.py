@@ -304,28 +304,76 @@ class ResultCache:
             "history": self.history(),
         }
 
-    def record_history(self) -> None:
-        """Append this run's hit/miss counters to ``history.jsonl``.
+    def _store_path(self) -> Path:
+        # Lazy import: repro.sweep.dist pulls in the transport stack,
+        # which this module must not load for a plain serial sweep.
+        from repro.sweep.dist.store import STORE_FILENAME
 
-        Best-effort: a read-only cache directory must not fail the sweep.
+        return self.directory / STORE_FILENAME
+
+    def record_history(self) -> None:
+        """Append this run's hit/miss counters to the history log.
+
+        Writes the SQLite store when one lives in the cache directory
+        (``repro sweep --migrate-history`` creates it) and falls back to
+        ``history.jsonl`` otherwise. Best-effort either way: a read-only
+        or contended cache directory must not fail the sweep.
         """
         if self.stats.lookups == 0 and self.stats.stores == 0:
             return
         record = {"time": time.time(), **self.stats.as_dict()}
+        if self._record_history_sqlite(record):
+            return
         try:
             with open(self.directory / "history.jsonl", "a", encoding="utf-8") as fh:
                 fh.write(json.dumps(record, sort_keys=True) + "\n")
         except OSError:
             pass
 
+    def _record_history_sqlite(self, record: dict) -> bool:
+        """Append one record to the store DB; False -> use the JSONL."""
+        path = self._store_path()
+        if not path.exists():
+            return False
+        import sqlite3
+
+        try:
+            conn = sqlite3.connect(path, timeout=5.0)
+        except sqlite3.Error:
+            return False
+        try:
+            conn.execute(
+                "INSERT INTO history (time, hits, misses, stores, invalid,"
+                " hit_rate) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    float(record.get("time", 0.0)),
+                    int(record.get("hits", 0)),
+                    int(record.get("misses", 0)),
+                    int(record.get("stores", 0)),
+                    int(record.get("invalid", 0)),
+                    float(record.get("hit_rate", 0.0)),
+                ),
+            )
+            conn.commit()
+            return True
+        except sqlite3.Error:
+            return False
+        finally:
+            conn.close()
+
     def history(self, limit: int = 20) -> list[dict]:
-        """The most recent ``limit`` hit-rate records (oldest first)."""
+        """The most recent ``limit`` hit-rate records (oldest first).
+
+        Reads the SQLite store when present, falling back to (and
+        merging in) any remaining ``history.jsonl`` — during migration a
+        directory can legitimately hold both.
+        """
+        records = self._history_sqlite(limit)
         path = self.directory / "history.jsonl"
-        records: list[dict] = []
         try:
             lines = path.read_text(encoding="utf-8").splitlines()
         except (FileNotFoundError, OSError):
-            return records
+            lines = []
         for line in lines:
             try:
                 record = json.loads(line)
@@ -333,4 +381,38 @@ class ResultCache:
                 continue  # torn append
             if isinstance(record, dict):
                 records.append(record)
+        records.sort(key=lambda r: float(r.get("time", 0.0)))
         return records[-limit:]
+
+    def _history_sqlite(self, limit: int) -> list[dict]:
+        path = self._store_path()
+        if not path.exists():
+            return []
+        import sqlite3
+
+        try:
+            conn = sqlite3.connect(path, timeout=5.0)
+        except sqlite3.Error:
+            return []
+        try:
+            rows = conn.execute(
+                "SELECT time, hits, misses, stores, invalid, hit_rate"
+                " FROM history ORDER BY seq DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+        except sqlite3.Error:
+            return []
+        finally:
+            conn.close()
+        rows.reverse()
+        return [
+            {
+                "time": time_,
+                "hits": hits,
+                "misses": misses,
+                "stores": stores,
+                "invalid": invalid,
+                "hit_rate": hit_rate,
+            }
+            for time_, hits, misses, stores, invalid, hit_rate in rows
+        ]

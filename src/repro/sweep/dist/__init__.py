@@ -8,7 +8,16 @@ stealing), points that fail on multiple distinct workers are quarantined
 as poison, and an append-only journal lets a restarted coordinator
 resume a half-finished grid without re-running completed points.
 
-See ``ARCHITECTURE.md`` for the lease state machine and failure matrix.
+The *durable service* (:class:`SweepService` + :class:`SweepStore`)
+generalises the single-grid coordinator into a long-lived multi-tenant
+endpoint: many named grids at once, fair-share leasing across tenants,
+and an SQLite store instead of the journal, so a SIGKILLed service
+restarts against the same database with every acknowledged result
+intact. Tenants drive it with :class:`ServiceClient` (or ``repro sweep
+--submit``).
+
+See ``ARCHITECTURE.md`` for the lease/job state machines and failure
+matrix.
 """
 
 from repro.sweep.dist.coordinator import DistOutcome, DistProgressFn, SweepCoordinator
@@ -21,6 +30,21 @@ from repro.sweep.dist.protocol import (
     GridInfo,
     grid_signature,
     parse_hostport,
+)
+from repro.sweep.dist.service import (
+    ServiceClient,
+    SweepService,
+    run_service_process,
+)
+from repro.sweep.dist.store import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_POISONED,
+    JOB_RUNNING,
+    JOB_SUBMITTED,
+    JOB_TERMINAL,
+    SweepStore,
+    migrate_cache_dir,
 )
 from repro.sweep.dist.watch import fetch_status, render_status, watch
 from repro.sweep.dist.worker import (
@@ -37,19 +61,30 @@ __all__ = [
     "EwmaRate",
     "FailureRecord",
     "GridInfo",
+    "JOB_CANCELLED",
+    "JOB_DONE",
+    "JOB_POISONED",
+    "JOB_RUNNING",
+    "JOB_SUBMITTED",
+    "JOB_TERMINAL",
     "LeaseTable",
     "PointRecord",
     "PointState",
+    "ServiceClient",
     "SweepCoordinator",
     "SweepJournal",
+    "SweepService",
+    "SweepStore",
     "WorkerAgent",
     "WorkerOptions",
     "WorkerReport",
     "fetch_status",
     "grid_signature",
+    "migrate_cache_dir",
     "parse_hostport",
     "prometheus_exposition",
     "render_status",
+    "run_service_process",
     "run_worker_process",
     "watch",
 ]

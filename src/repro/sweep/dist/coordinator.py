@@ -285,8 +285,12 @@ class SweepCoordinator(RespTcpServer):
             self._need(args, 1, "CLAIM")
             return self._handle_claim(_text(args[0]))
         if name == "RENEW":
-            self._need(args, 2, "RENEW")
-            return self._handle_renew(_text(args[0]), _index(args[1]))
+            # v4 workers name the grid they are renewing in (a service
+            # needs it to route); a single-grid coordinator validates it.
+            if len(args) not in (2, 3):
+                raise TransportError("wrong number of arguments for 'RENEW'")
+            grid = _text(args[2]) if len(args) == 3 else None
+            return self._handle_renew(_text(args[0]), _index(args[1]), grid)
         if name == "DONE":
             self._need(args, 4, "DONE")
             return self._handle_done(
@@ -379,7 +383,14 @@ class SweepCoordinator(RespTcpServer):
         )
         return resp.encode_bulk(assignment.to_bytes())
 
-    def _handle_renew(self, worker: str, index: int) -> bytes:
+    def _handle_renew(
+        self, worker: str, index: int, grid: Optional[str] = None
+    ) -> bytes:
+        if grid is not None and grid != self.signature:
+            # Renewing a lease from another grid on this address: that
+            # lease does not exist here; answer "lost" so the worker
+            # finishes and lets the DONE-side grid check sort it out.
+            return resp.encode_integer(0)
         return resp.encode_integer(int(self.table.renew(worker, index)))
 
     def _handle_done(self, worker: str, index: int, grid: str, blob: bytes) -> bytes:

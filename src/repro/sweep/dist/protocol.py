@@ -15,7 +15,7 @@ CLAIM      worker_id                                      bulk assignment pickle
                                                           null (nothing claimable
                                                           right now), or
                                                           ``+DRAINED``
-RENEW      worker_id, index                               ``:1`` (lease held) /
+RENEW      worker_id, index [, grid]                      ``:1`` (lease held) /
                                                           ``:0`` (lease lost)
 DONE       worker_id, index, grid, result pickle          ``+OK`` / ``+DUPLICATE``
                                                           / ``+STALE``
@@ -23,11 +23,29 @@ FAIL       worker_id, index, grid, failure-JSON           ``+REQUEUED`` /
                                                           ``+POISONED`` /
                                                           ``+DUPLICATE`` /
                                                           ``+STALE``
-STATUS     —                                              bulk JSON state counts
+STATUS     [grid]                                         bulk JSON state counts
                                                           + per-worker ``rates``
 METRICS    —                                              bulk Prometheus-style
                                                           text exposition
 SPANS      worker_id, spans-JSON                          ``:n`` (spans accepted)
+=========  =============================================  =======================
+
+The multi-tenant **sweep service** (:mod:`repro.sweep.dist.service`)
+speaks the same vocabulary towards workers (so :class:`WorkerAgent` is
+oblivious to which it joined) plus tenant lifecycle commands:
+
+=========  =============================================  =======================
+command    arguments                                      reply
+=========  =============================================  =======================
+SUBMIT     submission pickle                              bulk JSON {grid,
+                                                          created, state, ...}
+JOBS       —                                              bulk JSON job rows
+CANCEL     grid                                           ``+CANCELLED`` /
+                                                          ``+TERMINAL`` (already
+                                                          done/poisoned)
+RESULTS    grid                                           bulk results pickle
+                                                          ({index: payload}
+                                                          + job state)
 =========  =============================================  =======================
 
 Wire-format history (``WIRE_FORMAT`` gates the pickled payload shape;
@@ -54,6 +72,26 @@ HELLO's version check keeps mixed fleets out entirely):
   ``SPANS`` is fire-and-forget best effort: a worker never retries it
   across reconnects and the coordinator never fails a grid over it —
   observability must observe, never perturb.
+* **v4** — **multi-tenancy**: the sweep service accepts many named
+  grids concurrently (``SUBMIT``/``JOBS``/``CANCEL``/``RESULTS``), so
+  the single-grid assumptions of v3 are loosened in three places.
+  (1) HELLO from a service advertises :data:`MULTI_GRID` (``"*"``)
+  instead of one signature — a worker treats it as "any grid I claim
+  here is current" and skips its reconnect-time stale-grid check (each
+  *assignment* still carries its own signature, and DONE/FAIL still
+  echo it, so results route to the right job). (2) ``RENEW`` grows an
+  optional third ``grid`` argument: under one grid an index identifies
+  a lease, under many it does not. v3 coordinators accept both arities
+  (the grid, when present, is validated); v3 workers talking to a v4
+  service would renew ambiguously — which is why ``WIRE_FORMAT`` is
+  bumped and HELLO's version gate keeps mixed fleets out. (3)
+  ``STATUS`` accepts an optional grid argument; without one a service
+  answers an *aggregate* document shaped exactly like a coordinator's
+  (so ``--watch`` works unchanged against either). Submission is
+  idempotent by grid content signature, results are persisted in an
+  SQLite store before acknowledgement, and a SIGKILLed service
+  restarted on the same store drains every in-flight job to
+  byte-identical results (see ``repro.sweep.dist.store``).
 
 Assignments and results are pickled: workers are trusted peers running
 the *same* ``repro`` version against the same grid (HELLO rejects a
@@ -75,13 +113,24 @@ from repro.sweep.cache import point_key
 from repro.sweep.point import SweepPoint
 
 #: Bumped when the assignment/result wire shape changes.
-WIRE_FORMAT = "repro-dist-sweep-v3"
+WIRE_FORMAT = "repro-dist-sweep-v4"
 
 #: CLAIM reply meaning "every point is done or poisoned; nothing left".
 DRAINED = "DRAINED"
 
 #: DONE/FAIL ack meaning "your submission belongs to a different grid".
 STALE = "STALE"
+
+#: HELLO ``grid`` value advertised by the multi-tenant service: "no one
+#: grid is current here" — workers must not stale-drop against it.
+MULTI_GRID = "*"
+
+#: CANCEL ack meaning "the job was already done or poisoned" (terminal
+#: states are immutable; their results stay queryable).
+TERMINAL = "TERMINAL"
+
+#: CANCEL ack meaning "the job is cancelled; its leases are revoked".
+CANCELLED = "CANCELLED"
 
 
 def parse_hostport(text: str) -> tuple[str, int]:
@@ -166,6 +215,84 @@ def load_result(blob: bytes) -> tuple[Any, Any]:
     if not isinstance(payload, dict) or payload.get("format") != WIRE_FORMAT:
         raise SweepError("malformed result payload")
     return payload["value"], payload["snapshot"]
+
+
+def dump_submission(
+    name: str,
+    points: Sequence[tuple[int, SweepPoint]],
+    tenant: str = "",
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    capture: bool = True,
+) -> bytes:
+    """Encode one SUBMIT payload (a named grid + its execution options).
+
+    The grid signature is *not* shipped — the service recomputes it from
+    the points, so a tenant can never claim one grid's identity for
+    another grid's content.
+    """
+    return pickle.dumps(
+        {
+            "format": WIRE_FORMAT,
+            "name": str(name),
+            "tenant": str(tenant),
+            "points": [(int(i), p) for i, p in points],
+            "timeout": timeout,
+            "retries": int(retries),
+            "capture": bool(capture),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def load_submission(blob: bytes) -> dict:
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:
+        raise SweepError(f"unreadable SUBMIT payload: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("format") != WIRE_FORMAT:
+        raise SweepError("malformed SUBMIT payload")
+    points = payload.get("points")
+    if not isinstance(points, list) or not points:
+        raise SweepError("SUBMIT payload has no points")
+    for item in points:
+        if not (
+            isinstance(item, (tuple, list))
+            and len(item) == 2
+            and isinstance(item[1], SweepPoint)
+        ):
+            raise SweepError("SUBMIT payload points must be (index, SweepPoint)")
+    return payload
+
+
+def dump_results_reply(
+    state: str, payloads: dict[int, bytes], poisoned: Optional[dict] = None
+) -> bytes:
+    """Encode one RESULTS reply: raw per-point wire payloads + job state.
+
+    Payloads are shipped exactly as the store recorded them (the bytes
+    the worker produced with :func:`dump_result`) — no decode/re-encode
+    round trip, which is what makes restart results byte-identical.
+    """
+    return pickle.dumps(
+        {
+            "format": WIRE_FORMAT,
+            "state": str(state),
+            "payloads": {int(i): bytes(b) for i, b in payloads.items()},
+            "poisoned": dict(poisoned or {}),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def load_results_reply(blob: bytes) -> dict:
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:
+        raise SweepError(f"unreadable RESULTS payload: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("format") != WIRE_FORMAT:
+        raise SweepError("malformed RESULTS payload")
+    return payload
 
 
 def dump_spans(spans: Sequence[dict]) -> str:

@@ -1,0 +1,911 @@
+"""SweepService: a durable multi-tenant grid server + its client.
+
+Where :class:`~repro.sweep.dist.coordinator.SweepCoordinator` serves
+exactly one grid and exits when it drains, the service is long-lived
+middleware (the "heavy traffic from many users" pattern of the coupled
+AI-simulation workflows): tenants ``SUBMIT`` named grids over the same
+RESP substrate workers already speak, the service leases points from
+*all* active jobs fair-share, and every completed point is committed to
+an SQLite store (:class:`~repro.sweep.dist.store.SweepStore`) **before**
+its worker is acknowledged. The consequences:
+
+* **SIGKILL-proof** — a service killed mid-multi-tenant-workload and
+  restarted on the same store reloads every non-terminal job (point
+  specs are persisted at submission), preloads the done points, and
+  drains the remainder; acknowledged results are byte-identical across
+  the crash because RESULTS replays the exact wire payloads recorded.
+* **Idempotent submission** — jobs are keyed by grid content signature
+  (:func:`~repro.sweep.dist.protocol.grid_signature`), so a tenant
+  retrying SUBMIT across a service restart (or a duplicate SUBMIT from
+  a confused script) lands on the existing job instead of forking it.
+* **Fair-share leasing** — CLAIM rotates through active jobs round-robin
+  so one tenant's thousand-point grid cannot starve another's ten-point
+  grid; within a job the :class:`~repro.sweep.dist.lease.LeaseTable`
+  rules are unchanged (time-bounded leases, work stealing, poison
+  quarantine).
+* **Tenant isolation** — CANCEL of grid A flips only A's job: its
+  leases stop renewing (``:0``) and its in-flight DONEs are answered
+  ``+STALE``; grid B's leases, results, and lifecycle are untouched.
+
+Workers are oblivious: the service speaks the coordinator's exact
+command vocabulary towards them (HELLO advertises the
+:data:`~repro.sweep.dist.protocol.MULTI_GRID` sentinel), so
+``repro sweep --connect`` joins either interchangeably.
+
+The job lifecycle is ``SUBMITTED -> RUNNING -> {DONE, CANCELLED,
+POISONED}`` (see ARCHITECTURE.md for the full state machine); terminal
+states are immutable and stay queryable forever.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    BackendUnavailableError,
+    SweepError,
+    SweepStoreError,
+    TransportError,
+)
+from repro.sweep.dist.fleetmetrics import EwmaRate, prometheus_exposition
+from repro.sweep.dist.lease import LeaseTable, PointRecord, PointState
+from repro.sweep.dist.protocol import (
+    CANCELLED,
+    DRAINED,
+    MULTI_GRID,
+    STALE,
+    TERMINAL,
+    Assignment,
+    FailureRecord,
+    GridInfo,
+    dump_results_reply,
+    dump_submission,
+    grid_signature,
+    load_result,
+    load_results_reply,
+    load_spans,
+    load_submission,
+    parse_hostport,
+)
+from repro.sweep.dist.store import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_POISONED,
+    JOB_RUNNING,
+    JOB_SUBMITTED,
+    JOB_TERMINAL,
+    SweepStore,
+)
+from repro.sweep.point import SweepPoint, derive_seed
+from repro.telemetry.flight import FlightRecorder, maybe_dump
+from repro.telemetry.log import get_logger
+from repro.telemetry.tracing import Tracer
+from repro.transport import resp
+from repro.transport.redis_backend import MiniRedisConnection
+from repro.transport.server import RespTcpServer
+from repro.version import __version__
+
+_log = get_logger("sweep.service")
+
+
+@dataclass
+class ServiceJob:
+    """One live (non-terminal) job: its points + lease table + options."""
+
+    grid: str
+    name: str
+    tenant: str
+    points: dict[int, SweepPoint]
+    table: LeaseTable
+    state: str = JOB_SUBMITTED
+    timeout: Optional[float] = None
+    retries: int = 1
+    capture: bool = True
+    executed: int = 0
+    replayed: int = 0
+    requeues: int = 0
+
+    @property
+    def trace_id(self) -> str:
+        return self.grid[:16]
+
+
+class SweepService(RespTcpServer):
+    """Multi-tenant, store-backed grid server on the RESP substrate."""
+
+    def __init__(
+        self,
+        store: SweepStore | str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_seconds: float = 5.0,
+        poison_workers: int = 2,
+        poison_failures: int = 4,
+        clock: Callable[[], float] = time.monotonic,
+        wall: Callable[[], float] = time.time,
+        flight_path: Optional[str | Path] = None,
+        max_frame_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            host=host, port=port, name="sweep-service", max_frame_bytes=max_frame_bytes
+        )
+        if isinstance(store, (str, Path)):
+            store = SweepStore(store, wall=wall)
+            self._owns_store = True
+        else:
+            self._owns_store = False
+        self.store = store
+        self.lease_seconds = lease_seconds
+        self.poison_workers = poison_workers
+        self.poison_failures = poison_failures
+        self.clock = clock
+        self.wall = wall
+        self.jobs: dict[str, ServiceJob] = {}
+        #: Fair-share rotation order over *active* job signatures.
+        self._ring: deque[str] = deque()
+        self._stop_serving = False
+        self.fleet = Tracer(clock=wall)
+        self.flight = FlightRecorder(component="service", clock=wall)
+        self.flight_path = Path(flight_path) if flight_path is not None else None
+        self._rates: dict[str, EwmaRate] = {}
+        self.workers: dict[str, dict] = {}
+        self._spans_accepted = 0
+        self.stale_grid = 0
+        self.duplicates = 0
+        self._restore()
+        _log.info(
+            "service.open",
+            address=f"{self.host}:{self.port}",
+            jobs=len(self.jobs),
+            store=str(self.store.path),
+        )
+
+    # -- restart recovery ---------------------------------------------------
+    def _restore(self) -> None:
+        """Reload every non-terminal job from the store (crash restart)."""
+        for row in self.store.resumable_jobs():
+            grid = row["grid"]
+            specs = self.store.load_specs(grid)
+            points: dict[int, SweepPoint] = {}
+            try:
+                for idx, blob in specs:
+                    if blob is not None:
+                        points[idx] = pickle.loads(blob)
+            except Exception as exc:
+                _log.error("service.restore.unreadable", grid=grid[:16], error=str(exc))
+                continue
+            if len(points) != len(specs):
+                continue  # journal-imported job without specs: not resumable
+            job = self._activate(
+                grid, row["name"], row.get("tenant", ""), points, state=row["state"]
+            )
+            for idx in self.store.done_payloads(grid):
+                if idx in job.points:
+                    job.table.preload_done(idx)
+                    job.replayed += 1
+            self.store.record_event(grid, None, "restore")
+            self.flight.record("restore", grid=grid[:16], replayed=job.replayed)
+            _log.info(
+                "service.restore",
+                grid=grid[:16],
+                n_points=len(points),
+                replayed=job.replayed,
+            )
+            self._maybe_finalize(job)
+
+    def _activate(
+        self,
+        grid: str,
+        name: str,
+        tenant: str,
+        points: dict[int, SweepPoint],
+        state: str = JOB_SUBMITTED,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        capture: bool = True,
+    ) -> ServiceJob:
+        job = ServiceJob(
+            grid=grid,
+            name=name,
+            tenant=tenant,
+            points=dict(points),
+            table=LeaseTable(
+                points.keys(),
+                lease_seconds=self.lease_seconds,
+                poison_workers=self.poison_workers,
+                poison_failures=self.poison_failures,
+                clock=self.clock,
+                observer=lambda event, record, g=grid: self._on_transition(
+                    g, event, record
+                ),
+            ),
+            state=state,
+            timeout=timeout,
+            retries=retries,
+            capture=capture,
+        )
+        self.jobs[grid] = job
+        self._ring.append(grid)
+        return job
+
+    # -- lease-table plumbing ------------------------------------------------
+    def _on_transition(self, grid: str, event: str, record: PointRecord) -> None:
+        """Audit trail: lease transitions -> store events + flight ring."""
+        if event in ("lease", "reclaim", "requeue"):
+            self.store.record_event(grid, record.index, event, record.worker)
+        self.flight.record(event, grid=grid[:16], index=record.index, worker=record.worker)
+        if event == "reclaim":
+            _log.warning("lease.reclaim", grid=grid[:16], index=record.index,
+                         worker=record.worker)
+
+    def _maybe_finalize(self, job: ServiceJob) -> None:
+        """Move a drained job to its terminal state (immutable afterwards)."""
+        if job.state in JOB_TERMINAL or not job.table.done():
+            return
+        poisoned = list(job.table.poisoned())
+        job.state = JOB_POISONED if poisoned else JOB_DONE
+        self.store.set_job_state(job.grid, job.state)
+        try:
+            self._ring.remove(job.grid)
+        except ValueError:
+            pass
+        self.flight.record("job." + job.state, grid=job.grid[:16])
+        _log.info(
+            "job.terminal",
+            grid=job.grid[:16],
+            name=job.name,
+            state=job.state,
+            executed=job.executed,
+            replayed=job.replayed,
+        )
+
+    def _mark_running(self, job: ServiceJob) -> None:
+        if job.state == JOB_SUBMITTED:
+            job.state = JOB_RUNNING
+            self.store.set_job_state(job.grid, JOB_RUNNING)
+
+    # -- tenant lifecycle ----------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        points: Sequence[tuple[int, SweepPoint]],
+        tenant: str = "",
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        capture: bool = True,
+    ) -> dict:
+        """Register one named grid; idempotent by content signature."""
+        work = [(int(i), p) for i, p in points]
+        if not work:
+            raise SweepError("a submission needs at least one point")
+        grid = grid_signature(work)
+        existing = self.jobs.get(grid)
+        if existing is not None:
+            return {"grid": grid, "created": False, "state": existing.state,
+                    "n_points": len(existing.points)}
+        row = self.store.job(grid)
+        if row is not None:
+            # Known but not live: terminal, or restored-unresumable.
+            return {"grid": grid, "created": False, "state": row["state"],
+                    "n_points": row["n_points"]}
+        specs = [
+            (idx, pickle.dumps(point, protocol=pickle.HIGHEST_PROTOCOL))
+            for idx, point in work
+        ]
+        self.store.submit_job(grid, name=name, points=specs, tenant=tenant)
+        job = self._activate(
+            grid, name, tenant, dict(work),
+            timeout=timeout, retries=retries, capture=capture,
+        )
+        _log.info("job.submit", grid=grid[:16], name=name, tenant=tenant,
+                  n_points=len(work))
+        self.flight.record("submit", grid=grid[:16], name=name, n_points=len(work))
+        return {"grid": grid, "created": True, "state": job.state,
+                "n_points": len(work)}
+
+    def cancel(self, grid: str) -> str:
+        """Cancel one job; its leases are revoked, other jobs untouched."""
+        job = self.jobs.get(grid)
+        if job is None:
+            row = self.store.job(grid)
+            if row is None:
+                raise TransportError(f"unknown grid {grid[:16]}")
+            if row["state"] in (JOB_DONE, JOB_POISONED):
+                return TERMINAL
+            if row["state"] != JOB_CANCELLED:
+                self.store.set_job_state(grid, JOB_CANCELLED)
+            return CANCELLED
+        if job.state in (JOB_DONE, JOB_POISONED):
+            return TERMINAL
+        if job.state != JOB_CANCELLED:
+            job.state = JOB_CANCELLED
+            self.store.set_job_state(grid, JOB_CANCELLED)
+            try:
+                self._ring.remove(grid)
+            except ValueError:
+                pass
+            self.flight.record("cancel", grid=grid[:16], name=job.name)
+            _log.info("job.cancel", grid=grid[:16], name=job.name)
+        return CANCELLED
+
+    # -- command dispatch ----------------------------------------------------
+    def _dispatch(self, name: str, args: list) -> bytes:
+        if name == "PING":
+            return resp.encode_simple("PONG")
+        if name == "HELLO":
+            self._need(args, 2, "HELLO")
+            return self._handle_hello(_text(args[0]), _text(args[1]))
+        if name == "CLAIM":
+            self._need(args, 1, "CLAIM")
+            return self._handle_claim(_text(args[0]))
+        if name == "RENEW":
+            if len(args) not in (2, 3):
+                raise TransportError("wrong number of arguments for 'RENEW'")
+            grid = _text(args[2]) if len(args) == 3 else None
+            return self._handle_renew(_text(args[0]), _index(args[1]), grid)
+        if name == "DONE":
+            self._need(args, 4, "DONE")
+            return self._handle_done(
+                _text(args[0]), _index(args[1]), _text(args[2]), bytes(args[3])
+            )
+        if name == "FAIL":
+            self._need(args, 4, "FAIL")
+            return self._handle_fail(
+                _text(args[0]), _index(args[1]), _text(args[2]), _text(args[3])
+            )
+        if name == "SUBMIT":
+            self._need(args, 1, "SUBMIT")
+            return self._handle_submit(bytes(args[0]))
+        if name == "CANCEL":
+            self._need(args, 1, "CANCEL")
+            return resp.encode_simple(self.cancel(_text(args[0])))
+        if name == "RESULTS":
+            self._need(args, 1, "RESULTS")
+            return self._handle_results(_text(args[0]))
+        if name == "JOBS":
+            rows = [
+                {k: v for k, v in row.items()}
+                for row in self.store.jobs()
+            ]
+            return resp.encode_bulk(json.dumps(rows, sort_keys=True).encode())
+        if name == "STATUS":
+            if len(args) not in (0, 1):
+                raise TransportError("wrong number of arguments for 'STATUS'")
+            grid = _text(args[0]) if args else None
+            return resp.encode_bulk(
+                json.dumps(self.status(grid), sort_keys=True).encode()
+            )
+        if name == "METRICS":
+            return resp.encode_bulk(prometheus_exposition(self.status()).encode())
+        if name == "SPANS":
+            self._need(args, 2, "SPANS")
+            return self._handle_spans(_text(args[0]), _text(args[1]))
+        raise TransportError(f"unknown command '{name}'")
+
+    def _handle_hello(self, worker: str, caps_json: str) -> bytes:
+        try:
+            caps = json.loads(caps_json) if caps_json else {}
+        except ValueError:
+            raise TransportError("HELLO capabilities must be JSON") from None
+        version = str(caps.get("version", ""))
+        if version and version != __version__:
+            raise TransportError(
+                f"version mismatch: service {__version__}, worker {version}"
+            )
+        entry = self.workers.setdefault(
+            worker, {"claimed": 0, "completed": 0, "failed": 0, "track": f"worker {worker}"}
+        )
+        host, pid = caps.get("host"), caps.get("pid")
+        if host is not None and pid is not None:
+            entry["track"] = f"worker {host}:{pid}"
+        remaining = sum(job.table.remaining() for job in self._active_jobs())
+        info = GridInfo(
+            grid=MULTI_GRID,
+            n_points=sum(len(j.points) for j in self._active_jobs()),
+            lease_seconds=self.lease_seconds,
+            version=__version__,
+            remaining=remaining,
+            extra={"service": True, "jobs": len(list(self._active_jobs()))},
+        )
+        self.flight.record("hello", worker=worker, host=host, pid=pid)
+        return resp.encode_bulk(json.dumps(info.as_dict(), sort_keys=True).encode())
+
+    def _active_jobs(self):
+        for grid in list(self._ring):
+            job = self.jobs.get(grid)
+            if job is not None and job.state in (JOB_SUBMITTED, JOB_RUNNING):
+                yield job
+
+    def _handle_claim(self, worker: str) -> bytes:
+        if self._stop_serving:
+            return resp.encode_simple(DRAINED)
+        active = [j for j in self._active_jobs() if not j.table.done()]
+        if not active:
+            # Nothing claimable anywhere. DRAINED only when there are no
+            # live jobs at all — a service with an empty moment is not
+            # finished, so idle workers should poll, not leave.
+            if not self.jobs or all(
+                j.state in JOB_TERMINAL or j.state == JOB_CANCELLED
+                for j in self.jobs.values()
+            ):
+                return resp.encode_simple(DRAINED)
+            return resp.encode_bulk(None)
+        # Fair share: try each active job once, starting at the ring head,
+        # and rotate the ring so the *next* claim starts at the next tenant.
+        for _ in range(len(self._ring)):
+            grid = self._ring[0]
+            self._ring.rotate(-1)
+            job = self.jobs.get(grid)
+            if job is None or job.state not in (JOB_SUBMITTED, JOB_RUNNING):
+                continue
+            index = job.table.claim(worker)
+            if index is None:
+                continue
+            self._mark_running(job)
+            entry = self.workers.setdefault(
+                worker, {"claimed": 0, "completed": 0, "failed": 0}
+            )
+            entry["claimed"] += 1
+            self._rates.setdefault(worker, EwmaRate()).mark_active(self.clock())
+            assignment = Assignment(
+                index=index,
+                point=job.points[index],
+                lease_seconds=self.lease_seconds,
+                timeout=job.timeout,
+                retries=job.retries,
+                capture=job.capture,
+                grid=job.grid,
+                trace_id=job.trace_id,
+                span_id=f"{index}/{job.table.records[index].leases}",
+            )
+            return resp.encode_bulk(assignment.to_bytes())
+        return resp.encode_bulk(None)
+
+    def _handle_renew(self, worker: str, index: int, grid: Optional[str]) -> bytes:
+        if grid is not None:
+            job = self.jobs.get(grid)
+            if job is None or job.state == JOB_CANCELLED:
+                return resp.encode_integer(0)
+            return resp.encode_integer(int(job.table.renew(worker, index)))
+        # v3 arity: no grid named. Unambiguous only if exactly one live
+        # job has this (index, worker) lease — otherwise refuse renewal
+        # (the worker finishes and resubmits; DONE still routes by grid).
+        held = [
+            job
+            for job in self._active_jobs()
+            if index in job.table.records
+            and job.table.records[index].state is PointState.LEASED
+            and job.table.records[index].worker == worker
+        ]
+        if len(held) != 1:
+            return resp.encode_integer(0)
+        return resp.encode_integer(int(held[0].table.renew(worker, index)))
+
+    def _handle_done(self, worker: str, index: int, grid: str, blob: bytes) -> bytes:
+        job = self.jobs.get(grid)
+        if job is None or job.state == JOB_CANCELLED:
+            # Unknown grid (another service's work, or a journal-era
+            # leftover) or a cancelled tenant: acknowledge so the worker
+            # moves on, record nothing.
+            self.stale_grid += 1
+            return resp.encode_simple(STALE)
+        if index not in job.points:
+            raise TransportError(f"unknown point index {index}")
+        record = job.table.records[index]
+        if record.state in (PointState.DONE, PointState.POISONED):
+            self.duplicates += 1
+            return resp.encode_simple("DUPLICATE")
+        try:
+            load_result(blob)  # validate before committing garbage
+        except Exception as exc:
+            raise TransportError(
+                f"unreadable result for point {index}: {exc}"
+            ) from None
+        # Durability before acknowledgment: commit (fsync) to the store,
+        # then ack — a +OK'd result survives a SIGKILL of this process.
+        self.store.record_done(grid, index, blob, worker=worker)
+        job.table.complete(worker, index)
+        job.executed += 1
+        entry = self.workers.setdefault(
+            worker, {"claimed": 0, "completed": 0, "failed": 0}
+        )
+        entry["completed"] += 1
+        self._rates.setdefault(worker, EwmaRate()).observe(self.clock())
+        self._maybe_finalize(job)
+        return resp.encode_simple("OK")
+
+    def _handle_fail(self, worker: str, index: int, grid: str, info_json: str) -> bytes:
+        job = self.jobs.get(grid)
+        if job is None or job.state == JOB_CANCELLED:
+            self.stale_grid += 1
+            return resp.encode_simple(STALE)
+        if index not in job.points:
+            raise TransportError(f"unknown point index {index}")
+        record = job.table.records[index]
+        if record.state in (PointState.DONE, PointState.POISONED):
+            self.duplicates += 1
+            return resp.encode_simple("DUPLICATE")
+        try:
+            info = json.loads(info_json) if info_json else {}
+        except ValueError:
+            raise TransportError("FAIL payload must be JSON") from None
+        failure = FailureRecord.from_dict({**info, "worker": worker})
+        state = job.table.fail(worker, index, failure)
+        entry = self.workers.setdefault(
+            worker, {"claimed": 0, "completed": 0, "failed": 0}
+        )
+        entry["failed"] += 1
+        if state is PointState.POISONED:
+            failures = [f.as_dict() for f in job.table.records[index].failures]
+            self.store.record_poisoned(grid, index, failures)
+            self._maybe_finalize(job)
+            return resp.encode_simple("POISONED")
+        if state is PointState.QUEUED:
+            job.requeues += 1
+        return resp.encode_simple("REQUEUED")
+
+    def _handle_submit(self, blob: bytes) -> bytes:
+        payload = load_submission(blob)
+        reply = self.submit(
+            payload["name"],
+            payload["points"],
+            tenant=payload.get("tenant", ""),
+            timeout=payload.get("timeout"),
+            retries=int(payload.get("retries", 1)),
+            capture=bool(payload.get("capture", True)),
+        )
+        return resp.encode_bulk(json.dumps(reply, sort_keys=True).encode())
+
+    def _handle_results(self, grid: str) -> bytes:
+        job = self.jobs.get(grid)
+        if job is not None:
+            state = job.state
+        else:
+            row = self.store.job(grid)
+            if row is None:
+                raise TransportError(f"unknown grid {grid[:16]}")
+            state = row["state"]
+        payloads = self.store.done_payloads(grid)
+        poisoned = self.store.poisoned_points(grid)
+        return resp.encode_bulk(dump_results_reply(state, payloads, poisoned))
+
+    def _handle_spans(self, worker: str, spans_json: str) -> bytes:
+        spans = load_spans(spans_json)
+        track = self.workers.get(worker, {}).get("track") or f"worker {worker}"
+        for span in spans:
+            self.fleet.add_span(
+                span["name"],
+                span["start"],
+                span["end"] - span["start"],
+                category=span["category"],
+                pid=track,
+                tid=span["tid"],
+                **span["args"],
+            )
+        self._spans_accepted += len(spans)
+        return resp.encode_integer(len(spans))
+
+    # -- status --------------------------------------------------------------
+    def _job_status(self, job: ServiceJob) -> dict:
+        return {
+            "grid": job.grid,
+            "name": job.name,
+            "tenant": job.tenant,
+            "state": job.state,
+            "n_points": len(job.points),
+            "remaining": job.table.remaining(),
+            "counts": job.table.counts(),
+            "reclaims": job.table.reclaims,
+            "requeues": job.requeues,
+            "executed": job.executed,
+            "replayed": job.replayed,
+            "poisoned_points": sorted(r.index for r in job.table.poisoned()),
+        }
+
+    def status(self, grid: Optional[str] = None) -> dict:
+        """One job's status, or the aggregate (watch-compatible) document."""
+        if grid:
+            job = self.jobs.get(grid)
+            if job is not None:
+                return self._job_status(job)
+            row = self.store.job(grid)
+            if row is None:
+                raise TransportError(f"unknown grid {grid[:16]}")
+            counts = self.store.point_counts(grid)
+            return {
+                "grid": grid,
+                "name": row["name"],
+                "tenant": row.get("tenant", ""),
+                "state": row["state"],
+                "n_points": row["n_points"],
+                "remaining": row["n_points"] - counts.get("done", 0)
+                - counts.get("poisoned", 0),
+                "counts": counts,
+                "poisoned_points": sorted(self.store.poisoned_points(grid)),
+            }
+        live = list(self.jobs.values())
+        counts = {"queued": 0, "leased": 0, "done": 0, "poisoned": 0}
+        poisoned_points: list[int] = []
+        for job in live:
+            for state, n in job.table.counts().items():
+                counts[state] = counts.get(state, 0) + n
+            poisoned_points.extend(r.index for r in job.table.poisoned())
+        now = self.clock()
+        lease_age: dict[str, float] = {}
+        for job in live:
+            for record in job.table.records.values():
+                if record.state is PointState.LEASED and record.worker is not None:
+                    age = max(
+                        0.0, self.lease_seconds - (record.deadline - now)
+                    )
+                    lease_age[record.worker] = max(
+                        lease_age.get(record.worker, 0.0), age
+                    )
+        rates = {
+            worker: {
+                "points_per_second": rate.current(now),
+                "lease_age_seconds": lease_age.get(worker),
+            }
+            for worker, rate in self._rates.items()
+        }
+        return {
+            "grid": MULTI_GRID,
+            "service": True,
+            "n_points": sum(len(j.points) for j in live),
+            "remaining": sum(j.table.remaining() for j in live),
+            "counts": counts,
+            "reclaims": sum(j.table.reclaims for j in live),
+            "requeues": sum(j.requeues for j in live),
+            "executed": sum(j.executed for j in live),
+            "replayed": sum(j.replayed for j in live),
+            "poisoned_points": sorted(poisoned_points),
+            "workers": {
+                w: {k: v for k, v in entry.items() if k != "capabilities"}
+                for w, entry in self.workers.items()
+            },
+            "rates": rates,
+            "jobs": {
+                job.grid: self._job_status(job) for job in live
+            },
+        }
+
+    # -- serving --------------------------------------------------------------
+    def request_stop(self) -> None:
+        self._stop_serving = True
+
+    def serve_forever(self, poll: float = 0.1) -> dict:
+        """Run until :meth:`request_stop` (SIGTERM); returns a summary.
+
+        Unlike the coordinator, draining all jobs does *not* end the
+        loop — a service waits for the next tenant. The periodic tick
+        reclaims expired leases across every live job so work stealing
+        happens even when no worker is polling.
+        """
+        if not self.is_running:
+            self.start()
+        try:
+            while not self._stop_serving:
+                with self._exec_lock:
+                    for job in list(self._active_jobs()):
+                        job.table.reclaim_expired()
+                        self._maybe_finalize(job)
+                time.sleep(poll)
+        except BaseException:
+            maybe_dump(self.flight, self.flight_path, "crash")
+            raise
+        maybe_dump(self.flight, self.flight_path, "drain")
+        summary = {
+            "jobs": {g: j.state for g, j in self.jobs.items()},
+            "stale_grid": self.stale_grid,
+            "duplicates": self.duplicates,
+            "spans": self._spans_accepted,
+        }
+        _log.info("service.closed", jobs=len(self.jobs))
+        return summary
+
+    def write_fleet_trace(self, path: str | Path) -> int:
+        from repro.telemetry.chrome_trace import write_chrome_trace
+
+        with self._exec_lock:
+            return write_chrome_trace(path, tracer=self.fleet)
+
+    def stop(self) -> None:
+        self.request_stop()
+        super().stop()
+        if self._owns_store:
+            self.store.close()
+
+
+class ServiceClient:
+    """Tenant-side client: SUBMIT/STATUS/CANCEL/RESULTS/JOBS over RESP.
+
+    Every exchange is one short-lived request with a request-scoped
+    timeout, retried across reconnects with seeded backoff — the client
+    rides out a service SIGKILL + restart exactly like a worker does.
+    All commands it issues are idempotent (SUBMIT by content signature,
+    the rest read-only or terminal-state-absorbing), so blind retry is
+    safe.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        op_timeout: float = 30.0,
+        reconnect_budget: float = 30.0,
+        seed: int = 0,
+    ) -> None:
+        self.host, self.port = parse_hostport(address)
+        self.address = address
+        self.op_timeout = op_timeout
+        self.reconnect_budget = reconnect_budget
+        self._rng = np.random.default_rng(derive_seed(seed, "service-client", address))
+
+    def _command(self, *parts) -> Any:
+        deadline = time.monotonic() + self.reconnect_budget
+        attempt = 0
+        while True:
+            conn = None
+            try:
+                conn = MiniRedisConnection(self.host, self.port, timeout=self.op_timeout)
+                return conn.command(*parts)
+            except BackendUnavailableError:
+                if time.monotonic() >= deadline:
+                    raise
+                attempt += 1
+                delay = min(0.1 * (2 ** min(attempt, 5)), 2.0)
+                time.sleep(delay * (0.5 + float(self._rng.random())))
+            finally:
+                if conn is not None:
+                    conn.close()
+
+    def ping(self) -> bool:
+        return str(self._command("PING")) == "PONG"
+
+    def submit(
+        self,
+        name: str,
+        points: Sequence[tuple[int, SweepPoint]],
+        tenant: str = "",
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        capture: bool = True,
+    ) -> dict:
+        blob = dump_submission(
+            name, points, tenant=tenant, timeout=timeout,
+            retries=retries, capture=capture,
+        )
+        reply = self._command("SUBMIT", blob)
+        return json.loads(reply) if reply else {}
+
+    def status(self, grid: Optional[str] = None) -> dict:
+        reply = (
+            self._command("STATUS", grid) if grid else self._command("STATUS")
+        )
+        status = json.loads(reply) if reply else None
+        if not isinstance(status, dict):
+            raise SweepError(f"malformed STATUS reply from {self.address}")
+        return status
+
+    def cancel(self, grid: str) -> str:
+        return str(self._command("CANCEL", grid))
+
+    def jobs(self) -> list[dict]:
+        reply = self._command("JOBS")
+        rows = json.loads(reply) if reply else []
+        return rows if isinstance(rows, list) else []
+
+    def results(self, grid: str, decode: bool = True) -> dict:
+        """The job's state + results: ``{"state", "results", "poisoned"}``.
+
+        With ``decode`` the per-point wire payloads are unpickled into
+        ``{index: (value, snapshot)}``; without it the raw payload bytes
+        come back verbatim (byte-identity checks).
+        """
+        reply = self._command("RESULTS", grid)
+        payload = load_results_reply(bytes(reply))
+        out = {"state": payload["state"], "poisoned": payload.get("poisoned", {})}
+        if decode:
+            out["results"] = {
+                idx: load_result(blob) for idx, blob in payload["payloads"].items()
+            }
+        else:
+            out["results"] = dict(payload["payloads"])
+        return out
+
+    def wait(
+        self,
+        grid: str,
+        poll: float = 0.25,
+        timeout: Optional[float] = None,
+        decode: bool = True,
+    ) -> dict:
+        """Block until the job reaches a terminal state; returns results."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(grid)
+            if status.get("state") in JOB_TERMINAL:
+                return self.results(grid, decode=decode)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise SweepError(
+                    f"job {grid[:16]} still {status.get('state')!r} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll)
+
+
+def run_service_process(
+    address: str,
+    store_path: str | Path,
+    lease_seconds: float = 5.0,
+    flight_path: Optional[str] = None,
+    poll: float = 0.1,
+    max_frame_bytes: Optional[int] = None,
+) -> int:
+    """Entry point for ``repro sweep --service`` (standalone service).
+
+    Installs a SIGTERM handler for graceful drain; SIGKILL is the crash
+    path the store exists for. Returns 0 on clean shutdown, 1 when the
+    store is unusable.
+    """
+    import signal
+    import sys
+
+    host, port = parse_hostport(address)
+    try:
+        service = SweepService(
+            store_path,
+            host=host,
+            port=port,
+            lease_seconds=lease_seconds,
+            flight_path=flight_path,
+            max_frame_bytes=max_frame_bytes,
+        )
+    except SweepStoreError as exc:
+        print(f"sweep service: {exc}", file=sys.stderr)
+        return 1
+    previous = None
+    if hasattr(signal, "SIGTERM"):
+        previous = signal.signal(
+            signal.SIGTERM, lambda signum, frame: service.request_stop()
+        )
+    print(
+        f"sweep service on {service.host}:{service.port} "
+        f"(store {service.store.path}, {len(service.jobs)} jobs restored)",
+        file=sys.stderr,
+    )
+    try:
+        service.serve_forever(poll=poll)
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        service.stop()
+    return 0
+
+
+def _text(arg: Any) -> str:
+    if isinstance(arg, (bytes, bytearray)):
+        return bytes(arg).decode("utf-8", "replace")
+    return str(arg)
+
+
+def _index(arg: Any) -> int:
+    try:
+        return int(_text(arg))
+    except ValueError:
+        raise TransportError(f"bad point index {arg!r}") from None
+
+
+__all__ = [
+    "ServiceClient",
+    "ServiceJob",
+    "SweepService",
+    "run_service_process",
+]

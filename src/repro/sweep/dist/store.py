@@ -1,0 +1,676 @@
+"""SQLite-backed job/results/telemetry store for the sweep service.
+
+This replaces the append-only per-grid journal + ``history.jsonl`` pair
+with one queryable database per service (or per cache directory). The
+durability contract is the same as the journal's — a completed point is
+committed *before* its worker is acknowledged, so a SIGKILLed service
+restarted against the same file serves every acknowledged result from
+disk — but the store additionally survives *multi-tenant* workloads:
+many named grids live side by side, keyed by their content signature,
+and "all fig6 points ever run, any version" is one indexed query.
+
+Concurrency model — **single writer thread**:
+
+Every SQLite operation (reads included) funnels through one dedicated
+thread that owns the only connection. Callers enqueue a closure and
+block until the writer commits it; exceptions propagate back to the
+caller. This gives the service the same no-locking simplicity the RESP
+dispatch lock gives the coordinator, makes write ordering identical to
+call ordering (the crash-recovery tests rely on that prefix property),
+and sidesteps SQLite's cross-thread connection rules entirely.
+
+Durability and torn-write recovery:
+
+* ``journal_mode=WAL`` + ``synchronous=FULL`` — committed transactions
+  survive power loss, and readers never block the writer;
+* every mutating call is one transaction — a crash mid-call (any fsync
+  boundary) rolls back on the next open, so the job table is always a
+  *prefix* of the call sequence: no half-applied DONE, ever;
+* :meth:`SweepStore.open` runs SQLite's own WAL/hot-journal recovery,
+  then ``PRAGMA quick_check`` — real corruption (not just a torn tail)
+  raises :class:`~repro.errors.SweepStoreError` instead of silently
+  serving damaged results;
+* the ``meta`` table carries ``schema_version`` so future schema changes
+  migrate explicitly instead of guessing from table shapes.
+
+Schema (version 1)::
+
+    meta    (key PRIMARY KEY, value)
+    jobs    (grid PRIMARY KEY, name, tenant, n_points, state,
+             version, created, updated)
+    points  (grid, idx PRIMARY KEY(grid, idx), state, worker,
+             spec BLOB, payload BLOB, failures TEXT, updated)
+    events  (seq AUTOINCREMENT, grid, idx, event, worker, time)
+    history (seq AUTOINCREMENT, time, hits, misses, stores,
+             invalid, hit_rate)
+
+``points.spec`` holds the pickled :class:`~repro.sweep.point.SweepPoint`
+so a restarted service can re-serve unfinished jobs without the tenant
+resubmitting; ``points.payload`` holds the pickled (value, snapshot)
+wire blob exactly as the worker shipped it, which is what makes restart
+results byte-identical. Jobs imported from legacy journals have no specs
+(the journal never stored them) — they are queryable but not resumable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import SweepStoreError
+from repro.version import __version__
+
+#: Bump when the schema changes shape; ``meta.schema_version`` gates it.
+SCHEMA_VERSION = 1
+
+#: Default store filename inside a cache or service directory.
+STORE_FILENAME = "store.sqlite"
+
+#: Job lifecycle states (see ARCHITECTURE.md for the state machine).
+JOB_SUBMITTED = "submitted"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_CANCELLED = "cancelled"
+JOB_POISONED = "poisoned"
+JOB_TERMINAL = frozenset({JOB_DONE, JOB_CANCELLED, JOB_POISONED})
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    grid     TEXT PRIMARY KEY,
+    name     TEXT NOT NULL,
+    tenant   TEXT NOT NULL DEFAULT '',
+    n_points INTEGER NOT NULL,
+    state    TEXT NOT NULL,
+    version  TEXT NOT NULL DEFAULT '',
+    created  REAL NOT NULL,
+    updated  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS points (
+    grid     TEXT NOT NULL,
+    idx      INTEGER NOT NULL,
+    state    TEXT NOT NULL DEFAULT 'queued',
+    worker   TEXT,
+    spec     BLOB,
+    payload  BLOB,
+    failures TEXT,
+    updated  REAL NOT NULL,
+    PRIMARY KEY (grid, idx)
+);
+CREATE INDEX IF NOT EXISTS points_by_state ON points (grid, state);
+CREATE TABLE IF NOT EXISTS events (
+    seq    INTEGER PRIMARY KEY AUTOINCREMENT,
+    grid   TEXT NOT NULL,
+    idx    INTEGER,
+    event  TEXT NOT NULL,
+    worker TEXT,
+    time   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS events_by_grid ON events (grid, seq);
+CREATE TABLE IF NOT EXISTS history (
+    seq      INTEGER PRIMARY KEY AUTOINCREMENT,
+    time     REAL NOT NULL,
+    hits     INTEGER NOT NULL DEFAULT 0,
+    misses   INTEGER NOT NULL DEFAULT 0,
+    stores   INTEGER NOT NULL DEFAULT 0,
+    invalid  INTEGER NOT NULL DEFAULT 0,
+    hit_rate REAL NOT NULL DEFAULT 0.0
+);
+"""
+
+_CLOSE = object()
+
+
+class SweepStore:
+    """One SQLite file, one writer thread, many tenants' jobs."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        wall: Callable[[], float] = time.time,
+        _crash_op: Optional[int] = None,
+        _crash_mode: str = "after_commit",
+    ) -> None:
+        """Open (creating and/or recovering) the store at ``path``.
+
+        ``_crash_op``/``_crash_mode`` are crash-test hooks: the writer
+        thread ``os._exit``\\ s the whole process before or after the
+        commit of the Nth *mutating* call. They exist so the recovery
+        property tests can kill a real writer at every fsync boundary;
+        production code never sets them.
+        """
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.wall = wall
+        self._crash_op = _crash_op
+        self._crash_mode = _crash_mode
+        self._mutations = 0
+        self._ops: queue.Queue = queue.Queue()
+        self._open_error: Optional[BaseException] = None
+        self._opened = threading.Event()
+        self._writer = threading.Thread(
+            target=self._writer_loop, name=f"sweep-store-{self.path.name}", daemon=True
+        )
+        self._writer.start()
+        self._opened.wait()
+        if self._open_error is not None:
+            raise SweepStoreError(
+                f"cannot open sweep store {self.path}: {self._open_error}"
+            ) from self._open_error
+
+    # -- writer thread ------------------------------------------------------
+    def _writer_loop(self) -> None:
+        try:
+            conn = self._open_connection()
+        except BaseException as exc:
+            self._open_error = exc
+            self._opened.set()
+            return
+        self._opened.set()
+        while True:
+            item = self._ops.get()
+            if item is _CLOSE:
+                break
+            fn, mutate, box, done = item
+            try:
+                box["value"] = fn(conn)
+                if mutate:
+                    self._mutations += 1
+                    if (
+                        self._crash_op is not None
+                        and self._mutations >= self._crash_op
+                        and self._crash_mode == "before_commit"
+                    ):
+                        os._exit(86)  # crash-test hook: die mid-transaction
+                    conn.commit()
+                    if (
+                        self._crash_op is not None
+                        and self._mutations >= self._crash_op
+                        and self._crash_mode == "after_commit"
+                    ):
+                        os._exit(86)  # crash-test hook: die post-fsync
+            except BaseException as exc:  # propagate to the caller
+                try:
+                    conn.rollback()
+                except sqlite3.Error:
+                    pass
+                box["error"] = exc
+            finally:
+                done.set()
+        try:
+            conn.commit()
+        except sqlite3.Error:
+            pass
+        conn.close()
+
+    def _open_connection(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path))
+        conn.row_factory = sqlite3.Row
+        # WAL + FULL: committed transactions survive power loss, and the
+        # implicit open already rolled back any hot journal / replayed
+        # the WAL (SQLite's own torn-write recovery).
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.Error:
+            pass  # e.g. network filesystems; rollback journal still recovers
+        conn.execute("PRAGMA synchronous=FULL")
+        check = conn.execute("PRAGMA quick_check").fetchone()[0]
+        if check != "ok":
+            conn.close()
+            raise SweepStoreError(f"integrity check failed: {check}")
+        conn.executescript(_SCHEMA)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        else:
+            found = int(row[0])
+            if found > SCHEMA_VERSION:
+                conn.close()
+                raise SweepStoreError(
+                    f"store schema v{found} is newer than this code (v{SCHEMA_VERSION})"
+                )
+            # found < SCHEMA_VERSION: apply migrations here when v2 exists.
+        conn.commit()
+        return conn
+
+    def _call(self, fn: Callable[[sqlite3.Connection], Any], mutate: bool = False) -> Any:
+        """Run ``fn(conn)`` on the writer thread and return its result."""
+        if not self._writer.is_alive():
+            raise SweepStoreError(f"sweep store {self.path} is closed")
+        box: dict[str, Any] = {}
+        done = threading.Event()
+        self._ops.put((fn, mutate, box, done))
+        done.wait()
+        if "error" in box:
+            error = box["error"]
+            if isinstance(error, sqlite3.Error):
+                raise SweepStoreError(f"sweep store {self.path}: {error}") from error
+            raise error
+        return box.get("value")
+
+    def close(self) -> None:
+        if self._writer.is_alive():
+            self._ops.put(_CLOSE)
+            self._writer.join(timeout=10.0)
+
+    def __enter__(self) -> "SweepStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- jobs ---------------------------------------------------------------
+    def submit_job(
+        self,
+        grid: str,
+        name: str,
+        points: Sequence[tuple[int, Optional[bytes]]],
+        tenant: str = "",
+        version: str = __version__,
+    ) -> bool:
+        """Create a job and its point rows; False if it already exists.
+
+        Idempotent by grid signature: resubmitting the same grid (same
+        content, same code version — the signature embeds both) is a
+        no-op that leaves every recorded result in place, so a tenant
+        retrying a SUBMIT across a service restart can never fork a job.
+        """
+        now = self.wall()
+
+        def op(conn: sqlite3.Connection) -> bool:
+            exists = conn.execute(
+                "SELECT 1 FROM jobs WHERE grid = ?", (grid,)
+            ).fetchone()
+            if exists:
+                return False
+            conn.execute(
+                "INSERT INTO jobs (grid, name, tenant, n_points, state, version,"
+                " created, updated) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (grid, name, tenant, len(points), JOB_SUBMITTED, version, now, now),
+            )
+            conn.executemany(
+                "INSERT INTO points (grid, idx, state, spec, updated)"
+                " VALUES (?, ?, 'queued', ?, ?)",
+                [(grid, idx, spec, now) for idx, spec in points],
+            )
+            conn.execute(
+                "INSERT INTO events (grid, idx, event, worker, time)"
+                " VALUES (?, NULL, 'submit', ?, ?)",
+                (grid, tenant, now),
+            )
+            return True
+
+        return bool(self._call(op, mutate=True))
+
+    def set_job_state(self, grid: str, state: str) -> None:
+        now = self.wall()
+
+        def op(conn: sqlite3.Connection) -> None:
+            conn.execute(
+                "UPDATE jobs SET state = ?, updated = ? WHERE grid = ?",
+                (state, now, grid),
+            )
+            conn.execute(
+                "INSERT INTO events (grid, idx, event, worker, time)"
+                " VALUES (?, NULL, ?, NULL, ?)",
+                (grid, f"state:{state}", now),
+            )
+
+        self._call(op, mutate=True)
+
+    def job(self, grid: str) -> Optional[dict]:
+        def op(conn: sqlite3.Connection):
+            row = conn.execute("SELECT * FROM jobs WHERE grid = ?", (grid,)).fetchone()
+            return dict(row) if row is not None else None
+
+        return self._call(op)
+
+    def jobs(self, name: Optional[str] = None) -> list[dict]:
+        """All jobs (optionally filtered by name), newest first."""
+
+        def op(conn: sqlite3.Connection):
+            if name is None:
+                rows = conn.execute(
+                    "SELECT * FROM jobs ORDER BY created DESC"
+                ).fetchall()
+            else:
+                rows = conn.execute(
+                    "SELECT * FROM jobs WHERE name = ? ORDER BY created DESC",
+                    (name,),
+                ).fetchall()
+            return [dict(r) for r in rows]
+
+        return self._call(op)
+
+    def resumable_jobs(self) -> list[dict]:
+        """Non-terminal jobs whose point specs survived (restart set)."""
+
+        def op(conn: sqlite3.Connection):
+            rows = conn.execute(
+                "SELECT * FROM jobs WHERE state IN (?, ?) ORDER BY created",
+                (JOB_SUBMITTED, JOB_RUNNING),
+            ).fetchall()
+            out = []
+            for row in rows:
+                missing = conn.execute(
+                    "SELECT COUNT(*) FROM points WHERE grid = ? AND spec IS NULL"
+                    " AND state != 'done'",
+                    (row["grid"],),
+                ).fetchone()[0]
+                if missing == 0:
+                    out.append(dict(row))
+            return out
+
+        return self._call(op)
+
+    # -- points -------------------------------------------------------------
+    def record_done(
+        self, grid: str, idx: int, payload: bytes, worker: Optional[str] = None
+    ) -> bool:
+        """Durably persist one completed point; False if already done.
+
+        The commit (and its fsync) happens before this returns — the
+        service only acknowledges the worker afterwards, so an
+        acknowledged result is never lost to a crash.
+        """
+        now = self.wall()
+
+        def op(conn: sqlite3.Connection) -> bool:
+            cursor = conn.execute(
+                "UPDATE points SET state = 'done', payload = ?, worker = ?,"
+                " failures = NULL, updated = ? WHERE grid = ? AND idx = ?"
+                " AND state != 'done'",
+                (payload, worker, now, grid, idx),
+            )
+            if cursor.rowcount == 0:
+                return False
+            conn.execute(
+                "INSERT INTO events (grid, idx, event, worker, time)"
+                " VALUES (?, ?, 'done', ?, ?)",
+                (grid, idx, worker, now),
+            )
+            return True
+
+        return bool(self._call(op, mutate=True))
+
+    def record_poisoned(self, grid: str, idx: int, failures: list[dict]) -> None:
+        now = self.wall()
+
+        def op(conn: sqlite3.Connection) -> None:
+            conn.execute(
+                "UPDATE points SET state = 'poisoned', failures = ?, updated = ?"
+                " WHERE grid = ? AND idx = ? AND state != 'done'",
+                (json.dumps(failures, sort_keys=True), now, grid, idx),
+            )
+            conn.execute(
+                "INSERT INTO events (grid, idx, event, worker, time)"
+                " VALUES (?, ?, 'poisoned', NULL, ?)",
+                (grid, idx, now),
+            )
+
+        self._call(op, mutate=True)
+
+    def record_event(
+        self, grid: str, idx: Optional[int], event: str, worker: Optional[str] = None
+    ) -> None:
+        """Audit-trail entry (lease/reclaim/requeue/cancel...)."""
+        now = self.wall()
+        self._call(
+            lambda conn: conn.execute(
+                "INSERT INTO events (grid, idx, event, worker, time)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (grid, idx, event, worker, now),
+            ),
+            mutate=True,
+        )
+
+    def done_payloads(self, grid: str) -> dict[int, bytes]:
+        """idx -> wire payload for every completed point of ``grid``."""
+
+        def op(conn: sqlite3.Connection):
+            rows = conn.execute(
+                "SELECT idx, payload FROM points WHERE grid = ? AND state = 'done'",
+                (grid,),
+            ).fetchall()
+            return {int(r["idx"]): r["payload"] for r in rows if r["payload"] is not None}
+
+        return self._call(op)
+
+    def poisoned_points(self, grid: str) -> dict[int, list[dict]]:
+        def op(conn: sqlite3.Connection):
+            rows = conn.execute(
+                "SELECT idx, failures FROM points WHERE grid = ?"
+                " AND state = 'poisoned'",
+                (grid,),
+            ).fetchall()
+            out: dict[int, list[dict]] = {}
+            for row in rows:
+                try:
+                    out[int(row["idx"])] = json.loads(row["failures"] or "[]")
+                except ValueError:
+                    out[int(row["idx"])] = []
+            return out
+
+        return self._call(op)
+
+    def point_counts(self, grid: str) -> dict[str, int]:
+        def op(conn: sqlite3.Connection):
+            rows = conn.execute(
+                "SELECT state, COUNT(*) AS n FROM points WHERE grid = ?"
+                " GROUP BY state",
+                (grid,),
+            ).fetchall()
+            return {str(r["state"]): int(r["n"]) for r in rows}
+
+        return self._call(op)
+
+    def load_specs(self, grid: str) -> list[tuple[int, Optional[bytes]]]:
+        """(idx, pickled SweepPoint) for every point row of ``grid``."""
+
+        def op(conn: sqlite3.Connection):
+            rows = conn.execute(
+                "SELECT idx, spec FROM points WHERE grid = ? ORDER BY idx",
+                (grid,),
+            ).fetchall()
+            return [(int(r["idx"]), r["spec"]) for r in rows]
+
+        return self._call(op)
+
+    # -- history ------------------------------------------------------------
+    def record_history(self, record: dict) -> None:
+        """Append one cache hit/miss record (ResultCache.record_history)."""
+
+        def op(conn: sqlite3.Connection) -> None:
+            conn.execute(
+                "INSERT INTO history (time, hits, misses, stores, invalid, hit_rate)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    float(record.get("time", self.wall())),
+                    int(record.get("hits", 0)),
+                    int(record.get("misses", 0)),
+                    int(record.get("stores", 0)),
+                    int(record.get("invalid", 0)),
+                    float(record.get("hit_rate", 0.0)),
+                ),
+            )
+
+        self._call(op, mutate=True)
+
+    def history(self, limit: int = 20) -> list[dict]:
+        """The most recent ``limit`` history records, oldest first."""
+
+        def op(conn: sqlite3.Connection):
+            rows = conn.execute(
+                "SELECT time, hits, misses, stores, invalid, hit_rate FROM history"
+                " ORDER BY seq DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+            return [dict(r) for r in reversed(rows)]
+
+        return self._call(op)
+
+    # -- telemetry ----------------------------------------------------------
+    def events(self, grid: str, limit: int = 1000) -> list[dict]:
+        def op(conn: sqlite3.Connection):
+            rows = conn.execute(
+                "SELECT seq, grid, idx, event, worker, time FROM events"
+                " WHERE grid = ? ORDER BY seq DESC LIMIT ?",
+                (grid, int(limit)),
+            ).fetchall()
+            return [dict(r) for r in reversed(rows)]
+
+        return self._call(op)
+
+
+# -- legacy imports ----------------------------------------------------------
+def migrate_history_jsonl(store: SweepStore, path: str | Path) -> int:
+    """Import a ``history.jsonl`` into the store; returns records imported."""
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except (FileNotFoundError, OSError):
+        return 0
+    imported = 0
+    for line in lines:
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn append — same tolerance the JSONL reader has
+        if isinstance(record, dict):
+            store.record_history(record)
+            imported += 1
+    return imported
+
+
+def migrate_journal_file(store: SweepStore, path: str | Path) -> Optional[str]:
+    """Import one legacy per-grid journal into the store.
+
+    Builds a job row from the journal header and fills ``done`` /
+    ``poisoned`` point rows from the recovery records (audit-only lease
+    records become ``events``). The journal never stored point *specs*,
+    so imported jobs are queryable — RESULTS/JOBS, done payloads — but
+    not resumable; their job state reflects what the journal proved:
+    every point done -> ``done``, any poison -> ``poisoned``, otherwise
+    ``cancelled`` (the grid never finished under the journal). Returns
+    the grid signature, or None when the file is not a journal. A job
+    already present in the store is left untouched (idempotent re-runs).
+    """
+    import base64
+
+    path = Path(path)
+    try:
+        lines = path.read_bytes().split(b"\n")
+    except (FileNotFoundError, OSError):
+        return None
+    grid: Optional[str] = None
+    n_points = 0
+    done: dict[int, bytes] = {}
+    poisoned: dict[int, list[dict]] = {}
+    audit: list[tuple[Optional[int], str, Optional[str]]] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn tail
+        kind = record.get("type")
+        if kind == "header":
+            if grid is None:
+                grid = str(record.get("grid", ""))
+                n_points = int(record.get("n_points", 0))
+        elif kind == "done":
+            try:
+                done[int(record["index"])] = base64.b64decode(record["payload"])
+            except (KeyError, ValueError, TypeError):
+                continue
+        elif kind == "poisoned":
+            try:
+                poisoned[int(record["index"])] = list(record.get("failures", []))
+            except (KeyError, ValueError, TypeError):
+                continue
+        elif kind in ("lease", "reclaim", "requeue", "renew"):
+            try:
+                audit.append((int(record["index"]), kind, record.get("worker")))
+            except (KeyError, ValueError, TypeError):
+                continue
+    if not grid:
+        return None
+    indices = set(range(n_points)) | set(done) | set(poisoned)
+    created = store.submit_job(
+        grid,
+        name=path.stem,
+        points=[(idx, None) for idx in sorted(indices)],
+        tenant="journal-import",
+    )
+    if not created:
+        return grid  # already imported (or live) — leave it alone
+    for idx, payload in done.items():
+        # The journal stored {"value", "snapshot"} pickles; keep the raw
+        # blob — RESULTS consumers re-decode with the journal's shape in
+        # mind via load_result's fallback (see protocol.load_result).
+        store.record_done(grid, idx, payload, worker="journal-import")
+    for idx, failures in poisoned.items():
+        if idx not in done:
+            store.record_poisoned(grid, idx, failures)
+    for idx, event, worker in audit:
+        store.record_event(grid, idx, event, worker)
+    if len(done) >= len(indices) and indices:
+        store.set_job_state(grid, JOB_DONE)
+    elif poisoned:
+        store.set_job_state(grid, JOB_POISONED)
+    else:
+        store.set_job_state(grid, JOB_CANCELLED)
+    return grid
+
+
+def migrate_cache_dir(
+    store: SweepStore,
+    cache_dir: str | Path,
+    journal_dirs: Iterable[str | Path] = (),
+) -> dict[str, int]:
+    """One-shot ``--migrate-history`` import; returns counters.
+
+    Imports ``<cache_dir>/history.jsonl`` plus every ``*.jsonl`` journal
+    in the given journal directories. Safe to re-run: journals already
+    imported are skipped (job rows are idempotent by grid signature);
+    history records are appended, so re-running duplicates those — the
+    CLI renames the JSONL to ``history.jsonl.imported`` afterwards to
+    keep the operation one-shot.
+    """
+    counts = {"history": 0, "journals": 0}
+    counts["history"] = migrate_history_jsonl(store, Path(cache_dir) / "history.jsonl")
+    for directory in journal_dirs:
+        for path in sorted(Path(directory).glob("*.jsonl")):
+            if migrate_journal_file(store, path) is not None:
+                counts["journals"] += 1
+    return counts
+
+
+__all__ = [
+    "JOB_CANCELLED",
+    "JOB_DONE",
+    "JOB_POISONED",
+    "JOB_RUNNING",
+    "JOB_SUBMITTED",
+    "JOB_TERMINAL",
+    "SCHEMA_VERSION",
+    "STORE_FILENAME",
+    "SweepStore",
+    "migrate_cache_dir",
+    "migrate_history_jsonl",
+    "migrate_journal_file",
+]

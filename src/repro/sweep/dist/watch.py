@@ -21,12 +21,20 @@ import sys
 import time
 from typing import Callable, Optional, TextIO
 
+import numpy as np
+
 from repro.errors import BackendUnavailableError, SweepError, TransportError
 from repro.sweep.dist.protocol import parse_hostport
+from repro.sweep.point import derive_seed
 from repro.transport.redis_backend import MiniRedisConnection
 
 #: Progress-bar width in cells.
 BAR_WIDTH = 30
+
+#: Default cumulative reconnect allowance after losing a coordinator we
+#: had reached (seconds of *requested* sleep, so injected test clocks
+#: still exhaust it deterministically).
+RECONNECT_BUDGET = 30.0
 
 #: ANSI: move the cursor home and wipe the rest of the screen.
 _CLEAR = "\x1b[H\x1b[J"
@@ -125,12 +133,21 @@ def watch(
     max_refreshes: Optional[int] = None,
     fetch: Callable[[str], dict] = fetch_status,
     sleep: Callable[[float], None] = time.sleep,
+    reconnect_budget: float = RECONNECT_BUDGET,
+    seed: int = 0,
 ) -> int:
     """Poll-and-repaint until the grid drains; returns an exit code.
 
+    Losing a coordinator we had reached starts a seeded-backoff
+    reconnect loop bounded by ``reconnect_budget`` cumulative seconds —
+    a coordinator restarting against the same store (the durable
+    service) comes back mid-budget and the console re-attaches where it
+    left off. The budget is accounted in *requested* sleep seconds, not
+    wall time, so an injected no-op ``sleep`` exhausts it all the same.
+
     Exit 0 when the watched grid drained, or when a coordinator we had
-    reached goes away — a serve-mode coordinator only exits once its
-    grid resolves (drain, poison, or stop), and the one-second poll
+    reached stays gone past the budget — a serve-mode coordinator only
+    exits once its grid resolves (drain, poison, or stop), and the poll
     usually misses the sub-second window between the last completion
     and the process exiting, so "gone after contact" is the *normal*
     end of a watched run, not a failure. Exit 1 only when the
@@ -138,10 +155,17 @@ def watch(
     """
     if interval <= 0:
         raise SweepError(f"watch interval must be positive, got {interval}")
+    if reconnect_budget < 0:
+        raise SweepError(
+            f"reconnect budget must be >= 0, got {reconnect_budget}"
+        )
     out = stream if stream is not None else sys.stdout
     use_ansi = stream is None and sys.stdout.isatty()
+    rng = np.random.default_rng(derive_seed(seed, "watch-reconnect", address))
     refreshes = 0
     last: Optional[dict] = None
+    budget_left = reconnect_budget
+    attempt = 0
     while max_refreshes is None or refreshes < max_refreshes:
         try:
             status = fetch(address)
@@ -149,15 +173,33 @@ def watch(
             if last is None:
                 print(f"coordinator at {address} is unreachable", file=out)
                 return 1
-            if not drained(last):
-                counts = last.get("counts", {})
-                print(
-                    f"coordinator at {address} closed "
-                    f"({counts.get('done', 0)}/{last.get('n_points', 0)} done "
-                    f"at last poll)",
-                    file=out,
-                )
-            return 0
+            if budget_left <= 0:
+                if not drained(last):
+                    counts = last.get("counts", {})
+                    print(
+                        f"coordinator at {address} closed "
+                        f"({counts.get('done', 0)}/{last.get('n_points', 0)} "
+                        "done at last poll)",
+                        file=out,
+                    )
+                return 0
+            delay = min(interval * 2 ** min(attempt, 4), 10.0)
+            delay = max(0.05, delay * (0.5 + float(rng.random())))
+            delay = min(delay, budget_left)
+            print(
+                f"RECONNECTING to {address} "
+                f"({budget_left:.1f}s left in budget)",
+                file=out,
+            )
+            out.flush()
+            sleep(delay)
+            budget_left -= delay
+            attempt += 1
+            continue
+        if attempt:
+            print(f"reconnected to {address}", file=out)
+        budget_left = reconnect_budget
+        attempt = 0
         refreshes += 1
         if use_ansi:
             out.write(_CLEAR)
@@ -172,6 +214,7 @@ def watch(
 
 __all__ = [
     "BAR_WIDTH",
+    "RECONNECT_BUDGET",
     "drained",
     "fetch_status",
     "progress_bar",

@@ -61,6 +61,7 @@ import numpy as np
 from repro.errors import BackendUnavailableError, SweepError, TransportError
 from repro.sweep.dist.protocol import (
     DRAINED,
+    MULTI_GRID,
     STALE,
     Assignment,
     FailureRecord,
@@ -102,6 +103,12 @@ class WorkerOptions:
     max_points: Optional[int] = None
     #: Root seed for backoff jitter (derived per worker id).
     seed: int = 0
+    #: Request-scoped socket timeout for every RESP exchange. A
+    #: coordinator that accepts the connection but never answers (a
+    #: one-way partition, a trickling chaos proxy) converts into a
+    #: retryable :class:`~repro.errors.BackendUnavailableError` at this
+    #: deadline instead of hanging the claim loop forever.
+    op_timeout: float = 30.0
     #: Where :func:`run_worker_process` dumps the flight recorder
     #: (postmortem on crash, drain record on SIGTERM, always on exit
     #: when set). None disables dumping; the ring still records.
@@ -114,6 +121,8 @@ class WorkerOptions:
             raise SweepError("poll must be positive")
         if not 0.0 < self.heartbeat_fraction < 1.0:
             raise SweepError("heartbeat_fraction must be in (0, 1)")
+        if self.op_timeout <= 0:
+            raise SweepError("op_timeout must be positive")
 
 
 @dataclass
@@ -223,7 +232,7 @@ class WorkerAgent:
                 pass
 
     def _connect_once(self) -> MiniRedisConnection:
-        conn = MiniRedisConnection(self.host, self.port, timeout=30.0)
+        conn = MiniRedisConnection(self.host, self.port, timeout=self.options.op_timeout)
         caps = json.dumps(
             {
                 "version": __version__,
@@ -331,7 +340,11 @@ class WorkerAgent:
                 self._breaker.record_success()
                 self._touch()
             try:
-                held = conn.command("RENEW", self.worker_id, str(assignment.index))
+                # v4 arity: name the grid — under a multi-tenant service
+                # an index alone does not identify a lease.
+                held = conn.command(
+                    "RENEW", self.worker_id, str(assignment.index), assignment.grid
+                )
             except (TransportError, OSError):
                 # Broken (or rejecting) connection: drop it so the next
                 # beat reconnects instead of failing silently forever.
@@ -353,7 +366,12 @@ class WorkerAgent:
             if conn is None:
                 return None
             served = (self.grid_info or {}).get("grid")
-            if assignment.grid and served and served != assignment.grid:
+            if (
+                assignment.grid
+                and served
+                and served != MULTI_GRID  # a service serves *many* grids
+                and served != assignment.grid
+            ):
                 # We reconnected into a *different* grid on the same
                 # address (a multi-stage sweep moved on): this result is
                 # not part of it — drop it without submitting.
@@ -557,6 +575,7 @@ def run_worker_process(
     max_points: Optional[int] = None,
     quiet: bool = False,
     flight_path: Optional[str] = None,
+    op_timeout: float = 30.0,
 ) -> int:
     """Entry point for a dedicated worker process (CLI ``--connect``).
 
@@ -574,6 +593,7 @@ def run_worker_process(
         max_points=max_points,
         seed=seed,
         flight_path=flight_path,
+        op_timeout=op_timeout,
     )
     agent = WorkerAgent(address, options)
     agent.install_signal_handlers()

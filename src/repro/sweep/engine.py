@@ -95,6 +95,18 @@ class SweepOptions:
     #: Dump the coordinator's flight-recorder ring (recent protocol
     #: events) here when serving ends or crashes. Requires ``serve``.
     flight_recorder: Optional[str | Path] = None
+    #: ``HOST:PORT`` of a running durable sweep service: SUBMIT the grid
+    #: as one named job and block until it drains, instead of executing
+    #: locally or serving a dedicated coordinator. Mutually exclusive
+    #: with ``serve`` and ``parallel > 1``; the service's workers do the
+    #: computing and its SQLite store keeps the results across restarts.
+    submit: Optional[str] = None
+    #: Tenant label attached to a submitted job (fair-share accounting
+    #: on the service side). Only meaningful with ``submit``.
+    tenant: str = ""
+    #: Human-readable job name for ``submit``; defaults to the first
+    #: point's label.
+    job_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -106,6 +118,20 @@ class SweepOptions:
                 "serve and parallel are mutually exclusive: a serving sweep "
                 "delegates execution to remote workers"
             )
+        if self.submit is not None and self.serve is not None:
+            raise SweepError(
+                "submit and serve are mutually exclusive: submit hands the "
+                "grid to an already-running sweep service"
+            )
+        if self.submit is not None and self.parallel > 1:
+            raise SweepError(
+                "submit and parallel are mutually exclusive: the service's "
+                "workers do the computing"
+            )
+        if self.tenant and self.submit is None:
+            raise SweepError("tenant only applies to a submitted sweep")
+        if self.job_name is not None and self.submit is None:
+            raise SweepError("job_name only applies to a submitted sweep")
         if self.journal_dir is not None and self.serve is None:
             raise SweepError("journal_dir only applies to a serving sweep")
         if self.fleet_trace is not None and self.serve is None:
@@ -278,7 +304,12 @@ class SweepEngine:
         #    process (workers) or outlive it (cache entries).
         capture = hub is not None or cache is not None
         if pending:
-            if self.options.serve is not None:
+            if self.options.submit is not None:
+                self._run_submit(
+                    points, pending, cache, True, values, snapshots, report,
+                    done, emit,
+                )
+            elif self.options.serve is not None:
                 # Results cross process (and host) boundaries: always
                 # capture snapshots so telemetry merges deterministically.
                 self._run_dist(
@@ -516,6 +547,81 @@ class SweepEngine:
                 f"distributed sweep stopped with {len(missing)} unfinished "
                 f"points (first: {points[missing[0]].label})"
             )
+
+    # -- service submission path --------------------------------------------
+    def _run_submit(
+        self, points, pending, cache, capture, values, snapshots, report,
+        done, emit,
+    ) -> None:
+        """SUBMIT pending points to a durable service; block until drained.
+
+        The service owns execution (its fleet of workers), durability
+        (the SQLite store — the job survives service SIGKILL/restart),
+        and fair-share across tenants; this method only adapts one job
+        to the engine's bookkeeping, mirroring :meth:`_run_dist`.
+        """
+        from repro.errors import SweepPoisonedError
+        from repro.sweep.dist.service import ServiceClient
+        from repro.sweep.dist.store import JOB_DONE, JOB_POISONED, JOB_TERMINAL
+
+        keys = dict(pending)
+        work = [(index, points[index]) for index, _ in pending]
+        name = self.options.job_name or points[work[0][0]].label
+        client = ServiceClient(self.options.submit)
+        submitted = client.submit(
+            name,
+            work,
+            tenant=self.options.tenant,
+            timeout=self.options.timeout,
+            retries=self.options.retries,
+            capture=capture,
+        )
+        grid = submitted["grid"]
+        progress_done = done
+        last_seen = 0
+        while True:
+            status = client.status(grid)
+            state = status.get("state")
+            counts = status.get("counts", {})
+            finished = int(counts.get("done", 0)) + int(counts.get("poisoned", 0))
+            while last_seen < finished:
+                last_seen += 1
+                progress_done += 1
+                emit(progress_done, name, "run")
+            if state in JOB_TERMINAL:
+                break
+            time.sleep(0.25)
+        outcome = client.results(grid, decode=True)
+        if state == JOB_POISONED or outcome["poisoned"]:
+            raise SweepPoisonedError(
+                [
+                    {
+                        "label": points[index].label,
+                        "index": index,
+                        "failures": failures,
+                    }
+                    for index, failures in sorted(outcome["poisoned"].items())
+                ]
+            )
+        if state != JOB_DONE:
+            raise SweepError(
+                f"submitted job {grid[:16]} ended {state!r} with "
+                f"{len(pending) - len(outcome['results'])} unfinished points"
+            )
+        for index, (value, snapshot) in outcome["results"].items():
+            values[index] = value
+            snapshots[index] = snapshot
+            if cache is not None and keys.get(index) is not None:
+                cache.store(keys[index], value, snapshot,
+                            meta={"label": points[index].label})
+        missing = [i for i, _ in pending if values[i] is _UNSET]
+        if missing:
+            raise SweepError(
+                f"service returned {len(outcome['results'])} results for "
+                f"{len(pending)} submitted points (first missing: "
+                f"{points[missing[0]].label})"
+            )
+        report.computed = len(pending)
 
     @property
     def _serve_host(self) -> str:

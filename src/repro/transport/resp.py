@@ -9,6 +9,13 @@ commands we implement need:
 
 The parser is incremental: feed it raw socket bytes, pop complete messages
 as they become available.
+
+The parser also enforces frame limits so a malformed (or hostile) peer
+can never drive unbounded buffer growth: a declared bulk length above
+``max_bulk_bytes`` is rejected the moment its header line parses —
+*before* any payload arrives — and arrays are bounded in element count
+and nesting depth. Violations raise :class:`RespError`, which the server
+loop answers with ``-ERR`` and a clean disconnect.
 """
 
 from __future__ import annotations
@@ -18,6 +25,19 @@ from typing import Any, Iterable, Optional, Union
 from repro.errors import TransportError
 
 CRLF = b"\r\n"
+
+#: Largest bulk string a parser accepts by default. Generous because
+#: legitimate DONE payloads (pickled values + telemetry snapshots) can
+#: reach megabytes; an attacker-sized "$99999999999" is still rejected
+#: without buffering a byte of it.
+MAX_BULK_BYTES = 64 * 1024 * 1024
+
+#: Largest array element count a parser accepts by default.
+MAX_ARRAY_ITEMS = 1 << 16
+
+#: Deepest array nesting a parser accepts by default (commands are flat;
+#: depth beyond a handful means a confused or malicious peer).
+MAX_ARRAY_DEPTH = 8
 
 
 class RespError(TransportError):
@@ -68,10 +88,31 @@ def encode_array(items: Iterable[bytes]) -> bytes:
 
 
 class RespParser:
-    """Incremental RESP parser over a growing byte buffer."""
+    """Incremental RESP parser over a growing byte buffer.
 
-    def __init__(self) -> None:
+    ``max_bulk_bytes`` / ``max_array_items`` / ``max_array_depth`` bound
+    what one frame may declare (see module docstring); ``None`` keeps
+    the module defaults. Limits are checked against the *declared*
+    header values, so an oversized frame is rejected before its payload
+    is buffered.
+    """
+
+    def __init__(
+        self,
+        max_bulk_bytes: Optional[int] = None,
+        max_array_items: Optional[int] = None,
+        max_array_depth: Optional[int] = None,
+    ) -> None:
         self._buffer = bytearray()
+        self.max_bulk_bytes = (
+            MAX_BULK_BYTES if max_bulk_bytes is None else int(max_bulk_bytes)
+        )
+        self.max_array_items = (
+            MAX_ARRAY_ITEMS if max_array_items is None else int(max_array_items)
+        )
+        self.max_array_depth = (
+            MAX_ARRAY_DEPTH if max_array_depth is None else int(max_array_depth)
+        )
 
     def feed(self, data: bytes) -> None:
         self._buffer.extend(data)
@@ -87,6 +128,13 @@ class RespParser:
         """
         result, consumed = self._parse(0)
         if result is _INCOMPLETE:
+            # Every legal incomplete frame fits in max_bulk_bytes plus
+            # header slack; a buffer beyond that is a peer streaming
+            # garbage with no CRLF in sight — stop accumulating it.
+            if len(self._buffer) > self.max_bulk_bytes + 65536:
+                raise RespError(
+                    f"unterminated frame exceeds {self.max_bulk_bytes} bytes"
+                )
             return False, None
         del self._buffer[:consumed]
         if isinstance(result, _ErrorReply):
@@ -103,7 +151,7 @@ class RespParser:
         return value if found else None
 
     # -- internals ---------------------------------------------------------
-    def _parse(self, pos: int):
+    def _parse(self, pos: int, depth: int = 0):
         if pos >= len(self._buffer):
             return _INCOMPLETE, 0
         marker = self._buffer[pos : pos + 1]
@@ -131,6 +179,11 @@ class RespParser:
                 return None, after_line
             if length < 0:
                 raise RespError(f"negative bulk length {length}")
+            if length > self.max_bulk_bytes:
+                raise RespError(
+                    f"bulk string of {length} bytes exceeds the "
+                    f"{self.max_bulk_bytes}-byte frame limit"
+                )
             end = after_line + length + 2
             if len(self._buffer) < end:
                 return _INCOMPLETE, 0
@@ -144,10 +197,19 @@ class RespParser:
                 raise RespError(f"bad array length {line!r}") from None
             if count < 0:
                 raise RespError(f"negative array length {count}")
+            if count > self.max_array_items:
+                raise RespError(
+                    f"array of {count} items exceeds the "
+                    f"{self.max_array_items}-item frame limit"
+                )
+            if depth + 1 > self.max_array_depth:
+                raise RespError(
+                    f"array nesting exceeds depth {self.max_array_depth}"
+                )
             items = []
             cursor = after_line
             for _ in range(count):
-                item, consumed = self._parse(cursor)
+                item, consumed = self._parse(cursor, depth + 1)
                 if item is _INCOMPLETE:
                     return _INCOMPLETE, 0
                 if isinstance(item, _ErrorReply):

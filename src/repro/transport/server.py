@@ -57,8 +57,18 @@ class RespTcpServer:
     mid-protocol always gets a reply, never a torn-down socket.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, name: str = "resp") -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "resp",
+        max_frame_bytes: Optional[int] = None,
+    ) -> None:
         self.name = name
+        #: Per-connection bulk-string frame cap (None = resp module
+        #: default). A violating frame is answered with ``-ERR`` and the
+        #: connection is closed — never buffered.
+        self.max_frame_bytes = max_frame_bytes
         self._exec_lock = threading.Lock()  # serialized command execution
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -145,7 +155,7 @@ class RespTcpServer:
             self._conn_threads.append(thread)
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        parser = resp.RespParser()
+        parser = resp.RespParser(max_bulk_bytes=self.max_frame_bytes)
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         with self._conns_lock:
             self._open_conns.add(conn)

@@ -1,0 +1,268 @@
+"""Chaos proxy: seeded wire faults, byte integrity, plan projection."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.netproxy import ChaosProxy, NetChaos
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, StochasticFaultSpec
+from repro.sweep.point import derive_seed
+
+
+class EchoUpstream:
+    """A real TCP echo server that also records everything it received."""
+
+    def __init__(self):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self._listener.settimeout(0.2)
+        self.addr = self._listener.getsockname()
+        self.received = []  # one bytes blob per connection
+        self._lock = threading.Lock()
+        self._running = threading.Event()
+        self._thread = None
+
+    def __enter__(self):
+        self._running.set()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._running.clear()
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+    def _loop(self):
+        while self._running.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(target=self._serve, args=(conn,), daemon=True).start()
+
+    def _serve(self, conn):
+        chunks = []
+        conn.settimeout(5.0)
+        try:
+            while True:
+                data = conn.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+                conn.sendall(data)
+        except OSError:
+            pass
+        finally:
+            with self._lock:
+                self.received.append(b"".join(chunks))
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def roundtrip(proxy, payload, timeout=5.0):
+    """Send payload through the proxy, read the echo back until complete."""
+    with socket.create_connection((proxy.host, proxy.port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        sock.sendall(payload)
+        got = b""
+        while len(got) < len(payload):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            got += chunk
+        return got
+
+
+class TestPassThrough:
+    def test_inactive_chaos_relays_bytes_verbatim(self):
+        payload = bytes(range(256)) * 512  # 128 KiB, crosses relay chunks
+        with EchoUpstream() as upstream:
+            with ChaosProxy(upstream.addr, NetChaos(seed=1)) as proxy:
+                assert roundtrip(proxy, payload) == payload
+                assert proxy.stats["accepted"] == 1
+                assert proxy.stats["refused"] == 0
+                assert proxy.stats["cut"] == 0
+                assert proxy.stats["relayed_bytes"] >= 2 * len(payload)
+
+    def test_trickle_preserves_content(self):
+        payload = b"byte-at-a-time parser torture"
+        chaos = NetChaos(seed=1, trickle_p=1.0, trickle_delay=0.0)
+        with EchoUpstream() as upstream:
+            with ChaosProxy(upstream.addr, chaos) as proxy:
+                assert roundtrip(proxy, payload) == payload
+                assert proxy.stats["trickled"] == 1
+
+
+class TestFaults:
+    def test_refuse_closes_before_any_byte(self):
+        chaos = NetChaos(seed=1, refuse_p=1.0)
+        with EchoUpstream() as upstream:
+            with ChaosProxy(upstream.addr, chaos) as proxy:
+                with socket.create_connection(
+                    (proxy.host, proxy.port), timeout=5.0
+                ) as sock:
+                    sock.settimeout(5.0)
+                    assert sock.recv(1) == b""
+                assert proxy.stats["refused"] == 1
+            assert upstream.received == []  # never reached the server
+
+    def test_cut_forwards_strict_prefix_then_severs(self):
+        payload = b"x" * 4096
+        chaos = NetChaos(seed=3, cut_p=1.0)
+        with EchoUpstream() as upstream:
+            with ChaosProxy(upstream.addr, chaos) as proxy:
+                with socket.create_connection(
+                    (proxy.host, proxy.port), timeout=5.0
+                ) as sock:
+                    sock.settimeout(5.0)
+                    try:
+                        sock.sendall(payload)
+                        got = b""
+                        while True:
+                            chunk = sock.recv(65536)
+                            if not chunk:
+                                break
+                            got += chunk
+                    except OSError:
+                        got = b""
+                assert proxy.stats["cut"] >= 1
+                assert len(got) < len(payload)
+        # Whatever reached the server is a strict prefix, never garbage.
+        for blob in upstream.received:
+            assert len(blob) < len(payload)
+            assert payload.startswith(blob)
+
+    def test_one_way_partition_starves_client_not_server(self):
+        chaos = NetChaos(seed=1, partition_p=1.0)
+        with EchoUpstream() as upstream:
+            with ChaosProxy(upstream.addr, chaos) as proxy:
+                with socket.create_connection(
+                    (proxy.host, proxy.port), timeout=5.0
+                ) as sock:
+                    sock.settimeout(0.3)
+                    sock.sendall(b"request")
+                    # The server does the work; the reply never arrives.
+                    with pytest.raises(socket.timeout):
+                        sock.recv(1)
+                assert proxy.stats["partitioned"] == 1
+        assert upstream.received == [b"request"]
+
+
+class TestDeterminism:
+    def test_connection_fates_follow_seed_not_scheduling(self):
+        """conn ordinal i always draws the same fate for a given seed."""
+        chaos = NetChaos(seed=7, refuse_p=0.5)
+        n = 12
+        expected = [
+            float(
+                np.random.default_rng(derive_seed(7, "netproxy", i)).random()
+            )
+            < 0.5
+            for i in range(n)
+        ]
+        assert True in expected and False in expected  # seed 7: mixed fates
+
+        def observe_fates(upstream):
+            fates = []
+            with ChaosProxy(upstream.addr, chaos) as proxy:
+                for _ in range(n):
+                    try:
+                        with socket.create_connection(
+                            (proxy.host, proxy.port), timeout=5.0
+                        ) as sock:
+                            sock.settimeout(5.0)
+                            sock.sendall(b"x")
+                            fates.append(sock.recv(1) == b"")
+                    except OSError:
+                        fates.append(True)
+            return fates
+
+        with EchoUpstream() as upstream:
+            assert observe_fates(upstream) == expected
+        with EchoUpstream() as upstream:  # fresh proxy, same seed, same fates
+            assert observe_fates(upstream) == expected
+
+
+class TestNetChaosValidation:
+    def test_probabilities_must_be_in_unit_interval(self):
+        with pytest.raises(FaultPlanError):
+            NetChaos(refuse_p=1.5)
+        with pytest.raises(FaultPlanError):
+            NetChaos(cut_p=-0.1)
+
+    def test_shaping_knobs_must_be_nonnegative(self):
+        with pytest.raises(FaultPlanError):
+            NetChaos(latency_seconds=-1.0)
+        with pytest.raises(FaultPlanError):
+            NetChaos(trickle_delay=-0.001)
+
+    def test_is_active(self):
+        assert not NetChaos(seed=5).is_active
+        assert NetChaos(seed=5, latency_p=0.1).is_active
+
+
+class TestFromPlan:
+    def test_inactive_plan_projects_to_inactive_chaos(self):
+        chaos = NetChaos.from_plan(FaultPlan.disabled())
+        assert not chaos.is_active
+
+    def test_crash_and_partition_mapping(self):
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(kind=FaultKind.BACKEND_CRASH, at=0.0),
+                FaultSpec(kind=FaultKind.PARTITION, at=0.0, target="node0"),
+            ],
+            seed=11,
+        )
+        chaos = NetChaos.from_plan(plan)
+        assert chaos.seed == 11
+        assert chaos.refuse_p == pytest.approx(0.5)
+        assert chaos.partition_p == pytest.approx(0.5)
+        assert chaos.cut_p == 0.0
+
+    def test_message_drop_severity_becomes_cut_probability(self):
+        plan = FaultPlan(
+            faults=[FaultSpec(kind=FaultKind.MESSAGE_DROP, at=0.0, severity=0.6)]
+        )
+        assert NetChaos.from_plan(plan).cut_p == pytest.approx(0.6)
+
+    def test_degradation_maps_to_latency_and_trickle(self):
+        mild = FaultPlan(
+            faults=[FaultSpec(kind=FaultKind.LINK_DEGRADE, at=0.0, severity=2.0)]
+        )
+        chaos = NetChaos.from_plan(mild)
+        assert chaos.latency_p == pytest.approx(0.5)
+        assert chaos.latency_seconds == pytest.approx(0.05)
+        assert chaos.trickle_p == 0.0
+        harsh = FaultPlan(
+            faults=[FaultSpec(kind=FaultKind.OST_STALL, at=0.0, severity=8.0)]
+        )
+        chaos = NetChaos.from_plan(harsh)
+        assert chaos.latency_seconds == pytest.approx(0.08)
+        assert chaos.trickle_p == pytest.approx(0.25)
+
+    def test_stochastic_rate_is_capped_like_client_probabilities(self):
+        plan = FaultPlan(
+            stochastic=[
+                StochasticFaultSpec(
+                    kind=FaultKind.BACKEND_CRASH, rate=9.0, horizon=10.0
+                )
+            ]
+        )
+        assert NetChaos.from_plan(plan).refuse_p == pytest.approx(0.5)
+
+    def test_seed_override(self):
+        plan = FaultPlan(
+            faults=[FaultSpec(kind=FaultKind.BACKEND_CRASH, at=0.0)], seed=3
+        )
+        assert NetChaos.from_plan(plan, seed=99).seed == 99

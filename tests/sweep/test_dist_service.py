@@ -1,0 +1,437 @@
+"""SweepService: multi-tenant lifecycle, fair-share, isolation, restart."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import SweepError, SweepPoisonedError, TransportError
+from repro.sweep.dist import WorkerAgent, WorkerOptions
+from repro.sweep.dist.protocol import (
+    CANCELLED,
+    MULTI_GRID,
+    TERMINAL,
+    Assignment,
+    dump_result,
+    grid_signature,
+)
+from repro.sweep.dist.service import ServiceClient, SweepService
+from repro.sweep.dist.store import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_POISONED,
+    JOB_RUNNING,
+    JOB_SUBMITTED,
+)
+from repro.sweep.engine import SweepEngine, SweepOptions
+from repro.sweep.point import SweepPoint
+from repro.transport.redis_backend import MiniRedisConnection
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"toxic {x}")
+
+
+def points_for(n, offset=0, func=square):
+    return [
+        (i, SweepPoint(func=func, kwargs={"x": i + offset}, label=f"p{i + offset}"))
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = SweepService(
+        tmp_path / "store.sqlite", host="127.0.0.1", port=0, lease_seconds=5.0
+    )
+    service.start()  # accept loop only; the reclaim tick needs serve_forever
+    yield service
+    service.request_stop()
+    service.stop()
+
+
+def claim(service, worker="w0"):
+    """One CLAIM round-trip over a real socket; None when nothing offered."""
+    conn = MiniRedisConnection(service.host, service.port, timeout=5.0)
+    try:
+        reply = conn.command("CLAIM", worker)
+    finally:
+        conn.close()
+    if reply in (None, b"DRAINED") or str(reply) == "DRAINED":
+        return None
+    return Assignment.from_bytes(bytes(reply))
+
+
+def command(service, *parts):
+    conn = MiniRedisConnection(service.host, service.port, timeout=5.0)
+    try:
+        return conn.command(*parts)
+    finally:
+        conn.close()
+
+
+def finish(service, client, grid, assignment, worker="w0"):
+    value = assignment.point.call()
+    command(
+        service, "DONE", worker, str(assignment.index), assignment.grid,
+        dump_result(value, None),
+    )
+
+
+class TestSubmission:
+    def test_submit_and_resubmit_idempotent(self, service):
+        client = ServiceClient(f"{service.host}:{service.port}")
+        first = client.submit("grid-a", points_for(3), tenant="alice")
+        assert first["created"] and first["n_points"] == 3
+        again = client.submit("grid-a", points_for(3), tenant="alice")
+        assert not again["created"]
+        assert again["grid"] == first["grid"]
+        assert len(service.jobs) == 1
+
+    def test_submit_matches_grid_signature(self, service):
+        pts = points_for(2)
+        reply = service.submit("g", pts)
+        assert reply["grid"] == grid_signature(pts)
+
+    def test_empty_submission_rejected(self, service):
+        with pytest.raises(SweepError):
+            service.submit("empty", [])
+
+    def test_jobs_lists_all_tenants(self, service):
+        client = ServiceClient(f"{service.host}:{service.port}")
+        client.submit("grid-a", points_for(2), tenant="alice")
+        client.submit("grid-b", points_for(2, offset=10), tenant="bob")
+        rows = client.jobs()
+        assert {(r["name"], r["tenant"]) for r in rows} == {
+            ("grid-a", "alice"),
+            ("grid-b", "bob"),
+        }
+
+
+class TestFairShare:
+    def test_claims_rotate_across_tenants(self, service):
+        a = service.submit("grid-a", points_for(4))["grid"]
+        b = service.submit("grid-b", points_for(4, offset=10))["grid"]
+        order = [claim(service).grid for _ in range(4)]
+        # Round-robin: no tenant gets two claims before the other gets one.
+        assert order in ([a, b, a, b], [b, a, b, a])
+
+    def test_small_grid_not_starved_by_large(self, service):
+        service.submit("big", points_for(50))
+        small = service.submit("small", points_for(1, offset=100))["grid"]
+        grids = [claim(service, f"w{i}").grid for i in range(4)]
+        assert small in grids
+
+    def test_drained_only_when_all_jobs_terminal(self, service):
+        grid = service.submit("only", points_for(1))["grid"]
+        assignment = claim(service)
+        # Job still live (leased, not terminal): idle workers get a null
+        # assignment and keep polling, not DRAINED.
+        assert claim(service, "w1") is None
+        assert not all(
+            j.state in (JOB_DONE, JOB_POISONED, JOB_CANCELLED)
+            for j in service.jobs.values()
+        )
+        command(
+            service, "DONE", "w0", str(assignment.index), grid,
+            dump_result(0, None),
+        )
+        reply = command(service, "CLAIM", "w1")
+        assert str(reply) == "DRAINED"
+
+
+class TestCancelIsolation:
+    def test_cancel_never_revokes_other_tenants_leases(self, service):
+        a = service.submit("grid-a", points_for(2), tenant="alice")["grid"]
+        b = service.submit("grid-b", points_for(2, offset=10), tenant="bob")["grid"]
+        # Bob holds a lease on his grid.
+        bob_assignment = None
+        while bob_assignment is None or bob_assignment.grid != b:
+            bob_assignment = claim(service, "bob-w")
+            if bob_assignment.grid == a:
+                continue
+        assert str(command(service, "CANCEL", a)) == CANCELLED
+        # Alice's job is cancelled...
+        assert service.jobs[a].state == JOB_CANCELLED
+        assert service.store.job(a)["state"] == JOB_CANCELLED
+        # ...but Bob's lease still renews and his DONE still lands.
+        renewed = command(service, "RENEW", "bob-w", str(bob_assignment.index), b)
+        assert int(renewed) == 1
+        reply = command(
+            service, "DONE", "bob-w", str(bob_assignment.index), b,
+            dump_result(42, None),
+        )
+        assert str(reply) == "OK"
+        assert service.store.done_payloads(b)
+
+    def test_done_for_cancelled_grid_is_stale(self, service):
+        a = service.submit("grid-a", points_for(1))["grid"]
+        assignment = claim(service)
+        service.cancel(a)
+        reply = command(
+            service, "DONE", "w0", str(assignment.index), a, dump_result(0, None)
+        )
+        assert str(reply) == "STALE"
+        assert service.store.done_payloads(a) == {}
+        assert service.stale_grid == 1
+
+    def test_cancel_idempotent_and_terminal_guard(self, service):
+        a = service.submit("grid-a", points_for(1))["grid"]
+        assert service.cancel(a) == CANCELLED
+        assert service.cancel(a) == CANCELLED  # already cancelled: no-op
+        done = service.submit("grid-b", points_for(1, offset=5))["grid"]
+        assignment = claim(service)
+        command(
+            service, "DONE", "w0", str(assignment.index), done,
+            dump_result(25, None),
+        )
+        assert service.cancel(done) == TERMINAL
+
+    def test_cancel_unknown_grid_errors(self, service):
+        with pytest.raises(TransportError):
+            service.cancel("no-such-grid")
+
+
+class TestRenewRouting:
+    def test_renew_routes_by_grid(self, service):
+        a = service.submit("grid-a", points_for(1))["grid"]
+        service.submit("grid-b", points_for(1, offset=10))
+        assignment = claim(service, "w0")
+        ok = command(service, "RENEW", "w0", str(assignment.index), assignment.grid)
+        assert int(ok) == 1
+        other = a if assignment.grid != a else "unknown-grid"
+        refused = command(service, "RENEW", "w0", str(assignment.index), other)
+        assert int(refused) == 0
+
+    def test_v3_renew_without_grid_requires_unambiguity(self, service):
+        service.submit("grid-a", points_for(1))
+        assignment = claim(service, "w0")
+        # Single live holder of (index, worker): legacy arity still works.
+        assert int(command(service, "RENEW", "w0", str(assignment.index))) == 1
+        # Two jobs, same index leased by the same worker: ambiguous -> 0.
+        service.submit("grid-b", points_for(1, offset=10))
+        second = claim(service, "w0")
+        assert second.index == assignment.index
+        assert int(command(service, "RENEW", "w0", str(assignment.index))) == 0
+
+
+class TestHello:
+    def test_hello_advertises_multi_grid(self, service):
+        import json
+
+        service.submit("grid-a", points_for(3))
+        service.submit("grid-b", points_for(2, offset=10))
+        reply = command(service, "HELLO", "w0", json.dumps({}))
+        info = json.loads(reply)
+        assert info["grid"] == MULTI_GRID
+        assert info["n_points"] == 5
+        assert info["jobs"] == 2
+        assert info["service"] is True
+
+
+class TestWorkersDrainService:
+    def run_workers(self, address, n=2, **kwargs):
+        kwargs.setdefault("poll", 0.02)
+        kwargs.setdefault("reconnect_budget", 10.0)
+        agents = [
+            WorkerAgent(address, WorkerOptions(seed=i, **kwargs)) for i in range(n)
+        ]
+        threads = [threading.Thread(target=a.run, daemon=True) for a in agents]
+        for thread in threads:
+            thread.start()
+        return agents, threads
+
+    def test_two_tenants_drain_concurrently(self, service):
+        serve = threading.Thread(
+            target=service.serve_forever, kwargs={"poll": 0.05}, daemon=True
+        )
+        serve.start()
+        client = ServiceClient(f"{service.host}:{service.port}")
+        a = client.submit("grid-a", points_for(4), tenant="alice", capture=False)
+        b = client.submit(
+            "grid-b", points_for(3, offset=10), tenant="bob", capture=False
+        )
+        agents, threads = self.run_workers(f"{service.host}:{service.port}")
+        ra = client.wait(a["grid"], poll=0.05, timeout=30)
+        rb = client.wait(b["grid"], poll=0.05, timeout=30)
+        assert ra["state"] == JOB_DONE
+        assert {i: v for i, (v, _) in ra["results"].items()} == {
+            i: i * i for i in range(4)
+        }
+        assert {i: v for i, (v, _) in rb["results"].items()} == {
+            i: (i + 10) * (i + 10) for i in range(3)
+        }
+        service.request_stop()
+        for thread in threads:
+            thread.join(timeout=10)
+        serve.join(timeout=5)
+
+    def test_poisoned_job_reaches_terminal_state(self, tmp_path):
+        service = SweepService(
+            tmp_path / "store.sqlite",
+            host="127.0.0.1",
+            port=0,
+            lease_seconds=5.0,
+            poison_workers=1,
+            poison_failures=1,
+        )
+        serve = threading.Thread(
+            target=service.serve_forever, kwargs={"poll": 0.05}, daemon=True
+        )
+        serve.start()
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            grid = client.submit(
+                "toxic", points_for(1, func=boom), retries=0, capture=False
+            )["grid"]
+            agents, threads = self.run_workers(
+                f"{service.host}:{service.port}", n=1
+            )
+            result = client.wait(grid, poll=0.05, timeout=30)
+            assert result["state"] == JOB_POISONED
+            assert 0 in result["poisoned"]
+            assert "toxic" in result["poisoned"][0][-1]["error"]
+            service.request_stop()
+            for thread in threads:
+                thread.join(timeout=10)
+            serve.join(timeout=5)
+        finally:
+            service.request_stop()
+            service.stop()
+
+
+class TestRestart:
+    def test_results_replayed_byte_identical_after_restart(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        service = SweepService(store_path, host="127.0.0.1", port=0)
+        service.start()
+        grid = service.submit("grid", points_for(3), capture=False)["grid"]
+        payload = dump_result(0, None)
+        assignment = claim(service)
+        command(
+            service, "DONE", "w0", str(assignment.index), grid, payload
+        )
+        before = service.store.done_payloads(grid)
+        service.stop()  # no drain: simulates abrupt death after the ack
+
+        revived = SweepService(store_path, host="127.0.0.1", port=0)
+        revived.start()
+        try:
+            job = revived.jobs[grid]
+            assert job.replayed == 1
+            assert job.state == JOB_RUNNING
+            # The acknowledged payload survived byte-for-byte.
+            assert revived.store.done_payloads(grid) == before
+            client = ServiceClient(f"{revived.host}:{revived.port}")
+            results = client.results(grid, decode=False)
+            assert results["results"][assignment.index] == payload
+            # And the remaining points are claimable again.
+            assert claim(revived, "w1") is not None
+        finally:
+            revived.stop()
+
+    def test_terminal_jobs_stay_queryable_not_live(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        service = SweepService(store_path, host="127.0.0.1", port=0)
+        service.start()
+        grid = service.submit("grid", points_for(1), capture=False)["grid"]
+        assignment = claim(service)
+        command(
+            service, "DONE", "w0", str(assignment.index), grid,
+            dump_result(0, None),
+        )
+        assert service.jobs[grid].state == JOB_DONE
+        service.stop()
+
+        revived = SweepService(store_path, host="127.0.0.1", port=0)
+        revived.start()
+        try:
+            assert grid not in revived.jobs  # terminal: not re-activated
+            client = ServiceClient(f"{revived.host}:{revived.port}")
+            assert client.status(grid)["state"] == JOB_DONE
+            assert client.results(grid)["state"] == JOB_DONE
+            rows = client.jobs()
+            assert [r["state"] for r in rows] == [JOB_DONE]
+        finally:
+            revived.stop()
+
+    def test_submit_after_restart_is_still_idempotent(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        service = SweepService(store_path, host="127.0.0.1", port=0)
+        first = service.submit("grid", points_for(2), capture=False)
+        service.stop()
+        revived = SweepService(store_path, host="127.0.0.1", port=0)
+        revived.start()
+        try:
+            again = revived.submit("grid", points_for(2), capture=False)
+            assert not again["created"]
+            assert again["grid"] == first["grid"]
+        finally:
+            revived.stop()
+
+
+class TestStatus:
+    def test_per_job_and_aggregate_documents(self, service):
+        a = service.submit("grid-a", points_for(2), tenant="alice")["grid"]
+        service.submit("grid-b", points_for(3, offset=10), tenant="bob")
+        doc = service.status(a)
+        assert doc["state"] == JOB_SUBMITTED
+        assert doc["tenant"] == "alice"
+        assert doc["n_points"] == 2
+        aggregate = service.status()
+        assert aggregate["grid"] == MULTI_GRID
+        assert aggregate["n_points"] == 5
+        assert set(aggregate["jobs"]) == set(service.jobs)
+        # The aggregate document renders in the watch console unchanged.
+        from repro.sweep.dist.watch import render_status
+
+        assert "5" in render_status(aggregate)
+
+    def test_status_unknown_grid_errors(self, service):
+        with pytest.raises(TransportError):
+            service.status("nope")
+
+
+class TestEngineSubmitPath:
+    def test_engine_submits_and_collects_in_point_order(self, tmp_path):
+        service = SweepService(tmp_path / "store.sqlite", host="127.0.0.1", port=0)
+        serve = threading.Thread(
+            target=service.serve_forever, kwargs={"poll": 0.05}, daemon=True
+        )
+        serve.start()
+        agent = WorkerAgent(
+            f"{service.host}:{service.port}",
+            WorkerOptions(poll=0.02, reconnect_budget=10.0),
+        )
+        worker = threading.Thread(target=agent.run, daemon=True)
+        worker.start()
+        try:
+            points = [p for _, p in points_for(5)]
+            options = SweepOptions(
+                submit=f"{service.host}:{service.port}",
+                tenant="engine",
+                job_name="engine-grid",
+            )
+            report = SweepEngine(options).run(points)
+            assert report.values == [i * i for i in range(5)]
+            assert report.computed == 5
+            assert service.store.jobs(name="engine-grid")
+        finally:
+            service.request_stop()
+            worker.join(timeout=10)
+            serve.join(timeout=5)
+            service.stop()
+
+    def test_submit_options_validation(self):
+        with pytest.raises(SweepError):
+            SweepOptions(submit="h:1", serve="h:2")
+        with pytest.raises(SweepError):
+            SweepOptions(submit="h:1", parallel=4)
+        with pytest.raises(SweepError):
+            SweepOptions(tenant="alice")
+        with pytest.raises(SweepError):
+            SweepOptions(job_name="x")

@@ -1,0 +1,291 @@
+"""SweepStore: durability, idempotency, crash recovery, legacy imports."""
+
+import base64
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SweepStoreError
+from repro.sweep.dist.store import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_POISONED,
+    JOB_RUNNING,
+    JOB_SUBMITTED,
+    SCHEMA_VERSION,
+    SweepStore,
+    migrate_cache_dir,
+    migrate_history_jsonl,
+    migrate_journal_file,
+)
+
+from .store_crash import GRID as CRASH_GRID
+from .store_crash import N_POINTS as CRASH_POINTS
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = SweepStore(tmp_path / "store.sqlite")
+    yield store
+    store.close()
+
+
+class TestJobs:
+    def test_submit_creates_job_and_points(self, store):
+        created = store.submit_job(
+            "g1", name="grid", points=[(0, b"a"), (1, b"b")], tenant="alice"
+        )
+        assert created
+        job = store.job("g1")
+        assert job["state"] == JOB_SUBMITTED
+        assert job["name"] == "grid"
+        assert job["tenant"] == "alice"
+        assert job["n_points"] == 2
+        assert store.load_specs("g1") == [(0, b"a"), (1, b"b")]
+
+    def test_submit_is_idempotent_by_grid(self, store):
+        assert store.submit_job("g1", name="grid", points=[(0, b"a")])
+        store.record_done("g1", 0, b"result", worker="w")
+        # A retried SUBMIT (same signature) must not fork the job or
+        # clobber recorded results.
+        assert not store.submit_job("g1", name="grid", points=[(0, b"a")])
+        assert store.done_payloads("g1") == {0: b"result"}
+
+    def test_jobs_listing_and_filter(self, store):
+        store.submit_job("g1", name="alpha", points=[(0, None)])
+        store.submit_job("g2", name="beta", points=[(0, None)])
+        assert {j["grid"] for j in store.jobs()} == {"g1", "g2"}
+        assert [j["grid"] for j in store.jobs(name="beta")] == ["g2"]
+
+    def test_resumable_requires_specs(self, store):
+        store.submit_job("with", name="w", points=[(0, b"s")])
+        store.submit_job("without", name="n", points=[(0, None)])
+        store.submit_job("terminal", name="t", points=[(0, b"s")])
+        store.set_job_state("terminal", JOB_DONE)
+        assert [j["grid"] for j in store.resumable_jobs()] == ["with"]
+
+    def test_specless_point_done_is_still_resumable(self, store):
+        # A done point no longer needs its spec — only pending work does.
+        store.submit_job("g", name="g", points=[(0, None), (1, b"s")])
+        store.record_done("g", 0, b"r", worker="w")
+        assert [j["grid"] for j in store.resumable_jobs()] == ["g"]
+
+
+class TestPoints:
+    def test_record_done_first_writer_wins(self, store):
+        store.submit_job("g", name="g", points=[(0, b"s")])
+        assert store.record_done("g", 0, b"first", worker="w1")
+        assert not store.record_done("g", 0, b"second", worker="w2")
+        assert store.done_payloads("g") == {0: b"first"}
+
+    def test_poison_never_overwrites_done(self, store):
+        store.submit_job("g", name="g", points=[(0, b"s"), (1, b"s")])
+        store.record_done("g", 0, b"r", worker="w")
+        store.record_poisoned("g", 0, [{"error": "late"}])
+        store.record_poisoned("g", 1, [{"error": "toxic"}])
+        assert store.done_payloads("g") == {0: b"r"}
+        assert store.poisoned_points("g") == {1: [{"error": "toxic"}]}
+        assert store.point_counts("g") == {"done": 1, "poisoned": 1}
+
+    def test_events_audit_trail(self, store):
+        store.submit_job("g", name="g", points=[(0, b"s")])
+        store.record_event("g", 0, "lease", worker="w0")
+        store.record_done("g", 0, b"r", worker="w0")
+        events = [e["event"] for e in store.events("g")]
+        assert events == ["submit", "lease", "done"]
+
+
+class TestHistory:
+    def test_history_round_trip(self, store):
+        store.record_history({"time": 1.0, "hits": 3, "misses": 1, "hit_rate": 0.75})
+        store.record_history({"time": 2.0, "hits": 4, "misses": 0, "hit_rate": 1.0})
+        records = store.history()
+        assert [r["hits"] for r in records] == [3, 4]
+        assert store.history(limit=1)[0]["hits"] == 4
+
+
+class TestOpenRecovery:
+    def test_reopen_sees_committed_state(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with SweepStore(path) as store:
+            store.submit_job("g", name="g", points=[(0, b"s")])
+            store.record_done("g", 0, b"r", worker="w")
+        with SweepStore(path) as store:
+            assert store.done_payloads("g") == {0: b"r"}
+
+    def test_closed_store_raises(self, tmp_path):
+        store = SweepStore(tmp_path / "store.sqlite")
+        store.close()
+        with pytest.raises(SweepStoreError):
+            store.job("g")
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "store.sqlite"
+        SweepStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(SweepStoreError):
+            SweepStore(path)
+
+    def test_garbage_file_is_refused_not_clobbered(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        path.write_bytes(b"this is not a database " * 100)
+        with pytest.raises(SweepStoreError):
+            SweepStore(path)
+        assert path.read_bytes().startswith(b"this is not")
+
+
+def _run_crash_subprocess(tmp_path, crash_op, crash_mode):
+    path = tmp_path / f"crash-{crash_mode}-{crash_op}.sqlite"
+    spec = {"path": str(path), "crash_op": crash_op, "crash_mode": crash_mode}
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(root / "src"), str(root), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "tests.sweep.store_crash", json.dumps(spec)],
+        env=env,
+        cwd=root,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    return path, proc
+
+
+class TestCrashRecovery:
+    """Kill a real writer at every fsync boundary; reopen; assert prefixes.
+
+    The crash subprocess performs ``1 submit + N record_done + 1 state``
+    mutations and ``os._exit``\\ s the whole process around the Nth
+    commit. Whatever survived must be a *prefix* of that sequence —
+    never a torn job (job row without its points), never a gap in the
+    done set, never an unreadable database.
+    """
+
+    # All fsync boundaries of the sequence, both sides of the commit.
+    BOUNDARIES = [
+        (op, mode)
+        for op in range(1, CRASH_POINTS + 3)
+        for mode in ("before_commit", "after_commit")
+    ]
+
+    @pytest.mark.parametrize("crash_op,crash_mode", BOUNDARIES)
+    def test_prefix_consistent_after_crash(self, tmp_path, crash_op, crash_mode):
+        path, proc = _run_crash_subprocess(tmp_path, crash_op, crash_mode)
+        assert proc.returncode == 86, proc.stderr  # the crash hook fired
+        # Mutations fully committed before the exit:
+        committed = crash_op if crash_mode == "after_commit" else crash_op - 1
+
+        with SweepStore(path) as store:  # recovery is just opening
+            job = store.job(CRASH_GRID)
+            if committed == 0:
+                assert job is None
+                return
+            # The submit transaction is atomic: job row + every point row.
+            assert job is not None
+            assert job["n_points"] == CRASH_POINTS
+            assert len(store.load_specs(CRASH_GRID)) == CRASH_POINTS
+            done = store.done_payloads(CRASH_GRID)
+            expected_done = min(committed - 1, CRASH_POINTS)
+            assert sorted(done) == list(range(expected_done))
+            for idx, payload in done.items():
+                assert payload == b"payload-%d" % idx
+            expected_state = (
+                JOB_DONE if committed >= CRASH_POINTS + 2 else JOB_SUBMITTED
+            )
+            assert job["state"] == expected_state
+
+    def test_no_crash_when_hook_beyond_sequence(self, tmp_path):
+        path, proc = _run_crash_subprocess(tmp_path, CRASH_POINTS + 99, "after_commit")
+        assert proc.returncode == 0, proc.stderr
+        with SweepStore(path) as store:
+            assert store.job(CRASH_GRID)["state"] == JOB_DONE
+
+
+class TestLegacyImports:
+    def test_migrate_history_jsonl(self, store, tmp_path):
+        jsonl = tmp_path / "history.jsonl"
+        jsonl.write_text(
+            json.dumps({"time": 1.0, "hits": 2, "misses": 1, "hit_rate": 2 / 3})
+            + "\n"
+            + "{torn garbage\n"
+            + json.dumps({"time": 2.0, "hits": 5, "misses": 0, "hit_rate": 1.0})
+            + "\n"
+        )
+        assert migrate_history_jsonl(store, jsonl) == 2
+        assert [r["hits"] for r in store.history()] == [2, 5]
+
+    def _write_journal(self, path, grid="legacy", n_points=3, done=(0, 1), poisoned=()):
+        records = [{"type": "header", "grid": grid, "n_points": n_points}]
+        for idx in done:
+            records.append(
+                {
+                    "type": "done",
+                    "index": idx,
+                    "payload": base64.b64encode(b"blob-%d" % idx).decode(),
+                }
+            )
+        for idx in poisoned:
+            records.append(
+                {"type": "poisoned", "index": idx, "failures": [{"error": "x"}]}
+            )
+        records.append({"type": "lease", "index": 0, "worker": "w0"})
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+    def test_migrate_journal_imports_done_points(self, store, tmp_path):
+        journal = tmp_path / "legacy.jsonl"
+        self._write_journal(journal, done=(0, 1), n_points=3)
+        grid = migrate_journal_file(store, journal)
+        assert grid == "legacy"
+        assert store.done_payloads("legacy") == {0: b"blob-0", 1: b"blob-1"}
+        # Unfinished under the journal and spec-less -> cancelled, and
+        # never offered for resumption.
+        assert store.job("legacy")["state"] == JOB_CANCELLED
+        assert store.resumable_jobs() == []
+
+    def test_migrate_journal_terminal_states(self, store, tmp_path):
+        all_done = tmp_path / "done.jsonl"
+        self._write_journal(all_done, grid="gdone", done=(0, 1, 2), n_points=3)
+        toxic = tmp_path / "toxic.jsonl"
+        self._write_journal(toxic, grid="gpoison", done=(0,), poisoned=(2,))
+        migrate_journal_file(store, all_done)
+        migrate_journal_file(store, toxic)
+        assert store.job("gdone")["state"] == JOB_DONE
+        assert store.job("gpoison")["state"] == JOB_POISONED
+
+    def test_migrate_journal_is_idempotent(self, store, tmp_path):
+        journal = tmp_path / "legacy.jsonl"
+        self._write_journal(journal)
+        assert migrate_journal_file(store, journal) == "legacy"
+        before = store.done_payloads("legacy")
+        assert migrate_journal_file(store, journal) == "legacy"
+        assert store.done_payloads("legacy") == before
+
+    def test_migrate_journal_rejects_non_journal(self, store, tmp_path):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text('{"no": "header"}\n')
+        assert migrate_journal_file(store, junk) is None
+
+    def test_migrate_cache_dir_counts(self, store, tmp_path):
+        (tmp_path / "history.jsonl").write_text(
+            json.dumps({"time": 1.0, "hits": 1}) + "\n"
+        )
+        journal_dir = tmp_path / "journals"
+        journal_dir.mkdir()
+        self._write_journal(journal_dir / "a.jsonl", grid="ga")
+        self._write_journal(journal_dir / "b.jsonl", grid="gb")
+        counts = migrate_cache_dir(store, tmp_path, journal_dirs=[journal_dir])
+        assert counts == {"history": 1, "journals": 2}

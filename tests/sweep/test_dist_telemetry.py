@@ -12,7 +12,7 @@ import threading
 
 import pytest
 
-from repro.errors import SweepError, SweepPoisonedError
+from repro.errors import BackendUnavailableError, SweepError, SweepPoisonedError
 from repro.sweep import SweepEngine, SweepOptions, SweepPoint
 from repro.sweep.dist import (
     EwmaRate,
@@ -483,6 +483,83 @@ class TestWatchRendering:
     def test_watch_validates_interval(self):
         with pytest.raises(SweepError):
             watch("127.0.0.1:1", interval=0.0)
+
+    def test_watch_validates_reconnect_budget(self):
+        with pytest.raises(SweepError):
+            watch("127.0.0.1:1", reconnect_budget=-1.0)
+
+    def _flaky_fetch(self, outages, final):
+        """A fetch that succeeds once, fails ``outages`` times, then drains."""
+        replies = iter(
+            [self.status(done=2)]
+            + [None] * outages
+            + [final]
+        )
+
+        def fetch(addr):
+            reply = next(replies)
+            if reply is None:
+                raise BackendUnavailableError("restarting")
+            return reply
+
+        return fetch
+
+    def test_watch_rides_out_coordinator_restart(self):
+        # The durable service SIGKILLed and restarted mid-watch: the
+        # console banners RECONNECTING, re-attaches, and sees the drain.
+        import io
+
+        drained_status = self.status(done=4)
+        drained_status["counts"] = {"queued": 0, "leased": 0, "done": 4,
+                                    "poisoned": 0}
+        stream = io.StringIO()
+        slept = []
+        code = watch(
+            "127.0.0.1:1",
+            interval=0.1,
+            stream=stream,
+            fetch=self._flaky_fetch(outages=3, final=drained_status),
+            sleep=slept.append,
+        )
+        assert code == 0
+        text = stream.getvalue()
+        assert text.count("RECONNECTING to 127.0.0.1:1") == 3
+        assert "reconnected to 127.0.0.1:1" in text
+        assert "grid drained." in text
+
+    def test_watch_reconnect_sleeps_never_exceed_budget(self):
+        import io
+
+        slept = []
+        code = watch(
+            "127.0.0.1:1",
+            interval=1.0,
+            stream=io.StringIO(),
+            fetch=self._flaky_fetch(outages=50, final=self.status(done=4)),
+            sleep=slept.append,
+            reconnect_budget=2.0,
+        )
+        assert code == 0  # gone-after-contact is a normal run end
+        assert sum(slept) <= 1.0 + 2.0  # one interval sleep + the budget
+
+    def test_watch_reconnect_backoff_is_seeded(self):
+        import io
+
+        def run(seed):
+            slept = []
+            watch(
+                "127.0.0.1:1",
+                interval=0.5,
+                stream=io.StringIO(),
+                fetch=self._flaky_fetch(outages=4, final=self.status(done=4)),
+                sleep=slept.append,
+                reconnect_budget=5.0,
+                seed=seed,
+            )
+            return slept
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
 
 
 # -- Integration: real fleets over TCP --------------------------------------

@@ -1,0 +1,223 @@
+"""Acceptance: SIGKILL the durable service mid-workload, behind chaos.
+
+Two tenants submit grids through a misbehaving network proxy while real
+worker processes drain them; the service process is SIGKILLed without
+warning and restarted against the same SQLite store on the same port.
+Both tenants must end with results byte-identical to a serial run —
+every acknowledged point exactly once, nothing lost, nothing forked.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.faults.netproxy import ChaosProxy, NetChaos
+from repro.sweep import SweepPoint
+from repro.sweep.dist.protocol import dump_result
+from repro.sweep.dist.service import ServiceClient
+from repro.sweep.dist.store import JOB_DONE, SweepStore
+
+from tests.sweep.dist_grid import slow_add
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([str(REPO_ROOT / "src"), str(REPO_ROOT)])
+    return env
+
+
+def _free_address():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return f"127.0.0.1:{probe.getsockname()[1]}"
+
+
+def _spawn_service(address, store, lease=1.0):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "sweep",
+            "--service",
+            address,
+            "--store",
+            str(store),
+            "--lease",
+            str(lease),
+        ],
+        env=_env(),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _spawn_worker(address, rank):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "sweep",
+            "--connect",
+            address,
+            "--workers",
+            "1",
+            "--poll",
+            "0.05",
+            "--op-timeout",
+            "2",
+            "--reconnect-budget",
+            "60",
+            "--seed",
+            str(rank),
+        ],
+        env=_env(),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _reap(*procs):
+    for proc in procs:
+        if proc is not None and proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+    for proc in procs:
+        if proc is None:
+            continue
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=15)
+
+
+def _wait_ready(address, timeout=30):
+    client = ServiceClient(address, op_timeout=2.0, reconnect_budget=timeout)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if client.ping():
+                return
+        except Exception:
+            pass
+        time.sleep(0.1)
+    pytest.fail(f"service at {address} never became ready")
+
+
+def _grid_points(n, y, delay=0.15):
+    return [
+        (i, SweepPoint(slow_add, {"x": i, "y": y, "delay": delay}))
+        for i in range(n)
+    ]
+
+
+def _expected_payloads(points):
+    # capture=False submissions produce dump_result(value, None) on the
+    # wire, which pickles deterministically -> byte-identity is testable.
+    return {i: dump_result(p.kwargs["x"] + p.kwargs["y"], None) for i, p in points}
+
+
+@pytest.mark.slow
+def test_sigkill_restart_under_chaos_drains_both_tenants_byte_identical(tmp_path):
+    store_path = tmp_path / "store.sqlite"
+    address = _free_address()
+    chaos = NetChaos(
+        seed=1729,
+        refuse_p=0.05,
+        cut_p=0.03,
+        latency_p=0.2,
+        latency_seconds=0.01,
+        trickle_p=0.1,
+        partition_p=0.05,
+    )
+    grid_a = _grid_points(8, y=1)
+    grid_b = _grid_points(6, y=100)
+
+    first = _spawn_service(address, store_path)
+    second = None
+    workers = []
+    host, port = address.split(":")
+    try:
+        _wait_ready(address)
+        with ChaosProxy((host, int(port)), chaos) as proxy:
+            # Tenants and workers only ever see the chaotic address.
+            alice = ServiceClient(
+                proxy.address, op_timeout=3.0, reconnect_budget=90.0, seed=1
+            )
+            bob = ServiceClient(
+                proxy.address, op_timeout=3.0, reconnect_budget=90.0, seed=2
+            )
+            sub_a = alice.submit("alice-grid", grid_a, tenant="alice", capture=False)
+            sub_b = bob.submit("bob-grid", grid_b, tenant="bob", capture=False)
+            assert sub_a["created"] and sub_b["created"]
+            workers = [_spawn_worker(proxy.address, rank) for rank in range(3)]
+
+            # Let real work land, then kill the service without warning.
+            direct = ServiceClient(address, op_timeout=2.0, reconnect_budget=30.0)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                status = direct.status()
+                if status["counts"].get("done", 0) >= 3:
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("no work landed before the kill window")
+            first.send_signal(signal.SIGKILL)
+            first.wait(timeout=10)
+
+            time.sleep(0.5)
+            second = _spawn_service(address, store_path)
+
+            got_a = alice.wait(grid_sig(sub_a), timeout=120, decode=False)
+            got_b = bob.wait(grid_sig(sub_b), timeout=120, decode=False)
+
+            assert got_a["state"] == JOB_DONE
+            assert got_b["state"] == JOB_DONE
+            assert got_a["poisoned"] == {}
+            assert got_b["poisoned"] == {}
+            # Byte-identical to a serial run, per tenant, per point.
+            assert got_a["results"] == _expected_payloads(grid_a)
+            assert got_b["results"] == _expected_payloads(grid_b)
+
+            # JOBS survives the restart and keeps tenants straight.
+            jobs = {j["grid"]: j for j in alice.jobs()}
+            assert jobs[grid_sig(sub_a)]["tenant"] == "alice"
+            assert jobs[grid_sig(sub_b)]["tenant"] == "bob"
+            assert all(j["state"] == JOB_DONE for j in jobs.values())
+
+            # A resubmission after the restart is recognised, not forked.
+            again = alice.submit("alice-grid", grid_a, tenant="alice", capture=False)
+            assert not again["created"]
+            assert again["grid"] == grid_sig(sub_a)
+
+            # The proxy really did misbehave while all this held.
+            assert proxy.stats["accepted"] > 0
+            injected = sum(
+                proxy.stats[k]
+                for k in ("refused", "cut", "delayed", "trickled", "partitioned")
+            )
+            assert injected > 0, json.dumps(proxy.stats)
+    finally:
+        _reap(first, second, *workers)
+
+    # The store on disk agrees with what the tenants saw.
+    with SweepStore(store_path) as store:
+        for sub, grid in ((sub_a, grid_a), (sub_b, grid_b)):
+            assert store.job(grid_sig(sub))["state"] == JOB_DONE
+            assert store.done_payloads(grid_sig(sub)) == _expected_payloads(grid)
+
+
+def grid_sig(submission):
+    return submission["grid"]

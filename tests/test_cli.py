@@ -298,10 +298,60 @@ def test_sweep_flag_validation_errors():
         ),
         (["sweep", "fig5", "--journal", "j"], "only apply to --serve"),
         (["sweep", "fig5", "--lease", "3"], "only apply to --serve"),
+        (["sweep", "--service", "127.0.0.1:1"], "needs --store"),
+        (
+            [
+                "sweep",
+                "--service",
+                "127.0.0.1:1",
+                "--store",
+                "s.sqlite",
+                "--connect",
+                "127.0.0.1:2",
+            ],
+            "runs standalone",
+        ),
+        (
+            ["sweep", "fig5", "--service", "127.0.0.1:1", "--store", "s.sqlite"],
+            "no experiment names",
+        ),
+        (["sweep", "fig5", "--store", "s.sqlite"], "only applies to --service"),
+        (
+            ["sweep", "fig5", "--submit", "127.0.0.1:1", "--serve", "127.0.0.1:2"],
+            "mutually exclusive",
+        ),
+        (
+            ["sweep", "fig5", "--submit", "127.0.0.1:1", "--parallel", "2"],
+            "mutually exclusive",
+        ),
+        (["sweep", "fig5", "--tenant", "alice"], "only applies to --submit"),
+        (["sweep", "--migrate-history"], "needs --cache-dir"),
     ]
     for argv, match in cases:
         with pytest.raises(ConfigError, match=match):
             main(argv)
+
+
+def test_sweep_migrate_history_imports_jsonl(tmp_path, capsys):
+    import json
+
+    from repro.sweep.dist.store import STORE_FILENAME, SweepStore
+
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    (cache_dir / "history.jsonl").write_text(
+        json.dumps({"time": 1.0, "hits": 2, "misses": 0, "hit_rate": 1.0}) + "\n"
+    )
+    assert main(["sweep", "--migrate-history", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "1 history record" in out
+    # The legacy file is renamed aside, so a re-run imports nothing new.
+    assert not (cache_dir / "history.jsonl").exists()
+    with SweepStore(cache_dir / STORE_FILENAME) as store:
+        assert [r["hits"] for r in store.history()] == [2]
+    assert main(["sweep", "--migrate-history", "--cache-dir", str(cache_dir)]) == 0
+    with SweepStore(cache_dir / STORE_FILENAME) as store:
+        assert len(store.history()) == 1
 
 
 def test_sweep_progress_tracks_distributed_sources():

@@ -3,6 +3,9 @@
 import pytest
 
 from repro.transport.resp import (
+    MAX_ARRAY_DEPTH,
+    MAX_ARRAY_ITEMS,
+    MAX_BULK_BYTES,
     RespError,
     RespParser,
     ServerReplyError,
@@ -144,3 +147,58 @@ def test_unknown_marker():
 def test_binary_safe_payload():
     payload = bytes(range(256)) * 4
     assert parse_one(encode_bulk(payload)) == payload
+
+
+class TestFrameLimits:
+    """A hostile header must be rejected before its payload buffers."""
+
+    def test_defaults_are_sane(self):
+        assert MAX_BULK_BYTES == 64 * 1024 * 1024
+        assert MAX_ARRAY_ITEMS == 1 << 16
+        assert MAX_ARRAY_DEPTH == 8
+
+    def test_oversized_bulk_rejected_from_header_alone(self):
+        p = RespParser(max_bulk_bytes=16)
+        p.feed(b"$99999999999\r\n")  # no payload bytes ever sent
+        with pytest.raises(RespError, match="frame limit"):
+            p.pop_frame()
+
+    def test_bulk_at_limit_is_accepted(self):
+        p = RespParser(max_bulk_bytes=4)
+        p.feed(encode_bulk(b"abcd"))
+        assert p.pop_frame() == (True, b"abcd")
+
+    def test_oversized_array_count_rejected(self):
+        p = RespParser(max_array_items=4)
+        p.feed(b"*5\r\n")
+        with pytest.raises(RespError, match="item frame limit"):
+            p.pop_frame()
+
+    def test_nesting_depth_bounded(self):
+        depth = 5
+        p = RespParser(max_array_depth=4)
+        p.feed(b"*1\r\n" * depth + b":1\r\n")
+        with pytest.raises(RespError, match="nesting exceeds depth"):
+            p.pop_frame()
+
+    def test_nesting_at_limit_parses(self):
+        p = RespParser(max_array_depth=4)
+        p.feed(b"*1\r\n" * 4 + b":1\r\n")
+        assert p.pop_frame() == (True, [[[[1]]]])
+
+    def test_unterminated_garbage_stops_accumulating(self):
+        p = RespParser(max_bulk_bytes=1024)
+        # A peer streaming bytes with no CRLF in sight: the buffer may
+        # not grow unboundedly waiting for a terminator.
+        with pytest.raises(RespError, match="unterminated frame"):
+            for _ in range(80):
+                p.feed(b"x" * 1024)
+                p.pop_frame()
+
+    def test_limits_do_not_leak_across_frames(self):
+        p = RespParser(max_bulk_bytes=8)
+        p.feed(encode_bulk(b"ok"))
+        assert p.pop() == b"ok"
+        p.feed(b"$9\r\n")
+        with pytest.raises(RespError):
+            p.pop_frame()
