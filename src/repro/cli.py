@@ -361,6 +361,11 @@ class _SweepProgress:
         return f"sweep {name}: " + ", ".join(parts) + f" in {elapsed:.1f}s"
 
 
+#: First positional tokens that turn ``repro sweep`` into a store
+#: maintenance command instead of an experiment run.
+_MAINTENANCE_VERBS = ("query", "usage", "gc")
+
+
 def _validate_sweep_args(args: argparse.Namespace) -> None:
     if args.cache_info:
         if not args.cache_dir:
@@ -370,6 +375,40 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
         if not args.cache_dir:
             raise ConfigError("--migrate-history needs --cache-dir to import")
         return
+    if args.experiments and args.experiments[0] in _MAINTENANCE_VERBS:
+        verb = args.experiments[0]
+        if len(args.experiments) > 1:
+            raise ConfigError(
+                f"'{verb}' takes flags, not positional arguments: "
+                f"{args.experiments[1:]}"
+            )
+        if bool(args.store) == bool(args.at):
+            raise ConfigError(
+                f"'{verb}' needs exactly one of --store FILE (read a store "
+                "file) or --at HOST:PORT (ask a running service)"
+            )
+        if args.serve or args.connect or args.watch or args.submit or args.service:
+            raise ConfigError(
+                f"'{verb}' is a maintenance command; it cannot combine with "
+                "--serve/--connect/--submit/--service/--watch"
+            )
+        if verb != "gc" and (
+            args.max_age is not None
+            or args.keep_latest is not None
+            or args.apply
+        ):
+            raise ConfigError("--max-age/--keep-latest/--apply only apply to gc")
+        if verb != "query" and args.fingerprint:
+            raise ConfigError("--fingerprint only applies to query")
+        return
+    if args.at:
+        raise ConfigError("--at only applies to query/usage/gc")
+    if args.fingerprint or args.apply or args.max_age is not None \
+            or args.keep_latest is not None:
+        raise ConfigError(
+            "--fingerprint/--max-age/--keep-latest/--apply only apply to "
+            "the query/usage/gc maintenance commands"
+        )
     if args.service:
         if not args.store:
             raise ConfigError(
@@ -388,7 +427,10 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
             )
         return
     if args.store:
-        raise ConfigError("--store only applies to --service/--migrate-history")
+        raise ConfigError(
+            "--store only applies to --service/--migrate-history and the "
+            "query/usage/gc maintenance commands"
+        )
     if args.watch:
         if args.serve or args.connect:
             raise ConfigError(
@@ -504,6 +546,192 @@ def _cmd_migrate_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def _maintenance_reports(args: argparse.Namespace, verb: str) -> dict:
+    """Produce the query/usage/gc report dict from a file or a service.
+
+    ``--at HOST:PORT`` asks a running service (the only safe way to
+    *apply* GC while one is up — its writer thread owns the store);
+    ``--store FILE`` reads the SQLite file directly through a read-only
+    :class:`~repro.sweep.dist.query.ReaderPool`, except ``gc --apply``,
+    which opens the store read-write and must not race a live service.
+    """
+    if args.at:
+        from repro.sweep.dist.service import ServiceClient
+
+        client = ServiceClient(args.at)
+        if verb == "query":
+            return client.query(
+                fingerprint=args.fingerprint or None,
+                name=args.name or None,
+                tenant=args.tenant or None,
+            )
+        if verb == "usage":
+            return client.usage(tenant=args.tenant or None, since=args.since)
+        return client.gc(
+            max_age_seconds=args.max_age,
+            keep_latest=args.keep_latest,
+            tenant=args.tenant or None,
+            name=args.name or None,
+            lease_grace=args.lease_grace,
+            dry_run=not args.apply,
+        )
+
+    from repro.sweep.dist.query import (
+        ReaderPool,
+        RetentionPolicy,
+        divergences,
+        gc_plan,
+        query_fingerprint,
+        run_gc,
+        usage,
+    )
+
+    if verb == "gc":
+        policy = RetentionPolicy(
+            max_age_seconds=args.max_age,
+            keep_latest=args.keep_latest,
+            tenant=args.tenant or None,
+            name=args.name or None,
+            lease_grace=args.lease_grace,
+        )
+        if not args.apply:
+            with ReaderPool(args.store) as pool:
+                planned = gc_plan(pool, policy)
+            return {
+                "policy": policy.describe(),
+                "dry_run": True,
+                "planned": planned,
+                "collected": [],
+                "refused": [],
+            }
+        from repro.sweep.dist.store import SweepStore
+
+        store = SweepStore(args.store)
+        try:
+            return run_gc(store, policy, dry_run=False)
+        finally:
+            store.close()
+
+    with ReaderPool(args.store) as pool:
+        if verb == "query":
+            rows = query_fingerprint(
+                pool,
+                fingerprint=args.fingerprint or None,
+                name=args.name or None,
+                tenant=args.tenant or None,
+            )
+            return {
+                "rows": rows,
+                "divergences": divergences(
+                    pool,
+                    fingerprint=args.fingerprint or None,
+                    name=args.name or None,
+                    tenant=args.tenant or None,
+                ),
+            }
+        return usage(pool, tenant=args.tenant or None, since=args.since)
+
+
+def _print_table(rows: list, columns: list) -> None:
+    """Minimal aligned text table: ``columns`` is [(header, key), ...]."""
+    if not rows:
+        print("  (none)")
+        return
+    cells = [
+        [str(row.get(key, "") if row.get(key) is not None else "") for _, key in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(header), *(len(line[i]) for line in cells))
+        for i, (header, _) in enumerate(columns)
+    ]
+    print("  " + "  ".join(h.ljust(w) for (h, _), w in zip(columns, widths)))
+    for line in cells:
+        print("  " + "  ".join(v.ljust(w) for v, w in zip(line, widths)))
+
+
+def _cmd_sweep_maintenance(args: argparse.Namespace) -> int:
+    """``repro sweep query|usage|gc``: the read side of the service store."""
+    import json
+
+    verb = args.experiments[0]
+    report = _maintenance_reports(args, verb)
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+        return 0
+    if verb == "query":
+        rows = [
+            {
+                **row,
+                "fingerprint": (row.get("fingerprint") or "")[:16],
+                "grid": (row.get("grid") or "")[:16],
+                "value_digest": (row.get("value_digest") or "")[:16],
+            }
+            for row in report.get("rows", [])
+        ]
+        print(f"results ({len(rows)} rows):")
+        _print_table(rows, [
+            ("FINGERPRINT", "fingerprint"), ("GRID", "grid"), ("IDX", "idx"),
+            ("STATE", "state"), ("JOB", "job_name"), ("TENANT", "tenant"),
+            ("VERSION", "version"), ("JOB-STATE", "job_state"),
+            ("VALUE", "value_digest"),
+        ])
+        flagged = report.get("divergences", [])
+        if flagged:
+            print(f"version divergences ({len(flagged)}):")
+            for entry in flagged:
+                scope = "WITHIN-version" if entry["divergent_within_version"] \
+                    else "across versions"
+                print(
+                    f"  {entry['fingerprint'][:16]}: {entry['n_results']} "
+                    f"results disagree ({scope}): "
+                    + "; ".join(
+                        f"{v}={[d[:12] for d in ds]}"
+                        for v, ds in sorted(entry["versions"].items())
+                    )
+                )
+        else:
+            print("version divergences: none")
+        return 0
+    if verb == "usage":
+        print("per-tenant usage (UTC days):")
+        _print_table(report.get("tenants", []), [
+            ("TENANT", "tenant"), ("DAY", "day"), ("DONE", "points_done"),
+            ("LEASES", "leases"), ("WALL-S", "wall_seconds"),
+            ("RETRIES", "retries"), ("RECLAIMS", "reclaims"),
+            ("POISONED", "poisoned"), ("GRIDS", "grids"),
+        ])
+        cache_rows = [
+            {**row, "hit_rate": f"{100.0 * row.get('hit_rate', 0.0):.0f}%"}
+            for row in report.get("cache", [])
+        ]
+        print("cache history:")
+        _print_table(cache_rows, [
+            ("DAY", "day"), ("HITS", "hits"), ("MISSES", "misses"),
+            ("HIT-RATE", "hit_rate"),
+        ])
+        return 0
+    # gc
+    mode = "DRY RUN (use --apply to collect)" if report.get("dry_run") else "applied"
+    print(f"gc {mode}; policy {report.get('policy')}")
+    planned = [
+        {**row, "grid": (row.get("grid") or "")[:16]}
+        for row in report.get("planned", [])
+    ]
+    print(f"planned ({len(planned)}):")
+    _print_table(planned, [
+        ("GRID", "grid"), ("JOB", "name"), ("TENANT", "tenant"),
+        ("STATE", "state"), ("WHY", "why"),
+    ])
+    if not report.get("dry_run"):
+        collected = report.get("collected", [])
+        refused = report.get("refused", [])
+        print(f"collected: {len(collected)}  refused: {len(refused)}")
+        for entry in refused:
+            print(f"  refused {entry['grid'][:16]}: {entry['refused']}")
+    return 0
+
+
 def _worker_flight_path(base: str, rank: int, workers: int) -> Optional[str]:
     """Per-rank flight-recorder path so fleet members never clobber."""
     if not base:
@@ -585,6 +813,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return _cmd_cache_info(args)
     if args.migrate_history:
         return _cmd_migrate_history(args)
+    if args.experiments and args.experiments[0] in _MAINTENANCE_VERBS:
+        return _cmd_sweep_maintenance(args)
     handler = None
     if args.log_json or args.log_level != "info":
         # Structured logging is opt-in; without it the repro logger keeps
@@ -796,7 +1026,10 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment ids or 'all' (e.g. fig3, table2, ext_faults)",
+        help="experiment ids or 'all' (e.g. fig3, table2, ext_faults); or a "
+        "maintenance verb: 'query' (cross-job results by fingerprint), "
+        "'usage' (per-tenant accounting), 'gc' (retention pass) — these "
+        "take --store FILE or --at HOST:PORT",
     )
     sweep.add_argument(
         "--quick", action="store_true", help="scaled-down iteration counts"
@@ -875,7 +1108,69 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="NAME",
         help="tenant label for --submit (fair-share accounting across "
-        "concurrent tenants)",
+        "concurrent tenants); also the tenant filter for query/usage/gc",
+    )
+    sweep.add_argument(
+        "--at",
+        default="",
+        metavar="HOST:PORT",
+        help="address of a running sweep service for query/usage/gc (the "
+        "only safe way to gc --apply while a service is up)",
+    )
+    sweep.add_argument(
+        "--fingerprint",
+        default="",
+        metavar="HEX",
+        help="for query: point fingerprint to look up (an unambiguous "
+        "prefix is enough)",
+    )
+    sweep.add_argument(
+        "--name",
+        default="",
+        metavar="JOB",
+        help="for query/usage/gc: restrict to jobs with this name",
+    )
+    sweep.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        metavar="EPOCH",
+        help="for usage: only count events at/after this unix time",
+    )
+    sweep.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="for gc: collect terminal jobs idle longer than this",
+    )
+    sweep.add_argument(
+        "--keep-latest",
+        type=int,
+        default=None,
+        metavar="N",
+        help="for gc: keep only the N newest terminal jobs per "
+        "(name, tenant) group",
+    )
+    sweep.add_argument(
+        "--lease-grace",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="for gc: refuse to collect a job whose newest lease event is "
+        "younger than this (default 300)",
+    )
+    sweep.add_argument(
+        "--apply",
+        action="store_true",
+        help="for gc: actually collect (default is a dry run that only "
+        "prints the plan)",
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="for query/usage/gc: print the full report as JSON instead "
+        "of tables",
     )
     sweep.add_argument(
         "--migrate-history",

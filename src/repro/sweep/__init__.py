@@ -39,7 +39,14 @@ Quick use::
     values = SweepEngine(SweepOptions(parallel=4, cache_dir=".sweep")).run(points)
 """
 
-from repro.sweep.cache import CacheStats, ResultCache, fingerprint, point_key
+from repro.sweep.cache import (
+    CacheStats,
+    ResultCache,
+    fingerprint,
+    grid_fingerprint,
+    point_fingerprint,
+    point_key,
+)
 from repro.sweep.engine import SweepEngine, SweepOptions, SweepReport
 from repro.sweep.point import SweepPoint, derive_seed, grid
 
@@ -53,5 +60,7 @@ __all__ = [
     "derive_seed",
     "fingerprint",
     "grid",
+    "grid_fingerprint",
+    "point_fingerprint",
     "point_key",
 ]

@@ -32,7 +32,7 @@ import pickle
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.errors import SweepError
 from repro.version import __version__
@@ -40,6 +40,11 @@ from repro.version import __version__
 #: Bytes written before the pickled payload, bumped when the entry
 #: format itself (not the cached computation) changes shape.
 _FORMAT = "repro-sweep-cache-v1"
+
+#: Domain prefix of :func:`point_fingerprint`; bumped only if the
+#: canonical rendering itself ever changes shape (which would orphan
+#: every recorded fingerprint, so: don't).
+_POINT_FORMAT = "repro-sweep-point-v1"
 
 
 def fingerprint(obj: Any) -> str:
@@ -108,6 +113,40 @@ def point_key(func_path: str, kwargs: dict, version: str = __version__) -> str:
     """The content address of one sweep point under one code version."""
     material = f"{_FORMAT}|{version}|{func_path}|{fingerprint(dict(kwargs))}"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def point_fingerprint(func_path: str, kwargs: dict) -> str:
+    """The version-INDEPENDENT content identity of one sweep point.
+
+    Same canonical rendering as :func:`point_key` but deliberately
+    *without* ``repro.__version__``: where the point key answers "may I
+    reuse this cached result?" (no, if the code changed), the
+    fingerprint answers "is this the same experiment cell?" across code
+    versions. The service store records it per point so cross-version
+    queries ("all fig6 runs of this cell, ever") and version-divergence
+    detection (same fingerprint, different result payload under a
+    different version) are one indexed join — see
+    :mod:`repro.sweep.dist.query`.
+    """
+    material = f"{_POINT_FORMAT}|{func_path}|{fingerprint(dict(kwargs))}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def grid_fingerprint(points: "Sequence[tuple[int, Any]]") -> str:
+    """Version-independent content identity of a whole (sub)grid.
+
+    SHA-256 over the indexed :func:`point_fingerprint` of every cell —
+    the version-free analogue of
+    :func:`repro.sweep.dist.protocol.grid_signature`. Recorded with each
+    cache-history row so hit-rate history stays joinable to the grid
+    content that produced it even after a version bump reshuffles every
+    point key.
+    """
+    digest = hashlib.sha256()
+    for index, point in points:
+        fp = point_fingerprint(point.func_path, dict(point.kwargs))
+        digest.update(f"{int(index)}:{fp}\n".encode("utf-8"))
+    return digest.hexdigest()
 
 
 @dataclasses.dataclass
@@ -311,17 +350,23 @@ class ResultCache:
 
         return self.directory / STORE_FILENAME
 
-    def record_history(self) -> None:
+    def record_history(self, fingerprint: Optional[str] = None) -> None:
         """Append this run's hit/miss counters to the history log.
 
         Writes the SQLite store when one lives in the cache directory
         (``repro sweep --migrate-history`` creates it) and falls back to
         ``history.jsonl`` otherwise. Best-effort either way: a read-only
         or contended cache directory must not fail the sweep.
+
+        ``fingerprint`` is the run's :func:`grid_fingerprint` — recorded
+        alongside the counters (both paths) so hit-rate history joins to
+        grid content across ``repro`` versions.
         """
         if self.stats.lookups == 0 and self.stats.stores == 0:
             return
         record = {"time": time.time(), **self.stats.as_dict()}
+        if fingerprint:
+            record["fingerprint"] = str(fingerprint)
         if self._record_history_sqlite(record):
             return
         try:
@@ -331,7 +376,14 @@ class ResultCache:
             pass
 
     def _record_history_sqlite(self, record: dict) -> bool:
-        """Append one record to the store DB; False -> use the JSONL."""
+        """Append one record to the store DB; False -> use the JSONL.
+
+        Tries the schema-v2 shape (with ``fingerprint``) first and falls
+        back to the v1 column set for cache-dir stores nothing has
+        migrated yet — this writer opens the file raw precisely so it
+        never has to take the store's writer thread (or its migration)
+        hostage for a best-effort history append.
+        """
         path = self._store_path()
         if not path.exists():
             return False
@@ -341,19 +393,28 @@ class ResultCache:
             conn = sqlite3.connect(path, timeout=5.0)
         except sqlite3.Error:
             return False
+        values = (
+            float(record.get("time", 0.0)),
+            int(record.get("hits", 0)),
+            int(record.get("misses", 0)),
+            int(record.get("stores", 0)),
+            int(record.get("invalid", 0)),
+            float(record.get("hit_rate", 0.0)),
+        )
         try:
-            conn.execute(
-                "INSERT INTO history (time, hits, misses, stores, invalid,"
-                " hit_rate) VALUES (?, ?, ?, ?, ?, ?)",
-                (
-                    float(record.get("time", 0.0)),
-                    int(record.get("hits", 0)),
-                    int(record.get("misses", 0)),
-                    int(record.get("stores", 0)),
-                    int(record.get("invalid", 0)),
-                    float(record.get("hit_rate", 0.0)),
-                ),
-            )
+            try:
+                conn.execute(
+                    "INSERT INTO history (time, hits, misses, stores, invalid,"
+                    " hit_rate, fingerprint) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    values + (record.get("fingerprint"),),
+                )
+            except sqlite3.OperationalError:
+                # Schema v1 store: no fingerprint column yet.
+                conn.execute(
+                    "INSERT INTO history (time, hits, misses, stores, invalid,"
+                    " hit_rate) VALUES (?, ?, ?, ?, ?, ?)",
+                    values,
+                )
             conn.commit()
             return True
         except sqlite3.Error:
@@ -395,18 +456,30 @@ class ResultCache:
         except sqlite3.Error:
             return []
         try:
-            rows = conn.execute(
-                "SELECT time, hits, misses, stores, invalid, hit_rate"
-                " FROM history ORDER BY seq DESC LIMIT ?",
-                (int(limit),),
-            ).fetchall()
+            try:
+                rows = conn.execute(
+                    "SELECT time, hits, misses, stores, invalid, hit_rate,"
+                    " fingerprint FROM history ORDER BY seq DESC LIMIT ?",
+                    (int(limit),),
+                ).fetchall()
+            except sqlite3.OperationalError:
+                # Schema v1 store: no fingerprint column yet.
+                rows = [
+                    tuple(row) + (None,)
+                    for row in conn.execute(
+                        "SELECT time, hits, misses, stores, invalid, hit_rate"
+                        " FROM history ORDER BY seq DESC LIMIT ?",
+                        (int(limit),),
+                    ).fetchall()
+                ]
         except sqlite3.Error:
             return []
         finally:
             conn.close()
         rows.reverse()
-        return [
-            {
+        records = []
+        for time_, hits, misses, stores, invalid, hit_rate, fp in rows:
+            record = {
                 "time": time_,
                 "hits": hits,
                 "misses": misses,
@@ -414,5 +487,7 @@ class ResultCache:
                 "invalid": invalid,
                 "hit_rate": hit_rate,
             }
-            for time_, hits, misses, stores, invalid, hit_rate in rows
-        ]
+            if fp:
+                record["fingerprint"] = fp
+            records.append(record)
+        return records

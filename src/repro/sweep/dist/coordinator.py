@@ -88,7 +88,12 @@ DistProgressFn = Callable[[str, int, Optional[str]], None]
 
 @dataclass
 class DistOutcome:
-    """What one :meth:`SweepCoordinator.serve` session produced."""
+    """What one :meth:`SweepCoordinator.serve` session produced.
+
+    Plain data, not internally locked: it is mutated under the
+    coordinator's dispatch lock while serving and safe to read freely
+    once :meth:`SweepCoordinator.serve` has returned.
+    """
 
     #: index -> (value, snapshot); covers replayed *and* executed points.
     results: dict[int, tuple[Any, Any]] = field(default_factory=dict)
@@ -109,7 +114,26 @@ class DistOutcome:
 
 
 class SweepCoordinator(RespTcpServer):
-    """Work-stealing grid server with leases, journal, and poison control."""
+    """Work-stealing grid server with leases, journal, and poison control.
+
+    Thread-safety: request handling runs on per-connection threads, but
+    every command body executes under the inherited
+    :class:`~repro.transport.server.RespTcpServer` dispatch lock, and
+    :meth:`serve`'s periodic reclaim tick takes the same lock — so the
+    lease table, journal, outcome, and tracer are only ever touched by
+    one thread at a time and need no locking of their own. Public
+    methods (:meth:`status`, :meth:`write_fleet_trace`) take the lock
+    themselves; :meth:`request_stop` only sets a flag and is safe from
+    any thread or signal handler.
+
+    Durability: in-memory by default — a crashed coordinator loses
+    unreported progress. With ``journal_dir`` every DONE/POISONED is
+    fsynced to the grid's append-only journal *before* the worker's ack
+    is sent, so a restarted coordinator with the same journal replays
+    every acknowledged result and serves only the remainder (the
+    durable-service variant, :class:`~repro.sweep.dist.service.SweepService`,
+    upgrades this contract to an SQLite store).
+    """
 
     def __init__(
         self,

@@ -28,7 +28,12 @@ DEFAULT_ALPHA = 0.3
 
 
 class EwmaRate:
-    """Exponentially-weighted points-per-second of one worker."""
+    """Exponentially-weighted points-per-second of one worker.
+
+    Not internally locked: the coordinator/service mutates and reads it
+    under their dispatch lock, like every other per-worker structure.
+    Pure bookkeeping — nothing here is durable or needs to be.
+    """
 
     def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
         if not 0.0 < alpha <= 1.0:

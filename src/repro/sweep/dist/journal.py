@@ -58,7 +58,20 @@ class ReplayState:
 
 
 class SweepJournal:
-    """One grid's append-only recovery log inside a journal directory."""
+    """One grid's append-only recovery log inside a journal directory.
+
+    Durability contract: :meth:`record_done` and :meth:`record_poisoned`
+    flush **and fsync** before returning — the coordinator calls them
+    before acknowledging the worker, so an acknowledged result survives
+    any crash. :meth:`record_transition` audit records are flushed but
+    not fsynced (losing them costs observability, not correctness). A
+    torn tail (writer killed mid-append) is tolerated on
+    :meth:`replay`; mid-file corruption or a header from a different
+    grid is an error, never a silent partial replay.
+
+    Thread-safety: none — one open session, one writer. The coordinator
+    only appends from under its dispatch lock.
+    """
 
     def __init__(self, directory: str | Path, signature: str, n_points: int) -> None:
         self.directory = Path(directory)

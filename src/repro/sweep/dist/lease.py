@@ -83,6 +83,15 @@ class LeaseTable:
     out of order. Live entries keep the exact order the eager-removal
     implementation produced (lowest-index-first reclaim at the front,
     requeues at the back).
+
+    Thread-safety: none of its own — the table assumes the caller
+    serializes every call (the coordinator and service both drive it
+    from under their RESP dispatch lock; the engine's serve path is
+    single-threaded). Durability: none — this is the *in-memory* half
+    of the state machine; the journal
+    (:class:`~repro.sweep.dist.journal.SweepJournal`) or store
+    (:class:`~repro.sweep.dist.store.SweepStore`) is the durable record,
+    written by the observer callback / caller before acks go out.
     """
 
     def __init__(

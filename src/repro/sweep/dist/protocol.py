@@ -46,6 +46,13 @@ CANCEL     grid                                           ``+CANCELLED`` /
 RESULTS    grid                                           bulk results pickle
                                                           ({index: payload}
                                                           + job state)
+QUERY      [spec-JSON]                                    bulk JSON result rows
+                                                          (+ divergence report)
+USAGE      [spec-JSON]                                    bulk JSON per-tenant
+                                                          per-day accounting
+GC         [policy-JSON]                                  bulk JSON retention
+                                                          report (planned /
+                                                          collected / refused)
 =========  =============================================  =======================
 
 Wire-format history (``WIRE_FORMAT`` gates the pickled payload shape;
@@ -92,6 +99,24 @@ HELLO's version check keeps mixed fleets out entirely):
   SQLite store before acknowledgement, and a SIGKILLed service
   restarted on the same store drains every in-flight job to
   byte-identical results (see ``repro.sweep.dist.store``).
+* **v5** — **read commands over the durable store**: ``QUERY`` (all
+  recorded results for a point-fingerprint/job-name/tenant filter,
+  across jobs and code versions, with optional version-divergence
+  detection), ``USAGE`` (per-tenant per-day accounting aggregated from
+  the event audit trail and cache history), and ``GC`` (the
+  retention/policy engine: age- and count-based collection of terminal
+  jobs, dry-run planning, tombstoned grids still short-circuit
+  re-submission). All three take one optional JSON argument and answer
+  bulk JSON; on the service they are answered from a *read-only
+  connection pool* beside the store's single writer (GC's deletions
+  alone go through the writer), so heavy queries never sit between a
+  worker's DONE and its fsync — see ``repro.sweep.dist.query``. The
+  store schema moves to v2 (indexed per-point fingerprints, tombstone
+  rows, usage views; v1 stores migrate in place on open). The *result*
+  payload shape is unchanged — ``load_result`` accepts persisted v4
+  payloads so pre-v5 stores keep replaying byte-identical results —
+  while live-wire payloads (assignments, submissions) require v5
+  exactly, as before.
 
 Assignments and results are pickled: workers are trusted peers running
 the *same* ``repro`` version against the same grid (HELLO rejects a
@@ -113,7 +138,16 @@ from repro.sweep.cache import point_key
 from repro.sweep.point import SweepPoint
 
 #: Bumped when the assignment/result wire shape changes.
-WIRE_FORMAT = "repro-dist-sweep-v4"
+WIRE_FORMAT = "repro-dist-sweep-v5"
+
+#: Result-payload formats :func:`load_result` accepts. Result payloads
+#: outlive connections — the store persists the exact bytes a worker
+#: shipped, and replaying them byte-identical across restarts (and now
+#: across *code upgrades*) is the service's core promise. The v4 result
+#: shape is unchanged in v5, so v4 payloads recorded by a pre-v5 store
+#: must keep decoding; live-wire payloads (assignments, submissions)
+#: stay strictly current-format because nothing persists them.
+_RESULT_FORMATS = frozenset({"repro-dist-sweep-v4", WIRE_FORMAT})
 
 #: CLAIM reply meaning "every point is done or poisoned; nothing left".
 DRAINED = "DRAINED"
@@ -211,8 +245,9 @@ def dump_result(value: Any, snapshot: Any) -> bytes:
 
 
 def load_result(blob: bytes) -> tuple[Any, Any]:
+    """Decode one result payload (current wire format or persisted v4)."""
     payload = pickle.loads(blob)
-    if not isinstance(payload, dict) or payload.get("format") != WIRE_FORMAT:
+    if not isinstance(payload, dict) or payload.get("format") not in _RESULT_FORMATS:
         raise SweepError("malformed result payload")
     return payload["value"], payload["snapshot"]
 

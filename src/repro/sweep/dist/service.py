@@ -75,6 +75,15 @@ from repro.sweep.dist.protocol import (
     load_submission,
     parse_hostport,
 )
+from repro.sweep.cache import point_fingerprint
+from repro.sweep.dist.query import (
+    ReaderPool,
+    RetentionPolicy,
+    divergences,
+    query_fingerprint,
+    run_gc,
+    usage,
+)
 from repro.sweep.dist.store import (
     JOB_CANCELLED,
     JOB_DONE,
@@ -160,6 +169,10 @@ class SweepService(RespTcpServer):
         self._spans_accepted = 0
         self.stale_grid = 0
         self.duplicates = 0
+        #: Read-only connections beside the single writer: QUERY/USAGE
+        #: (and GC's planning pass) answer from here, so an expensive
+        #: query never queues between a worker's DONE and its fsync.
+        self.reader = ReaderPool(self.store.path)
         self._restore()
         _log.info(
             "service.open",
@@ -296,8 +309,18 @@ class SweepService(RespTcpServer):
             # Known but not live: terminal, or restored-unresumable.
             return {"grid": grid, "created": False, "state": row["state"],
                     "n_points": row["n_points"]}
+        tomb = self.store.tombstone(grid)
+        if tomb is not None:
+            # Collected by GC: the tombstone preserves idempotency, so a
+            # retried SUBMIT short-circuits instead of re-running the grid.
+            return {"grid": grid, "created": False, "state": "collected",
+                    "n_points": tomb["n_points"]}
         specs = [
-            (idx, pickle.dumps(point, protocol=pickle.HIGHEST_PROTOCOL))
+            (
+                idx,
+                pickle.dumps(point, protocol=pickle.HIGHEST_PROTOCOL),
+                point_fingerprint(point.func_path, point.kwargs),
+            )
             for idx, point in work
         ]
         self.store.submit_job(grid, name=name, points=specs, tenant=tenant)
@@ -388,7 +411,93 @@ class SweepService(RespTcpServer):
         if name == "SPANS":
             self._need(args, 2, "SPANS")
             return self._handle_spans(_text(args[0]), _text(args[1]))
+        if name == "QUERY":
+            return self._handle_query(self._read_spec(args, "QUERY"))
+        if name == "USAGE":
+            return self._handle_usage(self._read_spec(args, "USAGE"))
+        if name == "GC":
+            return self._handle_gc(self._read_spec(args, "GC"))
         raise TransportError(f"unknown command '{name}'")
+
+    # -- read commands (protocol v5) -----------------------------------------
+    @staticmethod
+    def _read_spec(args: list, command: str) -> dict:
+        """The optional single-JSON-object argument of QUERY/USAGE/GC."""
+        if len(args) not in (0, 1):
+            raise TransportError(f"wrong number of arguments for '{command}'")
+        if not args:
+            return {}
+        try:
+            spec = json.loads(_text(args[0]) or "{}")
+        except ValueError:
+            raise TransportError(f"{command} spec must be JSON") from None
+        if not isinstance(spec, dict):
+            raise TransportError(f"{command} spec must be a JSON object")
+        return spec
+
+    def _handle_query(self, spec: dict) -> bytes:
+        """Cross-job result lookup; reads only, answered from the pool."""
+        rows = query_fingerprint(
+            self.reader,
+            fingerprint=spec.get("fingerprint"),
+            name=spec.get("name"),
+            tenant=spec.get("tenant"),
+            limit=int(spec.get("limit", 1000)),
+        )
+        reply = {"rows": rows}
+        if spec.get("divergences", True):
+            reply["divergences"] = divergences(
+                self.reader,
+                fingerprint=spec.get("fingerprint"),
+                name=spec.get("name"),
+                tenant=spec.get("tenant"),
+            )
+        return resp.encode_bulk(json.dumps(reply, sort_keys=True).encode())
+
+    def _handle_usage(self, spec: dict) -> bytes:
+        report = usage(
+            self.reader,
+            tenant=spec.get("tenant"),
+            since=spec.get("since"),
+        )
+        return resp.encode_bulk(json.dumps(report, sort_keys=True).encode())
+
+    def _handle_gc(self, spec: dict) -> bytes:
+        """Plan (always) and apply (unless dry_run) a retention pass.
+
+        The apply path funnels through the store's single writer like
+        every other mutation; afterwards any collected job is evicted
+        from the in-memory job map and claim ring so workers stop
+        seeing it immediately.
+        """
+        policy = RetentionPolicy(
+            max_age_seconds=spec.get("max_age_seconds"),
+            keep_latest=spec.get("keep_latest"),
+            tenant=spec.get("tenant"),
+            name=spec.get("name"),
+            lease_grace=float(spec.get("lease_grace", 300.0)),
+        )
+        dry_run = bool(spec.get("dry_run", True))
+        report = run_gc(
+            self.store, policy, dry_run=dry_run, pool=self.reader,
+            now=self.wall(),
+        )
+        for entry in report["collected"]:
+            grid = entry["grid"]
+            self.jobs.pop(grid, None)
+            try:
+                self._ring.remove(grid)
+            except ValueError:
+                pass
+            self.flight.record("gc.collect", grid=grid[:16])
+        if not dry_run:
+            _log.info(
+                "gc.pass",
+                planned=len(report["planned"]),
+                collected=len(report["collected"]),
+                refused=len(report["refused"]),
+            )
+        return resp.encode_bulk(json.dumps(report, sort_keys=True).encode())
 
     def _handle_hello(self, worker: str, caps_json: str) -> bytes:
         try:
@@ -618,6 +727,8 @@ class SweepService(RespTcpServer):
                 return self._job_status(job)
             row = self.store.job(grid)
             if row is None:
+                if self.store.tombstone(grid) is not None:
+                    raise TransportError(f"grid {grid[:16]} collected by gc")
                 raise TransportError(f"unknown grid {grid[:16]}")
             counts = self.store.point_counts(grid)
             return {
@@ -720,12 +831,14 @@ class SweepService(RespTcpServer):
     def stop(self) -> None:
         self.request_stop()
         super().stop()
+        self.reader.close()
         if self._owns_store:
             self.store.close()
 
 
 class ServiceClient:
-    """Tenant-side client: SUBMIT/STATUS/CANCEL/RESULTS/JOBS over RESP.
+    """Tenant-side client: SUBMIT/STATUS/CANCEL/RESULTS/JOBS plus the
+    v5 read commands QUERY/USAGE/GC, all over RESP.
 
     Every exchange is one short-lived request with a request-scoped
     timeout, retried across reconnects with seeded backoff — the client
@@ -801,6 +914,48 @@ class ServiceClient:
         reply = self._command("JOBS")
         rows = json.loads(reply) if reply else []
         return rows if isinstance(rows, list) else []
+
+    def query(
+        self,
+        fingerprint: Optional[str] = None,
+        name: Optional[str] = None,
+        tenant: Optional[str] = None,
+        limit: int = 1000,
+        include_divergences: bool = True,
+    ) -> dict:
+        """Cross-job result lookup by point fingerprint (read-only)."""
+        spec = {
+            "fingerprint": fingerprint, "name": name, "tenant": tenant,
+            "limit": limit, "divergences": include_divergences,
+        }
+        reply = self._command("QUERY", json.dumps(spec, sort_keys=True))
+        return json.loads(reply) if reply else {"rows": []}
+
+    def usage(
+        self, tenant: Optional[str] = None, since: Optional[float] = None
+    ) -> dict:
+        """Per-tenant, per-day accounting report (read-only)."""
+        spec = {"tenant": tenant, "since": since}
+        reply = self._command("USAGE", json.dumps(spec, sort_keys=True))
+        return json.loads(reply) if reply else {"tenants": [], "cache": []}
+
+    def gc(
+        self,
+        max_age_seconds: Optional[float] = None,
+        keep_latest: Optional[int] = None,
+        tenant: Optional[str] = None,
+        name: Optional[str] = None,
+        lease_grace: float = 300.0,
+        dry_run: bool = True,
+    ) -> dict:
+        """Run a retention pass; ``dry_run=True`` (default) only plans."""
+        spec = {
+            "max_age_seconds": max_age_seconds, "keep_latest": keep_latest,
+            "tenant": tenant, "name": name, "lease_grace": lease_grace,
+            "dry_run": dry_run,
+        }
+        reply = self._command("GC", json.dumps(spec, sort_keys=True))
+        return json.loads(reply) if reply else {}
 
     def results(self, grid: str, decode: bool = True) -> dict:
         """The job's state + results: ``{"state", "results", "poisoned"}``.

@@ -33,16 +33,19 @@ Durability and torn-write recovery:
 * the ``meta`` table carries ``schema_version`` so future schema changes
   migrate explicitly instead of guessing from table shapes.
 
-Schema (version 1)::
+Schema (version 2)::
 
-    meta    (key PRIMARY KEY, value)
-    jobs    (grid PRIMARY KEY, name, tenant, n_points, state,
-             version, created, updated)
-    points  (grid, idx PRIMARY KEY(grid, idx), state, worker,
-             spec BLOB, payload BLOB, failures TEXT, updated)
-    events  (seq AUTOINCREMENT, grid, idx, event, worker, time)
-    history (seq AUTOINCREMENT, time, hits, misses, stores,
-             invalid, hit_rate)
+    meta       (key PRIMARY KEY, value)
+    jobs       (grid PRIMARY KEY, name, tenant, n_points, state,
+                version, created, updated)
+    points     (grid, idx PRIMARY KEY(grid, idx), state, worker,
+                spec BLOB, payload BLOB, failures TEXT, updated,
+                fingerprint)                       -- v2, indexed
+    events     (seq AUTOINCREMENT, grid, idx, event, worker, time)
+    history    (seq AUTOINCREMENT, time, hits, misses, stores,
+                invalid, hit_rate, fingerprint)    -- fingerprint: v2
+    tombstones (grid PRIMARY KEY, name, tenant, n_points, state,
+                version, created, collected, points_done, reason)
 
 ``points.spec`` holds the pickled :class:`~repro.sweep.point.SweepPoint`
 so a restarted service can re-serve unfinished jobs without the tenant
@@ -50,12 +53,39 @@ resubmitting; ``points.payload`` holds the pickled (value, snapshot)
 wire blob exactly as the worker shipped it, which is what makes restart
 results byte-identical. Jobs imported from legacy journals have no specs
 (the journal never stored them) — they are queryable but not resumable.
+
+Version 2 additions (see :mod:`repro.sweep.dist.query` for the read
+side):
+
+* ``points.fingerprint`` — the *version-independent* content identity of
+  the cell (:func:`repro.sweep.cache.point_fingerprint`), indexed, so
+  "every result for this cell across jobs, tenants, and ``repro``
+  versions" is one indexed join;
+* ``history.fingerprint`` — ties a cache hit-rate row to the grid
+  content (:func:`repro.sweep.cache.grid_fingerprint`) that produced it;
+* ``tombstones`` — one row per garbage-collected job, so idempotent
+  re-submission still short-circuits after the job's bulk rows are gone
+  (:meth:`SweepStore.collect_job`);
+* the ``usage_daily`` view — per-tenant per-day event counts backing the
+  usage-accounting queries.
+
+Opening a v1 store migrates it in place on the writer thread before the
+first caller can touch it: the fingerprint columns are added and
+**backfilled** by unpickling each stored spec (specs that no longer
+unpickle are left NULL — still collectable, just not
+cross-version-queryable), then ``schema_version`` flips to 2. The
+migration is idempotent and crash-safe: every step guards on current
+shape (column present? version row updated?), so a process killed
+mid-migration simply re-enters it on the next open. Payload bytes are
+never touched, so migration preserves byte-identical result replay.
+Stores newer than the running code are refused, same as v1.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import pickle
 import queue
 import sqlite3
 import threading
@@ -64,10 +94,11 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.errors import SweepStoreError
+from repro.sweep.cache import point_fingerprint
 from repro.version import __version__
 
 #: Bump when the schema changes shape; ``meta.schema_version`` gates it.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Default store filename inside a cache or service directory.
 STORE_FILENAME = "store.sqlite"
@@ -80,6 +111,10 @@ JOB_CANCELLED = "cancelled"
 JOB_POISONED = "poisoned"
 JOB_TERMINAL = frozenset({JOB_DONE, JOB_CANCELLED, JOB_POISONED})
 
+#: Tables only (``IF NOT EXISTS``, so a v1 store's tables are left
+#: untouched for the migration to alter). Indexes and views that
+#: reference v2 columns live in :data:`_SCHEMA_DERIVED`, executed only
+#: *after* the version check/migration guaranteed those columns exist.
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
@@ -96,14 +131,15 @@ CREATE TABLE IF NOT EXISTS jobs (
     updated  REAL NOT NULL
 );
 CREATE TABLE IF NOT EXISTS points (
-    grid     TEXT NOT NULL,
-    idx      INTEGER NOT NULL,
-    state    TEXT NOT NULL DEFAULT 'queued',
-    worker   TEXT,
-    spec     BLOB,
-    payload  BLOB,
-    failures TEXT,
-    updated  REAL NOT NULL,
+    grid        TEXT NOT NULL,
+    idx         INTEGER NOT NULL,
+    state       TEXT NOT NULL DEFAULT 'queued',
+    worker      TEXT,
+    spec        BLOB,
+    payload     BLOB,
+    failures    TEXT,
+    updated     REAL NOT NULL,
+    fingerprint TEXT,
     PRIMARY KEY (grid, idx)
 );
 CREATE INDEX IF NOT EXISTS points_by_state ON points (grid, state);
@@ -117,17 +153,93 @@ CREATE TABLE IF NOT EXISTS events (
 );
 CREATE INDEX IF NOT EXISTS events_by_grid ON events (grid, seq);
 CREATE TABLE IF NOT EXISTS history (
-    seq      INTEGER PRIMARY KEY AUTOINCREMENT,
-    time     REAL NOT NULL,
-    hits     INTEGER NOT NULL DEFAULT 0,
-    misses   INTEGER NOT NULL DEFAULT 0,
-    stores   INTEGER NOT NULL DEFAULT 0,
-    invalid  INTEGER NOT NULL DEFAULT 0,
-    hit_rate REAL NOT NULL DEFAULT 0.0
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    time        REAL NOT NULL,
+    hits        INTEGER NOT NULL DEFAULT 0,
+    misses      INTEGER NOT NULL DEFAULT 0,
+    stores      INTEGER NOT NULL DEFAULT 0,
+    invalid     INTEGER NOT NULL DEFAULT 0,
+    hit_rate    REAL NOT NULL DEFAULT 0.0,
+    fingerprint TEXT
+);
+CREATE TABLE IF NOT EXISTS tombstones (
+    grid        TEXT PRIMARY KEY,
+    name        TEXT NOT NULL,
+    tenant      TEXT NOT NULL DEFAULT '',
+    n_points    INTEGER NOT NULL,
+    state       TEXT NOT NULL,
+    version     TEXT NOT NULL DEFAULT '',
+    created     REAL NOT NULL,
+    collected   REAL NOT NULL,
+    points_done INTEGER NOT NULL DEFAULT 0,
+    reason      TEXT NOT NULL DEFAULT ''
 );
 """
 
+#: Indexes/views over v2 columns; applied after migration so they never
+#: reference a column a v1 store does not have yet.
+_SCHEMA_DERIVED = """
+CREATE INDEX IF NOT EXISTS points_by_fingerprint ON points (fingerprint);
+CREATE VIEW IF NOT EXISTS usage_daily AS
+    SELECT j.tenant                  AS tenant,
+           DATE(e.time, 'unixepoch') AS day,
+           SUM(e.event = 'done')     AS points_done,
+           SUM(e.event = 'lease')    AS leases,
+           SUM(e.event = 'requeue')  AS requeues,
+           SUM(e.event = 'reclaim')  AS reclaims,
+           SUM(e.event = 'poisoned') AS poisoned,
+           COUNT(DISTINCT e.grid)    AS grids
+    FROM events e JOIN jobs j ON j.grid = e.grid
+    GROUP BY j.tenant, DATE(e.time, 'unixepoch');
+"""
+
 _CLOSE = object()
+
+
+def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """In-place v1 -> v2 migration; runs on the writer thread at open.
+
+    Adds the ``points.fingerprint`` / ``history.fingerprint`` columns
+    (the ``tombstones`` table and the derived index/view come from the
+    shared schema scripts) and backfills point fingerprints from the
+    pickled specs. Every step is guarded on the store's current shape,
+    so a crash mid-migration re-enters cleanly on the next open; the
+    version row flips last. ``points.payload`` is never read or
+    written — migrated stores replay byte-identical results.
+    """
+    point_cols = {row[1] for row in conn.execute("PRAGMA table_info(points)")}
+    if "fingerprint" not in point_cols:
+        conn.execute("ALTER TABLE points ADD COLUMN fingerprint TEXT")
+    history_cols = {row[1] for row in conn.execute("PRAGMA table_info(history)")}
+    if "fingerprint" not in history_cols:
+        conn.execute("ALTER TABLE history ADD COLUMN fingerprint TEXT")
+    rows = conn.execute(
+        "SELECT grid, idx, spec FROM points"
+        " WHERE spec IS NOT NULL AND fingerprint IS NULL"
+    ).fetchall()
+    for row in rows:
+        fp = _fingerprint_spec(row["spec"])
+        if fp is not None:
+            conn.execute(
+                "UPDATE points SET fingerprint = ? WHERE grid = ? AND idx = ?",
+                (fp, row["grid"], row["idx"]),
+            )
+    conn.execute(
+        "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+        (str(SCHEMA_VERSION),),
+    )
+
+
+def _fingerprint_spec(spec: Optional[bytes]) -> Optional[str]:
+    """Version-independent fingerprint of a pickled spec, None if it
+    cannot be recovered (unimportable function, stale pickle)."""
+    if spec is None:
+        return None
+    try:
+        point = pickle.loads(spec)
+        return point_fingerprint(point.func_path, dict(point.kwargs))
+    except Exception:
+        return None
 
 
 class SweepStore:
@@ -243,7 +355,9 @@ class SweepStore:
                 raise SweepStoreError(
                     f"store schema v{found} is newer than this code (v{SCHEMA_VERSION})"
                 )
-            # found < SCHEMA_VERSION: apply migrations here when v2 exists.
+            if found < SCHEMA_VERSION:
+                _migrate_v1_to_v2(conn)
+        conn.executescript(_SCHEMA_DERIVED)
         conn.commit()
         return conn
 
@@ -278,7 +392,7 @@ class SweepStore:
         self,
         grid: str,
         name: str,
-        points: Sequence[tuple[int, Optional[bytes]]],
+        points: Sequence[tuple],
         tenant: str = "",
         version: str = __version__,
     ) -> bool:
@@ -288,8 +402,22 @@ class SweepStore:
         content, same code version — the signature embeds both) is a
         no-op that leaves every recorded result in place, so a tenant
         retrying a SUBMIT across a service restart can never fork a job.
+        A **tombstoned** grid (garbage-collected after finishing — see
+        :meth:`collect_job`) also answers False: the job's bulk rows are
+        gone, but re-submission still short-circuits instead of
+        re-running work the retention policy already deemed disposable.
+
+        ``points`` rows are ``(idx, spec)`` or ``(idx, spec,
+        fingerprint)``; when the fingerprint is omitted it is recovered
+        from the pickled spec (best effort — an unpicklable or None spec
+        leaves it NULL, exactly like the v1->v2 backfill).
         """
         now = self.wall()
+        work = []
+        for item in points:
+            idx, spec = item[0], item[1]
+            fp = item[2] if len(item) > 2 else _fingerprint_spec(spec)
+            work.append((grid, idx, spec, fp, now))
 
         def op(conn: sqlite3.Connection) -> bool:
             exists = conn.execute(
@@ -297,15 +425,20 @@ class SweepStore:
             ).fetchone()
             if exists:
                 return False
+            tombstoned = conn.execute(
+                "SELECT 1 FROM tombstones WHERE grid = ?", (grid,)
+            ).fetchone()
+            if tombstoned:
+                return False
             conn.execute(
                 "INSERT INTO jobs (grid, name, tenant, n_points, state, version,"
                 " created, updated) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 (grid, name, tenant, len(points), JOB_SUBMITTED, version, now, now),
             )
             conn.executemany(
-                "INSERT INTO points (grid, idx, state, spec, updated)"
-                " VALUES (?, ?, 'queued', ?, ?)",
-                [(grid, idx, spec, now) for idx, spec in points],
+                "INSERT INTO points (grid, idx, state, spec, fingerprint, updated)"
+                " VALUES (?, ?, 'queued', ?, ?, ?)",
+                [(g, idx, spec, fp, t) for g, idx, spec, fp, t in work],
             )
             conn.execute(
                 "INSERT INTO events (grid, idx, event, worker, time)"
@@ -490,14 +623,135 @@ class SweepStore:
 
         return self._call(op)
 
+    # -- retention / GC -----------------------------------------------------
+    def collect_job(
+        self, grid: str, reason: str = "gc", lease_grace: float = 300.0
+    ) -> dict:
+        """Garbage-collect one **terminal** job; returns what happened.
+
+        Runs as one mutation on the writer thread (commit + fsync before
+        returning, like every other mutation): the job's ``points`` /
+        ``events`` / ``jobs`` rows are deleted and one ``tombstones``
+        row is written in their place, so idempotent re-submission of
+        the same grid still short-circuits (:meth:`submit_job`) and the
+        job's name/tenant/outcome stay auditable. ``history`` rows are
+        never touched — they are store-wide, not per-job.
+
+        Refusals (``{"collected": False, "refused": <why>}``, nothing
+        deleted):
+
+        * ``"unknown"`` — no such job;
+        * ``"already-collected"`` — a tombstone exists (idempotent);
+        * ``"not-terminal"`` — the job is submitted/running; GC only
+          ever eats jobs whose lifecycle has ended;
+        * ``"active-lease"`` — the job is terminal but some point's most
+          recent event is a ``lease`` younger than ``lease_grace``
+          seconds: a worker may still be computing it (e.g. a CANCEL
+          revoked the job mid-flight), and collecting now would turn its
+          imminent DONE into a write against a vanished job. Once the
+          grace window passes the lease has long expired and collection
+          proceeds.
+        """
+        now = self.wall()
+
+        def op(conn: sqlite3.Connection) -> dict:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE grid = ?", (grid,)
+            ).fetchone()
+            if row is None:
+                tombstoned = conn.execute(
+                    "SELECT 1 FROM tombstones WHERE grid = ?", (grid,)
+                ).fetchone()
+                return {
+                    "grid": grid,
+                    "collected": False,
+                    "refused": "already-collected" if tombstoned else "unknown",
+                }
+            if row["state"] not in JOB_TERMINAL:
+                return {"grid": grid, "collected": False, "refused": "not-terminal"}
+            dangling = conn.execute(
+                "SELECT 1 FROM events e JOIN ("
+                "  SELECT idx, MAX(seq) AS seq FROM events"
+                "  WHERE grid = ? AND idx IS NOT NULL AND event IN"
+                "  ('lease', 'done', 'reclaim', 'requeue', 'poisoned')"
+                "  GROUP BY idx"
+                ") last ON e.seq = last.seq"
+                " WHERE e.event = 'lease' AND e.time > ? LIMIT 1",
+                (grid, now - float(lease_grace)),
+            ).fetchone()
+            if dangling is not None:
+                return {"grid": grid, "collected": False, "refused": "active-lease"}
+            points_done = conn.execute(
+                "SELECT COUNT(*) FROM points WHERE grid = ? AND state = 'done'",
+                (grid,),
+            ).fetchone()[0]
+            conn.execute(
+                "INSERT OR REPLACE INTO tombstones (grid, name, tenant, n_points,"
+                " state, version, created, collected, points_done, reason)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    grid,
+                    row["name"],
+                    row["tenant"],
+                    row["n_points"],
+                    row["state"],
+                    row["version"],
+                    row["created"],
+                    now,
+                    int(points_done),
+                    str(reason),
+                ),
+            )
+            conn.execute("DELETE FROM points WHERE grid = ?", (grid,))
+            conn.execute("DELETE FROM events WHERE grid = ?", (grid,))
+            conn.execute("DELETE FROM jobs WHERE grid = ?", (grid,))
+            return {
+                "grid": grid,
+                "collected": True,
+                "state": row["state"],
+                "name": row["name"],
+                "tenant": row["tenant"],
+                "points_done": int(points_done),
+            }
+
+        return dict(self._call(op, mutate=True))
+
+    def tombstone(self, grid: str) -> Optional[dict]:
+        """The tombstone row of a collected job, or None."""
+
+        def op(conn: sqlite3.Connection):
+            row = conn.execute(
+                "SELECT * FROM tombstones WHERE grid = ?", (grid,)
+            ).fetchone()
+            return dict(row) if row is not None else None
+
+        return self._call(op)
+
+    def tombstones(self) -> list[dict]:
+        """Every tombstone row, most recently collected first."""
+
+        def op(conn: sqlite3.Connection):
+            rows = conn.execute(
+                "SELECT * FROM tombstones ORDER BY collected DESC"
+            ).fetchall()
+            return [dict(r) for r in rows]
+
+        return self._call(op)
+
     # -- history ------------------------------------------------------------
     def record_history(self, record: dict) -> None:
-        """Append one cache hit/miss record (ResultCache.record_history)."""
+        """Append one cache hit/miss record (ResultCache.record_history).
+
+        ``record["fingerprint"]`` — the run's grid fingerprint — is
+        persisted when present so hit-rate history stays joinable to
+        grid content across code versions (records imported from
+        pre-fingerprint JSONL simply store NULL).
+        """
 
         def op(conn: sqlite3.Connection) -> None:
             conn.execute(
-                "INSERT INTO history (time, hits, misses, stores, invalid, hit_rate)"
-                " VALUES (?, ?, ?, ?, ?, ?)",
+                "INSERT INTO history (time, hits, misses, stores, invalid,"
+                " hit_rate, fingerprint) VALUES (?, ?, ?, ?, ?, ?, ?)",
                 (
                     float(record.get("time", self.wall())),
                     int(record.get("hits", 0)),
@@ -505,21 +759,33 @@ class SweepStore:
                     int(record.get("stores", 0)),
                     int(record.get("invalid", 0)),
                     float(record.get("hit_rate", 0.0)),
+                    record.get("fingerprint"),
                 ),
             )
 
         self._call(op, mutate=True)
 
     def history(self, limit: int = 20) -> list[dict]:
-        """The most recent ``limit`` history records, oldest first."""
+        """The most recent ``limit`` history records, oldest first.
+
+        Records carry a ``fingerprint`` key only when one was recorded
+        (v1-era and JSONL-imported rows have none), mirroring the JSONL
+        record shape so the two sources merge cleanly.
+        """
 
         def op(conn: sqlite3.Connection):
             rows = conn.execute(
-                "SELECT time, hits, misses, stores, invalid, hit_rate FROM history"
-                " ORDER BY seq DESC LIMIT ?",
+                "SELECT time, hits, misses, stores, invalid, hit_rate,"
+                " fingerprint FROM history ORDER BY seq DESC LIMIT ?",
                 (int(limit),),
             ).fetchall()
-            return [dict(r) for r in reversed(rows)]
+            out = []
+            for row in reversed(rows):
+                record = dict(row)
+                if record.get("fingerprint") is None:
+                    record.pop("fingerprint", None)
+                out.append(record)
+            return out
 
         return self._call(op)
 
@@ -538,7 +804,13 @@ class SweepStore:
 
 # -- legacy imports ----------------------------------------------------------
 def migrate_history_jsonl(store: SweepStore, path: str | Path) -> int:
-    """Import a ``history.jsonl`` into the store; returns records imported."""
+    """Import a ``history.jsonl`` into the store; returns records imported.
+
+    Records are passed through whole, so a ``fingerprint`` field written
+    by a fingerprint-aware :meth:`ResultCache.record_history` lands in
+    ``history.fingerprint`` and the imported run stays joinable to its
+    grid content; pre-fingerprint records import with NULL.
+    """
     try:
         lines = Path(path).read_text(encoding="utf-8").splitlines()
     except (FileNotFoundError, OSError):
@@ -673,4 +945,28 @@ __all__ = [
     "migrate_cache_dir",
     "migrate_history_jsonl",
     "migrate_journal_file",
+    "schema_version",
 ]
+
+
+def schema_version(path: str | Path) -> Optional[int]:
+    """Peek a store file's ``schema_version`` without opening/migrating it.
+
+    Read-only (URI ``mode=ro``), so it never creates, recovers, or
+    migrates anything — the backup/ops tooling uses it to answer "what
+    would opening this do?" before committing to it. None when the file
+    is missing, not SQLite, or has no version row.
+    """
+    try:
+        conn = sqlite3.connect(f"file:{Path(path)}?mode=ro", uri=True, timeout=5.0)
+    except sqlite3.Error:
+        return None
+    try:
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0]) if row is not None else None
+    except (sqlite3.Error, ValueError):
+        return None
+    finally:
+        conn.close()

@@ -41,7 +41,11 @@ _CLEAR = "\x1b[H\x1b[J"
 
 
 def fetch_status(address: str, timeout: float = 5.0) -> dict:
-    """One STATUS round-trip to the coordinator at ``HOST:PORT``."""
+    """One STATUS round-trip to the coordinator at ``HOST:PORT``.
+
+    Opens and closes its own connection per call — stateless, safe from
+    any thread, and strictly read-only on the coordinator side.
+    """
     host, port = parse_hostport(address)
     conn = MiniRedisConnection(host, port, timeout=timeout)
     try:

@@ -163,7 +163,21 @@ class WorkerReport:
 
 
 class WorkerAgent:
-    """One claim-execute-report loop against one coordinator address."""
+    """One claim-execute-report loop against one coordinator address.
+
+    Thread-safety: the run loop owns the agent, with two narrow
+    exceptions — the heartbeat thread shares ``self._conn`` (dropped
+    only via :meth:`_drop_conn_if`, so neither thread closes a fresh
+    connection the other just opened), and :meth:`request_drain` is
+    async-signal-safe (it only sets an event; all I/O and locking
+    happens on the run loop). Everything else is single-threaded.
+
+    Durability: none here by design — the coordinator/service owns the
+    durable record and a worker is disposable. SIGKILLing a worker
+    costs at most one lease interval: the point is reclaimed at expiry
+    and stolen by the next claim, and a stale completion arriving later
+    is absorbed as an idempotent duplicate.
+    """
 
     def __init__(
         self,

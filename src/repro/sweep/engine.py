@@ -344,8 +344,12 @@ class SweepEngine:
         report.values = values
         report.cache = cache.stats if cache is not None else None
         if cache is not None:
-            # Housekeeping: log this run's hit rate, then trim the cache.
-            cache.record_history()
+            # Housekeeping: log this run's hit rate (tagged with the
+            # version-independent grid identity so history survives
+            # version bumps), then trim the cache.
+            from repro.sweep.cache import grid_fingerprint
+
+            cache.record_history(fingerprint=grid_fingerprint(enumerate(points)))
             if self.options.cache_max_mb is not None:
                 cache.evict(max_bytes=int(self.options.cache_max_mb * 1024 * 1024))
         return report
@@ -577,6 +581,16 @@ class SweepEngine:
             capture=capture,
         )
         grid = submitted["grid"]
+        if submitted.get("state") == "collected":
+            # The service's retention GC ate this exact grid: the
+            # tombstone keeps SUBMIT idempotent (no silent re-run), but
+            # the results are gone — surface that instead of polling a
+            # job that will never exist.
+            raise SweepError(
+                f"job {grid[:16]} was garbage-collected by the service's "
+                "retention policy; its results are no longer available "
+                "(change the grid, or clear the tombstone to recompute)"
+            )
         progress_done = done
         last_seen = 0
         while True:
