@@ -25,6 +25,10 @@ Report schema (``schema_version`` 1)::
         "event_throughput": {"events": N, "seconds": s, "events_per_sec": r},
         "resource_contention": {...}
       },
+      "service": {
+        "grids": N, "points": N, "claimed": N,
+        "submits_per_sec": r, "claims_per_sec": r
+      },
       "experiments": {"fig3": {"seconds": s}, ...},
       "peak_rss_bytes": B
     }
@@ -122,6 +126,78 @@ def run_des_benchmarks(repeats: int = 5) -> dict[str, dict[str, float]]:
     }
 
 
+# -- sweep service throughput -----------------------------------------------
+def _bench_point(x: float) -> float:
+    """Trivial grid point for the service bench (must be importable)."""
+    return float(x)
+
+
+def run_service_benchmark(
+    n_grids: int = 8, points_per_grid: int = 25
+) -> dict[str, float]:
+    """SUBMIT and CLAIM round-trip rates against a loopback sweep service.
+
+    Tracks the control-plane ceiling of the durable multi-tenant
+    service: how fast grids are admitted (SUBMIT includes the quota
+    check, signature dedup, and the store write) and how fast workers
+    can pull points (CLAIM includes lease bookkeeping). One persistent
+    connection per phase, so the numbers measure dispatch + store cost,
+    not TCP handshakes. Advisory in ``--check`` — the regression gate
+    stays on the DES engine numbers.
+    """
+    import tempfile
+
+    from repro.sweep.dist.service import ServiceClient, SweepService
+    from repro.sweep.point import SweepPoint
+    from repro.transport.redis_backend import MiniRedisConnection
+
+    total_points = n_grids * points_per_grid
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        service = SweepService(
+            pathlib.Path(tmp) / "store.sqlite", host="127.0.0.1", port=0,
+            lease_seconds=300.0,
+        )
+        service.start()
+        try:
+            client = ServiceClient(f"127.0.0.1:{service.port}")
+            start = time.perf_counter()
+            for g in range(n_grids):
+                points = [
+                    (
+                        i,
+                        SweepPoint(
+                            func=_bench_point,
+                            kwargs={"x": float(g * points_per_grid + i)},
+                        ),
+                    )
+                    for i in range(points_per_grid)
+                ]
+                client.submit(f"bench-{g}", points, tenant="bench")
+            submit_seconds = time.perf_counter() - start
+
+            conn = MiniRedisConnection("127.0.0.1", service.port, timeout=10.0)
+            claimed = 0
+            start = time.perf_counter()
+            try:
+                while claimed < total_points:
+                    reply = conn.command("CLAIM", "bench-worker")
+                    if reply in (None, b"DRAINED") or str(reply) == "DRAINED":
+                        break
+                    claimed += 1
+            finally:
+                conn.close()
+            claim_seconds = time.perf_counter() - start
+        finally:
+            service.stop()
+    return {
+        "grids": float(n_grids),
+        "points": float(total_points),
+        "claimed": float(claimed),
+        "submits_per_sec": n_grids / submit_seconds if submit_seconds > 0 else 0.0,
+        "claims_per_sec": claimed / claim_seconds if claim_seconds > 0 else 0.0,
+    }
+
+
 # -- experiment rounds ------------------------------------------------------
 def run_experiment_rounds(names: Optional[list[str]] = None) -> dict[str, dict[str, float]]:
     """Wall seconds for one quick round of each named paper experiment."""
@@ -172,6 +248,7 @@ def collect(quick: bool = False, repeats: int = 5) -> dict[str, Any]:
     """Run the whole bench and assemble the report payload."""
     names = list(QUICK_EXPERIMENTS) if quick else None
     des = run_des_benchmarks(repeats=repeats)
+    service = run_service_benchmark()
     experiments = run_experiment_rounds(names)
     return {
         "schema_version": 1,
@@ -181,6 +258,7 @@ def collect(quick: bool = False, repeats: int = 5) -> dict[str, Any]:
         "platform": platform.platform(),
         "environment": environment_info(),
         "des": des,
+        "service": service,
         "experiments": experiments,
         "peak_rss_bytes": peak_rss_bytes(),
     }
@@ -240,6 +318,18 @@ def delta_table(current: dict[str, Any], baseline: dict[str, Any]) -> str:
                 _fmt_delta(cur["events_per_sec"], base["events_per_sec"], True),
             )
         )
+    cur_service = current.get("service", {})
+    base_service = baseline.get("service", {})
+    for metric in ("submits_per_sec", "claims_per_sec"):
+        if metric in cur_service and metric in base_service:
+            rows.append(
+                (
+                    f"service.{metric}",
+                    f"{base_service[metric]:,.0f}",
+                    f"{cur_service[metric]:,.0f}",
+                    _fmt_delta(cur_service[metric], base_service[metric], True),
+                )
+            )
     for name, cur in current.get("experiments", {}).items():
         base = baseline.get("experiments", {}).get(name)
         if base is None:
@@ -356,6 +446,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"des.{name}: {numbers['events_per_sec']:,.0f} events/sec "
             f"({numbers['events']:.0f} events in {numbers['seconds'] * 1e3:.1f} ms)"
+        )
+    service = payload.get("service", {})
+    if service:
+        print(
+            f"service: {service['submits_per_sec']:,.0f} submits/sec, "
+            f"{service['claims_per_sec']:,.0f} claims/sec "
+            f"({service['grids']:.0f} grids x "
+            f"{service['points'] / max(service['grids'], 1):.0f} points)"
         )
     for name, numbers in payload["experiments"].items():
         print(f"{name}: {numbers['seconds']:.2f} s")

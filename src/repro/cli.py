@@ -363,7 +363,7 @@ class _SweepProgress:
 
 #: First positional tokens that turn ``repro sweep`` into a store
 #: maintenance command instead of an experiment run.
-_MAINTENANCE_VERBS = ("query", "usage", "gc")
+_MAINTENANCE_VERBS = ("query", "usage", "gc", "health")
 
 
 def _validate_sweep_args(args: argparse.Namespace) -> None:
@@ -400,9 +400,14 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
             raise ConfigError("--max-age/--keep-latest/--apply only apply to gc")
         if verb != "query" and args.fingerprint:
             raise ConfigError("--fingerprint only applies to query")
+        if verb == "health" and (args.name or args.tenant or args.since is not None):
+            raise ConfigError(
+                "health reports the whole service; --name/--tenant/--since "
+                "only apply to query/usage/gc"
+            )
         return
     if args.at:
-        raise ConfigError("--at only applies to query/usage/gc")
+        raise ConfigError("--at only applies to query/usage/gc/health")
     if args.fingerprint or args.apply or args.max_age is not None \
             or args.keep_latest is not None:
         raise ConfigError(
@@ -429,7 +434,18 @@ def _validate_sweep_args(args: argparse.Namespace) -> None:
     if args.store:
         raise ConfigError(
             "--store only applies to --service/--migrate-history and the "
-            "query/usage/gc maintenance commands"
+            "query/usage/gc/health maintenance commands"
+        )
+    if (
+        args.max_live_jobs is not None
+        or args.max_queued_points is not None
+        or args.max_store_mb is not None
+        or args.max_connections is not None
+    ):
+        raise ConfigError(
+            "--max-live-jobs/--max-queued-points/--max-store-mb/"
+            "--max-connections only apply to --service (admission control "
+            "is enforced where grids are accepted)"
         )
     if args.watch:
         if args.serve or args.connect:
@@ -554,11 +570,16 @@ def _maintenance_reports(args: argparse.Namespace, verb: str) -> dict:
     ``--store FILE`` reads the SQLite file directly through a read-only
     :class:`~repro.sweep.dist.query.ReaderPool`, except ``gc --apply``,
     which opens the store read-write and must not race a live service.
+    ``health --at`` returns the service's live HEALTH document;
+    ``health --store`` degrades to a file-level report (schema version,
+    used bytes, job states) for a store with no service attached.
     """
     if args.at:
         from repro.sweep.dist.service import ServiceClient
 
         client = ServiceClient(args.at)
+        if verb == "health":
+            return client.health()
         if verb == "query":
             return client.query(
                 fingerprint=args.fingerprint or None,
@@ -585,6 +606,39 @@ def _maintenance_reports(args: argparse.Namespace, verb: str) -> dict:
         run_gc,
         usage,
     )
+
+    if verb == "health":
+        # No service attached: the live sections (queues, admission,
+        # brownout state) do not exist, so report what the file alone
+        # can prove — schema vintage, real byte usage, job states.
+        with ReaderPool(args.store) as pool, pool.connection() as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            page_size = int(conn.execute("PRAGMA page_size").fetchone()[0])
+            page_count = int(conn.execute("PRAGMA page_count").fetchone()[0])
+            freelist = int(conn.execute("PRAGMA freelist_count").fetchone()[0])
+            states = {
+                state: int(count)
+                for state, count in conn.execute(
+                    "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+                ).fetchall()
+            }
+            tenants = {
+                tenant: int(count)
+                for tenant, count in conn.execute(
+                    "SELECT tenant, COUNT(*) FROM jobs GROUP BY tenant"
+                ).fetchall()
+            }
+        return {
+            "source": "store-file",
+            "store": {
+                "path": str(args.store),
+                "schema_version": int(row[0]) if row else None,
+                "bytes": max(0, page_count - freelist) * page_size,
+            },
+            "jobs": {"by_state": states, "by_tenant": tenants},
+        }
 
     if verb == "gc":
         policy = RetentionPolicy(
@@ -650,6 +704,76 @@ def _print_table(rows: list, columns: list) -> None:
         print("  " + "  ".join(v.ljust(w) for v, w in zip(line, widths)))
 
 
+def _print_health(report: dict) -> int:
+    """Human rendering of a HEALTH document (service or store-file).
+
+    Exit 0 when the service reports ``ready``, 1 otherwise (brownout,
+    draining, degraded probe) — so the verb doubles as a scriptable
+    liveness check: ``repro sweep health --at HOST:PORT && deploy``.
+    """
+    store = report.get("store", {})
+    if report.get("source") == "store-file":
+        print(f"store file {store.get('path')}:")
+        print(f"  schema: v{store.get('schema_version')}")
+        print(f"  used bytes: {store.get('bytes', 0)}")
+        jobs = report.get("jobs", {})
+        for title, key in (("jobs by state", "by_state"),
+                           ("jobs by tenant", "by_tenant")):
+            section = jobs.get(key, {})
+            body = ", ".join(
+                f"{k or '(default)'}={v}" for k, v in sorted(section.items())
+            )
+            print(f"  {title}: {body or '(none)'}")
+        print("  (no service attached: live queue/admission state unavailable)")
+        return 0
+    state = str(report.get("state", "?"))
+    print(f"service state: {state.upper()}")
+    if report.get("degraded"):
+        print("  (degraded probe: dispatch lock busy, per-tenant detail omitted)")
+    print(
+        f"  store: {store.get('path')} "
+        f"writable={store.get('writable')} bytes={store.get('bytes')} "
+        f"write-latency={float(store.get('write_latency_s') or 0.0) * 1e3:.1f}ms"
+    )
+    queues = report.get("queues", {})
+    print(
+        f"  queues: dispatch {queues.get('dispatch_waiting', 0)}"
+        f"/{queues.get('dispatch_limit', '-')} waiting, "
+        f"{queues.get('shed_commands', 0)} shed; connections "
+        f"{queues.get('connections', 0)}/{queues.get('max_connections', '-')} "
+        f"({queues.get('refused_connections', 0)} refused, "
+        f"{queues.get('idle_disconnects', 0)} idle-closed, "
+        f"{queues.get('stalled_disconnects', 0)} stall-closed)"
+    )
+    admission = report.get("admission", {})
+    refusals = admission.get("refusals", {})
+    body = ", ".join(f"{k}={v}" for k, v in sorted(refusals.items()))
+    print(
+        f"  admission: {admission.get('busy_refusals', 0)} refusals"
+        + (f" ({body})" if body else "")
+    )
+    cause = admission.get("brownout_cause")
+    if cause:
+        print(f"  brownout cause: {cause}")
+    tenants = report.get("tenants")
+    if tenants:
+        print("  per-tenant headroom:")
+        for tenant in sorted(tenants):
+            entry = tenants[tenant]
+            headroom = entry.get("headroom", {})
+            hints = ", ".join(
+                f"{axis}={'inf' if left is None else left}"
+                for axis, left in sorted(headroom.items())
+            )
+            print(
+                f"    {tenant or '(default)'}: "
+                f"{entry.get('live_jobs', 0)} live jobs, "
+                f"{entry.get('queued_points', 0)} queued points"
+                + (f" ({hints} left)" if hints else "")
+            )
+    return 0 if state == "ready" and not report.get("degraded") else 1
+
+
 def _cmd_sweep_maintenance(args: argparse.Namespace) -> int:
     """``repro sweep query|usage|gc``: the read side of the service store."""
     import json
@@ -659,6 +783,8 @@ def _cmd_sweep_maintenance(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report, sort_keys=True, indent=2))
         return 0
+    if verb == "health":
+        return _print_health(report)
     if verb == "query":
         rows = [
             {
@@ -832,13 +958,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 seed=args.seed,
             )
         if args.service:
+            from repro.sweep.dist.admission import TenantQuota
             from repro.sweep.dist.service import run_service_process
 
+            quota = None
+            if (
+                args.max_live_jobs is not None
+                or args.max_queued_points is not None
+                or args.max_store_mb is not None
+            ):
+                quota = TenantQuota(
+                    max_live_jobs=args.max_live_jobs,
+                    max_queued_points=args.max_queued_points,
+                    max_store_bytes=(
+                        None
+                        if args.max_store_mb is None
+                        else int(args.max_store_mb * 1024 * 1024)
+                    ),
+                )
+            kwargs = {}
+            if args.max_connections is not None:
+                kwargs["max_connections"] = args.max_connections
             return run_service_process(
                 args.service,
                 args.store,
                 lease_seconds=args.lease if args.lease is not None else 5.0,
                 flight_path=args.flight_recorder or None,
+                quota=quota,
+                seed=args.seed,
+                **kwargs,
             )
         if args.connect:
             return _cmd_sweep_workers(args)
@@ -1028,8 +1176,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="EXPERIMENT",
         help="experiment ids or 'all' (e.g. fig3, table2, ext_faults); or a "
         "maintenance verb: 'query' (cross-job results by fingerprint), "
-        "'usage' (per-tenant accounting), 'gc' (retention pass) — these "
-        "take --store FILE or --at HOST:PORT",
+        "'usage' (per-tenant accounting), 'gc' (retention pass), 'health' "
+        "(overload/brownout probe) — these take --store FILE or --at "
+        "HOST:PORT",
     )
     sweep.add_argument(
         "--quick", action="store_true", help="scaled-down iteration counts"
@@ -1095,6 +1244,39 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="SQLite job/results store for --service (also the "
         "--migrate-history target; defaults there to CACHE_DIR/store.sqlite)",
+    )
+    sweep.add_argument(
+        "--max-live-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="for --service: per-tenant admission quota on concurrently "
+        "live (non-terminal) jobs; over-quota SUBMITs get a typed -BUSY "
+        "refusal with a retry hint instead of queueing",
+    )
+    sweep.add_argument(
+        "--max-queued-points",
+        type=int,
+        default=None,
+        metavar="N",
+        help="for --service: per-tenant admission quota on queued points "
+        "across all of that tenant's live jobs",
+    )
+    sweep.add_argument(
+        "--max-store-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="for --service: refuse new SUBMITs once the store's used "
+        "pages exceed this size (headroom returns after gc --apply)",
+    )
+    sweep.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="for --service: cap concurrent TCP connections; connection "
+        "N+1 is refused with a typed -BUSY line (default 256)",
     )
     sweep.add_argument(
         "--submit",

@@ -85,6 +85,31 @@ class CorruptPayloadError(TransportError):
     retryable = True
 
 
+class ServiceBusyError(ServerError):
+    """The server refused the operation under overload (``-BUSY`` reply).
+
+    The canonical *graceful degradation* signal: the request was valid
+    but the server is shedding load (tenant quota exhausted, dispatch
+    queue full, brownout). Carries the machine-readable refusal reason
+    and the server's seeded ``retry_after_s`` hint so retry policies can
+    honor the server's pacing instead of their own fixed backoff.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        reason: str = "busy",
+        retry_after_s: "float | None" = None,
+        detail: "dict | None" = None,
+    ) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.detail = dict(detail or {})
+        hint = "" if retry_after_s is None else f" (retry after {retry_after_s:.2f}s)"
+        super().__init__(f"server busy: {reason}{hint}")
+
+
 class CircuitOpenError(TransportError):
     """A circuit breaker is open: the call was short-circuited, not sent.
 

@@ -20,7 +20,9 @@ See ``ARCHITECTURE.md`` for the lease/job state machines and failure
 matrix.
 """
 
+from repro.sweep.dist.admission import AdmissionController, TenantQuota
 from repro.sweep.dist.coordinator import DistOutcome, DistProgressFn, SweepCoordinator
+from repro.sweep.dist.loadgen import LoadSpec, run_load
 from repro.sweep.dist.fleetmetrics import EwmaRate, prometheus_exposition
 from repro.sweep.dist.journal import SweepJournal
 from repro.sweep.dist.lease import LeaseTable, PointRecord, PointState
@@ -55,6 +57,7 @@ from repro.sweep.dist.worker import (
 )
 
 __all__ = [
+    "AdmissionController",
     "Assignment",
     "DistOutcome",
     "DistProgressFn",
@@ -68,6 +71,7 @@ __all__ = [
     "JOB_SUBMITTED",
     "JOB_TERMINAL",
     "LeaseTable",
+    "LoadSpec",
     "PointRecord",
     "PointState",
     "ServiceClient",
@@ -75,6 +79,7 @@ __all__ = [
     "SweepJournal",
     "SweepService",
     "SweepStore",
+    "TenantQuota",
     "WorkerAgent",
     "WorkerOptions",
     "WorkerReport",
@@ -84,6 +89,7 @@ __all__ = [
     "parse_hostport",
     "prometheus_exposition",
     "render_status",
+    "run_load",
     "run_service_process",
     "run_worker_process",
     "watch",

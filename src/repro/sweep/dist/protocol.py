@@ -53,7 +53,18 @@ USAGE      [spec-JSON]                                    bulk JSON per-tenant
 GC         [policy-JSON]                                  bulk JSON retention
                                                           report (planned /
                                                           collected / refused)
+HEALTH     —                                              bulk JSON readiness
+                                                          document (store /
+                                                          queues / quotas /
+                                                          brownout state)
 =========  =============================================  =======================
+
+Any command may additionally be answered with a typed ``-BUSY`` error
+line carrying a JSON refusal document (see :func:`dump_busy` /
+:func:`parse_busy`): the request was *valid* but the service is shedding
+load — tenant quota exhausted, dispatch queue full, or brownout. The
+document's ``retry_after_s`` is a seeded-jittered pacing hint clients
+honor instead of their own fixed backoff.
 
 Wire-format history (``WIRE_FORMAT`` gates the pickled payload shape;
 HELLO's version check keeps mixed fleets out entirely):
@@ -117,6 +128,20 @@ HELLO's version check keeps mixed fleets out entirely):
   payloads so pre-v5 stores keep replaying byte-identical results —
   while live-wire payloads (assignments, submissions) require v5
   exactly, as before.
+* **v6** — **overload protection**: admission control and graceful
+  degradation become part of the wire contract. ``SUBMIT`` may be
+  refused with a typed ``-BUSY`` line (per-tenant quota exhausted, or
+  the service is in declared *brownout*: new work refused, CLAIM/DONE
+  still served so the backlog drains); so may read commands shed from a
+  full dispatch queue — durability acks (``DONE``/``FAIL``) are never
+  shed. The refusal payload is JSON (``reason``, ``retry_after_s``,
+  quota context) and the hint is seeded-jittered server-side so a
+  refused fleet does not retry in lockstep. ``HEALTH`` answers a
+  readiness document (store writability and write latency, reader-pool
+  liveness, queue depths and shed counters, per-tenant quota headroom,
+  brownout state) off the lock-free fast path, so the probe stays
+  responsive under exactly the overload it exists to report. Result
+  payloads from v4/v5 stores keep decoding byte-identical, as before.
 
 Assignments and results are pickled: workers are trusted peers running
 the *same* ``repro`` version against the same grid (HELLO rejects a
@@ -138,16 +163,22 @@ from repro.sweep.cache import point_key
 from repro.sweep.point import SweepPoint
 
 #: Bumped when the assignment/result wire shape changes.
-WIRE_FORMAT = "repro-dist-sweep-v5"
+WIRE_FORMAT = "repro-dist-sweep-v6"
 
 #: Result-payload formats :func:`load_result` accepts. Result payloads
 #: outlive connections — the store persists the exact bytes a worker
 #: shipped, and replaying them byte-identical across restarts (and now
 #: across *code upgrades*) is the service's core promise. The v4 result
-#: shape is unchanged in v5, so v4 payloads recorded by a pre-v5 store
+#: shape is unchanged through v6, so payloads recorded by pre-v6 stores
 #: must keep decoding; live-wire payloads (assignments, submissions)
 #: stay strictly current-format because nothing persists them.
-_RESULT_FORMATS = frozenset({"repro-dist-sweep-v4", WIRE_FORMAT})
+_RESULT_FORMATS = frozenset(
+    {"repro-dist-sweep-v4", "repro-dist-sweep-v5", WIRE_FORMAT}
+)
+
+#: Marker word of a typed overload refusal; the RESP line is
+#: ``-BUSY <json>`` and clients see a message starting with this word.
+BUSY = "BUSY"
 
 #: CLAIM reply meaning "every point is done or poisoned; nothing left".
 DRAINED = "DRAINED"
@@ -165,6 +196,48 @@ TERMINAL = "TERMINAL"
 
 #: CANCEL ack meaning "the job is cancelled; its leases are revoked".
 CANCELLED = "CANCELLED"
+
+
+def dump_busy(
+    reason: str, retry_after_s: Optional[float] = None, **extra: Any
+) -> str:
+    """The text after ``-BUSY``: a sorted-key JSON refusal document.
+
+    ``reason`` is a stable machine-readable slug (``tenant-live-jobs``,
+    ``tenant-queued-points``, ``tenant-store-bytes``, ``brownout``,
+    ``draining``, ``dispatch-queue``); ``retry_after_s`` is the server's
+    seeded-jittered pacing hint. Extra keys carry quota context (limit,
+    usage) for operators reading a ``-BUSY`` storm out of client logs.
+    """
+    doc: dict[str, Any] = {"reason": str(reason)}
+    if retry_after_s is not None:
+        doc["retry_after_s"] = round(float(retry_after_s), 4)
+    doc.update(extra)
+    return json.dumps(doc, sort_keys=True)
+
+
+def parse_busy(message: str) -> Optional[dict]:
+    """Decode a client-side error message into its BUSY document.
+
+    Returns None when the message is not a ``-BUSY`` refusal at all (an
+    ordinary ``-ERR``); a dict (possibly just ``{"reason": "busy"}`` for
+    a bare/unparseable BUSY line) otherwise — so callers can use the
+    None/dict split as the retryable/fatal classification.
+    """
+    text = str(message)
+    if text != BUSY and not text.startswith(BUSY + " "):
+        return None
+    rest = text[len(BUSY):].strip()
+    if rest:
+        try:
+            doc = json.loads(rest)
+            if isinstance(doc, dict):
+                doc.setdefault("reason", "busy")
+                return doc
+        except ValueError:
+            pass
+        return {"reason": "busy", "detail": rest}
+    return {"reason": "busy"}
 
 
 def parse_hostport(text: str) -> tuple[str, int]:

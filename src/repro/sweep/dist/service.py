@@ -27,6 +27,16 @@ its worker is acknowledged. The consequences:
   leases stop renewing (``:0``) and its in-flight DONEs are answered
   ``+STALE``; grid B's leases, results, and lifecycle are untouched.
 
+* **Overload protection** (protocol v6) — SUBMIT passes admission
+  control (per-tenant quotas via
+  :class:`~repro.sweep.dist.admission.TenantQuota`) and may be refused
+  with a typed ``-BUSY`` reply carrying a seeded-jittered
+  ``retry_after_s``; the RESP substrate is bounded (connection cap,
+  idle/write deadlines, a dispatch queue that sheds reads but never
+  DONE acks); ``HEALTH`` reports readiness off the lock-free fast
+  path; and under queue or store-latency pressure the service declares
+  *brownout* — new SUBMITs refused, CLAIM/DONE still served to drain.
+
 Workers are oblivious: the service speaks the coordinator's exact
 command vocabulary towards them (HELLO advertises the
 :data:`~repro.sweep.dist.protocol.MULTI_GRID` sentinel), so
@@ -51,9 +61,15 @@ import numpy as np
 
 from repro.errors import (
     BackendUnavailableError,
+    ServiceBusyError,
     SweepError,
     SweepStoreError,
     TransportError,
+)
+from repro.sweep.dist.admission import (
+    DRAINING,
+    AdmissionController,
+    TenantQuota,
 )
 from repro.sweep.dist.fleetmetrics import EwmaRate, prometheus_exposition
 from repro.sweep.dist.lease import LeaseTable, PointRecord, PointState
@@ -66,6 +82,7 @@ from repro.sweep.dist.protocol import (
     Assignment,
     FailureRecord,
     GridInfo,
+    dump_busy,
     dump_results_reply,
     dump_submission,
     grid_signature,
@@ -73,6 +90,7 @@ from repro.sweep.dist.protocol import (
     load_results_reply,
     load_spans,
     load_submission,
+    parse_busy,
     parse_hostport,
 )
 from repro.sweep.cache import point_fingerprint
@@ -130,6 +148,14 @@ class ServiceJob:
 class SweepService(RespTcpServer):
     """Multi-tenant, store-backed grid server on the RESP substrate."""
 
+    #: Read-only commands the bounded dispatch queue may shed under
+    #: pressure. Durability acks (DONE/FAIL), leasing (CLAIM/RENEW),
+    #: lifecycle (SUBMIT/CANCEL/GC), and liveness (PING/HELLO) are never
+    #: shed; SUBMIT overload is handled by admission control instead.
+    SHEDDABLE = frozenset(
+        {"STATUS", "METRICS", "QUERY", "USAGE", "JOBS", "SPANS", "RESULTS"}
+    )
+
     def __init__(
         self,
         store: SweepStore | str | Path,
@@ -142,9 +168,38 @@ class SweepService(RespTcpServer):
         wall: Callable[[], float] = time.time,
         flight_path: Optional[str | Path] = None,
         max_frame_bytes: Optional[int] = None,
+        quota: Optional[TenantQuota] = None,
+        max_connections: Optional[int] = 256,
+        idle_timeout: Optional[float] = 300.0,
+        write_timeout: Optional[float] = 30.0,
+        dispatch_queue_limit: Optional[int] = 128,
+        brownout_backlog: Optional[int] = None,
+        brownout_store_latency_s: Optional[float] = 1.0,
+        busy_retry_s: float = 1.0,
+        seed: int = 0,
     ) -> None:
+        if brownout_backlog is None and dispatch_queue_limit is not None:
+            # Brown out before the queue is hard-full, so shedding reads
+            # and refusing submissions kick in together, not after the
+            # queue already drops everything sheddable.
+            brownout_backlog = max(4, (3 * dispatch_queue_limit) // 4)
         super().__init__(
-            host=host, port=port, name="sweep-service", max_frame_bytes=max_frame_bytes
+            host=host,
+            port=port,
+            name="sweep-service",
+            max_frame_bytes=max_frame_bytes,
+            max_connections=max_connections,
+            idle_timeout=idle_timeout,
+            write_timeout=write_timeout,
+            dispatch_queue_limit=dispatch_queue_limit,
+        )
+        self.admission = AdmissionController(
+            quota=quota,
+            brownout_backlog=brownout_backlog,
+            brownout_store_latency_s=brownout_store_latency_s,
+            busy_retry_s=busy_retry_s,
+            seed=seed,
+            clock=clock,
         )
         if isinstance(store, (str, Path)):
             store = SweepStore(store, wall=wall)
@@ -315,6 +370,21 @@ class SweepService(RespTcpServer):
             # retried SUBMIT short-circuits instead of re-running the grid.
             return {"grid": grid, "created": False, "state": "collected",
                     "n_points": tomb["n_points"]}
+        # Admission control — only *new* work is gated; the idempotent
+        # short-circuits above add no load and must stay refusal-free so
+        # a tenant retrying across a refusal window converges.
+        refusal = self._admission_check(tenant, len(work))
+        if refusal is not None:
+            _log.warning(
+                "job.refused", tenant=tenant, name=name,
+                reason=refusal["reason"], n_points=len(work),
+            )
+            self.flight.record(
+                "submit.busy", tenant=tenant, reason=refusal["reason"]
+            )
+            raise ServiceBusyError(
+                refusal["reason"], refusal.get("retry_after_s"), detail=refusal
+            )
         specs = [
             (
                 idx,
@@ -323,7 +393,9 @@ class SweepService(RespTcpServer):
             )
             for idx, point in work
         ]
+        t0 = time.perf_counter()
         self.store.submit_job(grid, name=name, points=specs, tenant=tenant)
+        self.admission.observe_store_write(time.perf_counter() - t0)
         job = self._activate(
             grid, name, tenant, dict(work),
             timeout=timeout, retries=retries, capture=capture,
@@ -358,6 +430,148 @@ class SweepService(RespTcpServer):
             self.flight.record("cancel", grid=grid[:16], name=job.name)
             _log.info("job.cancel", grid=grid[:16], name=job.name)
         return CANCELLED
+
+    # -- admission control ---------------------------------------------------
+    def _tenant_usage(self, tenant: str) -> tuple[int, int]:
+        """(live jobs, outstanding points) this tenant holds right now."""
+        live_jobs = 0
+        queued = 0
+        for job in self.jobs.values():
+            if job.tenant == tenant and job.state in (JOB_SUBMITTED, JOB_RUNNING):
+                live_jobs += 1
+                queued += job.table.remaining()
+        return live_jobs, queued
+
+    def _admission_check(self, tenant: str, n_points: int) -> Optional[dict]:
+        """None to admit this submission; a ``-BUSY`` document otherwise."""
+        if self._stop_serving:
+            return self.admission.refuse("draining", scale=4.0, tenant=tenant)
+        self._evaluate_brownout()
+        live_jobs, queued = self._tenant_usage(tenant)
+        store_bytes = None
+        if self.admission.quota.max_store_bytes is not None:
+            store_bytes = self.store.used_bytes()
+        return self.admission.check_submit(
+            tenant, live_jobs, queued, n_points, store_bytes
+        )
+
+    def _evaluate_brownout(self) -> None:
+        """Advance the brownout machine; log+record transitions."""
+        event = self.admission.evaluate(self.dispatch_backlog())
+        if event == "enter":
+            snap = self.admission.snapshot()
+            _log.warning(
+                "service.brownout.enter",
+                cause=snap.get("brownout_cause"),
+                backlog=self.dispatch_backlog(),
+                store_latency_s=snap.get("store_write_latency_s"),
+            )
+            self.flight.record("brownout.enter", cause=snap.get("brownout_cause"))
+        elif event == "exit":
+            _log.info("service.brownout.exit")
+            self.flight.record("brownout.exit")
+
+    def _sheddable(self, name: str) -> bool:
+        return name in self.SHEDDABLE
+
+    def _busy_reply(self, name: str) -> bytes:
+        doc = self.admission.refuse("dispatch-queue", command=name)
+        return resp.encode_busy(dump_busy(**doc))
+
+    # -- health --------------------------------------------------------------
+    def _store_bytes_ro(self) -> Optional[int]:
+        """Live store bytes via the reader pool (never queues on the writer)."""
+        try:
+            with self.reader.connection() as conn:
+                page_size = conn.execute("PRAGMA page_size").fetchone()[0]
+                page_count = conn.execute("PRAGMA page_count").fetchone()[0]
+                freelist = conn.execute("PRAGMA freelist_count").fetchone()[0]
+            return max(0, int(page_count) - int(freelist)) * int(page_size)
+        except Exception:
+            return None
+
+    def health(self, lock_timeout: float = 0.05) -> dict:
+        """The readiness document behind the ``HEALTH`` wire command.
+
+        Deliberately answerable *without* the dispatch lock: counters and
+        queue depths are read lock-free, and the per-tenant quota section
+        is filled in only if the lock frees up within ``lock_timeout`` —
+        under exactly the overload HEALTH exists to report, the probe
+        still answers (marked ``"degraded": true``) instead of queueing
+        behind the backlog it is trying to measure.
+        """
+        if self._stop_serving:
+            state = DRAINING
+        else:
+            state = self.admission.state
+        with self._conns_lock:
+            connections = len(self._open_conns)
+        store_bytes = self._store_bytes_ro()
+        doc: dict[str, Any] = {
+            "service": True,
+            "state": state,
+            "version": __version__,
+            "store": {
+                "path": str(self.store.path),
+                "writable": self.store.is_open,
+                "bytes": store_bytes,
+                "write_latency_s": round(
+                    self.admission.store_write_latency_s, 6
+                ),
+            },
+            "reader_pool": {"live": not getattr(self.reader, "_closed", True)},
+            "queues": {
+                "dispatch_waiting": self.dispatch_backlog(),
+                "dispatch_limit": self.dispatch_queue_limit,
+                "shed_commands": self.shed_commands,
+                "connections": connections,
+                "max_connections": self.max_connections,
+                "refused_connections": self.refused_connections,
+                "idle_disconnects": self.idle_disconnects,
+                "stalled_disconnects": self.stalled_disconnects,
+            },
+            "admission": self.admission.snapshot(),
+        }
+        locked = self._exec_lock.acquire(timeout=lock_timeout)
+        if not locked:
+            doc["degraded"] = True
+            return doc
+        try:
+            quota = self.admission.quota
+            tenants: dict[str, dict] = {}
+            for job in self.jobs.values():
+                if job.state not in (JOB_SUBMITTED, JOB_RUNNING):
+                    continue
+                entry = tenants.setdefault(
+                    job.tenant, {"live_jobs": 0, "queued_points": 0}
+                )
+                entry["live_jobs"] += 1
+                entry["queued_points"] += job.table.remaining()
+            for entry in tenants.values():
+                entry["headroom"] = quota.headroom(
+                    entry["live_jobs"], entry["queued_points"], store_bytes
+                )
+            doc["tenants"] = dict(sorted(tenants.items()))
+            doc["jobs"] = {
+                "live": sum(
+                    1
+                    for j in self.jobs.values()
+                    if j.state in (JOB_SUBMITTED, JOB_RUNNING)
+                ),
+                "known": len(self.jobs),
+            }
+        finally:
+            self._exec_lock.release()
+        return doc
+
+    def _dispatch_unlocked(self, name: str, args: list) -> Optional[bytes]:
+        if name != "HEALTH":
+            return None
+        if len(args) not in (0,):
+            raise TransportError("wrong number of arguments for 'HEALTH'")
+        return resp.encode_bulk(
+            json.dumps(self.health(), sort_keys=True).encode()
+        )
 
     # -- command dispatch ----------------------------------------------------
     def _dispatch(self, name: str, args: list) -> bytes:
@@ -620,7 +834,9 @@ class SweepService(RespTcpServer):
             ) from None
         # Durability before acknowledgment: commit (fsync) to the store,
         # then ack — a +OK'd result survives a SIGKILL of this process.
+        t0 = time.perf_counter()
         self.store.record_done(grid, index, blob, worker=worker)
+        self.admission.observe_store_write(time.perf_counter() - t0)
         job.table.complete(worker, index)
         job.executed += 1
         entry = self.workers.setdefault(
@@ -663,14 +879,23 @@ class SweepService(RespTcpServer):
 
     def _handle_submit(self, blob: bytes) -> bytes:
         payload = load_submission(blob)
-        reply = self.submit(
-            payload["name"],
-            payload["points"],
-            tenant=payload.get("tenant", ""),
-            timeout=payload.get("timeout"),
-            retries=int(payload.get("retries", 1)),
-            capture=bool(payload.get("capture", True)),
-        )
+        try:
+            reply = self.submit(
+                payload["name"],
+                payload["points"],
+                tenant=payload.get("tenant", ""),
+                timeout=payload.get("timeout"),
+                retries=int(payload.get("retries", 1)),
+                capture=bool(payload.get("capture", True)),
+            )
+        except ServiceBusyError as exc:
+            # Typed refusal, not -ERR: the request was valid, the service
+            # is shedding load. Clients honor the hint and retry.
+            doc = dict(exc.detail)
+            doc.setdefault("reason", exc.reason)
+            if exc.retry_after_s is not None:
+                doc.setdefault("retry_after_s", exc.retry_after_s)
+            return resp.encode_busy(dump_busy(**doc))
         return resp.encode_bulk(json.dumps(reply, sort_keys=True).encode())
 
     def _handle_results(self, grid: str) -> bytes:
@@ -808,6 +1033,7 @@ class SweepService(RespTcpServer):
                     for job in list(self._active_jobs()):
                         job.table.reclaim_expired()
                         self._maybe_finalize(job)
+                    self._evaluate_brownout()
                 time.sleep(poll)
         except BaseException:
             maybe_dump(self.flight, self.flight_path, "crash")
@@ -846,6 +1072,14 @@ class ServiceClient:
     All commands it issues are idempotent (SUBMIT by content signature,
     the rest read-only or terminal-state-absorbing), so blind retry is
     safe.
+
+    Error replies split three ways: ``-BUSY`` (overload refusal —
+    retryable; the server's ``retry_after_s`` hint is honored *instead
+    of* the client's own backoff, and exhausting the budget raises
+    :class:`~repro.errors.ServiceBusyError` carrying the refusal
+    reason), connection loss (retryable with seeded backoff, as
+    before), and ``-ERR`` (the request itself is wrong — fatal, raised
+    immediately).
     """
 
     def __init__(
@@ -860,6 +1094,10 @@ class ServiceClient:
         self.op_timeout = op_timeout
         self.reconnect_budget = reconnect_budget
         self._rng = np.random.default_rng(derive_seed(seed, "service-client", address))
+        #: -BUSY refusals absorbed (retried) across this client's lifetime.
+        self.busy_refusals = 0
+        #: The most recent -BUSY document seen, for operator forensics.
+        self.last_busy: Optional[dict] = None
 
     def _command(self, *parts) -> Any:
         deadline = time.monotonic() + self.reconnect_budget
@@ -875,12 +1113,43 @@ class ServiceClient:
                 attempt += 1
                 delay = min(0.1 * (2 ** min(attempt, 5)), 2.0)
                 time.sleep(delay * (0.5 + float(self._rng.random())))
+            except resp.ServerReplyError as exc:
+                busy = parse_busy(str(exc))
+                if busy is None:
+                    raise  # -ERR: the request is wrong; retry cannot help
+                self.busy_refusals += 1
+                self.last_busy = busy
+                now = time.monotonic()
+                reason = str(busy.get("reason", "busy"))
+                hint = busy.get("retry_after_s")
+                if now >= deadline:
+                    raise ServiceBusyError(
+                        reason,
+                        None if hint is None else float(hint),
+                        detail=busy,
+                    ) from None
+                if hint is not None:
+                    # Honor the server's seeded pacing over our own.
+                    delay = max(0.0, float(hint))
+                else:
+                    attempt += 1
+                    delay = min(0.1 * (2 ** min(attempt, 5)), 2.0)
+                    delay *= 0.5 + float(self._rng.random())
+                time.sleep(min(delay, max(0.0, deadline - now)))
             finally:
                 if conn is not None:
                     conn.close()
 
     def ping(self) -> bool:
         return str(self._command("PING")) == "PONG"
+
+    def health(self) -> dict:
+        """The service's readiness document (see the HEALTH command)."""
+        reply = self._command("HEALTH")
+        doc = json.loads(reply) if reply else None
+        if not isinstance(doc, dict):
+            raise SweepError(f"malformed HEALTH reply from {self.address}")
+        return doc
 
     def submit(
         self,
@@ -1003,6 +1272,13 @@ def run_service_process(
     flight_path: Optional[str] = None,
     poll: float = 0.1,
     max_frame_bytes: Optional[int] = None,
+    quota: Optional[TenantQuota] = None,
+    max_connections: Optional[int] = 256,
+    idle_timeout: Optional[float] = 300.0,
+    write_timeout: Optional[float] = 30.0,
+    dispatch_queue_limit: Optional[int] = 128,
+    busy_retry_s: float = 1.0,
+    seed: int = 0,
 ) -> int:
     """Entry point for ``repro sweep --service`` (standalone service).
 
@@ -1022,6 +1298,13 @@ def run_service_process(
             lease_seconds=lease_seconds,
             flight_path=flight_path,
             max_frame_bytes=max_frame_bytes,
+            quota=quota,
+            max_connections=max_connections,
+            idle_timeout=idle_timeout,
+            write_timeout=write_timeout,
+            dispatch_queue_limit=dispatch_queue_limit,
+            busy_retry_s=busy_retry_s,
+            seed=seed,
         )
     except SweepStoreError as exc:
         print(f"sweep service: {exc}", file=sys.stderr)
@@ -1062,5 +1345,6 @@ __all__ = [
     "ServiceClient",
     "ServiceJob",
     "SweepService",
+    "TenantQuota",
     "run_service_process",
 ]

@@ -381,6 +381,29 @@ class SweepStore:
             self._ops.put(_CLOSE)
             self._writer.join(timeout=10.0)
 
+    @property
+    def is_open(self) -> bool:
+        """Whether the writer thread is alive (the store accepts writes)."""
+        return self._writer.is_alive()
+
+    def used_bytes(self) -> int:
+        """Bytes of live data in the store file (admission accounting).
+
+        ``(page_count - freelist_count) * page_size``: unlike the raw
+        file size, this *shrinks* when GC deletes rows (SQLite frees
+        pages to the freelist without truncating the file), so a
+        tenant's store-bytes quota headroom recovers after
+        ``collect_job`` even though ``stat().st_size`` never moves.
+        """
+
+        def fn(conn: sqlite3.Connection) -> int:
+            page_size = conn.execute("PRAGMA page_size").fetchone()[0]
+            page_count = conn.execute("PRAGMA page_count").fetchone()[0]
+            freelist = conn.execute("PRAGMA freelist_count").fetchone()[0]
+            return max(0, int(page_count) - int(freelist)) * int(page_size)
+
+        return self._call(fn)
+
     def __enter__(self) -> "SweepStore":
         return self
 

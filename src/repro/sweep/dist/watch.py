@@ -27,6 +27,7 @@ from repro.errors import BackendUnavailableError, SweepError, TransportError
 from repro.sweep.dist.protocol import parse_hostport
 from repro.sweep.point import derive_seed
 from repro.transport.redis_backend import MiniRedisConnection
+from repro.transport.resp import ServerReplyError
 
 #: Progress-bar width in cells.
 BAR_WIDTH = 30
@@ -61,6 +62,29 @@ def fetch_status(address: str, timeout: float = 5.0) -> dict:
     return status
 
 
+def fetch_health(address: str, timeout: float = 5.0) -> Optional[dict]:
+    """One HEALTH round-trip; None when the peer has no HEALTH command.
+
+    A v5-or-older coordinator answers ``-ERR unknown command`` — the
+    console degrades to status-only rendering instead of failing, so
+    ``--watch`` attaches to either vintage. Connection-level failures
+    propagate (the caller's reconnect loop owns those).
+    """
+    host, port = parse_hostport(address)
+    conn = MiniRedisConnection(host, port, timeout=timeout)
+    try:
+        reply = conn.command("HEALTH")
+    except ServerReplyError:
+        return None  # -ERR unknown command: pre-v6 peer
+    finally:
+        conn.close()
+    try:
+        doc = json.loads(reply) if reply else None
+    except ValueError:
+        doc = None
+    return doc if isinstance(doc, dict) else None
+
+
 def progress_bar(done: int, total: int, width: int = BAR_WIDTH) -> str:
     """``[#####....] done/total`` with a guaranteed-bounded fill."""
     total = max(total, 1)
@@ -86,12 +110,42 @@ def drained(status: dict) -> bool:
     return total > 0 and terminal >= total
 
 
-def render_status(status: dict) -> str:
-    """Pure text rendering of one STATUS document (no ANSI codes)."""
+def render_health(health: dict) -> list[str]:
+    """Banner lines for a HEALTH document; empty when all is well."""
+    state = str(health.get("state", "ready"))
+    admission = health.get("admission", {})
+    queues = health.get("queues", {})
+    lines: list[str] = []
+    if state != "ready":
+        cause = admission.get("brownout_cause")
+        detail = f" ({cause})" if cause else ""
+        lines.append(
+            f"  !! service {state.upper()}{detail} — new submissions refused, "
+            "claims/acks still served"
+        )
+    refusals = int(admission.get("busy_refusals", 0))
+    shed = int(queues.get("shed_commands", 0))
+    if refusals or shed:
+        lines.append(
+            f"  overload: {refusals} busy refusals, {shed} shed commands, "
+            f"{queues.get('refused_connections', 0)} refused connections, "
+            f"backlog {queues.get('dispatch_waiting', 0)}"
+            f"/{queues.get('dispatch_limit', '-')}"
+        )
+    return lines
+
+
+def render_status(status: dict, health: Optional[dict] = None) -> str:
+    """Pure text rendering of one STATUS document (no ANSI codes).
+
+    With a HEALTH document the overload banner (brownout state, refusal
+    and shed counters) is prepended — absent or healthy, the rendering
+    is byte-identical to the status-only form.
+    """
     counts = status.get("counts", {})
     total = int(status.get("n_points", 0))
     done = int(counts.get("done", 0))
-    lines = [
+    lines = (render_health(health) if health else []) + [
         f"sweep {str(status.get('grid', '?'))[:16]}  "
         f"{progress_bar(done, total)}",
         (
@@ -136,6 +190,7 @@ def watch(
     stream: Optional[TextIO] = None,
     max_refreshes: Optional[int] = None,
     fetch: Callable[[str], dict] = fetch_status,
+    fetch_health_fn: Optional[Callable[[str], Optional[dict]]] = fetch_health,
     sleep: Callable[[float], None] = time.sleep,
     reconnect_budget: float = RECONNECT_BUDGET,
     seed: int = 0,
@@ -170,9 +225,21 @@ def watch(
     last: Optional[dict] = None
     budget_left = reconnect_budget
     attempt = 0
+    health_supported = fetch_health_fn is not None
     while max_refreshes is None or refreshes < max_refreshes:
         try:
             status = fetch(address)
+            health = None
+            if health_supported:
+                # Best-effort: only STATUS drives the reconnect loop; a
+                # health probe failing (pre-v6 peer, injected fetch in
+                # tests) just degrades the console to status-only.
+                try:
+                    health = fetch_health_fn(address)
+                except (BackendUnavailableError, TransportError, OSError):
+                    health = None
+                if health is None:
+                    health_supported = False
         except (BackendUnavailableError, TransportError, OSError):
             if last is None:
                 print(f"coordinator at {address} is unreachable", file=out)
@@ -207,7 +274,7 @@ def watch(
         refreshes += 1
         if use_ansi:
             out.write(_CLEAR)
-        print(render_status(status), file=out)
+        print(render_status(status, health), file=out)
         out.flush()
         last = status
         if drained(status):
@@ -220,8 +287,10 @@ __all__ = [
     "BAR_WIDTH",
     "RECONNECT_BUDGET",
     "drained",
+    "fetch_health",
     "fetch_status",
     "progress_bar",
+    "render_health",
     "render_status",
     "watch",
 ]

@@ -66,6 +66,7 @@ from repro.sweep.dist.protocol import (
     Assignment,
     FailureRecord,
     dump_spans,
+    parse_busy,
     parse_hostport,
 )
 from repro.sweep.point import derive_seed
@@ -73,6 +74,7 @@ from repro.telemetry.flight import FlightRecorder, maybe_dump
 from repro.telemetry.log import get_logger
 from repro.transport.redis_backend import MiniRedisConnection
 from repro.transport.resilience import CircuitBreaker, RetryPolicy
+from repro.transport.resp import ServerReplyError
 from repro.version import __version__
 
 _AGENT_COUNTER = itertools.count()
@@ -139,6 +141,7 @@ class WorkerReport:
     local_retries: int = 0
     stale_grid: int = 0  # results dropped: the grid changed under us
     rejected: int = 0  # submissions/claims the coordinator answered -ERR
+    busy: int = 0  # -BUSY shed/overload replies absorbed (paced retries)
     spans_shipped: int = 0  # fleet spans the coordinator accepted
     spans_dropped: int = 0  # fleet spans lost to fire-and-forget shipping
     drained: bool = False  # exited via SIGTERM / request_drain
@@ -158,6 +161,8 @@ class WorkerReport:
             parts.append(f"{self.stale_grid} stale-grid drops")
         if self.rejected:
             parts.append(f"{self.rejected} rejected")
+        if self.busy:
+            parts.append(f"{self.busy} busy")
         how = "drained" if self.drained else ("gave up" if self.gave_up else "done")
         return f"worker {self.worker_id}: " + ", ".join(parts) + f" ({how})"
 
@@ -288,6 +293,26 @@ class WorkerAgent:
                     min(attempt, self.options.policy.max_attempts - 1) or 1, self._rng
                 )
                 time.sleep(delay)
+            except ServerReplyError as exc:
+                busy = parse_busy(str(exc))
+                if busy is None:
+                    raise  # e.g. a version-mismatch HELLO: genuinely fatal
+                # Typed overload refusal (connection cap): the service is
+                # shedding, not rejecting us — pace with its hint and
+                # retry under the same reconnect budget.
+                self.report.busy += 1
+                self._breaker.record_failure()
+                attempt += 1
+                hint = busy.get("retry_after_s")
+                delay = (
+                    float(hint)
+                    if hint is not None
+                    else self.options.policy.delay(
+                        min(attempt, self.options.policy.max_attempts - 1) or 1,
+                        self._rng,
+                    )
+                )
+                time.sleep(delay)
             else:
                 self._breaker.record_success()
                 self._touch()
@@ -402,7 +427,19 @@ class WorkerAgent:
             except BackendUnavailableError:
                 self._drop_conn_if(conn)
                 continue
-            except TransportError:
+            except TransportError as exc:
+                busy = parse_busy(str(exc))
+                if busy is not None:
+                    # Overload shed, not a rejection: never discard a
+                    # finished result over transient pressure — pace with
+                    # the server's hint and resubmit (DONE is idempotent).
+                    self.report.busy += 1
+                    self._touch()
+                    hint = busy.get("retry_after_s")
+                    self._drain.wait(
+                        float(hint) if hint is not None else self.options.poll
+                    )
+                    continue
                 # An -ERR reply (unknown index, draining coordinator,
                 # malformed payload): the submission was *rejected*, not
                 # lost. Discard the point and go claim again rather than
@@ -549,7 +586,19 @@ class WorkerAgent:
                 except BackendUnavailableError:
                     self._drop_conn()
                     continue
-                except TransportError:
+                except TransportError as exc:
+                    busy = parse_busy(str(exc))
+                    if busy is not None:
+                        # Overload shed: keep the connection (the server
+                        # chose to answer, not to cut us) and pace with
+                        # its retry hint before claiming again.
+                        self.report.busy += 1
+                        self._touch()
+                        hint = busy.get("retry_after_s")
+                        self._drain.wait(
+                            float(hint) if hint is not None else self.options.poll
+                        )
+                        continue
                     # -ERR reply: the coordinator refused the claim. Drop
                     # the connection (a fresh HELLO re-validates us) and
                     # retry under the reconnect budget instead of dying.

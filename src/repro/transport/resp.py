@@ -72,6 +72,18 @@ def encode_error(text: str) -> bytes:
     return b"-ERR " + text.encode("utf-8") + CRLF
 
 
+def encode_busy(text: str) -> bytes:
+    """Typed overload refusal: ``-BUSY <text>``.
+
+    Distinct from :func:`encode_error` so clients can tell "the server is
+    shedding load, retry later" (honor the hint, keep the budget) from
+    "the request itself is wrong" (fail fast). Parsers surface it as a
+    :class:`ServerReplyError` whose message starts with ``BUSY`` — only
+    the ``ERR`` marker is stripped client-side.
+    """
+    return b"-BUSY " + text.encode("utf-8") + CRLF
+
+
 def encode_integer(value: int) -> bytes:
     return b":%d" % value + CRLF
 

@@ -44,6 +44,21 @@ from repro.transport.kvfile import ShardedFileStore
 _RECV_CHUNK = 1 << 16
 
 
+class _DispatchSlot:
+    """One command waiting for the dispatch lock (shed-policy bookkeeping)."""
+
+    __slots__ = ("name", "sheddable", "shed")
+
+    def __init__(self, name: str, sheddable: bool) -> None:
+        self.name = name
+        self.sheddable = sheddable
+        self.shed = False
+
+
+#: Sentinel returned by ``_admit`` when a command is refused outright.
+_REFUSED = object()
+
+
 class RespTcpServer:
     """Threaded TCP server speaking RESP; subclasses implement ``_dispatch``.
 
@@ -55,6 +70,26 @@ class RespTcpServer:
     an error reply instead of killing the connection, and so does any
     unexpected exception (answered as ``-ERR internal ...``) — a client
     mid-protocol always gets a reply, never a torn-down socket.
+
+    Everything a peer can consume is boundable (all off by default, so
+    plain subclasses behave exactly as before):
+
+    * ``max_connections`` — connections past the cap are answered with a
+      typed ``-BUSY`` line and closed at accept, instead of the old
+      accept-until-fd-exhaustion behavior.
+    * ``idle_timeout`` — a connection that sends nothing for this long is
+      closed (half-open connects cannot pin reader threads forever).
+    * ``write_timeout`` — a client that stops *reading* its reply (slow
+      loris) is disconnected once ``sendall`` stalls this long; replies
+      are sent outside the dispatch lock, so a stalled send never blocks
+      other connections' commands either way — the deadline reclaims the
+      pinned thread and its buffered reply.
+    * ``dispatch_queue_limit`` — bounds commands *waiting* for the
+      dispatch lock. When the queue is full, an arriving sheddable
+      command (per ``_sheddable``; read-only status/query traffic) is
+      refused with ``-BUSY``; an arriving protected command (durability
+      acks like DONE) is always admitted and instead sheds the oldest
+      waiting sheddable command. Protected commands are never dropped.
     """
 
     def __init__(
@@ -63,13 +98,28 @@ class RespTcpServer:
         port: int = 0,
         name: str = "resp",
         max_frame_bytes: Optional[int] = None,
+        max_connections: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        write_timeout: Optional[float] = None,
+        dispatch_queue_limit: Optional[int] = None,
     ) -> None:
         self.name = name
         #: Per-connection bulk-string frame cap (None = resp module
         #: default). A violating frame is answered with ``-ERR`` and the
         #: connection is closed — never buffered.
         self.max_frame_bytes = max_frame_bytes
+        self.max_connections = max_connections
+        self.idle_timeout = idle_timeout
+        self.write_timeout = write_timeout
+        self.dispatch_queue_limit = dispatch_queue_limit
         self._exec_lock = threading.Lock()  # serialized command execution
+        self._queue_lock = threading.Lock()
+        self._dispatch_pending: list[_DispatchSlot] = []
+        #: Overload counters (monotonic; read without locks for health).
+        self.refused_connections = 0
+        self.idle_disconnects = 0
+        self.stalled_disconnects = 0
+        self.shed_commands = 0
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -147,22 +197,81 @@ class RespTcpServer:
                 continue
             except OSError:
                 break
-            conn.settimeout(None)  # connections block indefinitely
+            # Register under the lock *before* spawning the thread so the
+            # cap check never races a connection that is accepted but not
+            # yet counted.
+            with self._conns_lock:
+                at_cap = (
+                    self.max_connections is not None
+                    and len(self._open_conns) >= self.max_connections
+                )
+                if not at_cap:
+                    self._open_conns.add(conn)
+            if at_cap:
+                self.refused_connections += 1
+                try:
+                    conn.settimeout(1.0)
+                    conn.sendall(
+                        resp.encode_busy(
+                            f"connection limit {self.max_connections} reached"
+                        )
+                    )
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            conn.settimeout(self.idle_timeout)  # None = block indefinitely
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
             thread.start()
+            self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
             self._conn_threads.append(thread)
+
+    def _send_reply(self, conn: socket.socket, reply: bytes) -> bool:
+        """Send one reply under the write deadline; False = give up on peer.
+
+        The slow-loris defense: a client that stops draining its receive
+        buffer makes ``sendall`` block once the kernel buffers fill; the
+        deadline turns that into a disconnect instead of a forever-pinned
+        thread holding the buffered reply.
+        """
+        if self.write_timeout is not None:
+            try:
+                conn.settimeout(self.write_timeout)
+            except OSError:
+                return False
+        try:
+            conn.sendall(reply)
+            return True
+        except socket.timeout:
+            self.stalled_disconnects += 1
+            return False
+        except OSError:
+            return False
+        finally:
+            if self.write_timeout is not None:
+                try:
+                    conn.settimeout(self.idle_timeout)
+                except OSError:
+                    pass
 
     def _serve_connection(self, conn: socket.socket) -> None:
         parser = resp.RespParser(max_bulk_bytes=self.max_frame_bytes)
-        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        with self._conns_lock:
-            self._open_conns.add(conn)
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
         try:
             while self._running.is_set():
                 try:
                     data = conn.recv(_RECV_CHUNK)
+                except socket.timeout:
+                    self.idle_disconnects += 1
+                    break
                 except OSError:
                     break
                 if not data:
@@ -172,12 +281,13 @@ class RespTcpServer:
                     try:
                         message = parser.pop()
                     except TransportError as exc:
-                        conn.sendall(resp.encode_error(str(exc)))
+                        self._send_reply(conn, resp.encode_error(str(exc)))
                         return
                     if message is None:
                         break
                     reply = self._execute(message)
-                    conn.sendall(reply)
+                    if not self._send_reply(conn, reply):
+                        return
         finally:
             with self._conns_lock:
                 self._open_conns.discard(conn)
@@ -187,6 +297,39 @@ class RespTcpServer:
                 pass
 
     # -- command execution ---------------------------------------------------
+    def dispatch_backlog(self) -> int:
+        """Commands currently waiting for the dispatch lock."""
+        with self._queue_lock:
+            return len(self._dispatch_pending)
+
+    def _admit(self, name: str):
+        """Bounded-queue admission; a slot, ``_REFUSED``, or None (unbounded).
+
+        Deterministic shed policy when the queue is full: an arriving
+        *sheddable* command is refused on the spot (the cheapest outcome —
+        no queueing, no lock); an arriving *protected* command is always
+        admitted and marks the **oldest** still-unshed sheddable waiter as
+        shed instead (it bounces with ``-BUSY`` the moment it reaches the
+        lock, without executing). DONE-class commands therefore never wait
+        behind more than ``dispatch_queue_limit`` peers' worth of reads and
+        are never dropped.
+        """
+        if self.dispatch_queue_limit is None:
+            return None
+        slot = _DispatchSlot(name, self._sheddable(name))
+        with self._queue_lock:
+            if len(self._dispatch_pending) >= self.dispatch_queue_limit:
+                if slot.sheddable:
+                    self.shed_commands += 1
+                    return _REFUSED
+                for waiting in self._dispatch_pending:
+                    if waiting.sheddable and not waiting.shed:
+                        waiting.shed = True
+                        self.shed_commands += 1
+                        break
+            self._dispatch_pending.append(slot)
+        return slot
+
     def _execute(self, message: Any) -> bytes:
         if not isinstance(message, list) or not message:
             return resp.encode_error("protocol: expected a command array")
@@ -195,7 +338,28 @@ class RespTcpServer:
             return resp.encode_error("protocol: command must be a bulk string")
         name = command.decode("utf-8", "replace").upper()
         args = message[1:]
+        try:
+            fast = self._dispatch_unlocked(name, args)
+        except TransportError as exc:
+            return resp.encode_error(str(exc))
+        except Exception as exc:
+            return resp.encode_error(
+                f"internal {type(exc).__name__} in '{name}': {exc}"
+            )
+        if fast is not None:
+            return fast
+        slot = self._admit(name)
+        if slot is _REFUSED:
+            return self._busy_reply(name)
         with self._exec_lock:  # commands execute one at a time
+            if slot is not None:
+                with self._queue_lock:
+                    try:
+                        self._dispatch_pending.remove(slot)
+                    except ValueError:
+                        pass
+                if slot.shed:
+                    return self._busy_reply(name)
             self.commands_served += 1
             try:
                 return self._dispatch(name, args)
@@ -213,6 +377,23 @@ class RespTcpServer:
     def _dispatch(self, name: str, args: list) -> bytes:
         """Handle one command; subclasses must implement."""
         raise NotImplementedError
+
+    def _dispatch_unlocked(self, name: str, args: list) -> Optional[bytes]:
+        """Optional lock-free fast path, tried before queue admission.
+
+        Subclasses may answer latency-critical read-only commands here
+        (e.g. a health probe) so they stay responsive while the dispatch
+        lock is contended. Return None to fall through to ``_dispatch``.
+        """
+        return None
+
+    def _sheddable(self, name: str) -> bool:
+        """Whether a command may be shed under queue pressure (default: no)."""
+        return False
+
+    def _busy_reply(self, name: str) -> bytes:
+        """The ``-BUSY`` reply for a shed command; subclasses may add hints."""
+        return resp.encode_busy(f"dispatch queue full, '{name}' shed")
 
     @staticmethod
     def _need(args: list, n: int, command: str) -> None:

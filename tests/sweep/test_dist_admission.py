@@ -1,0 +1,452 @@
+"""Overload protection: per-tenant quotas, -BUSY refusals, brownout,
+HEALTH, and the client's hint-honoring retry loop (protocol v6)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceBusyError
+from repro.sweep.dist.admission import (
+    BROWNOUT,
+    READY,
+    AdmissionController,
+    TenantQuota,
+)
+from repro.sweep.dist.protocol import (
+    Assignment,
+    dump_busy,
+    dump_result,
+    dump_submission,
+    parse_busy,
+)
+from repro.sweep.dist.service import ServiceClient, SweepService
+from repro.sweep.point import SweepPoint
+from repro.transport.redis_backend import MiniRedisConnection
+from repro.transport.resp import ServerReplyError
+
+
+def square(x):
+    return x * x
+
+
+def points_for(n, offset=0, payload=""):
+    return [
+        (
+            i,
+            SweepPoint(
+                func=square,
+                kwargs=(
+                    {"x": i + offset}
+                    if not payload
+                    else {"x": i + offset, "pad": payload}
+                ),
+                label=f"p{i + offset}",
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+def make_service(tmp_path, **kwargs):
+    kwargs.setdefault("busy_retry_s", 0.05)
+    service = SweepService(
+        tmp_path / "store.sqlite", host="127.0.0.1", port=0, **kwargs
+    )
+    service.start()
+    return service
+
+
+def command(service, *parts):
+    conn = MiniRedisConnection(service.host, service.port, timeout=5.0)
+    try:
+        return conn.command(*parts)
+    finally:
+        conn.close()
+
+
+def claim(service, worker="w0"):
+    reply = command(service, "CLAIM", worker)
+    if reply in (None, b"DRAINED") or str(reply) == "DRAINED":
+        return None
+    return Assignment.from_bytes(bytes(reply))
+
+
+def finish(service, assignment, worker="w0"):
+    value = assignment.point.call()
+    command(
+        service, "DONE", worker, str(assignment.index), assignment.grid,
+        dump_result(value, None),
+    )
+
+
+class TestBusyDocument:
+    def test_dump_parse_roundtrip(self):
+        text = dump_busy("tenant-live-jobs", 1.25, tenant="alice", limit=2)
+        doc = parse_busy("BUSY " + text)
+        assert doc == {
+            "reason": "tenant-live-jobs",
+            "retry_after_s": 1.25,
+            "tenant": "alice",
+            "limit": 2,
+        }
+
+    def test_parse_rejects_plain_err(self):
+        assert parse_busy("unknown command 'FOO'") is None
+        assert parse_busy("ERR something broke") is None
+        assert parse_busy("BUSYWORK is not a refusal") is None
+
+    def test_parse_tolerates_bare_busy(self):
+        assert parse_busy("BUSY")["reason"] == "busy"
+        assert parse_busy("BUSY not-json")["reason"] == "busy"
+
+
+class TestAdmissionController:
+    def test_unlimited_quota_admits_everything(self):
+        ctl = AdmissionController()
+        assert ctl.check_submit("t", 10_000, 10_000_000, 1_000, None) is None
+        assert ctl.busy_refusals == 0
+
+    def test_exactly_at_limit_admitted_over_refused(self):
+        ctl = AdmissionController(TenantQuota(max_live_jobs=2))
+        # 1 live job + this submission == 2 == limit: admitted.
+        assert ctl.check_submit("t", 1, 0, 1, None) is None
+        # 2 live jobs + this submission > 2: refused.
+        refusal = ctl.check_submit("t", 2, 0, 1, None)
+        assert refusal["reason"] == "tenant-live-jobs"
+        assert refusal["limit"] == 2
+        assert ctl.refusals_by_reason == {"tenant-live-jobs": 1}
+
+    def test_queued_points_counts_new_submission(self):
+        ctl = AdmissionController(TenantQuota(max_queued_points=10))
+        assert ctl.check_submit("t", 0, 6, 4, None) is None  # 6+4 == 10
+        refusal = ctl.check_submit("t", 0, 6, 5, None)  # 6+5 > 10
+        assert refusal["reason"] == "tenant-queued-points"
+
+    def test_store_bytes_backstop(self):
+        ctl = AdmissionController(TenantQuota(max_store_bytes=1000))
+        assert ctl.check_submit("t", 0, 0, 1, 999) is None
+        refusal = ctl.check_submit("t", 0, 0, 1, 1000)
+        assert refusal["reason"] == "tenant-store-bytes"
+
+    def test_retry_hints_seeded_and_bounded(self):
+        a = AdmissionController(busy_retry_s=1.0, seed=42)
+        b = AdmissionController(busy_retry_s=1.0, seed=42)
+        hints_a = [a.retry_hint() for _ in range(16)]
+        hints_b = [b.retry_hint() for _ in range(16)]
+        assert hints_a == hints_b  # same seed, same stream
+        assert all(0.5 <= h < 1.5 for h in hints_a)
+        assert len(set(hints_a)) > 1  # jittered, not constant
+        c = AdmissionController(busy_retry_s=1.0, seed=43)
+        assert [c.retry_hint() for _ in range(16)] != hints_a
+
+    def test_brownout_hysteresis(self):
+        ctl = AdmissionController(brownout_backlog=10, recovery_fraction=0.5)
+        assert ctl.evaluate(9) is None and ctl.state == READY
+        assert ctl.evaluate(10) == "enter" and ctl.state == BROWNOUT
+        assert ctl.brownouts == 1
+        # Dropping below the trigger is NOT enough (hysteresis): recovery
+        # requires going under recovery_fraction * threshold.
+        assert ctl.evaluate(9) is None and ctl.state == BROWNOUT
+        assert ctl.evaluate(6) is None and ctl.state == BROWNOUT
+        assert ctl.evaluate(5) == "exit" and ctl.state == READY
+        assert ctl.brownouts == 1
+
+    def test_store_latency_triggers_brownout(self):
+        ctl = AdmissionController(brownout_store_latency_s=1.0)
+        for _ in range(8):
+            ctl.observe_store_write(10.0)
+        assert ctl.evaluate(0) == "enter"
+        assert ctl.snapshot()["brownout_cause"] == "store-latency"
+        for _ in range(32):
+            ctl.observe_store_write(0.0)
+        assert ctl.evaluate(0) == "exit"
+
+    def test_refusals_during_brownout_carry_cause(self):
+        ctl = AdmissionController(brownout_backlog=1)
+        ctl.evaluate(5)
+        refusal = ctl.check_submit("t", 0, 0, 1, None)
+        assert refusal["reason"] == "brownout"
+        assert refusal["cause"] == "dispatch-backlog"
+
+    def test_snapshot_shape(self):
+        ctl = AdmissionController(TenantQuota(max_live_jobs=3))
+        ctl.refuse("tenant-live-jobs")
+        snap = ctl.snapshot()
+        assert snap["state"] == READY
+        assert snap["quota"]["max_live_jobs"] == 3
+        assert snap["busy_refusals"] == 1
+        assert snap["refusals"] == {"tenant-live-jobs": 1}
+
+
+class TestServiceQuotas:
+    def test_live_jobs_quota_refuses_on_wire(self, tmp_path):
+        service = make_service(tmp_path, quota=TenantQuota(max_live_jobs=1))
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            first = client.submit("job-a", points_for(2), tenant="alice")
+            assert first["created"]
+            # Raw wire: the refusal is a typed -BUSY with a JSON document.
+            blob = dump_submission(
+                "job-b", points_for(2, offset=10), tenant="alice"
+            )
+            with pytest.raises(ServerReplyError) as err:
+                command(service, "SUBMIT", blob)
+            doc = parse_busy(str(err.value))
+            assert doc is not None
+            assert doc["reason"] == "tenant-live-jobs"
+            assert doc["tenant"] == "alice"
+            assert doc["limit"] == 1
+            assert 0.025 <= doc["retry_after_s"] < 0.075
+            # Another tenant is not throttled by alice's quota.
+            other = client.submit("job-c", points_for(2, offset=20), tenant="bob")
+            assert other["created"]
+        finally:
+            service.stop()
+
+    def test_idempotent_resubmit_never_refused(self, tmp_path):
+        service = make_service(tmp_path, quota=TenantQuota(max_live_jobs=1))
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            first = client.submit("job-a", points_for(2), tenant="alice")
+            assert first["created"]
+            # At quota, but resubmitting the same grid adds no load: the
+            # idempotent short-circuit answers before admission control.
+            again = client.submit("job-a", points_for(2), tenant="alice")
+            assert not again["created"]
+            assert again["grid"] == first["grid"]
+            assert service.admission.busy_refusals == 0
+        finally:
+            service.stop()
+
+    def test_quota_headroom_returns_after_drain(self, tmp_path):
+        service = make_service(tmp_path, quota=TenantQuota(max_live_jobs=1))
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            client.submit("job-a", points_for(1), tenant="alice")
+            blob = dump_submission("job-b", points_for(1, offset=5), tenant="alice")
+            with pytest.raises(ServerReplyError):
+                command(service, "SUBMIT", blob)
+            # Drain job-a to terminal: the live-jobs axis frees up.
+            assignment = claim(service)
+            finish(service, assignment)
+            second = client.submit("job-b", points_for(1, offset=5), tenant="alice")
+            assert second["created"]
+        finally:
+            service.stop()
+
+    def test_concurrent_submits_admit_exactly_one(self, tmp_path):
+        service = make_service(tmp_path, quota=TenantQuota(max_live_jobs=1))
+        try:
+            results, errors = {}, {}
+
+            def submit(tag, offset):
+                client = ServiceClient(
+                    f"{service.host}:{service.port}", reconnect_budget=0.5
+                )
+                try:
+                    results[tag] = client.submit(
+                        f"job-{tag}", points_for(2, offset=offset), tenant="t"
+                    )
+                except ServiceBusyError as exc:
+                    errors[tag] = exc
+
+            threads = [
+                threading.Thread(target=submit, args=(tag, off))
+                for tag, off in (("a", 0), ("b", 100))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10.0)
+            # Dispatch is serialized: exactly one submission wins the
+            # single slot, the other exhausts its budget on -BUSY.
+            assert len(results) == 1 and len(errors) == 1
+            (winner,) = results.values()
+            assert winner["created"]
+            (loser,) = errors.values()
+            assert loser.reason == "tenant-live-jobs"
+            assert loser.retry_after_s is not None
+        finally:
+            service.stop()
+
+    def test_store_bytes_quota_recovers_after_gc(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            baseline = service.store.used_bytes()
+            # A fat grid (~600 KB of specs) pushes usage over a limit set
+            # just above the empty-store footprint.
+            fat = points_for(3, payload="x" * 200_000)
+            first = client.submit("fat", fat, tenant="alice")
+            assert first["created"]
+            grown = service.store.used_bytes()
+            assert grown > baseline + 500_000
+            service.admission.quota = TenantQuota(
+                max_store_bytes=baseline + 250_000
+            )
+            with pytest.raises(ServiceBusyError) as err:
+                ServiceClient(
+                    f"{service.host}:{service.port}", reconnect_budget=0.3
+                ).submit("tiny", points_for(1, offset=50), tenant="alice")
+            assert err.value.reason == "tenant-store-bytes"
+            # Cancel + GC-collect the fat job: freed pages shrink
+            # used_bytes (freelist-aware accounting), restoring headroom.
+            client.cancel(first["grid"])
+            report = client.gc(max_age_seconds=0.0, lease_grace=0.0, dry_run=False)
+            assert any(
+                row["grid"] == first["grid"] for row in report["collected"]
+            )
+            assert service.store.used_bytes() < baseline + 250_000
+            second = client.submit("tiny", points_for(1, offset=50), tenant="alice")
+            assert second["created"]
+        finally:
+            service.stop()
+
+
+class TestBrownout:
+    def test_brownout_refuses_submit_serves_claim_done(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            client.submit("job-a", points_for(2), tenant="alice")
+            # Poison the store-latency EWMA past its threshold: the next
+            # admission check declares brownout.
+            for _ in range(8):
+                service.admission.observe_store_write(10.0)
+            blob = dump_submission("job-b", points_for(2, offset=10))
+            with pytest.raises(ServerReplyError) as err:
+                command(service, "SUBMIT", blob)
+            doc = parse_busy(str(err.value))
+            assert doc["reason"] == "brownout"
+            assert doc["cause"] == "store-latency"
+            assert service.admission.state == BROWNOUT
+            # The point of brownout: CLAIM and DONE keep flowing so the
+            # backlog drains instead of growing.
+            assignment = claim(service)
+            assert assignment is not None
+            finish(service, assignment)
+            health = client.health()
+            assert health["state"] == "brownout"
+            assert health["admission"]["brownout_cause"] == "store-latency"
+            # Latency recovering under the hysteresis floor exits brownout.
+            for _ in range(64):
+                service.admission.observe_store_write(0.0)
+            second = client.submit("job-b", points_for(2, offset=10))
+            assert second["created"]
+            assert service.admission.state == READY
+        finally:
+            service.stop()
+
+
+class TestHealth:
+    def test_health_document_shape(self, tmp_path):
+        service = make_service(tmp_path, quota=TenantQuota(max_live_jobs=4))
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            client.submit("job-a", points_for(3), tenant="alice")
+            health = client.health()
+            assert health["service"] is True
+            assert health["state"] == "ready"
+            assert health["store"]["writable"] is True
+            assert health["store"]["bytes"] > 0
+            assert health["reader_pool"]["live"] is True
+            assert health["queues"]["dispatch_limit"] == service.dispatch_queue_limit
+            assert health["queues"]["connections"] >= 0
+            tenant = health["tenants"]["alice"]
+            assert tenant["live_jobs"] == 1
+            assert tenant["queued_points"] == 3
+            assert tenant["headroom"]["live_jobs"] == 3
+            assert health["jobs"]["live"] == 1
+        finally:
+            service.stop()
+
+    def test_health_degrades_instead_of_queueing(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            # Hold the dispatch lock: a HEALTH probe must still answer
+            # (lock-free fast path) with the degraded counters-only form.
+            assert service._exec_lock.acquire(timeout=5.0)
+            try:
+                health = client.health()
+            finally:
+                service._exec_lock.release()
+            assert health["degraded"] is True
+            assert "tenants" not in health
+            assert health["queues"]["dispatch_waiting"] >= 0
+        finally:
+            service.stop()
+
+    def test_health_survives_stop_and_reopen(self, tmp_path):
+        service = make_service(tmp_path, quota=TenantQuota(max_live_jobs=2))
+        client = ServiceClient(f"{service.host}:{service.port}")
+        try:
+            client.submit("job-a", points_for(2), tenant="alice")
+        finally:
+            service.stop()
+        # A new service over the same store restores the live job; HEALTH
+        # reflects the restored quota usage immediately.
+        revived = make_service(tmp_path, quota=TenantQuota(max_live_jobs=2))
+        try:
+            health = ServiceClient(f"{revived.host}:{revived.port}").health()
+            assert health["state"] == "ready"
+            assert health["tenants"]["alice"]["live_jobs"] == 1
+            assert health["tenants"]["alice"]["headroom"]["live_jobs"] == 1
+        finally:
+            revived.stop()
+
+
+class TestClientBusyHandling:
+    def test_client_honors_hint_and_recovers(self, tmp_path):
+        service = make_service(tmp_path, quota=TenantQuota(max_live_jobs=1))
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            first = client.submit("job-a", points_for(1), tenant="alice")
+
+            def free_quota():
+                time.sleep(0.25)
+                ServiceClient(f"{service.host}:{service.port}").cancel(
+                    first["grid"]
+                )
+
+            freer = threading.Thread(target=free_quota, daemon=True)
+            freer.start()
+            # The client absorbs -BUSY refusals (pacing by the server's
+            # hint, not its own backoff) until the quota frees.
+            second = client.submit("job-b", points_for(1, offset=9), tenant="alice")
+            freer.join(timeout=5.0)
+            assert second["created"]
+            assert client.busy_refusals > 0
+            assert client.last_busy["reason"] == "tenant-live-jobs"
+            assert 0.025 <= client.last_busy["retry_after_s"] < 0.075
+        finally:
+            service.stop()
+
+    def test_client_raises_typed_busy_at_budget(self, tmp_path):
+        service = make_service(tmp_path, quota=TenantQuota(max_live_jobs=1))
+        try:
+            client = ServiceClient(
+                f"{service.host}:{service.port}", reconnect_budget=0.3
+            )
+            client.submit("job-a", points_for(1), tenant="alice")
+            with pytest.raises(ServiceBusyError) as err:
+                client.submit("job-b", points_for(1, offset=9), tenant="alice")
+            assert err.value.retryable
+            assert err.value.reason == "tenant-live-jobs"
+            assert err.value.detail["limit"] == 1
+        finally:
+            service.stop()
+
+    def test_plain_err_still_fatal_and_immediate(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            client = ServiceClient(f"{service.host}:{service.port}")
+            start = time.monotonic()
+            with pytest.raises(ServerReplyError):
+                client.cancel("not-a-real-grid")
+            # Fatal errors must not burn the reconnect budget retrying.
+            assert time.monotonic() - start < 5.0
+            assert client.busy_refusals == 0
+        finally:
+            service.stop()

@@ -1,0 +1,253 @@
+"""Resource-bound tests for RespTcpServer: connection cap, idle/write
+deadlines, and the bounded dispatch queue's shed policy."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.transport import resp
+from repro.transport.redis_backend import MiniRedisConnection
+from repro.transport.server import RespTcpServer
+
+
+class EchoServer(RespTcpServer):
+    """PING/ECHO plus test-only commands that hold or classify work."""
+
+    def __init__(self, **kwargs):
+        super().__init__(name="echo-test", **kwargs)
+        #: Set by a WAIT command holder; released by the test.
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+        self.reads_served = 0
+
+    def _dispatch(self, name, args):
+        if name == "PING":
+            return resp.encode_simple("PONG")
+        if name == "ECHO":
+            return resp.encode_bulk(args[0] if args else b"")
+        if name == "BLOB":
+            # Large reply from a tiny request: fills the peer's receive
+            # window fast without the test having to push bytes uphill.
+            return resp.encode_bulk(b"x" * 262144)
+        if name == "WAIT":
+            # Holds the dispatch lock until the test releases the gate,
+            # so later commands pile up in the bounded queue.
+            self.entered.set()
+            self.gate.wait(timeout=10.0)
+            return resp.encode_simple("WAITED")
+        if name == "READ":
+            self.reads_served += 1
+            return resp.encode_simple("READ-OK")
+        if name == "ACK":
+            return resp.encode_simple("ACK-OK")
+        raise resp.TransportError(f"unknown command '{name}'")
+
+    def _sheddable(self, name):
+        return name == "READ"
+
+
+def read_reply_line(sock, timeout=5.0):
+    sock.settimeout(timeout)
+    data = b""
+    while not data.endswith(b"\r\n"):
+        chunk = sock.recv(4096)
+        if not chunk:
+            break
+        data += chunk
+    return data
+
+
+class TestConnectionCap:
+    def test_cap_plus_one_refused_with_typed_busy(self):
+        with EchoServer(max_connections=2) as server:
+            first = MiniRedisConnection(server.host, server.port, timeout=5.0)
+            second = MiniRedisConnection(server.host, server.port, timeout=5.0)
+            try:
+                assert first.command("PING") == "PONG"
+                assert second.command("PING") == "PONG"
+                # The cap+1 socket is answered -BUSY and closed at accept.
+                extra = socket.create_connection(
+                    (server.host, server.port), timeout=5.0
+                )
+                try:
+                    line = read_reply_line(extra)
+                finally:
+                    extra.close()
+                assert line.startswith(b"-BUSY ")
+                assert b"connection limit 2" in line
+                assert server.refused_connections == 1
+            finally:
+                first.close()
+                second.close()
+
+    def test_slot_freed_by_disconnect_is_reusable(self):
+        with EchoServer(max_connections=1) as server:
+            first = MiniRedisConnection(server.host, server.port, timeout=5.0)
+            assert first.command("PING") == "PONG"
+            first.close()
+            # The server notices the close asynchronously; a fresh
+            # connection must be admitted once the slot is released.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                replacement = MiniRedisConnection(
+                    server.host, server.port, timeout=5.0
+                )
+                try:
+                    if replacement.command("PING") == "PONG":
+                        return
+                except resp.TransportError:
+                    pass
+                finally:
+                    replacement.close()
+                time.sleep(0.05)
+            pytest.fail("freed connection slot was never reusable")
+
+    def test_no_cap_by_default(self):
+        with EchoServer() as server:
+            conns = [
+                MiniRedisConnection(server.host, server.port, timeout=5.0)
+                for _ in range(8)
+            ]
+            try:
+                for conn in conns:
+                    assert conn.command("PING") == "PONG"
+                assert server.refused_connections == 0
+            finally:
+                for conn in conns:
+                    conn.close()
+
+
+class TestDeadlines:
+    def test_idle_connection_is_closed(self):
+        with EchoServer(idle_timeout=0.2) as server:
+            sock = socket.create_connection((server.host, server.port), timeout=5.0)
+            try:
+                sock.settimeout(5.0)
+                # Send nothing: the reader thread must give up on us.
+                assert sock.recv(4096) == b""  # orderly close from the server
+            finally:
+                sock.close()
+            assert server.idle_disconnects == 1
+
+    def test_active_connection_survives_idle_timeout(self):
+        with EchoServer(idle_timeout=0.5) as server:
+            conn = MiniRedisConnection(server.host, server.port, timeout=5.0)
+            try:
+                for _ in range(4):
+                    assert conn.command("PING") == "PONG"
+                    time.sleep(0.2)  # each command resets the idle clock
+            finally:
+                conn.close()
+            assert server.idle_disconnects == 0
+
+    def test_write_deadline_drops_slow_loris(self):
+        """A peer that never reads its replies is disconnected, counted."""
+        with EchoServer(write_timeout=0.2) as server:
+            sock = socket.create_connection((server.host, server.port), timeout=5.0)
+            try:
+                # Shrink our receive window so the server's sendall blocks
+                # quickly, then pipeline tiny requests for huge replies and
+                # never read a byte of them.
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+                sock.sendall(resp.encode_command("BLOB") * 64)
+                deadline = time.monotonic() + 10.0
+                while server.stalled_disconnects == 0:
+                    assert time.monotonic() < deadline, (
+                        "server never gave up on the unread replies"
+                    )
+                    time.sleep(0.05)
+            finally:
+                sock.close()
+
+
+class TestDispatchQueue:
+    def _start_holder(self, server):
+        """Occupy the dispatch lock with a WAIT command on its own conn."""
+        holder = MiniRedisConnection(server.host, server.port, timeout=10.0)
+        thread = threading.Thread(
+            target=lambda: holder.command("WAIT"), daemon=True
+        )
+        thread.start()
+        assert server.entered.wait(timeout=5.0)
+        return holder, thread
+
+    def _send_async(self, server, command):
+        conn = MiniRedisConnection(server.host, server.port, timeout=10.0)
+        box = {}
+
+        def run():
+            try:
+                box["reply"] = conn.command(command)
+            except resp.ServerReplyError as exc:
+                box["error"] = str(exc)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return conn, thread, box
+
+    def _wait_for_backlog(self, server, depth):
+        deadline = time.monotonic() + 5.0
+        while server.dispatch_backlog() < depth:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+
+    def test_sheddable_refused_when_queue_full(self):
+        with EchoServer(dispatch_queue_limit=1) as server:
+            holder, holder_thread = self._start_holder(server)
+            try:
+                # One READ fills the queue (the WAIT holder holds the lock
+                # without a slot of its own in the way -> backlog 1).
+                first_conn, first_thread, first_box = self._send_async(
+                    server, "READ"
+                )
+                self._wait_for_backlog(server, 1)
+                # The next READ is refused on the spot with -BUSY.
+                second = MiniRedisConnection(server.host, server.port, timeout=5.0)
+                with pytest.raises(resp.ServerReplyError) as err:
+                    second.command("READ")
+                assert str(err.value).startswith("BUSY")
+                assert server.shed_commands == 1
+                second.close()
+            finally:
+                server.gate.set()
+                holder_thread.join(timeout=5.0)
+                first_thread.join(timeout=5.0)
+                holder.close()
+            # The queued READ executed once the lock freed.
+            assert first_box.get("reply") == "READ-OK"
+            first_conn.close()
+
+    def test_protected_command_sheds_oldest_read_and_executes(self):
+        with EchoServer(dispatch_queue_limit=1) as server:
+            holder, holder_thread = self._start_holder(server)
+            read_conn, read_thread, read_box = self._send_async(server, "READ")
+            self._wait_for_backlog(server, 1)
+            # A protected ACK arrives at a full queue: it must be admitted
+            # and the waiting READ must bounce with -BUSY instead.
+            ack_conn, ack_thread, ack_box = self._send_async(server, "ACK")
+            deadline = time.monotonic() + 5.0
+            while server.shed_commands == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            server.gate.set()
+            holder_thread.join(timeout=5.0)
+            read_thread.join(timeout=5.0)
+            ack_thread.join(timeout=5.0)
+            holder.close()
+            read_conn.close()
+            ack_conn.close()
+            assert ack_box.get("reply") == "ACK-OK"
+            assert read_box.get("error", "").startswith("BUSY")
+            assert server.reads_served == 0  # the shed READ never executed
+
+    def test_unbounded_by_default(self):
+        with EchoServer() as server:
+            conn = MiniRedisConnection(server.host, server.port, timeout=5.0)
+            try:
+                for _ in range(16):
+                    assert conn.command("READ") == "READ-OK"
+                assert server.shed_commands == 0
+            finally:
+                conn.close()
