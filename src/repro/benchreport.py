@@ -23,7 +23,12 @@ Report schema (``schema_version`` 1)::
       },
       "des": {
         "event_throughput": {"events": N, "seconds": s, "events_per_sec": r},
-        "resource_contention": {...}
+        "resource_contention": {...},
+        "calendar_throughput": {...},   # event_throughput on the calendar core
+        "shard_scaling": {
+          "shards": 2, "serial_seconds": s, "sharded_seconds": s,
+          "speedup": x, "identical": 1.0
+        }
       },
       "service": {
         "grids": N, "points": N, "claimed": N,
@@ -34,9 +39,11 @@ Report schema (``schema_version`` 1)::
     }
 
 Benchmarks are wall-clock measurements: absolute numbers move between
-machines, so the regression check only compares runs from the same
-environment (the committed baseline is refreshed whenever the CI image
-or the engine changes materially).
+machines, so ``--check`` compares the stored ``environment`` fingerprint
+(cpu_model, cpu_count) first and downgrades the regression gate to a
+warning when the baseline came from a different machine (the committed
+baseline is refreshed whenever the CI image or the engine changes
+materially).
 """
 
 from __future__ import annotations
@@ -88,7 +95,7 @@ def _contention_workload(env) -> None:
         env.process(user(env, res))
 
 
-def _measure_des(build, repeats: int) -> dict[str, float]:
+def _measure_des(build, repeats: int, core: Optional[str] = None) -> dict[str, float]:
     """Best-of-``repeats`` wall time for one DES workload.
 
     The event count is taken once from a probed run (deterministic, so
@@ -99,14 +106,14 @@ def _measure_des(build, repeats: int) -> dict[str, float]:
     from repro.des.probe import CountingProbe
 
     counter = CountingProbe()
-    env = Environment(probe=counter)
+    env = Environment(probe=counter, core=core)
     build(env)
     env.run()
     events = counter.processed
 
     best = float("inf")
     for _ in range(repeats):
-        env = Environment()
+        env = Environment(core=core)
         build(env)
         start = time.perf_counter()
         env.run()
@@ -119,10 +126,72 @@ def _measure_des(build, repeats: int) -> dict[str, float]:
 
 
 def run_des_benchmarks(repeats: int = 5) -> dict[str, dict[str, float]]:
-    """Both DES micro-benchmarks as ``{name: {events, seconds, events_per_sec}}``."""
+    """The DES micro-benchmarks as ``{name: {events, seconds, events_per_sec}}``.
+
+    ``calendar_throughput`` is the ticker workload on the calendar-queue
+    core, so the two event cores are tracked side by side.
+    """
     return {
         "event_throughput": _measure_des(_ticker_workload, repeats),
         "resource_contention": _measure_des(_contention_workload, repeats),
+        "calendar_throughput": _measure_des(_ticker_workload, repeats, core="calendar"),
+    }
+
+
+def run_shard_scaling_benchmark(shards: int = 2) -> dict[str, float]:
+    """One fig6-style pattern-2 cell, serial vs ``shards``-way sharded.
+
+    Reports both wall times and the speedup, and asserts the sharded
+    event log is byte-identical to the serial one (``identical`` is 1.0;
+    a mismatch raises, because a wrong-but-fast parallel run must never
+    become a committed baseline). On single-core hosts the "speedup" is
+    honestly below 1 — the fingerprint check keeps such baselines from
+    gating runs on other machines.
+    """
+    from repro.experiments.common import backend_models
+    from repro.transport.models import TransportOpContext
+    from repro.workloads.patterns import ManyToOneConfig, run_many_to_one
+
+    n_sims = 127  # the paper's 128-node cell: one trainer + 127 simulations
+    config = ManyToOneConfig(
+        n_simulations=n_sims,
+        train_iterations=200,
+        snapshot_nbytes=1e6,
+    )
+    n_clients = n_sims + min(12, n_sims)
+    kwargs = dict(
+        write_ctx=TransportOpContext(
+            local=True, clients_per_server=12, concurrent_clients=n_clients
+        ),
+        read_ctx=TransportOpContext(
+            local=False,
+            clients_per_server=12,
+            fan_in=n_sims,
+            concurrent_peers=min(12, n_sims),
+            concurrent_clients=n_clients,
+        ),
+    )
+    models = backend_models()["filesystem"]
+
+    start = time.perf_counter()
+    serial = run_many_to_one(models, config, **kwargs)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = run_many_to_one(models, config, shards=shards, **kwargs)
+    sharded_seconds = time.perf_counter() - start
+
+    if serial.log.to_jsonl() != sharded.log.to_jsonl():
+        raise RuntimeError(
+            f"{shards}-shard event log diverged from serial; refusing to "
+            "record a shard-scaling baseline for a non-equivalent run"
+        )
+    return {
+        "shards": float(shards),
+        "serial_seconds": serial_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": serial_seconds / sharded_seconds if sharded_seconds > 0 else 0.0,
+        "identical": 1.0,
     }
 
 
@@ -248,6 +317,7 @@ def collect(quick: bool = False, repeats: int = 5) -> dict[str, Any]:
     """Run the whole bench and assemble the report payload."""
     names = list(QUICK_EXPERIMENTS) if quick else None
     des = run_des_benchmarks(repeats=repeats)
+    des["shard_scaling"] = run_shard_scaling_benchmark()
     service = run_service_benchmark()
     experiments = run_experiment_rounds(names)
     return {
@@ -308,7 +378,7 @@ def delta_table(current: dict[str, Any], baseline: dict[str, Any]) -> str:
     rows: list[tuple[str, str, str, str]] = []
     for name, cur in current.get("des", {}).items():
         base = baseline.get("des", {}).get(name)
-        if base is None:
+        if base is None or "events_per_sec" not in cur or "events_per_sec" not in base:
             continue
         rows.append(
             (
@@ -316,6 +386,17 @@ def delta_table(current: dict[str, Any], baseline: dict[str, Any]) -> str:
                 f"{base['events_per_sec']:,.0f}",
                 f"{cur['events_per_sec']:,.0f}",
                 _fmt_delta(cur["events_per_sec"], base["events_per_sec"], True),
+            )
+        )
+    cur_scaling = current.get("des", {}).get("shard_scaling", {})
+    base_scaling = baseline.get("des", {}).get("shard_scaling", {})
+    if "speedup" in cur_scaling and "speedup" in base_scaling:
+        rows.append(
+            (
+                f"des.shard_scaling (x{cur_scaling.get('shards', 2):.0f} speedup)",
+                f"{base_scaling['speedup']:.2f}",
+                f"{cur_scaling['speedup']:.2f}",
+                _fmt_delta(cur_scaling["speedup"], base_scaling["speedup"], True),
             )
         )
     cur_service = current.get("service", {})
@@ -367,6 +448,30 @@ def delta_table(current: dict[str, Any], baseline: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+#: Environment fields that must match for wall-clock numbers to be comparable.
+FINGERPRINT_FIELDS = ("cpu_model", "cpu_count")
+
+
+def fingerprint_mismatches(
+    current: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """Why the baseline's machine differs from this one (empty = same).
+
+    Wall-clock baselines only gate runs from the same hardware; a report
+    predating the ``environment`` block counts as mismatched because its
+    provenance is unknowable.
+    """
+    cur_env = current.get("environment") or {}
+    base_env = baseline.get("environment")
+    if base_env is None:
+        return ["baseline has no environment fingerprint (pre-schema report)"]
+    return [
+        f"{field}: baseline {base_env.get(field)!r} vs current {cur_env.get(field)!r}"
+        for field in FINGERPRINT_FIELDS
+        if base_env.get(field) != cur_env.get(field)
+    ]
+
+
 def check_regression(
     current: dict[str, Any],
     baseline: dict[str, Any],
@@ -380,7 +485,7 @@ def check_regression(
     failures = []
     for name, cur in current.get("des", {}).items():
         base = baseline.get("des", {}).get(name)
-        if base is None:
+        if base is None or "events_per_sec" not in cur or "events_per_sec" not in base:
             continue
         floor = (1.0 - threshold) * base["events_per_sec"]
         if cur["events_per_sec"] < floor:
@@ -443,10 +548,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
     payload = collect(quick=args.quick, repeats=args.repeats)
 
     for name, numbers in payload["des"].items():
-        print(
-            f"des.{name}: {numbers['events_per_sec']:,.0f} events/sec "
-            f"({numbers['events']:.0f} events in {numbers['seconds'] * 1e3:.1f} ms)"
-        )
+        if "events_per_sec" in numbers:
+            print(
+                f"des.{name}: {numbers['events_per_sec']:,.0f} events/sec "
+                f"({numbers['events']:.0f} events in "
+                f"{numbers['seconds'] * 1e3:.1f} ms)"
+            )
+        elif "speedup" in numbers:
+            print(
+                f"des.{name}: {numbers['speedup']:.2f}x at "
+                f"{numbers['shards']:.0f} shards "
+                f"(serial {numbers['serial_seconds']:.2f} s, sharded "
+                f"{numbers['sharded_seconds']:.2f} s, output identical)"
+            )
     service = payload.get("service", {})
     if service:
         print(
@@ -475,7 +589,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if baseline is None:
             print("--check: no baseline to compare against", file=sys.stderr)
             return 1
+        mismatches = fingerprint_mismatches(payload, baseline)
         failures = check_regression(payload, baseline, args.threshold)
+        if mismatches:
+            # Foreign baseline: wall-clock deltas are machine noise, not
+            # regressions. Report, but do not gate.
+            for mismatch in mismatches:
+                print(f"bench environment mismatch: {mismatch}", file=sys.stderr)
+            for failure in failures:
+                print(f"PERF WARNING (foreign baseline): {failure}", file=sys.stderr)
+            print(
+                "perf check skipped: baseline recorded on different hardware",
+                file=sys.stderr,
+            )
+            return 0
         for failure in failures:
             print(f"PERF REGRESSION: {failure}", file=sys.stderr)
         if failures:

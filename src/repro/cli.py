@@ -123,6 +123,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "use 'simulate' for scaled many-to-one studies)"
         )
     server_spec = spec.get("server", {"backend": "node-local"})
+    if getattr(args, "shards", 0):
+        server_spec = {**server_spec, "n_shards": args.shards}
     run_spec = spec.get("one_to_one", {})
     config = RealOneToOneConfig(**run_spec)
     telemetry = _make_telemetry(args)
@@ -174,6 +176,7 @@ def _simulate_one_to_one(args, model, telemetry, fault_plan=None):
         ctx=pattern1_context(args.nodes),
         telemetry=telemetry,
         fault_plan=fault_plan,
+        shards=getattr(args, "shards", 1),
     )
 
 
@@ -203,11 +206,13 @@ def _simulate_many_to_one(args, model, telemetry, fault_plan=None):
         ),
         telemetry=telemetry,
         fault_plan=fault_plan,
+        shards=getattr(args, "shards", 1),
     )
 
 
 def _simulate_summary(args, result) -> dict:
     """The machine-readable run summary (simulate --json)."""
+    from repro.des import default_core
     from repro.telemetry import EventKind, mean_throughput, mean_transport_time
     from repro.telemetry.stats import Summary
 
@@ -232,6 +237,8 @@ def _simulate_summary(args, result) -> dict:
         "nodes": args.nodes,
         "size_mb": args.size_mb,
         "iterations": args.iterations,
+        "shards": getattr(args, "shards", 1),
+        "des_core": default_core(),
         "makespan_seconds": result.makespan,
         "sim_iterations": result.sim_iterations,
         "train_iterations": result.train_iterations,
@@ -245,6 +252,7 @@ def _simulate_summary(args, result) -> dict:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis import format_summary_table
+    from repro.des import set_default_core
     from repro.experiments.common import backend_models
     from repro.telemetry import EventKind
     from repro.telemetry.stats import Summary, mean_throughput, runtime_per_iteration
@@ -261,6 +269,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ) from None
     telemetry = _make_telemetry(args)
     fault_plan = _load_fault_plan(args)
+    if getattr(args, "des_core", None):
+        set_default_core(args.des_core)
 
     if args.pattern == "one-to-one":
         result = _simulate_one_to_one(args, model, telemetry, fault_plan)
@@ -1145,6 +1155,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--events-out", default="", help="write the event log (JSONL) here"
     )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="override the backend server's n_shards (0 = leave the config's value)",
+    )
     add_observability(run_parser)
     add_fault_plan(run_parser)
 
@@ -1158,6 +1174,20 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--nodes", type=int, default=8)
     simulate.add_argument("--size-mb", type=float, default=1.2)
     simulate.add_argument("--iterations", type=int, default=500)
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run the DES across this many OS processes (conservative "
+        "sharding; output is byte-identical to --shards 1)",
+    )
+    simulate.add_argument(
+        "--des-core",
+        choices=("heap", "calendar"),
+        default=None,
+        help="event-queue core for the DES engine (default: REPRO_DES_CORE "
+        "or heap)",
+    )
     simulate.add_argument(
         "--json",
         action="store_true",

@@ -40,6 +40,16 @@ class Distribution:
         """Analytic mean, used for validation and for sim-mode planning."""
         raise NotImplementedError
 
+    def minimum(self) -> float:
+        """Infimum of the support: no sample is ever below this.
+
+        Conservative parallel DES (:mod:`repro.des.parallel`) uses it as
+        the per-iteration lookahead of workload progress oracles, so it
+        must be a *sound* lower bound; unbounded-below distributions
+        return ``-inf`` (sound but useless for lookahead).
+        """
+        raise NotImplementedError
+
     def to_spec(self) -> dict[str, Any]:
         """Serialise back to a JSON-friendly dict."""
         raise NotImplementedError
@@ -99,6 +109,9 @@ class Constant(Distribution):
     def mean(self) -> float:
         return self.value
 
+    def minimum(self) -> float:
+        return self.value
+
     def to_spec(self) -> dict[str, Any]:
         return {"dist": "constant", "value": self.value}
 
@@ -132,6 +145,9 @@ class Discrete(Distribution):
     def mean(self) -> float:
         return float(sum(v * w for v, w in zip(self.values, self.weights)))
 
+    def minimum(self) -> float:
+        return min(self.values)
+
     def to_spec(self) -> dict[str, Any]:
         return {"dist": "discrete", "values": self.values, "weights": self.weights}
 
@@ -152,6 +168,9 @@ class Uniform(Distribution):
 
     def mean(self) -> float:
         return 0.5 * (self.low + self.high)
+
+    def minimum(self) -> float:
+        return self.low
 
     def to_spec(self) -> dict[str, Any]:
         return {"dist": "uniform", "low": self.low, "high": self.high}
@@ -184,6 +203,11 @@ class Normal(Distribution):
     def mean(self) -> float:
         return self._mean
 
+    def minimum(self) -> float:
+        if self.std == 0.0:
+            return self._mean
+        return float("-inf") if self.min is None else self.min
+
     def to_spec(self) -> dict[str, Any]:
         spec: dict[str, Any] = {"dist": "normal", "mean": self._mean, "std": self.std}
         if self.min is not None:
@@ -215,6 +239,9 @@ class LogNormal(Distribution):
     def mean(self) -> float:
         return self._mean
 
+    def minimum(self) -> float:
+        return self._mean if self.sigma == 0.0 else 0.0
+
     def to_spec(self) -> dict[str, Any]:
         return {"dist": "lognormal", "mean": self._mean, "sigma": self.sigma}
 
@@ -235,6 +262,9 @@ class Exponential(Distribution):
 
     def mean(self) -> float:
         return self.shift + self.scale
+
+    def minimum(self) -> float:
+        return self.shift
 
     def to_spec(self) -> dict[str, Any]:
         return {"dist": "exponential", "scale": self.scale, "shift": self.shift}

@@ -18,7 +18,15 @@ process-based DES style (generators yielding events)::
     env.run(until=3.5)
 """
 
-from repro.des.core import EmptySchedule, Environment, Process
+from repro.des.calendar import CalendarQueue
+from repro.des.core import (
+    CORES,
+    EmptySchedule,
+    Environment,
+    Process,
+    default_core,
+    set_default_core,
+)
 from repro.des.probe import (
     CountingProbe,
     MultiProbe,
@@ -35,12 +43,15 @@ from repro.des.events import (
     Interrupt,
     Timeout,
 )
+from repro.des.partition import Partition, partition_nodes
 from repro.des.resources import Container, Request, Resource, Store
 from repro.des.rng import RngRegistry
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CORES",
+    "CalendarQueue",
     "Condition",
     "ConditionValue",
     "Container",
@@ -50,6 +61,7 @@ __all__ = [
     "Event",
     "Interrupt",
     "MultiProbe",
+    "Partition",
     "PeriodicSampler",
     "Probe",
     "Process",
@@ -59,4 +71,7 @@ __all__ = [
     "Store",
     "Timeout",
     "attach_probe",
+    "default_core",
+    "partition_nodes",
+    "set_default_core",
 ]

@@ -1,0 +1,218 @@
+"""Batched calendar-queue event core for the DES engine.
+
+The binary heap in :class:`~repro.des.core.Environment` pays ``O(log n)``
+per push *and* per pop, and it pays it per event even though simulated
+workloads schedule events in dense same-timestamp batches (every rank of
+a lock-step component fires at the same instant). :class:`CalendarQueue`
+is the alternative core behind ``Environment(core="calendar")``: a
+bucketed calendar keyed on coarse time epochs that sorts one epoch at a
+time and then serves its events — including every same-timestamp batch —
+by pointer advance instead of heap sifting.
+
+Structure
+---------
+* Pending events live in per-epoch buckets (``epoch = floor(time /
+  width)``), held *unsorted* — a push is an O(1) append.
+* A small heap of epoch numbers finds the next non-empty epoch without
+  scanning empty calendar slots, so sparse stretches cost nothing (the
+  classic calendar-queue failure mode).
+* When the queue advances into an epoch, the bucket is sorted **once**
+  and becomes the *current batch*: pops walk a pointer through it, and
+  same-epoch pushes (``delay=0`` scheduling, interrupt delivery) are
+  insorted into the unconsumed suffix so intra-timestamp priority order
+  is preserved exactly.
+* The bucket width adapts: chronically overfull epochs shrink the width
+  (re-bucketing pending events), chronically single-event epochs grow
+  it. Width only affects speed — never order.
+
+Determinism contract: entries are the same ``(time, priority, seq,
+event)`` tuples the heap core uses and are served in exactly the same
+total order (tuple order; ``seq`` is unique, so the ``event`` field is
+never compared). The golden-trace digests in ``tests/des/golden/`` hold
+bit-for-bit on either core.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Any, Optional
+
+#: Re-bucket when a freshly entered epoch holds more than this many events.
+_SPLIT_THRESHOLD = 4096
+#: Grow the width when this many consecutive epochs held <= 1 event.
+_MERGE_AFTER = 64
+#: Width scale factor applied on shrink/grow.
+_RESIZE_FACTOR = 16.0
+#: Re-sample the bucket width after this many pushes landed in the epoch
+#: currently being served (each such push is an insort, not an append).
+_CUR_PUSH_LIMIT = 512
+
+
+class CalendarQueue:
+    """A calendar (bucket) priority queue over ``(time, priority, seq, event)``.
+
+    Drop-in replacement for the heap core's ``list`` + ``heappush`` /
+    ``heappop`` pair: :meth:`push` accepts the same tuples and
+    :meth:`pop` returns them in identical total order.
+    """
+
+    __slots__ = (
+        "_width",
+        "_buckets",
+        "_epochs",
+        "_cur",
+        "_idx",
+        "_cur_epoch",
+        "_size",
+        "_tiny_streak",
+        "_cur_pushes",
+        "_min_width",
+    )
+
+    def __init__(self, width: float = 1.0, min_width: float = 1e-9) -> None:
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        self._width = float(width)
+        self._min_width = float(min_width)
+        self._buckets: dict[int, list] = {}
+        self._epochs: list[int] = []  # heap of epochs with a pending bucket
+        self._cur: list = []  # sorted entries of the epoch being served
+        self._idx = 0  # consumption pointer into _cur
+        self._cur_epoch: Optional[int] = None
+        self._size = 0
+        self._tiny_streak = 0
+        self._cur_pushes = 0
+
+    # -- sizing -----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- mutation ---------------------------------------------------------
+    def push(self, entry) -> None:
+        """Insert one ``(time, priority, seq, event)`` entry."""
+        self._size += 1
+        epoch = int(entry[0] / self._width)
+        if epoch == self._cur_epoch:
+            # Scheduling back into the epoch being served (delay-0 events,
+            # urgent interrupts): insort into the unconsumed suffix so the
+            # batch stays totally ordered. Entries never sort before the
+            # pointer because simulated time is monotone (time >= now).
+            cur = self._cur
+            idx = self._idx
+            pushes = self._cur_pushes + 1
+            if pushes < _CUR_PUSH_LIMIT or idx == 0:
+                self._cur_pushes = pushes
+                insort(cur, entry, lo=idx)
+                return
+            # The served epoch keeps absorbing pushes: the width is too
+            # coarse for this workload's event spacing, so every push
+            # degrades to an insort. Sample the spacing (new entry vs
+            # the entry being processed) and re-bucket at that scale so
+            # future pushes become O(1) appends into later epochs.
+            self._cur_pushes = 0
+            gap = entry[0] - cur[idx - 1][0]
+            if not (0.0 < gap < self._width * 0.5) or self._width <= self._min_width:
+                # True time tie (or already at min width): no width can
+                # separate these entries; stay on the insort path.
+                insort(cur, entry, lo=idx)
+                return
+            self._resize(gap)
+            epoch = int(entry[0] / self._width)
+        bucket = self._buckets.get(epoch)
+        if bucket is None:
+            self._buckets[epoch] = [entry]
+            heappush(self._epochs, epoch)
+        else:
+            bucket.append(entry)
+
+    def pop(self):
+        """Remove and return the least entry (by tuple order)."""
+        if self._idx >= len(self._cur):
+            self._advance()
+        entry = self._cur[self._idx]
+        self._idx += 1
+        self._size -= 1
+        return entry
+
+    def peek_time(self) -> float:
+        """Time of the least entry, or ``inf`` when empty.
+
+        Deliberately non-mutating: loading an epoch into the current
+        batch here would be unsound, because the engine may still
+        schedule events *earlier* than the batch (time has not advanced
+        to it yet). Only :meth:`pop` may advance — after a pop, new
+        entries are always >= now and therefore never precede the batch.
+        """
+        if self._idx < len(self._cur):
+            best = self._cur[self._idx][0]
+        else:
+            best = float("inf")
+        if self._epochs:
+            # Epochs are monotone in time, so the min epoch's (unsorted)
+            # bucket holds the earliest pending entry outside the batch.
+            t = min(self._buckets[self._epochs[0]])[0]
+            if t < best:
+                best = t
+        return best
+
+    # -- internals --------------------------------------------------------
+    def _advance(self) -> None:
+        """Load the next non-empty epoch into the current batch.
+
+        Guarantees ``_idx < len(_cur)`` on return (raises when empty).
+        """
+        while True:
+            # The served epoch is exhausted; a later push to the same
+            # epoch number must open a fresh bucket, so drop the marker.
+            self._cur_epoch = None
+            if not self._epochs:
+                raise IndexError("pop from an empty CalendarQueue")
+            epoch = heappop(self._epochs)
+            bucket = self._buckets.pop(epoch)
+            n = len(bucket)
+            if n > _SPLIT_THRESHOLD and self._width > self._min_width:
+                # Overfull epoch: shrink and re-bucket, then retry.
+                self._buckets[epoch] = bucket
+                heappush(self._epochs, epoch)
+                self._resize(self._width / _RESIZE_FACTOR)
+                continue
+            self._tiny_streak = self._tiny_streak + 1 if n <= 1 else 0
+            if self._tiny_streak >= _MERGE_AFTER and len(self._epochs) > _MERGE_AFTER // 2:
+                # Chronic one-event epochs: widen so batches amortize the
+                # per-epoch sort, unless little is pending anyway.
+                self._tiny_streak = 0
+                self._buckets[epoch] = bucket
+                heappush(self._epochs, epoch)
+                self._resize(self._width * _RESIZE_FACTOR)
+                continue
+            bucket.sort()
+            self._cur = bucket
+            self._idx = 0
+            self._cur_epoch = epoch
+            self._cur_pushes = 0
+            return
+
+    def _resize(self, width: float) -> None:
+        """Re-bucket all pending entries under a new width (order-neutral)."""
+        width = max(width, self._min_width)
+        if width == self._width:
+            return
+        pending: list = []
+        for bucket in self._buckets.values():
+            pending.extend(bucket)
+        if self._idx < len(self._cur):
+            pending.extend(self._cur[self._idx :])
+        self._width = width
+        self._buckets = {}
+        self._epochs = []
+        self._cur = []
+        self._idx = 0
+        self._cur_epoch = None
+        size = self._size
+        for entry in pending:
+            self.push(entry)
+        self._size = size  # push() double-counted re-inserted entries

@@ -17,9 +17,11 @@ monotonically increasing sequence number.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional
 
+from repro.des.calendar import CalendarQueue
 from repro.des.events import (
     NORMAL,
     AllOf,
@@ -35,6 +37,32 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.des.probe import Probe
 
 ProcessGenerator = Generator[Event, Any, Any]
+
+#: Valid event-core names for :class:`Environment`.
+CORES = ("heap", "calendar")
+
+# Session override for the default event core; ``None`` defers to the
+# ``REPRO_DES_CORE`` environment variable (and ultimately to "heap").
+_default_core: Optional[str] = None
+
+
+def set_default_core(core: Optional[str]) -> None:
+    """Set the event core used when ``Environment(core=None)``.
+
+    Pass ``None`` to fall back to the ``REPRO_DES_CORE`` environment
+    variable (default ``"heap"``).
+    """
+    if core is not None and core not in CORES:
+        raise ValueError(f"unknown DES core {core!r}; expected one of {CORES}")
+    global _default_core
+    _default_core = core
+
+
+def default_core() -> str:
+    """The event core used when an :class:`Environment` does not name one."""
+    if _default_core is not None:
+        return _default_core
+    return os.environ.get("REPRO_DES_CORE", "heap")
 
 
 class EmptySchedule(SimulationError):
@@ -196,9 +224,22 @@ class Environment:
     way — probes observe, they never schedule.
     """
 
-    def __init__(self, initial_time: float = 0.0, probe: Optional["Probe"] = None) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        probe: Optional["Probe"] = None,
+        core: Optional[str] = None,
+    ) -> None:
+        if core is None:
+            core = default_core()
+        if core not in CORES:
+            raise ValueError(f"unknown DES core {core!r}; expected one of {CORES}")
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self.core = core
+        # Both cores hold ``(time, priority, seq, event)`` entries and
+        # serve them in identical tuple order; dispatch is by concrete
+        # type (``type(q) is list``) so the heap path stays branch-cheap.
+        self._queue: Any = [] if core == "heap" else CalendarQueue()
         self._seq = 0
         self._active_proc: Optional[Process] = None
         self.probe = probe
@@ -241,20 +282,30 @@ class Environment:
         at = self._now + delay
         seq = self._seq
         self._seq = seq + 1
-        heappush(self._queue, (at, priority, seq, event))
+        queue = self._queue
+        if type(queue) is list:
+            heappush(queue, (at, priority, seq, event))
+        else:
+            queue.push((at, priority, seq, event))
         if self.probe is not None:
             self.probe.on_schedule(self, event, at, priority)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        if type(queue) is list:
+            return queue[0][0] if queue else float("inf")
+        return queue.peek_time()
 
     def step(self) -> None:
         """Process the next event on the calendar."""
         queue = self._queue
         if not queue:
             raise EmptySchedule("no scheduled events remain")
-        self._now, _, _, event = heappop(queue)
+        if type(queue) is list:
+            self._now, _, _, event = heappop(queue)
+        else:
+            self._now, _, _, event = queue.pop()
 
         if self.probe is not None:
             self.probe.on_step(self, self._now, event)
@@ -290,7 +341,11 @@ class Environment:
                 stop_event._ok = True
                 stop_event._value = None
                 stop_event._triggered = True
-                heappush(self._queue, (at, 0, -1, stop_event))
+                entry = (at, 0, -1, stop_event)
+                if type(self._queue) is list:
+                    heappush(self._queue, entry)
+                else:
+                    self._queue.push(entry)
 
         if stop_event is not None:
             if stop_event._processed:
@@ -303,26 +358,50 @@ class Environment:
         # The event loop is inlined here (rather than calling self.step()
         # per event) — at hundreds of thousands of events per run the
         # method-call overhead dominates. Semantics are identical to
-        # step(); the probe hook keeps its exact call points.
+        # step(); the probe hook keeps its exact call points. Each core
+        # gets its own loop so the hot path carries no per-event
+        # type dispatch: the heap loop indexes a plain list, the
+        # calendar loop calls the queue's bound ``pop`` and turns its
+        # IndexError into the same EmptySchedule as an empty heap.
         queue = self._queue
-        pop = heappop
         try:
-            while True:
-                if not queue:
-                    raise EmptySchedule("no scheduled events remain")
-                self._now, _, _, event = pop(queue)
+            if type(queue) is list:
+                pop = heappop
+                while True:
+                    if not queue:
+                        raise EmptySchedule("no scheduled events remain")
+                    self._now, _, _, event = pop(queue)
 
-                if self.probe is not None:
-                    self.probe.on_step(self, self._now, event)
+                    if self.probe is not None:
+                        self.probe.on_step(self, self._now, event)
 
-                callbacks = event.callbacks
-                event.callbacks = None
-                event._processed = True
-                for callback in callbacks:
-                    callback(event)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
 
-                if not event._ok and not callbacks:
-                    raise event._value
+                    if not event._ok and not callbacks:
+                        raise event._value
+            else:
+                pop_entry = queue.pop
+                while True:
+                    try:
+                        self._now, _, _, event = pop_entry()
+                    except IndexError:
+                        raise EmptySchedule("no scheduled events remain") from None
+
+                    if self.probe is not None:
+                        self.probe.on_step(self, self._now, event)
+
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+
+                    if not event._ok and not callbacks:
+                        raise event._value
         except EmptySchedule:
             if stop_event is not None and not stop_event._processed:
                 if isinstance(until, Event):

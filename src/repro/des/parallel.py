@@ -1,0 +1,286 @@
+"""Conservative multi-process sharding for the DES engine.
+
+One simulated run is split into shards — disjoint slices of the
+simulated machine (see :mod:`repro.des.partition`) — each driven by its
+own :class:`~repro.des.core.Environment` in its own OS process. Shards
+synchronize with a barriered null-message protocol coordinated by the
+parent (a star, not a mesh: shard counts are single digits, and a star
+keeps every message on one pipe):
+
+1. Each shard reports *promises*: per receiving shard, a lower bound on
+   the simulated time of any message it may still send there. Promises
+   come from the workload (write-duration lookahead, progress oracles),
+   not from this module.
+2. The parent computes each shard's *horizon* — the minimum promise
+   addressed to it — routes pending cross-shard messages, and starts a
+   round.
+3. Each shard applies inbound messages and processes local events
+   strictly below its horizon, queueing cross-shard effects in its
+   outbox. Messages at the same timestamp as a local event are applied
+   *before* the event runs (remote-first), in ``(time, source shard,
+   emission index)`` order, so application order is deterministic.
+4. When no shard can move (typically a cross-shard tie at the global
+   minimum time), the parent forces a *tie round* at that exact time.
+5. When every shard has drained and no messages are in flight, the
+   parent collects per-shard results.
+
+The contract a shard program must satisfy (duck-typed; implemented by
+the workload layer, e.g. ``repro.workloads.patterns``):
+
+``env``
+    The shard's :class:`~repro.des.core.Environment`.
+``apply(payload)``
+    Apply one inbound cross-shard message payload (mutate shared-state
+    proxies only; must not schedule events).
+``promises()``
+    ``{shard_id | "*": time}`` — sound lower bounds on future sends.
+    ``"*"`` addresses every other shard. Omitted shards get ``inf``.
+``take_outbox()``
+    Drain and return ``[(time, dest | None, payload), ...]`` emitted
+    since the last call (``None`` = broadcast), in emission order.
+``result()``
+    The picklable per-shard result shipped to the parent at the end.
+
+Child processes are forked, so the builder callable may close over
+arbitrary unpicklable state (models, configs); only messages, promises,
+and results cross the pipes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+#: Hard cap on synchronization rounds — a runaway-protocol backstop far
+#: above what converging promise chains need (they close geometrically).
+MAX_ROUNDS = 1_000_000
+
+
+class ShardProtocolError(SimulationError):
+    """The cross-shard protocol wedged or a shard process died."""
+
+
+def _min_promise(promises: dict, receiver: int) -> float:
+    """The tightest promise in ``promises`` addressed to ``receiver``."""
+    bound = float("inf")
+    if "*" in promises:
+        bound = promises["*"]
+    if receiver in promises:
+        bound = min(bound, promises[receiver])
+    return bound
+
+
+def _child_main(
+    builder: Callable[[int], Any], shard_id: int, conn
+) -> None:  # pragma: no cover - exercised in forked processes
+    """Round loop of one shard process (runs until ``finish`` or error)."""
+    try:
+        program = builder(shard_id)
+        env = program.env
+        pending: list[tuple] = []  # (time, src_shard, emission idx, payload)
+        while True:
+            cmd = conn.recv()
+            op = cmd["op"]
+            if op == "finish":
+                conn.send({"op": "result", "value": program.result()})
+                return
+            if op != "round":
+                raise ShardProtocolError(f"unknown command {op!r}")
+            for msg in cmd["msgs"]:
+                heapq.heappush(pending, msg)
+            horizon = cmd["horizon"]
+            force = cmd["force"]
+            processed = 0
+            applied = 0
+            while True:
+                peek = env.peek()
+                # Remote-first: everything at or before the next local
+                # event is applied before that event runs.
+                while pending and pending[0][0] <= peek:
+                    program.apply(heapq.heappop(pending)[3])
+                    applied += 1
+                if peek < horizon or (force is not None and peek == force):
+                    env.step()
+                    processed += 1
+                else:
+                    break
+            conn.send(
+                {
+                    "op": "ack",
+                    "peek": env.peek(),
+                    "processed": processed,
+                    "applied": applied,
+                    "pending": pending[0][0] if pending else None,
+                    "outbox": program.take_outbox(),
+                    "promises": program.promises(),
+                }
+            )
+    except BaseException as exc:  # ship the failure home before dying
+        import traceback
+
+        try:
+            conn.send(
+                {
+                    "op": "error",
+                    "error": repr(exc),
+                    "traceback": traceback.format_exc(),
+                }
+            )
+        except (BrokenPipeError, OSError):
+            pass
+        raise
+
+
+def run_sharded(
+    builder: Callable[[int], Any],
+    n_shards: int,
+    mp_context: Optional[str] = None,
+) -> list:
+    """Run ``n_shards`` shard programs to completion; returns their results.
+
+    ``builder(shard_id)`` is called *inside* each forked child and must
+    return a shard program (see the module docstring for the contract).
+    Results come back in shard order. Any shard failure tears the fleet
+    down and raises :class:`ShardProtocolError` carrying the child's
+    traceback.
+    """
+    if n_shards < 1:
+        raise SimulationError(f"n_shards must be >= 1, got {n_shards}")
+    ctx = multiprocessing.get_context(mp_context or "fork")
+    conns = []
+    procs = []
+    try:
+        for shard in range(n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_child_main,
+                args=(builder, shard, child_conn),
+                daemon=True,
+                name=f"des-shard-{shard}",
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        inboxes: list[list[tuple]] = [[] for _ in range(n_shards)]
+        promises: list[dict] = [{} for _ in range(n_shards)]
+        emitted = [0] * n_shards  # per-shard emission counter (merge order)
+        peeks = [0.0] * n_shards
+        pendings: list[Optional[float]] = [None] * n_shards
+        force: Optional[float] = None
+        stalled_rounds = 0
+
+        for round_no in range(MAX_ROUNDS):
+            for shard, conn in enumerate(conns):
+                horizon = min(
+                    (
+                        _min_promise(promises[other], shard)
+                        for other in range(n_shards)
+                        if other != shard
+                    ),
+                    default=float("inf"),
+                )
+                conn.send(
+                    {
+                        "op": "round",
+                        # First round: collect initial promises only.
+                        "horizon": horizon if round_no else float("-inf"),
+                        "force": force,
+                        "msgs": inboxes[shard],
+                    }
+                )
+                inboxes[shard] = []
+            force = None
+
+            moved = 0
+            routed = 0
+            for shard, conn in enumerate(conns):
+                ack = _receive(conn, procs[shard], shard)
+                moved += ack["processed"] + ack["applied"]
+                peeks[shard] = ack["peek"]
+                pendings[shard] = ack["pending"]
+                promises[shard] = ack["promises"]
+                for time, dest, payload in ack["outbox"]:
+                    msg = (time, shard, emitted[shard], payload)
+                    emitted[shard] += 1
+                    targets = (
+                        [d for d in range(n_shards) if d != shard]
+                        if dest is None
+                        else [dest]
+                    )
+                    for target in targets:
+                        inboxes[target].append(msg)
+                        routed += 1
+
+            drained = all(p == float("inf") for p in peeks)
+            undelivered = any(inboxes) or any(p is not None for p in pendings)
+            if drained and not undelivered:
+                break
+
+            if round_no and moved == 0 and routed == 0:
+                # Nobody can move: a cross-shard tie at the global
+                # minimum. Force one round at exactly that time.
+                stalled_rounds += 1
+                if stalled_rounds > 1:
+                    raise ShardProtocolError(
+                        "sharded run wedged: no shard can advance at "
+                        f"t={_global_min(peeks, pendings, inboxes)} "
+                        f"(peeks={peeks}, promises={promises})"
+                    )
+                force = _global_min(peeks, pendings, inboxes)
+                if force == float("inf"):
+                    raise ShardProtocolError(
+                        "sharded run wedged with no pending work "
+                        f"(peeks={peeks}, pending messages lost?)"
+                    )
+            else:
+                stalled_rounds = 0
+        else:
+            raise ShardProtocolError(f"exceeded {MAX_ROUNDS} sync rounds")
+
+        results = []
+        for shard, conn in enumerate(conns):
+            conn.send({"op": "finish"})
+            reply = _receive(conn, procs[shard], shard)
+            results.append(reply["value"])
+        for proc in procs:
+            proc.join(timeout=30)
+        return results
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+def _receive(conn, proc, shard: int) -> dict:
+    """One reply from a shard, translating child failures into errors."""
+    try:
+        reply = conn.recv()
+    except EOFError:
+        raise ShardProtocolError(
+            f"shard {shard} died (exit code {proc.exitcode})"
+        ) from None
+    if reply["op"] == "error":
+        raise ShardProtocolError(
+            f"shard {shard} failed: {reply['error']}\n{reply['traceback']}"
+        )
+    return reply
+
+
+def _global_min(peeks, pendings, inboxes) -> float:
+    """Earliest simulated time any shard could possibly act at."""
+    best = min(peeks)
+    for pending in pendings:
+        if pending is not None:
+            best = min(best, pending)
+    for inbox in inboxes:
+        for msg in inbox:
+            best = min(best, msg[0])
+    return best

@@ -1,0 +1,153 @@
+"""Partitioning a simulated cluster's nodes across DES shards.
+
+Conservative parallel DES (:mod:`repro.des.parallel`) runs disjoint
+slices of the simulated machine in separate OS processes and only
+synchronizes when one shard could affect another. Two properties of the
+partition decide how well that works:
+
+* **Coverage** — every simulated node belongs to exactly one shard, and
+  shards are *contiguous* node ranges. Contiguity is what makes the
+  cross-shard merge deterministic: serial event order within a timestamp
+  follows rank/creation order, so re-assembling per-shard streams in
+  (time, shard, local-order) order reproduces the serial stream exactly.
+* **Lookahead** — the minimum simulated time for any effect to cross a
+  shard boundary. The dragonfly fabric provides it physically: a message
+  between nodes in different groups pays at least two terminal-link
+  latencies plus one global-link latency (see
+  :meth:`~repro.cluster.topology.DragonflyTopology.min_inter_group_latency`).
+  Cutting along group boundaries therefore maximizes the lookahead; when
+  there are fewer groups than shards, cuts fall inside groups (or even
+  switches) and the lookahead degrades to the matching latency floor.
+
+:func:`partition_nodes` places cuts at the group boundaries nearest each
+balanced cut point, splitting within groups only when it must, and
+reports the resulting lookahead floor.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import DragonflyTopology
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of contiguous node ranges to shards.
+
+    ``spans[i] = (start, stop)`` holds shard ``i``'s half-open node
+    range; spans tile ``[0, n_nodes)`` in order. ``lookahead`` is the
+    minimum simulated seconds for any cross-shard effect to propagate
+    (``inf`` for a single shard: nothing ever crosses).
+    """
+
+    spans: tuple[tuple[int, int], ...]
+    lookahead: float
+
+    def __post_init__(self) -> None:
+        if not self.spans:
+            raise ConfigError("a partition needs at least one shard")
+        expect = 0
+        for start, stop in self.spans:
+            if start != expect or stop <= start:
+                raise ConfigError(
+                    f"shard spans must tile [0, n) contiguously, got {self.spans}"
+                )
+            expect = stop
+        if not self.lookahead > 0.0:
+            raise ConfigError(
+                f"lookahead must be positive, got {self.lookahead}; a "
+                "zero-latency fabric cannot bound cross-shard effects"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.spans)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spans[-1][1]
+
+    def nodes(self, shard: int) -> range:
+        """The node indices owned by ``shard``."""
+        start, stop = self.spans[shard]
+        return range(start, stop)
+
+    def shard_of(self, node: int) -> int:
+        """The shard owning ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise ConfigError(
+                f"node index {node} out of range [0, {self.n_nodes})"
+            )
+        return bisect_right([start for start, _ in self.spans], node) - 1
+
+
+def partition_nodes(topology: "DragonflyTopology", n_shards: int) -> Partition:
+    """Partition ``topology``'s nodes into ``n_shards`` contiguous shards.
+
+    Cuts snap to the dragonfly group boundary nearest each balanced cut
+    point (within half a shard's width, so snapping never doubles a
+    shard); with fewer groups than shards the surplus cuts split groups.
+    The partition's lookahead is the latency floor of the tightest cut
+    actually made: group cuts yield the inter-group floor, within-group
+    cuts the intra-group floor, and within-switch cuts the same-switch
+    floor.
+    """
+    n = topology.n_nodes
+    if n_shards <= 0:
+        raise ConfigError(f"n_shards must be positive, got {n_shards}")
+    if n_shards > n:
+        raise ConfigError(
+            f"cannot split {n} node(s) into {n_shards} shards"
+        )
+    if n_shards == 1:
+        return Partition(spans=((0, n),), lookahead=float("inf"))
+
+    # Group boundaries: node indices where a new dragonfly group starts.
+    boundaries = [
+        i
+        for i in range(1, n)
+        if topology.group_of_node(i) != topology.group_of_node(i - 1)
+    ]
+
+    snap_tolerance = n / (2.0 * n_shards)
+    cuts = [0]
+    for k in range(1, n_shards):
+        ideal = round(k * n / n_shards)
+        lo = cuts[-1] + 1  # shards must be non-empty
+        hi = n - (n_shards - k)  # leave a node for every later shard
+        candidates = [b for b in boundaries if lo <= b <= hi]
+        cut = None
+        if candidates:
+            nearest = min(candidates, key=lambda b: (abs(b - ideal), b))
+            if abs(nearest - ideal) <= snap_tolerance:
+                cut = nearest
+        if cut is None:
+            cut = min(max(ideal, lo), hi)
+        cuts.append(cut)
+    cuts.append(n)
+
+    spans = tuple((a, b) for a, b in zip(cuts, cuts[1:]))
+
+    # Lookahead = the latency floor of the tightest boundary any cut
+    # crosses. A candidate may undershoot the true minimum (e.g. a group
+    # cut that happens to fall between switches) — undershooting is safe
+    # for conservative sync, overshooting never happens.
+    floors = []
+    for cut in cuts[1:-1]:
+        same_group = topology.group_of_node(cut - 1) == topology.group_of_node(cut)
+        same_switch = topology.switch_of_node(cut - 1) == topology.switch_of_node(cut)
+        if same_switch:
+            floors.append(topology.min_same_switch_latency())
+        elif same_group:
+            floors.append(topology.min_intra_group_latency())
+        else:
+            floors.append(topology.min_inter_group_latency())
+    lookahead = min(floors)
+
+    return Partition(spans=spans, lookahead=lookahead)

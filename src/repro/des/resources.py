@@ -12,8 +12,10 @@ here is a :class:`collections.deque` — grants pop from the left in O(1)
 instead of ``list.pop(0)``'s O(n). Withdrawing an ungranted
 :class:`Request` does not search the queue; it flips a tombstone flag on
 the request and the grant loop discards tombstones lazily when they
-reach the front. Neither change can reorder events: live entries keep
-their exact FIFO positions, and a tombstone produces no event at all.
+reach the front; when dead entries outnumber live ones the queue is
+compacted in place so repeated cancellation cannot grow it without
+bound. None of this can reorder events: live entries keep their exact
+FIFO order, and a tombstone produces no event at all.
 """
 
 from __future__ import annotations
@@ -97,6 +99,17 @@ class Resource:
             # queues while the resource is at capacity).
             request._cancelled = True
             self._pending -= 1
+            # Tombstones normally drain when they reach the front, but a
+            # workload that keeps cancelling requests that never surface
+            # (request-or-timeout races under a saturated resource) can
+            # grow the deque without bound. When dead entries outnumber
+            # live ones, rebuild it — the live entries keep their exact
+            # FIFO order and no event fires, so traces are unchanged.
+            queue = self._queue
+            if len(queue) > 2 * self._pending:
+                live = [r for r in queue if not r._cancelled]
+                queue.clear()
+                queue.extend(live)
         # else: releasing twice is a no-op
 
     def _trigger_requests(self) -> None:

@@ -1,8 +1,17 @@
 """Bench report environment block: the fields that make baselines comparable."""
 
+import argparse
+import json
 import socket
 
-from repro.benchreport import cpu_model, environment_info
+import repro.benchreport as benchreport
+from repro.benchreport import (
+    check_regression,
+    cpu_model,
+    delta_table,
+    environment_info,
+    fingerprint_mismatches,
+)
 
 
 def test_environment_info_has_all_comparability_fields():
@@ -20,3 +29,98 @@ def test_cpu_model_is_nonempty_even_without_proc(monkeypatch):
 
     monkeypatch.setattr("builtins.open", refuse)
     assert cpu_model()  # falls back to platform info, never raises
+
+
+def _payload(cpu_model="cpu-a", cpu_count=4, events_per_sec=1000.0):
+    return {
+        "environment": {"cpu_model": cpu_model, "cpu_count": cpu_count},
+        "des": {
+            "event_throughput": {
+                "events": 100.0,
+                "seconds": 100.0 / events_per_sec,
+                "events_per_sec": events_per_sec,
+            },
+            "shard_scaling": {
+                "shards": 2.0,
+                "serial_seconds": 1.0,
+                "sharded_seconds": 0.6,
+                "speedup": 1.0 / 0.6,
+                "identical": 1.0,
+            },
+        },
+        "experiments": {"fig3": {"seconds": 2.0}},
+        "peak_rss_bytes": 50_000_000,
+    }
+
+
+def test_fingerprint_matches_same_machine():
+    assert fingerprint_mismatches(_payload(), _payload()) == []
+
+
+def test_fingerprint_flags_cpu_model_and_count():
+    mismatches = fingerprint_mismatches(
+        _payload(cpu_model="cpu-b", cpu_count=8), _payload()
+    )
+    assert len(mismatches) == 2
+    assert any("cpu_model" in m for m in mismatches)
+    assert any("cpu_count" in m for m in mismatches)
+
+
+def test_fingerprint_flags_pre_schema_baseline():
+    old = _payload()
+    del old["environment"]
+    mismatches = fingerprint_mismatches(_payload(), old)
+    assert mismatches and "no environment fingerprint" in mismatches[0]
+
+
+def test_check_regression_skips_entries_without_events_per_sec():
+    # shard_scaling has no events/sec; it must never trip (or crash) the
+    # regression gate, and a real throughput drop still must.
+    current = _payload(events_per_sec=100.0)
+    baseline = _payload(events_per_sec=1000.0)
+    failures = check_regression(current, baseline)
+    assert len(failures) == 1
+    assert "event_throughput" in failures[0]
+    assert check_regression(baseline, baseline) == []
+
+
+def test_delta_table_reports_shard_scaling_speedup():
+    table = delta_table(_payload(), _payload())
+    assert "des.event_throughput" in table
+    assert "shard_scaling" in table
+    assert "speedup" in table
+
+
+def _run_check(tmp_path, monkeypatch, current, baseline):
+    (tmp_path / "BENCH_2026-01-01.json").write_text(json.dumps(baseline))
+    monkeypatch.setattr(benchreport, "collect", lambda **kwargs: current)
+    args = argparse.Namespace(
+        quick=True, repeats=1, out_dir=str(tmp_path), no_write=True,
+        check=True, threshold=0.25, baseline_dir=str(tmp_path),
+    )
+    return benchreport.cmd_bench(args)
+
+
+def test_check_gates_same_machine_regression(tmp_path, monkeypatch, capsys):
+    rc = _run_check(
+        tmp_path, monkeypatch,
+        current=_payload(events_per_sec=100.0),
+        baseline=_payload(events_per_sec=1000.0),
+    )
+    assert rc == 1
+    assert "PERF REGRESSION" in capsys.readouterr().err
+
+
+def test_check_downgrades_to_warning_on_foreign_baseline(
+    tmp_path, monkeypatch, capsys
+):
+    rc = _run_check(
+        tmp_path, monkeypatch,
+        current=_payload(events_per_sec=100.0),
+        baseline=_payload(cpu_model="other-cpu", events_per_sec=1000.0),
+    )
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "environment mismatch" in err
+    assert "PERF WARNING (foreign baseline)" in err
+    assert "PERF REGRESSION" not in err

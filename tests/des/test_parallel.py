@@ -1,0 +1,137 @@
+"""Protocol-level tests for the conservative multi-process shard runtime.
+
+These exercise :func:`repro.des.parallel.run_sharded` with toy shard
+programs (no workload machinery): message routing and ordering, the
+remote-first tie rule, forced tie rounds when no shard can advance,
+result collection, and failure propagation from child processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Environment
+from repro.des.parallel import ShardProtocolError, run_sharded
+from repro.errors import SimulationError
+
+
+class _Ticker:
+    """Steps through ``times``, broadcasting a tick at each one.
+
+    Promises its own ``peek`` — sound (a tick is emitted exactly at the
+    event's time, never earlier) and deliberately tight, so symmetric
+    schedules stall and exercise the forced tie round.
+    """
+
+    def __init__(self, shard_id: int, times: list[float]) -> None:
+        self.shard_id = shard_id
+        self.env = Environment()
+        self.received: list[tuple] = []
+        self.sent: list[float] = []
+        self._outbox: list[tuple] = []
+
+        def run(env):
+            now = 0.0
+            for t in times:
+                yield env.timeout(t - now)
+                now = t
+                self.sent.append(t)
+                self._outbox.append((t, None, ("tick", self.shard_id, t)))
+
+        self.env.process(run(self.env))
+
+    def apply(self, payload) -> None:
+        self.received.append((self.env.now, payload))
+
+    def promises(self) -> dict:
+        return {"*": self.env.peek()}
+
+    def take_outbox(self) -> list[tuple]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def result(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "sent": self.sent,
+            "received": self.received,
+        }
+
+
+def test_interleaved_shards_deliver_all_messages_in_order():
+    # Shard 0 ticks on integers, shard 1 on half-integers: strictly
+    # alternating, no two events tie, no forced rounds needed.
+    schedules = [[1.0, 2.0, 3.0], [1.5, 2.5, 3.5]]
+    results = run_sharded(lambda s: _Ticker(s, schedules[s]), 2)
+    assert [r["shard"] for r in results] == [0, 1]
+    for shard, res in enumerate(results):
+        assert res["sent"] == schedules[shard]
+        other = schedules[1 - shard]
+        got = [payload for _, payload in res["received"]]
+        assert got == [("tick", 1 - shard, t) for t in other]
+        # Remote-first delivery: each tick is applied before the local
+        # clock passes its emission time, and applications are in
+        # nondecreasing local-time order.
+        times = [t for t, _ in res["received"]]
+        assert times == sorted(times)
+        assert all(
+            applied_at <= payload[2] for applied_at, payload in res["received"]
+        )
+
+
+def test_symmetric_tie_schedules_resolve_via_forced_rounds():
+    # Both shards tick at the same instants with peek-tight promises:
+    # neither ever sees the other strictly ahead, so every step needs a
+    # forced tie round at the global minimum. Remote-first application
+    # means each tick is applied exactly when the local clock reaches it.
+    times = [1.0, 2.0, 3.0, 4.0]
+    results = run_sharded(lambda s: _Ticker(s, list(times)), 2)
+    for shard, res in enumerate(results):
+        assert res["sent"] == times
+        assert [payload for _, payload in res["received"]] == [
+            ("tick", 1 - shard, t) for t in times
+        ]
+        assert [t for t, _ in res["received"]] == times
+
+
+def test_three_shard_broadcast_fanout():
+    schedules = [[1.0, 4.0], [2.0, 5.0], [3.0, 6.0]]
+    results = run_sharded(lambda s: _Ticker(s, schedules[s]), 3)
+    for shard, res in enumerate(results):
+        expected = sorted(
+            ("tick", other, t)
+            for other in range(3)
+            if other != shard
+            for t in schedules[other]
+        )
+        assert sorted(p for _, p in res["received"]) == expected
+
+
+def test_single_shard_runs_to_completion():
+    results = run_sharded(lambda s: _Ticker(s, [1.0, 2.0]), 1)
+    assert results[0]["sent"] == [1.0, 2.0]
+    assert results[0]["received"] == []
+
+
+def test_invalid_shard_count_rejected():
+    with pytest.raises(SimulationError):
+        run_sharded(lambda s: _Ticker(s, [1.0]), 0)
+
+
+class _Exploder(_Ticker):
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(shard_id, [1.0])
+        if shard_id == 1:
+            def boom(env):
+                yield env.timeout(0.5)
+                raise ValueError("shard 1 exploded")
+
+            self.env.process(boom(self.env))
+
+
+def test_child_failure_propagates_with_traceback():
+    with pytest.raises(ShardProtocolError) as err:
+        run_sharded(_Exploder, 2)
+    assert "shard 1 failed" in str(err.value)
+    assert "shard 1 exploded" in str(err.value)

@@ -1,0 +1,148 @@
+"""Partitioner guarantees for conservative parallel DES.
+
+The two properties the parallel runtime relies on: every simulated node
+belongs to exactly one shard (contiguous coverage), and the reported
+lookahead is positive and never exceeds the latency floor of any cut the
+partition actually makes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import DragonflyTopology, sharded_dragonfly
+from repro.des import Partition, partition_nodes
+from repro.errors import ConfigError
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=1, max_value=600),
+    n_shards=st.integers(min_value=1, max_value=16),
+    nodes_per_switch=st.integers(min_value=1, max_value=32),
+    switches_per_group=st.integers(min_value=1, max_value=8),
+)
+def test_every_node_in_exactly_one_shard(
+    n_nodes, n_shards, nodes_per_switch, switches_per_group
+):
+    topo = DragonflyTopology(
+        n_nodes,
+        nodes_per_switch=nodes_per_switch,
+        switches_per_group=switches_per_group,
+    )
+    if n_shards > n_nodes:
+        with pytest.raises(ConfigError):
+            partition_nodes(topo, n_shards)
+        return
+    part = partition_nodes(topo, n_shards)
+    assert part.n_shards == n_shards
+    assert part.n_nodes == n_nodes
+
+    seen = [part.shard_of(i) for i in range(n_nodes)]
+    # coverage: shard_of agrees with the spans, each node exactly once
+    counted = 0
+    for shard in range(part.n_shards):
+        nodes = part.nodes(shard)
+        counted += len(nodes)
+        assert all(seen[i] == shard for i in nodes)
+    assert counted == n_nodes
+    # contiguity: shard indices are nondecreasing over node order
+    assert seen == sorted(seen)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=2, max_value=600),
+    n_shards=st.integers(min_value=2, max_value=16),
+    nodes_per_switch=st.integers(min_value=1, max_value=32),
+    switches_per_group=st.integers(min_value=1, max_value=8),
+)
+def test_lookahead_positive_and_sound(
+    n_nodes, n_shards, nodes_per_switch, switches_per_group
+):
+    topo = DragonflyTopology(
+        n_nodes,
+        nodes_per_switch=nodes_per_switch,
+        switches_per_group=switches_per_group,
+    )
+    if n_shards > n_nodes:
+        return
+    part = partition_nodes(topo, n_shards)
+    assert part.lookahead > 0.0
+    # Soundness: no pair of nodes in different shards may communicate
+    # faster than the claimed lookahead. The adjacent pair at each cut
+    # is the closest; check every cut against the real routed latency.
+    for start, _ in part.spans[1:]:
+        assert part.lookahead <= topo.path_latency(start - 1, start) + 1e-18
+
+
+def test_single_shard_has_infinite_lookahead():
+    topo = DragonflyTopology(64, nodes_per_switch=4, switches_per_group=4)
+    part = partition_nodes(topo, 1)
+    assert part.spans == ((0, 64),)
+    assert part.lookahead == float("inf")
+
+
+def test_group_boundary_cuts_get_inter_group_lookahead():
+    # 64 nodes, 4/switch, 4 switches/group -> 4 groups of 16 nodes.
+    topo = DragonflyTopology(64, nodes_per_switch=4, switches_per_group=4)
+    part = partition_nodes(topo, 2)
+    assert part.spans == ((0, 32), (32, 64))
+    assert part.lookahead == topo.min_inter_group_latency()
+
+
+def test_within_group_cut_degrades_lookahead():
+    # One big group: every cut is intra-group (here: intra-switch).
+    topo = DragonflyTopology(32, nodes_per_switch=32, switches_per_group=1)
+    part = partition_nodes(topo, 2)
+    assert part.lookahead == topo.min_same_switch_latency()
+    topo2 = DragonflyTopology(64, nodes_per_switch=4, switches_per_group=16)
+    part2 = partition_nodes(topo2, 2)
+    assert part2.lookahead == topo2.min_intra_group_latency()
+
+
+def test_snapping_prefers_group_boundary_over_exact_balance():
+    # 3 groups of 16 on 48 nodes; 2 shards -> ideal cut at 24 snaps to 16
+    # or 32 (both are 8 away, within the half-shard tolerance of 12).
+    topo = DragonflyTopology(48, nodes_per_switch=4, switches_per_group=4)
+    part = partition_nodes(topo, 2)
+    assert part.spans[0][1] in (16, 32)
+    assert part.lookahead == topo.min_inter_group_latency()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=2, max_value=600),
+    n_shards=st.integers(min_value=2, max_value=8),
+)
+def test_sharded_dragonfly_preset_aligns_groups(n_nodes, n_shards):
+    if n_shards > n_nodes:
+        return
+    topo = sharded_dragonfly(n_nodes, n_shards)
+    assert topo.n_groups >= min(n_shards, topo.n_switches)
+    part = partition_nodes(topo, n_shards)
+    if topo.n_groups >= n_shards:
+        # Enough groups: every cut should land on a group boundary and
+        # earn the full inter-group lookahead.
+        assert part.lookahead == topo.min_inter_group_latency()
+
+
+def test_partition_validation():
+    with pytest.raises(ConfigError):
+        Partition(spans=(), lookahead=1.0)
+    with pytest.raises(ConfigError):
+        Partition(spans=((0, 4), (5, 8)), lookahead=1.0)  # gap
+    with pytest.raises(ConfigError):
+        Partition(spans=((0, 4), (4, 4)), lookahead=1.0)  # empty shard
+    with pytest.raises(ConfigError):
+        Partition(spans=((0, 4),), lookahead=0.0)  # zero lookahead
+    part = Partition(spans=((0, 4), (4, 8)), lookahead=1e-6)
+    with pytest.raises(ConfigError):
+        part.shard_of(8)
+    topo = DragonflyTopology(8)
+    with pytest.raises(ConfigError):
+        partition_nodes(topo, 0)
+    with pytest.raises(ConfigError):
+        partition_nodes(topo, 9)

@@ -170,3 +170,75 @@ def test_context_manager_release_with_tombstoned_peers():
     assert done  # at least the first claimant ran
     assert res.count == 0
     assert res.queue_length == 0
+
+
+def test_repeated_cancel_keeps_queue_bounded():
+    """A workload that forever loses request-or-timeout races cancels
+    requests that never reach the queue front; without compaction the
+    deque grows one corpse per race. The bound pinned here is the
+    compaction invariant: dead entries never outnumber live ones for
+    long, so the deque stays O(live) instead of O(cancellations)."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    observed = []
+
+    def hog(env):
+        req = res.request()
+        yield req
+        yield env.timeout(10_000.0)
+        res.release(req)
+
+    def racer(env):
+        for _ in range(5000):
+            req = res.request()
+            got = yield req | env.timeout(0.1)
+            if req in got:  # pragma: no cover - the hog owns the slot
+                res.release(req)
+            else:
+                req.cancel()
+            observed.append(len(res._queue))
+
+    env.process(hog(env))
+    env.process(racer(env))
+    env.run(until=1000.0)
+
+    assert len(observed) > 1000
+    assert max(observed) <= 4  # was ~len(observed) before compaction
+    assert res.queue_length <= 1
+
+
+def test_compaction_preserves_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    grants = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(0.5)
+        res.release(req)
+
+    env.process(holder(env))
+    env.run(until=0.1)  # grant the holder its slot
+
+    # Queue ten waiters, then cancel a scattered majority so compaction
+    # fires while live requests sit between tombstones.
+    waiters = [res.request() for _ in range(10)]
+    dead = (0, 2, 3, 5, 6, 8)
+    for i in dead:
+        waiters[i].cancel()
+    live = [w for i, w in enumerate(waiters) if i not in dead]
+    assert len(res._queue) <= 2 * len(live) + 1
+
+    def consumer(env, req, label):
+        yield req
+        grants.append(label)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for i, req in enumerate(live):
+        env.process(consumer(env, req, i))
+    env.run()
+    assert grants == list(range(len(live)))
+    assert res.queue_length == 0
+    assert len(res._queue) == 0

@@ -141,6 +141,32 @@ def test_simulate_json_summary(capsys):
     assert summary["iteration_time_seconds"]["sim"]["count"] > 0
 
 
+def _summary(capsys, *extra):
+    assert main(simulate_args("--json", *extra)) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_simulate_shards_flag_identical_summary(capsys):
+    serial = _summary(capsys)
+    sharded = _summary(capsys, "--shards", "2")
+    assert serial.pop("shards") == 1
+    assert sharded.pop("shards") == 2
+    assert serial == sharded  # sharding is a wall-clock detail, not an output
+
+
+def test_simulate_des_core_flag_identical_summary(capsys):
+    from repro.des import set_default_core
+
+    try:
+        heap = _summary(capsys)
+        calendar = _summary(capsys, "--des-core", "calendar")
+    finally:
+        set_default_core(None)  # --des-core sets a session-wide default
+    assert heap.pop("des_core") == "heap"
+    assert calendar.pop("des_core") == "calendar"
+    assert heap == calendar
+
+
 def test_simulate_text_mode_prints_percentile_table(capsys):
     assert main(simulate_args()) == 0
     out = capsys.readouterr().out

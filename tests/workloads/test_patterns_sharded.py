@@ -1,0 +1,184 @@
+"""Serial/sharded equivalence for the pattern simulators.
+
+The contract of the conservative multi-process runtime: splitting a run
+across shards is a pure wall-clock optimization. The merged event log
+must be *byte-identical* to the serial run — same records, same order —
+and every derived number (counters, makespan) must match exactly. These
+tests pin that, plus the preconditions sharded mode refuses to run
+without.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.cluster import sharded_dragonfly
+from repro.config.distributions import Exponential, Normal
+from repro.des import Partition, partition_nodes
+from repro.errors import ConfigError
+from repro.experiments.common import backend_models, pattern1_context
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.telemetry import Telemetry
+from repro.transport.resilience import ResilienceConfig
+from repro.workloads.patterns import (
+    ManyToOneConfig,
+    OneToOneConfig,
+    run_many_to_one,
+    run_one_to_one,
+)
+
+
+def p1_config(**overrides):
+    defaults = dict(train_iterations=120, ranks_per_component=6, seed=3)
+    defaults.update(overrides)
+    return OneToOneConfig(**defaults)
+
+
+def p2_config(**overrides):
+    defaults = dict(n_simulations=7, train_iterations=60, seed=3)
+    defaults.update(overrides)
+    return ManyToOneConfig(**defaults)
+
+
+def _assert_equivalent(serial, sharded):
+    assert serial.log.to_jsonl() == sharded.log.to_jsonl()
+    assert serial.makespan == sharded.makespan
+    assert serial.sim_iterations == sharded.sim_iterations
+    assert serial.train_iterations == sharded.train_iterations
+    assert serial.snapshots_written == sharded.snapshots_written
+    assert serial.snapshots_read == sharded.snapshots_read
+
+
+def test_one_to_one_two_shards_bit_identical():
+    model = backend_models()["dragon"]
+    ctx = pattern1_context(6)
+    serial = run_one_to_one(model, p1_config(), ctx=ctx)
+    sharded = run_one_to_one(model, p1_config(), ctx=ctx, shards=2)
+    _assert_equivalent(serial, sharded)
+
+
+def test_one_to_one_three_shards_bit_identical():
+    model = backend_models()["filesystem"]
+    ctx = pattern1_context(6)
+    serial = run_one_to_one(model, p1_config(), ctx=ctx)
+    sharded = run_one_to_one(model, p1_config(), ctx=ctx, shards=3)
+    _assert_equivalent(serial, sharded)
+
+
+@pytest.mark.parametrize("backend", ["filesystem", "redis", "dragon"])
+def test_many_to_one_two_shards_bit_identical(backend):
+    model = backend_models()[backend]
+    serial = run_many_to_one(model, p2_config())
+    sharded = run_many_to_one(model, p2_config(), shards=2)
+    _assert_equivalent(serial, sharded)
+
+
+def test_many_to_one_four_shards_bit_identical():
+    model = backend_models()["filesystem"]
+    serial = run_many_to_one(model, p2_config())
+    sharded = run_many_to_one(model, p2_config(), shards=4)
+    _assert_equivalent(serial, sharded)
+
+
+def test_sharded_log_digest_matches_serial_golden():
+    # The sharded counterpart of the golden-trace digests: one digest of
+    # the serial merged log, reproduced exactly at 2 and 4 shards.
+    model = backend_models()["filesystem"]
+    digests = {
+        shards: hashlib.sha256(
+            run_many_to_one(model, p2_config(), shards=shards).log.to_jsonl().encode()
+        ).hexdigest()
+        for shards in (1, 2, 4)
+    }
+    assert digests[2] == digests[1]
+    assert digests[4] == digests[1]
+
+
+def test_many_to_one_stochastic_iteration_times_still_identical():
+    # Per-name RNG streams are derived independently of creation order,
+    # so stochastic runs shard bit-identically too — provided the
+    # distribution has a positive lower bound for the progress oracle.
+    config = dict(
+        sim_iter_time=Exponential(scale=0.01, shift=0.005),
+        ai_iter_time=Exponential(scale=0.02, shift=0.01),
+    )
+    model = backend_models()["filesystem"]
+    serial = run_many_to_one(model, p2_config(**config))
+    sharded = run_many_to_one(model, p2_config(**config), shards=2)
+    _assert_equivalent(serial, sharded)
+
+
+def test_explicit_partition_accepted_and_identical():
+    n_nodes = 8  # 7 producers + trainer
+    topo = sharded_dragonfly(n_nodes, 2)
+    partition = partition_nodes(topo, 2)
+    model = backend_models()["filesystem"]
+    serial = run_many_to_one(model, p2_config())
+    sharded = run_many_to_one(model, p2_config(), partition=partition)
+    _assert_equivalent(serial, sharded)
+
+
+def test_sharded_telemetry_merges_without_perturbing_the_run():
+    model = backend_models()["filesystem"]
+    serial = run_many_to_one(model, p2_config())
+    hub = Telemetry(sample_interval=0.5)
+    sharded = run_many_to_one(model, p2_config(), telemetry=hub, shards=2)
+    _assert_equivalent(serial, sharded)
+    # The merged hub carries spans from every shard's child hub.
+    assert {"transport", "workload"} <= set(hub.tracer.categories())
+
+
+# -- refusals ---------------------------------------------------------------
+def test_sharded_refuses_active_fault_plan():
+    plan = FaultPlan(
+        faults=[FaultSpec(kind=FaultKind.BACKEND_CRASH, at=1.0, duration=0.5)]
+    )
+    with pytest.raises(ConfigError, match="fault injection"):
+        run_many_to_one(
+            backend_models()["filesystem"], p2_config(), fault_plan=plan, shards=2
+        )
+
+
+def test_sharded_refuses_resilience_wrapping():
+    with pytest.raises(ConfigError, match="resilience"):
+        run_one_to_one(
+            backend_models()["filesystem"],
+            p1_config(),
+            ctx=pattern1_context(6),
+            resilience=ResilienceConfig(),
+            shards=2,
+        )
+
+
+def test_sharded_refuses_unbounded_iteration_time():
+    # Unbounded-below ai_iter_time gives the trainer oracle no positive
+    # lookahead; the run must refuse rather than deadlock or drift.
+    config = p2_config(ai_iter_time=Normal(mean=0.02, std=0.005))
+    with pytest.raises(ConfigError, match="positive"):
+        run_many_to_one(backend_models()["filesystem"], config, shards=2)
+
+
+def test_sharded_refuses_mismatched_partition():
+    partition = Partition(spans=((0, 2), (2, 4)), lookahead=1e-6)  # 4 nodes
+    with pytest.raises(ConfigError, match="partition covers"):
+        run_many_to_one(
+            backend_models()["filesystem"], p2_config(), partition=partition
+        )
+    with pytest.raises(ConfigError, match="partition covers"):
+        run_one_to_one(
+            backend_models()["filesystem"],
+            p1_config(),  # 6 rank pairs
+            ctx=pattern1_context(6),
+            partition=partition,
+        )
+
+
+def test_disabled_fault_plan_is_shardable():
+    # A plan with nothing in it is inert; sharding must not refuse it.
+    serial = run_many_to_one(backend_models()["filesystem"], p2_config())
+    sharded = run_many_to_one(
+        backend_models()["filesystem"], p2_config(), fault_plan=FaultPlan(), shards=2
+    )
+    _assert_equivalent(serial, sharded)
